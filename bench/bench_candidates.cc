@@ -1,0 +1,66 @@
+// Microbenchmark: candidate-set computation (Sec 6 step 1) as plan size and
+// subject count grow — the planning-time cost of the Def 5.3 machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "candidates/candidates.h"
+#include "testing/random_plan.h"
+
+namespace mpq {
+namespace {
+
+void BM_ComputeCandidatesPlanSize(benchmark::State& state) {
+  RandomPlanOptions opts;
+  opts.num_relations = static_cast<int>(state.range(0));
+  opts.num_extra_ops = static_cast<int>(state.range(0)) * 2;
+  auto sc = MakeRandomScenario(17, opts);
+  if (!sc.ok()) {
+    state.SkipWithError(sc.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto cp = ComputeCandidates(sc->plan.get(), *sc->policy,
+                                /*require_nonempty=*/false);
+    benchmark::DoNotOptimize(cp);
+  }
+  state.counters["nodes"] = CountNodes(sc->plan.get());
+}
+BENCHMARK(BM_ComputeCandidatesPlanSize)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ComputeCandidatesSubjects(benchmark::State& state) {
+  RandomPlanOptions opts;
+  opts.num_relations = 4;
+  opts.num_providers = static_cast<int>(state.range(0));
+  auto sc = MakeRandomScenario(19, opts);
+  if (!sc.ok()) {
+    state.SkipWithError(sc.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto cp = ComputeCandidates(sc->plan.get(), *sc->policy,
+                                /*require_nonempty=*/false);
+    benchmark::DoNotOptimize(cp);
+  }
+  state.counters["subjects"] = static_cast<double>(sc->subjects->size());
+}
+BENCHMARK(BM_ComputeCandidatesSubjects)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MinRequiredView(benchmark::State& state) {
+  auto sc = MakeRandomScenario(23);
+  if (!sc.ok()) {
+    state.SkipWithError(sc.status().ToString().c_str());
+    return;
+  }
+  const RelationProfile& prof = sc->plan->profile;
+  AttrSet needed = prof.vp;
+  for (auto _ : state) {
+    RelationProfile mv = MinRequiredView(prof, needed);
+    benchmark::DoNotOptimize(mv);
+  }
+}
+BENCHMARK(BM_MinRequiredView);
+
+}  // namespace
+}  // namespace mpq
+
+BENCHMARK_MAIN();

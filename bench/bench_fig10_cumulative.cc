@@ -1,0 +1,37 @@
+// Reproduces Figure 10: cumulative normalized cost of evaluating the 22
+// TPC-H queries under the three scenarios, plus the headline savings
+// percentages (paper: UAPenc saves 54.2% vs UA, UAPmix saves 71.3%).
+
+#include <cstdio>
+
+#include "tpch_cost_common.h"
+
+using namespace mpq;
+using mpq::bench::QueryCost;
+
+int main() {
+  TpchEnv env = MakeTpchEnv(/*costing_sf=*/1.0, /*num_providers=*/3);
+
+  std::printf("Figure 10 — cumulative normalized cost (per-query UA = 1.0)\n");
+  std::printf("%-6s %10s %10s %10s\n", "query", "UA", "UAPenc", "UAPmix");
+  double cum_ua = 0, cum_enc = 0, cum_mix = 0;
+  for (int q = 1; q <= NumTpchQueries(); ++q) {
+    Result<double> ua = QueryCost(env, q, AuthScenario::kUA);
+    Result<double> enc = QueryCost(env, q, AuthScenario::kUAPenc);
+    Result<double> mix = QueryCost(env, q, AuthScenario::kUAPmix);
+    if (!ua.ok() || !enc.ok() || !mix.ok()) {
+      std::printf("%-6d error\n", q);
+      continue;
+    }
+    // Normalize each query by its UA cost, as in Fig 9/10.
+    cum_ua += 1.0;
+    cum_enc += *enc / *ua;
+    cum_mix += *mix / *ua;
+    std::printf("%-6d %10.3f %10.3f %10.3f\n", q, cum_ua, cum_enc, cum_mix);
+  }
+  std::printf("\ntotal savings vs UA: UAPenc %.1f%% (paper: 54.2%%), "
+              "UAPmix %.1f%% (paper: 71.3%%)\n",
+              100.0 * (1.0 - cum_enc / cum_ua),
+              100.0 * (1.0 - cum_mix / cum_ua));
+  return 0;
+}

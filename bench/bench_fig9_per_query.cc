@@ -1,0 +1,44 @@
+// Reproduces Figure 9: normalized economic cost of evaluating each of the
+// 22 TPC-H queries under the UA, UAPenc and UAPmix authorization scenarios
+// (UA normalized to 1.0 per query).
+//
+// Expected shape (paper): UAPenc and UAPmix below UA on essentially every
+// query; UAPmix at or below UAPenc.
+
+#include <cstdio>
+
+#include "tpch_cost_common.h"
+
+using namespace mpq;
+using mpq::bench::QueryCost;
+
+int main() {
+  TpchEnv env = MakeTpchEnv(/*costing_sf=*/1.0, /*num_providers=*/3);
+
+  std::printf("Figure 9 — normalized per-query cost (UA = 1.0)\n");
+  std::printf("%-6s %10s %10s %10s\n", "query", "UA", "UAPenc", "UAPmix");
+  int wins_enc = 0, wins_mix = 0, total = 0;
+  for (int q = 1; q <= NumTpchQueries(); ++q) {
+    Result<double> ua = QueryCost(env, q, AuthScenario::kUA);
+    Result<double> enc = QueryCost(env, q, AuthScenario::kUAPenc);
+    Result<double> mix = QueryCost(env, q, AuthScenario::kUAPmix);
+    if (!ua.ok() || !enc.ok() || !mix.ok()) {
+      std::printf("%-6d error: %s\n", q,
+                  (!ua.ok() ? ua.status() : !enc.ok() ? enc.status()
+                                                      : mix.status())
+                      .ToString()
+                      .c_str());
+      continue;
+    }
+    double base = *ua;
+    std::printf("%-6d %10.3f %10.3f %10.3f\n", q, 1.0, *enc / base,
+                *mix / base);
+    ++total;
+    if (*enc <= base + 1e-12) ++wins_enc;
+    if (*mix <= *enc + 1e-12) ++wins_mix;
+  }
+  std::printf(
+      "\nshape check: UAPenc<=UA on %d/%d queries; UAPmix<=UAPenc on %d/%d\n",
+      wins_enc, total, wins_mix, total);
+  return 0;
+}

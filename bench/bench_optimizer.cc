@@ -1,0 +1,95 @@
+// Microbenchmark + quality check: the DP assignment optimizer vs exhaustive
+// enumeration on the paper's running-example-scale plans, and DP scaling on
+// TPC-H queries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "assign/assignment.h"
+#include "profile/propagate.h"
+#include "testing/random_plan.h"
+#include "tpch/queries.h"
+#include "tpch/scenarios.h"
+
+namespace mpq {
+namespace {
+
+struct TpchFixture {
+  TpchEnv env = MakeTpchEnv(1.0, 3);
+  PricingTable prices = MakeScenarioPricing(env);
+  Topology topo = MakeScenarioTopology(env);
+};
+
+TpchFixture& Fx() {
+  static TpchFixture fx;
+  return fx;
+}
+
+void BM_DpOptimizeTpch(benchmark::State& state) {
+  TpchFixture& fx = Fx();
+  int q = static_cast<int>(state.range(0));
+  auto plan = BuildTpchQuery(q, fx.env);
+  if (!plan.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  (void)DerivePlaintextNeeds(plan->get(), fx.env.catalog, SchemeCaps{});
+  (void)AnnotatePlan(plan->get(), fx.env.catalog);
+  auto policy = MakeScenarioPolicy(fx.env, AuthScenario::kUAPenc);
+  auto cp = ComputeCandidates(plan->get(), *policy);
+  if (!cp.ok()) {
+    state.SkipWithError("no candidates");
+    return;
+  }
+  SchemeMap schemes = AnalyzeSchemes(plan->get(), fx.env.catalog, SchemeCaps{});
+  CostModel cm(&fx.env.catalog, &fx.prices, &fx.topo, &schemes);
+  AssignmentOptimizer opt(&*policy, &cm);
+  for (auto _ : state) {
+    auto r = opt.Optimize(plan->get(), *cp, fx.env.user);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["nodes"] = CountNodes(plan->get());
+}
+BENCHMARK(BM_DpOptimizeTpch)->Arg(1)->Arg(3)->Arg(5)->Arg(8)->Arg(21);
+
+void BM_DpVsExhaustiveQuality(benchmark::State& state) {
+  // Measures DP runtime; reports the DP/exhaustive cost ratio as a counter
+  // (1.0 == DP found the optimum).
+  auto sc = MakeRandomScenario(static_cast<uint64_t>(state.range(0)));
+  if (!sc.ok()) {
+    state.SkipWithError(sc.status().ToString().c_str());
+    return;
+  }
+  PricingTable prices = PricingTable::PaperDefaults(*sc->subjects);
+  Topology topo = Topology::PaperDefaults(*sc->subjects);
+  SchemeMap schemes;
+  CostModel cm(sc->catalog.get(), &prices, &topo, &schemes);
+  auto cp = ComputeCandidates(sc->plan.get(), *sc->policy,
+                              /*require_nonempty=*/false);
+  if (!cp.ok()) {
+    state.SkipWithError("candidates failed");
+    return;
+  }
+  AssignmentOptimizer opt(sc->policy.get(), &cm);
+  Result<AssignmentResult> dp = opt.Optimize(sc->plan.get(), *cp, sc->user);
+  if (!dp.ok()) {
+    state.SkipWithError("infeasible");
+    return;
+  }
+  auto ex = opt.OptimizeExhaustive(sc->plan.get(), *cp, sc->user, 200000);
+  if (ex.ok() && ex->exact_cost.total_usd() > 0) {
+    state.counters["dp_over_opt"] =
+        dp->exact_cost.total_usd() / ex->exact_cost.total_usd();
+  }
+  for (auto _ : state) {
+    auto r = opt.Optimize(sc->plan.get(), *cp, sc->user);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DpVsExhaustiveQuality)->Arg(3)->Arg(5)->Arg(9);
+
+}  // namespace
+}  // namespace mpq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Microbenchmark: profile propagation (Fig 2) and Def 4.1 authorization
+// checks over random plans of growing size — the per-query overhead the
+// authorization machinery adds at planning time.
+
+#include <benchmark/benchmark.h>
+
+#include "profile/propagate.h"
+#include "testing/random_plan.h"
+
+namespace mpq {
+namespace {
+
+void BM_AnnotatePlan(benchmark::State& state) {
+  RandomPlanOptions opts;
+  opts.num_relations = static_cast<int>(state.range(0));
+  opts.num_extra_ops = static_cast<int>(state.range(0)) * 2;
+  auto sc = MakeRandomScenario(7, opts);
+  if (!sc.ok()) {
+    state.SkipWithError(sc.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Status st = AnnotatePlan(sc->plan.get(), *sc->catalog);
+    benchmark::DoNotOptimize(st);
+  }
+  state.counters["nodes"] = CountNodes(sc->plan.get());
+}
+BENCHMARK(BM_AnnotatePlan)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_AuthorizedCheck(benchmark::State& state) {
+  auto sc = MakeRandomScenario(11);
+  if (!sc.ok()) {
+    state.SkipWithError(sc.status().ToString().c_str());
+    return;
+  }
+  const RelationProfile& prof = sc->plan->profile;
+  for (auto _ : state) {
+    for (const Subject& s : sc->subjects->subjects()) {
+      bool ok = sc->policy->IsAuthorized(s.id, prof);
+      benchmark::DoNotOptimize(ok);
+    }
+  }
+}
+BENCHMARK(BM_AuthorizedCheck);
+
+void BM_ProfileMonotonicityCheck(benchmark::State& state) {
+  auto sc = MakeRandomScenario(13);
+  if (!sc.ok()) {
+    state.SkipWithError(sc.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Status st = CheckProfileMonotonicity(sc->plan.get(), *sc->catalog);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_ProfileMonotonicityCheck);
+
+}  // namespace
+}  // namespace mpq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Shared helper for the Fig 9 / Fig 10 reproductions: optimize one TPC-H
+// query under one authorization scenario and return its economic cost.
+
+#ifndef MPQ_BENCH_TPCH_COST_COMMON_H_
+#define MPQ_BENCH_TPCH_COST_COMMON_H_
+
+#include "assign/assignment.h"
+#include "profile/propagate.h"
+#include "tpch/queries.h"
+#include "tpch/scenarios.h"
+
+namespace mpq::bench {
+
+/// Economic cost (USD) of the optimizer's best plan for query `q` under
+/// `scenario`, or an error when no authorized assignment exists.
+inline Result<double> QueryCost(const TpchEnv& env, int q,
+                                AuthScenario scenario) {
+  MPQ_ASSIGN_OR_RETURN(PlanPtr plan, BuildTpchQuery(q, env));
+  MPQ_RETURN_NOT_OK(DerivePlaintextNeeds(plan.get(), env.catalog, SchemeCaps{}));
+  MPQ_RETURN_NOT_OK(AnnotatePlan(plan.get(), env.catalog));
+  MPQ_ASSIGN_OR_RETURN(Policy policy, MakeScenarioPolicy(env, scenario));
+  MPQ_ASSIGN_OR_RETURN(CandidatePlan cp, ComputeCandidates(plan.get(), policy));
+  PricingTable prices = MakeScenarioPricing(env);
+  Topology topo = MakeScenarioTopology(env);
+  SchemeMap schemes = AnalyzeSchemes(plan.get(), env.catalog, SchemeCaps{});
+  CostModel cm(&env.catalog, &prices, &topo, &schemes);
+  AssignmentOptimizer opt(&policy, &cm);
+  MPQ_ASSIGN_OR_RETURN(AssignmentResult r, opt.Optimize(plan.get(), cp, env.user));
+  return r.exact_cost.total_usd();
+}
+
+}  // namespace mpq::bench
+
+#endif  // MPQ_BENCH_TPCH_COST_COMMON_H_

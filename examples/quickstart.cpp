@@ -1,0 +1,117 @@
+// Quickstart: the paper's running example in ~60 lines of API use.
+//
+// Builds the Hosp ⋈ Ins query, declares the Fig 1(b) authorizations,
+// computes candidates, picks an assignment, extends the plan with
+// encryption/decryption, and prints everything.
+
+#include <cstdio>
+
+#include "algebra/plan_builder.h"
+#include "algebra/plan_printer.h"
+#include "assign/assignment.h"
+#include "authz/policy.h"
+#include "extend/keys.h"
+#include "profile/propagate.h"
+#include "sql/binder.h"
+
+using namespace mpq;
+
+int main() {
+  // --- Catalog: two data authorities, one user, three providers.
+  Catalog catalog;
+  SubjectRegistry subjects;
+  SubjectId H = *subjects.Register("H", SubjectKind::kAuthority);
+  SubjectId I = *subjects.Register("I", SubjectKind::kAuthority);
+  SubjectId U = *subjects.Register("U", SubjectKind::kUser);
+  SubjectId X = *subjects.Register("X", SubjectKind::kProvider);
+  SubjectId Y = *subjects.Register("Y", SubjectKind::kProvider);
+  SubjectId Z = *subjects.Register("Z", SubjectKind::kProvider);
+
+  using C = std::pair<std::string, DataType>;
+  RelId hosp = *catalog.AddRelation(
+      "Hosp",
+      {C{"S", DataType::kInt64}, C{"B", DataType::kInt64},
+       C{"D", DataType::kString}, C{"T", DataType::kString}},
+      H, 1000);
+  RelId ins = *catalog.AddRelation(
+      "Ins", {C{"C", DataType::kInt64}, C{"P", DataType::kDouble}}, I, 800);
+
+  // --- Authorizations [P,E] -> S (Fig 1(b)).
+  Policy policy(&catalog, &subjects);
+  auto set = [&](const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c; ++c)
+      out.Insert(catalog.attrs().Find(std::string(1, *c)));
+    return out;
+  };
+  (void)policy.Grant(hosp, H, set("SBDT"), {});
+  (void)policy.Grant(hosp, I, set("B"), set("SDT"));
+  (void)policy.Grant(hosp, U, set("SDT"), {});
+  (void)policy.Grant(hosp, X, set("DT"), set("S"));
+  (void)policy.Grant(hosp, Y, set("BDT"), set("S"));
+  (void)policy.Grant(hosp, Z, set("ST"), set("D"));
+  (void)policy.Grant(ins, H, set("C"), set("P"));
+  (void)policy.Grant(ins, I, set("CP"), {});
+  (void)policy.Grant(ins, U, set("CP"), {});
+  (void)policy.Grant(ins, X, {}, set("CP"));
+  (void)policy.Grant(ins, Y, set("P"), set("C"));
+  (void)policy.Grant(ins, Z, set("C"), set("P"));
+
+  // --- The query, straight from SQL.
+  auto plan = PlanFromSql(
+      "select T, avg(P) from Hosp join Ins on S = C "
+      "where D = 'stroke' group by T having avg(P) > 100",
+      catalog);
+  if (!plan.ok()) {
+    std::printf("plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  (void)DerivePlaintextNeeds(plan->get(), catalog, SchemeCaps{});
+  (void)AnnotatePlan(plan->get(), catalog);
+
+  PrintOptions opts;
+  opts.show_profiles = true;
+  std::printf("=== Query plan with relation profiles (Fig 3) ===\n%s\n",
+              PrintPlan(plan->get(), catalog, opts).c_str());
+
+  // --- Candidates (Defs 5.2/5.3, Fig 6).
+  auto cp = ComputeCandidates(plan->get(), policy);
+  if (!cp.ok()) {
+    std::printf("candidates error: %s\n", cp.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Assignment candidates per operation ===\n");
+  for (const PlanNode* n : PostOrder(plan->get())) {
+    if (n->is_leaf()) continue;
+    std::printf("  node %d (%s): ", n->id,
+                NodeLabel(n, catalog).c_str());
+    cp->at(n->id).candidates.ForEach([&](AttrId s) {
+      std::printf("%s ", subjects.Name(static_cast<SubjectId>(s)).c_str());
+    });
+    std::printf("\n");
+  }
+
+  // --- Cost-optimal assignment + minimally extended plan (Def 5.4, Fig 7).
+  PricingTable prices = PricingTable::PaperDefaults(subjects);
+  Topology topo = Topology::PaperDefaults(subjects);
+  SchemeMap schemes = AnalyzeSchemes(plan->get(), catalog, SchemeCaps{});
+  CostModel cm(&catalog, &prices, &topo, &schemes);
+  AssignmentOptimizer opt(&policy, &cm);
+  auto r = opt.Optimize(plan->get(), *cp, U);
+  if (!r.ok()) {
+    std::printf("optimizer error: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  PrintOptions ext_opts;
+  ext_opts.assignment = &r->extended.assignment;
+  ext_opts.subjects = &subjects;
+  std::printf("\n=== Minimally extended authorized plan ===\n%s",
+              PrintPlan(r->extended.plan.get(), catalog, ext_opts).c_str());
+  std::printf("estimated cost: %.6f USD\n", r->exact_cost.total_usd());
+
+  // --- Keys (Def 6.1).
+  PlanKeys keys = DeriveQueryPlanKeys(r->extended);
+  std::printf("\n=== Query plan keys ===\n%s",
+              keys.ToString(catalog, subjects).c_str());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// SQL authorization checker: given a SQL query over the running-example
+// schema (argv, or a default), prints each subject's authorization verdict
+// for the query result and the candidate set per operation — a small policy
+// debugging tool built on the public API.
+
+#include <cstdio>
+
+#include "algebra/plan_printer.h"
+#include "assign/schemes.h"
+#include "candidates/candidates.h"
+#include "profile/propagate.h"
+#include "sql/binder.h"
+
+using namespace mpq;
+
+int main(int argc, char** argv) {
+  Catalog catalog;
+  SubjectRegistry subjects;
+  SubjectId H = *subjects.Register("H", SubjectKind::kAuthority);
+  SubjectId I = *subjects.Register("I", SubjectKind::kAuthority);
+  SubjectId U = *subjects.Register("U", SubjectKind::kUser);
+  SubjectId X = *subjects.Register("X", SubjectKind::kProvider);
+  SubjectId Y = *subjects.Register("Y", SubjectKind::kProvider);
+  SubjectId Z = *subjects.Register("Z", SubjectKind::kProvider);
+
+  using C = std::pair<std::string, DataType>;
+  RelId hosp = *catalog.AddRelation(
+      "Hosp",
+      {C{"S", DataType::kInt64}, C{"B", DataType::kInt64},
+       C{"D", DataType::kString}, C{"T", DataType::kString}},
+      H, 1000);
+  RelId ins = *catalog.AddRelation(
+      "Ins", {C{"C", DataType::kInt64}, C{"P", DataType::kDouble}}, I, 800);
+
+  Policy policy(&catalog, &subjects);
+  auto set = [&](const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c; ++c)
+      out.Insert(catalog.attrs().Find(std::string(1, *c)));
+    return out;
+  };
+  (void)policy.Grant(hosp, H, set("SBDT"), {});
+  (void)policy.Grant(hosp, I, set("B"), set("SDT"));
+  (void)policy.Grant(hosp, U, set("SDT"), {});
+  (void)policy.Grant(hosp, X, set("DT"), set("S"));
+  (void)policy.Grant(hosp, Y, set("BDT"), set("S"));
+  (void)policy.Grant(hosp, Z, set("ST"), set("D"));
+  (void)policy.Grant(ins, H, set("C"), set("P"));
+  (void)policy.Grant(ins, I, set("CP"), {});
+  (void)policy.Grant(ins, U, set("CP"), {});
+  (void)policy.Grant(ins, X, {}, set("CP"));
+  (void)policy.Grant(ins, Y, set("P"), set("C"));
+  (void)policy.Grant(ins, Z, set("C"), set("P"));
+
+  std::string sql;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) sql += " ";
+      sql += argv[i];
+    }
+  } else {
+    sql =
+        "select T, avg(P) from Hosp join Ins on S = C "
+        "where D = 'stroke' group by T having avg(P) > 100";
+  }
+  std::printf("query: %s\n\n", sql.c_str());
+
+  auto plan = PlanFromSql(sql, catalog);
+  if (!plan.ok()) {
+    std::printf("parse/bind error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  (void)DerivePlaintextNeeds(plan->get(), catalog, SchemeCaps{});
+  if (Status st = AnnotatePlan(plan->get(), catalog); !st.ok()) {
+    std::printf("profile error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("plan:\n%s\n", PrintPlan(plan->get(), catalog).c_str());
+
+  std::printf("authorization for the query RESULT, per subject:\n");
+  for (const Subject& s : subjects.subjects()) {
+    Status st = policy.CheckAuthorized(s.id, (*plan)->profile);
+    std::printf("  %-3s %s\n", s.name.c_str(),
+                st.ok() ? "AUTHORIZED" : st.ToString().c_str());
+  }
+
+  auto cp = ComputeCandidates(plan->get(), policy, /*require_nonempty=*/false);
+  if (!cp.ok()) {
+    std::printf("candidate error: %s\n", cp.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncandidates per operation:\n");
+  for (const PlanNode* n : PostOrder(plan->get())) {
+    if (n->is_leaf()) continue;
+    std::printf("  [%d] %-24s ", n->id, NodeLabel(n, catalog).c_str());
+    cp->at(n->id).candidates.ForEach([&](AttrId sid) {
+      std::printf("%s ", subjects.Name(static_cast<SubjectId>(sid)).c_str());
+    });
+    std::printf("\n");
+  }
+  return 0;
+}

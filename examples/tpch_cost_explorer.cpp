@@ -1,0 +1,77 @@
+// TPC-H cost explorer: optimize one TPC-H query (argv[1], default Q3) under
+// the three authorization scenarios of Sec 7 and print the chosen
+// assignments and cost breakdowns.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algebra/plan_printer.h"
+#include "assign/assignment.h"
+#include "profile/propagate.h"
+#include "tpch/queries.h"
+#include "tpch/scenarios.h"
+
+using namespace mpq;
+
+int main(int argc, char** argv) {
+  int q = argc > 1 ? std::atoi(argv[1]) : 3;
+  if (q < 1 || q > NumTpchQueries()) {
+    std::printf("usage: %s [1..22]\n", argv[0]);
+    return 1;
+  }
+
+  TpchEnv env = MakeTpchEnv(/*costing_sf=*/1.0, /*num_providers=*/3);
+  auto plan = BuildTpchQuery(q, env);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  (void)DerivePlaintextNeeds(plan->get(), env.catalog, SchemeCaps{});
+  (void)AnnotatePlan(plan->get(), env.catalog);
+
+  std::printf("=== TPC-H Q%d ===\n%s\n", q,
+              PrintPlan(plan->get(), env.catalog).c_str());
+
+  PricingTable prices = MakeScenarioPricing(env);
+  Topology topo = MakeScenarioTopology(env);
+  SchemeMap schemes = AnalyzeSchemes(plan->get(), env.catalog, SchemeCaps{});
+  CostModel cm(&env.catalog, &prices, &topo, &schemes);
+
+  double ua_cost = 0;
+  for (AuthScenario scenario :
+       {AuthScenario::kUA, AuthScenario::kUAPenc, AuthScenario::kUAPmix}) {
+    auto policy = MakeScenarioPolicy(env, scenario);
+    if (!policy.ok()) continue;
+    auto cp = ComputeCandidates(plan->get(), *policy);
+    if (!cp.ok()) {
+      std::printf("%s: %s\n", AuthScenarioName(scenario),
+                  cp.status().ToString().c_str());
+      continue;
+    }
+    AssignmentOptimizer opt(&*policy, &cm);
+    auto r = opt.Optimize(plan->get(), *cp, env.user);
+    if (!r.ok()) {
+      std::printf("%s: %s\n", AuthScenarioName(scenario),
+                  r.status().ToString().c_str());
+      continue;
+    }
+    if (scenario == AuthScenario::kUA) ua_cost = r->exact_cost.total_usd();
+    std::printf(
+        "--- %-7s total=%.6f USD (cpu=%.6f io=%.6f net=%.6f, elapsed=%.2fs) "
+        "normalized=%.3f\n",
+        AuthScenarioName(scenario), r->exact_cost.total_usd(),
+        r->exact_cost.cpu_usd, r->exact_cost.io_usd, r->exact_cost.net_usd,
+        r->exact_cost.elapsed_s,
+        ua_cost > 0 ? r->exact_cost.total_usd() / ua_cost : 1.0);
+    std::printf("    assignment:");
+    for (const PlanNode* n : PostOrder(plan->get())) {
+      if (n->is_leaf()) continue;
+      std::printf(" %d→%s", n->id,
+                  env.subjects.Name(r->lambda.at(n->id)).c_str());
+    }
+    std::printf("\n    encrypted attrs: %s\n",
+                r->extended.encrypted_attrs.ToString(env.catalog.attrs())
+                    .c_str());
+  }
+  return 0;
+}

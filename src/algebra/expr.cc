@@ -1,0 +1,119 @@
+#include "algebra/expr.h"
+
+namespace mpq {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool IsEquality(CmpOp op) { return op == CmpOp::kEq; }
+
+bool EvalCmp(CmpOp op, const Value& a, const Value& b) {
+  int c = a.Compare(b);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+Predicate Predicate::AttrValue(AttrId a, CmpOp op, Value v) {
+  Predicate p;
+  p.lhs = a;
+  p.op = op;
+  p.rhs_is_attr = false;
+  p.rhs_value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::AttrAttr(AttrId a, CmpOp op, AttrId b) {
+  Predicate p;
+  p.lhs = a;
+  p.op = op;
+  p.rhs_is_attr = true;
+  p.rhs_attr = b;
+  return p;
+}
+
+AttrSet Predicate::Attrs() const {
+  AttrSet out;
+  out.Insert(lhs);
+  if (rhs_is_attr) out.Insert(rhs_attr);
+  return out;
+}
+
+std::string Predicate::ToString(const AttrRegistry& reg) const {
+  std::string out = reg.Name(lhs);
+  out += CmpOpName(op);
+  out += rhs_is_attr ? reg.Name(rhs_attr) : rhs_value.ToString();
+  return out;
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kCountStar:
+      return "count(*)";
+  }
+  return "?";
+}
+
+std::string Aggregate::ToString(const AttrRegistry& reg) const {
+  if (func == AggFunc::kCountStar) return "count(*)";
+  std::string out = AggFuncName(func);
+  out += "(";
+  out += reg.Name(attr);
+  out += ")";
+  return out;
+}
+
+AttrSet PredicatesAttrs(const std::vector<Predicate>& preds) {
+  AttrSet out;
+  for (const Predicate& p : preds) out.InsertAll(p.Attrs());
+  return out;
+}
+
+std::string PredicatesToString(const std::vector<Predicate>& preds,
+                               const AttrRegistry& reg) {
+  std::string out;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += preds[i].ToString(reg);
+  }
+  return out;
+}
+
+}  // namespace mpq

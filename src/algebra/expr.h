@@ -1,0 +1,79 @@
+// Predicate and aggregate model for the paper's operator algebra.
+//
+// Conditions are conjunctions of basic predicates of the two shapes the paper
+// distinguishes (Sec 3.1):
+//   `a op value`  — contributes `a` to the implicit attributes of a result;
+//   `a op b`      — contributes {a, b} to the equivalence closure R≃.
+
+#ifndef MPQ_ALGEBRA_EXPR_H_
+#define MPQ_ALGEBRA_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attr.h"
+#include "common/attr_set.h"
+#include "common/value.h"
+
+namespace mpq {
+
+/// Comparison operators of basic predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// True for =, false for <, <=, >, >=, <> (range-like for crypto purposes:
+/// every non-equality comparison needs order information).
+bool IsEquality(CmpOp op);
+
+/// Evaluates `a op b` on plaintext values.
+bool EvalCmp(CmpOp op, const Value& a, const Value& b);
+
+/// A basic predicate: `lhs op rhs` where rhs is a constant or an attribute.
+struct Predicate {
+  AttrId lhs = kInvalidAttr;
+  CmpOp op = CmpOp::kEq;
+  bool rhs_is_attr = false;
+  AttrId rhs_attr = kInvalidAttr;
+  Value rhs_value;
+
+  /// Builds `a op value`.
+  static Predicate AttrValue(AttrId a, CmpOp op, Value v);
+  /// Builds `a op b`.
+  static Predicate AttrAttr(AttrId a, CmpOp op, AttrId b);
+
+  /// All attributes mentioned by the predicate.
+  AttrSet Attrs() const;
+
+  std::string ToString(const AttrRegistry& reg) const;
+};
+
+/// Aggregate functions supported by γ.
+enum class AggFunc { kSum, kAvg, kMin, kMax, kCount, kCountStar };
+
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate term f(a). Following the paper, the output column keeps the
+/// name of `attr` (kCountStar has no input attribute and yields a synthetic
+/// column that must be named via `out_attr`).
+struct Aggregate {
+  AggFunc func = AggFunc::kSum;
+  AttrId attr = kInvalidAttr;      ///< Input attribute (invalid for count(*)).
+  AttrId out_attr = kInvalidAttr;  ///< Output attribute id.
+
+  static Aggregate Make(AggFunc f, AttrId a) { return {f, a, a}; }
+  static Aggregate CountStar(AttrId out) { return {AggFunc::kCountStar, kInvalidAttr, out}; }
+
+  std::string ToString(const AttrRegistry& reg) const;
+};
+
+/// Attributes referenced by a conjunction of predicates.
+AttrSet PredicatesAttrs(const std::vector<Predicate>& preds);
+
+/// Renders a conjunction as "p1 AND p2 AND ...".
+std::string PredicatesToString(const std::vector<Predicate>& preds,
+                               const AttrRegistry& reg);
+
+}  // namespace mpq
+
+#endif  // MPQ_ALGEBRA_EXPR_H_

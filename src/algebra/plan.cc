@@ -1,0 +1,248 @@
+#include "algebra/plan.h"
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kBase:
+      return "base";
+    case OpKind::kProject:
+      return "project";
+    case OpKind::kSelect:
+      return "select";
+    case OpKind::kCartesian:
+      return "cartesian";
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kGroupBy:
+      return "groupby";
+    case OpKind::kUdf:
+      return "udf";
+    case OpKind::kEncrypt:
+      return "encrypt";
+    case OpKind::kDecrypt:
+      return "decrypt";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto out = std::make_unique<PlanNode>();
+  out->kind = kind;
+  out->id = id;
+  out->rel = rel;
+  out->attrs = attrs;
+  out->predicates = predicates;
+  out->group_by = group_by;
+  out->aggregates = aggregates;
+  out->udf_inputs = udf_inputs;
+  out->udf_output = udf_output;
+  out->udf_name = udf_name;
+  out->needs_plaintext = needs_plaintext;
+  out->profile = profile;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+namespace {
+
+void AssignIdsRec(PlanNode* node, int* next) {
+  node->id = (*next)++;
+  for (auto& c : node->children) AssignIdsRec(c.get(), next);
+}
+
+template <typename NodeT>
+void PostOrderRec(NodeT* node, std::vector<NodeT*>* out) {
+  for (const auto& c : node->children) PostOrderRec<NodeT>(c.get(), out);
+  out->push_back(node);
+}
+
+}  // namespace
+
+int AssignIds(PlanNode* root) {
+  int next = 0;
+  AssignIdsRec(root, &next);
+  return next;
+}
+
+std::vector<PlanNode*> PostOrder(PlanNode* root) {
+  std::vector<PlanNode*> out;
+  PostOrderRec(root, &out);
+  return out;
+}
+
+std::vector<const PlanNode*> PostOrder(const PlanNode* root) {
+  std::vector<const PlanNode*> out;
+  PostOrderRec(root, &out);
+  return out;
+}
+
+PlanNode* FindNode(PlanNode* root, int id) {
+  if (root->id == id) return root;
+  for (auto& c : root->children) {
+    if (PlanNode* found = FindNode(c.get(), id)) return found;
+  }
+  return nullptr;
+}
+
+AttrSet VisibleAttrs(const PlanNode* node, const Catalog& catalog) {
+  switch (node->kind) {
+    case OpKind::kBase:
+      return catalog.Get(node->rel).schema.Attrs();
+    case OpKind::kProject:
+      return node->attrs;
+    case OpKind::kSelect:
+    case OpKind::kEncrypt:
+    case OpKind::kDecrypt:
+      return VisibleAttrs(node->child(0), catalog);
+    case OpKind::kCartesian:
+    case OpKind::kJoin: {
+      AttrSet out = VisibleAttrs(node->child(0), catalog);
+      out.InsertAll(VisibleAttrs(node->child(1), catalog));
+      return out;
+    }
+    case OpKind::kGroupBy: {
+      AttrSet out = node->group_by;
+      for (const Aggregate& agg : node->aggregates) out.Insert(agg.out_attr);
+      return out;
+    }
+    case OpKind::kUdf: {
+      AttrSet out = VisibleAttrs(node->child(0), catalog);
+      out.EraseAll(node->udf_inputs);
+      out.Insert(node->udf_output);
+      return out;
+    }
+  }
+  return {};
+}
+
+namespace {
+
+Status CheckArity(const PlanNode* n, size_t want) {
+  if (n->num_children() != want) {
+    return Status::InvalidArgument(
+        StrFormat("%s node %d: expected %zu children, got %zu",
+                  OpKindName(n->kind), n->id, want, n->num_children()));
+  }
+  return Status::OK();
+}
+
+Status CheckVisible(const PlanNode* n, const AttrSet& needed,
+                    const AttrSet& visible, const AttrRegistry& reg,
+                    const char* what) {
+  if (!needed.IsSubsetOf(visible)) {
+    AttrSet missing = needed.Difference(visible);
+    return Status::InvalidArgument(
+        StrFormat("%s node %d: %s references attributes [%s] not visible in "
+                  "operand schema",
+                  OpKindName(n->kind), n->id, what,
+                  missing.ToString(reg).c_str()));
+  }
+  return Status::OK();
+}
+
+Status ValidateRec(const PlanNode* n, const Catalog& catalog) {
+  const AttrRegistry& reg = catalog.attrs();
+  for (const auto& c : n->children) MPQ_RETURN_NOT_OK(ValidateRec(c.get(), catalog));
+  switch (n->kind) {
+    case OpKind::kBase: {
+      MPQ_RETURN_NOT_OK(CheckArity(n, 0));
+      if (n->rel == kInvalidRel || n->rel >= catalog.num_relations()) {
+        return Status::InvalidArgument(
+            StrFormat("base node %d: invalid relation id", n->id));
+      }
+      return Status::OK();
+    }
+    case OpKind::kProject: {
+      MPQ_RETURN_NOT_OK(CheckArity(n, 1));
+      if (n->attrs.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("project node %d: empty projection", n->id));
+      }
+      return CheckVisible(n, n->attrs, VisibleAttrs(n->child(0), catalog), reg,
+                          "projection");
+    }
+    case OpKind::kSelect: {
+      MPQ_RETURN_NOT_OK(CheckArity(n, 1));
+      if (n->predicates.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("select node %d: empty condition", n->id));
+      }
+      return CheckVisible(n, PredicatesAttrs(n->predicates),
+                          VisibleAttrs(n->child(0), catalog), reg, "condition");
+    }
+    case OpKind::kCartesian:
+      return CheckArity(n, 2);
+    case OpKind::kJoin: {
+      MPQ_RETURN_NOT_OK(CheckArity(n, 2));
+      if (n->predicates.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("join node %d: empty join condition", n->id));
+      }
+      AttrSet both = VisibleAttrs(n->child(0), catalog);
+      both.InsertAll(VisibleAttrs(n->child(1), catalog));
+      for (const Predicate& p : n->predicates) {
+        if (!p.rhs_is_attr) {
+          return Status::InvalidArgument(StrFormat(
+              "join node %d: join condition must compare attributes", n->id));
+        }
+      }
+      return CheckVisible(n, PredicatesAttrs(n->predicates), both, reg,
+                          "join condition");
+    }
+    case OpKind::kGroupBy: {
+      MPQ_RETURN_NOT_OK(CheckArity(n, 1));
+      if (n->aggregates.empty() && n->group_by.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("groupby node %d: no grouping and no aggregates", n->id));
+      }
+      AttrSet needed = n->group_by;
+      for (const Aggregate& a : n->aggregates) {
+        if (a.func != AggFunc::kCountStar) needed.Insert(a.attr);
+      }
+      return CheckVisible(n, needed, VisibleAttrs(n->child(0), catalog), reg,
+                          "grouping/aggregates");
+    }
+    case OpKind::kUdf: {
+      MPQ_RETURN_NOT_OK(CheckArity(n, 1));
+      if (n->udf_inputs.empty() || n->udf_output == kInvalidAttr) {
+        return Status::InvalidArgument(
+            StrFormat("udf node %d: missing inputs or output", n->id));
+      }
+      if (!n->udf_inputs.Contains(n->udf_output)) {
+        return Status::InvalidArgument(StrFormat(
+            "udf node %d: output attribute must be one of the inputs", n->id));
+      }
+      return CheckVisible(n, n->udf_inputs, VisibleAttrs(n->child(0), catalog),
+                          reg, "udf inputs");
+    }
+    case OpKind::kEncrypt:
+    case OpKind::kDecrypt: {
+      MPQ_RETURN_NOT_OK(CheckArity(n, 1));
+      if (n->attrs.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s node %d: empty attribute set", OpKindName(n->kind), n->id));
+      }
+      return CheckVisible(n, n->attrs, VisibleAttrs(n->child(0), catalog), reg,
+                          "crypto attribute set");
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status ValidatePlan(const PlanNode* root, const Catalog& catalog) {
+  return ValidateRec(root, catalog);
+}
+
+int CountNodes(const PlanNode* root) {
+  int n = 1;
+  for (const auto& c : root->children) n += CountNodes(c.get());
+  return n;
+}
+
+}  // namespace mpq

@@ -1,0 +1,108 @@
+// Query plan trees in the paper's operator algebra.
+//
+// A plan is a tree T(N) whose leaves are base relations and whose internal
+// nodes are operations: π, σ, ×, ⋈, γ, udf (µ), plus the encryption and
+// decryption operators that extended plans (Def 5.1) inject on-the-fly.
+
+#ifndef MPQ_ALGEBRA_PLAN_H_
+#define MPQ_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "catalog/catalog.h"
+#include "common/attr_set.h"
+#include "common/status.h"
+#include "profile/profile.h"
+
+namespace mpq {
+
+/// Operator kinds.
+enum class OpKind {
+  kBase,       ///< Leaf: a base relation held by its data authority.
+  kProject,    ///< π_A
+  kSelect,     ///< σ_cond (conjunction of basic predicates)
+  kCartesian,  ///< ×
+  kJoin,       ///< ⋈_cond
+  kGroupBy,    ///< γ_{A, f(a), ...}
+  kUdf,        ///< µ_{A, a}
+  kEncrypt,    ///< on-the-fly encryption of a set of attributes
+  kDecrypt,    ///< on-the-fly decryption of a set of attributes
+};
+
+const char* OpKindName(OpKind k);
+
+/// A node of a query plan. Field usage depends on `kind`; unused fields stay
+/// default-initialized. Nodes own their children.
+struct PlanNode {
+  OpKind kind = OpKind::kBase;
+  int id = -1;  ///< Stable pre-order id, assigned by AssignIds().
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kBase
+  RelId rel = kInvalidRel;
+
+  // kProject, kEncrypt, kDecrypt: the attribute set operated on.
+  AttrSet attrs;
+
+  // kSelect, kJoin: conjunction of basic predicates.
+  std::vector<Predicate> predicates;
+
+  // kGroupBy
+  AttrSet group_by;
+  std::vector<Aggregate> aggregates;
+
+  // kUdf
+  AttrSet udf_inputs;
+  AttrId udf_output = kInvalidAttr;
+  std::string udf_name;
+
+  /// Operation requirement Ap (Sec 5): attributes of the operands that this
+  /// operation must see in plaintext. Derived by the optimizer from the
+  /// available encryption schemes (see DerivePlaintextNeeds) or set manually.
+  AttrSet needs_plaintext;
+
+  /// Profile of the relation produced by this node (Def 3.1), filled in by
+  /// profile::AnnotatePlan. Leaf nodes carry the base-relation profile.
+  RelationProfile profile;
+
+  PlanNode* child(size_t i) const { return children[i].get(); }
+  size_t num_children() const { return children.size(); }
+  bool is_leaf() const { return children.empty(); }
+
+  /// Deep copy (ids, needs_plaintext and profiles included).
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Assigns stable ids in pre-order (root == 0). Returns the node count.
+int AssignIds(PlanNode* root);
+
+/// Collects nodes in post-order (children before parents).
+std::vector<PlanNode*> PostOrder(PlanNode* root);
+std::vector<const PlanNode*> PostOrder(const PlanNode* root);
+
+/// Finds a node by id (nullptr when absent).
+PlanNode* FindNode(PlanNode* root, int id);
+
+/// Visible schema attributes of the relation produced by `node`, derived
+/// structurally (independent of profile annotation):
+///   base → schema; π → attrs; σ/encrypt/decrypt → child;
+///   ×/⋈ → union of children; γ → group_by ∪ aggregate outputs;
+///   µ → (child \ inputs) ∪ {output}.
+AttrSet VisibleAttrs(const PlanNode* node, const Catalog& catalog);
+
+/// Structural validation: arity, predicate/projection attributes visible in
+/// operand schemas, udf output drawn from inputs, encrypt/decrypt sets
+/// visible. Returns the first violation found.
+Status ValidatePlan(const PlanNode* root, const Catalog& catalog);
+
+/// Number of nodes in the tree.
+int CountNodes(const PlanNode* root);
+
+}  // namespace mpq
+
+#endif  // MPQ_ALGEBRA_PLAN_H_

@@ -1,0 +1,121 @@
+#include "algebra/plan_builder.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+PlanPtr Base(RelId rel) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kBase;
+  n->rel = rel;
+  return n;
+}
+
+PlanPtr Project(PlanPtr child, AttrSet attrs) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kProject;
+  n->attrs = std::move(attrs);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr Select(PlanPtr child, std::vector<Predicate> predicates) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kSelect;
+  n->predicates = std::move(predicates);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr Cartesian(PlanPtr left, PlanPtr right) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kCartesian;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr Join(PlanPtr left, PlanPtr right, std::vector<Predicate> predicates) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kJoin;
+  n->predicates = std::move(predicates);
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr GroupBy(PlanPtr child, AttrSet group_by, std::vector<Aggregate> aggs) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kGroupBy;
+  n->group_by = std::move(group_by);
+  n->aggregates = std::move(aggs);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr Udf(PlanPtr child, std::string name, AttrSet inputs, AttrId output) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kUdf;
+  n->udf_name = std::move(name);
+  n->udf_inputs = std::move(inputs);
+  n->udf_output = output;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr Encrypt(PlanPtr child, AttrSet attrs) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kEncrypt;
+  n->attrs = std::move(attrs);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr Decrypt(PlanPtr child, AttrSet attrs) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = OpKind::kDecrypt;
+  n->attrs = std::move(attrs);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr PlanBuilder::Rel(const std::string& name) const {
+  RelId id = catalog_->FindRelation(name);
+  assert(id != kInvalidRel && "unknown relation in PlanBuilder::Rel");
+  return Base(id);
+}
+
+AttrId PlanBuilder::A(const std::string& attr_name) const {
+  AttrId id = catalog_->attrs().Find(attr_name);
+  assert(id != kInvalidAttr && "unknown attribute in PlanBuilder::A");
+  return id;
+}
+
+AttrSet PlanBuilder::Set(const std::string& csv) const {
+  AttrSet out;
+  for (const std::string& part : Split(csv, ',')) {
+    std::string name = Trim(part);
+    if (!name.empty()) out.Insert(A(name));
+  }
+  return out;
+}
+
+Predicate PlanBuilder::Pv(const std::string& attr, CmpOp op, Value v) const {
+  return Predicate::AttrValue(A(attr), op, std::move(v));
+}
+
+Predicate PlanBuilder::Pa(const std::string& lhs, CmpOp op,
+                          const std::string& rhs) const {
+  return Predicate::AttrAttr(A(lhs), op, A(rhs));
+}
+
+Result<PlanPtr> FinishPlan(PlanPtr root, const Catalog& catalog) {
+  AssignIds(root.get());
+  MPQ_RETURN_NOT_OK(ValidatePlan(root.get(), catalog));
+  return root;
+}
+
+}  // namespace mpq

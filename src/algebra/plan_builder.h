@@ -1,0 +1,59 @@
+// Fluent construction helpers for query plan trees.
+
+#ifndef MPQ_ALGEBRA_PLAN_BUILDER_H_
+#define MPQ_ALGEBRA_PLAN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace mpq {
+
+/// Free-function builders. These only assemble the tree; call ValidatePlan
+/// (and AssignIds / AnnotatePlan) once the full plan is built.
+PlanPtr Base(RelId rel);
+PlanPtr Project(PlanPtr child, AttrSet attrs);
+PlanPtr Select(PlanPtr child, std::vector<Predicate> predicates);
+PlanPtr Cartesian(PlanPtr left, PlanPtr right);
+PlanPtr Join(PlanPtr left, PlanPtr right, std::vector<Predicate> predicates);
+PlanPtr GroupBy(PlanPtr child, AttrSet group_by, std::vector<Aggregate> aggs);
+PlanPtr Udf(PlanPtr child, std::string name, AttrSet inputs, AttrId output);
+PlanPtr Encrypt(PlanPtr child, AttrSet attrs);
+PlanPtr Decrypt(PlanPtr child, AttrSet attrs);
+
+/// Convenience wrapper owning a catalog reference for name-based building;
+/// used heavily by tests and the TPC-H query definitions.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Leaf over the named relation. Aborts on unknown names (builder misuse is
+  /// a programming error, not an input error).
+  PlanPtr Rel(const std::string& name) const;
+
+  /// Interned id of `attr_name` (must exist).
+  AttrId A(const std::string& attr_name) const;
+
+  /// AttrSet from comma-separated names ("S,D,T").
+  AttrSet Set(const std::string& csv) const;
+
+  /// Predicate `attr op value`.
+  Predicate Pv(const std::string& attr, CmpOp op, Value v) const;
+
+  /// Predicate `attr op attr`.
+  Predicate Pa(const std::string& lhs, CmpOp op, const std::string& rhs) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// Finalizes a plan: assigns ids and validates. Returns the validated plan.
+Result<PlanPtr> FinishPlan(PlanPtr root, const Catalog& catalog);
+
+}  // namespace mpq
+
+#endif  // MPQ_ALGEBRA_PLAN_BUILDER_H_

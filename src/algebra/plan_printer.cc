@@ -1,0 +1,109 @@
+#include "algebra/plan_printer.h"
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+std::string NodeLabel(const PlanNode* node, const Catalog& catalog) {
+  const AttrRegistry& reg = catalog.attrs();
+  switch (node->kind) {
+    case OpKind::kBase:
+      return catalog.Get(node->rel).name;
+    case OpKind::kProject:
+      return "π " + node->attrs.ToString(reg);
+    case OpKind::kSelect:
+      return "σ " + PredicatesToString(node->predicates, reg);
+    case OpKind::kCartesian:
+      return "×";
+    case OpKind::kJoin:
+      return "⋈ " + PredicatesToString(node->predicates, reg);
+    case OpKind::kGroupBy: {
+      std::string out = "γ " + node->group_by.ToString(reg);
+      for (const Aggregate& a : node->aggregates) {
+        out += ",";
+        out += a.ToString(reg);
+      }
+      return out;
+    }
+    case OpKind::kUdf:
+      return "µ " + node->udf_name + "(" + node->udf_inputs.ToString(reg) +
+             ")→" + reg.Name(node->udf_output);
+    case OpKind::kEncrypt:
+      return "ENC " + node->attrs.ToString(reg);
+    case OpKind::kDecrypt:
+      return "DEC " + node->attrs.ToString(reg);
+  }
+  return "?";
+}
+
+namespace {
+
+void PrintRec(const PlanNode* node, const Catalog& catalog,
+              const PrintOptions& opts, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (opts.show_ids) {
+    out->append("[");
+    out->append(std::to_string(node->id));
+    out->append("] ");
+  }
+  out->append(NodeLabel(node, catalog));
+  if (opts.assignment != nullptr && opts.subjects != nullptr) {
+    auto it = opts.assignment->find(node->id);
+    if (it != opts.assignment->end()) {
+      out->append("  @");
+      out->append(opts.subjects->Name(it->second));
+    }
+  }
+  if (opts.show_profiles) {
+    out->append("   {");
+    out->append(node->profile.ToString(catalog.attrs()));
+    out->append("}");
+  }
+  out->append("\n");
+  for (const auto& c : node->children) {
+    PrintRec(c.get(), catalog, opts, depth + 1, out);
+  }
+}
+
+void DotRec(const PlanNode* node, const Catalog& catalog,
+            const PrintOptions& opts, std::string* out) {
+  std::string label = NodeLabel(node, catalog);
+  if (opts.show_profiles) {
+    label += "\\n";
+    label += node->profile.ToString(catalog.attrs());
+  }
+  if (opts.assignment != nullptr && opts.subjects != nullptr) {
+    auto it = opts.assignment->find(node->id);
+    if (it != opts.assignment->end()) {
+      label += "\\n@" + opts.subjects->Name(it->second);
+    }
+  }
+  out->append(StrFormat("  n%d [label=\"%s\"%s];\n", node->id, label.c_str(),
+                        node->kind == OpKind::kEncrypt ||
+                                node->kind == OpKind::kDecrypt
+                            ? ", style=filled, fillcolor=lightgray"
+                            : ""));
+  for (const auto& c : node->children) {
+    out->append(StrFormat("  n%d -> n%d;\n", node->id, c->id));
+    DotRec(c.get(), catalog, opts, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const PlanNode* root, const Catalog& catalog,
+                      const PrintOptions& opts) {
+  std::string out;
+  PrintRec(root, catalog, opts, 0, &out);
+  return out;
+}
+
+std::string PlanToDot(const PlanNode* root, const Catalog& catalog,
+                      const PrintOptions& opts) {
+  std::string out = "digraph plan {\n  node [shape=box];\n";
+  DotRec(root, catalog, opts, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mpq

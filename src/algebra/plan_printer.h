@@ -1,0 +1,36 @@
+// ASCII and Graphviz renderings of (annotated) query plans.
+
+#ifndef MPQ_ALGEBRA_PLAN_PRINTER_H_
+#define MPQ_ALGEBRA_PLAN_PRINTER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "algebra/plan.h"
+#include "authz/subject.h"
+
+namespace mpq {
+
+/// Rendering options.
+struct PrintOptions {
+  bool show_profiles = false;   ///< Append each node's profile tag.
+  bool show_ids = true;         ///< Prefix nodes with their id.
+  /// Optional assignment λ to display next to each node (node id → subject).
+  const std::unordered_map<int, SubjectId>* assignment = nullptr;
+  const SubjectRegistry* subjects = nullptr;
+};
+
+/// One-line description of a node's operator ("σ D='stroke'", "⋈ S=C", ...).
+std::string NodeLabel(const PlanNode* node, const Catalog& catalog);
+
+/// Indented multi-line tree rendering.
+std::string PrintPlan(const PlanNode* root, const Catalog& catalog,
+                      const PrintOptions& opts = {});
+
+/// Graphviz dot rendering.
+std::string PlanToDot(const PlanNode* root, const Catalog& catalog,
+                      const PrintOptions& opts = {});
+
+}  // namespace mpq
+
+#endif  // MPQ_ALGEBRA_PLAN_PRINTER_H_

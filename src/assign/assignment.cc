@@ -1,0 +1,434 @@
+#include "assign/assignment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+CostBreakdown CostExtendedPlan(const ExtendedPlan& ext,
+                               const CostModel& cost_model, SubjectId user) {
+  auto est = cost_model.EstimatePlan(ext.plan.get());
+  CostBreakdown total;
+  for (const PlanNode* n : PostOrder(ext.plan.get())) {
+    SubjectId s = ext.assignment.at(n->id);
+    std::vector<const NodeEstimate*> child_est;
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      child_est.push_back(&est.at(n->child(i)->id));
+    }
+    total += cost_model.NodeCost(n, est.at(n->id), child_est, s);
+    // Transfers: each child's output crosses to this node's subject.
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      SubjectId cs = ext.assignment.at(n->child(i)->id);
+      total += cost_model.TransferCost(est.at(n->child(i)->id).bytes, cs, s);
+    }
+  }
+  // Result delivery to the user.
+  SubjectId root_s = ext.assignment.at(ext.plan->id);
+  total += cost_model.TransferCost(est.at(ext.plan->id).bytes, root_s, user);
+  return total;
+}
+
+namespace {
+
+constexpr double kSymMicros = 0.1;  // RND/DET-class per-value crypto cost
+
+/// Attributes an operator reads (predicates, grouping, aggregate and udf
+/// inputs).
+AttrSet OperatorAttrs(const PlanNode* n) {
+  AttrSet out = PredicatesAttrs(n->predicates);
+  out.InsertAll(n->group_by);
+  for (const Aggregate& a : n->aggregates) {
+    if (a.attr != kInvalidAttr) out.Insert(a.attr);
+  }
+  out.InsertAll(n->udf_inputs);
+  return out;
+}
+
+/// Attributes `n` adds to the implicit component of its result (Fig 2):
+/// attr-value selection operands and grouping attributes.
+AttrSet ImplicitMaking(const PlanNode* n) {
+  AttrSet out;
+  switch (n->kind) {
+    case OpKind::kSelect:
+    case OpKind::kJoin:
+      for (const Predicate& p : n->predicates) {
+        if (!p.rhs_is_attr) out.Insert(p.lhs);
+      }
+      break;
+    case OpKind::kGroupBy:
+      out = n->group_by;
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+/// Scheme an attribute must carry to be evaluated *encrypted* by `n`.
+EncScheme RequiredSchemeAt(const PlanNode* n, AttrId a) {
+  EncScheme need = EncScheme::kDeterministic;
+  for (const Predicate& p : n->predicates) {
+    if (p.lhs != a && (!p.rhs_is_attr || p.rhs_attr != a)) continue;
+    if (!IsEquality(p.op) && p.op != CmpOp::kNe) need = EncScheme::kOpe;
+  }
+  for (const Aggregate& agg : n->aggregates) {
+    if (agg.attr != a) continue;
+    if (agg.func == AggFunc::kSum || agg.func == AggFunc::kAvg) {
+      return EncScheme::kPaillier;
+    }
+    if (agg.func == AggFunc::kMin || agg.func == AggFunc::kMax) {
+      need = EncScheme::kOpe;
+    }
+  }
+  return need;
+}
+
+struct DpCell {
+  double cost = std::numeric_limits<double>::infinity();
+  // Chosen subject per child.
+  std::vector<SubjectId> child_choice;
+  // Attributes of this node's output that are encrypted under the chosen
+  // subtree assignment (tracks Def 5.4 edge encryption through the DP, so
+  // crypto work, decryption and ciphertext size inflation are priced).
+  AttrSet enc;
+  // Per encrypted attribute: the USD cost of one extra µs-per-value at its
+  // encryption site (rows × price there) and the scheme level already paid
+  // for. When an ancestor operation must evaluate the attribute encrypted,
+  // the DP charges the upgrade to the operation-capable scheme at the true
+  // encryption site.
+  struct EncInfo {
+    double usd_per_micro = 0;
+    uint8_t level = 0;  // EncScheme numeric value (0 = RND)
+  };
+  std::unordered_map<AttrId, EncInfo> enc_info;
+  // Implicit plaintext leaks below (Def 5.4(ii) A-term): if an ancestor
+  // assignee may only see the attribute encrypted, the deferred cost of
+  // having encrypted it at the leak site is charged then.
+  std::unordered_map<AttrId, EncInfo> deferred;
+};
+
+}  // namespace
+
+Result<AssignmentResult> AssignmentOptimizer::Optimize(
+    const PlanNode* root, const CandidatePlan& cp, SubjectId user) const {
+  const CostModel& cm = *cost_model_;
+  auto est = cm.EstimatePlan(root);
+
+  // dp[node id][subject] = min cost of computing the node's result at that
+  // subject, including its subtree, transfers and on-the-fly crypto.
+  std::unordered_map<int, std::unordered_map<SubjectId, DpCell>> dp;
+
+  std::vector<const PlanNode*> order = PostOrder(root);
+  for (const PlanNode* n : order) {
+    const NodeCandidates& nc = cp.at(n->id);
+    auto& row = dp[n->id];
+    std::vector<SubjectId> cands;
+    nc.candidates.ForEach(
+        [&](AttrId s) { cands.push_back(static_cast<SubjectId>(s)); });
+
+    if (n->is_leaf() ||
+        (n->kind == OpKind::kProject && n->child(0)->kind == OpKind::kBase)) {
+      // Leaf (possibly with its folded projection): runs at the owner.
+      std::vector<const NodeEstimate*> child_est;
+      for (size_t i = 0; i < n->num_children(); ++i) {
+        child_est.push_back(&est.at(n->child(i)->id));
+      }
+      for (SubjectId s : cands) {
+        DpCell cell;
+        cell.cost = cm.NodeCost(n, est.at(n->id), child_est, s).total_usd();
+        for (size_t i = 0; i < n->num_children(); ++i) {
+          cell.child_choice.push_back(s);
+          cell.cost +=
+              cm.NodeCost(n->child(i), est.at(n->child(i)->id), {}, s)
+                  .total_usd();
+        }
+        row[s] = std::move(cell);
+      }
+      if (row.empty()) {
+        return Status::Unauthorized(
+            StrFormat("no feasible assignment for node %d", n->id));
+      }
+      continue;
+    }
+
+    const AttrSet n_visible = nc.cascade_profile.Visible();
+    std::vector<const NodeEstimate*> child_est;
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      child_est.push_back(&est.at(n->child(i)->id));
+    }
+
+    for (SubjectId s : cands) {
+      DpCell cell;
+      cell.cost = cm.NodeCost(n, est.at(n->id), child_est, s).total_usd();
+      bool feasible = true;
+      for (size_t i = 0; i < n->num_children(); ++i) {
+        const PlanNode* c = n->child(i);
+        auto child_it = dp.find(c->id);
+        if (child_it == dp.end() || child_it->second.empty()) {
+          feasible = false;
+          break;
+        }
+        const AttrSet child_visible =
+            cp.at(c->id).cascade_profile.Visible();
+        // Plaintext the operator needs: static requirements plus greedy
+        // decrypt-at-operator when s is plaintext-authorized for an operand
+        // attribute the operator reads (mirrors plan extension; see
+        // extend.cc). Transit encryption is then priced as cheap storage
+        // encryption, with per-operator premiums only for attributes that
+        // actually remain encrypted under an operation.
+        AttrSet ap = PlaintextNeededFromChild(n, child_visible);
+        const AttrSet op_attrs = OperatorAttrs(n).Intersect(child_visible);
+        ap.InsertAll(op_attrs.Intersect(policy_->PlainView(s)));
+        double child_rows = est.at(c->id).rows;
+
+        double best = std::numeric_limits<double>::infinity();
+        SubjectId best_s = kInvalidSubject;
+        AttrSet best_arrives;
+        std::unordered_map<AttrId, DpCell::EncInfo> best_info;
+        std::unordered_map<AttrId, DpCell::EncInfo> best_deferred;
+        for (const auto& [cs, ccell] : child_it->second) {
+          double edge_cost = 0;
+          AttrSet arrives = ccell.enc;
+          auto info = ccell.enc_info;
+          auto deferred = ccell.deferred;
+
+          // Trigger deferred A-term encryptions: s may only see the leaked
+          // attribute encrypted, so the leak site must have encrypted it.
+          const AttrSet es = policy_->EncView(s);
+          for (auto it = deferred.begin(); it != deferred.end();) {
+            AttrId a = it->first;
+            if (es.Contains(a)) {
+              edge_cost += EncSchemeCpuMicros(
+                               static_cast<EncScheme>(it->second.level)) *
+                           it->second.usd_per_micro;
+              if (child_visible.Contains(a)) {
+                arrives.Insert(a);
+                info[a] = it->second;
+              }
+              it = deferred.erase(it);
+            } else {
+              ++it;
+            }
+          }
+
+          // Def 5.4 edge encryption at cs of what s must not see plaintext.
+          AttrSet edge_enc = es.Intersect(child_visible.Difference(arrives));
+          double usd_per_micro_here =
+              cm.CpuCost(child_rows, cs).total_usd();  // 1 µs per value
+          edge_cost +=
+              kSymMicros * static_cast<double>(edge_enc.size()) *
+              usd_per_micro_here;
+          edge_enc.ForEach([&](AttrId a) {
+            arrives.Insert(a);
+            info[a] = DpCell::EncInfo{usd_per_micro_here, 0};
+          });
+
+          // Decryption at s (static Ap plus greedy decrypt-at-operator).
+          AttrSet dec = ap.Intersect(arrives);
+          edge_cost += kSymMicros * static_cast<double>(dec.size()) *
+                       cm.CpuCost(child_rows, s).total_usd();
+          dec.ForEach([&](AttrId a) {
+            arrives.Erase(a);
+            info.erase(a);
+          });
+
+          // Scheme upgrades: operand attributes evaluated while encrypted
+          // must carry an operation-capable scheme, paid at their true
+          // encryption site.
+          op_attrs.Intersect(arrives).ForEach([&](AttrId a) {
+            uint8_t need =
+                static_cast<uint8_t>(RequiredSchemeAt(n, a));
+            auto it = info.find(a);
+            if (it == info.end() || it->second.level >= need) return;
+            edge_cost +=
+                (EncSchemeCpuMicros(static_cast<EncScheme>(need)) -
+                 EncSchemeCpuMicros(static_cast<EncScheme>(it->second.level))) *
+                it->second.usd_per_micro;
+            it->second.level = need;
+          });
+
+          // New implicit plaintext leaks at this operation (A-term source).
+          ImplicitMaking(n).Intersect(child_visible).ForEach([&](AttrId a) {
+            if (arrives.Contains(a) || deferred.count(a) > 0) return;
+            DpCell::EncInfo leak;
+            leak.usd_per_micro = usd_per_micro_here;
+            leak.level = static_cast<uint8_t>(RequiredSchemeAt(n, a));
+            deferred.emplace(a, leak);
+          });
+
+          double bytes = child_rows * cm.RowBytes(child_visible, arrives);
+          edge_cost += cm.TransferCost(bytes, cs, s).total_usd();
+          double total = ccell.cost + edge_cost;
+          if (total < best) {
+            best = total;
+            best_s = cs;
+            best_arrives = arrives;
+            best_info = std::move(info);
+            best_deferred = std::move(deferred);
+          }
+        }
+        if (best_s == kInvalidSubject) {
+          feasible = false;
+          break;
+        }
+        cell.cost += best;
+        cell.child_choice.push_back(best_s);
+        cell.enc.InsertAll(best_arrives);
+        for (auto& [a, ei] : best_info) cell.enc_info.emplace(a, ei);
+        for (auto& [a, ei] : best_deferred) cell.deferred.emplace(a, ei);
+      }
+      if (feasible) {
+        cell.enc = cell.enc.Intersect(n_visible);
+        for (auto it = cell.enc_info.begin(); it != cell.enc_info.end();) {
+          if (!cell.enc.Contains(it->first)) {
+            it = cell.enc_info.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        row[s] = std::move(cell);
+      }
+    }
+    if (row.empty()) {
+      return Status::Unauthorized(StrFormat(
+          "no feasible assignment for node %d", n->id));
+    }
+  }
+
+  // Root choice: add delivery to the user (transfer at ciphertext widths
+  // plus the user's final decryption of what it may read).
+  const AttrSet root_visible = cp.at(root->id).cascade_profile.Visible();
+  double best = std::numeric_limits<double>::infinity();
+  SubjectId best_root = kInvalidSubject;
+  for (const auto& [s, cell] : dp.at(root->id)) {
+    double bytes = est.at(root->id).rows * cm.RowBytes(root_visible, cell.enc);
+    AttrSet dec = cell.enc.Intersect(policy_->PlainView(user));
+    double dec_micros =
+        kSymMicros * static_cast<double>(dec.size()) * est.at(root->id).rows;
+    double total = cell.cost + cm.TransferCost(bytes, s, user).total_usd() +
+                   cm.CpuCost(dec_micros, user).total_usd();
+    if (total < best) {
+      best = total;
+      best_root = s;
+    }
+  }
+  if (best_root == kInvalidSubject) {
+    return Status::Unauthorized("no feasible root assignment");
+  }
+
+  // Reconstruct λ top-down.
+  AssignmentResult result;
+  result.dp_cost_usd = best;
+  std::vector<std::pair<const PlanNode*, SubjectId>> stack{{root, best_root}};
+  while (!stack.empty()) {
+    auto [n, s] = stack.back();
+    stack.pop_back();
+    if (n->is_leaf()) continue;  // leaves stay with their owners
+    result.lambda[n->id] = s;
+    const DpCell& cell = dp.at(n->id).at(s);
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      stack.push_back({n->child(i), cell.child_choice[i]});
+    }
+  }
+
+  MPQ_ASSIGN_OR_RETURN(result, FinishResult(root, std::move(result), user));
+  // Sec 7: when the cost-optimal plan exceeds the admitted performance
+  // overhead, search Λ exhaustively for the cheapest plan within it.
+  if (max_elapsed_s_ > 0 && result.exact_cost.elapsed_s > max_elapsed_s_) {
+    return OptimizeExhaustive(root, cp, user);
+  }
+  return result;
+}
+
+Result<AssignmentResult> AssignmentOptimizer::FinishResult(
+    const PlanNode* root, AssignmentResult result, SubjectId user) const {
+  MPQ_ASSIGN_OR_RETURN(
+      result.extended,
+      BuildMinimallyExtendedPlan(root, result.lambda, *policy_, user));
+  // Exact costing under assignment-aware schemes (Sec 6: assignment and
+  // encryption decisions combined).
+  result.refined_schemes =
+      RefineSchemesForPlan(result.extended, cost_model_->catalog());
+  CostModel refined_cm(&cost_model_->catalog(), &cost_model_->prices(),
+                       &cost_model_->topology(), &result.refined_schemes);
+  result.exact_cost = CostExtendedPlan(result.extended, refined_cm, user);
+  return result;
+}
+
+Result<AssignmentResult> AssignmentOptimizer::OptimizeExhaustive(
+    const PlanNode* root, const CandidatePlan& cp, SubjectId user,
+    uint64_t max_combinations) const {
+  std::vector<const PlanNode*> internal;
+  for (const PlanNode* n : PostOrder(root)) {
+    if (!n->is_leaf()) internal.push_back(n);
+  }
+  std::vector<std::vector<SubjectId>> choices;
+  uint64_t combos = 1;
+  for (const PlanNode* n : internal) {
+    std::vector<SubjectId> cands;
+    cp.at(n->id).candidates.ForEach(
+        [&](AttrId s) { cands.push_back(static_cast<SubjectId>(s)); });
+    if (cands.empty()) {
+      return Status::Unauthorized(
+          StrFormat("no candidates for node %d", n->id));
+    }
+    combos *= cands.size();
+    if (combos > max_combinations) {
+      return Status::InvalidArgument(StrFormat(
+          "exhaustive search space too large (> %llu combinations)",
+          static_cast<unsigned long long>(max_combinations)));
+    }
+    choices.push_back(std::move(cands));
+  }
+
+  std::optional<AssignmentResult> best;
+  std::vector<size_t> idx(internal.size(), 0);
+  for (;;) {
+    Assignment lambda;
+    for (size_t i = 0; i < internal.size(); ++i) {
+      lambda[internal[i]->id] = choices[i][idx[i]];
+    }
+    Result<ExtendedPlan> ext =
+        BuildMinimallyExtendedPlan(root, lambda, *policy_, user);
+    if (ext.ok()) {
+      SchemeMap refined = RefineSchemesForPlan(*ext, cost_model_->catalog());
+      CostModel refined_cm(&cost_model_->catalog(), &cost_model_->prices(),
+                           &cost_model_->topology(), &refined);
+      CostBreakdown cost = CostExtendedPlan(*ext, refined_cm, user);
+      bool within_threshold =
+          max_elapsed_s_ <= 0 || cost.elapsed_s <= max_elapsed_s_;
+      if (within_threshold &&
+          (!best.has_value() ||
+           cost.total_usd() < best->exact_cost.total_usd())) {
+        AssignmentResult r;
+        r.lambda = std::move(lambda);
+        r.extended = std::move(ext).value();
+        r.refined_schemes = std::move(refined);
+        r.exact_cost = cost;
+        r.dp_cost_usd = cost.total_usd();
+        best = std::move(r);
+      }
+    }
+    // Advance the odometer.
+    size_t k = 0;
+    while (k < idx.size()) {
+      if (++idx[k] < choices[k].size()) break;
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == idx.size()) break;
+  }
+  if (!best.has_value()) {
+    if (max_elapsed_s_ > 0) {
+      return Status::NotFound(StrFormat(
+          "no authorized assignment within the %.2fs performance threshold",
+          max_elapsed_s_));
+    }
+    return Status::Unauthorized("no authorized assignment exists");
+  }
+  return std::move(*best);
+}
+
+}  // namespace mpq

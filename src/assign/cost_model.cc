@@ -1,0 +1,225 @@
+#include "assign/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpq {
+
+namespace {
+
+// Per-row cpu constants in microseconds, calibrated to a PostgreSQL-class
+// disk-based engine (the paper feeds its cost model from the PostgreSQL
+// optimizer's estimates). With these, cpu and network i/o are the two
+// significant components, as Sec 7 expects.
+constexpr double kScanMicros = 2.0;
+constexpr double kSelectMicrosPerPred = 8.0;
+constexpr double kJoinBuildMicros = 20.0;
+constexpr double kJoinProbeMicros = 20.0;
+constexpr double kJoinOutputMicros = 10.0;
+constexpr double kGroupMicros = 32.0;
+constexpr double kProjectMicros = 2.0;
+constexpr double kUdfMicros = 500.0;  // udfs are computation-heavy (Sec 7)
+
+constexpr double kEqValueSelectivity = 0.05;
+constexpr double kRangeSelectivity = 0.33;
+constexpr double kNeSelectivity = 0.9;
+constexpr double kEqAttrSelectivity = 0.1;
+constexpr double kGroupReduction = 0.1;
+
+}  // namespace
+
+double CostModel::AttrBytes(AttrId a, bool encrypted) const {
+  RelId r = catalog_->RelationOf(a);
+  double plain = 8.0;
+  if (r != kInvalidRel &&
+      catalog_->Get(r).schema.ColumnFor(a).type == DataType::kString) {
+    plain = 16.0;
+  }
+  if (!encrypted) return plain;
+  EncScheme s = EncScheme::kDeterministic;
+  if (schemes_ != nullptr) {
+    auto it = schemes_->find(a);
+    if (it != schemes_->end()) s = it->second;
+  }
+  return EncSchemeCiphertextBytes(s, plain);
+}
+
+double CostModel::RowBytes(const AttrSet& visible,
+                           const AttrSet& encrypted) const {
+  double bytes = 0;
+  visible.ForEach(
+      [&](AttrId a) { bytes += AttrBytes(a, encrypted.Contains(a)); });
+  return bytes;
+}
+
+double CostModel::ProfileBytes(const RelationProfile& p) const {
+  double bytes = 0;
+  p.vp.ForEach([&](AttrId a) { bytes += AttrBytes(a, false); });
+  p.ve.ForEach([&](AttrId a) { bytes += AttrBytes(a, true); });
+  return bytes;
+}
+
+double CostModel::EstimateRows(
+    const PlanNode* n, const std::unordered_map<int, NodeEstimate>& done) const {
+  auto child_rows = [&](size_t i) {
+    return done.at(n->child(i)->id).rows;
+  };
+  switch (n->kind) {
+    case OpKind::kBase:
+      return std::max(1.0, catalog_->Get(n->rel).base_rows);
+    case OpKind::kProject:
+    case OpKind::kUdf:
+    case OpKind::kEncrypt:
+    case OpKind::kDecrypt:
+      return child_rows(0);
+    case OpKind::kSelect: {
+      double rows = child_rows(0);
+      for (const Predicate& p : n->predicates) {
+        double sel;
+        if (p.rhs_is_attr) {
+          sel = p.op == CmpOp::kEq ? kEqAttrSelectivity : kRangeSelectivity;
+        } else if (p.op == CmpOp::kEq) {
+          sel = kEqValueSelectivity;
+        } else if (p.op == CmpOp::kNe) {
+          sel = kNeSelectivity;
+        } else {
+          sel = kRangeSelectivity;
+        }
+        rows *= sel;
+      }
+      return std::max(1.0, rows);
+    }
+    case OpKind::kCartesian:
+      return std::max(1.0, child_rows(0) * child_rows(1));
+    case OpKind::kJoin: {
+      double l = child_rows(0), r = child_rows(1);
+      // Foreign-key-style estimate for the first equality predicate; each
+      // further predicate filters.
+      double rows = l * r / std::max(1.0, std::max(l, r));
+      for (size_t i = 1; i < n->predicates.size(); ++i) rows *= 0.8;
+      return std::max(1.0, rows);
+    }
+    case OpKind::kGroupBy: {
+      double rows = child_rows(0);
+      if (n->group_by.empty()) return 1.0;  // global aggregate
+      double groups = rows * kGroupReduction *
+                      static_cast<double>(n->group_by.size());
+      return std::max(1.0, std::min(rows, groups));
+    }
+  }
+  return 1.0;
+}
+
+double CostModel::OpCpuMicros(
+    const PlanNode* n, double out_rows,
+    const std::vector<const NodeEstimate*>& children) const {
+  auto in_rows = [&](size_t i) { return children[i]->rows; };
+  switch (n->kind) {
+    case OpKind::kBase:
+      return out_rows * kScanMicros;
+    case OpKind::kProject:
+      return in_rows(0) * kProjectMicros;
+    case OpKind::kSelect:
+      return in_rows(0) * kSelectMicrosPerPred *
+             static_cast<double>(n->predicates.size());
+    case OpKind::kCartesian:
+      return out_rows * kJoinOutputMicros;
+    case OpKind::kJoin:
+      return in_rows(0) * kJoinBuildMicros + in_rows(1) * kJoinProbeMicros +
+             out_rows * kJoinOutputMicros;
+    case OpKind::kGroupBy:
+      return in_rows(0) * kGroupMicros *
+             std::max<size_t>(1, n->aggregates.size());
+    case OpKind::kUdf:
+      return in_rows(0) * kUdfMicros;
+    case OpKind::kEncrypt:
+    case OpKind::kDecrypt: {
+      double micros = 0;
+      n->attrs.ForEach([&](AttrId a) {
+        EncScheme s = EncScheme::kDeterministic;
+        if (schemes_ != nullptr) {
+          auto it = schemes_->find(a);
+          if (it != schemes_->end()) s = it->second;
+        }
+        micros += EncSchemeCpuMicros(s);
+      });
+      return in_rows(0) * micros;
+    }
+  }
+  return 0;
+}
+
+std::unordered_map<int, NodeEstimate> CostModel::EstimatePlan(
+    const PlanNode* root) const {
+  std::unordered_map<int, NodeEstimate> out;
+  for (const PlanNode* n : PostOrder(root)) {
+    NodeEstimate est;
+    est.rows = EstimateRows(n, out);
+    // Row width from the node's profile when annotated; otherwise from the
+    // plaintext visible attributes.
+    double width = ProfileBytes(n->profile);
+    if (width <= 0) {
+      AttrSet visible = VisibleAttrs(n, *catalog_);
+      visible.ForEach([&](AttrId a) { width += AttrBytes(a, false); });
+    }
+    est.bytes = est.rows * width;
+    std::vector<const NodeEstimate*> children;
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      children.push_back(&out.at(n->child(i)->id));
+    }
+    est.cpu_micros = OpCpuMicros(n, est.rows, children);
+    out.emplace(n->id, est);
+  }
+  return out;
+}
+
+CostBreakdown CostModel::NodeCost(
+    const PlanNode* n, const NodeEstimate& est,
+    const std::vector<const NodeEstimate*>& child_est, SubjectId s) const {
+  const PriceList& p = prices_->Get(s);
+  CostBreakdown out;
+  out.cpu_usd = est.cpu_micros / 1e6 / 3600.0 * p.cpu_usd_per_hour;
+  double io_bytes = est.bytes;
+  for (const NodeEstimate* c : child_est) io_bytes += c->bytes;
+  // Base relations are read from local storage.
+  if (n->kind == OpKind::kBase) io_bytes += est.bytes;
+  out.io_usd = io_bytes / 1e9 * p.io_usd_per_gb;
+  out.elapsed_s = est.cpu_micros / 1e6;
+  return out;
+}
+
+CostBreakdown CostModel::TransferCost(double bytes, SubjectId from,
+                                      SubjectId to) const {
+  CostBreakdown out;
+  if (from == to || bytes <= 0) return out;
+  out.net_usd = bytes / 1e9 * prices_->Get(from).net_usd_per_gb;
+  out.elapsed_s = bytes * 8.0 / topology_->BandwidthBps(from, to);
+  return out;
+}
+
+CostBreakdown CostModel::CpuCost(double cpu_micros, SubjectId s) const {
+  CostBreakdown out;
+  out.cpu_usd = cpu_micros / 1e6 / 3600.0 * prices_->Get(s).cpu_usd_per_hour;
+  out.elapsed_s = cpu_micros / 1e6;
+  return out;
+}
+
+CostBreakdown CostModel::CryptoCost(const AttrSet& attrs, double rows,
+                                    SubjectId s) const {
+  double micros = 0;
+  attrs.ForEach([&](AttrId a) {
+    EncScheme scheme = EncScheme::kDeterministic;
+    if (schemes_ != nullptr) {
+      auto it = schemes_->find(a);
+      if (it != schemes_->end()) scheme = it->second;
+    }
+    micros += EncSchemeCpuMicros(scheme);
+  });
+  micros *= rows;
+  CostBreakdown out;
+  out.cpu_usd = micros / 1e6 / 3600.0 * prices_->Get(s).cpu_usd_per_hour;
+  out.elapsed_s = micros / 1e6;
+  return out;
+}
+
+}  // namespace mpq

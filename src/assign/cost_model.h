@@ -1,0 +1,101 @@
+// Economic cost model (Sec 7): Cq = Σ_n (C_cpu + C_io + C_net_io), with
+// per-node cardinality/size estimation and per-scheme crypto costs.
+
+#ifndef MPQ_ASSIGN_COST_MODEL_H_
+#define MPQ_ASSIGN_COST_MODEL_H_
+
+#include <unordered_map>
+
+#include "algebra/plan.h"
+#include "assign/schemes.h"
+#include "net/pricing.h"
+#include "net/topology.h"
+
+namespace mpq {
+
+/// Estimated output of a plan node.
+struct NodeEstimate {
+  double rows = 0;        ///< Output cardinality.
+  double bytes = 0;       ///< Output size (ciphertext inflation included).
+  double cpu_micros = 0;  ///< Cpu time to execute the node (crypto included
+                          ///< for encrypt/decrypt nodes).
+};
+
+/// Cost components in USD plus estimated elapsed time.
+struct CostBreakdown {
+  double cpu_usd = 0;
+  double io_usd = 0;
+  double net_usd = 0;
+  double elapsed_s = 0;
+
+  double total_usd() const { return cpu_usd + io_usd + net_usd; }
+
+  CostBreakdown& operator+=(const CostBreakdown& o) {
+    cpu_usd += o.cpu_usd;
+    io_usd += o.io_usd;
+    net_usd += o.net_usd;
+    elapsed_s += o.elapsed_s;
+    return *this;
+  }
+};
+
+/// Cardinality, size and cost estimation.
+class CostModel {
+ public:
+  CostModel(const Catalog* catalog, const PricingTable* prices,
+            const Topology* topology, const SchemeMap* schemes)
+      : catalog_(catalog),
+        prices_(prices),
+        topology_(topology),
+        schemes_(schemes) {}
+
+  /// Estimates every node of an (annotated) plan, keyed by node id. Works on
+  /// both original and extended plans; encrypted attribute sizes follow the
+  /// node profiles and the scheme map.
+  std::unordered_map<int, NodeEstimate> EstimatePlan(const PlanNode* root) const;
+
+  /// Cost of executing node `n` (with estimate `est`, operand estimates
+  /// `child_est`) at subject `s`: cpu + local i/o.
+  CostBreakdown NodeCost(const PlanNode* n, const NodeEstimate& est,
+                         const std::vector<const NodeEstimate*>& child_est,
+                         SubjectId s) const;
+
+  /// Cost of shipping `bytes` from `from` to `to` (zero when equal):
+  /// sender egress + transfer time.
+  CostBreakdown TransferCost(double bytes, SubjectId from, SubjectId to) const;
+
+  /// Cpu cost (USD) at subject `s` of encrypting/decrypting `rows` values of
+  /// each attribute in `attrs` (schemes from the scheme map).
+  CostBreakdown CryptoCost(const AttrSet& attrs, double rows, SubjectId s) const;
+
+  /// Cpu cost (USD) of `cpu_micros` microseconds of work at subject `s`.
+  CostBreakdown CpuCost(double cpu_micros, SubjectId s) const;
+
+  /// Width in bytes of attribute `a` in the given (plaintext/encrypted) form.
+  double AttrBytes(AttrId a, bool encrypted) const;
+
+  /// Row width for a relation with `visible` attributes of which `encrypted`
+  /// are in ciphertext form (size inflation included).
+  double RowBytes(const AttrSet& visible, const AttrSet& encrypted) const;
+
+  const SchemeMap* schemes() const { return schemes_; }
+  const PricingTable& prices() const { return *prices_; }
+  const Topology& topology() const { return *topology_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  double EstimateRows(const PlanNode* n,
+                      const std::unordered_map<int, NodeEstimate>& done) const;
+  double ProfileBytes(const RelationProfile& p) const;
+  double OpCpuMicros(const PlanNode* n, double out_rows,
+                     const std::vector<const NodeEstimate*>& children) const;
+
+  const Catalog* catalog_;
+  const PricingTable* prices_;
+  const Topology* topology_;
+  const SchemeMap* schemes_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_ASSIGN_COST_MODEL_H_

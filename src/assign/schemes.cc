@@ -1,0 +1,278 @@
+#include "assign/schemes.h"
+
+#include "common/disjoint_set.h"
+
+namespace mpq {
+
+namespace {
+
+/// Ops a cluster's ciphertexts would need to support.
+struct ClusterOps {
+  bool eq = false;       // equality predicates, grouping, equi-joins
+  bool range = false;    // order predicates
+  bool minmax = false;   // min/max aggregation
+  bool hom = false;      // sum/avg aggregation
+  bool has_string = false;
+};
+
+DataType AttrType(AttrId a, const Catalog& catalog) {
+  RelId r = catalog.RelationOf(a);
+  if (r == kInvalidRel) return DataType::kInt64;  // synthetic (count outputs)
+  return catalog.Get(r).schema.ColumnFor(a).type;
+}
+
+/// Clusters attributes connected by attr-attr comparisons anywhere in the
+/// plan (they must share key and scheme).
+DisjointSet BuildClusters(const PlanNode* root) {
+  DisjointSet ds;
+  for (const PlanNode* n : PostOrder(root)) {
+    for (const Predicate& p : n->predicates) {
+      if (p.rhs_is_attr) ds.Union(p.lhs, p.rhs_attr);
+    }
+  }
+  return ds;
+}
+
+AttrId ClusterRep(const DisjointSet& ds, AttrId a) {
+  if (!ds.IsMember(a)) return a;
+  // The smallest member is the deterministic representative.
+  return ds.ClassOf(a).ToVector().front();
+}
+
+std::unordered_map<AttrId, ClusterOps> CollectOps(const PlanNode* root,
+                                                  const Catalog& catalog,
+                                                  const DisjointSet& ds) {
+  std::unordered_map<AttrId, ClusterOps> ops;
+  auto touch = [&](AttrId a) -> ClusterOps& {
+    ClusterOps& co = ops[ClusterRep(ds, a)];
+    if (AttrType(a, catalog) == DataType::kString) co.has_string = true;
+    return co;
+  };
+  for (const PlanNode* n : PostOrder(root)) {
+    for (const Predicate& p : n->predicates) {
+      bool eq = IsEquality(p.op) || p.op == CmpOp::kNe;
+      touch(p.lhs).eq |= eq;
+      touch(p.lhs).range |= !eq;
+      if (p.rhs_is_attr) {
+        touch(p.rhs_attr).eq |= eq;
+        touch(p.rhs_attr).range |= !eq;
+      }
+    }
+    if (n->kind == OpKind::kGroupBy) {
+      n->group_by.ForEach([&](AttrId a) { touch(a).eq = true; });
+      for (const Aggregate& agg : n->aggregates) {
+        if (agg.func == AggFunc::kSum || agg.func == AggFunc::kAvg) {
+          touch(agg.attr).hom = true;
+        } else if (agg.func == AggFunc::kMin || agg.func == AggFunc::kMax) {
+          touch(agg.attr).minmax = true;
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+/// The scheme a cluster gets; ops it cannot satisfy become plaintext needs.
+EncScheme ResolveScheme(const ClusterOps& co, const SchemeCaps& caps) {
+  bool numeric = !co.has_string;
+  if (co.hom && caps.hom && numeric) return EncScheme::kPaillier;
+  if ((co.range || co.minmax) && caps.ope && numeric) return EncScheme::kOpe;
+  if ((co.eq || co.range || co.minmax) && caps.det) {
+    return EncScheme::kDeterministic;
+  }
+  return EncScheme::kRandom;
+}
+
+bool SchemeSupports(EncScheme s, bool is_range_op) {
+  switch (s) {
+    case EncScheme::kOpe:
+      return true;  // order implies equality
+    case EncScheme::kDeterministic:
+      return !is_range_op;
+    case EncScheme::kRandom:
+    case EncScheme::kPaillier:
+      return false;
+  }
+  return false;
+}
+
+bool IsEncCapableUdf(const PlanNode* n, const SchemeCaps& caps) {
+  return n->udf_name.rfind(caps.enc_udf_prefix, 0) == 0;
+}
+
+}  // namespace
+
+SchemeMap AnalyzeSchemes(const PlanNode* root, const Catalog& catalog,
+                         const SchemeCaps& caps) {
+  DisjointSet ds = BuildClusters(root);
+  auto ops = CollectOps(root, catalog, ds);
+  SchemeMap out;
+  // Every attribute mentioned anywhere gets a scheme; unmentioned attributes
+  // default to RND at use sites via CryptoPlan's defaults.
+  for (const PlanNode* n : PostOrder(root)) {
+    AttrSet mentioned;
+    if (n->kind == OpKind::kBase) {
+      mentioned = catalog.Get(n->rel).schema.Attrs();
+    }
+    mentioned.InsertAll(PredicatesAttrs(n->predicates));
+    mentioned.InsertAll(n->group_by);
+    for (const Aggregate& agg : n->aggregates) {
+      if (agg.attr != kInvalidAttr) mentioned.Insert(agg.attr);
+      mentioned.Insert(agg.out_attr);
+    }
+    mentioned.InsertAll(n->udf_inputs);
+    mentioned.ForEach([&](AttrId a) {
+      AttrId rep = ClusterRep(ds, a);
+      auto it = ops.find(rep);
+      EncScheme s = it == ops.end() ? EncScheme::kRandom
+                                    : ResolveScheme(it->second, caps);
+      out[a] = s;
+    });
+  }
+  return out;
+}
+
+Status DerivePlaintextNeeds(PlanNode* root, const Catalog& catalog,
+                            const SchemeCaps& caps) {
+  DisjointSet ds = BuildClusters(root);
+  auto ops = CollectOps(root, catalog, ds);
+  auto scheme_of = [&](AttrId a) {
+    auto it = ops.find(ClusterRep(ds, a));
+    return it == ops.end() ? EncScheme::kRandom
+                           : ResolveScheme(it->second, caps);
+  };
+
+  for (PlanNode* n : PostOrder(root)) {
+    AttrSet needs;
+    for (const Predicate& p : n->predicates) {
+      bool is_range = !IsEquality(p.op) && p.op != CmpOp::kNe;
+      bool ok = SchemeSupports(scheme_of(p.lhs), is_range);
+      if (p.rhs_is_attr) ok = ok && SchemeSupports(scheme_of(p.rhs_attr), is_range);
+      if (!ok) {
+        needs.InsertAll(p.Attrs());
+      }
+    }
+    if (n->kind == OpKind::kGroupBy) {
+      n->group_by.ForEach([&](AttrId a) {
+        EncScheme s = scheme_of(a);
+        if (s != EncScheme::kDeterministic && s != EncScheme::kOpe) {
+          needs.Insert(a);
+        }
+      });
+      for (const Aggregate& agg : n->aggregates) {
+        switch (agg.func) {
+          case AggFunc::kSum:
+          case AggFunc::kAvg:
+            if (scheme_of(agg.attr) != EncScheme::kPaillier) {
+              needs.Insert(agg.attr);
+            }
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            if (scheme_of(agg.attr) != EncScheme::kOpe) {
+              needs.Insert(agg.attr);
+            }
+            break;
+          case AggFunc::kCount:
+          case AggFunc::kCountStar:
+            break;
+        }
+      }
+    }
+    if (n->kind == OpKind::kUdf && !IsEncCapableUdf(n, caps)) {
+      needs.InsertAll(n->udf_inputs);
+    }
+    n->needs_plaintext = needs;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+EncScheme MaxScheme(EncScheme a, EncScheme b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+}  // namespace
+
+SchemeMap RefineSchemesForPlan(const ExtendedPlan& ext,
+                               const Catalog& catalog) {
+  (void)catalog;
+  SchemeMap out;
+  ext.encrypted_attrs.ForEach(
+      [&](AttrId a) { out[a] = EncScheme::kRandom; });
+
+  auto require = [&](AttrId a, EncScheme s) {
+    auto it = out.find(a);
+    if (it != out.end()) it->second = MaxScheme(it->second, s);
+  };
+
+  for (const PlanNode* n : PostOrder(ext.plan.get())) {
+    if (n->is_leaf()) continue;
+    // Encrypted attributes of the operands this operator reads.
+    AttrSet operand_enc;
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      operand_enc.InsertAll(n->child(i)->profile.ve);
+    }
+    for (const Predicate& p : n->predicates) {
+      bool is_range = !IsEquality(p.op) && p.op != CmpOp::kNe;
+      EncScheme need = is_range ? EncScheme::kOpe : EncScheme::kDeterministic;
+      if (operand_enc.Contains(p.lhs)) require(p.lhs, need);
+      if (p.rhs_is_attr && operand_enc.Contains(p.rhs_attr)) {
+        require(p.rhs_attr, need);
+      }
+    }
+    n->group_by.ForEach([&](AttrId a) {
+      if (operand_enc.Contains(a)) require(a, EncScheme::kDeterministic);
+    });
+    for (const Aggregate& agg : n->aggregates) {
+      if (agg.attr == kInvalidAttr || !operand_enc.Contains(agg.attr)) continue;
+      switch (agg.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          require(agg.attr, EncScheme::kPaillier);
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          require(agg.attr, EncScheme::kOpe);
+          break;
+        default:
+          break;
+      }
+    }
+    n->udf_inputs.ForEach([&](AttrId a) {
+      if (operand_enc.Contains(a)) require(a, EncScheme::kDeterministic);
+    });
+  }
+
+  // Unify within root equivalence classes (shared key ⇒ shared scheme).
+  for (const AttrSet& cls : ext.plan->profile.eq.Classes()) {
+    EncScheme strongest = EncScheme::kRandom;
+    bool any = false;
+    cls.ForEach([&](AttrId a) {
+      auto it = out.find(a);
+      if (it != out.end()) {
+        strongest = MaxScheme(strongest, it->second);
+        any = true;
+      }
+    });
+    if (any) {
+      cls.ForEach([&](AttrId a) {
+        auto it = out.find(a);
+        if (it != out.end()) it->second = strongest;
+      });
+    }
+  }
+  return out;
+}
+
+CryptoPlan MakeCryptoPlan(const SchemeMap& schemes, const PlanKeys& keys) {
+  CryptoPlan cp;
+  for (const auto& [attr, scheme] : schemes) cp.scheme_of[attr] = scheme;
+  for (const KeyGroup& g : keys.groups) {
+    g.attrs.ForEach([&](AttrId a) { cp.key_of[a] = g.key_id; });
+  }
+  return cp;
+}
+
+}  // namespace mpq

@@ -1,0 +1,67 @@
+// Operation requirements and per-attribute scheme selection (Secs 5-6).
+//
+// DerivePlaintextNeeds fills PlanNode::needs_plaintext (the Ap sets of
+// Def 5.2) from the encryption schemes available: an operation an available
+// scheme can evaluate over ciphertexts imposes no plaintext requirement;
+// anything else must see its attributes in the clear.
+//
+// AnalyzeSchemes picks, per attribute *cluster* (attributes connected by
+// comparisons must share key and scheme), the strongest scheme supporting
+// the encrypted operations that remain: HOM (Paillier) for additive
+// aggregates, OPE for order comparisons and min/max, DET for equality-only,
+// RND when ciphertexts are never operated on.
+
+#ifndef MPQ_ASSIGN_SCHEMES_H_
+#define MPQ_ASSIGN_SCHEMES_H_
+
+#include <unordered_map>
+
+#include "algebra/plan.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "crypto/scheme.h"
+#include "exec/executor.h"
+#include "extend/keys.h"
+
+namespace mpq {
+
+/// Which encrypted-execution techniques the deployment offers.
+struct SchemeCaps {
+  bool det = true;  ///< Equality / grouping / equi-join on ciphertexts.
+  bool ope = true;  ///< Order comparisons and min/max on ciphertexts.
+  bool hom = true;  ///< Additive aggregation (sum/avg) on ciphertexts.
+  /// Udfs marked with this name-prefix run over ciphertexts; all others
+  /// require plaintext inputs.
+  std::string enc_udf_prefix = "enc_";
+};
+
+/// Per-attribute scheme choice (attributes sharing a comparison cluster get
+/// the same scheme).
+using SchemeMap = std::unordered_map<AttrId, EncScheme>;
+
+/// Fills needs_plaintext on every node of the plan. Idempotent.
+Status DerivePlaintextNeeds(PlanNode* root, const Catalog& catalog,
+                            const SchemeCaps& caps = {});
+
+/// Chooses schemes per attribute cluster, consistent with the plaintext
+/// requirements DerivePlaintextNeeds derives from the same caps.
+SchemeMap AnalyzeSchemes(const PlanNode* root, const Catalog& catalog,
+                         const SchemeCaps& caps = {});
+
+/// Assembles the executable CryptoPlan: schemes from `schemes`, key ids from
+/// the Def 6.1 key groups.
+CryptoPlan MakeCryptoPlan(const SchemeMap& schemes, const PlanKeys& keys);
+
+/// Assignment-aware scheme refinement (Sec 6: the optimizer combines
+/// assignment and encryption decisions): given a concrete extended plan,
+/// picks per attribute the strongest scheme among those its *actually
+/// executed-on-ciphertext* operations require — attributes that only transit
+/// encrypted (e.g. through a join that never touches them, decrypted at a
+/// plaintext-authorized operator) get cheap RND instead of worst-case
+/// HOM/OPE. Attributes in a shared root equivalence class are unified to the
+/// strongest member scheme (they share a key, Def 6.1).
+SchemeMap RefineSchemesForPlan(const ExtendedPlan& ext, const Catalog& catalog);
+
+}  // namespace mpq
+
+#endif  // MPQ_ASSIGN_SCHEMES_H_

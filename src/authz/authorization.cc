@@ -1,0 +1,18 @@
+#include "authz/authorization.h"
+
+namespace mpq {
+
+std::string Authorization::ToString(const Catalog& catalog,
+                                    const SubjectRegistry& subjects) const {
+  std::string out = "[";
+  out += plain.ToString(catalog.attrs());
+  out += ",";
+  out += enc.ToString(catalog.attrs());
+  out += "]->";
+  out += is_any ? "any" : subjects.Name(subject);
+  out += " on ";
+  out += catalog.Get(rel).name;
+  return out;
+}
+
+}  // namespace mpq

@@ -1,0 +1,32 @@
+// Authorizations (Def 2.1): rules [P,E] -> S granting subject S plaintext
+// visibility over attributes P and encrypted visibility over attributes E of
+// one relation. `S` may be the distinguished default `any`.
+
+#ifndef MPQ_AUTHZ_AUTHORIZATION_H_
+#define MPQ_AUTHZ_AUTHORIZATION_H_
+
+#include <string>
+
+#include "authz/subject.h"
+#include "catalog/catalog.h"
+#include "common/attr_set.h"
+
+namespace mpq {
+
+/// One authorization rule. `is_any` marks the default rule for a relation,
+/// applying to every subject without an explicit rule (Sec 2).
+struct Authorization {
+  RelId rel = kInvalidRel;
+  bool is_any = false;
+  SubjectId subject = kInvalidSubject;  ///< Valid iff !is_any.
+  AttrSet plain;                        ///< P: plaintext-visible attributes.
+  AttrSet enc;                          ///< E: encrypted-visible attributes.
+
+  /// "[SDT,B]→Y on Hosp" rendering.
+  std::string ToString(const Catalog& catalog,
+                       const SubjectRegistry& subjects) const;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_AUTHZ_AUTHORIZATION_H_

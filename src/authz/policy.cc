@@ -1,0 +1,165 @@
+#include "authz/policy.h"
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+Status Policy::ValidateRule(RelId rel, const AttrSet& plain,
+                            const AttrSet& enc) const {
+  if (rel == kInvalidRel || rel >= catalog_->num_relations()) {
+    return Status::InvalidArgument("authorization on unknown relation");
+  }
+  if (plain.Intersects(enc)) {
+    AttrSet both = plain.Intersect(enc);
+    return Status::InvalidArgument(StrFormat(
+        "Def 2.1 requires P ∩ E = ∅; overlapping attributes: [%s]",
+        both.ToString(catalog_->attrs()).c_str()));
+  }
+  AttrSet rel_attrs = catalog_->Get(rel).schema.Attrs();
+  AttrSet granted = plain.Union(enc);
+  if (!granted.IsSubsetOf(rel_attrs)) {
+    AttrSet foreign = granted.Difference(rel_attrs);
+    return Status::InvalidArgument(StrFormat(
+        "authorization grants attributes [%s] not in relation %s",
+        foreign.ToString(catalog_->attrs()).c_str(),
+        catalog_->Get(rel).name.c_str()));
+  }
+  return Status::OK();
+}
+
+void Policy::InvalidateViews() { views_valid_ = false; }
+
+Status Policy::Grant(RelId rel, SubjectId subject, AttrSet plain, AttrSet enc) {
+  MPQ_RETURN_NOT_OK(ValidateRule(rel, plain, enc));
+  if (subject == kInvalidSubject || subject >= subjects_->size()) {
+    return Status::InvalidArgument("authorization for unknown subject");
+  }
+  auto key = std::make_pair(rel, subject);
+  if (explicit_.count(key) > 0) {
+    return Status::AlreadyExists(StrFormat(
+        "subject %s already holds an authorization on %s (the paper allows at "
+        "most one per relation)",
+        subjects_->Name(subject).c_str(), catalog_->Get(rel).name.c_str()));
+  }
+  Authorization a;
+  a.rel = rel;
+  a.subject = subject;
+  a.plain = std::move(plain);
+  a.enc = std::move(enc);
+  explicit_.emplace(key, std::move(a));
+  InvalidateViews();
+  return Status::OK();
+}
+
+Status Policy::GrantAny(RelId rel, AttrSet plain, AttrSet enc) {
+  MPQ_RETURN_NOT_OK(ValidateRule(rel, plain, enc));
+  if (any_.count(rel) > 0) {
+    return Status::AlreadyExists(StrFormat(
+        "relation %s already has an `any` default authorization",
+        catalog_->Get(rel).name.c_str()));
+  }
+  Authorization a;
+  a.rel = rel;
+  a.is_any = true;
+  a.plain = std::move(plain);
+  a.enc = std::move(enc);
+  any_.emplace(rel, std::move(a));
+  InvalidateViews();
+  return Status::OK();
+}
+
+std::optional<Authorization> Policy::Effective(RelId rel,
+                                               SubjectId subject) const {
+  auto it = explicit_.find(std::make_pair(rel, subject));
+  if (it != explicit_.end()) return it->second;
+  auto any_it = any_.find(rel);
+  if (any_it != any_.end()) return any_it->second;
+  return std::nullopt;
+}
+
+void Policy::EnsureViews() const {
+  // Rebuild when invalidated or when subjects were registered since the last
+  // build (the registry is shared and may grow).
+  if (views_valid_ && plain_views_.size() == subjects_->size()) return;
+  size_t n = subjects_->size();
+  plain_views_.assign(n, AttrSet{});
+  enc_views_.assign(n, AttrSet{});
+  for (SubjectId s = 0; s < n; ++s) {
+    for (RelId r = 0; r < catalog_->num_relations(); ++r) {
+      std::optional<Authorization> a = Effective(r, s);
+      if (!a.has_value()) continue;
+      plain_views_[s].InsertAll(a->plain);
+      enc_views_[s].InsertAll(a->enc);
+    }
+  }
+  views_valid_ = true;
+}
+
+AttrSet Policy::PlainView(SubjectId subject) const {
+  EnsureViews();
+  return subject < plain_views_.size() ? plain_views_[subject] : AttrSet{};
+}
+
+AttrSet Policy::EncView(SubjectId subject) const {
+  EnsureViews();
+  return subject < enc_views_.size() ? enc_views_[subject] : AttrSet{};
+}
+
+Status Policy::CheckAuthorized(SubjectId subject,
+                               const RelationProfile& profile) const {
+  EnsureViews();
+  const AttrRegistry& reg = catalog_->attrs();
+  const AttrSet& ps = plain_views_[subject];
+  const AttrSet& es = enc_views_[subject];
+
+  // Condition 1: Rvp ∪ Rip ⊆ P_S.
+  AttrSet plain_needed = profile.vp.Union(profile.ip);
+  if (!plain_needed.IsSubsetOf(ps)) {
+    AttrSet missing = plain_needed.Difference(ps);
+    return Status::Unauthorized(StrFormat(
+        "%s lacks plaintext visibility over [%s] (Def 4.1, condition 1)",
+        subjects_->Name(subject).c_str(), missing.ToString(reg).c_str()));
+  }
+
+  // Condition 2: Rve ∪ Rie ⊆ P_S ∪ E_S.
+  AttrSet enc_needed = profile.ve.Union(profile.ie);
+  AttrSet either = ps.Union(es);
+  if (!enc_needed.IsSubsetOf(either)) {
+    AttrSet missing = enc_needed.Difference(either);
+    return Status::Unauthorized(StrFormat(
+        "%s lacks (even encrypted) visibility over [%s] (Def 4.1, condition 2)",
+        subjects_->Name(subject).c_str(), missing.ToString(reg).c_str()));
+  }
+
+  // Condition 3: every equivalence class uniformly visible: A ⊆ P_S or
+  // A ⊆ E_S. Note the sets are the *specified* grants — a class mixing a
+  // plaintext-granted and an encrypted-granted attribute fails (the paper's
+  // insurance-company example).
+  for (const AttrSet& cls : profile.eq.Classes()) {
+    if (cls.IsSubsetOf(ps) || cls.IsSubsetOf(es)) continue;
+    return Status::Unauthorized(StrFormat(
+        "%s has non-uniform visibility over equivalent attributes {%s} "
+        "(Def 4.1, condition 3)",
+        subjects_->Name(subject).c_str(), cls.ToString(reg).c_str()));
+  }
+  return Status::OK();
+}
+
+Status Policy::CheckAssignee(
+    SubjectId subject, const RelationProfile& result,
+    const std::vector<const RelationProfile*>& operands) const {
+  for (const RelationProfile* op : operands) {
+    MPQ_RETURN_NOT_OK(CheckAuthorized(subject, *op));
+  }
+  return CheckAuthorized(subject, result);
+}
+
+std::vector<Authorization> Policy::AllRules() const {
+  std::vector<Authorization> out;
+  out.reserve(explicit_.size() + any_.size());
+  for (const auto& [_, a] : explicit_) out.push_back(a);
+  for (const auto& [_, a] : any_) out.push_back(a);
+  return out;
+}
+
+}  // namespace mpq

@@ -1,0 +1,85 @@
+// Policy store and the authorization checks of Defs 4.1 / 4.2.
+//
+// Each data authority specifies authorizations independently per relation;
+// the Policy class aggregates them into the overall per-subject views
+// P_S / E_S used by the enforcement algorithms (Sec 4), resolving the `any`
+// default per relation for subjects lacking an explicit rule.
+
+#ifndef MPQ_AUTHZ_POLICY_H_
+#define MPQ_AUTHZ_POLICY_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "authz/authorization.h"
+#include "authz/subject.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "profile/profile.h"
+
+namespace mpq {
+
+/// Aggregated authorization state for a scenario.
+class Policy {
+ public:
+  Policy(const Catalog* catalog, const SubjectRegistry* subjects)
+      : catalog_(catalog), subjects_(subjects) {}
+
+  /// Grants [plain, enc] -> subject on `rel`. Enforces Def 2.1: P ∩ E = ∅,
+  /// P,E ⊆ attributes of rel, and at most one rule per (rel, subject).
+  Status Grant(RelId rel, SubjectId subject, AttrSet plain, AttrSet enc);
+
+  /// Grants the `any` default rule for `rel` (at most one per relation).
+  Status GrantAny(RelId rel, AttrSet plain, AttrSet enc);
+
+  /// The rule applying to (rel, subject): the explicit rule if present,
+  /// otherwise the relation's `any` rule, otherwise nullopt (no visibility —
+  /// closed policy).
+  std::optional<Authorization> Effective(RelId rel, SubjectId subject) const;
+
+  /// Overall view P_S: attributes the subject may see in plaintext, across
+  /// all relations (Sec 4).
+  AttrSet PlainView(SubjectId subject) const;
+
+  /// Overall view E_S: attributes granted in encrypted form (not including
+  /// the plaintext-granted ones).
+  AttrSet EncView(SubjectId subject) const;
+
+  /// Def 4.1: is `subject` authorized for a relation with `profile`?
+  /// Returns OK, or kUnauthorized explaining the first failed condition.
+  Status CheckAuthorized(SubjectId subject, const RelationProfile& profile) const;
+  bool IsAuthorized(SubjectId subject, const RelationProfile& profile) const {
+    return CheckAuthorized(subject, profile).ok();
+  }
+
+  /// Def 4.2: is `subject` an authorized assignee of a node producing
+  /// `result` from operands `operands`?
+  Status CheckAssignee(SubjectId subject, const RelationProfile& result,
+                       const std::vector<const RelationProfile*>& operands) const;
+
+  /// All authorizations, for display.
+  std::vector<Authorization> AllRules() const;
+
+  const Catalog& catalog() const { return *catalog_; }
+  const SubjectRegistry& subjects() const { return *subjects_; }
+
+ private:
+  Status ValidateRule(RelId rel, const AttrSet& plain, const AttrSet& enc) const;
+  void InvalidateViews();
+  void EnsureViews() const;
+
+  const Catalog* catalog_;
+  const SubjectRegistry* subjects_;
+  std::map<std::pair<RelId, SubjectId>, Authorization> explicit_;
+  std::map<RelId, Authorization> any_;
+
+  // Memoized overall views, one entry per subject id.
+  mutable bool views_valid_ = false;
+  mutable std::vector<AttrSet> plain_views_;
+  mutable std::vector<AttrSet> enc_views_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_AUTHZ_POLICY_H_

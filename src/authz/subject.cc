@@ -1,0 +1,48 @@
+#include "authz/subject.h"
+
+#include <cassert>
+
+namespace mpq {
+
+const char* SubjectKindName(SubjectKind k) {
+  switch (k) {
+    case SubjectKind::kUser:
+      return "user";
+    case SubjectKind::kAuthority:
+      return "authority";
+    case SubjectKind::kProvider:
+      return "provider";
+  }
+  return "unknown";
+}
+
+Result<SubjectId> SubjectRegistry::Register(const std::string& name,
+                                            SubjectKind kind) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("subject already registered: " + name);
+  }
+  SubjectId id = static_cast<SubjectId>(subjects_.size());
+  subjects_.push_back(Subject{id, name, kind});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+SubjectId SubjectRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidSubject : it->second;
+}
+
+const Subject& SubjectRegistry::Get(SubjectId id) const {
+  assert(id < subjects_.size());
+  return subjects_[id];
+}
+
+std::vector<SubjectId> SubjectRegistry::OfKind(SubjectKind kind) const {
+  std::vector<SubjectId> out;
+  for (const Subject& s : subjects_) {
+    if (s.kind == kind) out.push_back(s.id);
+  }
+  return out;
+}
+
+}  // namespace mpq

@@ -1,0 +1,67 @@
+// Subjects of the authorization model (Sec 2): users, data authorities, and
+// cloud providers, plus the distinguished default subject `any`.
+
+#ifndef MPQ_AUTHZ_SUBJECT_H_
+#define MPQ_AUTHZ_SUBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpq {
+
+/// Dense identifier of a registered subject.
+using SubjectId = uint32_t;
+
+inline constexpr SubjectId kInvalidSubject = static_cast<SubjectId>(-1);
+
+/// Role of a subject; affects default pricing and trust expectations only —
+/// the authorization semantics (Defs 2.1/4.1/4.2) are role-agnostic.
+enum class SubjectKind {
+  kUser,       ///< Issues queries; expected to hold plaintext-only grants.
+  kAuthority,  ///< Controls one or more base relations.
+  kProvider,   ///< Offers computation; may hold encrypted grants.
+};
+
+const char* SubjectKindName(SubjectKind k);
+
+/// A registered subject.
+struct Subject {
+  SubjectId id = kInvalidSubject;
+  std::string name;
+  SubjectKind kind = SubjectKind::kProvider;
+};
+
+/// Registry of the subjects S known to a scenario. The `any` default of the
+/// paper is not a registered subject: Policy expands `any` authorizations to
+/// every subject lacking an explicit one.
+class SubjectRegistry {
+ public:
+  SubjectRegistry() = default;
+
+  /// Registers a subject. Fails with kAlreadyExists on duplicate name.
+  Result<SubjectId> Register(const std::string& name, SubjectKind kind);
+
+  /// Id of `name`, or kInvalidSubject.
+  SubjectId Find(const std::string& name) const;
+
+  const Subject& Get(SubjectId id) const;
+  const std::string& Name(SubjectId id) const { return Get(id).name; }
+
+  size_t size() const { return subjects_.size(); }
+  const std::vector<Subject>& subjects() const { return subjects_; }
+
+  /// Ids of all subjects with the given kind.
+  std::vector<SubjectId> OfKind(SubjectKind kind) const;
+
+ private:
+  std::vector<Subject> subjects_;
+  std::unordered_map<std::string, SubjectId> by_name_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_AUTHZ_SUBJECT_H_

@@ -1,0 +1,120 @@
+#include "candidates/candidates.h"
+
+#include "common/str_util.h"
+#include "profile/propagate.h"
+
+namespace mpq {
+
+Result<CandidatePlan> ComputeCandidates(const PlanNode* root,
+                                        const Policy& policy,
+                                        bool require_nonempty) {
+  const Catalog& catalog = policy.catalog();
+  const SubjectRegistry& subjects = policy.subjects();
+  CandidatePlan cp;
+
+  for (const PlanNode* n : PostOrder(root)) {
+    NodeCandidates nc;
+    if (n->is_leaf()) {
+      nc.cascade_profile =
+          RelationProfile::ForBase(catalog.Get(n->rel).schema.Attrs());
+      nc.candidates.Insert(catalog.Get(n->rel).owner);
+      cp.nodes.emplace(n->id, std::move(nc));
+      continue;
+    }
+
+    // Paper convention (Sec 1): a leaf is "the projection of a source
+    // relation". A projection directly over a base relation is part of the
+    // leaf box — it executes at the data authority, never leaves it, and is
+    // not an assignable operation (Fig 3/6 attach no candidates to leaves).
+    if (n->kind == OpKind::kProject && n->child(0)->kind == OpKind::kBase) {
+      const RelationDef& rel = catalog.Get(n->child(0)->rel);
+      nc.min_views.push_back(RelationProfile::ForBase(rel.schema.Attrs()));
+      nc.cascade_profile = RelationProfile::ForBase(n->attrs);
+      nc.candidates.Insert(rel.owner);
+      cp.nodes.emplace(n->id, std::move(nc));
+      continue;
+    }
+
+    // Minimum required views over the children (Def 5.2).
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      const NodeCandidates& child_nc = cp.nodes.at(n->child(i)->id);
+      AttrSet ap =
+          PlaintextNeededFromChild(n, child_nc.cascade_profile.Visible());
+      nc.min_views.push_back(MinRequiredView(child_nc.cascade_profile, ap));
+    }
+
+    // Result profile assuming the minimum required views as operands.
+    static const RelationProfile kEmpty;
+    const RelationProfile& l = nc.min_views.size() > 0 ? nc.min_views[0] : kEmpty;
+    const RelationProfile& r = nc.min_views.size() > 1 ? nc.min_views[1] : kEmpty;
+    MPQ_ASSIGN_OR_RETURN(nc.cascade_profile,
+                         PropagateProfile(n, l, r, catalog, {.strict = true}));
+
+    // Def 5.3: a subject is a candidate iff it is authorized for every
+    // minimum required view and for the result.
+    for (const Subject& s : subjects.subjects()) {
+      bool ok = true;
+      for (const RelationProfile& mv : nc.min_views) {
+        if (!policy.IsAuthorized(s.id, mv)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && policy.IsAuthorized(s.id, nc.cascade_profile)) {
+        nc.candidates.Insert(s.id);
+      }
+    }
+
+    if (require_nonempty && nc.candidates.empty()) {
+      return Status::Unauthorized(StrFormat(
+          "no subject is a candidate for node %d (%s); the query is not "
+          "executable under the current policy",
+          n->id, OpKindName(n->kind)));
+    }
+    cp.nodes.emplace(n->id, std::move(nc));
+  }
+  return cp;
+}
+
+namespace {
+
+Status CheckDescendants(const PlanNode* anc, const PlanNode* sub,
+                        const CandidatePlan& cp) {
+  for (const auto& c : sub->children) {
+    const PlanNode* child = c.get();
+    if (!child->is_leaf()) {
+      const NodeCandidates& child_nc = cp.at(child->id);
+      // Theorem 5.1 precondition on the child node: the visible plaintext of
+      // its children is contained in its implicit attributes (the operation
+      // either runs on encrypted attributes or leaves an implicit trace).
+      AttrSet child_children_vp;
+      for (size_t i = 0; i < child->num_children(); ++i) {
+        child_children_vp.InsertAll(child_nc.min_views[i].vp);
+      }
+      if (child_children_vp.IsSubsetOf(child_nc.cascade_profile.ip)) {
+        const SubjectSet& anc_set = cp.at(anc->id).candidates;
+        const SubjectSet& child_set = child_nc.candidates;
+        if (!anc_set.IsSubsetOf(child_set)) {
+          return Status::Internal(StrFormat(
+              "Theorem 5.1 violated: Λ(node %d) ⊄ Λ(node %d)", anc->id,
+              child->id));
+        }
+      }
+    }
+    MPQ_RETURN_NOT_OK(CheckDescendants(anc, child, cp));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckCandidateMonotonicity(const PlanNode* root,
+                                  const CandidatePlan& cp) {
+  for (const PlanNode* n : PostOrder(root)) {
+    if (n->is_leaf()) continue;
+    MPQ_RETURN_NOT_OK(CheckDescendants(n, n, cp));
+  }
+  return Status::OK();
+}
+
+}  // namespace mpq

@@ -1,0 +1,64 @@
+// Assignment candidates (Def 5.3): for every operation of a query plan, the
+// set of subjects that can be made authorized assignees by inserting suitable
+// encryption/decryption operations (Thm 5.2).
+//
+// Candidates are computed in one post-order visit (Sec 6, step 1) over a
+// "minimum-visibility cascade": each node's result profile is derived
+// assuming its operands are the minimum required views of its children, so
+// that encrypted execution possibilities propagate upward.
+
+#ifndef MPQ_CANDIDATES_CANDIDATES_H_
+#define MPQ_CANDIDATES_CANDIDATES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "authz/policy.h"
+#include "candidates/min_view.h"
+#include "common/status.h"
+
+namespace mpq {
+
+/// Bitset over SubjectIds (same dense-id representation as AttrSet).
+using SubjectSet = AttrSet;
+
+/// Per-node candidate computation output.
+struct NodeCandidates {
+  /// Result profile assuming operands are minimum required views.
+  RelationProfile cascade_profile;
+  /// Minimum required view over each child, in child order.
+  std::vector<RelationProfile> min_views;
+  /// Candidate subjects (Def 5.3). For leaves: the owning data authority
+  /// (leaves stay with their authority and are not assignable).
+  SubjectSet candidates;
+};
+
+/// Candidate sets Λ for a whole plan, keyed by node id.
+struct CandidatePlan {
+  std::unordered_map<int, NodeCandidates> nodes;
+
+  const NodeCandidates& at(int node_id) const { return nodes.at(node_id); }
+};
+
+/// Computes Λ for `root` (ids must be assigned). Fails when some operation's
+/// plaintext requirements are internally inconsistent (e.g. a comparison pair
+/// split across plaintext/encrypted in the minimum view) or when some
+/// operation has an empty candidate set.
+///
+/// `require_nonempty`: when true (default), an operation with no candidate is
+/// an error (the query cannot be executed under the policy); when false the
+/// computation completes and the caller inspects the empty sets.
+Result<CandidatePlan> ComputeCandidates(const PlanNode* root,
+                                        const Policy& policy,
+                                        bool require_nonempty = true);
+
+/// Verifies Theorem 5.1 on a computed candidate plan: for every non-leaf node
+/// n whose children's visible plaintext is implicit in n's cascade profile,
+/// Λ(ancestor) ⊆ Λ(n) for all ancestors. Returns the first violation.
+Status CheckCandidateMonotonicity(const PlanNode* root,
+                                  const CandidatePlan& cp);
+
+}  // namespace mpq
+
+#endif  // MPQ_CANDIDATES_CANDIDATES_H_

@@ -1,0 +1,21 @@
+#include "candidates/min_view.h"
+
+namespace mpq {
+
+RelationProfile MinRequiredView(const RelationProfile& operand,
+                                const AttrSet& plaintext_needed) {
+  RelationProfile out = operand;
+  AttrSet visible = operand.Visible();
+  out.vp = visible.Intersect(plaintext_needed);
+  out.ve = visible.Difference(plaintext_needed);
+  return out;
+}
+
+AttrSet PlaintextNeededFromChild(const PlanNode* op,
+                                 const AttrSet& child_visible) {
+  AttrSet needed = op->needs_plaintext;
+  if (op->kind == OpKind::kEncrypt) needed.InsertAll(op->attrs);
+  return needed.Intersect(child_visible);
+}
+
+}  // namespace mpq

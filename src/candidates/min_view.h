@@ -1,0 +1,29 @@
+// Minimum required views (Def 5.2): the profile of an operand in which every
+// visible attribute not required in plaintext by the consuming operation is
+// encrypted.
+
+#ifndef MPQ_CANDIDATES_MIN_VIEW_H_
+#define MPQ_CANDIDATES_MIN_VIEW_H_
+
+#include "algebra/plan.h"
+#include "common/attr_set.h"
+#include "profile/profile.h"
+
+namespace mpq {
+
+/// Profile of decrypt(Ap, encrypt(Rvp \ Ap, R)) given R's profile:
+/// visible attributes in `plaintext_needed` become plaintext, all other
+/// visible attributes become encrypted; implicit attributes and equivalence
+/// sets are untouched.
+RelationProfile MinRequiredView(const RelationProfile& operand,
+                                const AttrSet& plaintext_needed);
+
+/// The attribute set Ap that operation `op` requires in plaintext from child
+/// `child_visible` (the child's visible attributes): the operation's
+/// `needs_plaintext` requirement, plus — for encryption operators — the
+/// attributes being encrypted (one can only encrypt values one can read).
+AttrSet PlaintextNeededFromChild(const PlanNode* op, const AttrSet& child_visible);
+
+}  // namespace mpq
+
+#endif  // MPQ_CANDIDATES_MIN_VIEW_H_

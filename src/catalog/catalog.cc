@@ -1,0 +1,44 @@
+#include "catalog/catalog.h"
+
+#include <cassert>
+
+namespace mpq {
+
+Result<RelId> Catalog::AddRelation(
+    const std::string& name,
+    const std::vector<std::pair<std::string, DataType>>& cols, SubjectId owner,
+    double base_rows) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("relation already registered: " + name);
+  }
+  Schema schema;
+  for (const auto& [col_name, type] : cols) {
+    if (attrs_.Find(col_name) != kInvalidAttr) {
+      return Status::AlreadyExists("attribute name already used: " + col_name);
+    }
+    AttrId a = attrs_.Intern(col_name);
+    schema.AddColumn(Column{a, col_name, type});
+  }
+  RelId id = static_cast<RelId>(rels_.size());
+  for (const Column& c : schema.columns()) rel_of_attr_[c.attr] = id;
+  rels_.push_back(RelationDef{id, name, std::move(schema), owner, base_rows});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+RelId Catalog::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidRel : it->second;
+}
+
+const RelationDef& Catalog::Get(RelId id) const {
+  assert(id < rels_.size());
+  return rels_[id];
+}
+
+RelId Catalog::RelationOf(AttrId a) const {
+  auto it = rel_of_attr_.find(a);
+  return it == rel_of_attr_.end() ? kInvalidRel : it->second;
+}
+
+}  // namespace mpq

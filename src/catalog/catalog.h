@@ -1,0 +1,66 @@
+// Catalog of base relations: schema, owning data authority, and base
+// cardinality (seed for the cost model's estimator).
+
+#ifndef MPQ_CATALOG_CATALOG_H_
+#define MPQ_CATALOG_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "authz/subject.h"
+#include "catalog/schema.h"
+#include "common/attr.h"
+#include "common/status.h"
+
+namespace mpq {
+
+/// Dense identifier of a registered base relation.
+using RelId = uint32_t;
+
+inline constexpr RelId kInvalidRel = static_cast<RelId>(-1);
+
+/// A registered base relation.
+struct RelationDef {
+  RelId id = kInvalidRel;
+  std::string name;
+  Schema schema;
+  SubjectId owner = kInvalidSubject;  ///< Data authority storing it.
+  double base_rows = 0;               ///< Cardinality hint for costing.
+};
+
+/// Catalog shared by the planner, authorization layer and executor. Holds the
+/// attribute registry so that all modules agree on attribute ids.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  AttrRegistry& attrs() { return attrs_; }
+  const AttrRegistry& attrs() const { return attrs_; }
+
+  /// Registers a relation whose columns are (name, type) pairs; column names
+  /// are interned as attributes. Fails on duplicate relation or attribute
+  /// name (attribute names are global in the paper's model).
+  Result<RelId> AddRelation(const std::string& name,
+                            const std::vector<std::pair<std::string, DataType>>& cols,
+                            SubjectId owner, double base_rows);
+
+  RelId FindRelation(const std::string& name) const;
+  const RelationDef& Get(RelId id) const;
+
+  /// Relation owning attribute `a`, or kInvalidRel.
+  RelId RelationOf(AttrId a) const;
+
+  size_t num_relations() const { return rels_.size(); }
+  const std::vector<RelationDef>& relations() const { return rels_; }
+
+ private:
+  AttrRegistry attrs_;
+  std::vector<RelationDef> rels_;
+  std::unordered_map<std::string, RelId> by_name_;
+  std::unordered_map<AttrId, RelId> rel_of_attr_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_CATALOG_CATALOG_H_

@@ -1,0 +1,34 @@
+#include "catalog/schema.h"
+
+#include <cassert>
+
+namespace mpq {
+
+int Schema::IndexOf(AttrId attr) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].attr == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+AttrSet Schema::Attrs() const {
+  AttrSet out;
+  for (const Column& c : columns_) out.Insert(c.attr);
+  return out;
+}
+
+const Column& Schema::ColumnFor(AttrId attr) const {
+  int idx = IndexOf(attr);
+  assert(idx >= 0);
+  return columns_[static_cast<size_t>(idx)];
+}
+
+double Schema::AvgTupleBytes() const {
+  double bytes = 0;
+  for (const Column& c : columns_) {
+    bytes += (c.type == DataType::kString) ? 16.0 : 8.0;
+  }
+  return bytes;
+}
+
+}  // namespace mpq

@@ -1,0 +1,53 @@
+// Relation schemas: ordered, typed columns bound to interned attribute ids.
+
+#ifndef MPQ_CATALOG_SCHEMA_H_
+#define MPQ_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attr.h"
+#include "common/attr_set.h"
+#include "common/value.h"
+
+namespace mpq {
+
+/// A single typed column.
+struct Column {
+  AttrId attr = kInvalidAttr;
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// Ordered list of columns forming a relation schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of the column carrying `attr`, or -1.
+  int IndexOf(AttrId attr) const;
+
+  /// The set of attribute ids in this schema.
+  AttrSet Attrs() const;
+
+  /// Column by attr. Precondition: IndexOf(attr) >= 0.
+  const Column& ColumnFor(AttrId attr) const;
+
+  /// Appends a column.
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Average tuple width in bytes (fixed 8B numerics, 16B avg strings);
+  /// used by the cost model's size estimation.
+  double AvgTupleBytes() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_CATALOG_SCHEMA_H_

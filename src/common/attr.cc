@@ -1,0 +1,26 @@
+#include "common/attr.h"
+
+#include <cassert>
+
+namespace mpq {
+
+AttrId AttrRegistry::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+AttrId AttrRegistry::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidAttr : it->second;
+}
+
+const std::string& AttrRegistry::Name(AttrId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace mpq

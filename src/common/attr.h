@@ -1,0 +1,51 @@
+// Global attribute registry.
+//
+// The paper's model treats attributes as globally named objects (S, B, D, T of
+// Hosp; C, P of Ins). Authorizations, profiles and equivalence sets all refer
+// to attributes across relations, so the library interns every attribute name
+// into a process-wide dense id space; AttrSet bitsets and DisjointSet
+// structures are keyed by those dense ids.
+
+#ifndef MPQ_COMMON_ATTR_H_
+#define MPQ_COMMON_ATTR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpq {
+
+/// Dense identifier of an interned attribute.
+using AttrId = uint32_t;
+
+inline constexpr AttrId kInvalidAttr = static_cast<AttrId>(-1);
+
+/// Interns attribute names into dense ids. One registry per "universe"
+/// (typically one per scenario or test); not thread-safe.
+class AttrRegistry {
+ public:
+  AttrRegistry() = default;
+
+  /// Interns `name`, returning its id (existing or new).
+  AttrId Intern(const std::string& name);
+
+  /// Looks up an existing attribute. Returns kInvalidAttr when absent.
+  AttrId Find(const std::string& name) const;
+
+  /// Name of `id`. Precondition: id was returned by this registry.
+  const std::string& Name(AttrId id) const;
+
+  /// Number of interned attributes (== universe size for AttrSet).
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, AttrId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_ATTR_H_

@@ -1,0 +1,137 @@
+#include "common/attr_set.h"
+
+#include <algorithm>
+
+namespace mpq {
+
+AttrSet::AttrSet(std::initializer_list<AttrId> ids) {
+  for (AttrId id : ids) Insert(id);
+}
+
+void AttrSet::EnsureWord(size_t w) {
+  if (words_.size() <= w) words_.resize(w + 1, 0);
+}
+
+void AttrSet::Shrink() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+bool AttrSet::Insert(AttrId id) {
+  size_t w = id / 64;
+  uint64_t mask = uint64_t{1} << (id % 64);
+  EnsureWord(w);
+  bool changed = (words_[w] & mask) == 0;
+  words_[w] |= mask;
+  return changed;
+}
+
+bool AttrSet::Erase(AttrId id) {
+  size_t w = id / 64;
+  if (w >= words_.size()) return false;
+  uint64_t mask = uint64_t{1} << (id % 64);
+  bool changed = (words_[w] & mask) != 0;
+  words_[w] &= ~mask;
+  if (changed) Shrink();
+  return changed;
+}
+
+bool AttrSet::Contains(AttrId id) const {
+  size_t w = id / 64;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (id % 64)) & 1;
+}
+
+void AttrSet::InsertAll(const AttrSet& other) {
+  EnsureWord(other.words_.empty() ? 0 : other.words_.size() - 1);
+  for (size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void AttrSet::EraseAll(const AttrSet& other) {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+  Shrink();
+}
+
+bool AttrSet::empty() const {
+  for (uint64_t w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+size_t AttrSet::size() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += __builtin_popcountll(w);
+  return n;
+}
+
+bool AttrSet::IsSubsetOf(const AttrSet& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t o = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~o) != 0) return false;
+  }
+  return true;
+}
+
+bool AttrSet::Intersects(const AttrSet& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  AttrSet out = *this;
+  out.InsertAll(other);
+  return out;
+}
+
+AttrSet AttrSet::Intersect(const AttrSet& other) const {
+  AttrSet out;
+  size_t n = std::min(words_.size(), other.words_.size());
+  out.words_.resize(n);
+  for (size_t i = 0; i < n; ++i) out.words_[i] = words_[i] & other.words_[i];
+  out.Shrink();
+  return out;
+}
+
+AttrSet AttrSet::Difference(const AttrSet& other) const {
+  AttrSet out = *this;
+  out.EraseAll(other);
+  return out;
+}
+
+bool AttrSet::operator==(const AttrSet& other) const {
+  size_t n = std::max(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::vector<AttrId> AttrSet::ToVector() const {
+  std::vector<AttrId> out;
+  out.reserve(size());
+  ForEach([&](AttrId id) { out.push_back(id); });
+  return out;
+}
+
+std::string AttrSet::ToString(const AttrRegistry& reg) const {
+  std::vector<AttrId> ids = ToVector();
+  bool all_single = true;
+  for (AttrId id : ids) {
+    if (reg.Name(id).size() != 1) {
+      all_single = false;
+      break;
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!all_single && i > 0) out += ",";
+    out += reg.Name(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace mpq

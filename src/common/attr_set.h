@@ -1,0 +1,87 @@
+// Dense bitset over interned attribute ids.
+//
+// Profiles and authorization views are unions/intersections/differences of
+// attribute sets; AttrSet makes those O(words) operations. The set grows
+// lazily, so sets created against different universe sizes interoperate.
+
+#ifndef MPQ_COMMON_ATTR_SET_H_
+#define MPQ_COMMON_ATTR_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/attr.h"
+
+namespace mpq {
+
+/// A set of attribute ids backed by a growable bitset.
+class AttrSet {
+ public:
+  AttrSet() = default;
+  AttrSet(std::initializer_list<AttrId> ids);
+
+  /// Inserts `id`. Returns true when the set changed.
+  bool Insert(AttrId id);
+  /// Removes `id`. Returns true when the set changed.
+  bool Erase(AttrId id);
+  bool Contains(AttrId id) const;
+
+  void InsertAll(const AttrSet& other);
+  void EraseAll(const AttrSet& other);
+
+  bool empty() const;
+  size_t size() const;
+  void clear() { words_.clear(); }
+
+  /// True when every element of this set is in `other`.
+  bool IsSubsetOf(const AttrSet& other) const;
+  bool Intersects(const AttrSet& other) const;
+
+  AttrSet Union(const AttrSet& other) const;
+  AttrSet Intersect(const AttrSet& other) const;
+  /// Elements of this set not in `other`.
+  AttrSet Difference(const AttrSet& other) const;
+
+  bool operator==(const AttrSet& other) const;
+  bool operator!=(const AttrSet& other) const { return !(*this == other); }
+
+  /// Elements in ascending id order.
+  std::vector<AttrId> ToVector() const;
+
+  /// Concatenated attribute names ("SDT" style when names are single chars,
+  /// comma-separated otherwise), in ascending id order.
+  std::string ToString(const AttrRegistry& reg) const;
+
+  /// Iterates elements in ascending order, invoking `fn(AttrId)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(static_cast<AttrId>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Builds a set from a range of AttrIds.
+  template <typename It>
+  static AttrSet FromRange(It begin, It end) {
+    AttrSet s;
+    for (It it = begin; it != end; ++it) s.Insert(*it);
+    return s;
+  }
+
+ private:
+  void EnsureWord(size_t w);
+  void Shrink();
+
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_ATTR_SET_H_

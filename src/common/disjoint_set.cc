@@ -1,0 +1,83 @@
+#include "common/disjoint_set.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mpq {
+
+AttrId DisjointSet::Find(AttrId a) const {
+  auto it = parent_.find(a);
+  if (it == parent_.end()) return kInvalidAttr;
+  AttrId root = a;
+  while (parent_.at(root) != root) root = parent_.at(root);
+  // Path compression.
+  while (parent_.at(a) != root) {
+    AttrId next = parent_.at(a);
+    parent_[a] = root;
+    a = next;
+  }
+  return root;
+}
+
+void DisjointSet::Union(AttrId a, AttrId b) {
+  if (parent_.find(a) == parent_.end()) parent_[a] = a;
+  if (parent_.find(b) == parent_.end()) parent_[b] = b;
+  AttrId ra = Find(a), rb = Find(b);
+  if (ra == rb) return;
+  // Deterministic: smaller id becomes root.
+  if (ra > rb) std::swap(ra, rb);
+  parent_[rb] = ra;
+}
+
+void DisjointSet::UnionAll(const AttrSet& attrs) {
+  if (attrs.size() < 2) return;
+  std::vector<AttrId> ids = attrs.ToVector();
+  for (size_t i = 1; i < ids.size(); ++i) Union(ids[0], ids[i]);
+}
+
+void DisjointSet::Merge(const DisjointSet& other) {
+  for (const AttrSet& cls : other.Classes()) UnionAll(cls);
+}
+
+bool DisjointSet::Same(AttrId a, AttrId b) const {
+  AttrId ra = Find(a);
+  if (ra == kInvalidAttr) return false;
+  return ra == Find(b);
+}
+
+bool DisjointSet::IsMember(AttrId a) const {
+  return parent_.find(a) != parent_.end();
+}
+
+AttrSet DisjointSet::ClassOf(AttrId a) const {
+  AttrSet out;
+  AttrId ra = Find(a);
+  if (ra == kInvalidAttr) return out;
+  for (const auto& [member, _] : parent_) {
+    if (Find(member) == ra) out.Insert(member);
+  }
+  return out;
+}
+
+std::vector<AttrSet> DisjointSet::Classes() const {
+  std::map<AttrId, AttrSet> by_root;  // ordered for determinism
+  for (const auto& [member, _] : parent_) {
+    by_root[Find(member)].Insert(member);
+  }
+  std::vector<AttrSet> out;
+  out.reserve(by_root.size());
+  for (auto& [root, cls] : by_root) out.push_back(std::move(cls));
+  return out;
+}
+
+AttrSet DisjointSet::AllMembers() const {
+  AttrSet out;
+  for (const auto& [member, _] : parent_) out.Insert(member);
+  return out;
+}
+
+bool DisjointSet::operator==(const DisjointSet& other) const {
+  return Classes() == other.Classes();
+}
+
+}  // namespace mpq

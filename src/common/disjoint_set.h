@@ -1,0 +1,65 @@
+// Disjoint-set (union-find) over attribute ids, with set enumeration.
+//
+// Implements the R≃ component of a relation profile (Def 3.1): the closure of
+// the equivalence relationship among attributes connected in a computation.
+// Only attributes that participate in at least one equivalence appear in a
+// set; isolated attributes are not members (matching the paper, where R≃
+// holds only non-trivial equivalence sets).
+
+#ifndef MPQ_COMMON_DISJOINT_SET_H_
+#define MPQ_COMMON_DISJOINT_SET_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/attr.h"
+#include "common/attr_set.h"
+
+namespace mpq {
+
+/// Union-find over AttrIds tracking non-trivial equivalence classes.
+class DisjointSet {
+ public:
+  DisjointSet() = default;
+
+  /// Merges the classes of `a` and `b` (adding them as members if new).
+  void Union(AttrId a, AttrId b);
+
+  /// Merges all attributes of `attrs` into one class (paper's R≃ ∪ A).
+  /// No-op when `attrs` has fewer than two elements.
+  void UnionAll(const AttrSet& attrs);
+
+  /// Merges every class of `other` into this structure (R≃_i ∪ R≃_j).
+  void Merge(const DisjointSet& other);
+
+  /// True when `a` and `b` are in the same class. An attribute that was
+  /// never unioned is in no class, so Same(a, a) is false for non-members.
+  bool Same(AttrId a, AttrId b) const;
+
+  /// True when `a` participates in some equivalence class.
+  bool IsMember(AttrId a) const;
+
+  /// The class containing `a` (empty set when `a` is not a member).
+  AttrSet ClassOf(AttrId a) const;
+
+  /// All equivalence classes (each with >= 2 members), in a deterministic
+  /// order (sorted by smallest member id).
+  std::vector<AttrSet> Classes() const;
+
+  /// Union of all members across classes.
+  AttrSet AllMembers() const;
+
+  bool empty() const { return parent_.empty(); }
+
+  bool operator==(const DisjointSet& other) const;
+
+ private:
+  AttrId Find(AttrId a) const;
+
+  // parent_ maps member -> parent; roots map to themselves.
+  mutable std::unordered_map<AttrId, AttrId> parent_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_DISJOINT_SET_H_

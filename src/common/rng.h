@@ -1,0 +1,50 @@
+// Deterministic PRNG (splitmix64 / xoshiro-style) used across the library so
+// data generation, randomized encryption nonces and random-plan tests are
+// reproducible without std::random_device.
+
+#ifndef MPQ_COMMON_RNG_H_
+#define MPQ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace mpq {
+
+/// splitmix64 single-step mixer; good avalanche, used as PRF core.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Small deterministic PRNG with a 64-bit state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    return SplitMix64(state_);
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / (1ull << 53)); }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_RNG_H_

@@ -1,0 +1,142 @@
+// Status / Result error-handling primitives, in the style of Arrow/RocksDB.
+//
+// Library code never throws across the public API boundary: fallible
+// operations return a Status (no payload) or a Result<T> (payload or error).
+
+#ifndef MPQ_COMMON_STATUS_H_
+#define MPQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mpq {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad plan, bad SQL, bad policy).
+  kNotFound,          ///< Missing attribute/relation/subject/key.
+  kAlreadyExists,     ///< Duplicate registration.
+  kUnauthorized,      ///< An authorization check failed (Def 4.1 / 4.2).
+  kUnsupported,       ///< Operation not representable (e.g. scheme mismatch).
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value without payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unauthorized(std::string msg) {
+    return Status(StatusCode::kUnauthorized, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit conversion from a non-OK status (error).
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define MPQ_RETURN_NOT_OK(expr)                       \
+  do {                                                \
+    ::mpq::Status _st = (expr);                       \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+/// Evaluates a Result expression, assigning its value or propagating error.
+#define MPQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define MPQ_CONCAT_INNER(a, b) a##b
+#define MPQ_CONCAT(a, b) MPQ_CONCAT_INNER(a, b)
+
+#define MPQ_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MPQ_ASSIGN_OR_RETURN_IMPL(MPQ_CONCAT(_mpq_result_, __LINE__), lhs, rexpr)
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_STATUS_H_

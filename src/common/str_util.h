@@ -1,0 +1,31 @@
+// Small string helpers used by printers, the SQL lexer and dispatch.
+
+#ifndef MPQ_COMMON_STR_UTIL_H_
+#define MPQ_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mpq {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& s);
+
+/// ASCII upper-casing.
+std::string ToUpper(const std::string& s);
+
+/// Trims ASCII whitespace at both ends.
+std::string Trim(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_STR_UTIL_H_

@@ -1,0 +1,113 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "crypto/scheme.h"
+
+namespace mpq {
+
+const char* EncSchemeName(EncScheme s) {
+  switch (s) {
+    case EncScheme::kRandom:
+      return "RND";
+    case EncScheme::kDeterministic:
+      return "DET";
+    case EncScheme::kOpe:
+      return "OPE";
+    case EncScheme::kPaillier:
+      return "HOM";
+  }
+  return "?";
+}
+
+double EncSchemeCpuMicros(EncScheme s) {
+  switch (s) {
+    case EncScheme::kRandom:
+      return 0.1;
+    case EncScheme::kDeterministic:
+      return 0.1;
+    case EncScheme::kOpe:
+      return 3.0;
+    case EncScheme::kPaillier:
+      return 250.0;
+  }
+  return 0.1;
+}
+
+double EncSchemeCiphertextBytes(EncScheme s, double plain_bytes) {
+  switch (s) {
+    case EncScheme::kRandom:
+    case EncScheme::kDeterministic:
+      return plain_bytes + 8.0;  // nonce prefix
+    case EncScheme::kOpe:
+      return 16.0;
+    case EncScheme::kPaillier:
+      return 24.0;  // 16-byte ciphertext + 8-byte auxiliary counter
+  }
+  return plain_bytes;
+}
+
+namespace {
+
+void Keystream(uint64_t key, uint64_t nonce, size_t len, std::string* out) {
+  out->resize(len);
+  uint64_t state = SplitMix64(key ^ SplitMix64(nonce));
+  size_t i = 0;
+  while (i < len) {
+    state = SplitMix64(state);
+    uint64_t block = state;
+    size_t chunk = std::min<size_t>(8, len - i);
+    std::memcpy(out->data() + i, &block, chunk);
+    i += chunk;
+  }
+}
+
+uint64_t PrfNonce(uint64_t key, const std::string& plaintext) {
+  uint64_t h = SplitMix64(key ^ 0xdeadbeefcafef00dull);
+  for (unsigned char c : plaintext) h = SplitMix64(h ^ c);
+  return h;
+}
+
+}  // namespace
+
+std::string SymEncrypt(uint64_t key, uint64_t nonce,
+                       const std::string& plaintext) {
+  std::string out;
+  out.resize(8 + plaintext.size());
+  std::memcpy(out.data(), &nonce, 8);
+  std::string ks;
+  Keystream(key, nonce, plaintext.size(), &ks);
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    out[8 + i] = static_cast<char>(plaintext[i] ^ ks[i]);
+  }
+  return out;
+}
+
+std::string DetEncrypt(uint64_t key, const std::string& plaintext) {
+  return SymEncrypt(key, PrfNonce(key, plaintext), plaintext);
+}
+
+std::string RndEncrypt(uint64_t key, uint64_t fresh_nonce,
+                       const std::string& plaintext) {
+  return SymEncrypt(key, fresh_nonce, plaintext);
+}
+
+Result<std::string> SymDecrypt(uint64_t key, const std::string& ciphertext) {
+  if (ciphertext.size() < 8) {
+    return Status::InvalidArgument("ciphertext too short");
+  }
+  uint64_t nonce;
+  std::memcpy(&nonce, ciphertext.data(), 8);
+  size_t len = ciphertext.size() - 8;
+  std::string ks;
+  Keystream(key, nonce, len, &ks);
+  std::string out;
+  out.resize(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<char>(ciphertext[8 + i] ^ ks[i]);
+  }
+  return out;
+}
+
+}  // namespace mpq

@@ -1,0 +1,28 @@
+#include "crypto/keyring.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace mpq {
+
+KeyMaterial MakeKeyMaterial(uint64_t seed, uint64_t key_id) {
+  KeyMaterial km;
+  km.key_id = key_id;
+  uint64_t base = SplitMix64(seed ^ SplitMix64(key_id * 0x9e37u + 17));
+  km.sym = SplitMix64(base ^ 1);
+  km.ope = SplitMix64(base ^ 2);
+  km.paillier = PaillierKeyGen(base ^ 3);
+  return km;
+}
+
+Result<KeyMaterial> KeyRing::Get(uint64_t key_id) const {
+  auto it = keys_.find(key_id);
+  if (it == keys_.end()) {
+    return Status::NotFound(
+        StrFormat("key %llu was not distributed to this subject",
+                  static_cast<unsigned long long>(key_id)));
+  }
+  return it->second;
+}
+
+}  // namespace mpq

@@ -1,0 +1,48 @@
+// Key material and per-subject keyrings.
+//
+// One KeyMaterial bundle exists per query-plan key (Def 6.1 cluster); it
+// carries sub-keys for each scheme so the optimizer may pick schemes per
+// attribute without re-running key agreement. KeyRings model the selective
+// distribution of keys to the subjects performing encryption/decryption.
+
+#ifndef MPQ_CRYPTO_KEYRING_H_
+#define MPQ_CRYPTO_KEYRING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "crypto/paillier.h"
+
+namespace mpq {
+
+/// Scheme-specific sub-keys derived from one logical key.
+struct KeyMaterial {
+  uint64_t key_id = 0;
+  uint64_t sym = 0;   ///< Symmetric key (DET/RND).
+  uint64_t ope = 0;   ///< OPE key.
+  PaillierKey paillier;
+};
+
+/// Deterministically derives the material for (seed, key_id).
+KeyMaterial MakeKeyMaterial(uint64_t seed, uint64_t key_id);
+
+/// The set of keys held by one subject.
+class KeyRing {
+ public:
+  void Add(const KeyMaterial& km) { keys_[km.key_id] = km; }
+  bool Has(uint64_t key_id) const { return keys_.count(key_id) > 0; }
+
+  /// Fails with kNotFound when the subject was not distributed this key —
+  /// the enforcement property the paper's key distribution relies on.
+  Result<KeyMaterial> Get(uint64_t key_id) const;
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, KeyMaterial> keys_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_CRYPTO_KEYRING_H_

@@ -1,0 +1,40 @@
+// Order-preserving encryption for numeric values.
+//
+// Encodes x as the 128-bit value (offset(x) << 16) | PRF16(key, x): the high
+// bits carry the order, the low bits a keyed pseudo-random pad, so ciphertext
+// comparison (as big-endian bytes) matches plaintext order while equal
+// plaintexts under the same key still encrypt deterministically (OPE supports
+// both order and equality comparisons). Doubles are mapped through a
+// fixed-point scaling. Strings are not supported (range predicates over
+// strings fall back to plaintext execution; see DerivePlaintextNeeds).
+
+#ifndef MPQ_CRYPTO_OPE_H_
+#define MPQ_CRYPTO_OPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace mpq {
+
+/// Fixed-point scale for doubles under OPE and Paillier.
+inline constexpr int64_t kFixedPointScale = 10000;
+
+/// Encrypts an int64. Ciphertext is a 16-byte big-endian string whose
+/// lexicographic order equals the plaintext numeric order.
+std::string OpeEncryptInt(uint64_t key, int64_t x);
+
+/// Inverts OpeEncryptInt.
+Result<int64_t> OpeDecryptInt(uint64_t key, const std::string& ct);
+
+/// Encrypts a numeric Value (int64 or double via fixed-point).
+Result<std::string> OpeEncryptValue(uint64_t key, const Value& v);
+
+/// Decrypts to a Value of the given type.
+Result<Value> OpeDecryptValue(uint64_t key, const std::string& ct, DataType type);
+
+}  // namespace mpq
+
+#endif  // MPQ_CRYPTO_OPE_H_

@@ -1,0 +1,172 @@
+#include "crypto/paillier.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace mpq {
+
+namespace {
+
+/// (a * b) mod m for 128-bit operands via double-and-add.
+uint128 MulMod(uint128 a, uint128 b, uint128 m) {
+  a %= m;
+  uint128 result = 0;
+  while (b > 0) {
+    if (b & 1) {
+      result += a;
+      if (result >= m) result -= m;
+    }
+    a <<= 1;
+    if (a >= m) a -= m;
+    b >>= 1;
+  }
+  return result;
+}
+
+uint128 PowMod(uint128 base, uint128 exp, uint128 m) {
+  uint128 result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Modular inverse via extended Euclid; returns 0 when not invertible.
+uint64_t InvMod(uint64_t a, uint64_t m) {
+  int64_t t = 0, new_t = 1;
+  int64_t r = static_cast<int64_t>(m), new_r = static_cast<int64_t>(a % m);
+  while (new_r != 0) {
+    int64_t q = r / new_r;
+    int64_t tmp = t - q * new_t;
+    t = new_t;
+    new_t = tmp;
+    tmp = r - q * new_r;
+    r = new_r;
+    new_r = tmp;
+  }
+  if (r > 1) return 0;
+  if (t < 0) t += static_cast<int64_t>(m);
+  return static_cast<uint64_t>(t);
+}
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t d : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (n % d == 0) return n == d;
+  }
+  // Deterministic Miller-Rabin for 64-bit with the standard witness set.
+  uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    uint128 x = PowMod(a % n, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrime(uint64_t start) {
+  uint64_t n = start | 1;
+  while (!IsPrime(n)) n += 2;
+  return n;
+}
+
+uint64_t Lcm(uint64_t a, uint64_t b) { return a / Gcd(a, b) * b; }
+
+}  // namespace
+
+PaillierKey PaillierKeyGen(uint64_t seed) {
+  Rng rng(seed);
+  PaillierKey key;
+  // 31-bit primes so n < 2^62 and n^2 < 2^124 fits uint128 comfortably.
+  for (;;) {
+    key.p = NextPrime((rng.Next() % (1ull << 30)) + (1ull << 30));
+    key.q = NextPrime((rng.Next() % (1ull << 30)) + (1ull << 30));
+    if (key.p == key.q) continue;
+    key.n = key.p * key.q;
+    key.lambda = Lcm(key.p - 1, key.q - 1);
+    key.mu = InvMod(key.lambda % key.n, key.n);
+    if (key.mu != 0) break;
+  }
+  return key;
+}
+
+uint128 PaillierEncrypt(const PaillierKey& key, uint64_t m, uint64_t rand) {
+  uint128 n2 = key.n2();
+  // r must be coprime with n.
+  uint64_t r = rand % key.n;
+  while (r == 0 || Gcd(r, key.n) != 1) r = (r + 1) % key.n;
+  // g^m mod n^2 with g = n+1 simplifies to (1 + m·n) mod n^2.
+  uint128 gm = (1 + MulMod(static_cast<uint128>(m), key.n, n2)) % n2;
+  uint128 rn = PowMod(r, key.n, n2);
+  return MulMod(gm, rn, n2);
+}
+
+Result<uint64_t> PaillierDecrypt(const PaillierKey& key, uint128 c) {
+  uint128 n2 = key.n2();
+  if (c == 0 || c >= n2) return Status::InvalidArgument("ciphertext out of range");
+  uint128 x = PowMod(c, key.lambda, n2);
+  // L(x) = (x - 1) / n.
+  uint128 l = (x - 1) / key.n;
+  uint64_t m = static_cast<uint64_t>(
+      MulMod(l, static_cast<uint128>(key.mu), static_cast<uint128>(key.n)));
+  return m;
+}
+
+uint128 PaillierAdd(uint64_t n, uint128 c1, uint128 c2) {
+  uint128 n2 = static_cast<uint128>(n) * n;
+  return MulMod(c1, c2, n2);
+}
+
+uint64_t PaillierEncodeSigned(const PaillierKey& key, int64_t v) {
+  if (v >= 0) return static_cast<uint64_t>(v) % key.n;
+  return key.n - (static_cast<uint64_t>(-v) % key.n);
+}
+
+int64_t PaillierDecodeSigned(const PaillierKey& key, uint64_t m) {
+  if (m > key.n / 2) return -static_cast<int64_t>(key.n - m);
+  return static_cast<int64_t>(m);
+}
+
+std::string PaillierCipherToBytes(uint128 c) {
+  std::string out;
+  out.resize(16);
+  std::memcpy(out.data(), &c, 16);
+  return out;
+}
+
+Result<uint128> PaillierCipherFromBytes(const std::string& bytes) {
+  if (bytes.size() < 16) return Status::InvalidArgument("bad Paillier bytes");
+  uint128 c;
+  std::memcpy(&c, bytes.data(), 16);
+  return c;
+}
+
+}  // namespace mpq

@@ -1,0 +1,58 @@
+// Paillier additively homomorphic cryptosystem over a small (64-bit) modulus.
+//
+// A real Paillier implementation (keygen, Enc, Dec, homomorphic addition)
+// sized so ciphertext arithmetic fits in unsigned __int128. Supports the
+// paper's encrypted sum/avg aggregation. Small-modulus keys are NOT secure;
+// they reproduce system behaviour, not cryptographic strength (DESIGN.md §2).
+
+#ifndef MPQ_CRYPTO_PAILLIER_H_
+#define MPQ_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mpq {
+
+using uint128 = unsigned __int128;
+
+/// A Paillier key pair. n = p·q with 31-bit primes p, q; g = n + 1.
+struct PaillierKey {
+  uint64_t n = 0;        ///< Public modulus.
+  uint64_t p = 0;        ///< Secret prime.
+  uint64_t q = 0;        ///< Secret prime.
+  uint64_t lambda = 0;   ///< lcm(p-1, q-1).
+  uint64_t mu = 0;       ///< lambda^{-1} mod n.
+
+  uint128 n2() const { return static_cast<uint128>(n) * n; }
+};
+
+/// Deterministically generates a key pair from `seed` (distinct seeds yield
+/// distinct keys; generation is reproducible for tests).
+PaillierKey PaillierKeyGen(uint64_t seed);
+
+/// Encrypts message m ∈ [0, n). `rand` supplies the blinding randomness.
+uint128 PaillierEncrypt(const PaillierKey& key, uint64_t m, uint64_t rand);
+
+/// Decrypts a ciphertext.
+Result<uint64_t> PaillierDecrypt(const PaillierKey& key, uint128 c);
+
+/// Homomorphic addition: Dec(PaillierAdd(n, c1, c2)) = m1 + m2 mod n.
+/// Requires only the public modulus — an untrusted provider can aggregate
+/// ciphertexts without holding the private key.
+uint128 PaillierAdd(uint64_t n, uint128 c1, uint128 c2);
+
+/// Encodes a signed value into [0, n) (two's-complement style around n/2).
+uint64_t PaillierEncodeSigned(const PaillierKey& key, int64_t v);
+
+/// Inverse of PaillierEncodeSigned.
+int64_t PaillierDecodeSigned(const PaillierKey& key, uint64_t m);
+
+/// Serializes a ciphertext to 16 little-endian bytes (and back).
+std::string PaillierCipherToBytes(uint128 c);
+Result<uint128> PaillierCipherFromBytes(const std::string& bytes);
+
+}  // namespace mpq
+
+#endif  // MPQ_CRYPTO_PAILLIER_H_

@@ -1,0 +1,38 @@
+// Encryption scheme taxonomy (Sec 6 of the paper).
+//
+// The authorization model is deliberately scheme-agnostic; the query
+// optimizer picks, per attribute, the strongest scheme supporting the
+// operations executed on its ciphertexts:
+//   kRandom        — no operation needed on ciphertexts (storage only);
+//   kDeterministic — equality comparisons, grouping, equi-joins;
+//   kOpe           — order comparisons (implies equality support);
+//   kPaillier      — additive aggregation (sum/avg).
+
+#ifndef MPQ_CRYPTO_SCHEME_H_
+#define MPQ_CRYPTO_SCHEME_H_
+
+#include <cstdint>
+
+namespace mpq {
+
+enum class EncScheme : uint8_t {
+  kRandom = 0,
+  kDeterministic = 1,
+  kOpe = 2,
+  kPaillier = 3,
+};
+
+const char* EncSchemeName(EncScheme s);
+
+/// Relative per-value cpu cost of encryption/decryption, in microseconds,
+/// following common published benchmarks (AES-class symmetric ~0.1us; OPE a
+/// few us; Paillier in the hundreds of us). Used by the economic cost model.
+double EncSchemeCpuMicros(EncScheme s);
+
+/// Ciphertext size in bytes for a value of `plain_bytes` plaintext bytes.
+/// Captures the size inflation the paper accounts for.
+double EncSchemeCiphertextBytes(EncScheme s, double plain_bytes);
+
+}  // namespace mpq
+
+#endif  // MPQ_CRYPTO_SCHEME_H_

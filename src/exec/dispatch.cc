@@ -1,0 +1,281 @@
+#include "exec/dispatch.h"
+
+#include <map>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+
+/// A SQL query block under construction (select/from/where/group/having).
+struct QueryBlock {
+  std::vector<std::string> select_items;
+  std::vector<std::string> from_items;
+  std::vector<std::string> join_conds;
+  std::vector<std::string> where;
+  std::vector<std::string> group_by;
+  std::vector<std::string> having;
+  bool grouped = false;
+
+  bool trivial_select() const { return select_items.empty(); }
+
+  std::string Render() const {
+    std::string out = "SELECT ";
+    out += trivial_select() ? "*" : Join(select_items, ", ");
+    out += " FROM ";
+    out += Join(from_items, " JOIN ");
+    if (!join_conds.empty()) {
+      out += " ON ";
+      out += Join(join_conds, " AND ");
+    }
+    if (!where.empty()) {
+      out += " WHERE ";
+      out += Join(where, " AND ");
+    }
+    if (!group_by.empty()) {
+      out += " GROUP BY ";
+      out += Join(group_by, ", ");
+    }
+    if (!having.empty()) {
+      out += " HAVING ";
+      out += Join(having, " AND ");
+    }
+    return out;
+  }
+
+  /// Collapses this block into a single derived-table from-item.
+  void Nest() {
+    std::string nested = "(" + Render() + ")";
+    *this = QueryBlock{};
+    from_items.push_back(nested);
+  }
+};
+
+struct FragmentBuilder {
+  const Catalog* catalog;
+  const PlanKeys* keys;
+  const ExtendedPlan* ext;
+  SubjectId fragment_subject;
+  // Output: fragments called by this one.
+  std::vector<int>* upstream;
+  const std::unordered_map<int, int>* fragment_of;  // node id → fragment id
+
+  std::string AttrName(AttrId a) const { return catalog->attrs().Name(a); }
+
+  std::string KeyName(AttrId a) const {
+    const KeyGroup* g = keys->GroupOf(a);
+    return g != nullptr ? StrFormat("k%llu",
+                                    static_cast<unsigned long long>(g->key_id))
+                        : "k?";
+  }
+
+  std::string PredText(const Predicate& p) const {
+    std::string out = AttrName(p.lhs);
+    out += CmpOpName(p.op);
+    out += p.rhs_is_attr ? AttrName(p.rhs_attr) : p.rhs_value.ToString();
+    return out;
+  }
+
+  /// Builds the block for `n`, descending only within the same fragment.
+  QueryBlock Build(const PlanNode* n) {
+    // Fragment boundary: a child executed by another subject becomes a
+    // ⟦req_k⟧ reference.
+    auto child_block = [&](const PlanNode* c) -> QueryBlock {
+      int cf = fragment_of->at(c->id);
+      if (cf != fragment_of->at(n->id)) {
+        upstream->push_back(cf);
+        QueryBlock qb;
+        qb.from_items.push_back(StrFormat("[[req_%d]]", cf));
+        return qb;
+      }
+      return Build(c);
+    };
+
+    switch (n->kind) {
+      case OpKind::kBase: {
+        QueryBlock qb;
+        qb.from_items.push_back(catalog->Get(n->rel).name);
+        return qb;
+      }
+      case OpKind::kProject: {
+        QueryBlock qb = child_block(n->child(0));
+        if (!qb.trivial_select() || qb.grouped) qb.Nest();
+        qb.select_items.clear();
+        n->attrs.ForEach(
+            [&](AttrId a) { qb.select_items.push_back(AttrName(a)); });
+        return qb;
+      }
+      case OpKind::kSelect: {
+        QueryBlock qb = child_block(n->child(0));
+        for (const Predicate& p : n->predicates) {
+          if (qb.grouped) {
+            qb.having.push_back(PredText(p));
+          } else {
+            qb.where.push_back(PredText(p));
+          }
+        }
+        return qb;
+      }
+      case OpKind::kCartesian:
+      case OpKind::kJoin: {
+        QueryBlock l = child_block(n->child(0));
+        QueryBlock r = child_block(n->child(1));
+        if (!l.trivial_select() || l.grouped || !l.where.empty()) l.Nest();
+        if (!r.trivial_select() || r.grouped || !r.where.empty()) r.Nest();
+        QueryBlock qb;
+        qb.from_items = l.from_items;
+        qb.from_items.insert(qb.from_items.end(), r.from_items.begin(),
+                             r.from_items.end());
+        for (const Predicate& p : n->predicates) {
+          qb.join_conds.push_back(PredText(p));
+        }
+        if (n->kind == OpKind::kCartesian && qb.join_conds.empty()) {
+          qb.join_conds.push_back("1=1");
+        }
+        return qb;
+      }
+      case OpKind::kGroupBy: {
+        QueryBlock qb = child_block(n->child(0));
+        if (qb.grouped) qb.Nest();
+        qb.select_items.clear();
+        n->group_by.ForEach(
+            [&](AttrId a) { qb.select_items.push_back(AttrName(a)); });
+        for (const Aggregate& agg : n->aggregates) {
+          std::string item = agg.func == AggFunc::kCountStar
+                                 ? std::string("count(*)")
+                                 : StrFormat("%s(%s)", AggFuncName(agg.func),
+                                             AttrName(agg.attr).c_str());
+          item += " AS " + AttrName(agg.out_attr);
+          qb.select_items.push_back(item);
+        }
+        n->group_by.ForEach(
+            [&](AttrId a) { qb.group_by.push_back(AttrName(a)); });
+        qb.grouped = true;
+        return qb;
+      }
+      case OpKind::kUdf: {
+        QueryBlock qb = child_block(n->child(0));
+        if (qb.grouped) qb.Nest();
+        std::vector<std::string> args;
+        n->udf_inputs.ForEach([&](AttrId a) { args.push_back(AttrName(a)); });
+        qb.select_items.push_back(StrFormat(
+            "%s(%s) AS %s", n->udf_name.c_str(), Join(args, ",").c_str(),
+            AttrName(n->udf_output).c_str()));
+        return qb;
+      }
+      case OpKind::kEncrypt:
+      case OpKind::kDecrypt: {
+        QueryBlock qb = child_block(n->child(0));
+        if (qb.grouped && n->kind == OpKind::kDecrypt) {
+          // Decryption of an aggregate result folds into the select list.
+        }
+        const char* fn = n->kind == OpKind::kEncrypt ? "encrypt" : "decrypt";
+        n->attrs.ForEach([&](AttrId a) {
+          qb.select_items.push_back(
+              StrFormat("%s(%s,%s) AS %s", fn, AttrName(a).c_str(),
+                        KeyName(a).c_str(), AttrName(a).c_str()));
+        });
+        return qb;
+      }
+    }
+    return QueryBlock{};
+  }
+};
+
+}  // namespace
+
+uint64_t SignPayload(SubjectId signer, const std::string& payload) {
+  uint64_t priv = SplitMix64(0x5157ull * (signer + 1) + 7);
+  uint64_t h = priv;
+  for (unsigned char c : payload) h = SplitMix64(h ^ c);
+  return h;
+}
+
+bool VerifySignature(SubjectId signer, const std::string& payload,
+                     uint64_t sig) {
+  return SignPayload(signer, payload) == sig;
+}
+
+Result<DispatchPlan> BuildDispatch(const ExtendedPlan& ext,
+                                   const PlanKeys& keys, const Policy& policy,
+                                   SubjectId user) {
+  // 1. Fragment the plan: a node starts a new fragment iff its assignee
+  // differs from its parent's.
+  std::unordered_map<int, int> fragment_of;
+  std::vector<std::pair<int, SubjectId>> fragments;  // root node id, subject
+  {
+    struct Item {
+      const PlanNode* node;
+      int parent_frag;
+    };
+    std::vector<Item> work{{ext.plan.get(), -1}};
+    while (!work.empty()) {
+      auto [n, pf] = work.back();
+      work.pop_back();
+      SubjectId s = ext.assignment.at(n->id);
+      int frag = pf;
+      if (pf < 0 || fragments[static_cast<size_t>(pf)].second != s) {
+        frag = static_cast<int>(fragments.size());
+        fragments.emplace_back(n->id, s);
+      }
+      fragment_of[n->id] = frag;
+      for (const auto& c : n->children) {
+        work.push_back({c.get(), frag});
+      }
+    }
+  }
+
+  DispatchPlan plan;
+  plan.user = user;
+
+  // 2. Render each fragment.
+  for (size_t f = 0; f < fragments.size(); ++f) {
+    auto [root_id, subject] = fragments[f];
+    const PlanNode* frag_root = FindNode(ext.plan.get(), root_id);
+    DispatchMessage msg;
+    msg.fragment_id = static_cast<int>(f);
+    msg.to = subject;
+
+    FragmentBuilder fb;
+    fb.catalog = &policy.catalog();
+    fb.keys = &keys;
+    fb.ext = &ext;
+    fb.fragment_subject = subject;
+    fb.upstream = &msg.upstream_fragments;
+    fb.fragment_of = &fragment_of;
+    msg.sub_query = fb.Build(frag_root).Render();
+
+    // 3. Keys: the subject receives the keys it holds per Def 6.1.
+    for (const KeyGroup& g : keys.groups) {
+      if (g.holders.Contains(subject)) msg.key_ids.push_back(g.key_id);
+    }
+
+    // 4. Sign with the user's (simulated) private key.
+    std::string payload = msg.sub_query;
+    for (uint64_t k : msg.key_ids) payload += "|" + std::to_string(k);
+    msg.signature = SignPayload(user, payload);
+    plan.messages.push_back(std::move(msg));
+  }
+  return plan;
+}
+
+std::string DispatchPlan::ToString(const SubjectRegistry& subjects) const {
+  std::string out;
+  for (const DispatchMessage& m : messages) {
+    out += StrFormat("req_%d -> %s", m.fragment_id,
+                     subjects.Name(m.to).c_str());
+    if (!m.key_ids.empty()) {
+      out += " (keys:";
+      for (uint64_t k : m.key_ids) out += " k" + std::to_string(k);
+      out += ")";
+    }
+    out += StrFormat(" [sig=%016llx]\n  %s\n",
+                     static_cast<unsigned long long>(m.signature),
+                     m.sub_query.c_str());
+  }
+  return out;
+}
+
+}  // namespace mpq

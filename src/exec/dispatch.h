@@ -1,0 +1,52 @@
+// Sub-query dispatch (Sec 6, step 5 / Fig 8): partitions an extended plan
+// into per-assignee fragments, renders each fragment as a SQL-style
+// sub-query (with encrypt/decrypt calls and references to upstream
+// fragments), and wraps each in a signed, sealed envelope carrying the keys
+// the recipient needs.
+//
+// Signatures and sealing are simulated with keyed hashes over a per-subject
+// (private, public) pair — protocol structure, not cryptographic strength.
+
+#ifndef MPQ_EXEC_DISPATCH_H_
+#define MPQ_EXEC_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "extend/extend.h"
+#include "extend/keys.h"
+
+namespace mpq {
+
+/// One dispatched sub-query.
+struct DispatchMessage {
+  int fragment_id = 0;
+  SubjectId to = kInvalidSubject;
+  std::string sub_query;                 ///< SQL-style fragment text.
+  std::vector<uint64_t> key_ids;         ///< Keys delivered with the request.
+  std::vector<int> upstream_fragments;   ///< Fragments this one will call.
+  uint64_t signature = 0;                ///< Signed by the dispatching user.
+  bool sealed = true;                    ///< Encrypted for the recipient.
+};
+
+/// A full dispatch: messages in request order (root fragment first, like the
+/// reqY → reqX → reqH/reqI chain of Fig 8).
+struct DispatchPlan {
+  SubjectId user = kInvalidSubject;
+  std::vector<DispatchMessage> messages;
+
+  std::string ToString(const SubjectRegistry& subjects) const;
+};
+
+/// Builds the dispatch for an extended plan. Keys are attached per the
+/// Def 6.1 holder sets; every message is signed by `user`.
+Result<DispatchPlan> BuildDispatch(const ExtendedPlan& ext, const PlanKeys& keys,
+                                   const Policy& policy, SubjectId user);
+
+/// Simulated signature primitives (keyed-hash over the payload).
+uint64_t SignPayload(SubjectId signer, const std::string& payload);
+bool VerifySignature(SubjectId signer, const std::string& payload, uint64_t sig);
+
+}  // namespace mpq
+
+#endif  // MPQ_EXEC_DISPATCH_H_

@@ -1,0 +1,79 @@
+#include "exec/distributed.h"
+
+namespace mpq {
+
+void DistributedRuntime::DistributeKeys(const PlanKeys& keys, SubjectId user,
+                                        uint64_t seed) {
+  for (const KeyGroup& g : keys.groups) {
+    KeyMaterial km = MakeKeyMaterial(seed, g.key_id);
+    public_modulus_[g.key_id] = km.paillier.n;
+    g.holders.ForEach([&](AttrId s) {
+      keyrings_[static_cast<SubjectId>(s)].Add(km);
+    });
+    dispatcher_keyring_.Add(km);
+    keyrings_[user].Add(km);
+  }
+}
+
+Result<Table> DistributedRuntime::RunNode(const PlanNode* n,
+                                          const ExtendedPlan& ext,
+                                          DistributedResult* out) {
+  SubjectId s = ext.assignment.at(n->id);
+
+  std::vector<Table> inputs;
+  inputs.reserve(n->num_children());
+  for (size_t i = 0; i < n->num_children(); ++i) {
+    const PlanNode* c = n->child(i);
+    MPQ_ASSIGN_OR_RETURN(Table t, RunNode(c, ext, out));
+    SubjectId cs = ext.assignment.at(c->id);
+    if (cs != s) {
+      uint64_t bytes = t.ByteSize();
+      out->stats[cs].bytes_out += bytes;
+      out->stats[s].bytes_in += bytes;
+      out->total_transfer_bytes += bytes;
+      out->num_messages++;
+    }
+    inputs.push_back(std::move(t));
+  }
+
+  // Execute under the assignee's engine: its keyring only.
+  ExecContext ctx;
+  ctx.catalog = catalog_;
+  for (const auto& [rel, table] : base_tables_) {
+    ctx.base_tables[rel] = &table;
+  }
+  auto kr = keyrings_.find(s);
+  static const KeyRing kEmpty;
+  ctx.keyring = kr == keyrings_.end() ? &kEmpty : &kr->second;
+  ctx.dispatcher_keyring = &dispatcher_keyring_;
+  ctx.public_modulus = public_modulus_;
+  ctx.crypto = &crypto_;
+  ctx.udfs = udfs_;
+  ctx.nonce = nonce_;
+
+  MPQ_ASSIGN_OR_RETURN(Table result, ExecuteNodeOnInputs(n, std::move(inputs), &ctx));
+  nonce_ = ctx.nonce + 1;
+
+  SubjectStats& st = out->stats[s];
+  st.ops_executed++;
+  st.rows_produced += result.num_rows();
+  return result;
+}
+
+Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
+                                                  SubjectId user) {
+  DistributedResult out;
+  MPQ_ASSIGN_OR_RETURN(Table result, RunNode(ext.plan.get(), ext, &out));
+  SubjectId root_s = ext.assignment.at(ext.plan->id);
+  if (root_s != user) {
+    uint64_t bytes = result.ByteSize();
+    out.stats[root_s].bytes_out += bytes;
+    out.stats[user].bytes_in += bytes;
+    out.total_transfer_bytes += bytes;
+    out.num_messages++;
+  }
+  out.result = std::move(result);
+  return out;
+}
+
+}  // namespace mpq

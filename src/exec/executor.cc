@@ -1,0 +1,663 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "crypto/cipher.h"
+
+namespace mpq {
+
+namespace {
+
+Status ColNotFound(const PlanNode* n, AttrId a, const Catalog& catalog) {
+  return Status::Internal(StrFormat(
+      "node %d (%s): attribute %s not found in operand table", n->id,
+      OpKindName(n->kind), catalog.attrs().Name(a).c_str()));
+}
+
+/// Encrypts a predicate constant to match an encrypted column, using the
+/// dispatcher's keys (conditions arrive pre-encrypted in real dispatch).
+Result<Cell> ConstForColumn(const ExecColumn& col, const Value& v,
+                            ExecContext* ctx) {
+  if (!col.encrypted) return Cell(v);
+  if (ctx->dispatcher_keyring == nullptr) {
+    return Status::NotFound("no dispatcher keyring to encrypt constants");
+  }
+  MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->dispatcher_keyring->Get(col.key_id));
+  MPQ_ASSIGN_OR_RETURN(
+      EncValue ev, EncryptValue(v, col.scheme, col.key_id, km, ctx->NextNonce()));
+  return Cell(std::move(ev));
+}
+
+/// Evaluates one predicate against a row of `table`. Constants for encrypted
+/// columns are cached per-(predicate evaluation batch) by the caller.
+struct BoundPredicate {
+  CmpOp op;
+  int lhs_col;
+  int rhs_col = -1;     // >= 0 for attr-attr predicates
+  Cell rhs_const;       // used when rhs_col < 0
+};
+
+Result<BoundPredicate> BindPredicate(const Predicate& p, const Table& t,
+                                     const PlanNode* n, ExecContext* ctx) {
+  BoundPredicate bp;
+  bp.op = p.op;
+  bp.lhs_col = t.ColIndex(p.lhs);
+  if (bp.lhs_col < 0) return ColNotFound(n, p.lhs, *ctx->catalog);
+  if (p.rhs_is_attr) {
+    bp.rhs_col = t.ColIndex(p.rhs_attr);
+    if (bp.rhs_col < 0) return ColNotFound(n, p.rhs_attr, *ctx->catalog);
+  } else {
+    MPQ_ASSIGN_OR_RETURN(
+        bp.rhs_const,
+        ConstForColumn(t.columns()[static_cast<size_t>(bp.lhs_col)],
+                       p.rhs_value, ctx));
+  }
+  return bp;
+}
+
+Result<bool> EvalBound(const BoundPredicate& bp, const std::vector<Cell>& row) {
+  const Cell& lhs = row[static_cast<size_t>(bp.lhs_col)];
+  const Cell& rhs =
+      bp.rhs_col >= 0 ? row[static_cast<size_t>(bp.rhs_col)] : bp.rhs_const;
+  return CompareCells(bp.op, lhs, rhs);
+}
+
+Result<Table> ExecProject(const PlanNode* n, Table in, ExecContext* ctx) {
+  std::vector<int> keep;
+  std::vector<ExecColumn> cols;
+  for (size_t i = 0; i < in.num_columns(); ++i) {
+    if (n->attrs.Contains(in.columns()[i].attr)) {
+      keep.push_back(static_cast<int>(i));
+      cols.push_back(in.columns()[i]);
+    }
+  }
+  if (keep.size() != n->attrs.size()) {
+    AttrSet missing = n->attrs;
+    for (const ExecColumn& c : cols) missing.Erase(c.attr);
+    return ColNotFound(n, missing.ToVector().front(), *ctx->catalog);
+  }
+  Table out(std::move(cols));
+  out.ReserveRows(in.num_rows());
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    std::vector<Cell> row;
+    row.reserve(keep.size());
+    for (int i : keep) row.push_back(in.row(r)[static_cast<size_t>(i)]);
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> ExecSelect(const PlanNode* n, Table in, ExecContext* ctx) {
+  std::vector<BoundPredicate> preds;
+  for (const Predicate& p : n->predicates) {
+    MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, in, n, ctx));
+    preds.push_back(std::move(bp));
+  }
+  Table out(in.columns());
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    bool keep = true;
+    for (const BoundPredicate& bp : preds) {
+      MPQ_ASSIGN_OR_RETURN(bool ok, EvalBound(bp, in.row(r)));
+      if (!ok) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.AddRow(in.row(r));
+  }
+  return out;
+}
+
+std::vector<ExecColumn> ConcatColumns(const Table& l, const Table& r) {
+  std::vector<ExecColumn> cols = l.columns();
+  cols.insert(cols.end(), r.columns().begin(), r.columns().end());
+  return cols;
+}
+
+std::vector<Cell> ConcatRow(const std::vector<Cell>& a,
+                            const std::vector<Cell>& b) {
+  std::vector<Cell> row = a;
+  row.insert(row.end(), b.begin(), b.end());
+  return row;
+}
+
+Result<Table> ExecCartesian(const PlanNode*, Table l, Table r) {
+  Table out(ConcatColumns(l, r));
+  out.ReserveRows(l.num_rows() * r.num_rows());
+  for (size_t i = 0; i < l.num_rows(); ++i) {
+    for (size_t j = 0; j < r.num_rows(); ++j) {
+      out.AddRow(ConcatRow(l.row(i), r.row(j)));
+    }
+  }
+  return out;
+}
+
+Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
+  // Partition predicates into hashable equi-predicates (left attr vs right
+  // attr) and residual ones.
+  struct EqPair {
+    int lcol;
+    int rcol;
+  };
+  std::vector<EqPair> eq_pairs;
+  std::vector<Predicate> residual;
+  for (const Predicate& p : n->predicates) {
+    if (p.rhs_is_attr && p.op == CmpOp::kEq) {
+      int ll = l.ColIndex(p.lhs), rr = r.ColIndex(p.rhs_attr);
+      if (ll >= 0 && rr >= 0) {
+        eq_pairs.push_back({ll, rr});
+        continue;
+      }
+      ll = l.ColIndex(p.rhs_attr);
+      rr = r.ColIndex(p.lhs);
+      if (ll >= 0 && rr >= 0) {
+        eq_pairs.push_back({ll, rr});
+        continue;
+      }
+    }
+    residual.push_back(p);
+  }
+
+  Table out(ConcatColumns(l, r));
+
+  if (!eq_pairs.empty()) {
+    // Hash join on the composite key of all equi-pairs.
+    std::unordered_map<std::string, std::vector<size_t>> ht;
+    ht.reserve(l.num_rows() * 2);
+    for (size_t i = 0; i < l.num_rows(); ++i) {
+      std::string key;
+      bool ok = true;
+      for (const EqPair& ep : eq_pairs) {
+        Result<std::string> k =
+            CellGroupKey(l.row(i)[static_cast<size_t>(ep.lcol)]);
+        if (!k.ok()) return k.status();
+        key += *k;
+        key += '\x1f';
+      }
+      if (ok) ht[key].push_back(i);
+    }
+    // Bind residual predicates against the concatenated layout.
+    std::vector<BoundPredicate> bound_residual;
+    if (!residual.empty()) {
+      for (const Predicate& p : residual) {
+        MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, out, n, ctx));
+        bound_residual.push_back(std::move(bp));
+      }
+    }
+    for (size_t j = 0; j < r.num_rows(); ++j) {
+      std::string key;
+      for (const EqPair& ep : eq_pairs) {
+        Result<std::string> k =
+            CellGroupKey(r.row(j)[static_cast<size_t>(ep.rcol)]);
+        if (!k.ok()) return k.status();
+        key += *k;
+        key += '\x1f';
+      }
+      auto it = ht.find(key);
+      if (it == ht.end()) continue;
+      for (size_t i : it->second) {
+        std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
+        bool keep = true;
+        for (const BoundPredicate& bp : bound_residual) {
+          MPQ_ASSIGN_OR_RETURN(bool ok2, EvalBound(bp, row));
+          if (!ok2) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) out.AddRow(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  // Pure nested-loop fallback (non-equi joins).
+  std::vector<BoundPredicate> bound;
+  for (const Predicate& p : n->predicates) {
+    MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, out, n, ctx));
+    bound.push_back(std::move(bp));
+  }
+  for (size_t i = 0; i < l.num_rows(); ++i) {
+    for (size_t j = 0; j < r.num_rows(); ++j) {
+      std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
+      bool keep = true;
+      for (const BoundPredicate& bp : bound) {
+        MPQ_ASSIGN_OR_RETURN(bool ok, EvalBound(bp, row));
+        if (!ok) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out.AddRow(std::move(row));
+    }
+  }
+  return out;
+}
+
+/// Aggregation state for one (group, aggregate) pair.
+struct AggState {
+  // Plaintext accumulators.
+  double sum = 0;
+  bool sum_is_double = false;
+  int64_t count = 0;
+  Cell min_max;  // current min/max cell
+  bool has_min_max = false;
+  // Homomorphic accumulator.
+  bool hom = false;
+  uint128 hom_cipher = 0;
+  uint64_t hom_n = 0;
+  int64_t hom_count = 0;
+  EncValue hom_template;
+};
+
+Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
+  std::vector<int> group_cols;
+  std::vector<ExecColumn> out_cols;
+  std::vector<AttrId> group_attrs = n->group_by.ToVector();
+  for (AttrId a : group_attrs) {
+    int idx = in.ColIndex(a);
+    if (idx < 0) return ColNotFound(n, a, *ctx->catalog);
+    group_cols.push_back(idx);
+    out_cols.push_back(in.columns()[static_cast<size_t>(idx)]);
+  }
+
+  std::vector<int> agg_cols;
+  for (const Aggregate& agg : n->aggregates) {
+    ExecColumn col;
+    if (agg.func == AggFunc::kCountStar) {
+      agg_cols.push_back(-1);
+      col.attr = agg.out_attr;
+      col.name = ctx->catalog->attrs().Name(agg.out_attr);
+      col.type = DataType::kInt64;
+      out_cols.push_back(col);
+      continue;
+    }
+    int idx = in.ColIndex(agg.attr);
+    if (idx < 0) return ColNotFound(n, agg.attr, *ctx->catalog);
+    agg_cols.push_back(idx);
+    const ExecColumn& src = in.columns()[static_cast<size_t>(idx)];
+    col = src;
+    col.attr = agg.out_attr;
+    col.name = ctx->catalog->attrs().Name(agg.out_attr);
+    switch (agg.func) {
+      case AggFunc::kCount:
+        col.type = DataType::kInt64;
+        col.encrypted = false;
+        break;
+      case AggFunc::kAvg:
+        if (src.encrypted) {
+          col.hom_avg = true;  // Paillier sum + aux count
+        } else {
+          col.type = DataType::kDouble;
+        }
+        break;
+      default:
+        break;  // sum/min/max keep the source representation
+    }
+    out_cols.push_back(col);
+  }
+
+  // Group rows.
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<std::vector<Cell>> group_keys;
+  std::vector<std::vector<AggState>> states;
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    std::string key;
+    for (int gc : group_cols) {
+      MPQ_ASSIGN_OR_RETURN(std::string k,
+                           CellGroupKey(in.row(r)[static_cast<size_t>(gc)]));
+      key += k;
+      key += '\x1f';
+    }
+    auto [it, inserted] = group_of.try_emplace(key, group_keys.size());
+    if (inserted) {
+      std::vector<Cell> gk;
+      for (int gc : group_cols) gk.push_back(in.row(r)[static_cast<size_t>(gc)]);
+      group_keys.push_back(std::move(gk));
+      states.emplace_back(n->aggregates.size());
+    }
+    std::vector<AggState>& st = states[it->second];
+
+    for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+      const Aggregate& agg = n->aggregates[ai];
+      AggState& s = st[ai];
+      if (agg.func == AggFunc::kCountStar) {
+        s.count++;
+        continue;
+      }
+      const Cell& cell = in.row(r)[static_cast<size_t>(agg_cols[ai])];
+      switch (agg.func) {
+        case AggFunc::kCount:
+          s.count++;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          if (cell.is_plain()) {
+            const Value& v = cell.plain();
+            if (v.is_null()) break;
+            s.sum += v.AsDouble();
+            if (v.is_double()) s.sum_is_double = true;
+            s.count++;
+          } else {
+            const EncValue& ev = cell.enc();
+            if (ev.scheme != EncScheme::kPaillier) {
+              return Status::Unsupported(StrFormat(
+                  "node %d: %s over %s ciphertext requires the HOM scheme",
+                  n->id, AggFuncName(agg.func), EncSchemeName(ev.scheme)));
+            }
+            auto pm = ctx->public_modulus.find(ev.key_id);
+            if (pm == ctx->public_modulus.end()) {
+              return Status::NotFound(StrFormat(
+                  "node %d: no public modulus for key %llu", n->id,
+                  static_cast<unsigned long long>(ev.key_id)));
+            }
+            MPQ_ASSIGN_OR_RETURN(uint128 c, PaillierCipherFromBytes(ev.blob));
+            if (!s.hom) {
+              s.hom = true;
+              s.hom_cipher = c;
+              s.hom_n = pm->second;
+              s.hom_template = ev;
+            } else {
+              s.hom_cipher = PaillierAdd(s.hom_n, s.hom_cipher, c);
+            }
+            s.hom_count += ev.aux;
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          bool better;
+          if (!s.has_min_max) {
+            better = true;
+          } else {
+            CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
+            MPQ_ASSIGN_OR_RETURN(better, CompareCells(op, cell, s.min_max));
+          }
+          if (better) {
+            s.min_max = cell;
+            s.has_min_max = true;
+          }
+          break;
+        }
+        case AggFunc::kCountStar:
+          break;
+      }
+    }
+  }
+
+  // Degenerate global aggregation over an empty input: emit no rows
+  // (matching our engine's semantics; SQL would emit one NULL row).
+  Table out(out_cols);
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    std::vector<Cell> row = group_keys[g];
+    for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+      const Aggregate& agg = n->aggregates[ai];
+      const AggState& s = states[g][ai];
+      switch (agg.func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          row.push_back(Cell(Value(s.count)));
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          if (s.hom) {
+            EncValue ev = s.hom_template;
+            ev.blob = PaillierCipherToBytes(s.hom_cipher);
+            ev.aux = s.hom_count;
+            row.push_back(Cell(std::move(ev)));
+          } else if (agg.func == AggFunc::kAvg) {
+            row.push_back(Cell(
+                Value(s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0)));
+          } else if (s.sum_is_double) {
+            row.push_back(Cell(Value(s.sum)));
+          } else {
+            row.push_back(Cell(Value(static_cast<int64_t>(std::llround(s.sum)))));
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          row.push_back(s.has_min_max ? s.min_max : Cell(Value::Null()));
+          break;
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> ExecUdf(const PlanNode* n, Table in, ExecContext* ctx) {
+  std::vector<AttrId> inputs = n->udf_inputs.ToVector();
+  std::vector<int> in_cols;
+  for (AttrId a : inputs) {
+    int idx = in.ColIndex(a);
+    if (idx < 0) return ColNotFound(n, a, *ctx->catalog);
+    in_cols.push_back(idx);
+  }
+  int out_src = in.ColIndex(n->udf_output);
+  if (out_src < 0) return ColNotFound(n, n->udf_output, *ctx->catalog);
+
+  // Resolve the implementation; fall back to a built-in numeric combiner.
+  UdfImpl impl;
+  auto it = ctx->udfs.find(n->udf_name);
+  if (it != ctx->udfs.end()) {
+    impl = it->second;
+  } else {
+    impl = [](const std::vector<Cell>& cells) -> Result<Cell> {
+      // Default udf: over plaintext, a weighted numeric combination; over
+      // ciphertexts, an opaque deterministic digest (simulating an
+      // encrypted-domain analytic whose output is itself encrypted).
+      bool all_plain = true;
+      for (const Cell& c : cells) all_plain = all_plain && c.is_plain();
+      if (all_plain) {
+        double acc = 0;
+        double w = 1.0;
+        for (const Cell& c : cells) {
+          if (!c.plain().is_null() && !c.plain().is_string()) {
+            acc += w * c.plain().AsDouble();
+          } else if (c.plain().is_string()) {
+            acc += w * static_cast<double>(c.plain().AsString().size());
+          }
+          w *= 0.5;
+        }
+        return Cell(Value(acc));
+      }
+      EncValue out;
+      uint64_t h = 0x6a09e667f3bcc909ull;
+      for (const Cell& c : cells) {
+        const std::string& bytes =
+            c.is_plain() ? c.plain().Serialize() : c.enc().blob;
+        for (unsigned char b : bytes) h = SplitMix64(h ^ b);
+        if (c.is_encrypted()) {
+          out.scheme = c.enc().scheme;
+          out.key_id = c.enc().key_id;
+        }
+      }
+      out.scheme = EncScheme::kDeterministic;
+      out.blob.assign(reinterpret_cast<const char*>(&h), 8);
+      return Cell(std::move(out));
+    };
+  }
+
+  // Output layout: child columns minus (inputs \ {output}), with the output
+  // column's cells replaced by the udf result.
+  std::vector<ExecColumn> cols;
+  std::vector<int> keep;
+  for (size_t i = 0; i < in.num_columns(); ++i) {
+    AttrId a = in.columns()[i].attr;
+    if (n->udf_inputs.Contains(a) && a != n->udf_output) continue;
+    keep.push_back(static_cast<int>(i));
+    cols.push_back(in.columns()[i]);
+  }
+  Table out(std::move(cols));
+  out.ReserveRows(in.num_rows());
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    std::vector<Cell> args;
+    args.reserve(in_cols.size());
+    for (int ic : in_cols) args.push_back(in.row(r)[static_cast<size_t>(ic)]);
+    MPQ_ASSIGN_OR_RETURN(Cell result, impl(args));
+    std::vector<Cell> row;
+    row.reserve(keep.size());
+    for (int i : keep) {
+      if (i == out_src) {
+        row.push_back(result);
+      } else {
+        row.push_back(in.row(r)[static_cast<size_t>(i)]);
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  // The output column's representation may have changed (e.g. plaintext
+  // result over plaintext inputs): reflect the first row's form.
+  if (out.num_rows() > 0) {
+    for (size_t i = 0; i < out.num_columns(); ++i) {
+      if (out.columns()[i].attr == n->udf_output) {
+        const Cell& c = out.row(0)[i];
+        out.columns()[i].encrypted = c.is_encrypted();
+        if (c.is_encrypted()) {
+          out.columns()[i].scheme = c.enc().scheme;
+          out.columns()[i].key_id = c.enc().key_id;
+        } else if (!c.plain().is_string()) {
+          out.columns()[i].type =
+              c.plain().is_double() ? DataType::kDouble : DataType::kInt64;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Table> ExecEncrypt(const PlanNode* n, Table in, ExecContext* ctx) {
+  if (ctx->keyring == nullptr) {
+    return Status::NotFound("engine holds no keyring");
+  }
+  std::vector<AttrId> attrs = n->attrs.ToVector();
+  for (AttrId a : attrs) {
+    int idx = in.ColIndex(a);
+    if (idx < 0) return ColNotFound(n, a, *ctx->catalog);
+    ExecColumn& col = in.columns()[static_cast<size_t>(idx)];
+    if (col.encrypted) {
+      return Status::InvalidArgument(StrFormat(
+          "node %d: attribute %s is already encrypted", n->id,
+          col.name.c_str()));
+    }
+    EncScheme scheme = ctx->crypto != nullptr ? ctx->crypto->SchemeOf(a)
+                                              : EncScheme::kDeterministic;
+    uint64_t key_id = ctx->crypto != nullptr ? ctx->crypto->KeyOf(a) : 0;
+    MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(key_id));
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      Cell& cell = in.row(r)[static_cast<size_t>(idx)];
+      MPQ_ASSIGN_OR_RETURN(
+          EncValue ev, EncryptValue(cell.plain(), scheme, key_id, km,
+                                    ctx->NextNonce()));
+      cell = Cell(std::move(ev));
+    }
+    col.encrypted = true;
+    col.scheme = scheme;
+    col.key_id = key_id;
+  }
+  return in;
+}
+
+Result<Table> ExecDecrypt(const PlanNode* n, Table in, ExecContext* ctx) {
+  if (ctx->keyring == nullptr) {
+    return Status::NotFound("engine holds no keyring");
+  }
+  std::vector<AttrId> attrs = n->attrs.ToVector();
+  for (AttrId a : attrs) {
+    int idx = in.ColIndex(a);
+    if (idx < 0) return ColNotFound(n, a, *ctx->catalog);
+    ExecColumn& col = in.columns()[static_cast<size_t>(idx)];
+    if (!col.encrypted) {
+      return Status::InvalidArgument(StrFormat(
+          "node %d: attribute %s is not encrypted", n->id, col.name.c_str()));
+    }
+    MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(col.key_id));
+    bool avg = col.hom_avg;
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      Cell& cell = in.row(r)[static_cast<size_t>(idx)];
+      const EncValue& ev = cell.enc();
+      MPQ_ASSIGN_OR_RETURN(Value v, DecryptValue(ev, km, col.type));
+      if (avg) {
+        double d = v.AsDouble() /
+                   static_cast<double>(std::max<int64_t>(ev.aux, 1));
+        cell = Cell(Value(d));
+      } else {
+        cell = Cell(std::move(v));
+      }
+    }
+    col.encrypted = false;
+    if (avg) {
+      col.type = DataType::kDouble;
+      col.hom_avg = false;
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+Table MakeBaseTable(const RelationDef& rel) {
+  std::vector<ExecColumn> cols;
+  for (const Column& c : rel.schema.columns()) {
+    ExecColumn ec;
+    ec.attr = c.attr;
+    ec.name = c.name;
+    ec.type = c.type;
+    cols.push_back(ec);
+  }
+  return Table(std::move(cols));
+}
+
+Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
+                                  ExecContext* ctx) {
+  if (inputs.size() != n->num_children()) {
+    return Status::InvalidArgument(StrFormat(
+        "node %d (%s): expected %zu operand tables, got %zu", n->id,
+        OpKindName(n->kind), n->num_children(), inputs.size()));
+  }
+  switch (n->kind) {
+    case OpKind::kBase: {
+      auto it = ctx->base_tables.find(n->rel);
+      if (it == ctx->base_tables.end()) {
+        return Status::NotFound(StrFormat(
+            "no data loaded for relation %s",
+            ctx->catalog->Get(n->rel).name.c_str()));
+      }
+      return *it->second;  // copy
+    }
+    case OpKind::kProject:
+      return ExecProject(n, std::move(inputs[0]), ctx);
+    case OpKind::kSelect:
+      return ExecSelect(n, std::move(inputs[0]), ctx);
+    case OpKind::kCartesian:
+      return ExecCartesian(n, std::move(inputs[0]), std::move(inputs[1]));
+    case OpKind::kJoin:
+      return ExecJoin(n, std::move(inputs[0]), std::move(inputs[1]), ctx);
+    case OpKind::kGroupBy:
+      return ExecGroupBy(n, std::move(inputs[0]), ctx);
+    case OpKind::kUdf:
+      return ExecUdf(n, std::move(inputs[0]), ctx);
+    case OpKind::kEncrypt:
+      return ExecEncrypt(n, std::move(inputs[0]), ctx);
+    case OpKind::kDecrypt:
+      return ExecDecrypt(n, std::move(inputs[0]), ctx);
+  }
+  return Status::Internal("unreachable operator kind");
+}
+
+Result<Table> ExecutePlan(const PlanNode* root, ExecContext* ctx) {
+  std::vector<Table> inputs;
+  inputs.reserve(root->num_children());
+  for (size_t i = 0; i < root->num_children(); ++i) {
+    MPQ_ASSIGN_OR_RETURN(Table t, ExecutePlan(root->child(i), ctx));
+    inputs.push_back(std::move(t));
+  }
+  return ExecuteNodeOnInputs(root, std::move(inputs), ctx);
+}
+
+}  // namespace mpq

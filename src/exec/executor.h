@@ -1,0 +1,77 @@
+// Tuple-at-a-time execution of (extended) query plans, including evaluation
+// over ciphertexts: equality on DET, order on OPE, additive aggregation on
+// Paillier, and on-the-fly encryption/decryption operators.
+
+#ifndef MPQ_EXEC_EXECUTOR_H_
+#define MPQ_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "crypto/keyring.h"
+#include "exec/table.h"
+
+namespace mpq {
+
+/// Per-attribute encryption decisions: which scheme and key protect each
+/// attribute whenever it is encrypted in the plan.
+struct CryptoPlan {
+  std::unordered_map<AttrId, EncScheme> scheme_of;
+  std::unordered_map<AttrId, uint64_t> key_of;
+
+  EncScheme SchemeOf(AttrId a) const {
+    auto it = scheme_of.find(a);
+    return it == scheme_of.end() ? EncScheme::kDeterministic : it->second;
+  }
+  uint64_t KeyOf(AttrId a) const {
+    auto it = key_of.find(a);
+    return it == key_of.end() ? 0 : it->second;
+  }
+};
+
+/// A user-defined function: cells of the input attributes (in ascending
+/// attribute-id order) to one output cell.
+using UdfImpl = std::function<Result<Cell>(const std::vector<Cell>&)>;
+
+/// Execution environment. `keyring` holds the keys available to the engine
+/// performing encryption/decryption operators — an engine without a key fails
+/// with kNotFound, which is exactly the enforcement property key distribution
+/// provides. `dispatcher_keyring` holds the keys of the party that prepared
+/// the dispatched sub-queries: predicate *constants* compared against
+/// encrypted columns are encrypted with it (the paper dispatches conditions
+/// already formulated on encrypted values).
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  std::unordered_map<RelId, const Table*> base_tables;
+  const KeyRing* keyring = nullptr;
+  const KeyRing* dispatcher_keyring = nullptr;
+  /// Public Paillier moduli per key id (public knowledge; homomorphic
+  /// addition needs no private key).
+  std::unordered_map<uint64_t, uint64_t> public_modulus;
+  const CryptoPlan* crypto = nullptr;
+  uint64_t nonce = 0x9e3779b9u;
+  std::unordered_map<std::string, UdfImpl> udfs;
+
+  uint64_t NextNonce() { return ++nonce; }
+};
+
+/// Executes `root` and returns the resulting table.
+Result<Table> ExecutePlan(const PlanNode* root, ExecContext* ctx);
+
+/// Executes exactly one operator over materialized operand tables (children
+/// are NOT executed; `inputs` must match the node's arity). Base nodes take
+/// no inputs and read from ctx->base_tables. This is the building block of
+/// the distributed runtime, which runs each node under its assignee's
+/// context.
+Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
+                                  ExecContext* ctx);
+
+/// Builds the initial table for a base relation from plaintext column data
+/// given in schema order.
+Table MakeBaseTable(const RelationDef& rel);
+
+}  // namespace mpq
+
+#endif  // MPQ_EXEC_EXECUTOR_H_

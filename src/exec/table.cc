@@ -1,0 +1,44 @@
+#include "exec/table.h"
+
+namespace mpq {
+
+int Table::ColIndex(AttrId attr) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].attr == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t Table::ByteSize() const {
+  uint64_t total = 0;
+  for (const auto& row : rows_) {
+    for (const Cell& c : row) total += c.ByteSize();
+  }
+  return total;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns_[i].name;
+    if (columns_[i].encrypted) {
+      out += "*";
+    }
+  }
+  out += "\n";
+  size_t n = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows_[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (rows_.size() > n) {
+    out += "... (" + std::to_string(rows_.size() - n) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace mpq

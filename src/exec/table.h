@@ -1,0 +1,65 @@
+// In-memory tables with per-column encryption state, the data representation
+// of the execution engine.
+
+#ifndef MPQ_EXEC_TABLE_H_
+#define MPQ_EXEC_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "crypto/enc_value.h"
+
+namespace mpq {
+
+/// A column of an executing relation. `encrypted` columns carry EncValue
+/// cells under (`scheme`, `key_id`); `type` is always the plaintext type.
+struct ExecColumn {
+  AttrId attr = kInvalidAttr;
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool encrypted = false;
+  EncScheme scheme = EncScheme::kRandom;
+  uint64_t key_id = 0;
+  /// True when the column holds a homomorphic average: a Paillier sum whose
+  /// `aux` counter is the divisor to apply after decryption.
+  bool hom_avg = false;
+};
+
+/// Row-major table.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<ExecColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ExecColumn>& columns() const { return columns_; }
+  std::vector<ExecColumn>& columns() { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Index of the column for `attr`, or -1.
+  int ColIndex(AttrId attr) const;
+
+  void AddRow(std::vector<Cell> row) { rows_.push_back(std::move(row)); }
+  const std::vector<Cell>& row(size_t i) const { return rows_[i]; }
+  std::vector<Cell>& row(size_t i) { return rows_[i]; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
+  void ReserveRows(size_t n) { rows_.reserve(n); }
+
+  /// Total payload bytes (used for transfer accounting).
+  uint64_t ByteSize() const;
+
+  /// Pretty-prints up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<ExecColumn> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_EXEC_TABLE_H_

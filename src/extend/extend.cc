@@ -1,0 +1,370 @@
+#include "extend/extend.h"
+
+#include <cassert>
+
+#include "algebra/plan_builder.h"
+#include "common/str_util.h"
+#include "profile/propagate.h"
+
+namespace mpq {
+
+namespace {
+
+/// Attributes that executing `n` adds to the implicit component of its result
+/// (Fig 2): attr-value selection operands and grouping attributes.
+AttrSet ImplicitMaking(const PlanNode* n) {
+  AttrSet out;
+  switch (n->kind) {
+    case OpKind::kSelect:
+    case OpKind::kJoin:
+      for (const Predicate& p : n->predicates) {
+        if (!p.rhs_is_attr) out.Insert(p.lhs);
+      }
+      break;
+    case OpKind::kGroupBy:
+      out = n->group_by;
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+/// Attributes an operator reads: predicate attributes, grouping attributes,
+/// aggregate inputs, udf inputs.
+AttrSet OpAttrs(const PlanNode* n) {
+  AttrSet out = PredicatesAttrs(n->predicates);
+  out.InsertAll(n->group_by);
+  for (const Aggregate& a : n->aggregates) {
+    if (a.attr != kInvalidAttr) out.Insert(a.attr);
+  }
+  out.InsertAll(n->udf_inputs);
+  return out;
+}
+
+/// Copies every field of `n` except children and profile.
+PlanPtr CloneShallow(const PlanNode* n) {
+  auto out = std::make_unique<PlanNode>();
+  out->kind = n->kind;
+  out->id = n->id;
+  out->rel = n->rel;
+  out->attrs = n->attrs;
+  out->predicates = n->predicates;
+  out->group_by = n->group_by;
+  out->aggregates = n->aggregates;
+  out->udf_inputs = n->udf_inputs;
+  out->udf_output = n->udf_output;
+  out->udf_name = n->udf_name;
+  out->needs_plaintext = n->needs_plaintext;
+  return out;
+}
+
+struct BuildCtx {
+  const Policy* policy;
+  const Catalog* catalog;
+  const Assignment* full_lambda;
+  // Per original node id: union of E_{λ(x)} over proper ancestors x (plus the
+  // final recipient's E for the root's chain when one is given).
+  std::unordered_map<int, AttrSet> anc_enc;
+  Assignment out_assign;
+  AttrSet enc_attrs;
+};
+
+void ComputeAncestorEnc(const PlanNode* n, const AttrSet& inherited,
+                        BuildCtx* ctx) {
+  ctx->anc_enc[n->id] = inherited;
+  AttrSet down = inherited;
+  down.InsertAll(ctx->policy->EncView(ctx->full_lambda->at(n->id)));
+  for (const auto& c : n->children) ComputeAncestorEnc(c.get(), down, ctx);
+}
+
+struct BuiltSubtree {
+  PlanPtr plan;
+  RelationProfile profile;
+};
+
+Result<BuiltSubtree> BuildRec(const PlanNode* n, BuildCtx* ctx) {
+  const Catalog& catalog = *ctx->catalog;
+  SubjectId sn = ctx->full_lambda->at(n->id);
+  ctx->out_assign[n->id] = sn;
+
+  if (n->is_leaf()) {
+    BuiltSubtree out;
+    out.plan = CloneShallow(n);
+    out.profile = RelationProfile::ForBase(catalog.Get(n->rel).schema.Attrs());
+    out.plan->profile = out.profile;
+    return out;
+  }
+
+  std::vector<PlanPtr> subs;
+  std::vector<RelationProfile> profs;
+  for (size_t i = 0; i < n->num_children(); ++i) {
+    MPQ_ASSIGN_OR_RETURN(BuiltSubtree sub, BuildRec(n->child(i), ctx));
+    subs.push_back(std::move(sub.plan));
+    profs.push_back(std::move(sub.profile));
+  }
+
+  // Def 5.4(i)/(ii): per-edge decryption and encryption sets.
+  const AttrSet es_n = ctx->policy->EncView(sn);
+  std::vector<AttrSet> dec_sets(n->num_children());
+  std::vector<AttrSet> enc_sets(n->num_children());
+  for (size_t i = 0; i < n->num_children(); ++i) {
+    AttrSet ap = PlaintextNeededFromChild(n, profs[i].Visible());
+    // Greedy decrypt-at-operator (the paper's footnote 2): when the assignee
+    // is plaintext-authorized for an operand attribute its operator reads,
+    // decrypt it and run on plaintext — upstream encryption can then use a
+    // cheap storage scheme instead of an operation-capable one. Blocked for
+    // attributes the operator turns implicit while some ancestor assignee
+    // may only see them encrypted (that would leak plaintext implicitly and
+    // is exactly what the Def 5.4(ii) A-term encrypts against).
+    AttrSet blocked =
+        ImplicitMaking(n).Intersect(ctx->anc_enc.at(n->child(i)->id));
+    // Close the blocked set over comparison partners: a pair must stay
+    // uniformly encrypted, so a blocked attribute blocks its partners.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const Predicate& p : n->predicates) {
+        if (!p.rhs_is_attr) continue;
+        if (blocked.Contains(p.lhs) && blocked.Insert(p.rhs_attr)) grew = true;
+        if (blocked.Contains(p.rhs_attr) && blocked.Insert(p.lhs)) grew = true;
+      }
+    }
+    AttrSet greedy = OpAttrs(n)
+                         .Intersect(ctx->policy->PlainView(sn))
+                         .Intersect(profs[i].ve);
+    greedy.EraseAll(blocked);
+    ap.InsertAll(greedy);
+    dec_sets[i] = ap.Intersect(profs[i].ve);
+    // (E_{S_n} ∪ (implicit-making ∩ ancestor-E)) ∩ Rvp of the child result.
+    AttrSet enc = es_n;
+    enc.InsertAll(
+        ImplicitMaking(n).Intersect(ctx->anc_enc.at(n->child(i)->id)));
+    enc_sets[i] = enc.Intersect(profs[i].vp);
+    if (enc_sets[i].Intersects(ap)) {
+      return Status::Internal(StrFormat(
+          "node %d: assignee needs plaintext over attributes it must not see; "
+          "λ is not drawn from the candidate sets",
+          n->id));
+    }
+  }
+
+  // Executability closure: attributes compared by a condition (and inputs of
+  // an encrypted-capable udf) must end up uniformly encrypted or plaintext.
+  auto child_of = [&](AttrId a) -> int {
+    for (size_t i = 0; i < profs.size(); ++i) {
+      if (profs[i].Visible().Contains(a)) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  auto is_enc_form = [&](AttrId a, int i) {
+    bool enc = profs[static_cast<size_t>(i)].ve.Contains(a) ||
+               enc_sets[static_cast<size_t>(i)].Contains(a);
+    return enc && !dec_sets[static_cast<size_t>(i)].Contains(a);
+  };
+  auto force_enc = [&](AttrId a, int i) -> Status {
+    if (dec_sets[static_cast<size_t>(i)].Contains(a)) {
+      return Status::Internal(StrFormat(
+          "node %d: attribute must be both plaintext and encrypted", n->id));
+    }
+    if (profs[static_cast<size_t>(i)].vp.Contains(a)) {
+      enc_sets[static_cast<size_t>(i)].Insert(a);
+    }
+    return Status::OK();
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (n->kind == OpKind::kSelect || n->kind == OpKind::kJoin) {
+      for (const Predicate& p : n->predicates) {
+        if (!p.rhs_is_attr) continue;
+        int ci = child_of(p.lhs), cj = child_of(p.rhs_attr);
+        if (ci < 0 || cj < 0) continue;
+        bool ei = is_enc_form(p.lhs, ci), ej = is_enc_form(p.rhs_attr, cj);
+        if (ei == ej) continue;
+        MPQ_RETURN_NOT_OK(ei ? force_enc(p.rhs_attr, cj)
+                             : force_enc(p.lhs, ci));
+        changed = true;
+      }
+    }
+    if (n->kind == OpKind::kUdf &&
+        !n->udf_inputs.IsSubsetOf(n->needs_plaintext)) {
+      bool any_enc = false;
+      n->udf_inputs.ForEach([&](AttrId a) {
+        int ci = child_of(a);
+        if (ci >= 0 && is_enc_form(a, ci)) any_enc = true;
+      });
+      if (any_enc) {
+        std::vector<AttrId> to_force;
+        n->udf_inputs.ForEach([&](AttrId a) {
+          int ci = child_of(a);
+          if (ci >= 0 && !is_enc_form(a, ci)) to_force.push_back(a);
+        });
+        for (AttrId a : to_force) {
+          MPQ_RETURN_NOT_OK(force_enc(a, child_of(a)));
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Assemble the edge: child → encrypt (complements the child, its subject)
+  // → decrypt (complements n, assigned to S_n) → n.
+  auto new_node = CloneShallow(n);
+  for (size_t i = 0; i < n->num_children(); ++i) {
+    PlanPtr sub = std::move(subs[i]);
+    RelationProfile prof = profs[i];
+    if (!enc_sets[i].empty()) {
+      SubjectId child_subject = ctx->out_assign.at(n->child(i)->id);
+      sub = Encrypt(std::move(sub), enc_sets[i]);
+      sub->id = -1;
+      ctx->enc_attrs.InsertAll(enc_sets[i]);
+      MPQ_ASSIGN_OR_RETURN(
+          prof, PropagateProfile(sub.get(), prof, {}, catalog, {.strict = true}));
+      sub->profile = prof;
+      // New node ids are assigned later; stash the subject in the (unused)
+      // udf_name field until ids exist, then move it into the assignment.
+      sub->udf_name = std::to_string(child_subject);
+    }
+    if (!dec_sets[i].empty()) {
+      sub = Decrypt(std::move(sub), dec_sets[i]);
+      sub->id = -1;
+      MPQ_ASSIGN_OR_RETURN(
+          prof, PropagateProfile(sub.get(), prof, {}, catalog, {.strict = true}));
+      sub->profile = prof;
+      sub->udf_name = std::to_string(sn);  // stash subject
+    }
+    new_node->children.push_back(std::move(sub));
+    profs[i] = prof;
+  }
+
+  BuiltSubtree out;
+  static const RelationProfile kEmpty;
+  MPQ_ASSIGN_OR_RETURN(
+      out.profile,
+      PropagateProfile(new_node.get(), profs.size() > 0 ? profs[0] : kEmpty,
+                       profs.size() > 1 ? profs[1] : kEmpty, catalog,
+                       {.strict = true}));
+  new_node->profile = out.profile;
+  out.plan = std::move(new_node);
+  return out;
+}
+
+}  // namespace
+
+Result<ExtendedPlan> BuildMinimallyExtendedPlan(
+    const PlanNode* root, const Assignment& lambda, const Policy& policy,
+    std::optional<SubjectId> final_recipient) {
+  const Catalog& catalog = policy.catalog();
+
+  // Complete λ over leaves and validate it against the candidate sets.
+  MPQ_ASSIGN_OR_RETURN(CandidatePlan cp, ComputeCandidates(root, policy));
+  Assignment full_lambda;
+  int max_id = 0;
+  for (const PlanNode* n : PostOrder(root)) {
+    max_id = std::max(max_id, n->id);
+    if (n->is_leaf()) {
+      full_lambda[n->id] = catalog.Get(n->rel).owner;
+      continue;
+    }
+    auto it = lambda.find(n->id);
+    if (it == lambda.end()) {
+      return Status::InvalidArgument(
+          StrFormat("assignment missing for node %d", n->id));
+    }
+    if (!cp.at(n->id).candidates.Contains(it->second)) {
+      return Status::Unauthorized(StrFormat(
+          "subject %s is not a candidate for node %d (Def 5.3)",
+          policy.subjects().Name(it->second).c_str(), n->id));
+    }
+    full_lambda[n->id] = it->second;
+  }
+
+  BuildCtx ctx;
+  ctx.policy = &policy;
+  ctx.catalog = &catalog;
+  ctx.full_lambda = &full_lambda;
+  AttrSet root_inherited;
+  if (final_recipient.has_value()) {
+    root_inherited = policy.EncView(*final_recipient);
+  }
+  ComputeAncestorEnc(root, root_inherited, &ctx);
+
+  MPQ_ASSIGN_OR_RETURN(BuiltSubtree built, BuildRec(root, &ctx));
+
+  // Delivery to the final recipient: encrypt what the recipient must not see
+  // plaintext, decrypt (at the recipient) what it may read.
+  PlanPtr plan = std::move(built.plan);
+  RelationProfile prof = built.profile;
+  if (final_recipient.has_value()) {
+    SubjectId rec = *final_recipient;
+    AttrSet enc = policy.EncView(rec).Intersect(prof.vp);
+    if (!enc.empty()) {
+      SubjectId root_subject = full_lambda.at(root->id);
+      plan = Encrypt(std::move(plan), enc);
+      plan->id = -1;
+      plan->udf_name = std::to_string(root_subject);
+      ctx.enc_attrs.InsertAll(enc);
+      MPQ_ASSIGN_OR_RETURN(
+          prof, PropagateProfile(plan.get(), built.profile, {}, catalog,
+                                 {.strict = true}));
+      plan->profile = prof;
+    }
+    AttrSet dec = prof.ve.Intersect(policy.PlainView(rec));
+    if (!dec.empty()) {
+      RelationProfile before = prof;
+      plan = Decrypt(std::move(plan), dec);
+      plan->id = -1;
+      plan->udf_name = std::to_string(rec);
+      MPQ_ASSIGN_OR_RETURN(prof, PropagateProfile(plan.get(), before, {},
+                                                  catalog, {.strict = true}));
+      plan->profile = prof;
+    }
+  }
+
+  // Assign fresh ids to injected nodes and record their subjects (stashed in
+  // udf_name during construction).
+  ExtendedPlan ext;
+  ext.assignment = std::move(ctx.out_assign);
+  int next_id = max_id + 1;
+  for (PlanNode* n : PostOrder(plan.get())) {
+    if (n->id != -1) continue;
+    n->id = next_id++;
+    assert(n->kind == OpKind::kEncrypt || n->kind == OpKind::kDecrypt);
+    ext.assignment[n->id] =
+        static_cast<SubjectId>(std::stoul(n->udf_name));
+    n->udf_name.clear();
+  }
+  ext.plan = std::move(plan);
+  ext.encrypted_attrs = ctx.enc_attrs;
+
+  MPQ_RETURN_NOT_OK(ValidatePlan(ext.plan.get(), catalog));
+  MPQ_RETURN_NOT_OK(AnnotatePlan(ext.plan.get(), catalog, {.strict = true}));
+  return ext;
+}
+
+Status VerifyAuthorizedAssignment(const ExtendedPlan& ext,
+                                  const Policy& policy) {
+  for (const PlanNode* n : PostOrder(ext.plan.get())) {
+    if (n->is_leaf()) continue;
+    auto it = ext.assignment.find(n->id);
+    if (it == ext.assignment.end()) {
+      return Status::Internal(
+          StrFormat("extended plan node %d has no assignee", n->id));
+    }
+    std::vector<const RelationProfile*> operands;
+    operands.reserve(n->num_children());
+    for (size_t i = 0; i < n->num_children(); ++i) {
+      operands.push_back(&n->child(i)->profile);
+    }
+    Status st = policy.CheckAssignee(it->second, n->profile, operands);
+    if (!st.ok()) {
+      return Status::Unauthorized(StrFormat(
+          "node %d (%s) assigned to %s: %s", n->id, OpKindName(n->kind),
+          policy.subjects().Name(it->second).c_str(), st.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mpq

@@ -1,0 +1,65 @@
+#include "extend/keys.h"
+
+namespace mpq {
+
+const KeyGroup* PlanKeys::GroupOf(AttrId a) const {
+  for (const KeyGroup& g : groups) {
+    if (g.attrs.Contains(a)) return &g;
+  }
+  return nullptr;
+}
+
+std::string PlanKeys::ToString(const Catalog& catalog,
+                               const SubjectRegistry& subjects) const {
+  std::string out;
+  for (const KeyGroup& g : groups) {
+    out += "k";
+    out += g.attrs.ToString(catalog.attrs());
+    out += " -> {";
+    bool first = true;
+    g.holders.ForEach([&](AttrId s) {
+      if (!first) out += ",";
+      first = false;
+      out += subjects.Name(static_cast<SubjectId>(s));
+    });
+    out += "}\n";
+  }
+  return out;
+}
+
+PlanKeys DeriveQueryPlanKeys(const ExtendedPlan& ext) {
+  PlanKeys keys;
+  const AttrSet& ak = ext.encrypted_attrs;
+  const RelationProfile& root_profile = ext.plan->profile;
+
+  // Clusters: Ak ∩ Aj for each root equivalence class Aj, plus singletons
+  // for encrypted attributes in no class.
+  AttrSet covered;
+  for (const AttrSet& cls : root_profile.eq.Classes()) {
+    AttrSet inter = ak.Intersect(cls);
+    if (inter.empty()) continue;
+    KeyGroup g;
+    g.key_id = keys.groups.size() + 1;
+    g.attrs = inter;
+    keys.groups.push_back(std::move(g));
+    covered.InsertAll(inter);
+  }
+  ak.Difference(covered).ForEach([&](AttrId a) {
+    KeyGroup g;
+    g.key_id = keys.groups.size() + 1;
+    g.attrs.Insert(a);
+    keys.groups.push_back(std::move(g));
+  });
+
+  // Holders: assignees of enc/dec operations touching each cluster.
+  for (const PlanNode* n : PostOrder(ext.plan.get())) {
+    if (n->kind != OpKind::kEncrypt && n->kind != OpKind::kDecrypt) continue;
+    SubjectId s = ext.assignment.at(n->id);
+    for (KeyGroup& g : keys.groups) {
+      if (g.attrs.Intersects(n->attrs)) g.holders.Insert(s);
+    }
+  }
+  return keys;
+}
+
+}  // namespace mpq

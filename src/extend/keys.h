@@ -1,0 +1,44 @@
+// Query plan keys (Def 6.1): clusters the attributes involved in encryption
+// operations by the equivalence sets of the root profile — attributes that
+// were compared in some condition must share an encryption key — and records
+// which subjects must receive each key.
+
+#ifndef MPQ_EXTEND_KEYS_H_
+#define MPQ_EXTEND_KEYS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "candidates/candidates.h"
+#include "extend/extend.h"
+
+namespace mpq {
+
+/// One key of K_T and the subjects it is distributed to.
+struct KeyGroup {
+  uint64_t key_id = 0;   ///< Stable identifier (1-based, deterministic).
+  AttrSet attrs;         ///< The attribute cluster A sharing this key.
+  SubjectSet holders;    ///< Subjects performing enc/dec over these attrs.
+};
+
+/// The key set K_T for an extended plan.
+struct PlanKeys {
+  std::vector<KeyGroup> groups;
+
+  /// Group covering `a`, or nullptr.
+  const KeyGroup* GroupOf(AttrId a) const;
+
+  std::string ToString(const Catalog& catalog,
+                       const SubjectRegistry& subjects) const;
+};
+
+/// Derives K_T per Def 6.1: Ak (attributes involved in encryption operations)
+/// is partitioned by the root profile's equivalence classes; attributes in no
+/// class become singletons. Holders are the assignees of the encryption and
+/// decryption operations touching each cluster.
+PlanKeys DeriveQueryPlanKeys(const ExtendedPlan& ext);
+
+}  // namespace mpq
+
+#endif  // MPQ_EXTEND_KEYS_H_

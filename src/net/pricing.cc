@@ -1,0 +1,28 @@
+#include "net/pricing.h"
+
+namespace mpq {
+
+PricingTable PricingTable::PaperDefaults(const SubjectRegistry& subjects,
+                                         double provider_cpu_usd_per_hour) {
+  PricingTable table;
+  PriceList provider;
+  provider.cpu_usd_per_hour = provider_cpu_usd_per_hour;
+  table.SetDefault(provider);
+  for (const Subject& s : subjects.subjects()) {
+    PriceList p = provider;
+    switch (s.kind) {
+      case SubjectKind::kUser:
+        p.cpu_usd_per_hour = provider_cpu_usd_per_hour * 10.0;
+        break;
+      case SubjectKind::kAuthority:
+        p.cpu_usd_per_hour = provider_cpu_usd_per_hour * 3.0;
+        break;
+      case SubjectKind::kProvider:
+        break;
+    }
+    table.Set(s.id, p);
+  }
+  return table;
+}
+
+}  // namespace mpq

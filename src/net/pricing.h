@@ -1,0 +1,47 @@
+// Per-subject price lists (Sec 7): cloud providers charge for cpu time,
+// local i/o and network i/o; users and data authorities are modeled as
+// more expensive computation sites (10× and 3× provider cpu price in the
+// paper's experiments).
+
+#ifndef MPQ_NET_PRICING_H_
+#define MPQ_NET_PRICING_H_
+
+#include <unordered_map>
+
+#include "authz/subject.h"
+
+namespace mpq {
+
+/// Prices for one subject.
+struct PriceList {
+  double cpu_usd_per_hour = 0.05;  ///< Per cpu-hour of processing.
+  double io_usd_per_gb = 0.0002;   ///< Local i/o, per GB touched.
+  double net_usd_per_gb = 0.001;   ///< Network egress, per GB sent
+                                   ///< (intra-cloud / peered rates).
+};
+
+/// Price book for all subjects of a scenario.
+class PricingTable {
+ public:
+  /// Default prices applied to subjects without an explicit entry.
+  void SetDefault(PriceList p) { default_ = p; }
+  void Set(SubjectId s, PriceList p) { prices_[s] = p; }
+
+  const PriceList& Get(SubjectId s) const {
+    auto it = prices_.find(s);
+    return it == prices_.end() ? default_ : it->second;
+  }
+
+  /// Convenience: provider-baseline prices with the paper's multipliers for
+  /// users (10× cpu) and data authorities (3× cpu).
+  static PricingTable PaperDefaults(const SubjectRegistry& subjects,
+                                    double provider_cpu_usd_per_hour = 0.05);
+
+ private:
+  PriceList default_;
+  std::unordered_map<SubjectId, PriceList> prices_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_NET_PRICING_H_

@@ -1,0 +1,29 @@
+#include "net/topology.h"
+
+#include <algorithm>
+
+namespace mpq {
+
+void Topology::SetLink(SubjectId a, SubjectId b, double bps) {
+  links_[{std::min(a, b), std::max(a, b)}] = bps;
+}
+
+double Topology::BandwidthBps(SubjectId a, SubjectId b) const {
+  auto it = links_.find({std::min(a, b), std::max(a, b)});
+  return it == links_.end() ? default_bps_ : it->second;
+}
+
+Topology Topology::PaperDefaults(const SubjectRegistry& subjects) {
+  Topology t;
+  t.SetDefault(10e9);
+  for (const Subject& u : subjects.subjects()) {
+    if (u.kind != SubjectKind::kUser) continue;
+    for (const Subject& other : subjects.subjects()) {
+      if (other.id == u.id) continue;
+      t.SetLink(u.id, other.id, 100e6);
+    }
+  }
+  return t;
+}
+
+}  // namespace mpq

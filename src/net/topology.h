@@ -1,0 +1,37 @@
+// Network topology: pairwise bandwidth between subjects. The paper's
+// configuration connects authorities and providers with 10 Gbps links and
+// the client with a 100 Mbps link.
+
+#ifndef MPQ_NET_TOPOLOGY_H_
+#define MPQ_NET_TOPOLOGY_H_
+
+#include <map>
+#include <utility>
+
+#include "authz/subject.h"
+
+namespace mpq {
+
+/// Symmetric bandwidth matrix with a default.
+class Topology {
+ public:
+  /// Default link speed (bits per second).
+  void SetDefault(double bps) { default_bps_ = bps; }
+
+  /// Sets the (symmetric) bandwidth between two subjects.
+  void SetLink(SubjectId a, SubjectId b, double bps);
+
+  double BandwidthBps(SubjectId a, SubjectId b) const;
+
+  /// Paper configuration: 10 Gbps between authorities/providers, 100 Mbps
+  /// from every subject to the user.
+  static Topology PaperDefaults(const SubjectRegistry& subjects);
+
+ private:
+  double default_bps_ = 10e9;
+  std::map<std::pair<SubjectId, SubjectId>, double> links_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_NET_TOPOLOGY_H_

@@ -1,0 +1,56 @@
+#include "profile/profile.h"
+
+namespace mpq {
+
+RelationProfile RelationProfile::ForBase(const AttrSet& schema_attrs) {
+  RelationProfile p;
+  p.vp = schema_attrs;
+  return p;
+}
+
+AttrSet RelationProfile::AllAttrs() const {
+  AttrSet out = vp;
+  out.InsertAll(ve);
+  out.InsertAll(ip);
+  out.InsertAll(ie);
+  out.InsertAll(eq.AllMembers());
+  return out;
+}
+
+AttrSet RelationProfile::Visible() const { return vp.Union(ve); }
+
+AttrSet RelationProfile::Implicit() const { return ip.Union(ie); }
+
+bool RelationProfile::operator==(const RelationProfile& other) const {
+  return vp == other.vp && ve == other.ve && ip == other.ip &&
+         ie == other.ie && eq == other.eq;
+}
+
+std::string RelationProfile::ToString(const AttrRegistry& reg) const {
+  std::string out = "v:";
+  out += vp.ToString(reg);
+  if (!ve.empty()) {
+    out += "[";
+    out += ve.ToString(reg);
+    out += "]";
+  }
+  out += " i:";
+  out += ip.ToString(reg);
+  if (!ie.empty()) {
+    out += "[";
+    out += ie.ToString(reg);
+    out += "]";
+  }
+  out += " eq:";
+  bool first = true;
+  for (const AttrSet& cls : eq.Classes()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    out += cls.ToString(reg);
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace mpq

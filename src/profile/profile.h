@@ -1,0 +1,52 @@
+// Relation profiles (Def 3.1): the informative content of a base or derived
+// relation, as the 5-tuple [Rvp, Rve, Rip, Rie, R≃].
+
+#ifndef MPQ_PROFILE_PROFILE_H_
+#define MPQ_PROFILE_PROFILE_H_
+
+#include <string>
+
+#include "common/attr.h"
+#include "common/attr_set.h"
+#include "common/disjoint_set.h"
+
+namespace mpq {
+
+/// The profile of a relation.
+///
+/// - `vp` / `ve`: attributes visible in the schema, plaintext / encrypted.
+/// - `ip` / `ie`: implicit attributes (leaked by selections, grouping, udfs),
+///   plaintext / encrypted.
+/// - `eq`: closure of the equivalence relationship among attributes connected
+///   by comparisons in the computation.
+struct RelationProfile {
+  AttrSet vp;
+  AttrSet ve;
+  AttrSet ip;
+  AttrSet ie;
+  DisjointSet eq;
+
+  /// Profile of a base relation: all attributes visible plaintext, nothing
+  /// implicit, no equivalences (paper, Sec 3.2).
+  static RelationProfile ForBase(const AttrSet& schema_attrs);
+
+  /// All attributes appearing anywhere in the profile, including equivalence
+  /// members (the set bounded by Theorem 3.1(i)).
+  AttrSet AllAttrs() const;
+
+  /// Visible attributes vp ∪ ve (== the relation's schema).
+  AttrSet Visible() const;
+
+  /// Implicit attributes ip ∪ ie.
+  AttrSet Implicit() const;
+
+  bool operator==(const RelationProfile& other) const;
+  bool operator!=(const RelationProfile& other) const { return !(*this == other); }
+
+  /// "v:SDT|CP i:D ≃:{SC}" rendering (encrypted parts bracketed).
+  std::string ToString(const AttrRegistry& reg) const;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_PROFILE_PROFILE_H_

@@ -1,0 +1,242 @@
+#include "profile/propagate.h"
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+
+/// Checks the executability constraint on a compared attribute pair: both
+/// plaintext or both encrypted in the operand profile.
+Status CheckUniformPair(const RelationProfile& in, AttrId a, AttrId b,
+                        const AttrRegistry& reg) {
+  bool a_plain = in.vp.Contains(a), b_plain = in.vp.Contains(b);
+  bool a_enc = in.ve.Contains(a), b_enc = in.ve.Contains(b);
+  if ((a_plain && b_plain) || (a_enc && b_enc)) return Status::OK();
+  return Status::Unsupported(StrFormat(
+      "condition compares %s and %s with non-uniform visibility",
+      reg.Name(a).c_str(), reg.Name(b).c_str()));
+}
+
+RelationProfile PropagateSelect(const PlanNode* node, RelationProfile p) {
+  for (const Predicate& pred : node->predicates) {
+    if (pred.rhs_is_attr) {
+      AttrSet pair{pred.lhs, pred.rhs_attr};
+      p.eq.UnionAll(pair);
+    } else {
+      // a op value: a becomes implicit, in the form it is visible.
+      if (p.vp.Contains(pred.lhs)) p.ip.Insert(pred.lhs);
+      if (p.ve.Contains(pred.lhs)) p.ie.Insert(pred.lhs);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<RelationProfile> PropagateProfile(const PlanNode* node,
+                                         const RelationProfile& left,
+                                         const RelationProfile& right,
+                                         const Catalog& catalog,
+                                         const PropagateOptions& opts) {
+  const AttrRegistry& reg = catalog.attrs();
+  switch (node->kind) {
+    case OpKind::kBase:
+      return RelationProfile::ForBase(catalog.Get(node->rel).schema.Attrs());
+
+    case OpKind::kProject: {
+      RelationProfile p = left;
+      p.vp = left.vp.Intersect(node->attrs);
+      p.ve = left.ve.Intersect(node->attrs);
+      return p;
+    }
+
+    case OpKind::kSelect: {
+      if (opts.strict) {
+        for (const Predicate& pred : node->predicates) {
+          if (pred.rhs_is_attr) {
+            MPQ_RETURN_NOT_OK(
+                CheckUniformPair(left, pred.lhs, pred.rhs_attr, reg));
+          }
+        }
+      }
+      return PropagateSelect(node, left);
+    }
+
+    case OpKind::kCartesian: {
+      RelationProfile p;
+      p.vp = left.vp.Union(right.vp);
+      p.ve = left.ve.Union(right.ve);
+      p.ip = left.ip.Union(right.ip);
+      p.ie = left.ie.Union(right.ie);
+      p.eq = left.eq;
+      p.eq.Merge(right.eq);
+      return p;
+    }
+
+    case OpKind::kJoin: {
+      // ⋈ ≡ σ_C(Rl × Rr): union profiles, then apply the condition.
+      RelationProfile p;
+      p.vp = left.vp.Union(right.vp);
+      p.ve = left.ve.Union(right.ve);
+      p.ip = left.ip.Union(right.ip);
+      p.ie = left.ie.Union(right.ie);
+      p.eq = left.eq;
+      p.eq.Merge(right.eq);
+      if (opts.strict) {
+        for (const Predicate& pred : node->predicates) {
+          MPQ_RETURN_NOT_OK(CheckUniformPair(p, pred.lhs, pred.rhs_attr, reg));
+        }
+      }
+      return PropagateSelect(node, std::move(p));
+    }
+
+    case OpKind::kGroupBy: {
+      // Visible: grouping attributes and aggregate inputs/outputs only.
+      AttrSet kept = node->group_by;
+      for (const Aggregate& a : node->aggregates) {
+        if (a.func != AggFunc::kCountStar) kept.Insert(a.attr);
+      }
+      RelationProfile p = left;
+      p.vp = left.vp.Intersect(kept);
+      p.ve = left.ve.Intersect(kept);
+      // Grouping leaks the grouped attributes (like an equality selection
+      // with unknown value): add A to the implicit component.
+      p.ip.InsertAll(left.vp.Intersect(node->group_by));
+      p.ie.InsertAll(left.ve.Intersect(node->group_by));
+      // count(*) and count(a) outputs are plaintext counters regardless of
+      // the input's form (cardinalities are not value-protected; cf. the
+      // plaintext auxiliary counter carried by homomorphic averages).
+      for (const Aggregate& a : node->aggregates) {
+        if (a.func == AggFunc::kCountStar) {
+          p.vp.Insert(a.out_attr);
+        } else if (a.func == AggFunc::kCount) {
+          p.ve.Erase(a.out_attr);
+          p.vp.Insert(a.out_attr);
+        }
+      }
+      return p;
+    }
+
+    case OpKind::kUdf: {
+      if (opts.strict) {
+        // Udf inputs must be uniformly visible (all plaintext or all enc).
+        bool all_plain = node->udf_inputs.IsSubsetOf(left.vp);
+        bool all_enc = node->udf_inputs.IsSubsetOf(left.ve);
+        if (!all_plain && !all_enc) {
+          return Status::Unsupported(StrFormat(
+              "udf %s inputs have non-uniform visibility",
+              node->udf_name.c_str()));
+        }
+      }
+      RelationProfile p = left;
+      AttrSet dropped = node->udf_inputs;
+      dropped.Erase(node->udf_output);
+      p.vp = left.vp.Difference(dropped);
+      p.ve = left.ve.Difference(dropped);
+      p.eq.UnionAll(node->udf_inputs);
+      return p;
+    }
+
+    case OpKind::kEncrypt: {
+      if (opts.strict && !node->attrs.IsSubsetOf(left.vp)) {
+        AttrSet missing = node->attrs.Difference(left.vp);
+        return Status::InvalidArgument(StrFormat(
+            "encrypt targets non-plaintext attributes [%s]",
+            missing.ToString(reg).c_str()));
+      }
+      RelationProfile p = left;
+      p.vp = left.vp.Difference(node->attrs);
+      p.ve = left.ve.Union(node->attrs.Intersect(left.vp));
+      if (!opts.strict) p.ve = left.ve.Union(node->attrs);
+      return p;
+    }
+
+    case OpKind::kDecrypt: {
+      if (opts.strict && !node->attrs.IsSubsetOf(left.ve)) {
+        AttrSet missing = node->attrs.Difference(left.ve);
+        return Status::InvalidArgument(StrFormat(
+            "decrypt targets non-encrypted attributes [%s]",
+            missing.ToString(reg).c_str()));
+      }
+      RelationProfile p = left;
+      p.vp = left.vp.Union(node->attrs.Intersect(left.ve));
+      if (!opts.strict) p.vp = left.vp.Union(node->attrs);
+      p.ve = left.ve.Difference(node->attrs);
+      return p;
+    }
+  }
+  return Status::Internal("unreachable operator kind");
+}
+
+Status AnnotatePlan(PlanNode* root, const Catalog& catalog,
+                    const PropagateOptions& opts) {
+  for (PlanNode* n : PostOrder(root)) {
+    static const RelationProfile kEmpty;
+    const RelationProfile& l = n->num_children() > 0 ? n->child(0)->profile : kEmpty;
+    const RelationProfile& r = n->num_children() > 1 ? n->child(1)->profile : kEmpty;
+    MPQ_ASSIGN_OR_RETURN(n->profile, PropagateProfile(n, l, r, catalog, opts));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status CheckPair(const PlanNode* anc, const PlanNode* desc,
+                 const AttrRegistry& reg) {
+  // (i) attribute survival.
+  AttrSet desc_all = desc->profile.AllAttrs();
+  AttrSet anc_all = anc->profile.AllAttrs();
+  if (!desc_all.IsSubsetOf(anc_all)) {
+    AttrSet lost = desc_all.Difference(anc_all);
+    return Status::Internal(StrFormat(
+        "Theorem 3.1(i) violated between nodes %d and %d: attributes [%s] "
+        "disappeared",
+        anc->id, desc->id, lost.ToString(reg).c_str()));
+  }
+  // (ii) equivalence-set containment.
+  for (const AttrSet& cls : desc->profile.eq.Classes()) {
+    bool contained = false;
+    for (const AttrSet& anc_cls : anc->profile.eq.Classes()) {
+      if (cls.IsSubsetOf(anc_cls)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      return Status::Internal(StrFormat(
+          "Theorem 3.1(ii) violated between nodes %d and %d: class [%s] not "
+          "contained in any ancestor class",
+          anc->id, desc->id, cls.ToString(reg).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckRec(const PlanNode* anc, const PlanNode* sub,
+                const AttrRegistry& reg) {
+  for (const auto& c : sub->children) {
+    // Paper convention (Sec 1): a leaf is "the projection of a source
+    // relation" — the base node under a leaf projection is part of the leaf
+    // box, so attributes the projection drops are not profile losses.
+    bool leaf_projection =
+        c->kind == OpKind::kBase && sub->kind == OpKind::kProject;
+    if (!leaf_projection) {
+      MPQ_RETURN_NOT_OK(CheckPair(anc, c.get(), reg));
+    }
+    MPQ_RETURN_NOT_OK(CheckRec(anc, c.get(), reg));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckProfileMonotonicity(const PlanNode* root, const Catalog& catalog) {
+  const AttrRegistry& reg = catalog.attrs();
+  for (const PlanNode* n : PostOrder(root)) {
+    MPQ_RETURN_NOT_OK(CheckRec(n, n, reg));
+  }
+  return Status::OK();
+}
+
+}  // namespace mpq

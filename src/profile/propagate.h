@@ -1,0 +1,45 @@
+// Profile propagation (Fig 2): computes the relation profile of every node of
+// a query plan bottom-up from the base-relation profiles.
+
+#ifndef MPQ_PROFILE_PROPAGATE_H_
+#define MPQ_PROFILE_PROPAGATE_H_
+
+#include "algebra/plan.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "profile/profile.h"
+
+namespace mpq {
+
+/// Options for profile annotation.
+struct PropagateOptions {
+  /// When true, enforce the paper's executability constraints while
+  /// propagating: attributes compared by a condition must be uniformly
+  /// visible (both plaintext or both encrypted) in the operand, encryption
+  /// must target visible plaintext attributes, and decryption visible
+  /// encrypted ones. When false, profiles are computed permissively (useful
+  /// for exploratory tooling).
+  bool strict = true;
+};
+
+/// Computes the profile produced by applying `node`'s operator to operand
+/// profiles `left` (and `right` for binary operators; ignored otherwise).
+Result<RelationProfile> PropagateProfile(const PlanNode* node,
+                                         const RelationProfile& left,
+                                         const RelationProfile& right,
+                                         const Catalog& catalog,
+                                         const PropagateOptions& opts = {});
+
+/// Annotates every node of the plan with its profile (stored in
+/// PlanNode::profile), bottom-up. Base relations get ForBase profiles.
+Status AnnotatePlan(PlanNode* root, const Catalog& catalog,
+                    const PropagateOptions& opts = {});
+
+/// Verifies Theorem 3.1 on an annotated plan: for every node x and descendant
+/// y, (i) y's profile attributes survive in x's, and (ii) every equivalence
+/// set of y is contained in one of x's. Returns the first violation.
+Status CheckProfileMonotonicity(const PlanNode* root, const Catalog& catalog);
+
+}  // namespace mpq
+
+#endif  // MPQ_PROFILE_PROPAGATE_H_

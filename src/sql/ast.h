@@ -1,0 +1,50 @@
+// AST for the supported SQL dialect.
+
+#ifndef MPQ_SQL_AST_H_
+#define MPQ_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/value.h"
+
+namespace mpq {
+
+/// A select-list item: a bare column or an aggregate call.
+struct AstSelectItem {
+  bool is_aggregate = false;
+  AggFunc func = AggFunc::kSum;  // valid when is_aggregate
+  bool count_star = false;
+  std::string column;            // input column (empty for count(*))
+  std::string alias;             // optional AS name
+};
+
+/// One basic predicate, unresolved.
+struct AstPredicate {
+  std::string lhs;
+  CmpOp op = CmpOp::kEq;
+  bool rhs_is_column = false;
+  std::string rhs_column;
+  Value rhs_value;
+};
+
+/// One FROM/JOIN element.
+struct AstTable {
+  std::string name;
+  std::vector<AstPredicate> on;  // join condition (empty for the first table)
+};
+
+/// A parsed SELECT statement.
+struct AstSelect {
+  std::vector<AstSelectItem> items;
+  std::vector<AstTable> tables;
+  std::vector<AstPredicate> where;
+  std::vector<std::string> group_by;
+  std::vector<AstPredicate> having;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_SQL_AST_H_

@@ -1,0 +1,188 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+#include "algebra/plan_builder.h"
+#include "common/str_util.h"
+#include "sql/parser.h"
+
+namespace mpq {
+
+namespace {
+
+Result<AttrId> ResolveColumn(const std::string& name, const Catalog& catalog) {
+  AttrId a = catalog.attrs().Find(name);
+  if (a == kInvalidAttr) {
+    return Status::NotFound("unknown column: " + name);
+  }
+  return a;
+}
+
+Result<Predicate> ResolvePredicate(const AstPredicate& p,
+                                   const Catalog& catalog) {
+  MPQ_ASSIGN_OR_RETURN(AttrId lhs, ResolveColumn(p.lhs, catalog));
+  if (p.rhs_is_column) {
+    MPQ_ASSIGN_OR_RETURN(AttrId rhs, ResolveColumn(p.rhs_column, catalog));
+    return Predicate::AttrAttr(lhs, p.op, rhs);
+  }
+  return Predicate::AttrValue(lhs, p.op, p.rhs_value);
+}
+
+}  // namespace
+
+Result<PlanPtr> BindSelect(const AstSelect& ast, const Catalog& catalog) {
+  if (ast.tables.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+
+  // Resolve relations.
+  std::vector<RelId> rels;
+  for (const AstTable& t : ast.tables) {
+    RelId r = catalog.FindRelation(t.name);
+    if (r == kInvalidRel) {
+      return Status::NotFound("unknown relation: " + t.name);
+    }
+    rels.push_back(r);
+  }
+
+  // Resolve predicates.
+  std::vector<Predicate> where;
+  for (const AstPredicate& p : ast.where) {
+    MPQ_ASSIGN_OR_RETURN(Predicate pred, ResolvePredicate(p, catalog));
+    where.push_back(std::move(pred));
+  }
+  std::vector<std::vector<Predicate>> on(ast.tables.size());
+  for (size_t i = 1; i < ast.tables.size(); ++i) {
+    for (const AstPredicate& p : ast.tables[i].on) {
+      MPQ_ASSIGN_OR_RETURN(Predicate pred, ResolvePredicate(p, catalog));
+      on[i].push_back(std::move(pred));
+    }
+  }
+
+  // Collect every referenced attribute (for projection push-down).
+  AttrSet needed;
+  std::vector<AttrId> group_attrs;
+  std::vector<Aggregate> aggregates;
+  AttrSet select_plain;
+  for (const AstSelectItem& item : ast.items) {
+    if (item.is_aggregate) {
+      if (item.func == AggFunc::kCountStar) {
+        // count(*) needs a synthetic output attribute.
+        std::string alias = item.alias.empty() ? "cnt" : item.alias;
+        AttrId out = catalog.attrs().Find(alias);
+        if (out == kInvalidAttr) {
+          // The catalog's registry is shared and mutable through attrs();
+          // interning here keeps synthetic aggregate outputs consistent.
+          out = const_cast<Catalog&>(catalog).attrs().Intern(alias);
+        }
+        aggregates.push_back(Aggregate::CountStar(out));
+        continue;
+      }
+      MPQ_ASSIGN_OR_RETURN(AttrId a, ResolveColumn(item.column, catalog));
+      needed.Insert(a);
+      aggregates.push_back(Aggregate::Make(item.func, a));
+    } else {
+      MPQ_ASSIGN_OR_RETURN(AttrId a, ResolveColumn(item.column, catalog));
+      needed.Insert(a);
+      select_plain.Insert(a);
+    }
+  }
+  for (const std::string& g : ast.group_by) {
+    MPQ_ASSIGN_OR_RETURN(AttrId a, ResolveColumn(g, catalog));
+    needed.Insert(a);
+    group_attrs.push_back(a);
+  }
+  for (const Predicate& p : where) needed.InsertAll(p.Attrs());
+  for (const auto& preds : on) {
+    for (const Predicate& p : preds) needed.InsertAll(p.Attrs());
+  }
+  std::vector<Predicate> having;
+  for (const AstPredicate& p : ast.having) {
+    MPQ_ASSIGN_OR_RETURN(Predicate pred, ResolvePredicate(p, catalog));
+    // Having predicates reference grouping columns or aggregate outputs,
+    // which carry the aggregated attribute's name.
+    having.push_back(std::move(pred));
+  }
+
+  // Partition WHERE into single-relation predicates (pushed below the joins)
+  // and cross-relation ones (applied at the top join as a selection).
+  std::vector<std::vector<Predicate>> local(ast.tables.size());
+  std::vector<Predicate> cross;
+  for (Predicate& p : where) {
+    int home = -1;
+    bool single = true;
+    AttrSet attrs = p.Attrs();
+    for (size_t t = 0; t < rels.size(); ++t) {
+      AttrSet rel_attrs = catalog.Get(rels[t]).schema.Attrs();
+      if (attrs.Intersects(rel_attrs)) {
+        if (home < 0) {
+          home = static_cast<int>(t);
+        } else {
+          single = false;
+        }
+      }
+    }
+    if (single && home >= 0) {
+      local[static_cast<size_t>(home)].push_back(std::move(p));
+    } else {
+      cross.push_back(std::move(p));
+    }
+  }
+
+  // Build per-table subtrees: Base → π(needed) → σ(local).
+  std::vector<PlanPtr> subtrees;
+  for (size_t t = 0; t < rels.size(); ++t) {
+    PlanPtr node = Base(rels[t]);
+    AttrSet rel_attrs = catalog.Get(rels[t]).schema.Attrs();
+    AttrSet keep = rel_attrs.Intersect(needed);
+    if (keep.empty()) keep = rel_attrs;  // relation used positionally only
+    if (keep != rel_attrs) {
+      node = Project(std::move(node), keep);
+    }
+    if (!local[t].empty()) {
+      node = Select(std::move(node), std::move(local[t]));
+    }
+    subtrees.push_back(std::move(node));
+  }
+
+  // Left-deep joins in FROM order.
+  PlanPtr plan = std::move(subtrees[0]);
+  for (size_t t = 1; t < subtrees.size(); ++t) {
+    if (on[t].empty()) {
+      plan = Cartesian(std::move(plan), std::move(subtrees[t]));
+    } else {
+      plan = Join(std::move(plan), std::move(subtrees[t]), std::move(on[t]));
+    }
+  }
+  if (!cross.empty()) {
+    plan = Select(std::move(plan), std::move(cross));
+  }
+
+  // Grouping and aggregation.
+  if (!aggregates.empty() || !group_attrs.empty()) {
+    AttrSet ga = AttrSet::FromRange(group_attrs.begin(), group_attrs.end());
+    plan = GroupBy(std::move(plan), ga, std::move(aggregates));
+  }
+  if (!having.empty()) {
+    plan = Select(std::move(plan), std::move(having));
+  }
+
+  // Final projection when the select list is narrower than what flows out.
+  if (!select_plain.empty() && ast.group_by.empty() &&
+      std::none_of(ast.items.begin(), ast.items.end(),
+                   [](const AstSelectItem& i) { return i.is_aggregate; })) {
+    AttrSet visible = VisibleAttrs(plan.get(), catalog);
+    if (select_plain != visible) {
+      plan = Project(std::move(plan), select_plain);
+    }
+  }
+
+  return FinishPlan(std::move(plan), catalog);
+}
+
+Result<PlanPtr> PlanFromSql(const std::string& sql, const Catalog& catalog) {
+  MPQ_ASSIGN_OR_RETURN(AstSelect ast, ParseSelect(sql));
+  return BindSelect(ast, catalog);
+}
+
+}  // namespace mpq

@@ -1,0 +1,24 @@
+// Binder: resolves a parsed SELECT against the catalog and produces a query
+// plan with the paper's classical optimization conventions — projections
+// pushed into the leaves, single-relation selections pushed below joins,
+// left-deep join order following the FROM clause.
+
+#ifndef MPQ_SQL_BINDER_H_
+#define MPQ_SQL_BINDER_H_
+
+#include "algebra/plan.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace mpq {
+
+/// Binds `ast` to a validated plan (ids assigned).
+Result<PlanPtr> BindSelect(const AstSelect& ast, const Catalog& catalog);
+
+/// Convenience: parse + bind.
+Result<PlanPtr> PlanFromSql(const std::string& sql, const Catalog& catalog);
+
+}  // namespace mpq
+
+#endif  // MPQ_SQL_BINDER_H_

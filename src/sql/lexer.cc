@@ -1,0 +1,140 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "SELECT", "FROM", "WHERE", "JOIN", "ON",  "GROUP",
+      "BY",     "HAVING", "AND", "AS",   "AVG", "SUM",
+      "MIN",    "MAX",  "COUNT"};
+  return kw;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::string up = ToUpper(word);
+      if (Keywords().count(up) > 0) {
+        t.kind = TokKind::kKeyword;
+        t.text = up;
+      } else {
+        t.kind = TokKind::kIdent;
+        t.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool is_int = true;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') is_int = false;
+        ++j;
+      }
+      std::string num = sql.substr(i, j - i);
+      t.kind = TokKind::kNumber;
+      t.number = std::stod(num);
+      t.number_is_int = is_int;
+      if (is_int) t.int_value = std::stoll(num);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", i));
+      }
+      t.kind = TokKind::kString;
+      t.text = sql.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else {
+      switch (c) {
+        case ',':
+          t.kind = TokKind::kComma;
+          ++i;
+          break;
+        case '(':
+          t.kind = TokKind::kLParen;
+          ++i;
+          break;
+        case ')':
+          t.kind = TokKind::kRParen;
+          ++i;
+          break;
+        case '*':
+          t.kind = TokKind::kStar;
+          ++i;
+          break;
+        case '=':
+          t.kind = TokKind::kEq;
+          ++i;
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '>') {
+            t.kind = TokKind::kNe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '=') {
+            t.kind = TokKind::kLe;
+            i += 2;
+          } else {
+            t.kind = TokKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.kind = TokKind::kGe;
+            i += 2;
+          } else {
+            t.kind = TokKind::kGt;
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            t.kind = TokKind::kNe;
+            i += 2;
+            break;
+          }
+          [[fallthrough]];
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.pos = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace mpq

@@ -1,0 +1,47 @@
+// Lexer for the supported SQL dialect:
+//   SELECT ... FROM R [JOIN S ON ...]* [WHERE ...] [GROUP BY ...] [HAVING ...]
+
+#ifndef MPQ_SQL_LEXER_H_
+#define MPQ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpq {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kKeyword,  // SELECT, FROM, WHERE, JOIN, ON, GROUP, BY, HAVING, AND, AS
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // identifier / keyword (upper-cased) / string literal
+  double number = 0;
+  bool number_is_int = false;
+  int64_t int_value = 0;
+  size_t pos = 0;       // offset in the input, for error messages
+};
+
+/// Tokenizes `sql`. Keywords are recognized case-insensitively and reported
+/// upper-case in Token::text.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace mpq
+
+#endif  // MPQ_SQL_LEXER_H_

@@ -1,0 +1,219 @@
+#include "sql/parser.h"
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace mpq {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<AstSelect> Parse() {
+    AstSelect out;
+    MPQ_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    MPQ_RETURN_NOT_OK(ParseSelectList(&out.items));
+    MPQ_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    MPQ_RETURN_NOT_OK(ParseTables(&out.tables));
+    if (AcceptKeyword("WHERE")) {
+      MPQ_RETURN_NOT_OK(ParsePredicates(&out.where));
+    }
+    if (AcceptKeyword("GROUP")) {
+      MPQ_RETURN_NOT_OK(ExpectKeyword("BY"));
+      MPQ_RETURN_NOT_OK(ParseColumnList(&out.group_by));
+    }
+    if (AcceptKeyword("HAVING")) {
+      MPQ_RETURN_NOT_OK(ParsePredicates(&out.having));
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing input after statement");
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Next() { return toks_[pos_++]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokKind::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Err("expected " + kw);
+    }
+    return Status::OK();
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu: %s", Peek().pos, what.c_str()));
+  }
+
+  static bool IsAggKeyword(const Token& t, AggFunc* f) {
+    if (t.kind != TokKind::kKeyword) return false;
+    if (t.text == "AVG") *f = AggFunc::kAvg;
+    else if (t.text == "SUM") *f = AggFunc::kSum;
+    else if (t.text == "MIN") *f = AggFunc::kMin;
+    else if (t.text == "MAX") *f = AggFunc::kMax;
+    else if (t.text == "COUNT") *f = AggFunc::kCount;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelectList(std::vector<AstSelectItem>* items) {
+    for (;;) {
+      AstSelectItem item;
+      AggFunc f;
+      if (IsAggKeyword(Peek(), &f)) {
+        Next();
+        item.is_aggregate = true;
+        item.func = f;
+        if (Peek().kind != TokKind::kLParen) return Err("expected (");
+        Next();
+        if (Peek().kind == TokKind::kStar) {
+          if (f != AggFunc::kCount) return Err("only count(*) is allowed");
+          item.count_star = true;
+          item.func = AggFunc::kCountStar;
+          Next();
+        } else if (Peek().kind == TokKind::kIdent) {
+          item.column = Next().text;
+        } else {
+          return Err("expected column in aggregate");
+        }
+        if (Peek().kind != TokKind::kRParen) return Err("expected )");
+        Next();
+      } else if (Peek().kind == TokKind::kIdent) {
+        item.column = Next().text;
+      } else {
+        return Err("expected select item");
+      }
+      if (AcceptKeyword("AS")) {
+        if (Peek().kind != TokKind::kIdent) return Err("expected alias");
+        item.alias = Next().text;
+      }
+      items->push_back(std::move(item));
+      if (Peek().kind != TokKind::kComma) break;
+      Next();
+    }
+    return Status::OK();
+  }
+
+  Status ParseTables(std::vector<AstTable>* tables) {
+    AstTable first;
+    if (Peek().kind != TokKind::kIdent) return Err("expected table name");
+    first.name = Next().text;
+    tables->push_back(std::move(first));
+    while (AcceptKeyword("JOIN")) {
+      AstTable t;
+      if (Peek().kind != TokKind::kIdent) return Err("expected table name");
+      t.name = Next().text;
+      MPQ_RETURN_NOT_OK(ExpectKeyword("ON"));
+      MPQ_RETURN_NOT_OK(ParsePredicates(&t.on));
+      tables->push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Status ParseColumnList(std::vector<std::string>* cols) {
+    for (;;) {
+      if (Peek().kind != TokKind::kIdent) return Err("expected column");
+      cols->push_back(Next().text);
+      if (Peek().kind != TokKind::kComma) break;
+      Next();
+    }
+    return Status::OK();
+  }
+
+  Result<CmpOp> ParseOp() {
+    switch (Peek().kind) {
+      case TokKind::kEq:
+        Next();
+        return CmpOp::kEq;
+      case TokKind::kNe:
+        Next();
+        return CmpOp::kNe;
+      case TokKind::kLt:
+        Next();
+        return CmpOp::kLt;
+      case TokKind::kLe:
+        Next();
+        return CmpOp::kLe;
+      case TokKind::kGt:
+        Next();
+        return CmpOp::kGt;
+      case TokKind::kGe:
+        Next();
+        return CmpOp::kGe;
+      default:
+        return Err("expected comparison operator");
+    }
+  }
+
+  Status ParsePredicates(std::vector<AstPredicate>* preds) {
+    for (;;) {
+      AstPredicate p;
+      // LHS must be a column (optionally an aggregate call like avg(P),
+      // which we resolve to its output column name).
+      AggFunc f;
+      if (IsAggKeyword(Peek(), &f)) {
+        Next();
+        if (Peek().kind != TokKind::kLParen) return Err("expected (");
+        Next();
+        if (Peek().kind == TokKind::kStar) {
+          Next();
+        } else if (Peek().kind == TokKind::kIdent) {
+          p.lhs = Next().text;
+        } else {
+          return Err("expected column in aggregate");
+        }
+        if (Peek().kind != TokKind::kRParen) return Err("expected )");
+        Next();
+      } else if (Peek().kind == TokKind::kIdent) {
+        p.lhs = Next().text;
+      } else {
+        return Err("expected column on predicate lhs");
+      }
+      MPQ_ASSIGN_OR_RETURN(p.op, ParseOp());
+      switch (Peek().kind) {
+        case TokKind::kIdent:
+          p.rhs_is_column = true;
+          p.rhs_column = Next().text;
+          break;
+        case TokKind::kNumber: {
+          const Token& t = Next();
+          p.rhs_value = t.number_is_int ? Value(t.int_value) : Value(t.number);
+          break;
+        }
+        case TokKind::kString:
+          p.rhs_value = Value(Next().text);
+          break;
+        default:
+          return Err("expected predicate rhs");
+      }
+      preds->push_back(std::move(p));
+      if (!AcceptKeyword("AND")) break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AstSelect> ParseSelect(const std::string& sql) {
+  MPQ_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(sql));
+  Parser parser(std::move(toks));
+  return parser.Parse();
+}
+
+}  // namespace mpq

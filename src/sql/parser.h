@@ -1,0 +1,18 @@
+// Recursive-descent parser for the supported SQL dialect:
+//   SELECT item[, item]* FROM t [JOIN t ON preds]* [WHERE preds]
+//   [GROUP BY cols] [HAVING preds]
+
+#ifndef MPQ_SQL_PARSER_H_
+#define MPQ_SQL_PARSER_H_
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace mpq {
+
+/// Parses `sql` into an AstSelect.
+Result<AstSelect> ParseSelect(const std::string& sql);
+
+}  // namespace mpq
+
+#endif  // MPQ_SQL_PARSER_H_

@@ -1,0 +1,240 @@
+#include "testing/random_plan.h"
+
+#include <algorithm>
+
+#include "algebra/plan_builder.h"
+#include "common/rng.h"
+#include "profile/propagate.h"
+
+namespace mpq {
+
+namespace {
+
+struct Subtree {
+  PlanPtr plan;
+  AttrSet visible;
+};
+
+/// Picks a uniformly random element of a set.
+AttrId PickAttr(const AttrSet& s, Rng& rng) {
+  std::vector<AttrId> v = s.ToVector();
+  return v[rng.Uniform(v.size())];
+}
+
+CmpOp PickOp(Rng& rng, bool allow_range) {
+  if (!allow_range || rng.Chance(0.6)) {
+    return rng.Chance(0.85) ? CmpOp::kEq : CmpOp::kNe;
+  }
+  switch (rng.Uniform(4)) {
+    case 0:
+      return CmpOp::kLt;
+    case 1:
+      return CmpOp::kLe;
+    case 2:
+      return CmpOp::kGt;
+    default:
+      return CmpOp::kGe;
+  }
+}
+
+}  // namespace
+
+Result<RandomScenario> MakeRandomScenario(uint64_t seed,
+                                          const RandomPlanOptions& opts) {
+  Rng rng(seed);
+  RandomScenario sc;
+  sc.catalog = std::make_unique<Catalog>();
+  sc.subjects = std::make_unique<SubjectRegistry>();
+
+  MPQ_ASSIGN_OR_RETURN(sc.user,
+                       sc.subjects->Register("U", SubjectKind::kUser));
+  std::vector<SubjectId> authorities;
+  for (int i = 0; i < opts.num_relations; ++i) {
+    MPQ_ASSIGN_OR_RETURN(SubjectId a,
+                         sc.subjects->Register("A" + std::to_string(i),
+                                               SubjectKind::kAuthority));
+    authorities.push_back(a);
+  }
+  std::vector<SubjectId> providers;
+  for (int i = 0; i < opts.num_providers; ++i) {
+    MPQ_ASSIGN_OR_RETURN(SubjectId p,
+                         sc.subjects->Register("P" + std::to_string(i),
+                                               SubjectKind::kProvider));
+    providers.push_back(p);
+  }
+
+  // Relations R0(a0_0, a0_1, ...), all int columns (so comparisons are
+  // always type-compatible) with one string column sometimes.
+  for (int r = 0; r < opts.num_relations; ++r) {
+    int ncols = static_cast<int>(
+        rng.Range(opts.min_cols, std::max(opts.min_cols, opts.max_cols)));
+    std::vector<std::pair<std::string, DataType>> cols;
+    for (int c = 0; c < ncols; ++c) {
+      DataType t = (c == ncols - 1 && rng.Chance(0.3)) ? DataType::kString
+                                                       : DataType::kInt64;
+      cols.emplace_back("a" + std::to_string(r) + "_" + std::to_string(c), t);
+    }
+    MPQ_ASSIGN_OR_RETURN(
+        RelId rel, sc.catalog->AddRelation("R" + std::to_string(r), cols,
+                                           authorities[static_cast<size_t>(r)],
+                                           1000.0 * (r + 1)));
+    (void)rel;
+  }
+
+  sc.policy = std::make_unique<Policy>(sc.catalog.get(), sc.subjects.get());
+  for (const RelationDef& rel : sc.catalog->relations()) {
+    AttrSet all = rel.schema.Attrs();
+    MPQ_RETURN_NOT_OK(sc.policy->Grant(rel.id, rel.owner, all, {}));
+    MPQ_RETURN_NOT_OK(sc.policy->Grant(rel.id, sc.user, all, {}));
+    for (SubjectId p : providers) {
+      AttrSet plain, enc;
+      all.ForEach([&](AttrId a) {
+        double roll = rng.NextDouble();
+        if (roll < opts.provider_plain_prob) {
+          plain.Insert(a);
+        } else if (roll < opts.provider_plain_prob + opts.provider_enc_prob) {
+          enc.Insert(a);
+        }
+      });
+      if (!plain.empty() || !enc.empty()) {
+        MPQ_RETURN_NOT_OK(sc.policy->Grant(rel.id, p, plain, enc));
+      }
+    }
+  }
+
+  // Build subtrees: each relation becomes a (possibly projected) leaf.
+  std::vector<Subtree> forest;
+  for (const RelationDef& rel : sc.catalog->relations()) {
+    Subtree st;
+    st.plan = Base(rel.id);
+    st.visible = rel.schema.Attrs();
+    // Projection pushed into the leaf (the paper's convention); keep at
+    // least two attributes so joins/selections have material to work with.
+    if (rng.Chance(0.4) && st.visible.size() > 2) {
+      AttrSet keep;
+      st.visible.ForEach([&](AttrId a) {
+        if (keep.size() < 2 || rng.Chance(0.7)) keep.Insert(a);
+      });
+      st.plan = Project(std::move(st.plan), keep);
+      st.visible = keep;
+    }
+    forest.push_back(std::move(st));
+  }
+
+  auto int_attrs = [&](const AttrSet& visible) {
+    AttrSet out;
+    visible.ForEach([&](AttrId a) {
+      RelId r = sc.catalog->RelationOf(a);
+      if (r != kInvalidRel &&
+          sc.catalog->Get(r).schema.ColumnFor(a).type == DataType::kInt64) {
+        out.Insert(a);
+      }
+    });
+    return out;
+  };
+
+  // Join the forest into one tree.
+  while (forest.size() > 1) {
+    size_t i = rng.Uniform(forest.size());
+    size_t j = rng.Uniform(forest.size() - 1);
+    if (j >= i) ++j;
+    Subtree l = std::move(forest[i]);
+    Subtree r = std::move(forest[j]);
+    forest.erase(forest.begin() + static_cast<long>(std::max(i, j)));
+    forest.erase(forest.begin() + static_cast<long>(std::min(i, j)));
+
+    AttrSet li = int_attrs(l.visible), ri = int_attrs(r.visible);
+    Subtree merged;
+    merged.visible = l.visible.Union(r.visible);
+    if (!li.empty() && !ri.empty()) {
+      std::vector<Predicate> preds = {
+          Predicate::AttrAttr(PickAttr(li, rng), CmpOp::kEq, PickAttr(ri, rng))};
+      merged.plan = Join(std::move(l.plan), std::move(r.plan), std::move(preds));
+    } else {
+      merged.plan = Cartesian(std::move(l.plan), std::move(r.plan));
+    }
+    forest.push_back(std::move(merged));
+  }
+  Subtree tree = std::move(forest[0]);
+
+  // Sprinkle selections and udfs.
+  for (int k = 0; k < opts.num_extra_ops; ++k) {
+    double roll = rng.NextDouble();
+    if (roll < 0.6) {
+      AttrSet ints = int_attrs(tree.visible);
+      if (ints.empty()) continue;
+      AttrId a = PickAttr(ints, rng);
+      if (rng.Chance(0.25) && ints.size() >= 2) {
+        AttrId b = PickAttr(ints, rng);
+        if (a == b) continue;
+        tree.plan = Select(std::move(tree.plan),
+                           {Predicate::AttrAttr(a, PickOp(rng, true), b)});
+      } else {
+        tree.plan = Select(
+            std::move(tree.plan),
+            {Predicate::AttrValue(a, PickOp(rng, true),
+                                  Value(rng.Range(0, 100)))});
+      }
+    } else if (opts.allow_udf && roll < 0.75) {
+      AttrSet ints = int_attrs(tree.visible);
+      if (ints.size() < 2) continue;
+      AttrSet inputs;
+      AttrId out = PickAttr(ints, rng);
+      inputs.Insert(out);
+      inputs.Insert(PickAttr(ints, rng));
+      // Plaintext-required udf: keeps encrypted execution value-equivalent
+      // to plaintext execution in the equivalence property tests (an
+      // encrypted-capable udf would produce ciphertext digests instead).
+      tree.plan = Udf(std::move(tree.plan), "score", inputs, out);
+      AttrSet dropped = inputs;
+      dropped.Erase(out);
+      tree.visible.EraseAll(dropped);
+    }
+  }
+
+  // Optional top-level aggregation over everything visible (keeping the
+  // paper's push-down discipline: nothing visible is unused).
+  if (opts.allow_groupby && rng.Chance(0.5)) {
+    AttrSet ints = int_attrs(tree.visible);
+    if (!ints.empty()) {
+      AttrId agg_attr = PickAttr(ints, rng);
+      AttrSet groups = tree.visible;
+      groups.Erase(agg_attr);
+      if (!groups.empty()) {
+        AggFunc f;
+        switch (rng.Uniform(4)) {
+          case 0:
+            f = AggFunc::kSum;
+            break;
+          case 1:
+            f = AggFunc::kAvg;
+            break;
+          case 2:
+            f = AggFunc::kMin;
+            break;
+          default:
+            f = AggFunc::kMax;
+            break;
+        }
+        tree.plan = GroupBy(std::move(tree.plan), groups,
+                            {Aggregate::Make(f, agg_attr)});
+        if (rng.Chance(0.4)) {
+          tree.plan = Select(std::move(tree.plan),
+                             {Predicate::AttrValue(agg_attr, CmpOp::kGt,
+                                                   Value(int64_t{10}))});
+        }
+      }
+    }
+  }
+
+  MPQ_ASSIGN_OR_RETURN(sc.plan, FinishPlan(std::move(tree.plan), *sc.catalog));
+  SchemeCaps caps;
+  caps.det = rng.Chance(0.95);
+  caps.ope = rng.Chance(0.8);
+  caps.hom = rng.Chance(0.8);
+  MPQ_RETURN_NOT_OK(DerivePlaintextNeeds(sc.plan.get(), *sc.catalog, caps));
+  MPQ_RETURN_NOT_OK(AnnotatePlan(sc.plan.get(), *sc.catalog));
+  return sc;
+}
+
+}  // namespace mpq

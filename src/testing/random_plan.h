@@ -1,0 +1,46 @@
+// Random scenario generator for property-based tests: random catalogs,
+// random authorizations and random well-formed query plans, used to exercise
+// Theorems 3.1 / 5.1 / 5.2 / 5.3 over many instances.
+
+#ifndef MPQ_TESTING_RANDOM_PLAN_H_
+#define MPQ_TESTING_RANDOM_PLAN_H_
+
+#include <memory>
+
+#include "algebra/plan.h"
+#include "assign/schemes.h"
+#include "authz/policy.h"
+
+namespace mpq {
+
+struct RandomPlanOptions {
+  int num_relations = 3;
+  int min_cols = 3;
+  int max_cols = 5;
+  int num_providers = 4;
+  int num_extra_ops = 4;       ///< Selections/udfs sprinkled over the tree.
+  bool allow_groupby = true;
+  bool allow_udf = true;
+  double provider_plain_prob = 0.35;  ///< Per-attribute P(plaintext grant).
+  double provider_enc_prob = 0.45;    ///< Per-attribute P(encrypted grant).
+};
+
+/// A self-contained random scenario. Heap-held members keep addresses stable
+/// across moves (Policy and plans hold pointers into them).
+struct RandomScenario {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<SubjectRegistry> subjects;
+  std::unique_ptr<Policy> policy;
+  PlanPtr plan;  ///< Validated, needs_plaintext derived, profiles annotated.
+  SubjectId user = kInvalidSubject;
+};
+
+/// Generates a scenario from `seed`. The querying user always holds full
+/// plaintext grants (the paper requires users authorized for all query
+/// inputs), so every generated plan has at least one feasible assignment.
+Result<RandomScenario> MakeRandomScenario(uint64_t seed,
+                                          const RandomPlanOptions& opts = {});
+
+}  // namespace mpq
+
+#endif  // MPQ_TESTING_RANDOM_PLAN_H_

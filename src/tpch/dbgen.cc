@@ -1,0 +1,139 @@
+#include "tpch/dbgen.h"
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "tpch/vocab.h"
+
+namespace mpq {
+
+namespace {
+
+using namespace tpch;
+
+Cell I(int64_t v) { return Cell(Value(v)); }
+Cell D(double v) { return Cell(Value(v)); }
+Cell S(std::string v) { return Cell(Value(std::move(v))); }
+
+const std::string& Pick(const std::vector<std::string>& v, Rng& rng) {
+  return v[rng.Uniform(v.size())];
+}
+
+double Money(Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+}  // namespace
+
+TpchData GenerateTpch(const TpchEnv& env, double data_sf, uint64_t seed) {
+  Rng rng(seed);
+  TpchData db;
+
+  auto rows_for = [&](RelId rel) {
+    return static_cast<int64_t>(TpchRows(env, rel, data_sf));
+  };
+
+  // region
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.region));
+    for (size_t i = 0; i < Regions().size(); ++i) {
+      t.AddRow({I(static_cast<int64_t>(i)), S(Regions()[i])});
+    }
+    db.tables.emplace(env.region, std::move(t));
+  }
+
+  // nation
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.nation));
+    for (size_t i = 0; i < Nations().size(); ++i) {
+      t.AddRow({I(static_cast<int64_t>(i)), S(Nations()[i]),
+                I(static_cast<int64_t>(i % Regions().size()))});
+    }
+    db.tables.emplace(env.nation, std::move(t));
+  }
+
+  int64_t n_supp = rows_for(env.supplier);
+  int64_t n_cust = rows_for(env.customer);
+  int64_t n_part = rows_for(env.part);
+  int64_t n_ps = rows_for(env.partsupp);
+  int64_t n_ord = rows_for(env.orders);
+  int64_t n_li = rows_for(env.lineitem);
+  int64_t n_nation = static_cast<int64_t>(Nations().size());
+
+  // supplier
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.supplier));
+    for (int64_t k = 1; k <= n_supp; ++k) {
+      t.AddRow({I(k), S("Supplier#" + std::to_string(k)),
+                I(rng.Range(0, n_nation - 1)),
+                D(Money(rng, -999, 9999))});
+    }
+    db.tables.emplace(env.supplier, std::move(t));
+  }
+
+  // customer
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.customer));
+    for (int64_t k = 1; k <= n_cust; ++k) {
+      t.AddRow({I(k), S("Customer#" + std::to_string(k)),
+                I(rng.Range(0, n_nation - 1)), D(Money(rng, -999, 9999)),
+                S(Pick(Segments(), rng))});
+    }
+    db.tables.emplace(env.customer, std::move(t));
+  }
+
+  // part
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.part));
+    for (int64_t k = 1; k <= n_part; ++k) {
+      t.AddRow({I(k), S("part#" + std::to_string(k)), S(Pick(Types(), rng)),
+                I(rng.Range(1, 50)), S(Pick(Brands(), rng)),
+                D(Money(rng, 900, 2000)), S(Pick(Containers(), rng))});
+    }
+    db.tables.emplace(env.part, std::move(t));
+  }
+
+  // partsupp
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.partsupp));
+    for (int64_t k = 0; k < n_ps; ++k) {
+      t.AddRow({I(1 + (k % n_part)), I(1 + rng.Range(0, n_supp - 1)),
+                I(rng.Range(1, 9999)), D(Money(rng, 1, 1000))});
+    }
+    db.tables.emplace(env.partsupp, std::move(t));
+  }
+
+  // orders
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.orders));
+    for (int64_t k = 1; k <= n_ord; ++k) {
+      t.AddRow({I(k), I(1 + rng.Range(0, n_cust - 1)),
+                S(Pick(OrderStatus(), rng)), D(Money(rng, 1000, 400000)),
+                I(rng.Range(kMinDate, kMaxDate)), S(Pick(Priorities(), rng)),
+                I(0)});
+    }
+    db.tables.emplace(env.orders, std::move(t));
+  }
+
+  // lineitem
+  {
+    Table t = MakeBaseTable(env.catalog.Get(env.lineitem));
+    for (int64_t k = 0; k < n_li; ++k) {
+      int64_t ship = rng.Range(kMinDate, kMaxDate);
+      int64_t commit = ship + rng.Range(-30, 60);
+      int64_t receipt = ship + rng.Range(1, 30);
+      t.AddRow({I(1 + (k % n_ord)), I(1 + rng.Range(0, n_part - 1)),
+                I(1 + rng.Range(0, n_supp - 1)), I(1 + (k % 7)),
+                D(static_cast<double>(rng.Range(1, 50))),
+                D(Money(rng, 900, 100000)),
+                D(static_cast<double>(rng.Range(0, 10)) / 100.0),
+                D(static_cast<double>(rng.Range(0, 8)) / 100.0),
+                S(Pick(ReturnFlags(), rng)), S(Pick(LineStatus(), rng)),
+                I(ship), I(commit), I(receipt), S(Pick(ShipModes(), rng))});
+    }
+    db.tables.emplace(env.lineitem, std::move(t));
+  }
+
+  return db;
+}
+
+}  // namespace mpq

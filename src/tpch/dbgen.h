@@ -1,0 +1,30 @@
+// Deterministic in-memory TPC-H data generator.
+//
+// Preserves the standard inter-table cardinality ratios and referential
+// integrity; value distributions are uniform over the shared vocabularies so
+// the 22 query shapes select non-empty results at any scale.
+
+#ifndef MPQ_TPCH_DBGEN_H_
+#define MPQ_TPCH_DBGEN_H_
+
+#include <map>
+
+#include "exec/table.h"
+#include "tpch/tpch_schema.h"
+
+namespace mpq {
+
+/// Generated database: one table per relation id.
+struct TpchData {
+  std::map<RelId, Table> tables;
+
+  const Table& at(RelId rel) const { return tables.at(rel); }
+};
+
+/// Generates data at scale `data_sf` (1.0 == TPC-H SF1 cardinalities;
+/// use small values like 0.001 for in-process execution).
+TpchData GenerateTpch(const TpchEnv& env, double data_sf, uint64_t seed);
+
+}  // namespace mpq
+
+#endif  // MPQ_TPCH_DBGEN_H_

@@ -1,0 +1,93 @@
+#include "tpch/tpch_schema.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mpq {
+
+namespace {
+
+double Rows(double per_sf, double sf, double min_rows) {
+  return std::max(min_rows, std::round(per_sf * sf));
+}
+
+}  // namespace
+
+TpchEnv MakeTpchEnv(double costing_sf, int num_providers) {
+  TpchEnv env;
+  env.user = *env.subjects.Register("U", SubjectKind::kUser);
+  env.auth_cust = *env.subjects.Register("A_cust", SubjectKind::kAuthority);
+  env.auth_supp = *env.subjects.Register("A_supp", SubjectKind::kAuthority);
+  for (int i = 1; i <= num_providers; ++i) {
+    env.providers.push_back(
+        *env.subjects.Register("P" + std::to_string(i), SubjectKind::kProvider));
+  }
+
+  using C = std::pair<std::string, DataType>;
+  const DataType I = DataType::kInt64;
+  const DataType D = DataType::kDouble;
+  const DataType S = DataType::kString;
+  double sf = costing_sf;
+
+  env.region = *env.catalog.AddRelation(
+      "region", {C{"r_regionkey", I}, C{"r_name", S}}, env.auth_supp, 5);
+  env.nation = *env.catalog.AddRelation(
+      "nation",
+      {C{"n_nationkey", I}, C{"n_name", S}, C{"n_regionkey", I}},
+      env.auth_supp, 25);
+  env.supplier = *env.catalog.AddRelation(
+      "supplier",
+      {C{"s_suppkey", I}, C{"s_name", S}, C{"s_nationkey", I},
+       C{"s_acctbal", D}},
+      env.auth_supp, Rows(10000, sf, 10));
+  env.customer = *env.catalog.AddRelation(
+      "customer",
+      {C{"c_custkey", I}, C{"c_name", S}, C{"c_nationkey", I},
+       C{"c_acctbal", D}, C{"c_mktsegment", S}},
+      env.auth_cust, Rows(150000, sf, 30));
+  env.part = *env.catalog.AddRelation(
+      "part",
+      {C{"p_partkey", I}, C{"p_name", S}, C{"p_type", S}, C{"p_size", I},
+       C{"p_brand", S}, C{"p_retailprice", D}, C{"p_container", S}},
+      env.auth_supp, Rows(200000, sf, 40));
+  env.partsupp = *env.catalog.AddRelation(
+      "partsupp",
+      {C{"ps_partkey", I}, C{"ps_suppkey", I}, C{"ps_availqty", I},
+       C{"ps_supplycost", D}},
+      env.auth_supp, Rows(800000, sf, 160));
+  env.orders = *env.catalog.AddRelation(
+      "orders",
+      {C{"o_orderkey", I}, C{"o_custkey", I}, C{"o_orderstatus", S},
+       C{"o_totalprice", D}, C{"o_orderdate", I}, C{"o_orderpriority", S},
+       C{"o_shippriority", I}},
+      env.auth_cust, Rows(1500000, sf, 50));
+  // lineitem lives with the supplier/fulfillment authority: the customer
+  // relationship (customer, orders) and the fulfillment record (lineitem,
+  // supplier, part, ...) are controlled by different organizations, so the
+  // order⋈lineitem joins at the heart of most TPC-H queries cross authority
+  // boundaries — the multi-provider setting the paper evaluates.
+  env.lineitem = *env.catalog.AddRelation(
+      "lineitem",
+      {C{"l_orderkey", I}, C{"l_partkey", I}, C{"l_suppkey", I},
+       C{"l_linenumber", I}, C{"l_quantity", D}, C{"l_extendedprice", D},
+       C{"l_discount", D}, C{"l_tax", D}, C{"l_returnflag", S},
+       C{"l_linestatus", S}, C{"l_shipdate", I}, C{"l_commitdate", I},
+       C{"l_receiptdate", I}, C{"l_shipmode", S}},
+      env.auth_supp, Rows(6000000, sf, 200));
+  return env;
+}
+
+double TpchRows(const TpchEnv& env, RelId rel, double sf) {
+  if (rel == env.region) return 5;
+  if (rel == env.nation) return 25;
+  if (rel == env.supplier) return Rows(10000, sf, 10);
+  if (rel == env.customer) return Rows(150000, sf, 30);
+  if (rel == env.part) return Rows(200000, sf, 40);
+  if (rel == env.partsupp) return Rows(800000, sf, 160);
+  if (rel == env.orders) return Rows(1500000, sf, 50);
+  if (rel == env.lineitem) return Rows(6000000, sf, 200);
+  assert(false && "unknown TPC-H relation");
+  return 0;
+}
+
+}  // namespace mpq

@@ -1,0 +1,42 @@
+// TPC-H environment (Sec 7): the 8-table schema distributed between two data
+// authorities, a querying user and a set of cloud providers.
+//
+// Column set is the standard TPC-H schema trimmed to the attributes our
+// 22 query shapes reference; dates are day-numbers (int64) so that range
+// predicates work under OPE.
+
+#ifndef MPQ_TPCH_TPCH_SCHEMA_H_
+#define MPQ_TPCH_TPCH_SCHEMA_H_
+
+#include <vector>
+
+#include "authz/subject.h"
+#include "catalog/catalog.h"
+
+namespace mpq {
+
+/// A fully-populated TPC-H scenario environment.
+struct TpchEnv {
+  Catalog catalog;
+  SubjectRegistry subjects;
+  SubjectId user = kInvalidSubject;
+  SubjectId auth_cust = kInvalidSubject;  ///< Authority 1: customer side.
+  SubjectId auth_supp = kInvalidSubject;  ///< Authority 2: supplier side.
+  std::vector<SubjectId> providers;
+
+  RelId region = kInvalidRel, nation = kInvalidRel, supplier = kInvalidRel,
+        customer = kInvalidRel, part = kInvalidRel, partsupp = kInvalidRel,
+        orders = kInvalidRel, lineitem = kInvalidRel;
+};
+
+/// Builds the environment. `costing_sf` scales the base-row counts fed to the
+/// cost model (1.0 == the paper's 1 GB configuration); `num_providers` cloud
+/// providers named P1..Pk are registered.
+TpchEnv MakeTpchEnv(double costing_sf = 1.0, int num_providers = 3);
+
+/// Standard TPC-H cardinality at scale factor `sf` for each relation.
+double TpchRows(const TpchEnv& env, RelId rel, double sf);
+
+}  // namespace mpq
+
+#endif  // MPQ_TPCH_TPCH_SCHEMA_H_

@@ -1,0 +1,89 @@
+// Shared vocabularies between the TPC-H data generator and the query
+// definitions, so that query constants select non-empty results.
+
+#ifndef MPQ_TPCH_VOCAB_H_
+#define MPQ_TPCH_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+namespace mpq::tpch {
+
+inline const std::vector<std::string>& Regions() {
+  static const std::vector<std::string> v = {"AFRICA", "AMERICA", "ASIA",
+                                             "EUROPE", "MIDDLE EAST"};
+  return v;
+}
+
+inline const std::vector<std::string>& Nations() {
+  static const std::vector<std::string> v = {
+      "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",       "EGYPT",
+      "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",        "INDONESIA",
+      "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",       "KENYA",
+      "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",        "ROMANIA",
+      "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+      "UNITED STATES"};
+  return v;
+}
+
+inline const std::vector<std::string>& Segments() {
+  static const std::vector<std::string> v = {"AUTOMOBILE", "BUILDING",
+                                             "FURNITURE", "MACHINERY",
+                                             "HOUSEHOLD"};
+  return v;
+}
+
+inline const std::vector<std::string>& Priorities() {
+  static const std::vector<std::string> v = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                             "4-NOT SPECIFIED", "5-LOW"};
+  return v;
+}
+
+inline const std::vector<std::string>& Brands() {
+  static const std::vector<std::string> v = {"Brand#11", "Brand#12",
+                                             "Brand#23", "Brand#34",
+                                             "Brand#45"};
+  return v;
+}
+
+inline const std::vector<std::string>& Types() {
+  static const std::vector<std::string> v = {
+      "ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER",
+      "PROMO BURNISHED NICKEL", "SMALL PLATED TIN", "STANDARD POLISHED BRASS"};
+  return v;
+}
+
+inline const std::vector<std::string>& Containers() {
+  static const std::vector<std::string> v = {"SM CASE", "MED BOX", "LG DRUM",
+                                             "JUMBO PKG", "WRAP BAG"};
+  return v;
+}
+
+inline const std::vector<std::string>& ShipModes() {
+  static const std::vector<std::string> v = {"AIR", "MAIL", "RAIL", "SHIP",
+                                             "TRUCK", "FOB", "REG AIR"};
+  return v;
+}
+
+inline const std::vector<std::string>& ReturnFlags() {
+  static const std::vector<std::string> v = {"A", "N", "R"};
+  return v;
+}
+
+inline const std::vector<std::string>& LineStatus() {
+  static const std::vector<std::string> v = {"F", "O"};
+  return v;
+}
+
+inline const std::vector<std::string>& OrderStatus() {
+  static const std::vector<std::string> v = {"F", "O", "P"};
+  return v;
+}
+
+/// Day-number range for dates (days since 1992-01-01; ~7 years).
+inline constexpr int64_t kMinDate = 0;
+inline constexpr int64_t kMaxDate = 2555;
+
+}  // namespace mpq::tpch
+
+#endif  // MPQ_TPCH_VOCAB_H_

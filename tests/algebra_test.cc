@@ -1,0 +1,174 @@
+// Unit tests for plan construction, validation, traversal and printing.
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_builder.h"
+#include "algebra/plan_printer.h"
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = MakePaperExample(); }
+  std::unique_ptr<PaperExample> ex_;
+};
+
+TEST_F(AlgebraTest, BuildAndValidateRunningExample) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  EXPECT_EQ(CountNodes(plan.get()), 7);
+  EXPECT_TRUE(ValidatePlan(plan.get(), ex_->catalog).ok());
+}
+
+TEST_F(AlgebraTest, PreOrderIdsAndFind) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  EXPECT_EQ(plan->id, 0);
+  const PlanNode* hosp = FindNode(plan.get(), PaperExample::kHospLeaf);
+  ASSERT_NE(hosp, nullptr);
+  EXPECT_EQ(hosp->kind, OpKind::kBase);
+  EXPECT_EQ(hosp->rel, ex_->hosp);
+  EXPECT_EQ(FindNode(plan.get(), 99), nullptr);
+}
+
+TEST_F(AlgebraTest, PostOrderVisitsChildrenFirst) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  std::vector<const PlanNode*> order = PostOrder(
+      static_cast<const PlanNode*>(plan.get()));
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_EQ(order.front()->kind, OpKind::kBase);
+  EXPECT_EQ(order.back()->id, 0);
+}
+
+TEST_F(AlgebraTest, CloneIsDeep) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  PlanPtr copy = plan->Clone();
+  EXPECT_EQ(CountNodes(copy.get()), 7);
+  EXPECT_EQ(copy->id, plan->id);
+  // Mutating the copy leaves the original untouched.
+  copy->predicates.clear();
+  EXPECT_FALSE(plan->predicates.empty());
+}
+
+TEST_F(AlgebraTest, VisibleAttrsPerOperator) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  const AttrRegistry& reg = ex_->catalog.attrs();
+  EXPECT_EQ(VisibleAttrs(FindNode(plan.get(), PaperExample::kProject),
+                         ex_->catalog)
+                .ToString(reg),
+            "SDT");
+  EXPECT_EQ(VisibleAttrs(FindNode(plan.get(), PaperExample::kJoin),
+                         ex_->catalog)
+                .ToString(reg),
+            "SDTCP");
+  EXPECT_EQ(VisibleAttrs(FindNode(plan.get(), PaperExample::kGroupBy),
+                         ex_->catalog)
+                .ToString(reg),
+            "TP");
+}
+
+TEST_F(AlgebraTest, ValidationCatchesBadProjection) {
+  PlanBuilder b = ex_->builder();
+  // Projecting C (of Ins) from Hosp.
+  PlanPtr bad = Project(b.Rel("Hosp"), b.Set("S,C"));
+  AssignIds(bad.get());
+  Status st = ValidatePlan(bad.get(), ex_->catalog);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("projection"), std::string::npos);
+}
+
+TEST_F(AlgebraTest, ValidationCatchesDanglingPredicate) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr bad = Select(Project(b.Rel("Hosp"), b.Set("S,T")),
+                       {b.Pv("D", CmpOp::kEq, Value(std::string("x")))});
+  AssignIds(bad.get());
+  EXPECT_FALSE(ValidatePlan(bad.get(), ex_->catalog).ok());
+}
+
+TEST_F(AlgebraTest, ValidationCatchesEmptyProjectionAndCondition) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p1 = Project(b.Rel("Hosp"), {});
+  AssignIds(p1.get());
+  EXPECT_FALSE(ValidatePlan(p1.get(), ex_->catalog).ok());
+  PlanPtr p2 = Select(b.Rel("Hosp"), {});
+  AssignIds(p2.get());
+  EXPECT_FALSE(ValidatePlan(p2.get(), ex_->catalog).ok());
+}
+
+TEST_F(AlgebraTest, ValidationCatchesJoinWithValuePredicate) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr bad = Join(b.Rel("Hosp"), b.Rel("Ins"),
+                     {b.Pv("S", CmpOp::kEq, Value(int64_t{1}))});
+  AssignIds(bad.get());
+  EXPECT_FALSE(ValidatePlan(bad.get(), ex_->catalog).ok());
+}
+
+TEST_F(AlgebraTest, ValidationCatchesUdfOutputNotInInputs) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr bad = Udf(b.Rel("Hosp"), "f", b.Set("S,B"), b.A("T"));
+  AssignIds(bad.get());
+  EXPECT_FALSE(ValidatePlan(bad.get(), ex_->catalog).ok());
+}
+
+TEST_F(AlgebraTest, PredicateToString) {
+  PlanBuilder b = ex_->builder();
+  Predicate p1 = b.Pv("D", CmpOp::kEq, Value(std::string("stroke")));
+  EXPECT_EQ(p1.ToString(ex_->catalog.attrs()), "D='stroke'");
+  Predicate p2 = b.Pa("S", CmpOp::kLe, "C");
+  EXPECT_EQ(p2.ToString(ex_->catalog.attrs()), "S<=C");
+}
+
+TEST_F(AlgebraTest, PlanPrinterShowsStructure) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  std::string text = PrintPlan(plan.get(), ex_->catalog);
+  EXPECT_NE(text.find("Hosp"), std::string::npos);
+  EXPECT_NE(text.find("Ins"), std::string::npos);
+  EXPECT_NE(text.find("σ"), std::string::npos);
+  EXPECT_NE(text.find("⋈"), std::string::npos);
+  EXPECT_NE(text.find("γ"), std::string::npos);
+}
+
+TEST_F(AlgebraTest, PlanPrinterShowsProfilesAndAssignment) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  std::unordered_map<int, SubjectId> assign{{PaperExample::kJoin, ex_->X}};
+  PrintOptions opts;
+  opts.show_profiles = true;
+  opts.assignment = &assign;
+  opts.subjects = &ex_->subjects;
+  std::string text = PrintPlan(plan.get(), ex_->catalog, opts);
+  EXPECT_NE(text.find("@X"), std::string::npos);
+  EXPECT_NE(text.find("v:"), std::string::npos);
+}
+
+TEST_F(AlgebraTest, PlanToDotIsWellFormed) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  std::string dot = PlanToDot(plan.get(), ex_->catalog);
+  EXPECT_EQ(dot.rfind("digraph plan {", 0), 0u);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST_F(AlgebraTest, AggregateToString) {
+  PlanBuilder b = ex_->builder();
+  EXPECT_EQ(Aggregate::Make(AggFunc::kAvg, b.A("P"))
+                .ToString(ex_->catalog.attrs()),
+            "avg(P)");
+  EXPECT_EQ(Aggregate::CountStar(b.A("P")).ToString(ex_->catalog.attrs()),
+            "count(*)");
+}
+
+TEST_F(AlgebraTest, EvalCmpCoversAllOperators) {
+  Value a(int64_t{1}), c(int64_t{2});
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, a, c));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, a, a));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGt, c, a));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, c, c));
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, a, a));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, a, c));
+}
+
+}  // namespace
+}  // namespace mpq

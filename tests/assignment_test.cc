@@ -1,0 +1,146 @@
+// Tests for the assignment optimizer: DP vs exhaustive, scenario cost
+// ordering, exact extended-plan costing.
+
+#include <gtest/gtest.h>
+
+#include "assign/assignment.h"
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class AssignmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    plan_ = ex_->BuildQueryPlan();
+    prices_ = PricingTable::PaperDefaults(ex_->subjects);
+    topo_ = Topology::PaperDefaults(ex_->subjects);
+    schemes_ = AnalyzeSchemes(plan_.get(), ex_->catalog, SchemeCaps{});
+    cm_ = std::make_unique<CostModel>(&ex_->catalog, &prices_, &topo_,
+                                      &schemes_);
+    opt_ = std::make_unique<AssignmentOptimizer>(ex_->policy.get(), cm_.get());
+    auto cp = ComputeCandidates(plan_.get(), *ex_->policy);
+    ASSERT_TRUE(cp.ok());
+    cp_ = std::make_unique<CandidatePlan>(std::move(*cp));
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  PlanPtr plan_;
+  PricingTable prices_;
+  Topology topo_;
+  SchemeMap schemes_;
+  std::unique_ptr<CostModel> cm_;
+  std::unique_ptr<AssignmentOptimizer> opt_;
+  std::unique_ptr<CandidatePlan> cp_;
+};
+
+TEST_F(AssignmentTest, DpProducesAuthorizedAssignment) {
+  auto r = opt_->Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(VerifyAuthorizedAssignment(r->extended, *ex_->policy).ok());
+  EXPECT_GT(r->exact_cost.total_usd(), 0);
+}
+
+TEST_F(AssignmentTest, DpPrefersCheapProvidersOverUser) {
+  auto r = opt_->Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(r.ok());
+  // With user cpu at 10× provider price, the heavy middle operations (join,
+  // group-by) should not land on U.
+  EXPECT_NE(r->lambda.at(PaperExample::kJoin), ex_->U);
+  EXPECT_NE(r->lambda.at(PaperExample::kGroupBy), ex_->U);
+}
+
+TEST_F(AssignmentTest, DpCloseToExhaustiveOptimum) {
+  auto dp = opt_->Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(dp.ok());
+  auto ex = opt_->OptimizeExhaustive(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(ex.ok()) << ex.status().ToString();
+  EXPECT_LE(ex->exact_cost.total_usd(), dp->exact_cost.total_usd() + 1e-12);
+  // The DP edge-local approximation should stay within 2x of optimal on this
+  // small plan (empirically it matches or nearly matches).
+  EXPECT_LE(dp->exact_cost.total_usd(), ex->exact_cost.total_usd() * 2.0);
+}
+
+TEST_F(AssignmentTest, ExhaustiveGuardsSearchSpace) {
+  auto r = opt_->OptimizeExhaustive(plan_.get(), *cp_, ex_->U,
+                                    /*max_combinations=*/2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AssignmentTest, RestrictedPolicyForcesUserExecution) {
+  // UA-style: only user and authorities; all middle ops land on U.
+  Policy ua(&ex_->catalog, &ex_->subjects);
+  AttrSet hosp_all = ex_->catalog.Get(ex_->hosp).schema.Attrs();
+  AttrSet ins_all = ex_->catalog.Get(ex_->ins).schema.Attrs();
+  ASSERT_TRUE(ua.Grant(ex_->hosp, ex_->H, hosp_all, {}).ok());
+  ASSERT_TRUE(ua.Grant(ex_->ins, ex_->I, ins_all, {}).ok());
+  ASSERT_TRUE(ua.Grant(ex_->hosp, ex_->U, hosp_all, {}).ok());
+  ASSERT_TRUE(ua.Grant(ex_->ins, ex_->U, ins_all, {}).ok());
+  auto cp = ComputeCandidates(plan_.get(), ua);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  AssignmentOptimizer opt(&ua, cm_.get());
+  auto r = opt.OptimizeExhaustive(plan_.get(), *cp, ex_->U);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->lambda.at(PaperExample::kJoin), ex_->U);
+
+  // And it is at least as expensive as the provider-enabled policy: the
+  // restricted λ-space is a subset of the open one (exhaustive optima).
+  auto open = opt_->OptimizeExhaustive(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(open.ok());
+  EXPECT_LE(open->exact_cost.total_usd(),
+            r->exact_cost.total_usd() * (1 + 1e-9));
+}
+
+TEST_F(AssignmentTest, CostExtendedPlanChargesTransfers) {
+  auto r = opt_->Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(r.ok());
+  CostBreakdown cost = CostExtendedPlan(r->extended, *cm_, ex_->U);
+  EXPECT_GT(cost.net_usd, 0);  // at least root → user delivery
+  EXPECT_GT(cost.cpu_usd, 0);
+  EXPECT_GT(cost.elapsed_s, 0);
+}
+
+TEST_F(AssignmentTest, ElapsedThresholdFiltersPlans) {
+  // A generous threshold keeps the cost-optimal plan.
+  AssignmentOptimizer relaxed(ex_->policy.get(), cm_.get());
+  relaxed.SetElapsedThreshold(1e9);
+  auto r1 = relaxed.Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+
+  // An impossible threshold yields kNotFound (Sec 7: cost minimization
+  // subject to a maximum performance overhead).
+  AssignmentOptimizer strict(ex_->policy.get(), cm_.get());
+  strict.SetElapsedThreshold(1e-12);
+  auto r2 = strict.Optimize(plan_.get(), *cp_, ex_->U);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AssignmentTest, ThresholdPicksSlowerButCheapCompliantPlan) {
+  // Threshold between the optimum's elapsed time and the fastest plan's:
+  // the optimizer must return a plan within the threshold, possibly at
+  // higher cost.
+  auto unconstrained = opt_->Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(unconstrained.ok());
+  double opt_elapsed = unconstrained->exact_cost.elapsed_s;
+  AssignmentOptimizer constrained(ex_->policy.get(), cm_.get());
+  constrained.SetElapsedThreshold(opt_elapsed * 1.5);
+  auto r = constrained.Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r->exact_cost.elapsed_s, opt_elapsed * 1.5);
+}
+
+TEST_F(AssignmentTest, DpCostMatchesReportedValue) {
+  auto r = opt_->Optimize(plan_.get(), *cp_, ex_->U);
+  ASSERT_TRUE(r.ok());
+  CostBreakdown recomputed = CostExtendedPlan(r->extended, *cm_, ex_->U);
+  EXPECT_NEAR(recomputed.total_usd(), r->exact_cost.total_usd(), 1e-12);
+}
+
+}  // namespace
+}  // namespace mpq

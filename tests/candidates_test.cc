@@ -1,0 +1,152 @@
+// Tests for minimum required views (Def 5.2) and assignment candidates
+// (Def 5.3), reproducing the candidate sets of Figs 5/6 and Theorem 5.1.
+
+#include <gtest/gtest.h>
+
+#include "candidates/candidates.h"
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    plan_ = ex_->BuildQueryPlan();
+    auto cp = ComputeCandidates(plan_.get(), *ex_->policy);
+    ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+    cp_ = std::make_unique<CandidatePlan>(std::move(*cp));
+  }
+
+  SubjectSet Subjects(std::initializer_list<SubjectId> ids) {
+    SubjectSet out;
+    for (SubjectId s : ids) out.Insert(s);
+    return out;
+  }
+
+  AttrSet Set(const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c; ++c) {
+      out.Insert(ex_->catalog.attrs().Find(std::string(1, *c)));
+    }
+    return out;
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  PlanPtr plan_;
+  std::unique_ptr<CandidatePlan> cp_;
+};
+
+TEST_F(CandidatesTest, MinRequiredViewEncryptsAllButNeeded) {
+  RelationProfile p;
+  p.vp = Set("SDT");
+  p.ip = Set("D");
+  RelationProfile mv = MinRequiredView(p, Set("D"));
+  EXPECT_EQ(mv.vp, Set("D"));
+  EXPECT_EQ(mv.ve, Set("ST"));
+  EXPECT_EQ(mv.ip, Set("D"));  // implicit untouched
+}
+
+TEST_F(CandidatesTest, MinRequiredViewDecryptsNeededEncrypted) {
+  RelationProfile p;
+  p.vp = Set("T");
+  p.ve = Set("P");
+  RelationProfile mv = MinRequiredView(p, Set("P"));
+  EXPECT_EQ(mv.vp, Set("P"));
+  EXPECT_EQ(mv.ve, Set("T"));
+}
+
+// Fig 5/6: candidate sets for the running example.
+TEST_F(CandidatesTest, SelectionOnDHasAllSixCandidates) {
+  EXPECT_EQ(cp_->at(PaperExample::kSelectD).candidates,
+            Subjects({ex_->H, ex_->I, ex_->U, ex_->X, ex_->Y, ex_->Z}));
+}
+
+TEST_F(CandidatesTest, JoinExcludesOnlyI) {
+  // I has non-uniform visibility over the equivalence pair {S,C}.
+  EXPECT_EQ(cp_->at(PaperExample::kJoin).candidates,
+            Subjects({ex_->H, ex_->U, ex_->X, ex_->Y, ex_->Z}));
+}
+
+TEST_F(CandidatesTest, GroupByExcludesOnlyI) {
+  EXPECT_EQ(cp_->at(PaperExample::kGroupBy).candidates,
+            Subjects({ex_->H, ex_->U, ex_->X, ex_->Y, ex_->Z}));
+}
+
+TEST_F(CandidatesTest, HavingNeedsPlaintextAvgOnlyUY) {
+  // The final selection needs avg(P) in plaintext: only U and Y qualify.
+  EXPECT_EQ(cp_->at(PaperExample::kHaving).candidates,
+            Subjects({ex_->U, ex_->Y}));
+}
+
+TEST_F(CandidatesTest, LeafCandidatesAreTheOwners) {
+  EXPECT_EQ(cp_->at(PaperExample::kHospLeaf).candidates, Subjects({ex_->H}));
+  EXPECT_EQ(cp_->at(PaperExample::kInsLeaf).candidates, Subjects({ex_->I}));
+}
+
+TEST_F(CandidatesTest, CascadeProfileOfJoinIsFullyEncrypted) {
+  const RelationProfile& p = cp_->at(PaperExample::kJoin).cascade_profile;
+  EXPECT_TRUE(p.vp.empty());
+  EXPECT_EQ(p.ve, Set("SDTCP"));
+  EXPECT_EQ(p.ie, Set("D"));
+}
+
+TEST_F(CandidatesTest, CascadeProfileOfHavingHasPlaintextP) {
+  const RelationProfile& p = cp_->at(PaperExample::kHaving).cascade_profile;
+  EXPECT_EQ(p.vp, Set("P"));
+  EXPECT_EQ(p.ve, Set("T"));
+  EXPECT_TRUE(p.ip.Contains(ex_->catalog.attrs().Find("P")));
+}
+
+TEST_F(CandidatesTest, Theorem51MonotonicityHolds) {
+  EXPECT_TRUE(CheckCandidateMonotonicity(plan_.get(), *cp_).ok());
+}
+
+TEST_F(CandidatesTest, CandidateSetsShrinkUpThePlan) {
+  // Going up: σD (6) ⊇ join (5) ⊇ γ (5) ⊇ having (2).
+  EXPECT_TRUE(cp_->at(PaperExample::kJoin)
+                  .candidates.IsSubsetOf(cp_->at(PaperExample::kSelectD).candidates));
+  EXPECT_TRUE(cp_->at(PaperExample::kGroupBy)
+                  .candidates.IsSubsetOf(cp_->at(PaperExample::kJoin).candidates));
+  EXPECT_TRUE(cp_->at(PaperExample::kHaving)
+                  .candidates.IsSubsetOf(cp_->at(PaperExample::kGroupBy).candidates));
+}
+
+TEST_F(CandidatesTest, EmptyCandidateSetIsAnErrorWhenRequired) {
+  // Restrict the policy so nobody can run the final having selection in
+  // plaintext: drop Y's plaintext P by rebuilding a tighter policy.
+  Policy tight(&ex_->catalog, &ex_->subjects);
+  AttrSet hosp_all = ex_->catalog.Get(ex_->hosp).schema.Attrs();
+  AttrSet ins_all = ex_->catalog.Get(ex_->ins).schema.Attrs();
+  ASSERT_TRUE(tight.Grant(ex_->hosp, ex_->H, hosp_all, {}).ok());
+  ASSERT_TRUE(tight.Grant(ex_->ins, ex_->I, ins_all, {}).ok());
+  // Nobody else sees anything: internal operations have no candidates.
+  Result<CandidatePlan> r = ComputeCandidates(plan_.get(), tight);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnauthorized);
+
+  Result<CandidatePlan> relaxed =
+      ComputeCandidates(plan_.get(), tight, /*require_nonempty=*/false);
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_TRUE(relaxed->at(PaperExample::kJoin).candidates.empty());
+}
+
+TEST_F(CandidatesTest, PlaintextNeedWidensMinViewAndShrinksCandidates) {
+  // Force the join to require S,C in plaintext: X (encrypted-only over S,C)
+  // drops out.
+  PlanPtr plan = ex_->BuildQueryPlan();
+  PlanNode* join = FindNode(plan.get(), PaperExample::kJoin);
+  join->needs_plaintext = Set("SC");
+  auto cp = ComputeCandidates(plan.get(), *ex_->policy);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_FALSE(cp->at(PaperExample::kJoin).candidates.Contains(ex_->X));
+  // Z sees S and C in plaintext and stays.
+  EXPECT_TRUE(cp->at(PaperExample::kJoin).candidates.Contains(ex_->Z));
+}
+
+}  // namespace
+}  // namespace mpq

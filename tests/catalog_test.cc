@@ -1,0 +1,92 @@
+// Unit tests for the catalog and schema layer.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace mpq {
+namespace {
+
+using C = std::pair<std::string, DataType>;
+
+TEST(SchemaTest, IndexAndAttrs) {
+  Catalog cat;
+  RelId r = *cat.AddRelation(
+      "R", {C{"a", DataType::kInt64}, C{"b", DataType::kString}}, 0, 10);
+  const Schema& s = cat.Get(r).schema;
+  EXPECT_EQ(s.num_columns(), 2u);
+  AttrId a = cat.attrs().Find("a");
+  AttrId b = cat.attrs().Find("b");
+  EXPECT_EQ(s.IndexOf(a), 0);
+  EXPECT_EQ(s.IndexOf(b), 1);
+  EXPECT_EQ(s.IndexOf(999), -1);
+  EXPECT_EQ(s.Attrs(), (AttrSet{a, b}));
+  EXPECT_EQ(s.ColumnFor(b).type, DataType::kString);
+}
+
+TEST(SchemaTest, AvgTupleBytesByType) {
+  Catalog cat;
+  RelId r = *cat.AddRelation(
+      "R",
+      {C{"i", DataType::kInt64}, C{"d", DataType::kDouble},
+       C{"s", DataType::kString}},
+      0, 10);
+  EXPECT_DOUBLE_EQ(cat.Get(r).schema.AvgTupleBytes(), 8 + 8 + 16);
+}
+
+TEST(CatalogTest, DuplicateRelationRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation("R", {C{"a", DataType::kInt64}}, 0, 1).ok());
+  auto dup = cat.AddRelation("R", {C{"b", DataType::kInt64}}, 0, 1);
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DuplicateAttributeRejectedAcrossRelations) {
+  // Attribute names are global in the paper's model.
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation("R1", {C{"a", DataType::kInt64}}, 0, 1).ok());
+  auto dup = cat.AddRelation("R2", {C{"a", DataType::kInt64}}, 0, 1);
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RelationOfMapsAttributesToOwners) {
+  Catalog cat;
+  RelId r1 = *cat.AddRelation("R1", {C{"a", DataType::kInt64}}, 3, 1);
+  RelId r2 = *cat.AddRelation("R2", {C{"b", DataType::kInt64}}, 4, 1);
+  EXPECT_EQ(cat.RelationOf(cat.attrs().Find("a")), r1);
+  EXPECT_EQ(cat.RelationOf(cat.attrs().Find("b")), r2);
+  EXPECT_EQ(cat.RelationOf(12345), kInvalidRel);
+  EXPECT_EQ(cat.Get(r1).owner, 3u);
+  EXPECT_EQ(cat.Get(r2).owner, 4u);
+}
+
+TEST(CatalogTest, FindRelation) {
+  Catalog cat;
+  RelId r = *cat.AddRelation("Hosp", {C{"S", DataType::kInt64}}, 0, 42);
+  EXPECT_EQ(cat.FindRelation("Hosp"), r);
+  EXPECT_EQ(cat.FindRelation("nope"), kInvalidRel);
+  EXPECT_DOUBLE_EQ(cat.Get(r).base_rows, 42);
+}
+
+TEST(SubjectRegistryTest, RegisterAndLookup) {
+  SubjectRegistry reg;
+  SubjectId u = *reg.Register("U", SubjectKind::kUser);
+  SubjectId p = *reg.Register("P1", SubjectKind::kProvider);
+  EXPECT_EQ(reg.Find("U"), u);
+  EXPECT_EQ(reg.Find("missing"), kInvalidSubject);
+  EXPECT_EQ(reg.Name(p), "P1");
+  EXPECT_EQ(reg.Get(u).kind, SubjectKind::kUser);
+  EXPECT_EQ(reg.Register("U", SubjectKind::kUser).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(reg.OfKind(SubjectKind::kProvider),
+            (std::vector<SubjectId>{p}));
+}
+
+TEST(SubjectRegistryTest, KindNames) {
+  EXPECT_STREQ(SubjectKindName(SubjectKind::kUser), "user");
+  EXPECT_STREQ(SubjectKindName(SubjectKind::kAuthority), "authority");
+  EXPECT_STREQ(SubjectKindName(SubjectKind::kProvider), "provider");
+}
+
+}  // namespace
+}  // namespace mpq

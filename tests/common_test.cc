@@ -1,0 +1,215 @@
+// Unit tests for src/common: Status/Result, AttrRegistry, AttrSet,
+// DisjointSet, Value, Rng.
+
+#include <gtest/gtest.h>
+
+#include "common/attr.h"
+#include "common/attr_set.h"
+#include "common/disjoint_set.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/value.h"
+
+namespace mpq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Unauthorized("nope");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnauthorized);
+  EXPECT_EQ(st.message(), "nope");
+  EXPECT_EQ(st.ToString(), "Unauthorized: nope");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kUnauthorized,
+        StatusCode::kUnsupported, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  Result<int> err = Half(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+Result<int> Chain(int x) {
+  MPQ_ASSIGN_OR_RETURN(int h, Half(x));
+  MPQ_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(*Chain(8), 2);
+  EXPECT_FALSE(Chain(6).ok());  // 6/2 = 3, odd
+}
+
+TEST(AttrRegistryTest, InternIsIdempotent) {
+  AttrRegistry reg;
+  AttrId a = reg.Intern("S");
+  EXPECT_EQ(reg.Intern("S"), a);
+  EXPECT_EQ(reg.Find("S"), a);
+  EXPECT_EQ(reg.Find("missing"), kInvalidAttr);
+  EXPECT_EQ(reg.Name(a), "S");
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(AttrSetTest, BasicOps) {
+  AttrSet s{1, 5, 64, 200};
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_FALSE(s.Contains(63));
+  EXPECT_TRUE(s.Erase(64));
+  EXPECT_FALSE(s.Erase(64));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a{1, 2, 3}, b{3, 4};
+  EXPECT_EQ(a.Union(b), (AttrSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (AttrSet{3}));
+  EXPECT_EQ(a.Difference(b), (AttrSet{1, 2}));
+  EXPECT_TRUE((AttrSet{1, 2}).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE((AttrSet{9}).Intersects(a));
+}
+
+TEST(AttrSetTest, EqualityIgnoresTrailingZeroWords) {
+  AttrSet a{1};
+  AttrSet b{1, 300};
+  b.Erase(300);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AttrSetTest, ForEachAscending) {
+  AttrSet s{200, 1, 65};
+  std::vector<AttrId> seen;
+  s.ForEach([&](AttrId a) { seen.push_back(a); });
+  EXPECT_EQ(seen, (std::vector<AttrId>{1, 65, 200}));
+}
+
+TEST(AttrSetTest, ToStringSingleCharConcat) {
+  AttrRegistry reg;
+  AttrSet s;
+  s.Insert(reg.Intern("S"));
+  s.Insert(reg.Intern("D"));
+  s.Insert(reg.Intern("T"));
+  EXPECT_EQ(s.ToString(reg), "SDT");
+}
+
+TEST(DisjointSetTest, UnionFindAndClasses) {
+  DisjointSet ds;
+  ds.Union(1, 2);
+  ds.Union(3, 4);
+  EXPECT_TRUE(ds.Same(1, 2));
+  EXPECT_FALSE(ds.Same(1, 3));
+  ds.Union(2, 3);
+  EXPECT_TRUE(ds.Same(1, 4));
+  EXPECT_EQ(ds.Classes().size(), 1u);
+  EXPECT_EQ(ds.ClassOf(4), (AttrSet{1, 2, 3, 4}));
+}
+
+TEST(DisjointSetTest, NonMembersAreInNoClass) {
+  DisjointSet ds;
+  ds.Union(1, 2);
+  EXPECT_FALSE(ds.IsMember(7));
+  EXPECT_FALSE(ds.Same(7, 7));
+  EXPECT_TRUE(ds.ClassOf(7).empty());
+}
+
+TEST(DisjointSetTest, UnionAllAndMerge) {
+  DisjointSet a;
+  a.UnionAll(AttrSet{1, 2, 3});
+  DisjointSet b;
+  b.Union(3, 9);
+  a.Merge(b);
+  EXPECT_TRUE(a.Same(1, 9));
+  // Singleton UnionAll is a no-op.
+  DisjointSet c;
+  c.UnionAll(AttrSet{5});
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(DisjointSetTest, EqualityIsStructural) {
+  DisjointSet a, b;
+  a.Union(1, 2);
+  b.Union(2, 1);
+  EXPECT_TRUE(a == b);
+  b.Union(3, 4);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_GT(Value(std::string("b")).Compare(Value(std::string("a"))), 0);
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);  // nulls first
+  // Numbers sort before strings.
+  EXPECT_LT(Value(int64_t{5}).Compare(Value(std::string("a"))), 0);
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  for (const Value& v :
+       {Value(int64_t{-42}), Value(3.25), Value(std::string("hi")),
+        Value::Null()}) {
+    Result<Value> back = Value::Deserialize(v.Serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_FALSE(Value::Deserialize("").ok());
+  EXPECT_FALSE(Value::Deserialize("Ix").ok());
+  EXPECT_FALSE(Value::Deserialize("Z123").ok());
+}
+
+TEST(ValueTest, HashDiffersAcrossValues) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+  EXPECT_EQ(Value(std::string("x")).Hash(), Value(std::string("x")).Hash());
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(StrUtilTest, JoinSplitTrimCase) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(Trim("  x \t"), "x");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+}
+
+}  // namespace
+}  // namespace mpq

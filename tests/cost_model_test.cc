@@ -1,0 +1,137 @@
+// Tests for the economic cost model (Sec 7): estimation, pricing, transfers.
+
+#include <gtest/gtest.h>
+
+#include "assign/cost_model.h"
+#include "paper_example.h"
+#include "profile/propagate.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    prices_ = PricingTable::PaperDefaults(ex_->subjects);
+    topo_ = Topology::PaperDefaults(ex_->subjects);
+    plan_ = ex_->BuildQueryPlan();
+    schemes_ = AnalyzeSchemes(plan_.get(), ex_->catalog, SchemeCaps{});
+    cm_ = std::make_unique<CostModel>(&ex_->catalog, &prices_, &topo_,
+                                      &schemes_);
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  PricingTable prices_;
+  Topology topo_;
+  PlanPtr plan_;
+  SchemeMap schemes_;
+  std::unique_ptr<CostModel> cm_;
+};
+
+TEST_F(CostModelTest, PaperPricingMultipliers) {
+  double provider = prices_.Get(ex_->X).cpu_usd_per_hour;
+  EXPECT_DOUBLE_EQ(prices_.Get(ex_->U).cpu_usd_per_hour, provider * 10);
+  EXPECT_DOUBLE_EQ(prices_.Get(ex_->H).cpu_usd_per_hour, provider * 3);
+}
+
+TEST_F(CostModelTest, PaperTopologyClientLinkIsSlow) {
+  EXPECT_DOUBLE_EQ(topo_.BandwidthBps(ex_->X, ex_->Y), 10e9);
+  EXPECT_DOUBLE_EQ(topo_.BandwidthBps(ex_->U, ex_->X), 100e6);
+  EXPECT_DOUBLE_EQ(topo_.BandwidthBps(ex_->X, ex_->U), 100e6);
+}
+
+TEST_F(CostModelTest, EstimatesShrinkThroughSelection) {
+  auto est = cm_->EstimatePlan(plan_.get());
+  double base = est.at(PaperExample::kHospLeaf).rows;
+  double filtered = est.at(PaperExample::kSelectD).rows;
+  EXPECT_LT(filtered, base);
+  EXPECT_GT(filtered, 0);
+}
+
+TEST_F(CostModelTest, JoinEstimateIsFkLike) {
+  auto est = cm_->EstimatePlan(plan_.get());
+  double join = est.at(PaperExample::kJoin).rows;
+  double sel = est.at(PaperExample::kSelectD).rows;
+  double ins = est.at(PaperExample::kInsLeaf).rows;
+  EXPECT_LE(join, sel * ins);
+  EXPECT_GT(join, 0);
+}
+
+TEST_F(CostModelTest, GroupByReducesRows) {
+  auto est = cm_->EstimatePlan(plan_.get());
+  EXPECT_LT(est.at(PaperExample::kGroupBy).rows,
+            est.at(PaperExample::kJoin).rows);
+}
+
+TEST_F(CostModelTest, EncryptedProfileInflatesBytes) {
+  // Annotate a copy where P is encrypted: bytes grow (Paillier 24B vs 8B).
+  PlanBuilder b = ex_->builder();
+  PlanPtr enc = Encrypt(b.Rel("Ins"), b.Set("P"));
+  AssignIds(enc.get());
+  ASSERT_TRUE(AnnotatePlan(enc.get(), ex_->catalog).ok());
+  PlanPtr plain = Base(ex_->ins);
+  AssignIds(plain.get());
+  ASSERT_TRUE(AnnotatePlan(plain.get(), ex_->catalog).ok());
+  auto est_enc = cm_->EstimatePlan(enc.get());
+  auto est_plain = cm_->EstimatePlan(plain.get());
+  EXPECT_GT(est_enc.at(0).bytes, est_plain.at(0).bytes);
+}
+
+TEST_F(CostModelTest, NodeCostScalesWithSubjectPrice) {
+  auto est = cm_->EstimatePlan(plan_.get());
+  const PlanNode* join = FindNode(plan_.get(), PaperExample::kJoin);
+  std::vector<const NodeEstimate*> kids = {
+      &est.at(PaperExample::kSelectD), &est.at(PaperExample::kInsLeaf)};
+  double at_user = cm_->NodeCost(join, est.at(join->id), kids, ex_->U).cpu_usd;
+  double at_provider =
+      cm_->NodeCost(join, est.at(join->id), kids, ex_->X).cpu_usd;
+  EXPECT_NEAR(at_user / at_provider, 10.0, 1e-6);
+}
+
+TEST_F(CostModelTest, TransferFreeWithinSubject) {
+  CostBreakdown c = cm_->TransferCost(1e6, ex_->X, ex_->X);
+  EXPECT_DOUBLE_EQ(c.total_usd(), 0);
+  EXPECT_DOUBLE_EQ(c.elapsed_s, 0);
+}
+
+TEST_F(CostModelTest, TransferCostsEgressAndTime) {
+  CostBreakdown c = cm_->TransferCost(1e9, ex_->X, ex_->U);
+  EXPECT_GT(c.net_usd, 0);
+  EXPECT_NEAR(c.elapsed_s, 8e9 / 100e6, 1e-6);  // 100 Mbps client link
+}
+
+TEST_F(CostModelTest, CryptoCostPaillierDominates) {
+  AttrId p = ex_->catalog.attrs().Find("P");
+  AttrId s = ex_->catalog.attrs().Find("S");
+  double hom = cm_->CryptoCost(AttrSet{p}, 1000, ex_->X).cpu_usd;
+  double det = cm_->CryptoCost(AttrSet{s}, 1000, ex_->X).cpu_usd;
+  EXPECT_GT(hom, det * 100);
+}
+
+TEST_F(CostModelTest, BreakdownAccumulates) {
+  CostBreakdown a;
+  a.cpu_usd = 1;
+  a.io_usd = 2;
+  CostBreakdown b;
+  b.net_usd = 3;
+  b.elapsed_s = 4;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total_usd(), 6);
+  EXPECT_DOUBLE_EQ(a.elapsed_s, 4);
+}
+
+TEST_F(CostModelTest, UdfCpuDominatesOtherOps) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr udf = Udf(b.Rel("Hosp"), "score", b.Set("S,B"), b.A("S"));
+  PlanPtr plan = std::move(FinishPlan(std::move(udf), ex_->catalog)).value();
+  ASSERT_TRUE(AnnotatePlan(plan.get(), ex_->catalog).ok());
+  auto est = cm_->EstimatePlan(plan.get());
+  EXPECT_GT(est.at(0).cpu_micros, est.at(1).cpu_micros * 100);
+}
+
+}  // namespace
+}  // namespace mpq

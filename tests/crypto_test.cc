@@ -1,0 +1,232 @@
+// Tests for the crypto substrate: symmetric cipher, Paillier, OPE, key
+// material and encrypted-cell operations.
+
+#include <gtest/gtest.h>
+
+#include "crypto/cipher.h"
+#include "crypto/enc_value.h"
+#include "crypto/keyring.h"
+#include "crypto/ope.h"
+#include "crypto/paillier.h"
+
+namespace mpq {
+namespace {
+
+TEST(CipherTest, RoundTrip) {
+  std::string pt = "hello world";
+  std::string ct = SymEncrypt(42, 7, pt);
+  EXPECT_NE(ct.substr(8), pt);
+  Result<std::string> back = SymDecrypt(42, ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, pt);
+}
+
+TEST(CipherTest, DeterministicEqualityPreserving) {
+  EXPECT_EQ(DetEncrypt(1, "abc"), DetEncrypt(1, "abc"));
+  EXPECT_NE(DetEncrypt(1, "abc"), DetEncrypt(1, "abd"));
+  EXPECT_NE(DetEncrypt(1, "abc"), DetEncrypt(2, "abc"));
+}
+
+TEST(CipherTest, RandomizedHidesEquality) {
+  EXPECT_NE(RndEncrypt(1, 100, "abc"), RndEncrypt(1, 101, "abc"));
+}
+
+TEST(CipherTest, WrongKeyGarbles) {
+  std::string ct = DetEncrypt(1, "abc");
+  Result<std::string> wrong = SymDecrypt(2, ct);
+  ASSERT_TRUE(wrong.ok());  // stream cipher always "decrypts"
+  EXPECT_NE(*wrong, "abc");
+}
+
+TEST(CipherTest, ShortCiphertextRejected) {
+  EXPECT_FALSE(SymDecrypt(1, "abc").ok());
+}
+
+class PaillierTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaillierTest, EncryptDecryptRoundTrip) {
+  PaillierKey key = PaillierKeyGen(GetParam());
+  for (uint64_t m : {0ull, 1ull, 12345ull, 999999999ull}) {
+    uint128 c = PaillierEncrypt(key, m, 0xabcdef + m);
+    Result<uint64_t> back = PaillierDecrypt(key, c);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST_P(PaillierTest, HomomorphicAddition) {
+  PaillierKey key = PaillierKeyGen(GetParam());
+  uint128 c1 = PaillierEncrypt(key, 1000, 17);
+  uint128 c2 = PaillierEncrypt(key, 2345, 23);
+  uint128 sum = PaillierAdd(key.n, c1, c2);
+  EXPECT_EQ(*PaillierDecrypt(key, sum), 3345u);
+}
+
+TEST_P(PaillierTest, SignedEncoding) {
+  PaillierKey key = PaillierKeyGen(GetParam());
+  for (int64_t v : {-1000000, -1, 0, 1, 999999}) {
+    uint64_t enc = PaillierEncodeSigned(key, v);
+    EXPECT_EQ(PaillierDecodeSigned(key, enc), v);
+  }
+}
+
+TEST_P(PaillierTest, HomomorphicSignedSum) {
+  PaillierKey key = PaillierKeyGen(GetParam());
+  uint128 c1 = PaillierEncrypt(key, PaillierEncodeSigned(key, -500), 3);
+  uint128 c2 = PaillierEncrypt(key, PaillierEncodeSigned(key, 200), 5);
+  uint128 sum = PaillierAdd(key.n, c1, c2);
+  EXPECT_EQ(PaillierDecodeSigned(key, *PaillierDecrypt(key, sum)), -300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaillierTest,
+                         ::testing::Values(1, 2, 7, 42, 1234567));
+
+TEST(PaillierTest, RandomizedCiphertexts) {
+  PaillierKey key = PaillierKeyGen(9);
+  EXPECT_NE(PaillierEncrypt(key, 5, 100), PaillierEncrypt(key, 5, 101));
+}
+
+TEST(PaillierTest, CipherBytesRoundTrip) {
+  PaillierKey key = PaillierKeyGen(3);
+  uint128 c = PaillierEncrypt(key, 777, 11);
+  std::string bytes = PaillierCipherToBytes(c);
+  EXPECT_EQ(bytes.size(), 16u);
+  EXPECT_EQ(*PaillierCipherFromBytes(bytes), c);
+  EXPECT_FALSE(PaillierCipherFromBytes("short").ok());
+}
+
+TEST(OpeTest, OrderPreservation) {
+  uint64_t key = 99;
+  std::vector<int64_t> values = {-1000000, -5, -1, 0, 1, 2, 3, 1000,
+                                 123456789};
+  std::vector<std::string> cts;
+  for (int64_t v : values) cts.push_back(OpeEncryptInt(key, v));
+  for (size_t i = 0; i + 1 < cts.size(); ++i) {
+    EXPECT_LT(cts[i], cts[i + 1]) << "order broken at " << i;
+  }
+}
+
+TEST(OpeTest, RoundTripAndKeyCheck) {
+  EXPECT_EQ(*OpeDecryptInt(5, OpeEncryptInt(5, -42)), -42);
+  // Wrong key: the PRF pad will not match.
+  EXPECT_FALSE(OpeDecryptInt(6, OpeEncryptInt(5, -42)).ok());
+  EXPECT_FALSE(OpeDecryptInt(5, "bad").ok());
+}
+
+TEST(OpeTest, DoubleFixedPoint) {
+  uint64_t key = 3;
+  Result<std::string> ct = OpeEncryptValue(key, Value(12.3456));
+  ASSERT_TRUE(ct.ok());
+  Result<Value> back = OpeDecryptValue(key, *ct, DataType::kDouble);
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(back->AsDouble(), 12.3456, 1e-3);
+  EXPECT_FALSE(OpeEncryptValue(key, Value(std::string("x"))).ok());
+}
+
+TEST(KeyringTest, DistributionEnforcement) {
+  KeyRing ring;
+  EXPECT_FALSE(ring.Get(1).ok());
+  ring.Add(MakeKeyMaterial(77, 1));
+  ASSERT_TRUE(ring.Get(1).ok());
+  EXPECT_EQ(ring.Get(1)->key_id, 1u);
+  EXPECT_EQ(ring.Get(2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KeyringTest, MaterialIsDeterministicPerSeed) {
+  KeyMaterial a = MakeKeyMaterial(7, 3);
+  KeyMaterial b = MakeKeyMaterial(7, 3);
+  EXPECT_EQ(a.sym, b.sym);
+  EXPECT_EQ(a.ope, b.ope);
+  EXPECT_EQ(a.paillier.n, b.paillier.n);
+  KeyMaterial c = MakeKeyMaterial(8, 3);
+  EXPECT_NE(a.sym, c.sym);
+}
+
+class EncValueTest : public ::testing::Test {
+ protected:
+  KeyMaterial km_ = MakeKeyMaterial(11, 1);
+};
+
+TEST_F(EncValueTest, RoundTripAllSchemes) {
+  Value v(int64_t{1234});
+  for (EncScheme s : {EncScheme::kRandom, EncScheme::kDeterministic,
+                      EncScheme::kOpe, EncScheme::kPaillier}) {
+    Result<EncValue> ev = EncryptValue(v, s, 1, km_, 555);
+    ASSERT_TRUE(ev.ok()) << EncSchemeName(s);
+    Result<Value> back = DecryptValue(*ev, km_, DataType::kInt64);
+    ASSERT_TRUE(back.ok()) << EncSchemeName(s);
+    EXPECT_EQ(*back, v) << EncSchemeName(s);
+  }
+}
+
+TEST_F(EncValueTest, PaillierDoubleRoundTrip) {
+  Result<EncValue> ev =
+      EncryptValue(Value(123.45), EncScheme::kPaillier, 1, km_, 9);
+  ASSERT_TRUE(ev.ok());
+  Result<Value> back = DecryptValue(*ev, km_, DataType::kDouble);
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(back->AsDouble(), 123.45, 1e-3);
+}
+
+TEST_F(EncValueTest, DetSupportsOnlyEquality) {
+  Cell a(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
+  Cell b(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 2));
+  Cell c(*EncryptValue(Value(int64_t{2}), EncScheme::kDeterministic, 1, km_, 3));
+  EXPECT_TRUE(*CompareCells(CmpOp::kEq, a, b));
+  EXPECT_TRUE(*CompareCells(CmpOp::kNe, a, c));
+  EXPECT_FALSE(CompareCells(CmpOp::kLt, a, c).ok());
+}
+
+TEST_F(EncValueTest, OpeSupportsOrder) {
+  Cell a(*EncryptValue(Value(int64_t{5}), EncScheme::kOpe, 1, km_, 1));
+  Cell b(*EncryptValue(Value(int64_t{9}), EncScheme::kOpe, 1, km_, 2));
+  EXPECT_TRUE(*CompareCells(CmpOp::kLt, a, b));
+  EXPECT_TRUE(*CompareCells(CmpOp::kGe, b, a));
+  EXPECT_TRUE(*CompareCells(CmpOp::kNe, a, b));
+}
+
+TEST_F(EncValueTest, RndAndHomNotComparable) {
+  Cell a(*EncryptValue(Value(int64_t{1}), EncScheme::kRandom, 1, km_, 1));
+  Cell b(*EncryptValue(Value(int64_t{1}), EncScheme::kRandom, 1, km_, 2));
+  EXPECT_FALSE(CompareCells(CmpOp::kEq, a, b).ok());
+  Cell c(*EncryptValue(Value(int64_t{1}), EncScheme::kPaillier, 1, km_, 3));
+  Cell d(*EncryptValue(Value(int64_t{1}), EncScheme::kPaillier, 1, km_, 4));
+  EXPECT_FALSE(CompareCells(CmpOp::kEq, c, d).ok());
+}
+
+TEST_F(EncValueTest, CrossKeyAndMixedComparisonsRejected) {
+  KeyMaterial other = MakeKeyMaterial(11, 2);
+  Cell a(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
+  Cell b(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 2, other, 1));
+  EXPECT_FALSE(CompareCells(CmpOp::kEq, a, b).ok());
+  Cell plain(Value(int64_t{1}));
+  EXPECT_FALSE(CompareCells(CmpOp::kEq, a, plain).ok());
+}
+
+TEST_F(EncValueTest, GroupKeysForDetAndOpeOnly) {
+  Cell det(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
+  Cell ope(*EncryptValue(Value(int64_t{1}), EncScheme::kOpe, 1, km_, 1));
+  Cell rnd(*EncryptValue(Value(int64_t{1}), EncScheme::kRandom, 1, km_, 1));
+  EXPECT_TRUE(CellGroupKey(det).ok());
+  EXPECT_TRUE(CellGroupKey(ope).ok());
+  EXPECT_FALSE(CellGroupKey(rnd).ok());
+  EXPECT_TRUE(CellGroupKey(Cell(Value(int64_t{1}))).ok());
+}
+
+TEST_F(EncValueTest, SchemeCostsOrdered) {
+  EXPECT_LT(EncSchemeCpuMicros(EncScheme::kDeterministic),
+            EncSchemeCpuMicros(EncScheme::kOpe));
+  EXPECT_LT(EncSchemeCpuMicros(EncScheme::kOpe),
+            EncSchemeCpuMicros(EncScheme::kPaillier));
+  EXPECT_GT(EncSchemeCiphertextBytes(EncScheme::kDeterministic, 8), 8);
+}
+
+TEST_F(EncValueTest, ToStringTagsScheme) {
+  EncValue ev = *EncryptValue(Value(int64_t{1}), EncScheme::kOpe, 3, km_, 1);
+  std::string s = ev.ToString();
+  EXPECT_NE(s.find("OPE"), std::string::npos);
+  EXPECT_NE(s.find("k3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpq

@@ -1,0 +1,126 @@
+// Tests for sub-query dispatch (Fig 8): fragmentation, SQL rendering, key
+// attachment, signatures.
+
+#include <gtest/gtest.h>
+
+#include "exec/dispatch.h"
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    plan_ = ex_->BuildQueryPlan();
+    Assignment fig7a{{PaperExample::kProject, ex_->H},
+                     {PaperExample::kSelectD, ex_->H},
+                     {PaperExample::kJoin, ex_->X},
+                     {PaperExample::kGroupBy, ex_->X},
+                     {PaperExample::kHaving, ex_->Y}};
+    auto ext =
+        BuildMinimallyExtendedPlan(plan_.get(), fig7a, *ex_->policy, ex_->U);
+    ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+    ext_ = std::make_unique<ExtendedPlan>(std::move(*ext));
+    keys_ = DeriveQueryPlanKeys(*ext_);
+    auto d = BuildDispatch(*ext_, keys_, *ex_->policy, ex_->U);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    dispatch_ = std::make_unique<DispatchPlan>(std::move(*d));
+  }
+
+  const DispatchMessage* MessageFor(SubjectId s) {
+    for (const DispatchMessage& m : dispatch_->messages) {
+      if (m.to == s) return &m;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  PlanPtr plan_;
+  std::unique_ptr<ExtendedPlan> ext_;
+  PlanKeys keys_;
+  std::unique_ptr<DispatchPlan> dispatch_;
+};
+
+TEST_F(DispatchTest, OneFragmentPerAssigneeRun) {
+  // Fig 7(a): fragments for Y (having), X (join+γ), H (π+σ+enc), I (enc).
+  EXPECT_EQ(dispatch_->messages.size(), 4u);
+  EXPECT_NE(MessageFor(ex_->Y), nullptr);
+  EXPECT_NE(MessageFor(ex_->X), nullptr);
+  EXPECT_NE(MessageFor(ex_->H), nullptr);
+  EXPECT_NE(MessageFor(ex_->I), nullptr);
+}
+
+TEST_F(DispatchTest, RootFragmentGoesToY) {
+  EXPECT_EQ(dispatch_->messages.front().to, ex_->Y);
+}
+
+TEST_F(DispatchTest, FragmentsReferenceUpstreamRequests) {
+  const DispatchMessage* y = MessageFor(ex_->Y);
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->upstream_fragments.size(), 1u);  // calls X's fragment
+  const DispatchMessage* x = MessageFor(ex_->X);
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->upstream_fragments.size(), 2u);  // calls H and I
+  EXPECT_NE(x->sub_query.find("[[req_"), std::string::npos);
+}
+
+TEST_F(DispatchTest, SqlTextContainsOperations) {
+  const DispatchMessage* h = MessageFor(ex_->H);
+  ASSERT_NE(h, nullptr);
+  EXPECT_NE(h->sub_query.find("Hosp"), std::string::npos);
+  EXPECT_NE(h->sub_query.find("stroke"), std::string::npos);
+  EXPECT_NE(h->sub_query.find("encrypt(S"), std::string::npos);
+
+  const DispatchMessage* i = MessageFor(ex_->I);
+  ASSERT_NE(i, nullptr);
+  EXPECT_NE(i->sub_query.find("Ins"), std::string::npos);
+  EXPECT_NE(i->sub_query.find("encrypt(C"), std::string::npos);
+  EXPECT_NE(i->sub_query.find("encrypt(P"), std::string::npos);
+
+  const DispatchMessage* x = MessageFor(ex_->X);
+  ASSERT_NE(x, nullptr);
+  EXPECT_NE(x->sub_query.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(x->sub_query.find("avg("), std::string::npos);
+
+  const DispatchMessage* y = MessageFor(ex_->Y);
+  ASSERT_NE(y, nullptr);
+  EXPECT_NE(y->sub_query.find("decrypt(P"), std::string::npos);
+  EXPECT_NE(y->sub_query.find("P>100"), std::string::npos);
+}
+
+TEST_F(DispatchTest, KeysAttachedPerHolders) {
+  // H gets kSC; I gets kSC and kP; Y gets kP; X gets nothing.
+  const DispatchMessage* h = MessageFor(ex_->H);
+  const DispatchMessage* i = MessageFor(ex_->I);
+  const DispatchMessage* x = MessageFor(ex_->X);
+  const DispatchMessage* y = MessageFor(ex_->Y);
+  EXPECT_EQ(h->key_ids.size(), 1u);
+  EXPECT_EQ(i->key_ids.size(), 2u);
+  EXPECT_TRUE(x->key_ids.empty());
+  EXPECT_EQ(y->key_ids.size(), 1u);
+}
+
+TEST_F(DispatchTest, SignaturesVerify) {
+  for (const DispatchMessage& m : dispatch_->messages) {
+    std::string payload = m.sub_query;
+    for (uint64_t k : m.key_ids) payload += "|" + std::to_string(k);
+    EXPECT_TRUE(VerifySignature(ex_->U, payload, m.signature));
+    // A tampered payload or wrong signer fails.
+    EXPECT_FALSE(VerifySignature(ex_->U, payload + "x", m.signature));
+    EXPECT_FALSE(VerifySignature(ex_->X, payload, m.signature));
+  }
+}
+
+TEST_F(DispatchTest, ToStringRendersAllMessages) {
+  std::string s = dispatch_->ToString(ex_->subjects);
+  EXPECT_NE(s.find("req_0 -> Y"), std::string::npos);
+  EXPECT_NE(s.find("sig="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpq

@@ -1,0 +1,305 @@
+// Tests for the tuple execution engine, plaintext and over ciphertexts.
+
+#include <gtest/gtest.h>
+
+#include "assign/schemes.h"
+#include "exec/executor.h"
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    hosp_ = ex_->HospData();
+    ins_ = ex_->InsData();
+    keyring_.Add(MakeKeyMaterial(1, 0));  // default key id 0
+    ctx_.catalog = &ex_->catalog;
+    ctx_.base_tables[ex_->hosp] = &hosp_;
+    ctx_.base_tables[ex_->ins] = &ins_;
+    ctx_.keyring = &keyring_;
+    ctx_.dispatcher_keyring = &keyring_;
+    ctx_.crypto = &crypto_;
+    KeyMaterial km = *keyring_.Get(0);
+    ctx_.public_modulus[0] = km.paillier.n;
+  }
+
+  PlanPtr Finish(PlanPtr p) {
+    PlanPtr out = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
+    return out;
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  Table hosp_, ins_;
+  KeyRing keyring_;
+  CryptoPlan crypto_;
+  ExecContext ctx_;
+};
+
+TEST_F(ExecutorTest, BaseScan) {
+  PlanPtr p = Finish(Base(ex_->hosp));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->num_columns(), 4u);
+}
+
+TEST_F(ExecutorTest, ProjectKeepsRequestedColumns) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(Project(b.Rel("Hosp"), b.Set("S,T")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_EQ(t->num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, SelectFilters) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(Select(
+      b.Rel("Hosp"), {b.Pv("D", CmpOp::kEq, Value(std::string("stroke")))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, SelectRangeOnInt) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(
+      Select(b.Rel("Hosp"), {b.Pv("B", CmpOp::kGt, Value(int64_t{1975}))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);  // 1985, 1990
+}
+
+TEST_F(ExecutorTest, HashJoinMatchesKeys) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(
+      Join(b.Rel("Hosp"), b.Rel("Ins"), {b.Pa("S", CmpOp::kEq, "C")}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->num_columns(), 6u);
+}
+
+TEST_F(ExecutorTest, NonEquiJoinNestedLoop) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(
+      Join(b.Rel("Hosp"), b.Rel("Ins"), {b.Pa("S", CmpOp::kLt, "C")}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  // S values 100..103 vs C values 100..103: pairs with S<C = 3+2+1 = 6.
+  EXPECT_EQ(t->num_rows(), 6u);
+}
+
+TEST_F(ExecutorTest, CartesianProducesAllPairs) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(Cartesian(b.Rel("Hosp"), b.Rel("Ins")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 16u);
+}
+
+TEST_F(ExecutorTest, GroupByAggregates) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(GroupBy(b.Rel("Hosp"), b.Set("D"),
+                             {Aggregate::Make(AggFunc::kMin, b.A("B")),
+                              Aggregate::CountStar(b.A("S"))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);  // stroke, flu
+  // Find the stroke group: min(B)=1960, count=3.
+  int d_col = t->ColIndex(b.A("D"));
+  int b_col = t->ColIndex(b.A("B"));
+  int s_col = t->ColIndex(b.A("S"));
+  bool found = false;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    if (t->row(r)[static_cast<size_t>(d_col)].plain() ==
+        Value(std::string("stroke"))) {
+      found = true;
+      EXPECT_EQ(t->row(r)[static_cast<size_t>(b_col)].plain(),
+                Value(int64_t{1960}));
+      EXPECT_EQ(t->row(r)[static_cast<size_t>(s_col)].plain(),
+                Value(int64_t{3}));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExecutorTest, GlobalAggregateNoGroups) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(
+      GroupBy(b.Rel("Ins"), {}, {Aggregate::Make(AggFunc::kSum, b.A("P"))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_NEAR(t->row(0)[0].plain().AsDouble(), 450.0, 1e-9);
+}
+
+TEST_F(ExecutorTest, PlaintextRunningExampleResult) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  Result<Table> t = ExecutePlan(plan.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // stroke patients: (tpa: 120, 200 → avg 160 > 100 keep), (surgery: 50 → drop)
+  ASSERT_EQ(t->num_rows(), 1u);
+  PlanBuilder b = ex_->builder();
+  int t_col = t->ColIndex(b.A("T"));
+  int p_col = t->ColIndex(b.A("P"));
+  EXPECT_EQ(t->row(0)[static_cast<size_t>(t_col)].plain(),
+            Value(std::string("tpa")));
+  EXPECT_NEAR(t->row(0)[static_cast<size_t>(p_col)].plain().AsDouble(), 160.0,
+              1e-9);
+}
+
+TEST_F(ExecutorTest, EncryptDecryptRoundTripInPlan) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("S")] = EncScheme::kDeterministic;
+  PlanPtr p = Finish(Decrypt(Encrypt(b.Rel("Hosp"), b.Set("S")), b.Set("S")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->row(0)[0].plain(), Value(int64_t{100}));
+  EXPECT_FALSE(t->columns()[0].encrypted);
+}
+
+TEST_F(ExecutorTest, SelectOnDetEncryptedColumn) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("D")] = EncScheme::kDeterministic;
+  PlanPtr p = Finish(
+      Select(Encrypt(b.Rel("Hosp"), b.Set("D")),
+             {b.Pv("D", CmpOp::kEq, Value(std::string("stroke")))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, RangeOnOpeEncryptedColumn) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("B")] = EncScheme::kOpe;
+  PlanPtr p = Finish(Select(Encrypt(b.Rel("Hosp"), b.Set("B")),
+                            {b.Pv("B", CmpOp::kGt, Value(int64_t{1975}))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, RangeOnDetEncryptedColumnFails) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("B")] = EncScheme::kDeterministic;
+  PlanPtr p = Finish(Select(Encrypt(b.Rel("Hosp"), b.Set("B")),
+                            {b.Pv("B", CmpOp::kGt, Value(int64_t{1975}))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorTest, EncryptedEquiJoinViaDet) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("S")] = EncScheme::kDeterministic;
+  crypto_.scheme_of[b.A("C")] = EncScheme::kDeterministic;
+  PlanPtr p = Finish(Join(Encrypt(b.Rel("Hosp"), b.Set("S")),
+                          Encrypt(b.Rel("Ins"), b.Set("C")),
+                          {b.Pa("S", CmpOp::kEq, "C")}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, HomomorphicAvgMatchesPlaintext) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("P")] = EncScheme::kPaillier;
+  PlanPtr p = Finish(Decrypt(
+      GroupBy(Encrypt(b.Rel("Ins"), b.Set("P")), {},
+              {Aggregate::Make(AggFunc::kAvg, b.A("P"))}),
+      b.Set("P")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_NEAR(t->row(0)[0].plain().AsDouble(), 112.5, 1e-3);  // 450/4
+}
+
+TEST_F(ExecutorTest, HomomorphicSumGroupedMatchesPlaintext) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("P")] = EncScheme::kPaillier;
+  // Group Ins by C (plaintext) and sum encrypted P, then decrypt.
+  PlanPtr p = Finish(Decrypt(
+      GroupBy(Encrypt(b.Rel("Ins"), b.Set("P")), b.Set("C"),
+              {Aggregate::Make(AggFunc::kSum, b.A("P"))}),
+      b.Set("P")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, MinMaxOverOpe) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("B")] = EncScheme::kOpe;
+  PlanPtr p = Finish(Decrypt(
+      GroupBy(Encrypt(b.Rel("Hosp"), b.Set("B")), {},
+              {Aggregate::Make(AggFunc::kMax, b.A("B"))}),
+      b.Set("B")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->row(0)[0].plain(), Value(int64_t{1990}));
+}
+
+TEST_F(ExecutorTest, SumOverDetFails) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("P")] = EncScheme::kDeterministic;
+  PlanPtr p = Finish(GroupBy(Encrypt(b.Rel("Ins"), b.Set("P")), {},
+                             {Aggregate::Make(AggFunc::kSum, b.A("P"))}));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorTest, EncryptWithoutKeyFails) {
+  PlanBuilder b = ex_->builder();
+  crypto_.key_of[b.A("S")] = 42;  // a key nobody holds
+  PlanPtr p = Finish(Encrypt(b.Rel("Hosp"), b.Set("S")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, UdfDefaultPlaintext) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Finish(Udf(b.Rel("Hosp"), "score", b.Set("S,B"), b.A("S")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->num_columns(), 3u);  // B consumed
+}
+
+TEST_F(ExecutorTest, RegisteredUdfIsUsed) {
+  PlanBuilder b = ex_->builder();
+  ctx_.udfs["double_it"] = [](const std::vector<Cell>& in) -> Result<Cell> {
+    return Cell(Value(in[0].plain().AsInt() * 2));
+  };
+  PlanPtr p = Finish(Udf(b.Rel("Hosp"), "double_it", b.Set("S"), b.A("S")));
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->row(0)[t->ColIndex(b.A("S"))].plain(), Value(int64_t{200}));
+}
+
+TEST_F(ExecutorTest, MissingBaseTableFails) {
+  Catalog& cat = ex_->catalog;
+  ctx_.base_tables.erase(ex_->ins);
+  PlanPtr p = Finish(Base(ex_->ins));
+  (void)cat;
+  Result<Table> t = ExecutePlan(p.get(), &ctx_);
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, TableToStringTruncates) {
+  std::string s = hosp_.ToString(2);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+  EXPECT_NE(s.find("S | B | D | T"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpq

@@ -1,0 +1,231 @@
+// Tests for minimally extended authorized query plans (Def 5.4, Thm 5.3),
+// reproducing the two extended plans of Fig 7.
+
+#include <gtest/gtest.h>
+
+#include "extend/extend.h"
+#include "paper_example.h"
+#include "profile/propagate.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class ExtendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    plan_ = ex_->BuildQueryPlan();
+  }
+
+  AttrSet Set(const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c; ++c) {
+      out.Insert(ex_->catalog.attrs().Find(std::string(1, *c)));
+    }
+    return out;
+  }
+
+  /// Collects (kind, attrs, assignee) for all enc/dec nodes.
+  struct CryptoOp {
+    OpKind kind;
+    AttrSet attrs;
+    SubjectId subject;
+  };
+  std::vector<CryptoOp> CryptoOps(const ExtendedPlan& ext) {
+    std::vector<CryptoOp> out;
+    for (const PlanNode* n : PostOrder(ext.plan.get())) {
+      if (n->kind == OpKind::kEncrypt || n->kind == OpKind::kDecrypt) {
+        out.push_back({n->kind, n->attrs, ext.assignment.at(n->id)});
+      }
+    }
+    return out;
+  }
+
+  bool HasOp(const std::vector<CryptoOp>& ops, OpKind k, const AttrSet& attrs,
+             SubjectId s) {
+    for (const CryptoOp& op : ops) {
+      if (op.kind == k && op.attrs == attrs && op.subject == s) return true;
+    }
+    return false;
+  }
+
+  Assignment Fig7a() {
+    return Assignment{{PaperExample::kProject, ex_->H},
+                      {PaperExample::kSelectD, ex_->H},
+                      {PaperExample::kJoin, ex_->X},
+                      {PaperExample::kGroupBy, ex_->X},
+                      {PaperExample::kHaving, ex_->Y}};
+  }
+
+  Assignment Fig7b() {
+    return Assignment{{PaperExample::kProject, ex_->H},
+                      {PaperExample::kSelectD, ex_->H},
+                      {PaperExample::kJoin, ex_->Z},
+                      {PaperExample::kGroupBy, ex_->Z},
+                      {PaperExample::kHaving, ex_->Y}};
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  PlanPtr plan_;
+};
+
+TEST_F(ExtendTest, Fig7aEncryptsSCPAndDecryptsAvgP) {
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), Fig7a(), *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  EXPECT_EQ(ext->encrypted_attrs, Set("SCP"));
+
+  auto ops = CryptoOps(*ext);
+  // S encrypted by H (after the selection, before shipping to X).
+  EXPECT_TRUE(HasOp(ops, OpKind::kEncrypt, Set("S"), ex_->H));
+  // C and P encrypted by I at the source.
+  EXPECT_TRUE(HasOp(ops, OpKind::kEncrypt, Set("CP"), ex_->I));
+  // avg(P) decrypted by Y before the final selection.
+  EXPECT_TRUE(HasOp(ops, OpKind::kDecrypt, Set("P"), ex_->Y));
+  // D is never encrypted in this plan.
+  for (const CryptoOp& op : ops) {
+    EXPECT_FALSE(op.attrs.Contains(ex_->catalog.attrs().Find("D")));
+  }
+}
+
+TEST_F(ExtendTest, Fig7aIsAuthorized) {
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), Fig7a(), *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_TRUE(VerifyAuthorizedAssignment(*ext, *ex_->policy).ok());
+}
+
+TEST_F(ExtendTest, Fig7bEncryptsDAtSourceAndP) {
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), Fig7b(), *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  // Z sees D and P only encrypted; S and C stay plaintext for Z.
+  EXPECT_EQ(ext->encrypted_attrs, Set("DP"));
+
+  auto ops = CryptoOps(*ext);
+  // D encrypted before the selection on D (assigned to H via the leaf/π),
+  // so no implicit plaintext trace of D survives for Z.
+  EXPECT_TRUE(HasOp(ops, OpKind::kEncrypt, Set("D"), ex_->H));
+  EXPECT_TRUE(HasOp(ops, OpKind::kEncrypt, Set("P"), ex_->I));
+  EXPECT_TRUE(HasOp(ops, OpKind::kDecrypt, Set("P"), ex_->Y));
+  for (const CryptoOp& op : ops) {
+    if (op.kind == OpKind::kEncrypt) {
+      EXPECT_FALSE(op.attrs.Contains(ex_->catalog.attrs().Find("S")));
+      EXPECT_FALSE(op.attrs.Contains(ex_->catalog.attrs().Find("C")));
+    }
+  }
+  EXPECT_TRUE(VerifyAuthorizedAssignment(*ext, *ex_->policy).ok());
+}
+
+TEST_F(ExtendTest, Fig7bSelectionOnDRunsOverCiphertext) {
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), Fig7b(), *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok());
+  const PlanNode* sel = FindNode(ext->plan.get(), PaperExample::kSelectD);
+  ASSERT_NE(sel, nullptr);
+  // In the extended plan, D is encrypted in the selection's operand.
+  EXPECT_TRUE(sel->child(0)->profile.ve.Contains(
+      ex_->catalog.attrs().Find("D")));
+}
+
+TEST_F(ExtendTest, NonCandidateAssignmentRejected) {
+  Assignment bad = Fig7a();
+  bad[PaperExample::kHaving] = ex_->X;  // X cannot see avg(P) plaintext
+  auto ext =
+      BuildMinimallyExtendedPlan(plan_.get(), bad, *ex_->policy, ex_->U);
+  EXPECT_FALSE(ext.ok());
+  EXPECT_EQ(ext.status().code(), StatusCode::kUnauthorized);
+}
+
+TEST_F(ExtendTest, MissingAssignmentRejected) {
+  Assignment partial = Fig7a();
+  partial.erase(PaperExample::kJoin);
+  auto ext =
+      BuildMinimallyExtendedPlan(plan_.get(), partial, *ex_->policy, ex_->U);
+  EXPECT_FALSE(ext.ok());
+  EXPECT_EQ(ext.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExtendTest, AllUserAssignmentNeedsNoEncryption) {
+  // If U executes everything, no encryption is needed at all (U sees all
+  // attributes of the query plaintext).
+  Assignment all_user;
+  for (int id : {PaperExample::kProject, PaperExample::kSelectD,
+                 PaperExample::kJoin, PaperExample::kGroupBy,
+                 PaperExample::kHaving}) {
+    all_user[id] = ex_->U;
+  }
+  // U is not a candidate for π over full Hosp (B invisible): assign π to H.
+  all_user[PaperExample::kProject] = ex_->H;
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), all_user, *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  EXPECT_TRUE(ext->encrypted_attrs.empty());
+  EXPECT_TRUE(CryptoOps(*ext).empty());
+}
+
+TEST_F(ExtendTest, Theorem53MinimalityFig7a) {
+  // Removing any single encryption operation from the extended plan breaks
+  // the authorization of the assignment (local minimality, Thm 5.3(ii)).
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), Fig7a(), *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok());
+  std::vector<int> enc_ids;
+  for (const PlanNode* n : PostOrder(ext->plan.get())) {
+    if (n->kind == OpKind::kEncrypt) enc_ids.push_back(n->id);
+  }
+  ASSERT_FALSE(enc_ids.empty());
+  for (int enc_id : enc_ids) {
+    // Rebuild the tree without this encryption node.
+    PlanPtr copy = ext->plan->Clone();
+    // Splice out: find parent of enc node, replace with its child.
+    std::vector<PlanNode*> all = PostOrder(copy.get());
+    PlanNode* target = FindNode(copy.get(), enc_id);
+    ASSERT_NE(target, nullptr);
+    bool spliced = false;
+    for (PlanNode* p : all) {
+      for (auto& c : p->children) {
+        if (c.get() == target) {
+          PlanPtr grand = std::move(target->children[0]);
+          c = std::move(grand);
+          spliced = true;
+          break;
+        }
+      }
+      if (spliced) break;
+    }
+    ASSERT_TRUE(spliced);
+    Status st = AnnotatePlan(copy.get(), ex_->catalog);
+    if (!st.ok()) continue;  // plan no longer executable: fine, still broken
+    // Re-verify: some node's assignee must now be unauthorized.
+    ExtendedPlan mutated;
+    mutated.plan = std::move(copy);
+    mutated.assignment = ext->assignment;
+    EXPECT_FALSE(VerifyAuthorizedAssignment(mutated, *ex_->policy).ok())
+        << "removing encrypt node " << enc_id << " kept λ authorized";
+  }
+}
+
+TEST_F(ExtendTest, EncDecNodesAssignedToComplementedSubjects) {
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), Fig7a(), *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok());
+  for (const PlanNode* n : PostOrder(ext->plan.get())) {
+    ASSERT_TRUE(ext->assignment.count(n->id) > 0)
+        << "node " << n->id << " unassigned";
+  }
+}
+
+TEST_F(ExtendTest, ExtendedPlanValidatesAndAnnotates) {
+  auto ext = BuildMinimallyExtendedPlan(plan_.get(), Fig7b(), *ex_->policy,
+                                        ex_->U);
+  ASSERT_TRUE(ext.ok());
+  EXPECT_TRUE(ValidatePlan(ext->plan.get(), ex_->catalog).ok());
+  EXPECT_TRUE(CheckProfileMonotonicity(ext->plan.get(), ex_->catalog).ok());
+}
+
+}  // namespace
+}  // namespace mpq

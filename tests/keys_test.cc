@@ -1,0 +1,148 @@
+// Tests for query-plan keys (Def 6.1): clustering by root equivalence sets
+// and holder computation, matching the paper's kSC/kP example.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extend/keys.h"
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class KeysTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    plan_ = ex_->BuildQueryPlan();
+  }
+
+  AttrSet Set(const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c; ++c) {
+      out.Insert(ex_->catalog.attrs().Find(std::string(1, *c)));
+    }
+    return out;
+  }
+
+  const KeyGroup* FindGroup(const PlanKeys& keys, const AttrSet& attrs) {
+    for (const KeyGroup& g : keys.groups) {
+      if (g.attrs == attrs) return &g;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  PlanPtr plan_;
+};
+
+TEST_F(KeysTest, Fig7aKeysAreKscAndKp) {
+  Assignment lambda{{PaperExample::kProject, ex_->H},
+                    {PaperExample::kSelectD, ex_->H},
+                    {PaperExample::kJoin, ex_->X},
+                    {PaperExample::kGroupBy, ex_->X},
+                    {PaperExample::kHaving, ex_->Y}};
+  auto ext =
+      BuildMinimallyExtendedPlan(plan_.get(), lambda, *ex_->policy, ex_->U);
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  PlanKeys keys = DeriveQueryPlanKeys(*ext);
+  ASSERT_EQ(keys.groups.size(), 2u);
+
+  // kSC distributed to H and I (who encrypt S and C).
+  const KeyGroup* ksc = FindGroup(keys, Set("SC"));
+  ASSERT_NE(ksc, nullptr);
+  EXPECT_TRUE(ksc->holders.Contains(ex_->H));
+  EXPECT_TRUE(ksc->holders.Contains(ex_->I));
+  EXPECT_FALSE(ksc->holders.Contains(ex_->X));  // X never enc/decrypts
+
+  // kP distributed to I (encrypts) and Y (decrypts).
+  const KeyGroup* kp = FindGroup(keys, Set("P"));
+  ASSERT_NE(kp, nullptr);
+  EXPECT_TRUE(kp->holders.Contains(ex_->I));
+  EXPECT_TRUE(kp->holders.Contains(ex_->Y));
+  EXPECT_FALSE(kp->holders.Contains(ex_->H));
+}
+
+TEST_F(KeysTest, Fig7bKeysAreKdAndKp) {
+  Assignment lambda{{PaperExample::kProject, ex_->H},
+                    {PaperExample::kSelectD, ex_->H},
+                    {PaperExample::kJoin, ex_->Z},
+                    {PaperExample::kGroupBy, ex_->Z},
+                    {PaperExample::kHaving, ex_->Y}};
+  auto ext =
+      BuildMinimallyExtendedPlan(plan_.get(), lambda, *ex_->policy, ex_->U);
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  PlanKeys keys = DeriveQueryPlanKeys(*ext);
+  ASSERT_EQ(keys.groups.size(), 2u);
+
+  const KeyGroup* kd = FindGroup(keys, Set("D"));
+  ASSERT_NE(kd, nullptr);
+  EXPECT_TRUE(kd->holders.Contains(ex_->H));
+  EXPECT_EQ(kd->holders.size(), 1u);  // only H touches D
+
+  const KeyGroup* kp = FindGroup(keys, Set("P"));
+  ASSERT_NE(kp, nullptr);
+  EXPECT_TRUE(kp->holders.Contains(ex_->I));
+  EXPECT_TRUE(kp->holders.Contains(ex_->Y));
+}
+
+TEST_F(KeysTest, GroupOfFindsCluster) {
+  Assignment lambda{{PaperExample::kProject, ex_->H},
+                    {PaperExample::kSelectD, ex_->H},
+                    {PaperExample::kJoin, ex_->X},
+                    {PaperExample::kGroupBy, ex_->X},
+                    {PaperExample::kHaving, ex_->Y}};
+  auto ext =
+      BuildMinimallyExtendedPlan(plan_.get(), lambda, *ex_->policy, ex_->U);
+  ASSERT_TRUE(ext.ok());
+  PlanKeys keys = DeriveQueryPlanKeys(*ext);
+  AttrId s = ex_->catalog.attrs().Find("S");
+  AttrId c = ex_->catalog.attrs().Find("C");
+  ASSERT_NE(keys.GroupOf(s), nullptr);
+  EXPECT_EQ(keys.GroupOf(s), keys.GroupOf(c));  // equivalent → same key
+  AttrId b = ex_->catalog.attrs().Find("B");
+  EXPECT_EQ(keys.GroupOf(b), nullptr);  // never encrypted
+}
+
+TEST_F(KeysTest, KeyIdsAreStableAndUnique) {
+  Assignment lambda{{PaperExample::kProject, ex_->H},
+                    {PaperExample::kSelectD, ex_->H},
+                    {PaperExample::kJoin, ex_->X},
+                    {PaperExample::kGroupBy, ex_->X},
+                    {PaperExample::kHaving, ex_->Y}};
+  auto ext =
+      BuildMinimallyExtendedPlan(plan_.get(), lambda, *ex_->policy, ex_->U);
+  ASSERT_TRUE(ext.ok());
+  PlanKeys a = DeriveQueryPlanKeys(*ext);
+  PlanKeys b = DeriveQueryPlanKeys(*ext);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  std::set<uint64_t> ids;
+  for (size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].key_id, b.groups[i].key_id);
+    EXPECT_EQ(a.groups[i].attrs, b.groups[i].attrs);
+    ids.insert(a.groups[i].key_id);
+  }
+  EXPECT_EQ(ids.size(), a.groups.size());
+}
+
+TEST_F(KeysTest, ToStringListsKeysAndHolders) {
+  Assignment lambda{{PaperExample::kProject, ex_->H},
+                    {PaperExample::kSelectD, ex_->H},
+                    {PaperExample::kJoin, ex_->X},
+                    {PaperExample::kGroupBy, ex_->X},
+                    {PaperExample::kHaving, ex_->Y}};
+  auto ext =
+      BuildMinimallyExtendedPlan(plan_.get(), lambda, *ex_->policy, ex_->U);
+  ASSERT_TRUE(ext.ok());
+  PlanKeys keys = DeriveQueryPlanKeys(*ext);
+  std::string s = keys.ToString(ex_->catalog, ex_->subjects);
+  EXPECT_NE(s.find("kSC"), std::string::npos);
+  EXPECT_NE(s.find("kP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpq

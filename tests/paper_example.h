@@ -1,0 +1,135 @@
+// Shared fixture: the paper's running example.
+//
+// Hospital H stores Hosp(S,B,D,T); insurance company I stores Ins(C,P); user
+// U queries; providers X, Y, Z offer computation. Authorizations follow
+// Fig 1(b) / Fig 4, the query plan follows Fig 1(a):
+//
+//   select T, avg(P) from Hosp join Ins on S=C
+//   where D='stroke' group by T having avg(P)>100
+
+#ifndef MPQ_TESTS_PAPER_EXAMPLE_H_
+#define MPQ_TESTS_PAPER_EXAMPLE_H_
+
+#include <memory>
+
+#include "algebra/plan_builder.h"
+#include "assign/schemes.h"
+#include "authz/policy.h"
+#include "exec/executor.h"
+#include "profile/propagate.h"
+
+namespace mpq::testing {
+
+struct PaperExample {
+  Catalog catalog;
+  SubjectRegistry subjects;
+  std::unique_ptr<Policy> policy;
+  SubjectId H, I, U, X, Y, Z;
+  RelId hosp, ins;
+
+  PlanBuilder builder() const { return PlanBuilder(&catalog); }
+
+  /// The Fig 1(a) plan with needs_plaintext derived (final having selection
+  /// requires plaintext avg(P)) and profiles annotated.
+  PlanPtr BuildQueryPlan() const {
+    PlanBuilder b = builder();
+    PlanPtr p = Project(b.Rel("Hosp"), b.Set("S,D,T"));
+    p = Select(std::move(p), {b.Pv("D", CmpOp::kEq, Value(std::string("stroke")))});
+    p = Join(std::move(p), b.Rel("Ins"), {b.Pa("S", CmpOp::kEq, "C")});
+    p = GroupBy(std::move(p), b.Set("T"),
+                {Aggregate::Make(AggFunc::kAvg, b.A("P"))});
+    p = Select(std::move(p), {b.Pv("P", CmpOp::kGt, Value(100.0))});
+    PlanPtr plan = std::move(FinishPlan(std::move(p), catalog)).value();
+    Status st = DerivePlaintextNeeds(plan.get(), catalog, SchemeCaps{});
+    (void)st;
+    st = AnnotatePlan(plan.get(), catalog);
+    (void)st;
+    return plan;
+  }
+
+  /// Fig 1(a) node ids in the built plan (pre-order):
+  /// 0 σ_having, 1 γ, 2 ⋈, 3 σ_D, 4 π, 5 Hosp, 6 Ins.
+  static constexpr int kHaving = 0;
+  static constexpr int kGroupBy = 1;
+  static constexpr int kJoin = 2;
+  static constexpr int kSelectD = 3;
+  static constexpr int kProject = 4;
+  static constexpr int kHospLeaf = 5;
+  static constexpr int kInsLeaf = 6;
+
+  /// Sample data: four patients (two with stroke), matching insurance rows.
+  Table HospData() const {
+    Table t = MakeBaseTable(catalog.Get(hosp));
+    auto I64 = [](int64_t v) { return Cell(Value(v)); };
+    auto Str = [](const char* s) { return Cell(Value(std::string(s))); };
+    t.AddRow({I64(100), I64(1970), Str("stroke"), Str("tpa")});
+    t.AddRow({I64(101), I64(1985), Str("flu"), Str("rest")});
+    t.AddRow({I64(102), I64(1960), Str("stroke"), Str("tpa")});
+    t.AddRow({I64(103), I64(1990), Str("stroke"), Str("surgery")});
+    return t;
+  }
+
+  Table InsData() const {
+    Table t = MakeBaseTable(catalog.Get(ins));
+    auto I64 = [](int64_t v) { return Cell(Value(v)); };
+    auto Dbl = [](double v) { return Cell(Value(v)); };
+    t.AddRow({I64(100), Dbl(120.0)});
+    t.AddRow({I64(101), Dbl(80.0)});
+    t.AddRow({I64(102), Dbl(200.0)});
+    t.AddRow({I64(103), Dbl(50.0)});
+    return t;
+  }
+};
+
+/// Heap-allocates the example so that internal pointers (Policy → catalog)
+/// stay valid regardless of how the caller stores it.
+inline std::unique_ptr<PaperExample> MakePaperExample() {
+  auto ex_ptr = std::make_unique<PaperExample>();
+  PaperExample& ex = *ex_ptr;
+  ex.H = *ex.subjects.Register("H", SubjectKind::kAuthority);
+  ex.I = *ex.subjects.Register("I", SubjectKind::kAuthority);
+  ex.U = *ex.subjects.Register("U", SubjectKind::kUser);
+  ex.X = *ex.subjects.Register("X", SubjectKind::kProvider);
+  ex.Y = *ex.subjects.Register("Y", SubjectKind::kProvider);
+  ex.Z = *ex.subjects.Register("Z", SubjectKind::kProvider);
+
+  using C = std::pair<std::string, DataType>;
+  ex.hosp = *ex.catalog.AddRelation(
+      "Hosp",
+      {C{"S", DataType::kInt64}, C{"B", DataType::kInt64},
+       C{"D", DataType::kString}, C{"T", DataType::kString}},
+      ex.H, 1000);
+  ex.ins = *ex.catalog.AddRelation(
+      "Ins", {C{"C", DataType::kInt64}, C{"P", DataType::kDouble}}, ex.I, 800);
+
+  ex.policy = std::make_unique<Policy>(&ex.catalog, &ex.subjects);
+  Policy& p = *ex.policy;
+  auto set = [&](const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c != '\0'; ++c) {
+      out.Insert(ex.catalog.attrs().Find(std::string(1, *c)));
+    }
+    return out;
+  };
+  // Fig 1(b): authorizations on Hosp.
+  (void)p.Grant(ex.hosp, ex.H, set("SBDT"), {});
+  (void)p.Grant(ex.hosp, ex.I, set("B"), set("SDT"));
+  (void)p.Grant(ex.hosp, ex.U, set("SDT"), {});
+  (void)p.Grant(ex.hosp, ex.X, set("DT"), set("S"));
+  (void)p.Grant(ex.hosp, ex.Y, set("BDT"), set("S"));
+  (void)p.Grant(ex.hosp, ex.Z, set("ST"), set("D"));
+  (void)p.GrantAny(ex.hosp, set("DT"), {});
+  // Authorizations on Ins.
+  (void)p.Grant(ex.ins, ex.H, set("C"), set("P"));
+  (void)p.Grant(ex.ins, ex.I, set("CP"), {});
+  (void)p.Grant(ex.ins, ex.U, set("CP"), {});
+  (void)p.Grant(ex.ins, ex.X, {}, set("CP"));
+  (void)p.Grant(ex.ins, ex.Y, set("P"), set("C"));
+  (void)p.Grant(ex.ins, ex.Z, set("C"), set("P"));
+  (void)p.GrantAny(ex.ins, {}, set("P"));
+  return ex_ptr;
+}
+
+}  // namespace mpq::testing
+
+#endif  // MPQ_TESTS_PAPER_EXAMPLE_H_

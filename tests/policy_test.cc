@@ -1,0 +1,167 @@
+// Tests for the authorization model: Def 2.1 rule validation, overall views
+// (Fig 4), the Def 4.1 authorized-relation check (Example 4.1) and the
+// Def 4.2 assignee check.
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = MakePaperExample(); }
+  AttrSet Set(const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c; ++c) {
+      out.Insert(ex_->catalog.attrs().Find(std::string(1, *c)));
+    }
+    return out;
+  }
+  std::unique_ptr<PaperExample> ex_;
+};
+
+TEST_F(PolicyTest, OverallViewsMatchFig4) {
+  const Policy& p = *ex_->policy;
+  EXPECT_EQ(p.PlainView(ex_->H), Set("SBDTC"));
+  EXPECT_EQ(p.EncView(ex_->H), Set("P"));
+  EXPECT_EQ(p.PlainView(ex_->I), Set("BCP"));
+  EXPECT_EQ(p.EncView(ex_->I), Set("SDT"));
+  EXPECT_EQ(p.PlainView(ex_->U), Set("SDTCP"));
+  EXPECT_TRUE(p.EncView(ex_->U).empty());
+  EXPECT_EQ(p.PlainView(ex_->X), Set("DT"));
+  EXPECT_EQ(p.EncView(ex_->X), Set("SCP"));
+  EXPECT_EQ(p.PlainView(ex_->Y), Set("BDTP"));
+  EXPECT_EQ(p.EncView(ex_->Y), Set("SC"));
+  EXPECT_EQ(p.PlainView(ex_->Z), Set("STC"));
+  EXPECT_EQ(p.EncView(ex_->Z), Set("DP"));
+}
+
+TEST_F(PolicyTest, GrantRejectsOverlappingPlainAndEnc) {
+  Policy p(&ex_->catalog, &ex_->subjects);
+  Status st = p.Grant(ex_->hosp, ex_->X, Set("SD"), Set("DB"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("P ∩ E"), std::string::npos);
+}
+
+TEST_F(PolicyTest, GrantRejectsForeignAttributes) {
+  Policy p(&ex_->catalog, &ex_->subjects);
+  // C belongs to Ins, not Hosp.
+  Status st = p.Grant(ex_->hosp, ex_->X, Set("SC"), {});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PolicyTest, AtMostOneAuthorizationPerRelationAndSubject) {
+  Policy p(&ex_->catalog, &ex_->subjects);
+  ASSERT_TRUE(p.Grant(ex_->hosp, ex_->X, Set("S"), {}).ok());
+  EXPECT_EQ(p.Grant(ex_->hosp, ex_->X, Set("B"), {}).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(p.GrantAny(ex_->hosp, Set("D"), {}).ok());
+  EXPECT_EQ(p.GrantAny(ex_->hosp, Set("T"), {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(PolicyTest, AnyDefaultAppliesOnlyWithoutExplicitRule) {
+  Policy p(&ex_->catalog, &ex_->subjects);
+  ASSERT_TRUE(p.Grant(ex_->hosp, ex_->X, Set("S"), {}).ok());
+  ASSERT_TRUE(p.GrantAny(ex_->hosp, Set("DT"), {}).ok());
+  // X has an explicit rule: any does not apply.
+  EXPECT_EQ(p.PlainView(ex_->X), Set("S"));
+  // Y has no explicit rule: any applies.
+  EXPECT_EQ(p.PlainView(ex_->Y), Set("DT"));
+}
+
+TEST_F(PolicyTest, ClosedPolicyDeniesByDefault) {
+  Policy p(&ex_->catalog, &ex_->subjects);
+  RelationProfile prof =
+      RelationProfile::ForBase(ex_->catalog.Get(ex_->hosp).schema.Attrs());
+  EXPECT_FALSE(p.IsAuthorized(ex_->X, prof));
+}
+
+// Example 4.1: relation R with profile [P, BSC, -, -, {SC}].
+TEST_F(PolicyTest, Example41) {
+  RelationProfile prof;
+  prof.vp = Set("P");
+  prof.ve = Set("BSC");
+  prof.eq.UnionAll(Set("SC"));
+
+  const Policy& p = *ex_->policy;
+  // Y is authorized.
+  EXPECT_TRUE(p.IsAuthorized(ex_->Y, prof));
+  // H fails condition 1 (attribute P not plaintext for H).
+  Status h = p.CheckAuthorized(ex_->H, prof);
+  EXPECT_EQ(h.code(), StatusCode::kUnauthorized);
+  EXPECT_NE(h.message().find("condition 1"), std::string::npos);
+  // U fails condition 2 (attribute B not even encrypted for U).
+  Status u = p.CheckAuthorized(ex_->U, prof);
+  EXPECT_EQ(u.code(), StatusCode::kUnauthorized);
+  EXPECT_NE(u.message().find("condition 2"), std::string::npos);
+  // I fails condition 3 (S and C with non-uniform visibility).
+  Status i = p.CheckAuthorized(ex_->I, prof);
+  EXPECT_EQ(i.code(), StatusCode::kUnauthorized);
+  EXPECT_NE(i.message().find("condition 3"), std::string::npos);
+}
+
+TEST_F(PolicyTest, PlaintextGrantSatisfiesEncryptedNeed) {
+  // Condition 2 accepts P_S ∪ E_S: U sees everything plaintext, so a fully
+  // encrypted relation over SDTCP is fine for U.
+  RelationProfile prof;
+  prof.ve = Set("SDTCP");
+  EXPECT_TRUE(ex_->policy->IsAuthorized(ex_->U, prof));
+}
+
+TEST_F(PolicyTest, UniformVisibilityChecksImplicitMembers) {
+  // Equivalence members are checked even when not in the schema.
+  RelationProfile prof;
+  prof.vp = Set("T");
+  prof.eq.UnionAll(Set("SC"));
+  // Z: S,C both plaintext → fine.
+  EXPECT_TRUE(ex_->policy->IsAuthorized(ex_->Z, prof));
+  // I: C plaintext, S encrypted → condition 3 violation.
+  EXPECT_FALSE(ex_->policy->IsAuthorized(ex_->I, prof));
+}
+
+TEST_F(PolicyTest, CheckAssigneeRequiresOperandsAndResult) {
+  RelationProfile hosp_prof =
+      RelationProfile::ForBase(ex_->catalog.Get(ex_->hosp).schema.Attrs());
+  RelationProfile result;
+  result.vp = Set("SDT");
+  // U is authorized for the SDT result but not for full plaintext Hosp
+  // (B missing), so assignment fails on the operand.
+  EXPECT_FALSE(
+      ex_->policy->CheckAssignee(ex_->U, result, {&hosp_prof}).ok());
+  // H is fine for both.
+  EXPECT_TRUE(ex_->policy->CheckAssignee(ex_->H, result, {&hosp_prof}).ok());
+}
+
+TEST_F(PolicyTest, EffectiveResolvesExplicitThenAnyThenNothing) {
+  const Policy& p = *ex_->policy;
+  auto x = p.Effective(ex_->hosp, ex_->X);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(x->plain, Set("DT"));
+  // A subject with no explicit grant gets the any-rule; register a fresh one.
+  SubjectId w = *ex_->subjects.Register("W", SubjectKind::kProvider);
+  auto any = p.Effective(ex_->hosp, w);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_TRUE(any->is_any);
+  EXPECT_EQ(any->plain, Set("DT"));
+}
+
+TEST_F(PolicyTest, AllRulesEnumerates) {
+  EXPECT_EQ(ex_->policy->AllRules().size(), 14u);  // 12 explicit + 2 any
+}
+
+TEST_F(PolicyTest, AuthorizationToString) {
+  auto rules = ex_->policy->AllRules();
+  ASSERT_FALSE(rules.empty());
+  std::string s = rules[0].ToString(ex_->catalog, ex_->subjects);
+  EXPECT_NE(s.find("->"), std::string::npos);
+  EXPECT_NE(s.find(" on "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpq

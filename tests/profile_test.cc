@@ -1,0 +1,186 @@
+// Tests for relation profiles and the Fig 2 propagation rules, including the
+// running example's profiles (Fig 3) and Theorem 3.1.
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "profile/propagate.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = MakePaperExample(); }
+  AttrId A(const char* name) {
+    return ex_->catalog.attrs().Find(name);
+  }
+  AttrSet Set(const char* csv) {
+    AttrSet out;
+    for (const char* c = csv; *c; ++c) out.Insert(A(std::string(1, *c).c_str()));
+    return out;
+  }
+  std::unique_ptr<PaperExample> ex_;
+};
+
+TEST_F(ProfileTest, BaseRelationProfile) {
+  RelationProfile p =
+      RelationProfile::ForBase(ex_->catalog.Get(ex_->hosp).schema.Attrs());
+  EXPECT_EQ(p.vp, Set("SBDT"));
+  EXPECT_TRUE(p.ve.empty());
+  EXPECT_TRUE(p.ip.empty());
+  EXPECT_TRUE(p.ie.empty());
+  EXPECT_TRUE(p.eq.empty());
+}
+
+TEST_F(ProfileTest, RunningExampleProfilesMatchFig3) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+
+  // π S,D,T over Hosp: v:SDT.
+  const PlanNode* proj = FindNode(plan.get(), PaperExample::kProject);
+  EXPECT_EQ(proj->profile.vp, Set("SDT"));
+  EXPECT_TRUE(proj->profile.ip.empty());
+
+  // σ D='stroke': v:SDT, i:D.
+  const PlanNode* sel = FindNode(plan.get(), PaperExample::kSelectD);
+  EXPECT_EQ(sel->profile.vp, Set("SDT"));
+  EXPECT_EQ(sel->profile.ip, Set("D"));
+
+  // ⋈ S=C: v:SDTCP, i:D, ≃:{SC}.
+  const PlanNode* join = FindNode(plan.get(), PaperExample::kJoin);
+  EXPECT_EQ(join->profile.vp, Set("SDTCP"));
+  EXPECT_EQ(join->profile.ip, Set("D"));
+  ASSERT_EQ(join->profile.eq.Classes().size(), 1u);
+  EXPECT_EQ(join->profile.eq.Classes()[0], Set("SC"));
+
+  // γ T,avg(P): v:TP, i:DT, ≃:{SC}.
+  const PlanNode* gb = FindNode(plan.get(), PaperExample::kGroupBy);
+  EXPECT_EQ(gb->profile.vp, Set("TP"));
+  EXPECT_EQ(gb->profile.ip, Set("DT"));
+  ASSERT_EQ(gb->profile.eq.Classes().size(), 1u);
+
+  // σ avg(P)>100: v:TP, i:DTP, ≃:{SC}.
+  const PlanNode* having = FindNode(plan.get(), PaperExample::kHaving);
+  EXPECT_EQ(having->profile.vp, Set("TP"));
+  EXPECT_EQ(having->profile.ip, Set("DTP"));
+}
+
+TEST_F(ProfileTest, EncryptionMovesAttrsToVisibleEncrypted) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Encrypt(b.Rel("Hosp"), Set("SB"));
+  ASSERT_TRUE(FinishPlan(std::move(p), ex_->catalog).ok());
+
+  PlanPtr q = Encrypt(b.Rel("Hosp"), Set("SB"));
+  AssignIds(q.get());
+  ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());
+  EXPECT_EQ(q->profile.vp, Set("DT"));
+  EXPECT_EQ(q->profile.ve, Set("SB"));
+}
+
+TEST_F(ProfileTest, DecryptionInverseOfEncryption) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr q = Decrypt(Encrypt(b.Rel("Hosp"), Set("SB")), Set("SB"));
+  AssignIds(q.get());
+  ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());
+  EXPECT_EQ(q->profile.vp, Set("SBDT"));
+  EXPECT_TRUE(q->profile.ve.empty());
+}
+
+TEST_F(ProfileTest, EncryptNonPlaintextFailsStrict) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr q = Encrypt(Encrypt(b.Rel("Hosp"), Set("S")), Set("S"));
+  AssignIds(q.get());
+  Status st = AnnotatePlan(q.get(), ex_->catalog);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileTest, DecryptNonEncryptedFailsStrict) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr q = Decrypt(b.Rel("Hosp"), Set("S"));
+  AssignIds(q.get());
+  Status st = AnnotatePlan(q.get(), ex_->catalog);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileTest, MixedVisibilityComparisonRejected) {
+  // S encrypted, compared with plaintext C in a join: not executable.
+  PlanBuilder b = ex_->builder();
+  PlanPtr l = Encrypt(Project(b.Rel("Hosp"), Set("S")), Set("S"));
+  PlanPtr q = Join(std::move(l), b.Rel("Ins"), {b.Pa("S", CmpOp::kEq, "C")});
+  AssignIds(q.get());
+  Status st = AnnotatePlan(q.get(), ex_->catalog);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ProfileTest, EncryptedComparisonAllowed) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr l = Encrypt(Project(b.Rel("Hosp"), Set("S")), Set("S"));
+  PlanPtr r = Encrypt(b.Rel("Ins"), Set("C"));
+  PlanPtr q =
+      Join(std::move(l), std::move(r), {b.Pa("S", CmpOp::kEq, "C")});
+  AssignIds(q.get());
+  ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());
+  EXPECT_EQ(q->profile.ve, Set("SC"));
+  EXPECT_EQ(q->profile.vp, Set("P"));
+}
+
+TEST_F(ProfileTest, SelectionOnEncryptedAttrYieldsEncryptedImplicit) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr q = Select(Encrypt(b.Rel("Ins"), Set("P")),
+                     {b.Pv("P", CmpOp::kEq, Value(1.0))});
+  AssignIds(q.get());
+  ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());
+  EXPECT_EQ(q->profile.ie, Set("P"));
+  EXPECT_TRUE(q->profile.ip.empty());
+}
+
+TEST_F(ProfileTest, UdfMergesInputsIntoEquivalence) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr q = Udf(b.Rel("Hosp"), "score", Set("SB"), A("S"));
+  AssignIds(q.get());
+  ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());
+  EXPECT_EQ(q->profile.vp, Set("SDT"));  // B consumed
+  ASSERT_EQ(q->profile.eq.Classes().size(), 1u);
+  EXPECT_EQ(q->profile.eq.Classes()[0], Set("SB"));
+}
+
+TEST_F(ProfileTest, CartesianUnionsProfiles) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr l = Select(b.Rel("Hosp"), {b.Pv("B", CmpOp::kGt, Value(int64_t{1980}))});
+  PlanPtr q = Cartesian(std::move(l), b.Rel("Ins"));
+  AssignIds(q.get());
+  ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());
+  EXPECT_EQ(q->profile.vp, Set("SBDTCP"));
+  EXPECT_EQ(q->profile.ip, Set("B"));
+}
+
+TEST_F(ProfileTest, GroupByCountStarKeepsOnlyGroupAttrs) {
+  PlanBuilder b = ex_->builder();
+  AttrId cnt = ex_->catalog.attrs().Intern("cnt");
+  PlanPtr q = GroupBy(b.Rel("Hosp"), Set("D"), {Aggregate::CountStar(cnt)});
+  AssignIds(q.get());
+  ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());
+  AttrSet expected_vp = Set("D");
+  expected_vp.Insert(cnt);
+  EXPECT_EQ(q->profile.vp, expected_vp);
+  EXPECT_EQ(q->profile.ip, Set("D"));
+}
+
+TEST_F(ProfileTest, Theorem31HoldsOnRunningExample) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  EXPECT_TRUE(CheckProfileMonotonicity(plan.get(), ex_->catalog).ok());
+}
+
+TEST_F(ProfileTest, ProfileToStringIsInformative) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  std::string s = plan->profile.ToString(ex_->catalog.attrs());
+  EXPECT_NE(s.find("v:"), std::string::npos);
+  EXPECT_NE(s.find("eq:"), std::string::npos);
+  EXPECT_NE(s.find("{SC}"), std::string::npos);  // ascending id order
+}
+
+}  // namespace
+}  // namespace mpq

@@ -1,0 +1,149 @@
+// Tests for operation requirements (Ap derivation) and per-attribute scheme
+// selection.
+
+#include <gtest/gtest.h>
+
+#include "assign/schemes.h"
+#include "paper_example.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+class SchemesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = MakePaperExample(); }
+  AttrId A(const char* n) { return ex_->catalog.attrs().Find(n); }
+  std::unique_ptr<PaperExample> ex_;
+};
+
+TEST_F(SchemesTest, PaperQueryPlaintextNeeds) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  // Only the final having selection needs plaintext (avg(P) under HOM is not
+  // range-comparable); every other operation runs on ciphertexts.
+  for (const PlanNode* n : PostOrder(plan.get())) {
+    if (n->id == PaperExample::kHaving) {
+      EXPECT_EQ(n->needs_plaintext, AttrSet{A("P")});
+    } else {
+      EXPECT_TRUE(n->needs_plaintext.empty())
+          << "node " << n->id << " unexpectedly needs plaintext";
+    }
+  }
+}
+
+TEST_F(SchemesTest, PaperQuerySchemes) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  SchemeMap schemes = AnalyzeSchemes(plan.get(), ex_->catalog, SchemeCaps{});
+  // S and C are equi-joined: deterministic, and identical (shared cluster).
+  EXPECT_EQ(schemes.at(A("S")), EncScheme::kDeterministic);
+  EXPECT_EQ(schemes.at(A("C")), EncScheme::kDeterministic);
+  // D: equality selection → deterministic.
+  EXPECT_EQ(schemes.at(A("D")), EncScheme::kDeterministic);
+  // T: grouping → deterministic.
+  EXPECT_EQ(schemes.at(A("T")), EncScheme::kDeterministic);
+  // P: avg → Paillier.
+  EXPECT_EQ(schemes.at(A("P")), EncScheme::kPaillier);
+  // B: never operated on → random.
+  EXPECT_EQ(schemes.at(A("B")), EncScheme::kRandom);
+}
+
+TEST_F(SchemesTest, NoHomCapabilityForcesPlaintextAggregation) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  SchemeCaps caps;
+  caps.hom = false;
+  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, caps).ok());
+  const PlanNode* gb = FindNode(plan.get(), PaperExample::kGroupBy);
+  EXPECT_TRUE(gb->needs_plaintext.Contains(A("P")));
+}
+
+TEST_F(SchemesTest, NoDetCapabilityForcesPlaintextJoin) {
+  PlanPtr plan = ex_->BuildQueryPlan();
+  SchemeCaps caps;
+  caps.det = false;
+  caps.ope = false;
+  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, caps).ok());
+  const PlanNode* join = FindNode(plan.get(), PaperExample::kJoin);
+  EXPECT_TRUE(join->needs_plaintext.Contains(A("S")));
+  EXPECT_TRUE(join->needs_plaintext.Contains(A("C")));
+  const PlanNode* sel = FindNode(plan.get(), PaperExample::kSelectD);
+  EXPECT_TRUE(sel->needs_plaintext.Contains(A("D")));
+}
+
+TEST_F(SchemesTest, RangeOnStringNeedsPlaintext) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Select(b.Rel("Hosp"),
+                     {b.Pv("D", CmpOp::kGt, Value(std::string("m")))});
+  PlanPtr plan = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
+  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
+  EXPECT_TRUE(plan->needs_plaintext.Contains(A("D")));
+}
+
+TEST_F(SchemesTest, RangeOnIntUsesOpe) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p =
+      Select(b.Rel("Hosp"), {b.Pv("B", CmpOp::kGt, Value(int64_t{1980}))});
+  PlanPtr plan = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
+  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
+  EXPECT_TRUE(plan->needs_plaintext.empty());
+  SchemeMap schemes = AnalyzeSchemes(plan.get(), ex_->catalog, SchemeCaps{});
+  EXPECT_EQ(schemes.at(A("B")), EncScheme::kOpe);
+}
+
+TEST_F(SchemesTest, MinMaxUsesOpe) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = GroupBy(b.Rel("Hosp"), b.Set("D"),
+                      {Aggregate::Make(AggFunc::kMax, b.A("B"))});
+  PlanPtr plan = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
+  SchemeMap schemes = AnalyzeSchemes(plan.get(), ex_->catalog, SchemeCaps{});
+  EXPECT_EQ(schemes.at(A("B")), EncScheme::kOpe);
+  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
+  EXPECT_TRUE(plan->needs_plaintext.empty());
+}
+
+TEST_F(SchemesTest, UdfRequiresPlaintextUnlessEncCapable) {
+  PlanBuilder b = ex_->builder();
+  PlanPtr p1 = Udf(b.Rel("Hosp"), "score", b.Set("S,B"), b.A("S"));
+  PlanPtr plan1 = std::move(FinishPlan(std::move(p1), ex_->catalog)).value();
+  ASSERT_TRUE(
+      DerivePlaintextNeeds(plan1.get(), ex_->catalog, SchemeCaps{}).ok());
+  EXPECT_EQ(plan1->needs_plaintext, b.Set("S,B"));
+
+  PlanPtr p2 = Udf(b.Rel("Hosp"), "enc_score", b.Set("S,B"), b.A("S"));
+  PlanPtr plan2 = std::move(FinishPlan(std::move(p2), ex_->catalog)).value();
+  ASSERT_TRUE(
+      DerivePlaintextNeeds(plan2.get(), ex_->catalog, SchemeCaps{}).ok());
+  EXPECT_TRUE(plan2->needs_plaintext.empty());
+}
+
+TEST_F(SchemesTest, ClusterSharesSchemeAcrossComparedAttrs) {
+  // B compared to S (attr-attr) and B also range-filtered: the S/B cluster
+  // gets OPE for both so the comparison stays evaluable.
+  PlanBuilder b = ex_->builder();
+  PlanPtr p = Select(Select(b.Rel("Hosp"), {b.Pa("S", CmpOp::kEq, "B")}),
+                     {b.Pv("B", CmpOp::kLt, Value(int64_t{5}))});
+  PlanPtr plan = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
+  SchemeMap schemes = AnalyzeSchemes(plan.get(), ex_->catalog, SchemeCaps{});
+  EXPECT_EQ(schemes.at(A("S")), schemes.at(A("B")));
+  EXPECT_EQ(schemes.at(A("B")), EncScheme::kOpe);
+}
+
+TEST_F(SchemesTest, MakeCryptoPlanMapsKeys) {
+  SchemeMap schemes{{A("S"), EncScheme::kDeterministic},
+                    {A("C"), EncScheme::kDeterministic}};
+  PlanKeys keys;
+  KeyGroup g;
+  g.key_id = 7;
+  g.attrs = AttrSet{A("S"), A("C")};
+  keys.groups.push_back(g);
+  CryptoPlan cp = MakeCryptoPlan(schemes, keys);
+  EXPECT_EQ(cp.KeyOf(A("S")), 7u);
+  EXPECT_EQ(cp.KeyOf(A("C")), 7u);
+  EXPECT_EQ(cp.SchemeOf(A("S")), EncScheme::kDeterministic);
+  // Unknown attrs default to key 0 / DET.
+  EXPECT_EQ(cp.KeyOf(A("B")), 0u);
+}
+
+}  // namespace
+}  // namespace mpq

@@ -1,0 +1,168 @@
+// Tests for the SQL lexer, parser and binder.
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_printer.h"
+#include "paper_example.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+TEST(LexerTest, TokenizesKeywordsAndSymbols) {
+  auto toks = Lex("SELECT a, b FROM t WHERE a >= 10 AND b <> 'x'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks->front().kind, TokKind::kKeyword);
+  EXPECT_EQ(toks->front().text, "SELECT");
+  EXPECT_EQ(toks->back().kind, TokKind::kEnd);
+}
+
+TEST(LexerTest, CaseInsensitiveKeywords) {
+  auto toks = Lex("select A fRoM t");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].kind, TokKind::kIdent);
+  EXPECT_EQ((*toks)[1].text, "A");
+  EXPECT_EQ((*toks)[2].text, "FROM");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto toks = Lex("1 2.5 -3");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].number_is_int);
+  EXPECT_EQ((*toks)[0].int_value, 1);
+  EXPECT_FALSE((*toks)[1].number_is_int);
+  EXPECT_DOUBLE_EQ((*toks)[1].number, 2.5);
+  EXPECT_EQ((*toks)[2].int_value, -3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("select 'unterminated").ok());
+  EXPECT_FALSE(Lex("select a ; b").ok());
+}
+
+TEST(ParserTest, ParsesFullQuery) {
+  auto ast = ParseSelect(
+      "select T, avg(P) from Hosp join Ins on S = C "
+      "where D = 'stroke' group by T having avg(P) > 100");
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  EXPECT_EQ(ast->items.size(), 2u);
+  EXPECT_FALSE(ast->items[0].is_aggregate);
+  EXPECT_TRUE(ast->items[1].is_aggregate);
+  EXPECT_EQ(ast->items[1].func, AggFunc::kAvg);
+  ASSERT_EQ(ast->tables.size(), 2u);
+  EXPECT_EQ(ast->tables[1].on.size(), 1u);
+  EXPECT_EQ(ast->where.size(), 1u);
+  EXPECT_EQ(ast->group_by.size(), 1u);
+  EXPECT_EQ(ast->having.size(), 1u);
+  EXPECT_EQ(ast->having[0].lhs, "P");
+}
+
+TEST(ParserTest, CountStarAndAliases) {
+  auto ast = ParseSelect("select count(*) as n, sum(x) from t");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_TRUE(ast->items[0].count_star);
+  EXPECT_EQ(ast->items[0].alias, "n");
+  EXPECT_EQ(ast->items[1].func, AggFunc::kSum);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseSelect("from t").ok());
+  EXPECT_FALSE(ParseSelect("select from t").ok());
+  EXPECT_FALSE(ParseSelect("select a").ok());
+  EXPECT_FALSE(ParseSelect("select a from t extra").ok());
+  EXPECT_FALSE(ParseSelect("select a from t where a ==").ok());
+  EXPECT_FALSE(ParseSelect("select min(*) from t").ok());
+  EXPECT_FALSE(ParseSelect("select a from t join s").ok());
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = MakePaperExample(); }
+  std::unique_ptr<testing::PaperExample> ex_;
+};
+
+TEST_F(BinderTest, BindsPaperQueryToExpectedShape) {
+  auto plan = PlanFromSql(
+      "select T, avg(P) from Hosp join Ins on S = C "
+      "where D = 'stroke' group by T having avg(P) > 100",
+      ex_->catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Root is the having selection, below it the group-by, then the join.
+  EXPECT_EQ((*plan)->kind, OpKind::kSelect);
+  EXPECT_EQ((*plan)->child(0)->kind, OpKind::kGroupBy);
+  EXPECT_EQ((*plan)->child(0)->child(0)->kind, OpKind::kJoin);
+  // Projection pushed into the Hosp leaf (B is not referenced).
+  std::string text = PrintPlan(plan->get(), ex_->catalog);
+  EXPECT_NE(text.find("π"), std::string::npos);
+  EXPECT_EQ(text.find("B"), std::string::npos);
+}
+
+TEST_F(BinderTest, SingleRelationPredicatesPushedDown) {
+  auto plan = PlanFromSql(
+      "select S from Hosp join Ins on S = C where D = 'stroke'",
+      ex_->catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The σ on D sits below the join, on the Hosp side.
+  const PlanNode* join = plan->get();
+  while (join->kind != OpKind::kJoin) join = join->child(0);
+  bool found_select_below_join = false;
+  for (const PlanNode* n : PostOrder(join)) {
+    if (n->kind == OpKind::kSelect) found_select_below_join = true;
+  }
+  EXPECT_TRUE(found_select_below_join);
+}
+
+TEST_F(BinderTest, CrossRelationWherePredicateStaysAboveJoin) {
+  auto plan = PlanFromSql("select S from Hosp join Ins on S = C where B < P",
+                          ex_->catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // B<P references both relations: applied above the join.
+  const PlanNode* n = plan->get();
+  while (n->kind == OpKind::kProject) n = n->child(0);
+  EXPECT_EQ(n->kind, OpKind::kSelect);
+  EXPECT_EQ(n->child(0)->kind, OpKind::kJoin);
+}
+
+TEST_F(BinderTest, UnknownNamesRejected) {
+  EXPECT_EQ(PlanFromSql("select S from Nope", ex_->catalog).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(PlanFromSql("select Zz from Hosp", ex_->catalog).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, CountStarInternsOutputAttr) {
+  auto plan =
+      PlanFromSql("select D, count(*) as n from Hosp group by D", ex_->catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(ex_->catalog.attrs().Find("n"), kInvalidAttr);
+}
+
+TEST_F(BinderTest, BoundPlanExecutes) {
+  auto plan = PlanFromSql(
+      "select T, avg(P) from Hosp join Ins on S = C "
+      "where D = 'stroke' group by T having avg(P) > 100",
+      ex_->catalog);
+  ASSERT_TRUE(plan.ok());
+  Table hosp = ex_->HospData();
+  Table ins = ex_->InsData();
+  KeyRing ring;
+  CryptoPlan crypto;
+  ExecContext ctx;
+  ctx.catalog = &ex_->catalog;
+  ctx.base_tables[ex_->hosp] = &hosp;
+  ctx.base_tables[ex_->ins] = &ins;
+  ctx.keyring = &ring;
+  ctx.crypto = &crypto;
+  Result<Table> t = ExecutePlan(plan->get(), &ctx);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace mpq
