@@ -1,0 +1,191 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mpq {
+
+namespace {
+/// Index of the worker the current thread is, or SIZE_MAX off-pool. Set once
+/// per worker thread at startup; identifies the deque Submit should use.
+thread_local size_t tls_worker_id = SIZE_MAX;
+
+/// State shared between a ParallelFor caller and its helper tasks. Helpers
+/// hold it via shared_ptr, so a helper that only gets scheduled after the
+/// caller returned still finds valid (already exhausted) state.
+struct ForState {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t error_chunk = SIZE_MAX;  // guarded by mu
+  Status error;                   // guarded by mu
+};
+
+/// Claims chunks until none remain. `fn` belongs to the calling frame: the
+/// caller passes its own argument, helpers pass their private copy.
+void RunChunks(const std::shared_ptr<ForState>& s,
+               const std::function<Status(size_t, size_t)>& fn) {
+  for (;;) {
+    size_t c = s->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= s->num_chunks) return;
+    // Every chunk runs even after a failure elsewhere: that keeps the
+    // reported error (lowest failing chunk) deterministic across thread
+    // counts, and errors terminate the whole query anyway.
+    size_t begin = c * s->grain;
+    Status st = fn(begin, std::min(begin + s->grain, s->n));
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (c < s->error_chunk) {
+        s->error_chunk = c;
+        s->error = std::move(st);
+      }
+    }
+    if (s->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        s->num_chunks) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cv.notify_all();
+      return;
+    }
+  }
+}
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  size_t q = tls_worker_id;
+  if (q >= queues_.size()) {
+    q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t preferred, std::function<void()>* out) {
+  size_t n = queues_.size();
+  if (n == 0) return false;
+  // Own queue LIFO first, then steal FIFO round-robin from siblings.
+  if (preferred < n) {
+    std::lock_guard<std::mutex> lock(queues_[preferred]->mu);
+    if (!queues_[preferred]->tasks.empty()) {
+      *out = std::move(queues_[preferred]->tasks.back());
+      queues_[preferred]->tasks.pop_back();
+      return true;
+    }
+  }
+  size_t start = preferred < n ? preferred + 1 : 0;
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = (start + k) % n;
+    if (i == preferred) continue;
+    std::lock_guard<std::mutex> lock(queues_[i]->mu);
+    if (!queues_[i]->tasks.empty()) {
+      *out = std::move(queues_[i]->tasks.front());
+      queues_[i]->tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  if (!PopTask(tls_worker_id, &task)) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  tls_worker_id = id;
+  for (;;) {
+    std::function<void()> task;
+    if (PopTask(id, &task)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_) return;
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    wake_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+Status ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                   const std::function<Status(size_t, size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  size_t num_chunks = (n + grain - 1) / grain;
+  if (pool == nullptr || pool->size() == 0 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t begin = c * grain;
+      MPQ_RETURN_NOT_OK(fn(begin, std::min(begin + grain, n)));
+    }
+    return Status::OK();
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+
+  // Each helper owns a copy of `fn`, so one scheduled after the caller
+  // already returned (every chunk claimed) is still safe: it finds the chunk
+  // counter exhausted and exits without invoking its copy.
+  size_t num_helpers = std::min(pool->size(), num_chunks - 1);
+  for (size_t i = 0; i < num_helpers; ++i) {
+    pool->Submit([state, fn] { RunChunks(state, fn); });
+  }
+
+  RunChunks(state, fn);
+
+  // All chunks are claimed; wait for helpers still finishing theirs, running
+  // other queued pool work meanwhile (keeps nested ParallelFor/Submit from
+  // ever deadlocking). The timed wait covers the race between a final
+  // completion and this thread going to sleep.
+  while (state->chunks_done.load(std::memory_order_acquire) < num_chunks) {
+    if (pool->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return state->chunks_done.load(std::memory_order_acquire) >= num_chunks;
+    });
+  }
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->error_chunk == SIZE_MAX ? Status::OK() : state->error;
+}
+
+}  // namespace mpq

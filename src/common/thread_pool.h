@@ -1,0 +1,79 @@
+// A small work-stealing thread pool plus a deterministic ParallelFor.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache locality) and
+// steals FIFO from siblings when empty. Threads that must block on pool work
+// (ParallelFor callers, future waiters) never idle — they run queued tasks
+// while waiting, which makes nested submission from inside pool tasks
+// deadlock-free at any pool size.
+//
+// ParallelFor partitions [0, n) into fixed-size chunks that do NOT depend on
+// the number of threads, so any per-chunk computation merged in chunk order
+// yields bit-identical results at 1, 2, or N threads.
+
+#ifndef MPQ_COMMON_THREAD_POOL_H_
+#define MPQ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpq {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 makes every Submit run inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task`. From a worker thread, pushes onto that worker's own
+  /// deque (stolen by siblings when they run dry); otherwise round-robins.
+  /// With zero workers the task runs inline.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread, if any. Returns whether a
+  /// task was run. Blocking waiters call this in a loop to keep making
+  /// progress instead of idling.
+  bool TryRunOneTask();
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t id);
+  bool PopTask(size_t preferred, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;  // guarded by wake_mu_
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<size_t> pending_{0};
+};
+
+/// Runs `fn(begin, end)` over [0, n) in chunks of `grain` indices, spreading
+/// chunks across the pool; the calling thread participates. Chunk boundaries
+/// depend only on `n` and `grain` — never on pool size — so merging per-chunk
+/// results in chunk order is deterministic across thread counts. On error the
+/// Status of the lowest-index failing chunk is returned. Runs inline when
+/// `pool` is null, has no workers, or n fits in one chunk.
+Status ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                   const std::function<Status(size_t, size_t)>& fn);
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_THREAD_POOL_H_

@@ -71,6 +71,21 @@ Result<EncValue> EncryptValue(const Value& v, EncScheme scheme, uint64_t key_id,
 Result<Value> DecryptValue(const EncValue& ev, const KeyMaterial& keys,
                            DataType type);
 
+/// Batch encryption: rewrites the `n` plaintext cells `cells[0..n)` in place
+/// to ciphertexts under (`scheme`, `key_id`). One key lookup serves the whole
+/// batch, and cell `i` draws nonce `nonce_base + i` from a pre-reserved
+/// range, so the result is independent of how batches are scheduled across
+/// threads.
+Status EncryptCellBatch(Cell* const* cells, size_t n, EncScheme scheme,
+                        uint64_t key_id, const KeyMaterial& keys,
+                        uint64_t nonce_base);
+
+/// Batch decryption, inverse of EncryptCellBatch. When `hom_avg` is set the
+/// cells hold Paillier sums whose `aux` counter is the divisor (homomorphic
+/// averages); the plaintext written back is the divided double.
+Status DecryptCellBatch(Cell* const* cells, size_t n, const KeyMaterial& keys,
+                        DataType type, bool hom_avg);
+
 /// Evaluates `a op b` over two cells. Plaintext pairs compare as Values;
 /// DET ciphertexts support =/<>, OPE ciphertexts all comparisons (same key
 /// required). Everything else is kUnsupported.

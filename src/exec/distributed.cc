@@ -1,6 +1,31 @@
 #include "exec/distributed.h"
 
+#include <chrono>
+#include <climits>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace mpq {
+
+namespace {
+
+/// Scheduling state of one plan node (one fragment step): where its inputs
+/// come from, how many are still missing, and its materialized result.
+struct NodeState {
+  const PlanNode* node = nullptr;
+  int parent = -1;              ///< Index into the node vector, -1 for root.
+  std::vector<int> children;    ///< Indices, in operand order.
+  std::atomic<size_t> missing{0};
+  std::optional<Table> result;
+};
+
+}  // namespace
 
 void DistributedRuntime::DistributeKeys(const PlanKeys& keys, SubjectId user,
                                         uint64_t seed) {
@@ -15,55 +40,168 @@ void DistributedRuntime::DistributeKeys(const PlanKeys& keys, SubjectId user,
   }
 }
 
-Result<Table> DistributedRuntime::RunNode(const PlanNode* n,
-                                          const ExtendedPlan& ext,
-                                          DistributedResult* out) {
-  SubjectId s = ext.assignment.at(n->id);
-
-  std::vector<Table> inputs;
-  inputs.reserve(n->num_children());
-  for (size_t i = 0; i < n->num_children(); ++i) {
-    const PlanNode* c = n->child(i);
-    MPQ_ASSIGN_OR_RETURN(Table t, RunNode(c, ext, out));
-    SubjectId cs = ext.assignment.at(c->id);
-    if (cs != s) {
-      uint64_t bytes = t.ByteSize();
-      out->stats[cs].bytes_out += bytes;
-      out->stats[s].bytes_in += bytes;
-      out->total_transfer_bytes += bytes;
-      out->num_messages++;
-    }
-    inputs.push_back(std::move(t));
-  }
-
-  // Execute under the assignee's engine: its keyring only.
-  ExecContext ctx;
-  ctx.catalog = catalog_;
-  for (const auto& [rel, table] : base_tables_) {
-    ctx.base_tables[rel] = &table;
-  }
-  auto kr = keyrings_.find(s);
-  static const KeyRing kEmpty;
-  ctx.keyring = kr == keyrings_.end() ? &kEmpty : &kr->second;
-  ctx.dispatcher_keyring = &dispatcher_keyring_;
-  ctx.public_modulus = public_modulus_;
-  ctx.crypto = &crypto_;
-  ctx.udfs = udfs_;
-  ctx.nonce = nonce_;
-
-  MPQ_ASSIGN_OR_RETURN(Table result, ExecuteNodeOnInputs(n, std::move(inputs), &ctx));
-  nonce_ = ctx.nonce + 1;
-
-  SubjectStats& st = out->stats[s];
-  st.ops_executed++;
-  st.rows_produced += result.num_rows();
-  return result;
-}
-
 Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
                                                   SubjectId user) {
   DistributedResult out;
-  MPQ_ASSIGN_OR_RETURN(Table result, RunNode(ext.plan.get(), ext, &out));
+
+  // Each Run draws a fresh seed so re-running over changed data never
+  // reuses a (key, nonce) pair; within one run, nonces are a deterministic
+  // function of (seed, node, attribute) only.
+  uint64_t run_seed = nonce_seed_;
+  nonce_seed_ = SplitMix64(nonce_seed_);
+
+  // Flatten the tree into dependency-edge scheduling state.
+  std::vector<std::unique_ptr<NodeState>> nodes;
+  std::function<int(const PlanNode*, int)> flatten =
+      [&](const PlanNode* n, int parent) {
+        int idx = static_cast<int>(nodes.size());
+        nodes.push_back(std::make_unique<NodeState>());
+        nodes[static_cast<size_t>(idx)]->node = n;
+        nodes[static_cast<size_t>(idx)]->parent = parent;
+        for (size_t i = 0; i < n->num_children(); ++i) {
+          int c = flatten(n->child(i), idx);
+          nodes[static_cast<size_t>(idx)]->children.push_back(c);
+        }
+        nodes[static_cast<size_t>(idx)]->missing = n->num_children();
+        return idx;
+      };
+  int root_idx = flatten(ext.plan.get(), -1);
+
+  // Shared run state. `mu` guards the stats sink (exact byte accounting),
+  // the error slot, and pairs with `cv` for completion. Heap-allocated and
+  // captured by value in every task: the final task touches `mu`/`cv` after
+  // its `active` decrement, which can race with Run returning — shared
+  // ownership keeps them alive for that tail.
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<size_t> active{0};
+  };
+  auto sync = std::make_shared<SyncState>();
+  int error_node = INT_MAX;  // guarded by sync->mu; lowest node id wins
+  Status error;              // guarded by sync->mu
+  auto shared_udf_mu = std::make_shared<std::mutex>();
+
+  static const KeyRing kEmptyKeyring;
+  std::function<void(int)> run_node;
+  // The task wrapper owns its copy of `sync`: the post-decrement notify is
+  // the only code that may still run while Run() is returning, and it only
+  // touches the shared SyncState — never the stack-owned closures, which are
+  // guaranteed alive through run_node's body (active > 0 until after it).
+  std::function<void(int)> schedule = [&run_node, sync, this](int idx) {
+    auto task = [&run_node, sync, idx] {
+      run_node(idx);
+      if (sync->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(sync->mu);
+        sync->cv.notify_all();
+      }
+    };
+    if (pool_ != nullptr && pool_->size() > 0) {
+      pool_->Submit(std::move(task));
+    } else {
+      task();
+    }
+  };
+
+  run_node = [&](int idx) {
+    NodeState& ns = *nodes[static_cast<size_t>(idx)];
+    const PlanNode* n = ns.node;
+    SubjectId s = ext.assignment.at(n->id);
+
+    // Collect operand tables; every assignee-crossing edge is one message,
+    // accounted exactly under the stats mutex.
+    std::vector<Table> inputs;
+    inputs.reserve(ns.children.size());
+    for (int c : ns.children) {
+      NodeState& cs_state = *nodes[static_cast<size_t>(c)];
+      Table t = std::move(*cs_state.result);
+      cs_state.result.reset();
+      SubjectId cs = ext.assignment.at(cs_state.node->id);
+      if (cs != s) {
+        uint64_t bytes = t.ByteSize();
+        std::lock_guard<std::mutex> lock(sync->mu);
+        out.stats[cs].bytes_out += bytes;
+        out.stats[s].bytes_in += bytes;
+        out.total_transfer_bytes += bytes;
+        out.num_messages++;
+      }
+      inputs.push_back(std::move(t));
+    }
+
+    // Execute under the assignee's engine: its keyring only. The nonce base
+    // is a PRF of the node id, so concurrent scheduling cannot change which
+    // nonces a node uses — ciphertexts are bit-identical at any thread count.
+    ExecContext ctx;
+    ctx.catalog = catalog_;
+    for (const auto& [rel, table] : base_tables_) {
+      ctx.base_tables[rel] = &table;
+    }
+    auto kr = keyrings_.find(s);
+    ctx.keyring = kr == keyrings_.end() ? &kEmptyKeyring : &kr->second;
+    ctx.dispatcher_keyring = &dispatcher_keyring_;
+    ctx.public_modulus = public_modulus_;
+    ctx.crypto = &crypto_;
+    ctx.udfs = udfs_;
+    ctx.udf_mu = shared_udf_mu;
+    ctx.nonce = SplitMix64(run_seed ^ (static_cast<uint64_t>(n->id) + 1) *
+                                          0x9e3779b97f4a7c15ull);
+    ctx.nonce_seed = run_seed ^
+                     (static_cast<uint64_t>(n->id) + 1) * 0x94d049bb133111ebull;
+    ctx.pool = pool_;
+    ctx.batch_size = batch_size_ == 0 ? 1 : batch_size_;
+
+    Result<Table> result = ExecuteNodeOnInputs(n, std::move(inputs), &ctx);
+    if (!result.ok()) {
+      std::lock_guard<std::mutex> lock(sync->mu);
+      if (n->id < error_node) {
+        error_node = n->id;
+        error = result.status();
+      }
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(sync->mu);
+        SubjectStats& st = out.stats[s];
+        st.ops_executed++;
+        st.rows_produced += result->num_rows();
+      }
+      ns.result = std::move(result).value();
+      if (ns.parent >= 0) {
+        NodeState& ps = *nodes[static_cast<size_t>(ns.parent)];
+        // acq_rel: the parent's task must observe every child's result.
+        if (ps.missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          sync->active.fetch_add(1, std::memory_order_relaxed);
+          schedule(ns.parent);
+        }
+      }
+    }
+  };
+
+  // Seed the run with every dependency-free node (base relations), in plan
+  // order. Fragments of subjects that don't feed each other now overlap.
+  std::vector<int> ready;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i]->children.empty()) ready.push_back(static_cast<int>(i));
+  }
+  sync->active.store(ready.size(), std::memory_order_relaxed);
+  for (int idx : ready) schedule(idx);
+
+  // Wait for the DAG to drain, helping with queued work instead of idling.
+  for (;;) {
+    if (sync->active.load(std::memory_order_acquire) == 0) break;
+    if (pool_ != nullptr && pool_->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(sync->mu);
+    sync->cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return sync->active.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sync->mu);
+    if (error_node != INT_MAX) return error;
+  }
+
+  NodeState& root = *nodes[static_cast<size_t>(root_idx)];
+  Table result = std::move(*root.result);
   SubjectId root_s = ext.assignment.at(ext.plan->id);
   if (root_s != user) {
     uint64_t bytes = result.ByteSize();

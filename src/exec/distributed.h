@@ -6,6 +6,12 @@
 // keys distributed to it — an operation assigned to a subject without the
 // required key fails, which is the enforcement property the paper's key
 // distribution provides.
+//
+// With a ThreadPool attached, per-assignee fragments are scheduled as async
+// tasks along the plan's dependency edges: nodes whose subtrees don't feed
+// each other run concurrently, modelling subjects computing in parallel.
+// Stats are mutex-guarded and every node derives its nonce base from the
+// node id, so results and transfer bytes are identical at any thread count.
 
 #ifndef MPQ_EXEC_DISTRIBUTED_H_
 #define MPQ_EXEC_DISTRIBUTED_H_
@@ -13,6 +19,7 @@
 #include <map>
 
 #include "assign/schemes.h"
+#include "common/thread_pool.h"
 #include "extend/extend.h"
 #include "extend/keys.h"
 #include "exec/executor.h"
@@ -57,6 +64,14 @@ class DistributedRuntime {
     udfs_[name] = std::move(impl);
   }
 
+  /// Attaches a pool: independent fragments then run as concurrent async
+  /// tasks, and each engine evaluates operators batch-parallel. Null (the
+  /// default) runs everything sequentially. The pool is borrowed, not owned.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Rows per operator batch (see ExecContext::batch_size).
+  void SetBatchSize(size_t batch_size) { batch_size_ = batch_size; }
+
   /// Executes the extended plan; the result is delivered to `user`.
   Result<DistributedResult> Run(const ExtendedPlan& ext, SubjectId user);
 
@@ -68,9 +83,6 @@ class DistributedRuntime {
   }
 
  private:
-  Result<Table> RunNode(const PlanNode* n, const ExtendedPlan& ext,
-                        DistributedResult* out);
-
   const Catalog* catalog_;
   const SubjectRegistry* subjects_;
   std::map<RelId, Table> base_tables_;
@@ -79,7 +91,11 @@ class DistributedRuntime {
   std::unordered_map<uint64_t, uint64_t> public_modulus_;
   CryptoPlan crypto_;
   std::unordered_map<std::string, UdfImpl> udfs_;
-  uint64_t nonce_ = 0x243f6a8885a308d3ull;
+  /// Seed for per-node nonce bases (each node n encrypts with nonces derived
+  /// from SplitMix64(seed, n->id), independent of scheduling order).
+  uint64_t nonce_seed_ = 0x243f6a8885a308d3ull;
+  ThreadPool* pool_ = nullptr;
+  size_t batch_size_ = Table::kDefaultBatchSize;
 };
 
 }  // namespace mpq

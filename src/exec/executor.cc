@@ -1,7 +1,11 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "common/rng.h"
@@ -11,6 +15,12 @@
 namespace mpq {
 
 namespace {
+
+/// Batch size with the zero value normalized, matching Table::Batch and the
+/// ParallelFor grain so `begin / Grain(ctx)` is always a valid batch index.
+size_t Grain(const ExecContext* ctx) {
+  return ctx->batch_size == 0 ? 1 : ctx->batch_size;
+}
 
 Status ColNotFound(const PlanNode* n, AttrId a, const Catalog& catalog) {
   return Status::Internal(StrFormat(
@@ -33,7 +43,7 @@ Result<Cell> ConstForColumn(const ExecColumn& col, const Value& v,
 }
 
 /// Evaluates one predicate against a row of `table`. Constants for encrypted
-/// columns are cached per-(predicate evaluation batch) by the caller.
+/// columns are bound once per operator, then shared read-only by all batches.
 struct BoundPredicate {
   CmpOp op;
   int lhs_col;
@@ -66,6 +76,27 @@ Result<bool> EvalBound(const BoundPredicate& bp, const std::vector<Cell>& row) {
   return CompareCells(bp.op, lhs, rhs);
 }
 
+Result<bool> EvalAllBound(const std::vector<BoundPredicate>& preds,
+                          const std::vector<Cell>& row) {
+  for (const BoundPredicate& bp : preds) {
+    MPQ_ASSIGN_OR_RETURN(bool ok, EvalBound(bp, row));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Per-batch output rows, merged into `out` in batch order so the result is
+/// identical at any thread count.
+void AppendBatchRows(std::vector<std::vector<std::vector<Cell>>> batch_rows,
+                     Table* out) {
+  size_t total = 0;
+  for (const auto& rows : batch_rows) total += rows.size();
+  out->ReserveRows(out->num_rows() + total);
+  for (auto& rows : batch_rows) {
+    for (auto& row : rows) out->AddRow(std::move(row));
+  }
+}
+
 Result<Table> ExecProject(const PlanNode* n, Table in, ExecContext* ctx) {
   std::vector<int> keep;
   std::vector<ExecColumn> cols;
@@ -81,13 +112,22 @@ Result<Table> ExecProject(const PlanNode* n, Table in, ExecContext* ctx) {
     return ColNotFound(n, missing.ToVector().front(), *ctx->catalog);
   }
   Table out(std::move(cols));
-  out.ReserveRows(in.num_rows());
-  for (size_t r = 0; r < in.num_rows(); ++r) {
-    std::vector<Cell> row;
-    row.reserve(keep.size());
-    for (int i : keep) row.push_back(in.row(r)[static_cast<size_t>(i)]);
-    out.AddRow(std::move(row));
-  }
+  std::vector<std::vector<std::vector<Cell>>> batch_rows(
+      in.NumBatches(Grain(ctx)));
+  MPQ_RETURN_NOT_OK(ParallelFor(
+      ctx->pool, in.num_rows(), Grain(ctx),
+      [&](size_t begin, size_t end) -> Status {
+        auto& local = batch_rows[begin / Grain(ctx)];
+        local.reserve(end - begin);
+        for (size_t r = begin; r < end; ++r) {
+          std::vector<Cell> row;
+          row.reserve(keep.size());
+          for (int i : keep) row.push_back(in.row(r)[static_cast<size_t>(i)]);
+          local.push_back(std::move(row));
+        }
+        return Status::OK();
+      }));
+  AppendBatchRows(std::move(batch_rows), &out);
   return out;
 }
 
@@ -98,17 +138,19 @@ Result<Table> ExecSelect(const PlanNode* n, Table in, ExecContext* ctx) {
     preds.push_back(std::move(bp));
   }
   Table out(in.columns());
-  for (size_t r = 0; r < in.num_rows(); ++r) {
-    bool keep = true;
-    for (const BoundPredicate& bp : preds) {
-      MPQ_ASSIGN_OR_RETURN(bool ok, EvalBound(bp, in.row(r)));
-      if (!ok) {
-        keep = false;
-        break;
-      }
-    }
-    if (keep) out.AddRow(in.row(r));
-  }
+  std::vector<std::vector<std::vector<Cell>>> batch_rows(
+      in.NumBatches(Grain(ctx)));
+  MPQ_RETURN_NOT_OK(ParallelFor(
+      ctx->pool, in.num_rows(), Grain(ctx),
+      [&](size_t begin, size_t end) -> Status {
+        auto& local = batch_rows[begin / Grain(ctx)];
+        for (size_t r = begin; r < end; ++r) {
+          MPQ_ASSIGN_OR_RETURN(bool keep, EvalAllBound(preds, in.row(r)));
+          if (keep) local.push_back(in.row(r));
+        }
+        return Status::OK();
+      }));
+  AppendBatchRows(std::move(batch_rows), &out);
   return out;
 }
 
@@ -125,14 +167,24 @@ std::vector<Cell> ConcatRow(const std::vector<Cell>& a,
   return row;
 }
 
-Result<Table> ExecCartesian(const PlanNode*, Table l, Table r) {
+Result<Table> ExecCartesian(const PlanNode*, Table l, Table r,
+                            ExecContext* ctx) {
   Table out(ConcatColumns(l, r));
-  out.ReserveRows(l.num_rows() * r.num_rows());
-  for (size_t i = 0; i < l.num_rows(); ++i) {
-    for (size_t j = 0; j < r.num_rows(); ++j) {
-      out.AddRow(ConcatRow(l.row(i), r.row(j)));
-    }
-  }
+  std::vector<std::vector<std::vector<Cell>>> batch_rows(
+      l.NumBatches(Grain(ctx)));
+  MPQ_RETURN_NOT_OK(ParallelFor(
+      ctx->pool, l.num_rows(), Grain(ctx),
+      [&](size_t begin, size_t end) -> Status {
+        auto& local = batch_rows[begin / Grain(ctx)];
+        local.reserve((end - begin) * r.num_rows());
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t j = 0; j < r.num_rows(); ++j) {
+            local.push_back(ConcatRow(l.row(i), r.row(j)));
+          }
+        }
+        return Status::OK();
+      }));
+  AppendBatchRows(std::move(batch_rows), &out);
   return out;
 }
 
@@ -165,12 +217,12 @@ Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
   Table out(ConcatColumns(l, r));
 
   if (!eq_pairs.empty()) {
-    // Hash join on the composite key of all equi-pairs.
+    // Hash join: sequential build over the (usually smaller) left side, then
+    // a batch-parallel probe over the right side.
     std::unordered_map<std::string, std::vector<size_t>> ht;
     ht.reserve(l.num_rows() * 2);
     for (size_t i = 0; i < l.num_rows(); ++i) {
       std::string key;
-      bool ok = true;
       for (const EqPair& ep : eq_pairs) {
         Result<std::string> k =
             CellGroupKey(l.row(i)[static_cast<size_t>(ep.lcol)]);
@@ -178,63 +230,67 @@ Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
         key += *k;
         key += '\x1f';
       }
-      if (ok) ht[key].push_back(i);
+      ht[key].push_back(i);
     }
     // Bind residual predicates against the concatenated layout.
     std::vector<BoundPredicate> bound_residual;
-    if (!residual.empty()) {
-      for (const Predicate& p : residual) {
-        MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, out, n, ctx));
-        bound_residual.push_back(std::move(bp));
-      }
+    for (const Predicate& p : residual) {
+      MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, out, n, ctx));
+      bound_residual.push_back(std::move(bp));
     }
-    for (size_t j = 0; j < r.num_rows(); ++j) {
-      std::string key;
-      for (const EqPair& ep : eq_pairs) {
-        Result<std::string> k =
-            CellGroupKey(r.row(j)[static_cast<size_t>(ep.rcol)]);
-        if (!k.ok()) return k.status();
-        key += *k;
-        key += '\x1f';
-      }
-      auto it = ht.find(key);
-      if (it == ht.end()) continue;
-      for (size_t i : it->second) {
-        std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
-        bool keep = true;
-        for (const BoundPredicate& bp : bound_residual) {
-          MPQ_ASSIGN_OR_RETURN(bool ok2, EvalBound(bp, row));
-          if (!ok2) {
-            keep = false;
-            break;
+    std::vector<std::vector<std::vector<Cell>>> batch_rows(
+        r.NumBatches(Grain(ctx)));
+    MPQ_RETURN_NOT_OK(ParallelFor(
+        ctx->pool, r.num_rows(), Grain(ctx),
+        [&](size_t begin, size_t end) -> Status {
+          auto& local = batch_rows[begin / Grain(ctx)];
+          std::string key;
+          for (size_t j = begin; j < end; ++j) {
+            key.clear();
+            for (const EqPair& ep : eq_pairs) {
+              MPQ_ASSIGN_OR_RETURN(
+                  std::string k,
+                  CellGroupKey(r.row(j)[static_cast<size_t>(ep.rcol)]));
+              key += k;
+              key += '\x1f';
+            }
+            auto it = ht.find(key);
+            if (it == ht.end()) continue;
+            for (size_t i : it->second) {
+              std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
+              MPQ_ASSIGN_OR_RETURN(bool keep,
+                                   EvalAllBound(bound_residual, row));
+              if (keep) local.push_back(std::move(row));
+            }
           }
-        }
-        if (keep) out.AddRow(std::move(row));
-      }
-    }
+          return Status::OK();
+        }));
+    AppendBatchRows(std::move(batch_rows), &out);
     return out;
   }
 
-  // Pure nested-loop fallback (non-equi joins).
+  // Nested-loop fallback (non-equi joins), parallel over left-side batches.
   std::vector<BoundPredicate> bound;
   for (const Predicate& p : n->predicates) {
     MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, out, n, ctx));
     bound.push_back(std::move(bp));
   }
-  for (size_t i = 0; i < l.num_rows(); ++i) {
-    for (size_t j = 0; j < r.num_rows(); ++j) {
-      std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
-      bool keep = true;
-      for (const BoundPredicate& bp : bound) {
-        MPQ_ASSIGN_OR_RETURN(bool ok, EvalBound(bp, row));
-        if (!ok) {
-          keep = false;
-          break;
+  std::vector<std::vector<std::vector<Cell>>> batch_rows(
+      l.NumBatches(Grain(ctx)));
+  MPQ_RETURN_NOT_OK(ParallelFor(
+      ctx->pool, l.num_rows(), Grain(ctx),
+      [&](size_t begin, size_t end) -> Status {
+        auto& local = batch_rows[begin / Grain(ctx)];
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t j = 0; j < r.num_rows(); ++j) {
+            std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
+            MPQ_ASSIGN_OR_RETURN(bool keep, EvalAllBound(bound, row));
+            if (keep) local.push_back(std::move(row));
+          }
         }
-      }
-      if (keep) out.AddRow(std::move(row));
-    }
-  }
+        return Status::OK();
+      }));
+  AppendBatchRows(std::move(batch_rows), &out);
   return out;
 }
 
@@ -252,6 +308,122 @@ struct AggState {
   uint64_t hom_n = 0;
   int64_t hom_count = 0;
   EncValue hom_template;
+};
+
+/// Folds one input cell into `s`. (`cell` is ignored for kCountStar.)
+Status AccumulateCell(const PlanNode* n, const Aggregate& agg, const Cell& cell,
+                      ExecContext* ctx, AggState* s) {
+  switch (agg.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      s->count++;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (cell.is_plain()) {
+        const Value& v = cell.plain();
+        if (v.is_null()) return Status::OK();
+        s->sum += v.AsDouble();
+        if (v.is_double()) s->sum_is_double = true;
+        s->count++;
+      } else {
+        const EncValue& ev = cell.enc();
+        if (ev.scheme != EncScheme::kPaillier) {
+          return Status::Unsupported(StrFormat(
+              "node %d: %s over %s ciphertext requires the HOM scheme",
+              n->id, AggFuncName(agg.func), EncSchemeName(ev.scheme)));
+        }
+        auto pm = ctx->public_modulus.find(ev.key_id);
+        if (pm == ctx->public_modulus.end()) {
+          return Status::NotFound(StrFormat(
+              "node %d: no public modulus for key %llu", n->id,
+              static_cast<unsigned long long>(ev.key_id)));
+        }
+        MPQ_ASSIGN_OR_RETURN(uint128 c, PaillierCipherFromBytes(ev.blob));
+        if (!s->hom) {
+          s->hom = true;
+          s->hom_cipher = c;
+          s->hom_n = pm->second;
+          s->hom_template = ev;
+        } else {
+          s->hom_cipher = PaillierAdd(s->hom_n, s->hom_cipher, c);
+        }
+        s->hom_count += ev.aux;
+      }
+      return Status::OK();
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      bool better;
+      if (!s->has_min_max) {
+        better = true;
+      } else {
+        CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
+        MPQ_ASSIGN_OR_RETURN(better, CompareCells(op, cell, s->min_max));
+      }
+      if (better) {
+        s->min_max = cell;
+        s->has_min_max = true;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable aggregate function");
+}
+
+/// Folds a later batch's state `src` into `dst`. Merging in batch order keeps
+/// first-occurrence semantics (hom_template, min/max tie-breaks) identical to
+/// a sequential row scan over the same batch partition.
+Status MergeAggState(const Aggregate& agg, AggState src, AggState* dst) {
+  switch (agg.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      dst->count += src.count;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      dst->sum += src.sum;
+      dst->sum_is_double = dst->sum_is_double || src.sum_is_double;
+      dst->count += src.count;
+      if (src.hom) {
+        if (!dst->hom) {
+          dst->hom = true;
+          dst->hom_cipher = src.hom_cipher;
+          dst->hom_n = src.hom_n;
+          dst->hom_template = std::move(src.hom_template);
+        } else {
+          dst->hom_cipher =
+              PaillierAdd(dst->hom_n, dst->hom_cipher, src.hom_cipher);
+        }
+        dst->hom_count += src.hom_count;
+      }
+      return Status::OK();
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (!src.has_min_max) return Status::OK();
+      bool better;
+      if (!dst->has_min_max) {
+        better = true;
+      } else {
+        CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
+        MPQ_ASSIGN_OR_RETURN(better,
+                             CompareCells(op, src.min_max, dst->min_max));
+      }
+      if (better) {
+        dst->min_max = std::move(src.min_max);
+        dst->has_min_max = true;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable aggregate function");
+}
+
+/// Hash-aggregated groups of one batch, in first-occurrence order.
+struct BatchGroups {
+  std::unordered_map<std::string, size_t> index;
+  std::vector<std::vector<Cell>> keys;
+  std::vector<std::vector<AggState>> states;
 };
 
 Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
@@ -301,90 +473,66 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
     out_cols.push_back(col);
   }
 
-  // Group rows.
+  // Phase 1: each batch aggregates its rows into private hash groups.
+  std::vector<BatchGroups> batches(in.NumBatches(Grain(ctx)));
+  MPQ_RETURN_NOT_OK(ParallelFor(
+      ctx->pool, in.num_rows(), Grain(ctx),
+      [&](size_t begin, size_t end) -> Status {
+        BatchGroups& bg = batches[begin / Grain(ctx)];
+        std::string key;
+        for (size_t r = begin; r < end; ++r) {
+          key.clear();
+          for (int gc : group_cols) {
+            MPQ_ASSIGN_OR_RETURN(
+                std::string k,
+                CellGroupKey(in.row(r)[static_cast<size_t>(gc)]));
+            key += k;
+            key += '\x1f';
+          }
+          auto [it, inserted] = bg.index.try_emplace(key, bg.keys.size());
+          if (inserted) {
+            std::vector<Cell> gk;
+            for (int gc : group_cols) {
+              gk.push_back(in.row(r)[static_cast<size_t>(gc)]);
+            }
+            bg.keys.push_back(std::move(gk));
+            bg.states.emplace_back(n->aggregates.size());
+          }
+          std::vector<AggState>& st = bg.states[it->second];
+          for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+            if (n->aggregates[ai].func == AggFunc::kCountStar) {
+              st[ai].count++;
+              continue;
+            }
+            const Cell& cell = in.row(r)[static_cast<size_t>(agg_cols[ai])];
+            MPQ_RETURN_NOT_OK(
+                AccumulateCell(n, n->aggregates[ai], cell, ctx, &st[ai]));
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Phase 2: merge batch groups in batch order — group order is first
+  // occurrence over the whole input, like a sequential scan.
   std::unordered_map<std::string, size_t> group_of;
   std::vector<std::vector<Cell>> group_keys;
   std::vector<std::vector<AggState>> states;
-  for (size_t r = 0; r < in.num_rows(); ++r) {
-    std::string key;
-    for (int gc : group_cols) {
-      MPQ_ASSIGN_OR_RETURN(std::string k,
-                           CellGroupKey(in.row(r)[static_cast<size_t>(gc)]));
-      key += k;
-      key += '\x1f';
-    }
-    auto [it, inserted] = group_of.try_emplace(key, group_keys.size());
-    if (inserted) {
-      std::vector<Cell> gk;
-      for (int gc : group_cols) gk.push_back(in.row(r)[static_cast<size_t>(gc)]);
-      group_keys.push_back(std::move(gk));
-      states.emplace_back(n->aggregates.size());
-    }
-    std::vector<AggState>& st = states[it->second];
-
-    for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
-      const Aggregate& agg = n->aggregates[ai];
-      AggState& s = st[ai];
-      if (agg.func == AggFunc::kCountStar) {
-        s.count++;
+  for (BatchGroups& bg : batches) {
+    // Recover this batch's insertion order from the stored indices.
+    std::vector<const std::string*> order(bg.keys.size());
+    for (const auto& [key, idx] : bg.index) order[idx] = &key;
+    for (size_t g = 0; g < bg.keys.size(); ++g) {
+      auto [it, inserted] = group_of.try_emplace(*order[g], group_keys.size());
+      if (inserted) {
+        group_keys.push_back(std::move(bg.keys[g]));
+        states.push_back(std::move(bg.states[g]));
         continue;
       }
-      const Cell& cell = in.row(r)[static_cast<size_t>(agg_cols[ai])];
-      switch (agg.func) {
-        case AggFunc::kCount:
-          s.count++;
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg: {
-          if (cell.is_plain()) {
-            const Value& v = cell.plain();
-            if (v.is_null()) break;
-            s.sum += v.AsDouble();
-            if (v.is_double()) s.sum_is_double = true;
-            s.count++;
-          } else {
-            const EncValue& ev = cell.enc();
-            if (ev.scheme != EncScheme::kPaillier) {
-              return Status::Unsupported(StrFormat(
-                  "node %d: %s over %s ciphertext requires the HOM scheme",
-                  n->id, AggFuncName(agg.func), EncSchemeName(ev.scheme)));
-            }
-            auto pm = ctx->public_modulus.find(ev.key_id);
-            if (pm == ctx->public_modulus.end()) {
-              return Status::NotFound(StrFormat(
-                  "node %d: no public modulus for key %llu", n->id,
-                  static_cast<unsigned long long>(ev.key_id)));
-            }
-            MPQ_ASSIGN_OR_RETURN(uint128 c, PaillierCipherFromBytes(ev.blob));
-            if (!s.hom) {
-              s.hom = true;
-              s.hom_cipher = c;
-              s.hom_n = pm->second;
-              s.hom_template = ev;
-            } else {
-              s.hom_cipher = PaillierAdd(s.hom_n, s.hom_cipher, c);
-            }
-            s.hom_count += ev.aux;
-          }
-          break;
-        }
-        case AggFunc::kMin:
-        case AggFunc::kMax: {
-          bool better;
-          if (!s.has_min_max) {
-            better = true;
-          } else {
-            CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
-            MPQ_ASSIGN_OR_RETURN(better, CompareCells(op, cell, s.min_max));
-          }
-          if (better) {
-            s.min_max = cell;
-            s.has_min_max = true;
-          }
-          break;
-        }
-        case AggFunc::kCountStar:
-          break;
+      std::vector<AggState>& dst = states[it->second];
+      for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+        MPQ_RETURN_NOT_OK(MergeAggState(n->aggregates[ai],
+                                        std::move(bg.states[g][ai]),
+                                        &dst[ai]));
       }
     }
   }
@@ -484,7 +632,8 @@ Result<Table> ExecUdf(const PlanNode* n, Table in, ExecContext* ctx) {
   }
 
   // Output layout: child columns minus (inputs \ {output}), with the output
-  // column's cells replaced by the udf result.
+  // column's cells replaced by the udf result. Registered implementations
+  // are not required to be thread-safe, so udf rows run sequentially.
   std::vector<ExecColumn> cols;
   std::vector<int> keep;
   for (size_t i = 0; i < in.num_columns(); ++i) {
@@ -495,6 +644,9 @@ Result<Table> ExecUdf(const PlanNode* n, Table in, ExecContext* ctx) {
   }
   Table out(std::move(cols));
   out.ReserveRows(in.num_rows());
+  // Concurrent sibling subtrees may both reach a udf node; serialize the
+  // invocation loop so one shared UdfImpl is never entered from two threads.
+  std::lock_guard<std::mutex> udf_lock(*ctx->udf_mu);
   for (size_t r = 0; r < in.num_rows(); ++r) {
     std::vector<Cell> args;
     args.reserve(in_cols.size());
@@ -549,13 +701,21 @@ Result<Table> ExecEncrypt(const PlanNode* n, Table in, ExecContext* ctx) {
                                               : EncScheme::kDeterministic;
     uint64_t key_id = ctx->crypto != nullptr ? ctx->crypto->KeyOf(a) : 0;
     MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(key_id));
-    for (size_t r = 0; r < in.num_rows(); ++r) {
-      Cell& cell = in.row(r)[static_cast<size_t>(idx)];
-      MPQ_ASSIGN_OR_RETURN(
-          EncValue ev, EncryptValue(cell.plain(), scheme, key_id, km,
-                                    ctx->NextNonce()));
-      cell = Cell(std::move(ev));
-    }
+    // One PRF-derived nonce range per (node, column): row r uses
+    // nonce_base + r, so ciphertexts do not depend on batch scheduling,
+    // thread count, or sibling-subtree execution order.
+    uint64_t nonce_base = ctx->ColumnNonceBase(n->id, a);
+    MPQ_RETURN_NOT_OK(ParallelFor(
+        ctx->pool, in.num_rows(), Grain(ctx),
+        [&](size_t begin, size_t end) -> Status {
+          std::vector<Cell*> cells;
+          cells.reserve(end - begin);
+          for (size_t r = begin; r < end; ++r) {
+            cells.push_back(&in.row(r)[static_cast<size_t>(idx)]);
+          }
+          return EncryptCellBatch(cells.data(), cells.size(), scheme, key_id,
+                                  km, nonce_base + begin);
+        }));
     col.encrypted = true;
     col.scheme = scheme;
     col.key_id = key_id;
@@ -578,18 +738,17 @@ Result<Table> ExecDecrypt(const PlanNode* n, Table in, ExecContext* ctx) {
     }
     MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(col.key_id));
     bool avg = col.hom_avg;
-    for (size_t r = 0; r < in.num_rows(); ++r) {
-      Cell& cell = in.row(r)[static_cast<size_t>(idx)];
-      const EncValue& ev = cell.enc();
-      MPQ_ASSIGN_OR_RETURN(Value v, DecryptValue(ev, km, col.type));
-      if (avg) {
-        double d = v.AsDouble() /
-                   static_cast<double>(std::max<int64_t>(ev.aux, 1));
-        cell = Cell(Value(d));
-      } else {
-        cell = Cell(std::move(v));
-      }
-    }
+    MPQ_RETURN_NOT_OK(ParallelFor(
+        ctx->pool, in.num_rows(), Grain(ctx),
+        [&](size_t begin, size_t end) -> Status {
+          std::vector<Cell*> cells;
+          cells.reserve(end - begin);
+          for (size_t r = begin; r < end; ++r) {
+            cells.push_back(&in.row(r)[static_cast<size_t>(idx)]);
+          }
+          return DecryptCellBatch(cells.data(), cells.size(), km, col.type,
+                                  avg);
+        }));
     col.encrypted = false;
     if (avg) {
       col.type = DataType::kDouble;
@@ -635,7 +794,7 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
     case OpKind::kSelect:
       return ExecSelect(n, std::move(inputs[0]), ctx);
     case OpKind::kCartesian:
-      return ExecCartesian(n, std::move(inputs[0]), std::move(inputs[1]));
+      return ExecCartesian(n, std::move(inputs[0]), std::move(inputs[1]), ctx);
     case OpKind::kJoin:
       return ExecJoin(n, std::move(inputs[0]), std::move(inputs[1]), ctx);
     case OpKind::kGroupBy:
@@ -651,9 +810,48 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
 }
 
 Result<Table> ExecutePlan(const PlanNode* root, ExecContext* ctx) {
+  size_t nc = root->num_children();
   std::vector<Table> inputs;
-  inputs.reserve(root->num_children());
-  for (size_t i = 0; i < root->num_children(); ++i) {
+  inputs.reserve(nc);
+
+  if (ctx->pool != nullptr && ctx->pool->size() > 0 && nc > 1) {
+    // Independent subtrees run concurrently: children 1..n-1 go to the pool,
+    // child 0 runs on this thread, which then helps drain the pool while
+    // waiting (deadlock-free under recursive submission).
+    std::vector<std::optional<Result<Table>>> results(nc);
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = nc - 1;
+    for (size_t i = 1; i < nc; ++i) {
+      ctx->pool->Submit([&, i] {
+        Result<Table> r = ExecutePlan(root->child(i), ctx);
+        std::lock_guard<std::mutex> lock(mu);
+        results[i] = std::move(r);
+        if (--remaining == 0) cv.notify_all();
+      });
+    }
+    results[0] = ExecutePlan(root->child(0), ctx);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (remaining == 0) break;
+      }
+      if (ctx->pool->TryRunOneTask()) continue;
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::milliseconds(1),
+                  [&] { return remaining == 0; });
+    }
+    // Report the lowest-index child error for determinism.
+    for (size_t i = 0; i < nc; ++i) {
+      if (!results[i]->ok()) return results[i]->status();
+    }
+    for (size_t i = 0; i < nc; ++i) {
+      inputs.push_back(std::move(*results[i]).value());
+    }
+    return ExecuteNodeOnInputs(root, std::move(inputs), ctx);
+  }
+
+  for (size_t i = 0; i < nc; ++i) {
     MPQ_ASSIGN_OR_RETURN(Table t, ExecutePlan(root->child(i), ctx));
     inputs.push_back(std::move(t));
   }

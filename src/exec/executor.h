@@ -1,15 +1,25 @@
-// Tuple-at-a-time execution of (extended) query plans, including evaluation
+// Batch-parallel execution of (extended) query plans, including evaluation
 // over ciphertexts: equality on DET, order on OPE, additive aggregation on
 // Paillier, and on-the-fly encryption/decryption operators.
+//
+// Operators process fixed-size RowBatches; when an ExecContext carries a
+// ThreadPool, batches of one operator and independent plan subtrees run
+// concurrently. Batch boundaries and merge order are thread-count
+// independent, so results are deterministic at any pool size.
 
 #ifndef MPQ_EXEC_EXECUTOR_H_
 #define MPQ_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "algebra/plan.h"
+#include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "crypto/keyring.h"
 #include "exec/table.h"
 
@@ -51,10 +61,40 @@ struct ExecContext {
   /// addition needs no private key).
   std::unordered_map<uint64_t, uint64_t> public_modulus;
   const CryptoPlan* crypto = nullptr;
-  uint64_t nonce = 0x9e3779b9u;
+  /// Nonce counter for predicate-constant encryption. Atomic so concurrent
+  /// subtrees sharing one context can draw from it safely.
+  std::atomic<uint64_t> nonce{0x9e3779b9u};
+  /// Seed for encryption operators: each (node, attribute) derives its nonce
+  /// range as a PRF of this seed, so ciphertexts are bit-identical at any
+  /// thread count and across runs. Freshness is per (seed, node, attribute):
+  /// callers re-executing a plan over *changed* data under kRandom/Paillier
+  /// should change the seed (DistributedRuntime advances it every Run).
+  uint64_t nonce_seed = 0x9e3779b97f4a7c15ull;
   std::unordered_map<std::string, UdfImpl> udfs;
+  /// Serializes udf invocations across concurrently executing subtrees —
+  /// registered implementations are not required to be thread-safe. Shared
+  /// so runtimes building one context per plan node can still serialize
+  /// every node's udf calls on one mutex.
+  std::shared_ptr<std::mutex> udf_mu = std::make_shared<std::mutex>();
+  /// When set, operators parallelize per-batch work and ExecutePlan runs
+  /// independent subtrees concurrently. Null means fully sequential.
+  ThreadPool* pool = nullptr;
+  /// Rows per RowBatch. Also the parallel grain; results do not depend on it
+  /// except for floating-point aggregation merge order (fixed per size).
+  /// Zero is treated as one.
+  size_t batch_size = Table::kDefaultBatchSize;
 
-  uint64_t NextNonce() { return ++nonce; }
+  uint64_t NextNonce() { return nonce.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Nonce base for encrypting column `attr` of node `node_id`: row r uses
+  /// `base + r`. Deterministic in (seed, node, attribute) — independent of
+  /// batch scheduling, thread count, and sibling-subtree execution order.
+  uint64_t ColumnNonceBase(int node_id, AttrId attr) const {
+    uint64_t h = nonce_seed ^
+                 (static_cast<uint64_t>(node_id) + 1) * 0x9e3779b97f4a7c15ull;
+    h ^= (static_cast<uint64_t>(attr) + 1) * 0xbf58476d1ce4e5b9ull;
+    return SplitMix64(h);
+  }
 };
 
 /// Executes `root` and returns the resulting table.

@@ -27,9 +27,25 @@ struct ExecColumn {
   bool hom_avg = false;
 };
 
+/// A half-open range of row indices [begin, end) of one table — the unit of
+/// work batch-oriented operators hand to the thread pool. Batch boundaries
+/// depend only on row count and batch size (never on thread count), so
+/// per-batch results merged in batch order are deterministic.
+struct RowBatch {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
 /// Row-major table.
 class Table {
  public:
+  /// Default number of rows per RowBatch; chosen so a batch of typical rows
+  /// stays cache-resident while amortizing per-batch dispatch.
+  static constexpr size_t kDefaultBatchSize = 1024;
+
   Table() = default;
   explicit Table(std::vector<ExecColumn> columns)
       : columns_(std::move(columns)) {}
@@ -48,6 +64,22 @@ class Table {
   const std::vector<std::vector<Cell>>& rows() const { return rows_; }
 
   void ReserveRows(size_t n) { rows_.reserve(n); }
+
+  /// Number of RowBatches of `batch_size` rows covering this table.
+  size_t NumBatches(size_t batch_size = kDefaultBatchSize) const {
+    if (batch_size == 0) batch_size = 1;
+    return (rows_.size() + batch_size - 1) / batch_size;
+  }
+
+  /// The `i`-th batch (the last one may be short).
+  RowBatch Batch(size_t i, size_t batch_size = kDefaultBatchSize) const {
+    if (batch_size == 0) batch_size = 1;
+    size_t begin = i * batch_size;
+    size_t end = begin + batch_size;
+    if (end > rows_.size()) end = rows_.size();
+    if (begin > end) begin = end;
+    return RowBatch{begin, end};
+  }
 
   /// Total payload bytes (used for transfer accounting).
   uint64_t ByteSize() const;
