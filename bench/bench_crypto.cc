@@ -54,8 +54,10 @@ void BM_PaillierAdd(benchmark::State& state) {
 BENCHMARK(BM_PaillierAdd);
 
 void BM_DetCompare(benchmark::State& state) {
-  Cell a(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, Km(), 1));
-  Cell b(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, Km(), 2));
+  Cell a(
+      *EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, Km(), 1));
+  Cell b(
+      *EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, Km(), 2));
   for (auto _ : state) {
     auto eq = CompareCells(CmpOp::kEq, a, b);
     benchmark::DoNotOptimize(eq);

@@ -1,0 +1,59 @@
+// Shared helper for benchmark drivers that emit machine-readable results:
+// a `--json <path>` flag plus a write-to-file wrapper around JsonWriter.
+// Every bench keeps its human-readable stdout report; the JSON file is what
+// seeds the perf trajectory across PRs.
+
+#ifndef MPQ_BENCH_BENCH_JSON_H_
+#define MPQ_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json_util.h"
+
+namespace mpq::bench {
+
+/// Extracts `--json <path>` from the argument list (removing both tokens);
+/// returns `default_path` when the flag is absent. The remaining positional
+/// arguments are left in argc/argv order for the bench's own parsing.
+inline std::string ParseJsonFlag(int* argc, char** argv,
+                                 const std::string& default_path) {
+  std::string path = default_path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < *argc) {
+        path = argv[i + 1];
+        ++i;
+      } else {
+        std::fprintf(stderr,
+                     "warning: --json requires a path; using default %s\n",
+                     default_path.c_str());
+      }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+/// Writes `document` to `path`; reports to stderr on failure.
+inline bool WriteJsonFile(const std::string& path,
+                          const std::string& document) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(document.data(), 1, document.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace mpq::bench
+
+#endif  // MPQ_BENCH_BENCH_JSON_H_

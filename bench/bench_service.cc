@@ -1,0 +1,239 @@
+// QueryService serving benchmark: closed-loop multi-threaded clients over a
+// TPC-H scenario mix, cold (first execution: parse → authorize → optimize →
+// execute) vs warm (sharded plan-cache hit → execute) at 1/4/8 client
+// threads. Emits BENCH_service.json (override with --json <path>) seeding
+// the perf trajectory with latency percentiles and cache hit rate.
+//
+//   bench_service [data_sf] [warm_iters] [--json path]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "service/query_service.h"
+#include "tpch/dbgen.h"
+#include "tpch/scenarios.h"
+
+using namespace mpq;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p * static_cast<double>(samples.size());
+  size_t idx = rank <= 1 ? 0 : static_cast<size_t>(rank + 0.5) - 1;
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      mpq::bench::ParseJsonFlag(&argc, argv, "BENCH_service.json");
+  // Default scale keeps the per-query working set small relative to the
+  // front half (parse → authorize → optimize): the regime where a serving
+  // layer's plan cache is the dominant lever. Execution-side data scaling
+  // is bench_parallel_exec's subject.
+  double data_sf = argc > 1 ? std::atof(argv[1]) : 5e-5;
+  int warm_iters = argc > 2 ? std::atoi(argv[2]) : 20;
+  if (data_sf <= 0) data_sf = 5e-5;
+  if (warm_iters < 1) warm_iters = 1;
+
+  TpchEnv env = MakeTpchEnv(/*costing_sf=*/1.0, /*num_providers=*/8);
+  TpchData db = GenerateTpch(env, data_sf, /*seed=*/17);
+  Result<Policy> policy = MakeScenarioPolicy(env, AuthScenario::kUAPenc);
+  if (!policy.ok()) {
+    std::printf("policy error: %s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  PricingTable prices = MakeScenarioPricing(env);
+  Topology topo = MakeScenarioTopology(env);
+
+  // The scenario mix: the supported dialect's renderings of a TPC-H
+  // cross-section — selection-heavy (Q6), join chains (Q3, Q10), an
+  // attr-attr predicate (Q12) and a HAVING aggregate (Q18 shape) — matching
+  // the shapes of src/tpch/queries.cc.
+  const std::vector<std::string> statements = {
+      // Q6: forecasting revenue change.
+      "select sum(l_extendedprice) from lineitem "
+      "where l_shipdate >= 730 and l_shipdate < 1095 "
+      "and l_discount >= 0.05 and l_discount <= 0.07 and l_quantity < 24.0",
+      // Q3: shipping priority.
+      "select o_orderkey, o_orderdate, o_shippriority, sum(l_extendedprice) "
+      "from customer join orders on c_custkey = o_custkey "
+      "join lineitem on o_orderkey = l_orderkey "
+      "where c_mktsegment = 'BUILDING' and o_orderdate < 1204 "
+      "and l_shipdate > 1204 "
+      "group by o_orderkey, o_orderdate, o_shippriority",
+      // Q10: returned item reporting.
+      "select c_custkey, c_name, n_name, sum(l_extendedprice) "
+      "from customer join orders on c_custkey = o_custkey "
+      "join lineitem on o_orderkey = l_orderkey "
+      "join nation on c_nationkey = n_nationkey "
+      "where o_orderdate >= 640 and o_orderdate < 730 "
+      "and l_returnflag = 'R' group by c_custkey, c_name, n_name",
+      // Q12: shipping modes (attr-attr comparison).
+      "select l_shipmode, count(*) from orders "
+      "join lineitem on o_orderkey = l_orderkey "
+      "where l_shipmode = 'MAIL' and l_receiptdate >= 730 "
+      "and l_receiptdate < 1095 and l_commitdate < l_receiptdate "
+      "group by l_shipmode",
+      // Q18 shape: large-volume customers via HAVING.
+      "select o_custkey, sum(l_extendedprice) from orders "
+      "join lineitem on o_orderkey = l_orderkey "
+      "group by o_custkey having sum(l_extendedprice) > 1000.0",
+  };
+
+  std::printf(
+      "QueryService closed-loop bench: TPC-H UAPenc mix {Q6,Q3,Q10,Q12,Q18}, "
+      "data_sf=%.4g (lineitem rows: %zu), %d warm iters/client\n\n",
+      data_sf, db.at(env.lineitem).num_rows(), warm_iters);
+  std::printf("%8s %12s %12s %12s %12s %10s %8s\n", "clients", "cold_p50",
+              "warm_p50", "warm_p95", "cold/warm", "hit_rate", "qps");
+
+  JsonWriter w;
+  w.BeginObject()
+      .Key("bench")
+      .String("service")
+      .Key("scenario")
+      .String("UAPenc")
+      .Key("data_sf")
+      .Double(data_sf)
+      .Key("warm_iters")
+      .Int(warm_iters);
+  w.Key("query_mix").BeginArray();
+  for (const char* q : {"Q6", "Q3", "Q10", "Q12", "Q18"}) w.String(q);
+  w.EndArray();
+  w.Key("runs").BeginArray();
+
+  bool ok = true;
+  for (size_t clients : {1u, 4u, 8u}) {
+    ServiceConfig config;
+    // Inline execution: closed-loop throughput comes from inter-query
+    // parallelism across client threads; intra-query parallelism (a shared
+    // exec pool) is bench_parallel_exec's subject and would only make the
+    // clients convoy on pool workers here.
+    config.exec_threads = 0;
+    config.max_in_flight = 2 * clients;
+    QueryService service(&env.catalog, &env.subjects, &*policy, &prices,
+                         &topo, config);
+    for (const auto& [rel, t] : db.tables) service.LoadTable(rel, &t);
+
+    auto session = service.OpenSession(env.user);
+    if (!session.ok()) {
+      std::printf("session error: %s\n", session.status().ToString().c_str());
+      return 1;
+    }
+
+    // Cold: every statement's first execution pays the whole front half.
+    std::vector<double> cold_ms;
+    for (const std::string& sql : statements) {
+      auto t0 = Clock::now();
+      auto r = service.ExecuteSql(sql, *session);
+      if (!r.ok()) {
+        std::printf("cold error: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      cold_ms.push_back(MsSince(t0));
+    }
+
+    // Warm: closed-loop clients hammering the cached mix.
+    std::mutex merge_mu;
+    std::vector<double> warm_ms;
+    std::vector<std::thread> threads;
+    bool failed = false;
+    auto wall0 = Clock::now();
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto my_session = service.OpenSession(env.user);
+        if (!my_session.ok()) return;
+        std::vector<double> local;
+        local.reserve(statements.size() * static_cast<size_t>(warm_iters));
+        for (int i = 0; i < warm_iters; ++i) {
+          for (size_t s = 0; s < statements.size(); ++s) {
+            // Stagger start points so clients don't convoy on one statement.
+            const std::string& sql =
+                statements[(s + c) % statements.size()];
+            auto t0 = Clock::now();
+            auto r = service.ExecuteSql(sql, *my_session);
+            if (!r.ok()) {
+              std::lock_guard<std::mutex> lock(merge_mu);
+              failed = true;
+              return;
+            }
+            local.push_back(MsSince(t0));
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        warm_ms.insert(warm_ms.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    double wall_s = MsSince(wall0) / 1e3;
+    if (failed) {
+      std::printf("warm execution failed at %zu clients\n", clients);
+      return 1;
+    }
+
+    ServiceMetrics m = service.Metrics();
+    double cold_p50 = PercentileMs(cold_ms, 0.50);
+    double warm_p50 = PercentileMs(warm_ms, 0.50);
+    double warm_p95 = PercentileMs(warm_ms, 0.95);
+    double speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0;
+    double qps = wall_s > 0 ? static_cast<double>(warm_ms.size()) / wall_s : 0;
+    ok = ok && speedup >= 5.0;
+
+    std::printf("%8zu %10.3fms %10.3fms %10.3fms %11.1fx %9.1f%% %8.0f\n",
+                clients, cold_p50, warm_p50, warm_p95, speedup,
+                m.hit_rate * 100, qps);
+
+    w.BeginObject()
+        .Key("clients")
+        .UInt(clients)
+        .Key("cold_p50_ms")
+        .Double(cold_p50)
+        .Key("cold_p95_ms")
+        .Double(PercentileMs(cold_ms, 0.95))
+        .Key("warm_p50_ms")
+        .Double(warm_p50)
+        .Key("warm_p95_ms")
+        .Double(warm_p95)
+        .Key("warm_p99_ms")
+        .Double(PercentileMs(warm_ms, 0.99))
+        .Key("cold_over_warm_p50")
+        .Double(speedup)
+        .Key("hit_rate")
+        .Double(m.hit_rate)
+        .Key("qps")
+        .Double(qps)
+        .Key("queries")
+        .UInt(m.queries)
+        .Key("admission_waits")
+        .UInt(m.admission_waits)
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("warm_p50_speedup_target").Double(5.0).Key("pass").Bool(ok);
+  w.EndObject();
+
+  mpq::bench::WriteJsonFile(json_path, w.TakeString());
+  std::printf(
+      "\ncold/warm = cold p50 / warm p50 (plan-cache amortization). "
+      "JSON: %s%s\n",
+      json_path.c_str(), ok ? "" : "  [BELOW 5x TARGET]");
+  return ok ? 0 : 1;
+}

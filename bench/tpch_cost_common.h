@@ -16,7 +16,8 @@ namespace mpq::bench {
 inline Result<double> QueryCost(const TpchEnv& env, int q,
                                 AuthScenario scenario) {
   MPQ_ASSIGN_OR_RETURN(PlanPtr plan, BuildTpchQuery(q, env));
-  MPQ_RETURN_NOT_OK(DerivePlaintextNeeds(plan.get(), env.catalog, SchemeCaps{}));
+  MPQ_RETURN_NOT_OK(
+      DerivePlaintextNeeds(plan.get(), env.catalog, SchemeCaps{}));
   MPQ_RETURN_NOT_OK(AnnotatePlan(plan.get(), env.catalog));
   MPQ_ASSIGN_OR_RETURN(Policy policy, MakeScenarioPolicy(env, scenario));
   MPQ_ASSIGN_OR_RETURN(CandidatePlan cp, ComputeCandidates(plan.get(), policy));
@@ -25,7 +26,8 @@ inline Result<double> QueryCost(const TpchEnv& env, int q,
   SchemeMap schemes = AnalyzeSchemes(plan.get(), env.catalog, SchemeCaps{});
   CostModel cm(&env.catalog, &prices, &topo, &schemes);
   AssignmentOptimizer opt(&policy, &cm);
-  MPQ_ASSIGN_OR_RETURN(AssignmentResult r, opt.Optimize(plan.get(), cp, env.user));
+  MPQ_ASSIGN_OR_RETURN(AssignmentResult r,
+                       opt.Optimize(plan.get(), cp, env.user));
   return r.exact_cost.total_usd();
 }
 

@@ -24,7 +24,8 @@ Table HospData(const Catalog& catalog, RelId hosp, int patients) {
   Rng rng(7);
   for (int i = 0; i < patients; ++i) {
     t.AddRow({Cell(Value(int64_t{1000 + i})),
-              Cell(Value(int64_t{1950 + static_cast<int64_t>(rng.Uniform(50))})),
+              Cell(Value(
+                  int64_t{1950 + static_cast<int64_t>(rng.Uniform(50))})),
               Cell(Value(std::string(diseases[rng.Uniform(3)]))),
               Cell(Value(std::string(treatments[rng.Uniform(4)])))});
   }

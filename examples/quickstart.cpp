@@ -1,18 +1,16 @@
-// Quickstart: the paper's running example in ~60 lines of API use.
+// Quickstart: serve the paper's running example through QueryService.
 //
-// Builds the Hosp ⋈ Ins query, declares the Fig 1(b) authorizations,
-// computes candidates, picks an assignment, extends the plan with
-// encryption/decryption, and prints everything.
+// Declares the Fig 1(b) authorizations, loads a few rows of data, then
+// serves the Hosp ⋈ Ins query through the full pipeline — parse, authorize,
+// minimum-cost assignment, on-the-fly encryption, distributed execution —
+// with the front half amortized by the sharded plan cache, and shows a
+// policy revocation invalidating the cached plan via the policy epoch.
 
 #include <cstdio>
 
-#include "algebra/plan_builder.h"
-#include "algebra/plan_printer.h"
-#include "assign/assignment.h"
-#include "authz/policy.h"
-#include "extend/keys.h"
-#include "profile/propagate.h"
-#include "sql/binder.h"
+#include "net/pricing.h"
+#include "net/topology.h"
+#include "service/query_service.h"
 
 using namespace mpq;
 
@@ -26,6 +24,7 @@ int main() {
   SubjectId X = *subjects.Register("X", SubjectKind::kProvider);
   SubjectId Y = *subjects.Register("Y", SubjectKind::kProvider);
   SubjectId Z = *subjects.Register("Z", SubjectKind::kProvider);
+  (void)X;
 
   using C = std::pair<std::string, DataType>;
   RelId hosp = *catalog.AddRelation(
@@ -57,61 +56,79 @@ int main() {
   (void)policy.Grant(ins, Y, set("P"), set("C"));
   (void)policy.Grant(ins, Z, set("C"), set("P"));
 
-  // --- The query, straight from SQL.
-  auto plan = PlanFromSql(
-      "select T, avg(P) from Hosp join Ins on S = C "
-      "where D = 'stroke' group by T having avg(P) > 100",
-      catalog);
-  if (!plan.ok()) {
-    std::printf("plan error: %s\n", plan.status().ToString().c_str());
-    return 1;
-  }
-  (void)DerivePlaintextNeeds(plan->get(), catalog, SchemeCaps{});
-  (void)AnnotatePlan(plan->get(), catalog);
-
-  PrintOptions opts;
-  opts.show_profiles = true;
-  std::printf("=== Query plan with relation profiles (Fig 3) ===\n%s\n",
-              PrintPlan(plan->get(), catalog, opts).c_str());
-
-  // --- Candidates (Defs 5.2/5.3, Fig 6).
-  auto cp = ComputeCandidates(plan->get(), policy);
-  if (!cp.ok()) {
-    std::printf("candidates error: %s\n", cp.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("=== Assignment candidates per operation ===\n");
-  for (const PlanNode* n : PostOrder(plan->get())) {
-    if (n->is_leaf()) continue;
-    std::printf("  node %d (%s): ", n->id,
-                NodeLabel(n, catalog).c_str());
-    cp->at(n->id).candidates.ForEach([&](AttrId s) {
-      std::printf("%s ", subjects.Name(static_cast<SubjectId>(s)).c_str());
-    });
-    std::printf("\n");
+  // --- A few rows: four patients (two stroke), matching insurance rows.
+  Table hosp_data = MakeBaseTable(catalog.Get(hosp));
+  Table ins_data = MakeBaseTable(catalog.Get(ins));
+  {
+    auto I64 = [](int64_t v) { return Cell(Value(v)); };
+    auto Str = [](const char* s) { return Cell(Value(std::string(s))); };
+    auto Dbl = [](double v) { return Cell(Value(v)); };
+    hosp_data.AddRow({I64(100), I64(1970), Str("stroke"), Str("tpa")});
+    hosp_data.AddRow({I64(101), I64(1985), Str("flu"), Str("rest")});
+    hosp_data.AddRow({I64(102), I64(1960), Str("stroke"), Str("tpa")});
+    hosp_data.AddRow({I64(103), I64(1990), Str("stroke"), Str("surgery")});
+    ins_data.AddRow({I64(100), Dbl(120.0)});
+    ins_data.AddRow({I64(101), Dbl(80.0)});
+    ins_data.AddRow({I64(102), Dbl(200.0)});
+    ins_data.AddRow({I64(103), Dbl(50.0)});
   }
 
-  // --- Cost-optimal assignment + minimally extended plan (Def 5.4, Fig 7).
+  // --- The serving subsystem: sharded plan cache, sessions, metrics.
   PricingTable prices = PricingTable::PaperDefaults(subjects);
   Topology topo = Topology::PaperDefaults(subjects);
-  SchemeMap schemes = AnalyzeSchemes(plan->get(), catalog, SchemeCaps{});
-  CostModel cm(&catalog, &prices, &topo, &schemes);
-  AssignmentOptimizer opt(&policy, &cm);
-  auto r = opt.Optimize(plan->get(), *cp, U);
-  if (!r.ok()) {
-    std::printf("optimizer error: %s\n", r.status().ToString().c_str());
+  ServiceConfig config;
+  config.exec_threads = 2;
+  QueryService service(&catalog, &subjects, &policy, &prices, &topo, config);
+  service.LoadTable(hosp, &hosp_data);
+  service.LoadTable(ins, &ins_data);
+
+  Session session = *service.OpenSession("U");
+
+  // --- Prepare once, execute repeatedly: the first execution pays the whole
+  // front half (bind → authorize → candidates → optimize → keys), repeats
+  // serve from the plan cache and only execute.
+  auto stmt = service.Prepare(
+      "select T, avg(P) from Hosp join Ins on S = C "
+      "where D = 'stroke' group by T having avg(P) > 100");
+  if (!stmt.ok()) {
+    std::printf("prepare error: %s\n", stmt.status().ToString().c_str());
     return 1;
   }
-  PrintOptions ext_opts;
-  ext_opts.assignment = &r->extended.assignment;
-  ext_opts.subjects = &subjects;
-  std::printf("\n=== Minimally extended authorized plan ===\n%s",
-              PrintPlan(r->extended.plan.get(), catalog, ext_opts).c_str());
-  std::printf("estimated cost: %.6f USD\n", r->exact_cost.total_usd());
 
-  // --- Keys (Def 6.1).
-  PlanKeys keys = DeriveQueryPlanKeys(r->extended);
-  std::printf("\n=== Query plan keys ===\n%s",
-              keys.ToString(catalog, subjects).c_str());
+  for (int i = 0; i < 2; ++i) {
+    auto r = service.Execute(*stmt, session);
+    if (!r.ok()) {
+      std::printf("execute error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== Execution %d (%s) ===\n%s", i + 1,
+                r->stats.cache == CacheOutcome::kHit ? "plan-cache hit"
+                                                     : "cold: full front half",
+                r->table.ToString().c_str());
+    std::printf(
+        "total %.3f ms (plan %.3f ms, exec %.3f ms), %llu transfer bytes, "
+        "planned cost %.6f USD, policy epoch %llu\n\n",
+        r->stats.total_s * 1e3, r->stats.plan_s * 1e3, r->stats.exec_s * 1e3,
+        static_cast<unsigned long long>(r->stats.transfer_bytes),
+        r->stats.planned_cost_usd,
+        static_cast<unsigned long long>(r->stats.policy_epoch));
+  }
+
+  // --- A revocation bumps the policy epoch: the cached plan is unreachable
+  // and the query re-authorizes — here, failing outright, since U may no
+  // longer see the premiums its query aggregates.
+  (void)policy.Revoke(ins, U);
+  auto denied = service.Execute(*stmt, session);
+  std::printf("=== After revoking U's grant on Ins ===\n%s\n",
+              denied.ok() ? "unexpectedly served!"
+                          : denied.status().ToString().c_str());
+
+  (void)policy.Grant(ins, U, set("CP"), {});
+  auto restored = service.Execute(*stmt, session);
+  std::printf("\n=== After re-granting (fresh epoch, fresh plan) ===\n%s",
+              restored.ok() ? restored->table.ToString().c_str()
+                            : restored.status().ToString().c_str());
+
+  std::printf("\n=== Service metrics ===\n%s\n", service.MetricsJson().c_str());
   return 0;
 }

@@ -62,7 +62,9 @@ struct Aggregate {
   AttrId out_attr = kInvalidAttr;  ///< Output attribute id.
 
   static Aggregate Make(AggFunc f, AttrId a) { return {f, a, a}; }
-  static Aggregate CountStar(AttrId out) { return {AggFunc::kCountStar, kInvalidAttr, out}; }
+  static Aggregate CountStar(AttrId out) {
+    return {AggFunc::kCountStar, kInvalidAttr, out};
+  }
 
   std::string ToString(const AttrRegistry& reg) const;
 };

@@ -146,7 +146,9 @@ Status CheckVisible(const PlanNode* n, const AttrSet& needed,
 
 Status ValidateRec(const PlanNode* n, const Catalog& catalog) {
   const AttrRegistry& reg = catalog.attrs();
-  for (const auto& c : n->children) MPQ_RETURN_NOT_OK(ValidateRec(c.get(), catalog));
+  for (const auto& c : n->children) {
+    MPQ_RETURN_NOT_OK(ValidateRec(c.get(), catalog));
+  }
   switch (n->kind) {
     case OpKind::kBase: {
       MPQ_RETURN_NOT_OK(CheckArity(n, 0));

@@ -60,7 +60,8 @@ double CostModel::ProfileBytes(const RelationProfile& p) const {
 }
 
 double CostModel::EstimateRows(
-    const PlanNode* n, const std::unordered_map<int, NodeEstimate>& done) const {
+    const PlanNode* n,
+    const std::unordered_map<int, NodeEstimate>& done) const {
   auto child_rows = [&](size_t i) {
     return done.at(n->child(i)->id).rows;
   };

@@ -52,7 +52,8 @@ class CostModel {
   /// Estimates every node of an (annotated) plan, keyed by node id. Works on
   /// both original and extended plans; encrypted attribute sizes follow the
   /// node profiles and the scheme map.
-  std::unordered_map<int, NodeEstimate> EstimatePlan(const PlanNode* root) const;
+  std::unordered_map<int, NodeEstimate> EstimatePlan(
+      const PlanNode* root) const;
 
   /// Cost of executing node `n` (with estimate `est`, operand estimates
   /// `child_est`) at subject `s`: cpu + local i/o.
@@ -66,7 +67,8 @@ class CostModel {
 
   /// Cpu cost (USD) at subject `s` of encrypting/decrypting `rows` values of
   /// each attribute in `attrs` (schemes from the scheme map).
-  CostBreakdown CryptoCost(const AttrSet& attrs, double rows, SubjectId s) const;
+  CostBreakdown CryptoCost(const AttrSet& attrs, double rows,
+                           SubjectId s) const;
 
   /// Cpu cost (USD) of `cpu_micros` microseconds of work at subject `s`.
   CostBreakdown CpuCost(double cpu_micros, SubjectId s) const;

@@ -147,7 +147,9 @@ Status DerivePlaintextNeeds(PlanNode* root, const Catalog& catalog,
     for (const Predicate& p : n->predicates) {
       bool is_range = !IsEquality(p.op) && p.op != CmpOp::kNe;
       bool ok = SchemeSupports(scheme_of(p.lhs), is_range);
-      if (p.rhs_is_attr) ok = ok && SchemeSupports(scheme_of(p.rhs_attr), is_range);
+      if (p.rhs_is_attr) {
+        ok = ok && SchemeSupports(scheme_of(p.rhs_attr), is_range);
+      }
       if (!ok) {
         needs.InsertAll(p.Attrs());
       }

@@ -1,8 +1,63 @@
 #include "authz/policy.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace mpq {
+
+Policy::Policy(const Policy& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  catalog_ = other.catalog_;
+  subjects_ = other.subjects_;
+  explicit_ = other.explicit_;
+  any_ = other.any_;
+  epoch_.store(other.epoch_.load(std::memory_order_acquire),
+               std::memory_order_release);
+}
+
+Policy& Policy::operator=(const Policy& other) {
+  if (this == &other) return *this;
+  Policy copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Policy::Policy(Policy&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  catalog_ = other.catalog_;
+  subjects_ = other.subjects_;
+  explicit_ = std::move(other.explicit_);
+  any_ = std::move(other.any_);
+  epoch_.store(other.epoch_.load(std::memory_order_acquire),
+               std::memory_order_release);
+}
+
+Policy& Policy::operator=(Policy&& other) noexcept {
+  if (this == &other) return *this;
+  {
+    std::unique_lock<std::shared_mutex> mine(mu_, std::defer_lock);
+    std::unique_lock<std::shared_mutex> theirs(other.mu_, std::defer_lock);
+    std::lock(mine, theirs);
+    catalog_ = other.catalog_;
+    subjects_ = other.subjects_;
+    explicit_ = std::move(other.explicit_);
+    any_ = std::move(other.any_);
+    // Assignment replaces the whole rule set out from under any reader that
+    // keys cached decisions by this object's epoch. Publish an epoch
+    // strictly above both histories so no stale key can match the new rules
+    // (monotonicity also survives assignment from a younger policy).
+    uint64_t mine_epoch = epoch_.load(std::memory_order_acquire);
+    uint64_t theirs_epoch = other.epoch_.load(std::memory_order_acquire);
+    epoch_.store(std::max(mine_epoch, theirs_epoch) + 1,
+                 std::memory_order_release);
+  }
+  // After releasing mu_: views_mu_ is never acquired while holding mu_
+  // (Views() takes them in the opposite order — see the lock-order comment).
+  InvalidateViews();
+  other.InvalidateViews();  // its memoized views describe the stolen rules
+  return *this;
+}
 
 Status Policy::ValidateRule(RelId rel, const AttrSet& plain,
                             const AttrSet& enc) const {
@@ -27,49 +82,89 @@ Status Policy::ValidateRule(RelId rel, const AttrSet& plain,
   return Status::OK();
 }
 
-void Policy::InvalidateViews() { views_valid_ = false; }
+void Policy::InvalidateViews() {
+  std::lock_guard<std::mutex> lock(views_mu_);
+  views_.reset();
+}
 
 Status Policy::Grant(RelId rel, SubjectId subject, AttrSet plain, AttrSet enc) {
   MPQ_RETURN_NOT_OK(ValidateRule(rel, plain, enc));
   if (subject == kInvalidSubject || subject >= subjects_->size()) {
     return Status::InvalidArgument("authorization for unknown subject");
   }
-  auto key = std::make_pair(rel, subject);
-  if (explicit_.count(key) > 0) {
-    return Status::AlreadyExists(StrFormat(
-        "subject %s already holds an authorization on %s (the paper allows at "
-        "most one per relation)",
-        subjects_->Name(subject).c_str(), catalog_->Get(rel).name.c_str()));
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto key = std::make_pair(rel, subject);
+    if (explicit_.count(key) > 0) {
+      return Status::AlreadyExists(StrFormat(
+          "subject %s already holds an authorization on %s (the paper allows "
+          "at most one per relation)",
+          subjects_->Name(subject).c_str(), catalog_->Get(rel).name.c_str()));
+    }
+    Authorization a;
+    a.rel = rel;
+    a.subject = subject;
+    a.plain = std::move(plain);
+    a.enc = std::move(enc);
+    explicit_.emplace(key, std::move(a));
   }
-  Authorization a;
-  a.rel = rel;
-  a.subject = subject;
-  a.plain = std::move(plain);
-  a.enc = std::move(enc);
-  explicit_.emplace(key, std::move(a));
   InvalidateViews();
+  // Publish the new epoch only after the rule is visible: a reader observing
+  // the bumped epoch is guaranteed to see the mutated rule set.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status Policy::GrantAny(RelId rel, AttrSet plain, AttrSet enc) {
   MPQ_RETURN_NOT_OK(ValidateRule(rel, plain, enc));
-  if (any_.count(rel) > 0) {
-    return Status::AlreadyExists(StrFormat(
-        "relation %s already has an `any` default authorization",
-        catalog_->Get(rel).name.c_str()));
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (any_.count(rel) > 0) {
+      return Status::AlreadyExists(StrFormat(
+          "relation %s already has an `any` default authorization",
+          catalog_->Get(rel).name.c_str()));
+    }
+    Authorization a;
+    a.rel = rel;
+    a.is_any = true;
+    a.plain = std::move(plain);
+    a.enc = std::move(enc);
+    any_.emplace(rel, std::move(a));
   }
-  Authorization a;
-  a.rel = rel;
-  a.is_any = true;
-  a.plain = std::move(plain);
-  a.enc = std::move(enc);
-  any_.emplace(rel, std::move(a));
   InvalidateViews();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
-std::optional<Authorization> Policy::Effective(RelId rel,
-                                               SubjectId subject) const {
+Status Policy::Revoke(RelId rel, SubjectId subject) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (explicit_.erase(std::make_pair(rel, subject)) == 0) {
+      return Status::NotFound(StrFormat(
+          "no explicit authorization of subject %u on relation %u to revoke",
+          subject, rel));
+    }
+  }
+  InvalidateViews();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status Policy::RevokeAny(RelId rel) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (any_.erase(rel) == 0) {
+      return Status::NotFound(StrFormat(
+          "no `any` default authorization on relation %u to revoke", rel));
+    }
+  }
+  InvalidateViews();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+std::optional<Authorization> Policy::EffectiveLocked(RelId rel,
+                                                     SubjectId subject) const {
   auto it = explicit_.find(std::make_pair(rel, subject));
   if (it != explicit_.end()) return it->second;
   auto any_it = any_.find(rel);
@@ -77,43 +172,69 @@ std::optional<Authorization> Policy::Effective(RelId rel,
   return std::nullopt;
 }
 
-void Policy::EnsureViews() const {
-  // Rebuild when invalidated or when subjects were registered since the last
-  // build (the registry is shared and may grow).
-  if (views_valid_ && plain_views_.size() == subjects_->size()) return;
+std::optional<Authorization> Policy::Effective(RelId rel,
+                                               SubjectId subject) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return EffectiveLocked(rel, subject);
+}
+
+std::shared_ptr<const Policy::ViewSnapshot> Policy::Views() const {
+  std::lock_guard<std::mutex> views_lock(views_mu_);
+  // Rebuild when invalidated or when subjects/relations were registered
+  // since the last build (both registries are shared and may grow).
+  if (views_ != nullptr && views_->plain.size() == subjects_->size() &&
+      views_->num_relations == catalog_->num_relations()) {
+    return views_;
+  }
+  auto snapshot = std::make_shared<ViewSnapshot>();
   size_t n = subjects_->size();
-  plain_views_.assign(n, AttrSet{});
-  enc_views_.assign(n, AttrSet{});
-  for (SubjectId s = 0; s < n; ++s) {
-    for (RelId r = 0; r < catalog_->num_relations(); ++r) {
-      std::optional<Authorization> a = Effective(r, s);
-      if (!a.has_value()) continue;
-      plain_views_[s].InsertAll(a->plain);
-      enc_views_[s].InsertAll(a->enc);
+  snapshot->plain.assign(n, AttrSet{});
+  snapshot->enc.assign(n, AttrSet{});
+  snapshot->num_relations = catalog_->num_relations();
+  for (RelId r = 0; r < catalog_->num_relations(); ++r) {
+    snapshot->grantable.InsertAll(catalog_->Get(r).schema.Attrs());
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (SubjectId s = 0; s < n; ++s) {
+      for (RelId r = 0; r < catalog_->num_relations(); ++r) {
+        std::optional<Authorization> a = EffectiveLocked(r, s);
+        if (!a.has_value()) continue;
+        snapshot->plain[s].InsertAll(a->plain);
+        snapshot->enc[s].InsertAll(a->enc);
+      }
     }
   }
-  views_valid_ = true;
+  views_ = snapshot;
+  return snapshot;
 }
 
 AttrSet Policy::PlainView(SubjectId subject) const {
-  EnsureViews();
-  return subject < plain_views_.size() ? plain_views_[subject] : AttrSet{};
+  auto views = Views();
+  return subject < views->plain.size() ? views->plain[subject] : AttrSet{};
 }
 
 AttrSet Policy::EncView(SubjectId subject) const {
-  EnsureViews();
-  return subject < enc_views_.size() ? enc_views_[subject] : AttrSet{};
+  auto views = Views();
+  return subject < views->enc.size() ? views->enc[subject] : AttrSet{};
 }
 
 Status Policy::CheckAuthorized(SubjectId subject,
                                const RelationProfile& profile) const {
-  EnsureViews();
+  auto views = Views();
   const AttrRegistry& reg = catalog_->attrs();
-  const AttrSet& ps = plain_views_[subject];
-  const AttrSet& es = enc_views_[subject];
+  const AttrSet& ps = views->plain[subject];
+  const AttrSet& es = views->enc[subject];
+
+  // Def 4.1 ranges over grantable attributes: outputs the binder interns for
+  // derived values (count(*) and aliased aggregates) belong to no base
+  // relation, cannot appear in any rule, and are plaintext counters whose
+  // *inputs* are checked at the node computing them (cf. the count comment
+  // in profile propagation) — so they are excluded from the conditions.
+  const AttrSet& grantable = views->grantable;
 
   // Condition 1: Rvp ∪ Rip ⊆ P_S.
-  AttrSet plain_needed = profile.vp.Union(profile.ip);
+  AttrSet plain_needed = profile.vp.Union(profile.ip).Intersect(grantable);
   if (!plain_needed.IsSubsetOf(ps)) {
     AttrSet missing = plain_needed.Difference(ps);
     return Status::Unauthorized(StrFormat(
@@ -122,7 +243,7 @@ Status Policy::CheckAuthorized(SubjectId subject,
   }
 
   // Condition 2: Rve ∪ Rie ⊆ P_S ∪ E_S.
-  AttrSet enc_needed = profile.ve.Union(profile.ie);
+  AttrSet enc_needed = profile.ve.Union(profile.ie).Intersect(grantable);
   AttrSet either = ps.Union(es);
   if (!enc_needed.IsSubsetOf(either)) {
     AttrSet missing = enc_needed.Difference(either);
@@ -135,7 +256,8 @@ Status Policy::CheckAuthorized(SubjectId subject,
   // A ⊆ E_S. Note the sets are the *specified* grants — a class mixing a
   // plaintext-granted and an encrypted-granted attribute fails (the paper's
   // insurance-company example).
-  for (const AttrSet& cls : profile.eq.Classes()) {
+  for (const AttrSet& full_cls : profile.eq.Classes()) {
+    AttrSet cls = full_cls.Intersect(grantable);
     if (cls.IsSubsetOf(ps) || cls.IsSubsetOf(es)) continue;
     return Status::Unauthorized(StrFormat(
         "%s has non-uniform visibility over equivalent attributes {%s} "
@@ -155,6 +277,7 @@ Status Policy::CheckAssignee(
 }
 
 std::vector<Authorization> Policy::AllRules() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<Authorization> out;
   out.reserve(explicit_.size() + any_.size());
   for (const auto& [_, a] : explicit_) out.push_back(a);

@@ -4,12 +4,23 @@
 // the Policy class aggregates them into the overall per-subject views
 // P_S / E_S used by the enforcement algorithms (Sec 4), resolving the `any`
 // default per relation for subjects lacking an explicit rule.
+//
+// Concurrency: a Policy may be read (Effective / views / checks) from many
+// threads while another thread mutates it (Grant / Revoke). Every mutation
+// advances a monotonically increasing *epoch*, published only after the rule
+// change is visible — a reader that observes epoch e sees a policy state at
+// least as new as the mutation that produced e, which is what lets serving
+// layers key cached authorization decisions by epoch (see src/service/).
 
 #ifndef MPQ_AUTHZ_POLICY_H_
 #define MPQ_AUTHZ_POLICY_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "authz/authorization.h"
@@ -26,12 +37,30 @@ class Policy {
   Policy(const Catalog* catalog, const SubjectRegistry* subjects)
       : catalog_(catalog), subjects_(subjects) {}
 
+  Policy(const Policy& other);
+  Policy& operator=(const Policy& other);
+  Policy(Policy&& other) noexcept;
+  Policy& operator=(Policy&& other) noexcept;
+
   /// Grants [plain, enc] -> subject on `rel`. Enforces Def 2.1: P ∩ E = ∅,
   /// P,E ⊆ attributes of rel, and at most one rule per (rel, subject).
   Status Grant(RelId rel, SubjectId subject, AttrSet plain, AttrSet enc);
 
   /// Grants the `any` default rule for `rel` (at most one per relation).
   Status GrantAny(RelId rel, AttrSet plain, AttrSet enc);
+
+  /// Removes the explicit rule of (rel, subject); the subject falls back to
+  /// the relation's `any` rule, or to no visibility. kNotFound when absent.
+  Status Revoke(RelId rel, SubjectId subject);
+
+  /// Removes the `any` default rule of `rel`. kNotFound when absent.
+  Status RevokeAny(RelId rel);
+
+  /// Monotonically increasing policy version. Starts at 1; every successful
+  /// Grant / GrantAny / Revoke / RevokeAny advances it *after* the mutation
+  /// is visible, so any decision derived under an observed epoch is at least
+  /// as old as the policy state behind that epoch — never newer-keyed.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// The rule applying to (rel, subject): the explicit rule if present,
   /// otherwise the relation's `any` rule, otherwise nullopt (no visibility —
@@ -48,15 +77,17 @@ class Policy {
 
   /// Def 4.1: is `subject` authorized for a relation with `profile`?
   /// Returns OK, or kUnauthorized explaining the first failed condition.
-  Status CheckAuthorized(SubjectId subject, const RelationProfile& profile) const;
+  Status CheckAuthorized(SubjectId subject,
+                         const RelationProfile& profile) const;
   bool IsAuthorized(SubjectId subject, const RelationProfile& profile) const {
     return CheckAuthorized(subject, profile).ok();
   }
 
   /// Def 4.2: is `subject` an authorized assignee of a node producing
   /// `result` from operands `operands`?
-  Status CheckAssignee(SubjectId subject, const RelationProfile& result,
-                       const std::vector<const RelationProfile*>& operands) const;
+  Status CheckAssignee(
+      SubjectId subject, const RelationProfile& result,
+      const std::vector<const RelationProfile*>& operands) const;
 
   /// All authorizations, for display.
   std::vector<Authorization> AllRules() const;
@@ -65,19 +96,41 @@ class Policy {
   const SubjectRegistry& subjects() const { return *subjects_; }
 
  private:
-  Status ValidateRule(RelId rel, const AttrSet& plain, const AttrSet& enc) const;
+  /// Immutable memoized overall views, one entry per subject id. Rebuilt on
+  /// demand and swapped atomically so readers never see a half-built vector.
+  struct ViewSnapshot {
+    std::vector<AttrSet> plain;
+    std::vector<AttrSet> enc;
+    /// Attributes belonging to some base relation — the domain of Def 4.1
+    /// (derived outputs interned by the binder are not grantable).
+    AttrSet grantable;
+    /// Catalog size the snapshot was built against; a registered relation
+    /// must invalidate `grantable`, or its attributes would be silently
+    /// excluded from the Def 4.1 conditions (deny flipped to allow).
+    size_t num_relations = 0;
+  };
+
+  Status ValidateRule(RelId rel, const AttrSet& plain,
+                      const AttrSet& enc) const;
   void InvalidateViews();
-  void EnsureViews() const;
+  std::shared_ptr<const ViewSnapshot> Views() const;
+  std::optional<Authorization> EffectiveLocked(RelId rel,
+                                               SubjectId subject) const;
 
   const Catalog* catalog_;
   const SubjectRegistry* subjects_;
+
+  /// Guards `explicit_` and `any_`. Lock order: `views_mu_` may be held when
+  /// taking `mu_` shared (snapshot rebuild); never the reverse — mutators
+  /// release `mu_` before invalidating the snapshot.
+  mutable std::shared_mutex mu_;
   std::map<std::pair<RelId, SubjectId>, Authorization> explicit_;
   std::map<RelId, Authorization> any_;
 
-  // Memoized overall views, one entry per subject id.
-  mutable bool views_valid_ = false;
-  mutable std::vector<AttrSet> plain_views_;
-  mutable std::vector<AttrSet> enc_views_;
+  std::atomic<uint64_t> epoch_{1};
+
+  mutable std::mutex views_mu_;
+  mutable std::shared_ptr<const ViewSnapshot> views_;  // guarded by views_mu_
 };
 
 }  // namespace mpq

@@ -45,8 +45,10 @@ Result<CandidatePlan> ComputeCandidates(const PlanNode* root,
 
     // Result profile assuming the minimum required views as operands.
     static const RelationProfile kEmpty;
-    const RelationProfile& l = nc.min_views.size() > 0 ? nc.min_views[0] : kEmpty;
-    const RelationProfile& r = nc.min_views.size() > 1 ? nc.min_views[1] : kEmpty;
+    const RelationProfile& l =
+        nc.min_views.size() > 0 ? nc.min_views[0] : kEmpty;
+    const RelationProfile& r =
+        nc.min_views.size() > 1 ? nc.min_views[1] : kEmpty;
     MPQ_ASSIGN_OR_RETURN(nc.cascade_profile,
                          PropagateProfile(n, l, r, catalog, {.strict = true}));
 

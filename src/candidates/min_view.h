@@ -22,7 +22,8 @@ RelationProfile MinRequiredView(const RelationProfile& operand,
 /// `child_visible` (the child's visible attributes): the operation's
 /// `needs_plaintext` requirement, plus — for encryption operators — the
 /// attributes being encrypted (one can only encrypt values one can read).
-AttrSet PlaintextNeededFromChild(const PlanNode* op, const AttrSet& child_visible);
+AttrSet PlaintextNeededFromChild(const PlanNode* op,
+                                 const AttrSet& child_visible);
 
 }  // namespace mpq
 

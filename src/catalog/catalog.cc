@@ -23,6 +23,7 @@ Result<RelId> Catalog::AddRelation(
   for (const Column& c : schema.columns()) rel_of_attr_[c.attr] = id;
   rels_.push_back(RelationDef{id, name, std::move(schema), owner, base_rows});
   by_name_.emplace(name, id);
+  ++version_;
   return id;
 }
 

@@ -41,12 +41,20 @@ class Catalog {
   /// Registers a relation whose columns are (name, type) pairs; column names
   /// are interned as attributes. Fails on duplicate relation or attribute
   /// name (attribute names are global in the paper's model).
-  Result<RelId> AddRelation(const std::string& name,
-                            const std::vector<std::pair<std::string, DataType>>& cols,
-                            SubjectId owner, double base_rows);
+  Result<RelId> AddRelation(
+      const std::string& name,
+      const std::vector<std::pair<std::string, DataType>>& cols,
+      SubjectId owner, double base_rows);
 
   RelId FindRelation(const std::string& name) const;
   const RelationDef& Get(RelId id) const;
+
+  /// Monotonically increasing schema version; starts at 1 and advances on
+  /// every successful AddRelation. Serving layers key cached plans by it so
+  /// a schema change invalidates all plans bound against the old catalog.
+  /// Registration is not thread-safe — mutate the catalog only while no
+  /// queries are being planned against it, or under external synchronization.
+  uint64_t version() const { return version_; }
 
   /// Relation owning attribute `a`, or kInvalidRel.
   RelId RelationOf(AttrId a) const;
@@ -56,6 +64,7 @@ class Catalog {
 
  private:
   AttrRegistry attrs_;
+  uint64_t version_ = 1;
   std::vector<RelationDef> rels_;
   std::unordered_map<std::string, RelId> by_name_;
   std::unordered_map<AttrId, RelId> rel_of_attr_;

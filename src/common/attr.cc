@@ -1,11 +1,47 @@
 #include "common/attr.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace mpq {
 
+AttrRegistry::AttrRegistry(const AttrRegistry& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  ids_ = other.ids_;
+  names_ = other.names_;
+}
+
+AttrRegistry& AttrRegistry::operator=(const AttrRegistry& other) {
+  if (this == &other) return *this;
+  AttrRegistry copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+AttrRegistry::AttrRegistry(AttrRegistry&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  ids_ = std::move(other.ids_);
+  names_ = std::move(other.names_);
+}
+
+AttrRegistry& AttrRegistry::operator=(AttrRegistry&& other) noexcept {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> mine(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> theirs(other.mu_, std::defer_lock);
+  std::lock(mine, theirs);
+  ids_ = std::move(other.ids_);
+  names_ = std::move(other.names_);
+  return *this;
+}
+
 AttrId AttrRegistry::Intern(const std::string& name) {
-  auto it = ids_.find(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(name);  // re-check: lost the race to another interner
   if (it != ids_.end()) return it->second;
   AttrId id = static_cast<AttrId>(names_.size());
   names_.push_back(name);
@@ -14,13 +50,22 @@ AttrId AttrRegistry::Intern(const std::string& name) {
 }
 
 AttrId AttrRegistry::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(name);
   return it == ids_.end() ? kInvalidAttr : it->second;
 }
 
 const std::string& AttrRegistry::Name(AttrId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(id < names_.size());
+  // Deque element references are stable under push_back, so the reference
+  // outlives the lock even with concurrent interning.
   return names_[id];
+}
+
+size_t AttrRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
 }
 
 }  // namespace mpq

@@ -10,9 +10,10 @@
 #define MPQ_COMMON_ATTR_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "common/status.h"
 
@@ -24,10 +25,20 @@ using AttrId = uint32_t;
 inline constexpr AttrId kInvalidAttr = static_cast<AttrId>(-1);
 
 /// Interns attribute names into dense ids. One registry per "universe"
-/// (typically one per scenario or test); not thread-safe.
+/// (typically one per scenario or test).
+///
+/// Thread-safe: Intern/Find/Name/size may be called concurrently — the
+/// binder interns synthetic aggregate-output attributes (count(*) aliases)
+/// while serving threads plan other statements against the same registry.
+/// Names live in a deque, so references returned by Name stay valid across
+/// concurrent growth.
 class AttrRegistry {
  public:
   AttrRegistry() = default;
+  AttrRegistry(const AttrRegistry& other);
+  AttrRegistry& operator=(const AttrRegistry& other);
+  AttrRegistry(AttrRegistry&& other) noexcept;
+  AttrRegistry& operator=(AttrRegistry&& other) noexcept;
 
   /// Interns `name`, returning its id (existing or new).
   AttrId Intern(const std::string& name);
@@ -39,11 +50,12 @@ class AttrRegistry {
   const std::string& Name(AttrId id) const;
 
   /// Number of interned attributes (== universe size for AttrSet).
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, AttrId> ids_;
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;
 };
 
 }  // namespace mpq

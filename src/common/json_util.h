@@ -1,0 +1,52 @@
+// Minimal JSON writer: enough to dump metrics structs and benchmark results
+// as machine-readable files without an external dependency. Comma placement
+// is handled automatically; numbers render round-trippably.
+
+#ifndef MPQ_COMMON_JSON_UTIL_H_
+#define MPQ_COMMON_JSON_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpq {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+std::string JsonEscape(const std::string& s);
+
+/// Streaming writer building a JSON document in memory.
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("hits").UInt(3);
+///   w.Key("p50_ms").Double(0.21).EndObject();
+///   std::string doc = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. The writer is left empty.
+  std::string TakeString();
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: whether a value was already emitted (a
+  /// comma is needed before the next one).
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_JSON_UTIL_H_

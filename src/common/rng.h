@@ -32,7 +32,8 @@ class Rng {
 
   /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
   int64_t Range(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+    return lo +
+           static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
   }
 
   /// Uniform double in [0, 1).

@@ -6,7 +6,8 @@
 
 namespace mpq {
 
-std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
   std::string out;
   for (size_t i = 0; i < parts.size(); ++i) {
     if (i > 0) out += sep;
@@ -32,13 +33,17 @@ std::vector<std::string> Split(const std::string& s, char sep) {
 
 std::string ToLower(const std::string& s) {
   std::string out = s;
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
 std::string ToUpper(const std::string& s) {
   std::string out = s;
-  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
@@ -64,6 +69,17 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(ap2);
   return out;
+}
+
+std::string ShortestRoundTripDouble(double v) {
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double parsed;
+    if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 }  // namespace mpq

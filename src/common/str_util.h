@@ -24,7 +24,12 @@ std::string ToUpper(const std::string& s);
 std::string Trim(const std::string& s);
 
 /// printf-style formatting into a std::string.
-std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Shortest printf-%g rendering of a finite double that parses back to
+/// exactly `v` (canonical cache keys, JSON output).
+std::string ShortestRoundTripDouble(double v);
 
 }  // namespace mpq
 

@@ -21,13 +21,15 @@ namespace mpq {
 /// Encrypts `plaintext` with `key`. `nonce` must be unique per call for
 /// randomized encryption, or PRF-derived for deterministic encryption.
 /// Layout: 8-byte little-endian nonce, then the XOR-masked plaintext.
-std::string SymEncrypt(uint64_t key, uint64_t nonce, const std::string& plaintext);
+std::string SymEncrypt(uint64_t key, uint64_t nonce,
+                       const std::string& plaintext);
 
 /// Deterministic encryption: nonce = PRF(key, plaintext).
 std::string DetEncrypt(uint64_t key, const std::string& plaintext);
 
 /// Randomized encryption with caller-provided nonce source.
-std::string RndEncrypt(uint64_t key, uint64_t fresh_nonce, const std::string& plaintext);
+std::string RndEncrypt(uint64_t key, uint64_t fresh_nonce,
+                       const std::string& plaintext);
 
 /// Inverts SymEncrypt/DetEncrypt/RndEncrypt.
 Result<std::string> SymDecrypt(uint64_t key, const std::string& ciphertext);

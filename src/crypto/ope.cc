@@ -43,7 +43,9 @@ std::string OpeEncryptInt(uint64_t key, int64_t x) {
 }
 
 Result<int64_t> OpeDecryptInt(uint64_t key, const std::string& ct) {
-  if (ct.size() != 16) return Status::InvalidArgument("bad OPE ciphertext size");
+  if (ct.size() != 16) {
+    return Status::InvalidArgument("bad OPE ciphertext size");
+  }
   uint128 y = FromBigEndian(ct);
   uint64_t offset = static_cast<uint64_t>(y >> 16);
   int64_t x = static_cast<int64_t>(offset ^ (uint64_t{1} << 63));

@@ -33,7 +33,8 @@ Result<int64_t> OpeDecryptInt(uint64_t key, const std::string& ct);
 Result<std::string> OpeEncryptValue(uint64_t key, const Value& v);
 
 /// Decrypts to a Value of the given type.
-Result<Value> OpeDecryptValue(uint64_t key, const std::string& ct, DataType type);
+Result<Value> OpeDecryptValue(uint64_t key, const std::string& ct,
+                              DataType type);
 
 }  // namespace mpq
 

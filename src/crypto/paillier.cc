@@ -131,7 +131,9 @@ uint128 PaillierEncrypt(const PaillierKey& key, uint64_t m, uint64_t rand) {
 
 Result<uint64_t> PaillierDecrypt(const PaillierKey& key, uint128 c) {
   uint128 n2 = key.n2();
-  if (c == 0 || c >= n2) return Status::InvalidArgument("ciphertext out of range");
+  if (c == 0 || c >= n2) {
+    return Status::InvalidArgument("ciphertext out of range");
+  }
   uint128 x = PowMod(c, key.lambda, n2);
   // L(x) = (x - 1) / n.
   uint128 l = (x - 1) / key.n;

@@ -40,12 +40,14 @@ struct DispatchPlan {
 
 /// Builds the dispatch for an extended plan. Keys are attached per the
 /// Def 6.1 holder sets; every message is signed by `user`.
-Result<DispatchPlan> BuildDispatch(const ExtendedPlan& ext, const PlanKeys& keys,
-                                   const Policy& policy, SubjectId user);
+Result<DispatchPlan> BuildDispatch(const ExtendedPlan& ext,
+                                   const PlanKeys& keys, const Policy& policy,
+                                   SubjectId user);
 
 /// Simulated signature primitives (keyed-hash over the payload).
 uint64_t SignPayload(SubjectId signer, const std::string& payload);
-bool VerifySignature(SubjectId signer, const std::string& payload, uint64_t sig);
+bool VerifySignature(SubjectId signer, const std::string& payload,
+                     uint64_t sig);
 
 }  // namespace mpq
 

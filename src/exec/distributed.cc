@@ -46,9 +46,14 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
 
   // Each Run draws a fresh seed so re-running over changed data never
   // reuses a (key, nonce) pair; within one run, nonces are a deterministic
-  // function of (seed, node, attribute) only.
-  uint64_t run_seed = nonce_seed_;
-  nonce_seed_ = SplitMix64(nonce_seed_);
+  // function of (seed, node, attribute) only. The CAS loop preserves the
+  // SplitMix64 seed sequence while letting concurrent runs each claim a
+  // distinct seed.
+  uint64_t run_seed = nonce_seed_.load(std::memory_order_relaxed);
+  while (!nonce_seed_.compare_exchange_weak(run_seed, SplitMix64(run_seed),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+  }
 
   // Flatten the tree into dependency-edge scheduling state.
   std::vector<std::unique_ptr<NodeState>> nodes;
@@ -134,7 +139,7 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
     ExecContext ctx;
     ctx.catalog = catalog_;
     for (const auto& [rel, table] : base_tables_) {
-      ctx.base_tables[rel] = &table;
+      ctx.base_tables[rel] = table;
     }
     auto kr = keyrings_.find(s);
     ctx.keyring = kr == keyrings_.end() ? &kEmptyKeyring : &kr->second;

@@ -12,10 +12,16 @@
 // each other run concurrently, modelling subjects computing in parallel.
 // Stats are mutex-guarded and every node derives its nonce base from the
 // node id, so results and transfer bytes are identical at any thread count.
+//
+// Once configured (tables loaded, keys distributed, crypto plan set), Run may
+// be called concurrently from many threads: each call draws a fresh nonce
+// seed from an atomic counter and touches only call-local state, which is
+// what lets the serving layer execute one cached plan under many sessions.
 
 #ifndef MPQ_EXEC_DISTRIBUTED_H_
 #define MPQ_EXEC_DISTRIBUTED_H_
 
+#include <atomic>
 #include <map>
 
 #include "assign/schemes.h"
@@ -48,9 +54,19 @@ class DistributedRuntime {
   DistributedRuntime(const Catalog* catalog, const SubjectRegistry* subjects)
       : catalog_(catalog), subjects_(subjects) {}
 
-  /// Loads the data of a base relation (held by its owning authority).
+  /// Loads the data of a base relation (held by its owning authority),
+  /// taking ownership of a copy.
   void LoadTable(RelId rel, Table table) {
-    base_tables_[rel] = std::move(table);
+    owned_tables_[rel] = std::move(table);
+    base_tables_[rel] = &owned_tables_[rel];
+  }
+
+  /// Borrows the data of a base relation. The caller keeps `table` alive and
+  /// unchanged for the lifetime of the runtime — the serving layer uses this
+  /// so cached plans share one copy of the base data instead of duplicating
+  /// it per cache entry.
+  void LoadTableRef(RelId rel, const Table* table) {
+    base_tables_[rel] = table;
   }
 
   /// Distributes key material per the plan-key holders; the dispatcher
@@ -85,15 +101,18 @@ class DistributedRuntime {
  private:
   const Catalog* catalog_;
   const SubjectRegistry* subjects_;
-  std::map<RelId, Table> base_tables_;
+  std::map<RelId, Table> owned_tables_;
+  std::map<RelId, const Table*> base_tables_;
   std::map<SubjectId, KeyRing> keyrings_;
   KeyRing dispatcher_keyring_;
   std::unordered_map<uint64_t, uint64_t> public_modulus_;
   CryptoPlan crypto_;
   std::unordered_map<std::string, UdfImpl> udfs_;
   /// Seed for per-node nonce bases (each node n encrypts with nonces derived
-  /// from SplitMix64(seed, n->id), independent of scheduling order).
-  uint64_t nonce_seed_ = 0x243f6a8885a308d3ull;
+  /// from SplitMix64(seed, n->id), independent of scheduling order). Atomic:
+  /// concurrent Run calls each advance it once, so no two runs — parallel or
+  /// sequential — share a (key, nonce) pair.
+  std::atomic<uint64_t> nonce_seed_{0x243f6a8885a308d3ull};
   ThreadPool* pool_ = nullptr;
   size_t batch_size_ = Table::kDefaultBatchSize;
 };

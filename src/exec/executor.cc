@@ -36,9 +36,11 @@ Result<Cell> ConstForColumn(const ExecColumn& col, const Value& v,
   if (ctx->dispatcher_keyring == nullptr) {
     return Status::NotFound("no dispatcher keyring to encrypt constants");
   }
-  MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->dispatcher_keyring->Get(col.key_id));
+  MPQ_ASSIGN_OR_RETURN(KeyMaterial km,
+                       ctx->dispatcher_keyring->Get(col.key_id));
   MPQ_ASSIGN_OR_RETURN(
-      EncValue ev, EncryptValue(v, col.scheme, col.key_id, km, ctx->NextNonce()));
+      EncValue ev,
+      EncryptValue(v, col.scheme, col.key_id, km, ctx->NextNonce()));
   return Cell(std::move(ev));
 }
 
@@ -558,12 +560,13 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
             ev.aux = s.hom_count;
             row.push_back(Cell(std::move(ev)));
           } else if (agg.func == AggFunc::kAvg) {
-            row.push_back(Cell(
-                Value(s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0)));
+            row.push_back(Cell(Value(
+                s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0)));
           } else if (s.sum_is_double) {
             row.push_back(Cell(Value(s.sum)));
           } else {
-            row.push_back(Cell(Value(static_cast<int64_t>(std::llround(s.sum)))));
+            row.push_back(
+                Cell(Value(static_cast<int64_t>(std::llround(s.sum)))));
           }
           break;
         }

@@ -84,7 +84,9 @@ struct ExecContext {
   /// Zero is treated as one.
   size_t batch_size = Table::kDefaultBatchSize;
 
-  uint64_t NextNonce() { return nonce.fetch_add(1, std::memory_order_relaxed) + 1; }
+  uint64_t NextNonce() {
+    return nonce.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   /// Nonce base for encrypting column `attr` of node `node_id`: row r uses
   /// `base + r`. Deterministic in (seed, node, attribute) — independent of

@@ -220,7 +220,8 @@ Result<BuiltSubtree> BuildRec(const PlanNode* n, BuildCtx* ctx) {
       sub->id = -1;
       ctx->enc_attrs.InsertAll(enc_sets[i]);
       MPQ_ASSIGN_OR_RETURN(
-          prof, PropagateProfile(sub.get(), prof, {}, catalog, {.strict = true}));
+          prof,
+          PropagateProfile(sub.get(), prof, {}, catalog, {.strict = true}));
       sub->profile = prof;
       // New node ids are assigned later; stash the subject in the (unused)
       // udf_name field until ids exist, then move it into the assignment.
@@ -230,7 +231,8 @@ Result<BuiltSubtree> BuildRec(const PlanNode* n, BuildCtx* ctx) {
       sub = Decrypt(std::move(sub), dec_sets[i]);
       sub->id = -1;
       MPQ_ASSIGN_OR_RETURN(
-          prof, PropagateProfile(sub.get(), prof, {}, catalog, {.strict = true}));
+          prof,
+          PropagateProfile(sub.get(), prof, {}, catalog, {.strict = true}));
       sub->profile = prof;
       sub->udf_name = std::to_string(sn);  // stash subject
     }

@@ -60,7 +60,8 @@ Result<ExtendedPlan> BuildMinimallyExtendedPlan(
 /// Verifies that `lambda` is an authorized assignment for the (annotated)
 /// extended plan per Def 4.2: every assignee is authorized for its operands
 /// and its result. Used by tests of Theorem 5.3(i).
-Status VerifyAuthorizedAssignment(const ExtendedPlan& ext, const Policy& policy);
+Status VerifyAuthorizedAssignment(const ExtendedPlan& ext,
+                                  const Policy& policy);
 
 }  // namespace mpq
 

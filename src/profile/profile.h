@@ -41,7 +41,9 @@ struct RelationProfile {
   AttrSet Implicit() const;
 
   bool operator==(const RelationProfile& other) const;
-  bool operator!=(const RelationProfile& other) const { return !(*this == other); }
+  bool operator!=(const RelationProfile& other) const {
+    return !(*this == other);
+  }
 
   /// "v:SDT|CP i:D ≃:{SC}" rendering (encrypted parts bracketed).
   std::string ToString(const AttrRegistry& reg) const;

@@ -173,8 +173,10 @@ Status AnnotatePlan(PlanNode* root, const Catalog& catalog,
                     const PropagateOptions& opts) {
   for (PlanNode* n : PostOrder(root)) {
     static const RelationProfile kEmpty;
-    const RelationProfile& l = n->num_children() > 0 ? n->child(0)->profile : kEmpty;
-    const RelationProfile& r = n->num_children() > 1 ? n->child(1)->profile : kEmpty;
+    const RelationProfile& l =
+        n->num_children() > 0 ? n->child(0)->profile : kEmpty;
+    const RelationProfile& r =
+        n->num_children() > 1 ? n->child(1)->profile : kEmpty;
     MPQ_ASSIGN_OR_RETURN(n->profile, PropagateProfile(n, l, r, catalog, opts));
   }
   return Status::OK();

@@ -1,0 +1,71 @@
+// Serving metrics: lock-free log-bucketed latency histograms (p50/p95/p99),
+// cache and admission counters, and a JSON dump for dashboards and the
+// benchmark harness.
+
+#ifndef MPQ_SERVICE_METRICS_H_
+#define MPQ_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mpq {
+
+/// Fixed-bucket latency histogram over [1 µs, ~64 s), four log-spaced
+/// sub-buckets per octave (≤ ~19% relative quantile error). Record is a
+/// single relaxed atomic increment, safe from any number of threads.
+class LatencyHistogram {
+ public:
+  void Record(double seconds);
+
+  /// Estimated quantile in seconds (`p` in [0, 1]); 0 when empty. Linear
+  /// interpolation inside the winning bucket.
+  double Quantile(double p) const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  static constexpr size_t kSubBuckets = 4;   ///< per octave
+  static constexpr size_t kOctaves = 26;     ///< 1 µs << 26 ≈ 67 s
+  static constexpr size_t kBuckets = kSubBuckets * kOctaves + 2;  // ± overflow
+
+  static size_t BucketOf(double seconds);
+  static double BucketLowerBound(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// A point-in-time snapshot of a QueryService's counters (plain values,
+/// safe to copy around).
+struct ServiceMetrics {
+  uint64_t queries = 0;        ///< Execute calls that reached execution.
+  uint64_t errors = 0;         ///< Execute calls returning non-OK.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_insertions = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_entries = 0;
+  uint64_t rows_returned = 0;
+  uint64_t transfer_bytes = 0;
+  uint64_t messages = 0;
+  /// Executes that blocked on the in-flight cap.
+  uint64_t admission_waits = 0;
+  size_t in_flight_peak = 0;
+  double hit_rate = 0;  ///< hits / (hits + misses), 0 when idle.
+
+  // End-to-end Execute latency, split by cache outcome (milliseconds).
+  double total_p50_ms = 0, total_p95_ms = 0, total_p99_ms = 0;
+  double hit_p50_ms = 0, hit_p95_ms = 0, hit_p99_ms = 0;
+  double miss_p50_ms = 0, miss_p95_ms = 0, miss_p99_ms = 0;
+
+  /// One-line-per-field JSON object.
+  std::string ToJson() const;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_SERVICE_METRICS_H_

@@ -1,0 +1,325 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "candidates/candidates.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "extend/keys.h"
+#include "profile/propagate.h"
+#include "sql/binder.h"
+#include "sql/normalize.h"
+#include "sql/parser.h"
+
+namespace mpq {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+size_t QueryService::PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
+  uint64_t h = std::hash<std::string>{}(k.normalized_sql);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(k.subject) + 1) *
+                         0x9e3779b97f4a7c15ull);
+  h = SplitMix64(h ^ k.catalog_version * 0xbf58476d1ce4e5b9ull);
+  h = SplitMix64(h ^ k.policy_epoch * 0x94d049bb133111ebull);
+  return static_cast<size_t>(h);
+}
+
+/// Blocks until the in-flight count drops below the cap, then holds a slot
+/// for the lifetime of the enclosing Execute.
+class QueryService::AdmissionSlot {
+ public:
+  explicit AdmissionSlot(QueryService* service) : service_(service) {
+    std::unique_lock<std::mutex> lock(service_->admission_mu_);
+    size_t cap = std::max<size_t>(1, service_->config_.max_in_flight);
+    if (service_->in_flight_ >= cap) {
+      service_->admission_waits_++;
+      service_->admission_cv_.wait(
+          lock, [&] { return service_->in_flight_ < cap; });
+    }
+    service_->in_flight_++;
+    service_->in_flight_peak_ =
+        std::max(service_->in_flight_peak_, service_->in_flight_);
+  }
+
+  ~AdmissionSlot() {
+    {
+      std::lock_guard<std::mutex> lock(service_->admission_mu_);
+      service_->in_flight_--;
+    }
+    service_->admission_cv_.notify_one();
+  }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  QueryService* service_;
+};
+
+QueryService::QueryService(const Catalog* catalog,
+                           const SubjectRegistry* subjects,
+                           const Policy* policy, const PricingTable* prices,
+                           const Topology* topology, ServiceConfig config)
+    : catalog_(catalog),
+      subjects_(subjects),
+      policy_(policy),
+      prices_(prices),
+      topology_(topology),
+      config_(config),
+      cache_(config.cache_shards, config.cache_capacity_per_shard) {
+  if (config_.exec_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.exec_threads);
+  }
+}
+
+QueryService::~QueryService() = default;
+
+void QueryService::LoadTable(RelId rel, const Table* data) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  tables_[rel] = data;
+}
+
+Result<Session> QueryService::OpenSession(SubjectId subject) {
+  if (subject == kInvalidSubject || subject >= subjects_->size()) {
+    return Status::NotFound("cannot open session for unknown subject");
+  }
+  return Session(subject, next_session_id_.fetch_add(1));
+}
+
+Result<Session> QueryService::OpenSession(const std::string& subject_name) {
+  SubjectId subject = subjects_->Find(subject_name);
+  if (subject == kInvalidSubject) {
+    return Status::NotFound("cannot open session for unknown subject: " +
+                            subject_name);
+  }
+  return OpenSession(subject);
+}
+
+Result<StatementHandle> QueryService::Prepare(const std::string& sql) {
+  MPQ_ASSIGN_OR_RETURN(std::string normalized, NormalizeSql(sql));
+  MPQ_ASSIGN_OR_RETURN(AstSelect ast, ParseSelect(normalized));
+  StatementHandle handle;
+  handle.id = next_statement_id_.fetch_add(1);
+  handle.normalized_sql = std::move(normalized);
+  handle.ast = std::make_shared<const AstSelect>(std::move(ast));
+  return handle;
+}
+
+Result<QueryResponse> QueryService::Execute(const StatementHandle& stmt,
+                                            const Session& session) {
+  if (stmt.normalized_sql.empty()) {
+    return Status::InvalidArgument("execute of an empty statement handle");
+  }
+  return ExecuteInternal(stmt.normalized_sql, stmt.ast.get(), session);
+}
+
+Result<QueryResponse> QueryService::ExecuteSql(const std::string& sql,
+                                               const Session& session) {
+  MPQ_ASSIGN_OR_RETURN(std::string normalized, NormalizeSql(sql));
+  // Parsing is deferred: a warm cache serves the query from the normalized
+  // text alone.
+  return ExecuteInternal(normalized, nullptr, session);
+}
+
+Result<std::shared_ptr<QueryService::PreparedPlan>>
+QueryService::BuildPreparedPlan(const std::string& normalized_sql,
+                                const AstSelect* ast, SubjectId subject,
+                                uint64_t policy_epoch,
+                                uint64_t catalog_version) {
+  AstSelect parsed;
+  if (ast == nullptr) {
+    MPQ_ASSIGN_OR_RETURN(parsed, ParseSelect(normalized_sql));
+    ast = &parsed;
+  }
+
+  auto entry = std::make_shared<PreparedPlan>();
+  entry->policy_epoch = policy_epoch;
+  entry->catalog_version = catalog_version;
+
+  // Bind + profile annotation.
+  MPQ_ASSIGN_OR_RETURN(entry->bound_plan, BindSelect(*ast, *catalog_));
+  MPQ_RETURN_NOT_OK(
+      DerivePlaintextNeeds(entry->bound_plan.get(), *catalog_, config_.caps));
+  MPQ_RETURN_NOT_OK(AnnotatePlan(entry->bound_plan.get(), *catalog_));
+
+  // The session subject receives the result: it needs at least encrypted
+  // visibility over every result attribute (the extension layer encrypts
+  // the recipient's encrypted-only attributes before delivery). Checking
+  // here turns "no authorized delivery exists" into a crisp kUnauthorized
+  // instead of a downstream optimizer failure.
+  const RelationProfile& root_profile = entry->bound_plan->profile;
+  AttrSet result_attrs;
+  root_profile.vp.Union(root_profile.ve).ForEach([&](AttrId a) {
+    // Derived outputs (count(*), aliases) belong to no relation and are not
+    // grantable; their inputs are authorization-checked where computed.
+    if (catalog_->RelationOf(a) != kInvalidRel) result_attrs.Insert(a);
+  });
+  AttrSet recipient_view =
+      policy_->PlainView(subject).Union(policy_->EncView(subject));
+  if (!result_attrs.IsSubsetOf(recipient_view)) {
+    AttrSet missing = result_attrs.Difference(recipient_view);
+    return Status::Unauthorized(StrFormat(
+        "%s is not authorized to receive the query result: no visibility "
+        "over [%s]",
+        subjects_->Name(subject).c_str(),
+        missing.ToString(catalog_->attrs()).c_str()));
+  }
+
+  // Candidates + minimum-cost authorized assignment.
+  MPQ_ASSIGN_OR_RETURN(CandidatePlan cp,
+                       ComputeCandidates(entry->bound_plan.get(), *policy_));
+  SchemeMap schemes =
+      AnalyzeSchemes(entry->bound_plan.get(), *catalog_, config_.caps);
+  CostModel cost_model(catalog_, prices_, topology_, &schemes);
+  AssignmentOptimizer optimizer(policy_, &cost_model);
+  MPQ_ASSIGN_OR_RETURN(
+      entry->assignment,
+      optimizer.Optimize(entry->bound_plan.get(), cp, subject));
+  // Defense in depth: never cache a plan that does not verify under the
+  // policy state it will be keyed by.
+  MPQ_RETURN_NOT_OK(
+      VerifyAuthorizedAssignment(entry->assignment.extended, *policy_));
+
+  // Keys + a runtime ready for repeated concurrent execution.
+  entry->keys = DeriveQueryPlanKeys(entry->assignment.extended);
+  entry->runtime = std::make_unique<DistributedRuntime>(catalog_, subjects_);
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    for (const auto& [rel, table] : tables_) {
+      entry->runtime->LoadTableRef(rel, table);
+    }
+  }
+  uint64_t seed = SplitMix64(config_.key_seed ^
+                             std::hash<std::string>{}(normalized_sql));
+  seed = SplitMix64(seed ^
+                    (static_cast<uint64_t>(subject) + 1) * 0x100000001b3ull ^
+                    policy_epoch);
+  entry->runtime->DistributeKeys(entry->keys, subject, seed);
+  entry->runtime->SetCryptoPlan(
+      MakeCryptoPlan(entry->assignment.refined_schemes, entry->keys));
+  entry->runtime->SetThreadPool(pool_.get());
+  entry->runtime->SetBatchSize(config_.batch_size);
+  return entry;
+}
+
+Result<QueryResponse> QueryService::ExecuteInternal(
+    const std::string& normalized_sql, const AstSelect* ast,
+    const Session& session) {
+  auto t0 = Clock::now();
+  if (session.subject() == kInvalidSubject ||
+      session.subject() >= subjects_->size()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("execute without a valid session");
+  }
+  AdmissionSlot slot(this);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  // The epoch/version pair is read once, up front: every request that starts
+  // after a policy or schema mutation returns is keyed past the stale
+  // entries, which therefore can never serve it.
+  PlanCacheKey key;
+  key.normalized_sql = normalized_sql;
+  key.subject = session.subject();
+  key.catalog_version = catalog_->version();
+  key.policy_epoch = policy_->epoch();
+
+  std::shared_ptr<PreparedPlan> entry = cache_.Get(key);
+  CacheOutcome outcome = entry ? CacheOutcome::kHit : CacheOutcome::kMiss;
+  if (entry == nullptr) {
+    auto built = BuildPreparedPlan(normalized_sql, ast, session.subject(),
+                                   key.policy_epoch, key.catalog_version);
+    if (!built.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return built.status();
+    }
+    if (policy_->epoch() == key.policy_epoch &&
+        catalog_->version() == key.catalog_version) {
+      entry = cache_.PutIfAbsent(key, std::move(*built));
+    } else {
+      // The policy or schema moved while we were planning; the plan is fine
+      // for this in-flight request (concurrent with the mutation) but must
+      // not be memoized under a key it might no longer be authorized for.
+      entry = std::move(*built);
+    }
+  }
+  double plan_s = SecondsSince(t0);
+
+  auto t1 = Clock::now();
+  Result<DistributedResult> run =
+      entry->runtime->Run(entry->assignment.extended, session.subject());
+  if (!run.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return run.status();
+  }
+  double exec_s = SecondsSince(t1);
+  double total_s = SecondsSince(t0);
+
+  rows_returned_.fetch_add(run->result.num_rows(), std::memory_order_relaxed);
+  transfer_bytes_.fetch_add(run->total_transfer_bytes,
+                            std::memory_order_relaxed);
+  messages_.fetch_add(run->num_messages, std::memory_order_relaxed);
+  latency_total_.Record(total_s);
+  (outcome == CacheOutcome::kHit ? latency_hit_ : latency_miss_)
+      .Record(total_s);
+
+  QueryResponse response;
+  response.table = std::move(run->result);
+  response.stats.total_s = total_s;
+  response.stats.plan_s = plan_s;
+  response.stats.exec_s = exec_s;
+  response.stats.cache = outcome;
+  response.stats.policy_epoch = entry->policy_epoch;
+  response.stats.catalog_version = entry->catalog_version;
+  response.stats.result_rows = response.table.num_rows();
+  response.stats.transfer_bytes = run->total_transfer_bytes;
+  response.stats.num_messages = run->num_messages;
+  response.stats.planned_cost_usd = entry->assignment.exact_cost.total_usd();
+  return response;
+}
+
+ServiceMetrics QueryService::Metrics() const {
+  ServiceMetrics m;
+  m.queries = queries_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
+  auto cache_stats = cache_.GetStats();
+  m.cache_hits = cache_stats.hits;
+  m.cache_misses = cache_stats.misses;
+  m.cache_insertions = cache_stats.insertions;
+  m.cache_evictions = cache_stats.evictions;
+  m.cache_entries = cache_stats.entries;
+  uint64_t lookups = cache_stats.hits + cache_stats.misses;
+  m.hit_rate = lookups == 0
+                   ? 0
+                   : static_cast<double>(cache_stats.hits) /
+                         static_cast<double>(lookups);
+  m.rows_returned = rows_returned_.load(std::memory_order_relaxed);
+  m.transfer_bytes = transfer_bytes_.load(std::memory_order_relaxed);
+  m.messages = messages_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    m.admission_waits = admission_waits_;
+    m.in_flight_peak = in_flight_peak_;
+  }
+  m.total_p50_ms = latency_total_.Quantile(0.50) * 1e3;
+  m.total_p95_ms = latency_total_.Quantile(0.95) * 1e3;
+  m.total_p99_ms = latency_total_.Quantile(0.99) * 1e3;
+  m.hit_p50_ms = latency_hit_.Quantile(0.50) * 1e3;
+  m.hit_p95_ms = latency_hit_.Quantile(0.95) * 1e3;
+  m.hit_p99_ms = latency_hit_.Quantile(0.99) * 1e3;
+  m.miss_p50_ms = latency_miss_.Quantile(0.50) * 1e3;
+  m.miss_p95_ms = latency_miss_.Quantile(0.95) * 1e3;
+  m.miss_p99_ms = latency_miss_.Quantile(0.99) * 1e3;
+  return m;
+}
+
+std::string QueryService::MetricsJson() const { return Metrics().ToJson(); }
+
+}  // namespace mpq

@@ -1,0 +1,225 @@
+// QueryService: the concurrent multi-tenant serving front half of the whole
+// pipeline — SQL in, authorized minimum-cost distributed execution out.
+//
+// The expensive front half (parse → bind → authorize → candidate enumeration
+// → assignment optimization → key derivation) runs once per distinct
+// (statement, subject, catalog version, policy epoch) and is memoized in a
+// mutex-striped LRU cache; repeated queries pay only distributed execution.
+//
+// Safety invariant: a cached plan never executes under a policy it was not
+// authorized against. The cache key embeds the policy epoch and catalog
+// version observed when the request started; any Grant/Revoke or schema
+// change advances the epoch/version, so every request beginning after the
+// mutation returns misses the stale entry and re-plans (stale entries become
+// unreachable and age out of the LRU). tests/service_test.cc proves this.
+
+#ifndef MPQ_SERVICE_QUERY_SERVICE_H_
+#define MPQ_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "assign/assignment.h"
+#include "authz/policy.h"
+#include "common/thread_pool.h"
+#include "exec/distributed.h"
+#include "net/pricing.h"
+#include "net/topology.h"
+#include "service/metrics.h"
+#include "service/sharded_cache.h"
+#include "sql/ast.h"
+
+namespace mpq {
+
+/// Serving knobs.
+struct ServiceConfig {
+  size_t cache_shards = 8;               ///< Mutex stripes of the plan cache.
+  size_t cache_capacity_per_shard = 32;  ///< LRU entries per stripe.
+  /// Admission control: maximum concurrent Executes.
+  size_t max_in_flight = 256;
+  size_t exec_threads = 0;  ///< Workers of the shared pool (0 = inline).
+  size_t batch_size = 1024;  ///< Rows per executor batch.
+  uint64_t key_seed = 2025;           ///< Base seed for per-plan key material.
+  SchemeCaps caps;                    ///< Encrypted-execution capabilities.
+};
+
+/// How a request's plan was obtained.
+enum class CacheOutcome { kHit, kMiss };
+
+/// Per-query serving statistics, returned with every response.
+struct QueryStats {
+  double total_s = 0;   ///< End-to-end Execute latency (incl. admission wait).
+  double plan_s = 0;    ///< Cache lookup + (on miss) the whole front half.
+  double exec_s = 0;    ///< Distributed execution.
+  CacheOutcome cache = CacheOutcome::kMiss;
+  uint64_t policy_epoch = 0;     ///< Epoch the plan is authorized against.
+  uint64_t catalog_version = 0;  ///< Catalog version the plan is bound against.
+  size_t result_rows = 0;
+  uint64_t transfer_bytes = 0;   ///< Bytes crossing assignee boundaries.
+  size_t num_messages = 0;
+  double planned_cost_usd = 0;   ///< The optimizer's exact plan cost.
+};
+
+/// A query result plus its serving stats.
+struct QueryResponse {
+  Table table;
+  QueryStats stats;
+};
+
+/// A prepared statement: canonicalized text plus the parsed AST, so repeated
+/// Executes skip lexing/parsing entirely. Cheap to copy; valid for the
+/// lifetime of the service that produced it.
+struct StatementHandle {
+  uint64_t id = 0;
+  std::string normalized_sql;
+  std::shared_ptr<const AstSelect> ast;
+};
+
+/// An authenticated serving session. The subject identity carried here flows
+/// into authorization: plans are optimized and checked with this subject as
+/// the query issuer and result recipient.
+class Session {
+ public:
+  Session() = default;
+
+  SubjectId subject() const { return subject_; }
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class QueryService;
+  Session(SubjectId subject, uint64_t id) : subject_(subject), id_(id) {}
+
+  SubjectId subject_ = kInvalidSubject;
+  uint64_t id_ = 0;
+};
+
+/// The serving subsystem. All methods are safe to call concurrently; the
+/// referenced catalog/subjects/policy/pricing/topology must outlive the
+/// service (the policy may be mutated concurrently — that is the point of
+/// the epoch machinery).
+class QueryService {
+ public:
+  QueryService(const Catalog* catalog, const SubjectRegistry* subjects,
+               const Policy* policy, const PricingTable* prices,
+               const Topology* topology, ServiceConfig config = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers the data of a base relation (borrowed; the caller keeps it
+  /// alive and unchanged while the service runs). Safe to call concurrently
+  /// with Execute; plans cached before the call keep serving from the
+  /// tables they were built against.
+  void LoadTable(RelId rel, const Table* data);
+
+  /// Opens a session for a registered subject.
+  Result<Session> OpenSession(SubjectId subject);
+  Result<Session> OpenSession(const std::string& subject_name);
+
+  /// Validates and canonicalizes `sql` into a reusable handle. Does not
+  /// touch authorization — that happens per Execute, per session.
+  Result<StatementHandle> Prepare(const std::string& sql);
+
+  /// Executes a prepared statement under `session`'s identity.
+  Result<QueryResponse> Execute(const StatementHandle& stmt,
+                                const Session& session);
+
+  /// One-shot convenience: normalize + (cached) plan + execute.
+  Result<QueryResponse> ExecuteSql(const std::string& sql,
+                                   const Session& session);
+
+  /// Point-in-time counters and latency percentiles.
+  ServiceMetrics Metrics() const;
+
+  /// Metrics as a JSON object.
+  std::string MetricsJson() const;
+
+  /// Entries currently cached (for tests).
+  size_t CacheEntries() const { return cache_.GetStats().entries; }
+
+  /// Drops every cached plan (metrics survive).
+  void InvalidateCache() { cache_.Clear(); }
+
+  const ServiceConfig& config() const { return config_; }
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  struct PlanCacheKey {
+    std::string normalized_sql;
+    SubjectId subject = kInvalidSubject;
+    uint64_t catalog_version = 0;
+    uint64_t policy_epoch = 0;
+
+    bool operator==(const PlanCacheKey& o) const {
+      return subject == o.subject && catalog_version == o.catalog_version &&
+             policy_epoch == o.policy_epoch &&
+             normalized_sql == o.normalized_sql;
+    }
+  };
+  struct PlanCacheKeyHash {
+    size_t operator()(const PlanCacheKey& k) const;
+  };
+
+  /// One memoized front-half result: the authorized minimum-cost extended
+  /// plan and a runtime ready to execute it (tables borrowed, keys
+  /// distributed, crypto plan installed). Immutable after construction
+  /// except the runtime's atomic nonce sequence — concurrent Run is safe.
+  struct PreparedPlan {
+    PlanPtr bound_plan;  ///< Keeps original nodes alive for the extended tree.
+    AssignmentResult assignment;
+    PlanKeys keys;
+    std::unique_ptr<DistributedRuntime> runtime;
+    uint64_t policy_epoch = 0;
+    uint64_t catalog_version = 0;
+  };
+
+  /// RAII admission-control slot; blocks in the constructor until the
+  /// in-flight count drops below the configured cap.
+  class AdmissionSlot;
+
+  Result<QueryResponse> ExecuteInternal(const std::string& normalized_sql,
+                                        const AstSelect* ast,
+                                        const Session& session);
+  Result<std::shared_ptr<PreparedPlan>> BuildPreparedPlan(
+      const std::string& normalized_sql, const AstSelect* ast,
+      SubjectId subject, uint64_t policy_epoch, uint64_t catalog_version);
+
+  const Catalog* catalog_;
+  const SubjectRegistry* subjects_;
+  const Policy* policy_;
+  const PricingTable* prices_;
+  const Topology* topology_;
+  ServiceConfig config_;
+
+  mutable std::mutex tables_mu_;
+  std::map<RelId, const Table*> tables_;  // guarded by tables_mu_
+  std::unique_ptr<ThreadPool> pool_;
+  ShardedLruCache<PlanCacheKey, PreparedPlan, PlanCacheKeyHash> cache_;
+
+  // Admission control.
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t in_flight_ = 0;          // guarded by admission_mu_
+  size_t in_flight_peak_ = 0;     // guarded by admission_mu_
+  uint64_t admission_waits_ = 0;  // guarded by admission_mu_
+
+  // Metrics.
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> rows_returned_{0};
+  std::atomic<uint64_t> transfer_bytes_{0};
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> next_statement_id_{1};
+  LatencyHistogram latency_total_;
+  LatencyHistogram latency_hit_;
+  LatencyHistogram latency_miss_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,127 @@
+// A mutex-striped LRU cache: the key space is hashed over N independent
+// shards so concurrent sessions touching different statements never contend
+// on one lock. Values are shared_ptrs — a hit stays valid for the caller even
+// if the entry is evicted a microsecond later.
+
+#ifndef MPQ_SERVICE_SHARDED_CACHE_H_
+#define MPQ_SERVICE_SHARDED_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mpq {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  /// `num_shards` mutex-striped shards of `capacity_per_shard` LRU entries
+  /// each. Both are clamped to at least 1.
+  ShardedLruCache(size_t num_shards, size_t capacity_per_shard)
+      : capacity_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+    if (num_shards == 0) num_shards = 1;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  /// The cached value, moved to most-recently-used; nullptr on miss.
+  std::shared_ptr<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      shard.misses++;
+      return nullptr;
+    }
+    shard.hits++;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts `value` unless `key` is already present; returns the entry now
+  /// cached under `key` (the existing one on a lost race). Evicts the
+  /// least-recently-used entry of the shard when over capacity.
+  std::shared_ptr<Value> PutIfAbsent(const Key& key,
+                                     std::shared_ptr<Value> value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    shard.insertions++;
+    if (shard.lru.size() > capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      shard.evictions++;
+    }
+    return shard.lru.front().second;
+  }
+
+  /// Drops every entry (stat counters survive).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->index.clear();
+    }
+  }
+
+  /// Aggregated counters across shards.
+  Stats GetStats() const {
+    Stats out;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      out.hits += shard->hits;
+      out.misses += shard->misses;
+      out.insertions += shard->insertions;
+      out.evictions += shard->evictions;
+      out.entries += shard->lru.size();
+    }
+    return out;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t capacity_per_shard() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Key, std::shared_ptr<Value>>> lru;
+    std::unordered_map<Key,
+                       typename std::list<std::pair<
+                           Key, std::shared_ptr<Value>>>::iterator,
+                       Hash>
+        index;
+    uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_SERVICE_SHARDED_CACHE_H_

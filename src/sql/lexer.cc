@@ -1,6 +1,9 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -59,9 +62,25 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
       }
       std::string num = sql.substr(i, j - i);
       t.kind = TokKind::kNumber;
-      t.number = std::stod(num);
+      // strtod/strtoll instead of stod/stoll: library code never throws
+      // across the public API boundary, and untrusted serving-path SQL must
+      // not be able to abort the process with an oversized literal.
+      errno = 0;
+      t.number = std::strtod(num.c_str(), nullptr);
+      if (errno == ERANGE || !std::isfinite(t.number)) {
+        return Status::InvalidArgument(
+            StrFormat("numeric literal out of range at offset %zu", i));
+      }
       t.number_is_int = is_int;
-      if (is_int) t.int_value = std::stoll(num);
+      if (is_int) {
+        errno = 0;
+        long long v = std::strtoll(num.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument(
+              StrFormat("integer literal out of range at offset %zu", i));
+        }
+        t.int_value = v;
+      }
       i = j;
     } else if (c == '\'') {
       size_t j = i + 1;

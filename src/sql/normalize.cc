@@ -1,0 +1,97 @@
+#include "sql/normalize.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sql/lexer.h"
+
+namespace mpq {
+
+namespace {
+
+/// Shortest plain-decimal ("%f", never exponent form) rendering that parses
+/// back to exactly `v`. The lexer's number scanner accepts only digits and
+/// '.', so the normalized text must avoid "1e+20"-style spellings or it
+/// would not re-lex.
+std::string RenderDecimal(double v) {
+  char buf[400];  // %f of extreme doubles: ~310 integer + precision digits
+  for (int prec = 1; prec <= 350; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    double parsed;
+    if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17f", v);
+  return buf;
+}
+
+std::string RenderNumber(const Token& t) {
+  if (t.number_is_int) return std::to_string(t.int_value);
+  // Keep the double-ness visible ("100.0", not "100"): the normalized text
+  // must re-lex to the same token type, or normalization would change the
+  // statement's semantics. nearbyint (not an int64 cast) keeps the integral
+  // test defined for huge literals.
+  if (t.number == std::nearbyint(t.number)) {
+    char buf[400];
+    std::snprintf(buf, sizeof(buf), "%.1f", t.number);
+    return buf;
+  }
+  return RenderDecimal(t.number);
+}
+
+const char* RenderPunct(TokKind kind) {
+  switch (kind) {
+    case TokKind::kComma:
+      return ",";
+    case TokKind::kLParen:
+      return "(";
+    case TokKind::kRParen:
+      return ")";
+    case TokKind::kStar:
+      return "*";
+    case TokKind::kEq:
+      return "=";
+    case TokKind::kNe:
+      return "<>";
+    case TokKind::kLt:
+      return "<";
+    case TokKind::kLe:
+      return "<=";
+    case TokKind::kGt:
+      return ">";
+    case TokKind::kGe:
+      return ">=";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+Result<std::string> NormalizeSql(const std::string& sql) {
+  MPQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  std::string out;
+  out.reserve(sql.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kEnd) break;
+    if (!out.empty()) out += ' ';
+    switch (t.kind) {
+      case TokKind::kIdent:
+      case TokKind::kKeyword:
+        out += t.text;  // keywords arrive upper-cased from the lexer
+        break;
+      case TokKind::kNumber:
+        out += RenderNumber(t);
+        break;
+      case TokKind::kString:
+        out += '\'';
+        out += t.text;  // the dialect has no escapes inside literals
+        out += '\'';
+        break;
+      default:
+        out += RenderPunct(t.kind);
+    }
+  }
+  return out;
+}
+
+}  // namespace mpq

@@ -1,0 +1,22 @@
+// SQL text canonicalization for plan-cache keys: two queries that differ only
+// in whitespace, keyword case, or numeric spelling normalize to the same
+// string, so they share one cached plan.
+
+#ifndef MPQ_SQL_NORMALIZE_H_
+#define MPQ_SQL_NORMALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace mpq {
+
+/// Canonical single-line rendering of `sql`: tokens separated by single
+/// spaces, keywords upper-cased, numbers in shortest round-trip form,
+/// identifier case preserved (the binder resolves names case-sensitively).
+/// Fails when `sql` does not lex.
+Result<std::string> NormalizeSql(const std::string& sql);
+
+}  // namespace mpq
+
+#endif  // MPQ_SQL_NORMALIZE_H_

@@ -147,9 +147,10 @@ Result<RandomScenario> MakeRandomScenario(uint64_t seed,
     Subtree merged;
     merged.visible = l.visible.Union(r.visible);
     if (!li.empty() && !ri.empty()) {
-      std::vector<Predicate> preds = {
-          Predicate::AttrAttr(PickAttr(li, rng), CmpOp::kEq, PickAttr(ri, rng))};
-      merged.plan = Join(std::move(l.plan), std::move(r.plan), std::move(preds));
+      std::vector<Predicate> preds = {Predicate::AttrAttr(
+          PickAttr(li, rng), CmpOp::kEq, PickAttr(ri, rng))};
+      merged.plan =
+          Join(std::move(l.plan), std::move(r.plan), std::move(preds));
     } else {
       merged.plan = Cartesian(std::move(l.plan), std::move(r.plan));
     }

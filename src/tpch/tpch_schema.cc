@@ -19,8 +19,8 @@ TpchEnv MakeTpchEnv(double costing_sf, int num_providers) {
   env.auth_cust = *env.subjects.Register("A_cust", SubjectKind::kAuthority);
   env.auth_supp = *env.subjects.Register("A_supp", SubjectKind::kAuthority);
   for (int i = 1; i <= num_providers; ++i) {
-    env.providers.push_back(
-        *env.subjects.Register("P" + std::to_string(i), SubjectKind::kProvider));
+    env.providers.push_back(*env.subjects.Register(
+        "P" + std::to_string(i), SubjectKind::kProvider));
   }
 
   using C = std::pair<std::string, DataType>;

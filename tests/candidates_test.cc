@@ -109,11 +109,14 @@ TEST_F(CandidatesTest, Theorem51MonotonicityHolds) {
 TEST_F(CandidatesTest, CandidateSetsShrinkUpThePlan) {
   // Going up: σD (6) ⊇ join (5) ⊇ γ (5) ⊇ having (2).
   EXPECT_TRUE(cp_->at(PaperExample::kJoin)
-                  .candidates.IsSubsetOf(cp_->at(PaperExample::kSelectD).candidates));
-  EXPECT_TRUE(cp_->at(PaperExample::kGroupBy)
-                  .candidates.IsSubsetOf(cp_->at(PaperExample::kJoin).candidates));
-  EXPECT_TRUE(cp_->at(PaperExample::kHaving)
-                  .candidates.IsSubsetOf(cp_->at(PaperExample::kGroupBy).candidates));
+                  .candidates.IsSubsetOf(
+                      cp_->at(PaperExample::kSelectD).candidates));
+  EXPECT_TRUE(
+      cp_->at(PaperExample::kGroupBy)
+          .candidates.IsSubsetOf(cp_->at(PaperExample::kJoin).candidates));
+  EXPECT_TRUE(
+      cp_->at(PaperExample::kHaving)
+          .candidates.IsSubsetOf(cp_->at(PaperExample::kGroupBy).candidates));
 }
 
 TEST_F(CandidatesTest, EmptyCandidateSetIsAnErrorWhenRequired) {

@@ -169,9 +169,12 @@ TEST_F(EncValueTest, PaillierDoubleRoundTrip) {
 }
 
 TEST_F(EncValueTest, DetSupportsOnlyEquality) {
-  Cell a(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
-  Cell b(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 2));
-  Cell c(*EncryptValue(Value(int64_t{2}), EncScheme::kDeterministic, 1, km_, 3));
+  Cell a(
+      *EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
+  Cell b(
+      *EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 2));
+  Cell c(
+      *EncryptValue(Value(int64_t{2}), EncScheme::kDeterministic, 1, km_, 3));
   EXPECT_TRUE(*CompareCells(CmpOp::kEq, a, b));
   EXPECT_TRUE(*CompareCells(CmpOp::kNe, a, c));
   EXPECT_FALSE(CompareCells(CmpOp::kLt, a, c).ok());
@@ -196,15 +199,18 @@ TEST_F(EncValueTest, RndAndHomNotComparable) {
 
 TEST_F(EncValueTest, CrossKeyAndMixedComparisonsRejected) {
   KeyMaterial other = MakeKeyMaterial(11, 2);
-  Cell a(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
-  Cell b(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 2, other, 1));
+  Cell a(
+      *EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
+  Cell b(
+      *EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 2, other, 1));
   EXPECT_FALSE(CompareCells(CmpOp::kEq, a, b).ok());
   Cell plain(Value(int64_t{1}));
   EXPECT_FALSE(CompareCells(CmpOp::kEq, a, plain).ok());
 }
 
 TEST_F(EncValueTest, GroupKeysForDetAndOpeOnly) {
-  Cell det(*EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
+  Cell det(
+      *EncryptValue(Value(int64_t{1}), EncScheme::kDeterministic, 1, km_, 1));
   Cell ope(*EncryptValue(Value(int64_t{1}), EncScheme::kOpe, 1, km_, 1));
   Cell rnd(*EncryptValue(Value(int64_t{1}), EncScheme::kRandom, 1, km_, 1));
   EXPECT_TRUE(CellGroupKey(det).ok());

@@ -34,7 +34,8 @@ struct PaperExample {
   PlanPtr BuildQueryPlan() const {
     PlanBuilder b = builder();
     PlanPtr p = Project(b.Rel("Hosp"), b.Set("S,D,T"));
-    p = Select(std::move(p), {b.Pv("D", CmpOp::kEq, Value(std::string("stroke")))});
+    p = Select(std::move(p),
+               {b.Pv("D", CmpOp::kEq, Value(std::string("stroke")))});
     p = Join(std::move(p), b.Rel("Ins"), {b.Pa("S", CmpOp::kEq, "C")});
     p = GroupBy(std::move(p), b.Set("T"),
                 {Aggregate::Make(AggFunc::kAvg, b.A("P"))});

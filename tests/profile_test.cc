@@ -20,7 +20,9 @@ class ProfileTest : public ::testing::Test {
   }
   AttrSet Set(const char* csv) {
     AttrSet out;
-    for (const char* c = csv; *c; ++c) out.Insert(A(std::string(1, *c).c_str()));
+    for (const char* c = csv; *c; ++c) {
+      out.Insert(A(std::string(1, *c).c_str()));
+    }
     return out;
   }
   std::unique_ptr<PaperExample> ex_;
@@ -149,7 +151,8 @@ TEST_F(ProfileTest, UdfMergesInputsIntoEquivalence) {
 
 TEST_F(ProfileTest, CartesianUnionsProfiles) {
   PlanBuilder b = ex_->builder();
-  PlanPtr l = Select(b.Rel("Hosp"), {b.Pv("B", CmpOp::kGt, Value(int64_t{1980}))});
+  PlanPtr l =
+      Select(b.Rel("Hosp"), {b.Pv("B", CmpOp::kGt, Value(int64_t{1980}))});
   PlanPtr q = Cartesian(std::move(l), b.Rel("Ins"));
   AssignIds(q.get());
   ASSERT_TRUE(AnnotatePlan(q.get(), ex_->catalog).ok());

@@ -164,7 +164,8 @@ TEST_P(RandomScenarioTest, ExtendedExecutionMatchesPlaintext) {
   ASSERT_TRUE(ext.ok()) << ext.status().ToString();
 
   PlanKeys keys = DeriveQueryPlanKeys(*ext);
-  SchemeMap schemes = AnalyzeSchemes(sc->plan.get(), *sc->catalog, SchemeCaps{});
+  SchemeMap schemes =
+      AnalyzeSchemes(sc->plan.get(), *sc->catalog, SchemeCaps{});
   DistributedRuntime rt(sc->catalog.get(), sc->subjects.get());
   for (const auto& [rel, t] : data) rt.LoadTable(rel, t);
   rt.DistributeKeys(keys, sc->user, GetParam());

@@ -76,7 +76,8 @@ TEST_F(SchemesTest, RangeOnStringNeedsPlaintext) {
   PlanPtr p = Select(b.Rel("Hosp"),
                      {b.Pv("D", CmpOp::kGt, Value(std::string("m")))});
   PlanPtr plan = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
-  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
+  ASSERT_TRUE(
+      DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
   EXPECT_TRUE(plan->needs_plaintext.Contains(A("D")));
 }
 
@@ -85,7 +86,8 @@ TEST_F(SchemesTest, RangeOnIntUsesOpe) {
   PlanPtr p =
       Select(b.Rel("Hosp"), {b.Pv("B", CmpOp::kGt, Value(int64_t{1980}))});
   PlanPtr plan = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
-  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
+  ASSERT_TRUE(
+      DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
   EXPECT_TRUE(plan->needs_plaintext.empty());
   SchemeMap schemes = AnalyzeSchemes(plan.get(), ex_->catalog, SchemeCaps{});
   EXPECT_EQ(schemes.at(A("B")), EncScheme::kOpe);
@@ -98,7 +100,8 @@ TEST_F(SchemesTest, MinMaxUsesOpe) {
   PlanPtr plan = std::move(FinishPlan(std::move(p), ex_->catalog)).value();
   SchemeMap schemes = AnalyzeSchemes(plan.get(), ex_->catalog, SchemeCaps{});
   EXPECT_EQ(schemes.at(A("B")), EncScheme::kOpe);
-  ASSERT_TRUE(DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
+  ASSERT_TRUE(
+      DerivePlaintextNeeds(plan.get(), ex_->catalog, SchemeCaps{}).ok());
   EXPECT_TRUE(plan->needs_plaintext.empty());
 }
 
