@@ -1,0 +1,310 @@
+// SimNet serving benchmark: closed-loop clients over the TPC-H UAPenc mix
+// with the fragment fabric routed through a simulated network, sweeping the
+// message drop rate at 1/4/8 client threads — throughput and tail latency
+// vs fault rate — plus a provider-crash scenario measuring the failover
+// path (recoveries, retransfer bytes, added latency). Emits
+// BENCH_simnet.json (override with --json <path>).
+//
+//   bench_simnet [data_sf] [warm_iters] [--json path]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "exec/failover.h"
+#include "net/simnet.h"
+#include "profile/propagate.h"
+#include "service/query_service.h"
+#include "sql/binder.h"
+#include "tpch/dbgen.h"
+#include "tpch/scenarios.h"
+
+using namespace mpq;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p * static_cast<double>(samples.size());
+  size_t idx = rank <= 1 ? 0 : static_cast<size_t>(rank + 0.5) - 1;
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
+}
+
+// The bench_service TPC-H cross-section (Q6/Q3/Q12 shapes): enough plan
+// variety to exercise several providers without dominating wall clock.
+const std::vector<std::string> kStatements = {
+    "select sum(l_extendedprice) from lineitem "
+    "where l_shipdate >= 730 and l_shipdate < 1095 "
+    "and l_discount >= 0.05 and l_discount <= 0.07 and l_quantity < 24.0",
+    "select o_orderkey, o_orderdate, o_shippriority, sum(l_extendedprice) "
+    "from customer join orders on c_custkey = o_custkey "
+    "join lineitem on o_orderkey = l_orderkey "
+    "where c_mktsegment = 'BUILDING' and o_orderdate < 1204 "
+    "and l_shipdate > 1204 "
+    "group by o_orderkey, o_orderdate, o_shippriority",
+    "select l_shipmode, count(*) from orders "
+    "join lineitem on o_orderkey = l_orderkey "
+    "where l_shipmode = 'MAIL' and l_receiptdate >= 730 "
+    "and l_receiptdate < 1095 and l_commitdate < l_receiptdate "
+    "group by l_shipmode",
+};
+
+/// One closed-loop measurement against `service`. Returns false on error.
+bool RunClients(QueryService& service, const TpchEnv& env, size_t clients,
+                int warm_iters, std::vector<double>* latencies_ms,
+                double* wall_s) {
+  std::mutex merge_mu;
+  bool failed = false;
+  std::vector<std::thread> threads;
+  auto wall0 = Clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto session = service.OpenSession(env.user);
+      if (!session.ok()) return;
+      std::vector<double> local;
+      for (int i = 0; i < warm_iters; ++i) {
+        for (size_t s = 0; s < kStatements.size(); ++s) {
+          const std::string& sql = kStatements[(s + c) % kStatements.size()];
+          auto t0 = Clock::now();
+          auto r = service.ExecuteSql(sql, *session);
+          if (!r.ok()) {
+            std::lock_guard<std::mutex> lock(merge_mu);
+            failed = true;
+            return;
+          }
+          local.push_back(MsSince(t0));
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      latencies_ms->insert(latencies_ms->end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  *wall_s = MsSince(wall0) / 1e3;
+  return !failed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      mpq::bench::ParseJsonFlag(&argc, argv, "BENCH_simnet.json");
+  double data_sf = argc > 1 ? std::atof(argv[1]) : 5e-5;
+  int warm_iters = argc > 2 ? std::atoi(argv[2]) : 30;
+  if (data_sf <= 0) data_sf = 5e-5;
+  if (warm_iters < 1) warm_iters = 1;
+
+  TpchEnv env = MakeTpchEnv(/*costing_sf=*/1.0, /*num_providers=*/8);
+  TpchData db = GenerateTpch(env, data_sf, /*seed=*/17);
+  Result<Policy> policy = MakeScenarioPolicy(env, AuthScenario::kUAPenc);
+  if (!policy.ok()) {
+    std::printf("policy error: %s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  PricingTable prices = MakeScenarioPricing(env);
+  Topology topo = MakeScenarioTopology(env);
+
+  std::printf(
+      "SimNet serving bench: TPC-H UAPenc mix {Q6,Q3,Q12}, data_sf=%.4g, "
+      "%d warm iters/client, drop-rate sweep + provider crash\n\n",
+      data_sf, warm_iters);
+  std::printf("%8s %10s %10s %10s %8s %8s %8s %10s\n", "clients", "droprate",
+              "p50", "p99", "qps", "retries", "drops", "failovers");
+
+  JsonWriter w;
+  w.BeginObject()
+      .Key("bench")
+      .String("simnet")
+      .Key("scenario")
+      .String("UAPenc")
+      .Key("data_sf")
+      .Double(data_sf)
+      .Key("warm_iters")
+      .Int(warm_iters);
+  w.Key("runs").BeginArray();
+
+  for (double drop : {0.0, 0.02, 0.1}) {
+    for (size_t clients : {1u, 4u, 8u}) {
+      SimNet net(&env.subjects);
+      net.ConfigureFromTopology(topo, env.subjects, /*latency_s=*/0);
+      FaultPlan faults;
+      faults.seed = 7 + static_cast<uint64_t>(drop * 1000);
+      faults.drop_prob = drop;
+      net.SetFaultPlan(faults);
+
+      ServiceConfig config;
+      config.exec_threads = 0;
+      config.max_in_flight = 2 * clients;
+      config.net = &net;
+      config.net_policy.max_attempts = 4;
+      QueryService service(&env.catalog, &env.subjects, &*policy, &prices,
+                           &topo, config);
+      for (const auto& [rel, t] : db.tables) service.LoadTable(rel, &t);
+
+      std::vector<double> latencies;
+      double wall_s = 0;
+      if (!RunClients(service, env, clients, warm_iters, &latencies,
+                      &wall_s)) {
+        std::printf("execution failed (clients=%zu drop=%.2f)\n", clients,
+                    drop);
+        return 1;
+      }
+      double p50 = PercentileMs(latencies, 0.50);
+      double p99 = PercentileMs(latencies, 0.99);
+      double qps =
+          wall_s > 0 ? static_cast<double>(latencies.size()) / wall_s : 0;
+      SimNetStats ns = net.GetStats();
+      ServiceMetrics m = service.Metrics();
+      std::printf("%8zu %9.0f%% %8.3fms %8.3fms %8.0f %8llu %8llu %10llu\n",
+                  clients, drop * 100, p50, p99, qps,
+                  static_cast<unsigned long long>(ns.retries),
+                  static_cast<unsigned long long>(ns.drops),
+                  static_cast<unsigned long long>(m.failovers));
+      w.BeginObject()
+          .Key("clients")
+          .UInt(clients)
+          .Key("drop_prob")
+          .Double(drop)
+          .Key("p50_ms")
+          .Double(p50)
+          .Key("p99_ms")
+          .Double(p99)
+          .Key("qps")
+          .Double(qps)
+          .Key("net_retries")
+          .UInt(ns.retries)
+          .Key("net_drops")
+          .UInt(ns.drops)
+          .Key("net_virtual_s")
+          .Double(ns.virtual_s_total)
+          .Key("failovers")
+          .UInt(m.failovers)
+          .Key("queries")
+          .UInt(m.queries)
+          .EndObject();
+    }
+  }
+  w.EndArray();
+
+  // Crash scenario, two flavors: (1) a provider dies *mid-run* of a cached
+  // plan — the in-request retry-on-failover path (probe the optimizer's
+  // assignment to know which step to kill); (2) every provider dies between
+  // requests — the liveness-epoch cache keying re-plans each statement
+  // eagerly around the outage.
+  {
+    SimNet net(&env.subjects);
+    net.ConfigureFromTopology(topo, env.subjects, 0);
+    ServiceConfig config;
+    config.exec_threads = 0;
+    config.net = &net;
+    QueryService service(&env.catalog, &env.subjects, &*policy, &prices,
+                         &topo, config);
+    for (const auto& [rel, t] : db.tables) service.LoadTable(rel, &t);
+    auto session = service.OpenSession(env.user);
+    if (!session.ok()) return 1;
+    for (const std::string& sql : kStatements) {
+      if (!service.ExecuteSql(sql, *session).ok()) return 1;
+    }
+
+    // Probe statement 0's minimum-cost assignment for a provider step to
+    // kill (the service chose the same plan over the same inputs).
+    int crash_step = -1;
+    SubjectId victim = kInvalidSubject;
+    {
+      auto plan = PlanFromSql(kStatements[0], env.catalog);
+      if (!plan.ok() ||
+          !DerivePlaintextNeeds(plan->get(), env.catalog, SchemeCaps{})
+               .ok() ||
+          !AnnotatePlan(plan->get(), env.catalog).ok()) {
+        return 1;
+      }
+      SimNet probe_net(&env.subjects);
+      FailoverExecutor probe(&env.catalog, &env.subjects, &*policy, &prices,
+                             &topo, &probe_net, FailoverConfig{});
+      for (const auto& [rel, t] : db.tables) probe.LoadTable(rel, &t);
+      auto probed = probe.Execute(plan->get(), env.user);
+      if (probed.ok()) {
+        for (const auto& [node_id, subject] :
+             probed->assignment.extended.assignment) {
+          if (env.subjects.Get(subject).kind == SubjectKind::kProvider) {
+            crash_step = node_id;
+            victim = subject;
+            break;
+          }
+        }
+      }
+    }
+
+    double midrun_ms = 0;
+    if (victim != kInvalidSubject) {
+      FaultPlan faults;
+      faults.crash_at_step[victim] = crash_step;
+      net.SetFaultPlan(faults);
+      auto t0 = Clock::now();
+      auto r = service.ExecuteSql(kStatements[0], *session);
+      midrun_ms = MsSince(t0);
+      if (!r.ok()) {
+        std::printf("mid-run crash recovery failed: %s\n",
+                    r.status().ToString().c_str());
+        return 1;
+      }
+      net.SetFaultPlan(FaultPlan{});
+    }
+
+    for (SubjectId p : env.providers) net.Crash(p);
+    auto t1 = Clock::now();
+    for (const std::string& sql : kStatements) {
+      auto r = service.ExecuteSql(sql, *session);
+      if (!r.ok()) {
+        std::printf("crash recovery failed: %s\n",
+                    r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    double replan_ms = MsSince(t1);
+    ServiceMetrics m = service.Metrics();
+    std::printf(
+        "\ncrash scenarios: mid-run provider crash -> %llu in-request "
+        "failover(s), %.3f ms (failover_p95=%.3f ms, retransfer=%llu B); "
+        "all %zu providers down between requests -> eager re-plan of the "
+        "mix in %.3f ms\n",
+        static_cast<unsigned long long>(m.failovers), midrun_ms,
+        m.failover_p95_ms,
+        static_cast<unsigned long long>(m.failover_retransfer_bytes),
+        env.providers.size(), replan_ms);
+    w.Key("crash")
+        .BeginObject()
+        .Key("midrun_failovers")
+        .UInt(m.failovers)
+        .Key("midrun_recover_ms")
+        .Double(midrun_ms)
+        .Key("failover_p95_ms")
+        .Double(m.failover_p95_ms)
+        .Key("retransfer_bytes")
+        .UInt(m.failover_retransfer_bytes)
+        .Key("providers_down")
+        .UInt(env.providers.size())
+        .Key("replan_mix_ms")
+        .Double(replan_ms)
+        .EndObject();
+  }
+
+  w.EndObject();
+  mpq::bench::WriteJsonFile(json_path, w.TakeString());
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

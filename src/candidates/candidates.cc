@@ -7,17 +7,31 @@ namespace mpq {
 
 Result<CandidatePlan> ComputeCandidates(const PlanNode* root,
                                         const Policy& policy,
-                                        bool require_nonempty) {
+                                        bool require_nonempty,
+                                        const SubjectSet* excluded) {
   const Catalog& catalog = policy.catalog();
   const SubjectRegistry& subjects = policy.subjects();
   CandidatePlan cp;
 
+  // A leaf executes at the relation's owner, unconditionally — an excluded
+  // (down) authority therefore makes the query unavailable, not reroutable.
+  auto check_authority_up = [&](const RelationDef& rel) -> Status {
+    if (excluded != nullptr && excluded->Contains(rel.owner)) {
+      return Status::Unavailable(StrFormat(
+          "data authority of relation %s is down; its leaf cannot be "
+          "reassigned",
+          rel.name.c_str()));
+    }
+    return Status::OK();
+  };
+
   for (const PlanNode* n : PostOrder(root)) {
     NodeCandidates nc;
     if (n->is_leaf()) {
-      nc.cascade_profile =
-          RelationProfile::ForBase(catalog.Get(n->rel).schema.Attrs());
-      nc.candidates.Insert(catalog.Get(n->rel).owner);
+      const RelationDef& rel = catalog.Get(n->rel);
+      MPQ_RETURN_NOT_OK(check_authority_up(rel));
+      nc.cascade_profile = RelationProfile::ForBase(rel.schema.Attrs());
+      nc.candidates.Insert(rel.owner);
       cp.nodes.emplace(n->id, std::move(nc));
       continue;
     }
@@ -28,6 +42,7 @@ Result<CandidatePlan> ComputeCandidates(const PlanNode* root,
     // not an assignable operation (Fig 3/6 attach no candidates to leaves).
     if (n->kind == OpKind::kProject && n->child(0)->kind == OpKind::kBase) {
       const RelationDef& rel = catalog.Get(n->child(0)->rel);
+      MPQ_RETURN_NOT_OK(check_authority_up(rel));
       nc.min_views.push_back(RelationProfile::ForBase(rel.schema.Attrs()));
       nc.cascade_profile = RelationProfile::ForBase(n->attrs);
       nc.candidates.Insert(rel.owner);
@@ -53,8 +68,10 @@ Result<CandidatePlan> ComputeCandidates(const PlanNode* root,
                          PropagateProfile(n, l, r, catalog, {.strict = true}));
 
     // Def 5.3: a subject is a candidate iff it is authorized for every
-    // minimum required view and for the result.
+    // minimum required view and for the result (and is not excluded as
+    // down).
     for (const Subject& s : subjects.subjects()) {
+      if (excluded != nullptr && excluded->Contains(s.id)) continue;
       bool ok = true;
       for (const RelationProfile& mv : nc.min_views) {
         if (!policy.IsAuthorized(s.id, mv)) {

@@ -49,9 +49,15 @@ struct CandidatePlan {
 /// `require_nonempty`: when true (default), an operation with no candidate is
 /// an error (the query cannot be executed under the policy); when false the
 /// computation completes and the caller inspects the empty sets.
+///
+/// `excluded`: subjects that must not appear in any candidate set — the
+/// failover machinery passes the providers the network marked down, so the
+/// alternative assignment routes around them. Excluding a data authority
+/// that owns a queried relation is kUnavailable (its leaf cannot move).
 Result<CandidatePlan> ComputeCandidates(const PlanNode* root,
                                         const Policy& policy,
-                                        bool require_nonempty = true);
+                                        bool require_nonempty = true,
+                                        const SubjectSet* excluded = nullptr);
 
 /// Verifies Theorem 5.1 on a computed candidate plan: for every non-leaf node
 /// n whose children's visible plaintext is implicit in n's cascade profile,

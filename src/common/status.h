@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnauthorized,      ///< An authorization check failed (Def 4.1 / 4.2).
   kUnsupported,       ///< Operation not representable (e.g. scheme mismatch).
   kInternal,          ///< Invariant violation inside the library.
+  kUnavailable,       ///< A subject or link is down; retry/failover may help.
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

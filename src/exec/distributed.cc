@@ -10,19 +10,21 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "net/channel.h"
 
 namespace mpq {
 
 namespace {
 
 /// Scheduling state of one plan node (one fragment step): where its inputs
-/// come from, how many are still missing, and its materialized result.
+/// come from, how many are still missing, and the mailbox they arrive in.
 struct NodeState {
   const PlanNode* node = nullptr;
   int parent = -1;              ///< Index into the node vector, -1 for root.
+  int slot = 0;                 ///< Operand position at the parent.
   std::vector<int> children;    ///< Indices, in operand order.
   std::atomic<size_t> missing{0};
-  std::optional<Table> result;
+  Channel inbox;                ///< One slot per child, filled by their tasks.
 };
 
 }  // namespace
@@ -66,11 +68,14 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
         for (size_t i = 0; i < n->num_children(); ++i) {
           int c = flatten(n->child(i), idx);
           nodes[static_cast<size_t>(idx)]->children.push_back(c);
+          nodes[static_cast<size_t>(c)]->slot = static_cast<int>(i);
         }
         nodes[static_cast<size_t>(idx)]->missing = n->num_children();
         return idx;
       };
-  int root_idx = flatten(ext.plan.get(), -1);
+  flatten(ext.plan.get(), -1);
+  // The user's mailbox: the root fragment delivers the final result here.
+  Channel user_inbox(1);
 
   // Shared run state. `mu` guards the stats sink (exact byte accounting),
   // the error slot, and pairs with `cv` for completion. Heap-allocated and
@@ -108,29 +113,43 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
     }
   };
 
+  // Records the run's first error (lowest plan-node id wins, so the error a
+  // caller sees is scheduling-order independent).
+  auto record_error = [&](int node_id, const Status& st) {
+    std::lock_guard<std::mutex> lock(sync->mu);
+    if (node_id < error_node) {
+      error_node = node_id;
+      error = st;
+    }
+  };
+
   run_node = [&](int idx) {
     NodeState& ns = *nodes[static_cast<size_t>(idx)];
     const PlanNode* n = ns.node;
     SubjectId s = ext.assignment.at(n->id);
 
-    // Collect operand tables; every assignee-crossing edge is one message,
-    // accounted exactly under the stats mutex.
+    // The assignee comes on line for this dispatch step; a scheduled crash
+    // in the fault plan fires exactly here, independent of thread timing.
+    if (net_ != nullptr) {
+      Status up = net_->BeginStep(s, n->id);
+      if (!up.ok()) {
+        record_error(n->id, up);
+        return;
+      }
+    }
+
+    // Collect operand tables from the inbox; the sending tasks accounted
+    // (and, under a SimNet, cleared) each assignee-crossing edge already.
     std::vector<Table> inputs;
     inputs.reserve(ns.children.size());
-    for (int c : ns.children) {
-      NodeState& cs_state = *nodes[static_cast<size_t>(c)];
-      Table t = std::move(*cs_state.result);
-      cs_state.result.reset();
-      SubjectId cs = ext.assignment.at(cs_state.node->id);
-      if (cs != s) {
-        uint64_t bytes = t.ByteSize();
-        std::lock_guard<std::mutex> lock(sync->mu);
-        out.stats[cs].bytes_out += bytes;
-        out.stats[s].bytes_in += bytes;
-        out.total_transfer_bytes += bytes;
-        out.num_messages++;
+    for (size_t i = 0; i < ns.children.size(); ++i) {
+      std::optional<Envelope> e = ns.inbox.TryRecv(static_cast<int>(i));
+      if (!e.has_value()) {
+        record_error(n->id, Status::Internal(
+                                "operand missing from fragment mailbox"));
+        return;
       }
-      inputs.push_back(std::move(t));
+      inputs.push_back(std::move(e->payload));
     }
 
     // Execute under the assignee's engine: its keyring only. The nonce base
@@ -157,27 +176,67 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
 
     Result<Table> result = ExecuteNodeOnInputs(n, std::move(inputs), &ctx);
     if (!result.ok()) {
+      record_error(n->id, result.status());
+      return;
+    }
+    {
       std::lock_guard<std::mutex> lock(sync->mu);
-      if (n->id < error_node) {
-        error_node = n->id;
-        error = result.status();
+      SubjectStats& st = out.stats[s];
+      st.ops_executed++;
+      st.rows_produced += result->num_rows();
+    }
+
+    // Ship the result towards its consumer: the parent fragment, or the
+    // user for the root. An assignee-crossing edge is one message — cleared
+    // by the simulated network first (which may drop, delay, retry, or
+    // refuse it), then accounted exactly under the stats mutex.
+    Table t = std::move(result).value();
+    SubjectId dst =
+        ns.parent >= 0
+            ? ext.assignment.at(
+                  nodes[static_cast<size_t>(ns.parent)]->node->id)
+            : user;
+    double delivery_virtual_s = 0;
+    if (dst != s) {
+      uint64_t bytes = t.ByteSize();
+      if (net_ != nullptr) {
+        Result<DeliveryReport> d =
+            net_->Deliver(s, dst, bytes, n->id, net_policy_);
+        if (!d.ok()) {
+          record_error(n->id, d.status());
+          return;
+        }
+        delivery_virtual_s = d->virtual_s;
+        std::lock_guard<std::mutex> lock(sync->mu);
+        out.net.send_attempts += static_cast<uint64_t>(d->attempts);
+        out.net.drops += static_cast<uint64_t>(d->attempts - 1);
+        out.net.wasted_bytes += d->wasted_bytes;
+        out.net.virtual_s += d->virtual_s;
+      }
+      std::lock_guard<std::mutex> lock(sync->mu);
+      out.stats[s].bytes_out += bytes;
+      out.stats[dst].bytes_in += bytes;
+      out.total_transfer_bytes += bytes;
+      out.num_messages++;
+    }
+    Envelope env;
+    env.slot = ns.slot;
+    env.from_node = n->id;
+    env.from = s;
+    env.payload = std::move(t);
+    env.virtual_s = delivery_virtual_s;
+    if (ns.parent >= 0) {
+      NodeState& ps = *nodes[static_cast<size_t>(ns.parent)];
+      // Send before the decrement: the parent's task must observe every
+      // operand in its mailbox (acq_rel pairs the two).
+      ps.inbox.Send(std::move(env));
+      if (ps.missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        sync->active.fetch_add(1, std::memory_order_relaxed);
+        schedule(ns.parent);
       }
     } else {
-      {
-        std::lock_guard<std::mutex> lock(sync->mu);
-        SubjectStats& st = out.stats[s];
-        st.ops_executed++;
-        st.rows_produced += result->num_rows();
-      }
-      ns.result = std::move(result).value();
-      if (ns.parent >= 0) {
-        NodeState& ps = *nodes[static_cast<size_t>(ns.parent)];
-        // acq_rel: the parent's task must observe every child's result.
-        if (ps.missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          sync->active.fetch_add(1, std::memory_order_relaxed);
-          schedule(ns.parent);
-        }
-      }
+      env.slot = 0;
+      user_inbox.Send(std::move(env));
     }
   };
 
@@ -204,18 +263,11 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
     std::lock_guard<std::mutex> lock(sync->mu);
     if (error_node != INT_MAX) return error;
   }
-
-  NodeState& root = *nodes[static_cast<size_t>(root_idx)];
-  Table result = std::move(*root.result);
-  SubjectId root_s = ext.assignment.at(ext.plan->id);
-  if (root_s != user) {
-    uint64_t bytes = result.ByteSize();
-    out.stats[root_s].bytes_out += bytes;
-    out.stats[user].bytes_in += bytes;
-    out.total_transfer_bytes += bytes;
-    out.num_messages++;
+  std::optional<Envelope> final_msg = user_inbox.TryRecv(0);
+  if (!final_msg.has_value()) {
+    return Status::Internal("root fragment did not deliver a result");
   }
-  out.result = std::move(result);
+  out.result = std::move(final_msg->payload);
   return out;
 }
 

@@ -13,6 +13,15 @@
 // Stats are mutex-guarded and every node derives its nonce base from the
 // node id, so results and transfer bytes are identical at any thread count.
 //
+// Fragment results move through per-node Channels (net/channel.h): each task
+// Sends its table to its parent's mailbox and a task only runs once every
+// operand arrived. With a SimNet attached (SetNetwork), every assignee-
+// crossing send is first cleared by the simulated network — which may delay,
+// drop (with bounded retries under SetNetPolicy), or refuse it because a
+// provider crashed. A send that cannot be completed aborts the run with
+// kUnavailable; the failover layer (exec/failover.h) then re-plans around
+// the subjects the net recorded as down.
+//
 // Once configured (tables loaded, keys distributed, crypto plan set), Run may
 // be called concurrently from many threads: each call draws a fresh nonce
 // seed from an atomic counter and touches only call-local state, which is
@@ -29,6 +38,7 @@
 #include "extend/extend.h"
 #include "extend/keys.h"
 #include "exec/executor.h"
+#include "net/simnet.h"
 
 namespace mpq {
 
@@ -40,12 +50,21 @@ struct SubjectStats {
   uint64_t bytes_out = 0;
 };
 
+/// Network-side accounting of one run (all zeros on an ideal network).
+struct NetReport {
+  uint64_t send_attempts = 0;  ///< Delivery attempts incl. dropped ones.
+  uint64_t drops = 0;          ///< Attempts the fault plan dropped.
+  uint64_t wasted_bytes = 0;   ///< Bytes of dropped attempts (retransmitted).
+  double virtual_s = 0;        ///< Simulated network seconds, summed.
+};
+
 /// Output of a distributed run.
 struct DistributedResult {
   Table result;
   std::map<SubjectId, SubjectStats> stats;
   uint64_t total_transfer_bytes = 0;
   size_t num_messages = 0;
+  NetReport net;
 };
 
 /// The runtime. Configure with data, keys and crypto plan, then Run.
@@ -88,6 +107,18 @@ class DistributedRuntime {
   /// Rows per operator batch (see ExecContext::batch_size).
   void SetBatchSize(size_t batch_size) { batch_size_ = batch_size; }
 
+  /// Attaches a simulated network (borrowed): every assignee-crossing
+  /// fragment edge is then delivered through `net` under `SetNetPolicy`'s
+  /// retry/deadline budget, subject to its link timing and fault plan. A
+  /// failed delivery or a crashed assignee aborts the run with kUnavailable;
+  /// the dead subjects are recorded in `net` (SimNet::DownSubjects) for the
+  /// failover machinery. Null (the default) is an ideal network.
+  void SetNetwork(SimNet* net) { net_ = net; }
+
+  /// Retry and deadline budget applied per fragment edge when a network is
+  /// attached.
+  void SetNetPolicy(NetPolicy policy) { net_policy_ = policy; }
+
   /// Executes the extended plan; the result is delivered to `user`.
   Result<DistributedResult> Run(const ExtendedPlan& ext, SubjectId user);
 
@@ -115,6 +146,8 @@ class DistributedRuntime {
   std::atomic<uint64_t> nonce_seed_{0x243f6a8885a308d3ull};
   ThreadPool* pool_ = nullptr;
   size_t batch_size_ = Table::kDefaultBatchSize;
+  SimNet* net_ = nullptr;
+  NetPolicy net_policy_;
 };
 
 }  // namespace mpq

@@ -1,0 +1,99 @@
+// Fragment channels: the mailboxes distributed fragment tasks communicate
+// through. Every plan node owns one Channel; the tasks executing its operand
+// subtrees Send their result tables into it (each into a fixed operand slot)
+// and the node's own task Recvs them once all operands arrived.
+//
+// Channels carry the payload; SimNet (simnet.h) decides whether and when a
+// given send succeeds. Keeping the two separate means the runtime's dispatch
+// logic is written once against Send/Recv and every network condition —
+// ideal, slow, lossy, or partitioned — is a SimNet configuration.
+
+#ifndef MPQ_NET_CHANNEL_H_
+#define MPQ_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "authz/subject.h"
+#include "exec/table.h"
+
+namespace mpq {
+
+/// One fragment-to-fragment message.
+struct Envelope {
+  int slot = 0;        ///< Operand position at the receiving node.
+  int from_node = -1;  ///< Plan node id of the sender (the dispatch step).
+  SubjectId from = kInvalidSubject;
+  Table payload;
+  /// Simulated seconds the delivery took (latency + serialization + injected
+  /// delays, summed over retries). Zero on an ideal network.
+  double virtual_s = 0;
+};
+
+/// A multi-producer single-consumer mailbox with one slot per operand.
+/// Send never blocks; Recv blocks until the slot is filled (TryRecv polls).
+/// A node's task is only scheduled after every operand delivered, so in the
+/// runtime Recv never actually waits — the blocking form exists for direct
+/// use in tests and future pull-based consumers.
+class Channel {
+ public:
+  explicit Channel(size_t num_slots = 0) : slots_(num_slots) {}
+
+  /// Number of operand slots.
+  size_t size() const { return slots_.size(); }
+
+  /// Delivers `e` into its slot. A second send to an occupied slot replaces
+  /// the previous payload (retransmission after failover).
+  void Send(Envelope e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      size_t slot = static_cast<size_t>(e.slot);
+      if (slot >= slots_.size()) slots_.resize(slot + 1);
+      slots_[slot] = std::move(e);
+    }
+    cv_.notify_all();
+  }
+
+  /// Takes the envelope of `slot` if present.
+  std::optional<Envelope> TryRecv(int slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t s = static_cast<size_t>(slot);
+    if (s >= slots_.size() || !slots_[s].has_value()) return std::nullopt;
+    std::optional<Envelope> out = std::move(slots_[s]);
+    slots_[s].reset();
+    return out;
+  }
+
+  /// Blocks until `slot` is filled, then takes its envelope.
+  Envelope Recv(int slot) {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t s = static_cast<size_t>(slot);
+    cv_.wait(lock, [&] {
+      return s < slots_.size() && slots_[s].has_value();
+    });
+    Envelope out = std::move(*slots_[s]);
+    slots_[s].reset();
+    return out;
+  }
+
+  /// Envelopes currently waiting.
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& s : slots_) {
+      if (s.has_value()) n++;
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::optional<Envelope>> slots_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_NET_CHANNEL_H_

@@ -1,0 +1,198 @@
+#include "net/simnet.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+
+/// PRF in [0, 1) of one (edge, step, attempt) fault decision. `salt` keeps
+/// the drop and delay streams independent.
+double FaultRoll(uint64_t seed, SubjectId from, SubjectId to, int step,
+                 int attempt, uint64_t salt) {
+  uint64_t h = SplitMix64(seed ^ salt);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(from) + 1) * 0x9e3779b97f4a7c15ull);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(to) + 1) * 0xbf58476d1ce4e5b9ull);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(step) + 1) * 0x94d049bb133111ebull);
+  h = SplitMix64(h ^ (static_cast<uint64_t>(attempt) + 1));
+  return static_cast<double>(h >> 11) * (1.0 / (1ull << 53));
+}
+
+}  // namespace
+
+void SimNet::SetLink(SubjectId a, SubjectId b, LinkParams p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  links_[{std::min(a, b), std::max(a, b)}] = p;
+}
+
+LinkParams SimNet::Link(SubjectId a, SubjectId b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find({std::min(a, b), std::max(a, b)});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void SimNet::ConfigureFromTopology(const Topology& topo,
+                                   const SubjectRegistry& subjects,
+                                   double latency_s) {
+  for (const Subject& a : subjects.subjects()) {
+    for (const Subject& b : subjects.subjects()) {
+      if (a.id >= b.id) continue;
+      SetLink(a.id, b.id,
+              LinkParams{latency_s, topo.BandwidthBps(a.id, b.id)});
+    }
+  }
+  SetDefaultLink(LinkParams{latency_s, 0});
+}
+
+bool SimNet::Alive(SubjectId s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_.find(s) == down_.end();
+}
+
+void SimNet::Crash(SubjectId s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_.insert(s).second) {
+    stats_.crashes++;
+    liveness_epoch_++;
+  }
+}
+
+void SimNet::Restore(SubjectId s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_.erase(s) > 0) liveness_epoch_++;
+}
+
+void SimNet::RestoreAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!down_.empty()) liveness_epoch_++;
+  down_.clear();
+}
+
+std::vector<SubjectId> SimNet::DownSubjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SubjectId>(down_.begin(), down_.end());
+}
+
+bool SimNet::Excludable(SubjectId s) const {
+  if (subjects_ == nullptr) return true;
+  return s < subjects_->size() &&
+         subjects_->Get(s).kind == SubjectKind::kProvider;
+}
+
+SubjectId SimNet::SuspectLocked(SubjectId from, SubjectId to) {
+  // The coordinator observes a fragment that never arrives; it blames the
+  // receiver when the receiver is excludable (the sender can vouch for its
+  // own liveness), else the sender, else nobody (an authority or the user
+  // cannot be routed around — the failure is terminal).
+  SubjectId suspect = kInvalidSubject;
+  if (Excludable(to)) {
+    suspect = to;
+  } else if (Excludable(from)) {
+    suspect = from;
+  }
+  if (suspect != kInvalidSubject && down_.insert(suspect).second) {
+    stats_.crashes++;
+    liveness_epoch_++;
+  }
+  return suspect;
+}
+
+Status SimNet::BeginStep(SubjectId s, int node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto crash = faults_.crash_at_step.find(s);
+  if (crash != faults_.crash_at_step.end() && crash->second == node_id) {
+    if (down_.insert(s).second) {
+      stats_.crashes++;
+      liveness_epoch_++;
+    }
+  }
+  if (down_.find(s) != down_.end()) {
+    return Status::Unavailable(StrFormat(
+        "subject %u is down at step %d", static_cast<unsigned>(s), node_id));
+  }
+  return Status::OK();
+}
+
+bool SimNet::DropsAttempt(SubjectId from, SubjectId to, int step,
+                          int attempt) const {
+  return FaultRoll(faults_.seed, from, to, step, attempt,
+                   0x6d726f70736e6574ull) < faults_.drop_prob;
+}
+
+bool SimNet::DelaysAttempt(SubjectId from, SubjectId to, int step,
+                           int attempt) const {
+  return faults_.delay_prob > 0 &&
+         FaultRoll(faults_.seed, from, to, step, attempt,
+                   0x64656c61796e6574ull) < faults_.delay_prob;
+}
+
+Result<DeliveryReport> SimNet::Deliver(SubjectId from, SubjectId to,
+                                       uint64_t bytes, int step,
+                                       const NetPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_.find(from) != down_.end() || down_.find(to) != down_.end()) {
+    stats_.refused++;
+    SubjectId dead = down_.find(to) != down_.end() ? to : from;
+    return Status::Unavailable(
+        StrFormat("subject %u is down; cannot deliver step %d",
+                  static_cast<unsigned>(dead), step));
+  }
+
+  auto link_it = links_.find({std::min(from, to), std::max(from, to)});
+  const LinkParams& link =
+      link_it == links_.end() ? default_link_ : link_it->second;
+  double per_attempt_s = link.latency_s;
+  if (link.bandwidth_bps > 0) {
+    per_attempt_s += static_cast<double>(bytes) * 8.0 / link.bandwidth_bps;
+  }
+
+  DeliveryReport report;
+  int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    double attempt_s = per_attempt_s;
+    if (DelaysAttempt(from, to, step, attempt)) attempt_s += faults_.delay_s;
+    report.virtual_s += attempt_s;
+    report.attempts = attempt + 1;
+    if (attempt > 0) stats_.retries++;
+
+    if (policy.fragment_deadline_s > 0 &&
+        report.virtual_s > policy.fragment_deadline_s) {
+      // Budget blown: the edge is too slow to be useful — same treatment as
+      // a dead peer, so the failover machinery can route around it.
+      stats_.virtual_s_total += report.virtual_s;
+      SubjectId suspect = SuspectLocked(from, to);
+      return Status::Unavailable(StrFormat(
+          "fragment deadline (%.3fs) exceeded on edge %u->%u at step %d%s",
+          policy.fragment_deadline_s, static_cast<unsigned>(from),
+          static_cast<unsigned>(to), step,
+          suspect == kInvalidSubject ? "; no excludable peer" : ""));
+    }
+
+    if (DropsAttempt(from, to, step, attempt)) {
+      stats_.drops++;
+      report.wasted_bytes += bytes;
+      continue;
+    }
+
+    stats_.messages++;
+    stats_.bytes_delivered += bytes;
+    stats_.wasted_bytes += report.wasted_bytes;
+    stats_.virtual_s_total += report.virtual_s;
+    return report;
+  }
+
+  // Every attempt dropped: suspect a peer and hand control to failover.
+  stats_.wasted_bytes += report.wasted_bytes;
+  stats_.virtual_s_total += report.virtual_s;
+  SubjectId suspect = SuspectLocked(from, to);
+  return Status::Unavailable(
+      StrFormat("%d/%d attempts dropped on edge %u->%u at step %d%s",
+                report.attempts, max_attempts, static_cast<unsigned>(from),
+                static_cast<unsigned>(to), step,
+                suspect == kInvalidSubject ? "; no excludable peer" : ""));
+}
+
+}  // namespace mpq

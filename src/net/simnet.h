@@ -1,0 +1,170 @@
+// SimNet: a simulated multi-provider network. Each subject-pair link has
+// latency and bandwidth; a seeded fault plan injects message drops, extra
+// delays, and provider crashes at chosen dispatch steps. The distributed
+// runtime routes every assignee-crossing fragment edge through Deliver, so
+// slow, lossy and partially-down networks are exercised by configuration —
+// no real sockets, no real sleeps.
+//
+// Determinism: every fault decision is a PRF of (seed, from, to, dispatch
+// step, attempt). The dispatch step is the sending plan node's id, which is
+// independent of scheduling order, so the same fault plan produces the same
+// drops and crashes at any thread count — the property the fault-matrix and
+// differential tests rely on.
+//
+// Time is virtual: Deliver *accounts* the seconds a transfer would take
+// (latency + bytes/bandwidth + injected delay, summed over retries) instead
+// of sleeping them. Deadline budgets compare against this virtual time.
+
+#ifndef MPQ_NET_SIMNET_H_
+#define MPQ_NET_SIMNET_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "authz/subject.h"
+#include "common/status.h"
+#include "net/topology.h"
+
+namespace mpq {
+
+/// Delivery parameters of one (symmetric) link.
+struct LinkParams {
+  double latency_s = 0;      ///< One-way propagation delay.
+  double bandwidth_bps = 0;  ///< Bits per second; 0 = infinite.
+};
+
+/// Per-edge delivery policy the runtime applies to every fragment transfer.
+struct NetPolicy {
+  /// Send attempts per fragment edge before the peer is declared dead.
+  int max_attempts = 3;
+  /// Virtual-seconds budget per fragment edge (all attempts); 0 = unlimited.
+  /// Exceeding it is treated like retry exhaustion: the peer is suspected
+  /// dead and failover machinery takes over.
+  double fragment_deadline_s = 0;
+};
+
+/// Seeded fault-injection plan.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Per-attempt message drop probability (PRF of seed/edge/step/attempt).
+  double drop_prob = 0;
+  /// Per-attempt probability of an extra `delay_s` of virtual latency.
+  double delay_prob = 0;
+  double delay_s = 0;
+  /// subject → plan-node id: the subject crashes the moment it begins that
+  /// dispatch step (BeginStep). It stays down until Restore.
+  std::map<SubjectId, int> crash_at_step;
+};
+
+/// Outcome of one successful Deliver.
+struct DeliveryReport {
+  int attempts = 1;
+  double virtual_s = 0;       ///< All attempts, including dropped ones.
+  uint64_t wasted_bytes = 0;  ///< Bytes of dropped attempts (retransferred).
+};
+
+/// Aggregate counters (monotonic; survive Restore).
+struct SimNetStats {
+  uint64_t messages = 0;         ///< Successful deliveries.
+  uint64_t bytes_delivered = 0;
+  uint64_t drops = 0;            ///< Dropped attempts.
+  uint64_t retries = 0;          ///< Attempts after the first.
+  uint64_t wasted_bytes = 0;     ///< Bytes of dropped attempts.
+  uint64_t crashes = 0;          ///< Crash triggers fired.
+  uint64_t refused = 0;          ///< Sends refused because a peer was down.
+  double virtual_s_total = 0;    ///< Sum of per-delivery virtual seconds.
+};
+
+/// The simulated network. Thread-safe; one instance is shared by a runtime,
+/// its failover machinery and the serving layer.
+class SimNet {
+ public:
+  /// `subjects` (borrowed, may be null) tells the net which subjects are
+  /// cloud providers — the only kind the failover machinery may exclude.
+  /// Without a registry every suspected peer is marked down.
+  explicit SimNet(const SubjectRegistry* subjects = nullptr)
+      : subjects_(subjects) {}
+
+  void SetDefaultLink(LinkParams p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    default_link_ = p;
+  }
+  void SetLink(SubjectId a, SubjectId b, LinkParams p);
+  LinkParams Link(SubjectId a, SubjectId b) const;
+
+  /// Configures links to mirror `topo`'s bandwidths with a uniform latency.
+  void ConfigureFromTopology(const Topology& topo,
+                             const SubjectRegistry& subjects,
+                             double latency_s = 0);
+
+  void SetFaultPlan(FaultPlan plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_ = std::move(plan);
+  }
+
+  bool Alive(SubjectId s) const;
+  /// Marks `s` down (operator action / detected failure).
+  void Crash(SubjectId s);
+  void Restore(SubjectId s);
+  void RestoreAll();
+  std::vector<SubjectId> DownSubjects() const;
+
+  /// Monotone counter advanced by every liveness change (crash, suspicion,
+  /// restore). The serving layer folds it into plan-cache keys, so a plan
+  /// built around a down provider stops being served the moment the
+  /// provider recovers (and vice versa) instead of outliving the outage.
+  uint64_t liveness_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return liveness_epoch_;
+  }
+
+  /// Called when `s` begins executing dispatch step `node_id`; fires the
+  /// fault plan's scheduled crash. Returns kUnavailable when `s` is (now)
+  /// down.
+  Status BeginStep(SubjectId s, int node_id);
+
+  /// Simulates the delivery of `bytes` from `from` to `to` for dispatch step
+  /// `step`, applying link timing and the fault plan under `policy`'s retry
+  /// and deadline budget. On retry exhaustion or deadline overrun, the peer
+  /// (the receiver when excludable, else the sender) is marked down and
+  /// kUnavailable is returned; sends touching an already-down subject fail
+  /// immediately.
+  Result<DeliveryReport> Deliver(SubjectId from, SubjectId to, uint64_t bytes,
+                                 int step, const NetPolicy& policy);
+
+  SimNetStats GetStats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = SimNetStats{};
+  }
+
+ private:
+  /// True when the fault plan drops attempt `attempt` of (from→to, step).
+  bool DropsAttempt(SubjectId from, SubjectId to, int step, int attempt) const;
+  bool DelaysAttempt(SubjectId from, SubjectId to, int step,
+                     int attempt) const;
+  /// A subject the failover machinery may exclude (a cloud provider).
+  bool Excludable(SubjectId s) const;
+  /// Picks the peer to blame for a dead edge and marks it down. Requires
+  /// mu_ held.
+  SubjectId SuspectLocked(SubjectId from, SubjectId to);
+
+  const SubjectRegistry* subjects_;
+  mutable std::mutex mu_;
+  LinkParams default_link_;                                // guarded by mu_
+  std::map<std::pair<SubjectId, SubjectId>, LinkParams> links_;  // by mu_
+  FaultPlan faults_;                                       // guarded by mu_
+  std::set<SubjectId> down_;                               // guarded by mu_
+  uint64_t liveness_epoch_ = 1;                            // guarded by mu_
+  SimNetStats stats_;                                      // guarded by mu_
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_NET_SIMNET_H_

@@ -7,7 +7,7 @@
 namespace mpq {
 
 namespace {
-constexpr double kMinLatencyS = 1e-6;  // bucket 1 lower bound
+constexpr double kMinLatencyS = 1e-8;  // bucket 1 lower bound
 }  // namespace
 
 size_t LatencyHistogram::BucketOf(double seconds) {
@@ -91,6 +91,10 @@ std::string ServiceMetrics::ToJson() const {
       .UInt(admission_waits)
       .Key("in_flight_peak")
       .UInt(in_flight_peak)
+      .Key("failovers")
+      .UInt(failovers)
+      .Key("failover_retransfer_bytes")
+      .UInt(failover_retransfer_bytes)
       .Key("total_p50_ms")
       .Double(total_p50_ms)
       .Key("total_p95_ms")
@@ -109,6 +113,12 @@ std::string ServiceMetrics::ToJson() const {
       .Double(miss_p95_ms)
       .Key("miss_p99_ms")
       .Double(miss_p99_ms)
+      .Key("failover_p50_ms")
+      .Double(failover_p50_ms)
+      .Key("failover_p95_ms")
+      .Double(failover_p95_ms)
+      .Key("failover_p99_ms")
+      .Double(failover_p99_ms)
       .EndObject();
   return w.TakeString();
 }

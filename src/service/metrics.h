@@ -12,9 +12,12 @@
 
 namespace mpq {
 
-/// Fixed-bucket latency histogram over [1 µs, ~64 s), four log-spaced
-/// sub-buckets per octave (≤ ~19% relative quantile error). Record is a
-/// single relaxed atomic increment, safe from any number of threads.
+/// Fixed-bucket latency histogram over [10 ns, ~86 s), eight log-spaced
+/// sub-buckets per octave (≤ ~9% relative quantile error). The range starts
+/// far below a microsecond so sub-millisecond warm-cache hits land in real
+/// buckets instead of the underflow bucket — tests/service_test.cc pins
+/// this resolution. Record is a single relaxed atomic increment, safe from
+/// any number of threads.
 class LatencyHistogram {
  public:
   void Record(double seconds);
@@ -28,8 +31,8 @@ class LatencyHistogram {
   void Reset();
 
  private:
-  static constexpr size_t kSubBuckets = 4;   ///< per octave
-  static constexpr size_t kOctaves = 26;     ///< 1 µs << 26 ≈ 67 s
+  static constexpr size_t kSubBuckets = 8;   ///< per octave
+  static constexpr size_t kOctaves = 33;     ///< 10 ns << 33 ≈ 86 s
   static constexpr size_t kBuckets = kSubBuckets * kOctaves + 2;  // ± overflow
 
   static size_t BucketOf(double seconds);
@@ -57,10 +60,18 @@ struct ServiceMetrics {
   size_t in_flight_peak = 0;
   double hit_rate = 0;  ///< hits / (hits + misses), 0 when idle.
 
+  // Failover accounting (queries recovered via an alternative authorized
+  // assignment after a provider failure).
+  uint64_t failovers = 0;
+  uint64_t failover_retransfer_bytes = 0;
+
   // End-to-end Execute latency, split by cache outcome (milliseconds).
   double total_p50_ms = 0, total_p95_ms = 0, total_p99_ms = 0;
   double hit_p50_ms = 0, hit_p95_ms = 0, hit_p99_ms = 0;
   double miss_p50_ms = 0, miss_p95_ms = 0, miss_p99_ms = 0;
+  // Added latency of recovered queries: failure detection → recovered
+  // result (milliseconds).
+  double failover_p50_ms = 0, failover_p95_ms = 0, failover_p99_ms = 0;
 
   /// One-line-per-field JSON object.
   std::string ToJson() const;

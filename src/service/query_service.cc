@@ -7,6 +7,7 @@
 #include "candidates/candidates.h"
 #include "common/rng.h"
 #include "common/str_util.h"
+#include "exec/failover.h"
 #include "extend/keys.h"
 #include "profile/propagate.h"
 #include "sql/binder.h"
@@ -29,6 +30,7 @@ size_t QueryService::PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
                          0x9e3779b97f4a7c15ull);
   h = SplitMix64(h ^ k.catalog_version * 0xbf58476d1ce4e5b9ull);
   h = SplitMix64(h ^ k.policy_epoch * 0x94d049bb133111ebull);
+  h = SplitMix64(h ^ k.net_epoch * 0xd6e8feb86659fd93ull);
   return static_cast<size_t>(h);
 }
 
@@ -173,9 +175,17 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
         missing.ToString(catalog_->attrs()).c_str()));
   }
 
-  // Candidates + minimum-cost authorized assignment.
-  MPQ_ASSIGN_OR_RETURN(CandidatePlan cp,
-                       ComputeCandidates(entry->bound_plan.get(), *policy_));
+  // Candidates + minimum-cost authorized assignment, routing around any
+  // subject the network currently reports down.
+  SubjectSet excluded;
+  if (config_.net != nullptr) {
+    for (SubjectId s : config_.net->DownSubjects()) excluded.Insert(s);
+  }
+  MPQ_ASSIGN_OR_RETURN(
+      CandidatePlan cp,
+      ComputeCandidates(entry->bound_plan.get(), *policy_,
+                        /*require_nonempty=*/true,
+                        excluded.empty() ? nullptr : &excluded));
   SchemeMap schemes =
       AnalyzeSchemes(entry->bound_plan.get(), *catalog_, config_.caps);
   CostModel cost_model(catalog_, prices_, topology_, &schemes);
@@ -207,6 +217,8 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
       MakeCryptoPlan(entry->assignment.refined_schemes, entry->keys));
   entry->runtime->SetThreadPool(pool_.get());
   entry->runtime->SetBatchSize(config_.batch_size);
+  entry->runtime->SetNetwork(config_.net);
+  entry->runtime->SetNetPolicy(config_.net_policy);
   return entry;
 }
 
@@ -230,6 +242,7 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   key.subject = session.subject();
   key.catalog_version = catalog_->version();
   key.policy_epoch = policy_->epoch();
+  key.net_epoch = config_.net != nullptr ? config_.net->liveness_epoch() : 0;
 
   std::shared_ptr<PreparedPlan> entry = cache_.Get(key);
   CacheOutcome outcome = entry ? CacheOutcome::kHit : CacheOutcome::kMiss;
@@ -241,20 +254,78 @@ Result<QueryResponse> QueryService::ExecuteInternal(
       return built.status();
     }
     if (policy_->epoch() == key.policy_epoch &&
-        catalog_->version() == key.catalog_version) {
+        catalog_->version() == key.catalog_version &&
+        (config_.net == nullptr ||
+         config_.net->liveness_epoch() == key.net_epoch)) {
       entry = cache_.PutIfAbsent(key, std::move(*built));
     } else {
-      // The policy or schema moved while we were planning; the plan is fine
-      // for this in-flight request (concurrent with the mutation) but must
-      // not be memoized under a key it might no longer be authorized for.
+      // The policy, schema, or network liveness moved while we were
+      // planning; the plan is fine for this in-flight request (concurrent
+      // with the mutation) but must not be memoized under a key it might
+      // no longer be right for.
       entry = std::move(*built);
     }
   }
   double plan_s = SecondsSince(t0);
 
   auto t1 = Clock::now();
+  uint64_t delivered_before =
+      config_.net != nullptr ? config_.net->GetStats().bytes_delivered : 0;
   Result<DistributedResult> run =
       entry->runtime->Run(entry->assignment.extended, session.subject());
+
+  // Retry-on-failover: a provider died under the cached plan. Retire the
+  // entry (the next request re-plans around the down subjects) and recover
+  // this request through the minimum-cost authorized alternative assignment
+  // — chosen and verified under the *current* policy, never the one the
+  // stale plan was built against.
+  size_t failovers = 0;
+  uint64_t retransfer_bytes = 0;
+  double planned_cost_usd = entry->assignment.exact_cost.total_usd();
+  uint64_t plan_epoch = entry->policy_epoch;
+  uint64_t plan_catalog_version = entry->catalog_version;
+  if (!run.ok() && run.status().code() == StatusCode::kUnavailable &&
+      config_.net != nullptr && config_.max_failovers > 0) {
+    cache_.Erase(key);
+    // Delta of the shared net counter: under concurrent traffic on the same
+    // SimNet this is aggregate attribution, not exact per-request bytes
+    // (the failed Run's own accounting does not survive its error).
+    retransfer_bytes =
+        config_.net->GetStats().bytes_delivered - delivered_before;
+    FailoverConfig fc;
+    fc.caps = config_.caps;
+    fc.key_seed = SplitMix64(config_.key_seed ^ 0xfa170fe3ull ^
+                             std::hash<std::string>{}(normalized_sql));
+    fc.max_failovers = config_.max_failovers;
+    fc.net_policy = config_.net_policy;
+    fc.pool = pool_.get();
+    fc.batch_size = config_.batch_size;
+    FailoverExecutor failover(catalog_, subjects_, policy_, prices_,
+                              topology_, config_.net, fc);
+    {
+      std::lock_guard<std::mutex> lock(tables_mu_);
+      for (const auto& [rel, table] : tables_) {
+        failover.LoadTable(rel, table);
+      }
+    }
+    Result<FailoverOutcome> recovered =
+        failover.Recover(entry->bound_plan.get(), session.subject());
+    if (recovered.ok()) {
+      failovers = recovered->failovers;
+      retransfer_bytes += recovered->retransfer_bytes;
+      planned_cost_usd = recovered->assignment.exact_cost.total_usd();
+      plan_epoch = policy_->epoch();
+      plan_catalog_version = catalog_->version();
+      failovers_.fetch_add(failovers, std::memory_order_relaxed);
+      failover_retransfer_bytes_.fetch_add(retransfer_bytes,
+                                           std::memory_order_relaxed);
+      latency_failover_.Record(recovered->failover_latency_s);
+      run = std::move(recovered->result);
+    } else {
+      run = recovered.status();
+    }
+  }
+
   if (!run.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     return run.status();
@@ -276,12 +347,15 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   response.stats.plan_s = plan_s;
   response.stats.exec_s = exec_s;
   response.stats.cache = outcome;
-  response.stats.policy_epoch = entry->policy_epoch;
-  response.stats.catalog_version = entry->catalog_version;
+  response.stats.policy_epoch = plan_epoch;
+  response.stats.catalog_version = plan_catalog_version;
   response.stats.result_rows = response.table.num_rows();
   response.stats.transfer_bytes = run->total_transfer_bytes;
   response.stats.num_messages = run->num_messages;
-  response.stats.planned_cost_usd = entry->assignment.exact_cost.total_usd();
+  response.stats.planned_cost_usd = planned_cost_usd;
+  response.stats.failovers = failovers;
+  response.stats.retransfer_bytes = retransfer_bytes;
+  response.stats.net_virtual_s = run->net.virtual_s;
   return response;
 }
 
@@ -303,6 +377,9 @@ ServiceMetrics QueryService::Metrics() const {
   m.rows_returned = rows_returned_.load(std::memory_order_relaxed);
   m.transfer_bytes = transfer_bytes_.load(std::memory_order_relaxed);
   m.messages = messages_.load(std::memory_order_relaxed);
+  m.failovers = failovers_.load(std::memory_order_relaxed);
+  m.failover_retransfer_bytes =
+      failover_retransfer_bytes_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
     m.admission_waits = admission_waits_;
@@ -317,6 +394,9 @@ ServiceMetrics QueryService::Metrics() const {
   m.miss_p50_ms = latency_miss_.Quantile(0.50) * 1e3;
   m.miss_p95_ms = latency_miss_.Quantile(0.95) * 1e3;
   m.miss_p99_ms = latency_miss_.Quantile(0.99) * 1e3;
+  m.failover_p50_ms = latency_failover_.Quantile(0.50) * 1e3;
+  m.failover_p95_ms = latency_failover_.Quantile(0.95) * 1e3;
+  m.failover_p99_ms = latency_failover_.Quantile(0.99) * 1e3;
   return m;
 }
 

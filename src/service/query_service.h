@@ -27,6 +27,7 @@
 #include "common/thread_pool.h"
 #include "exec/distributed.h"
 #include "net/pricing.h"
+#include "net/simnet.h"
 #include "net/topology.h"
 #include "service/metrics.h"
 #include "service/sharded_cache.h"
@@ -44,6 +45,15 @@ struct ServiceConfig {
   size_t batch_size = 1024;  ///< Rows per executor batch.
   uint64_t key_seed = 2025;           ///< Base seed for per-plan key material.
   SchemeCaps caps;                    ///< Encrypted-execution capabilities.
+  /// Simulated network (borrowed; may be null = ideal fabric). With a net
+  /// attached, fragment transfers obey its links and fault plan, and a
+  /// provider failure mid-query triggers the retry-on-failover path: the
+  /// service re-plans around the down subjects (under the *current* policy),
+  /// executes the minimum-cost authorized alternative, and retires the
+  /// stale cache entry.
+  SimNet* net = nullptr;
+  NetPolicy net_policy;      ///< Per-edge retry/deadline budget.
+  size_t max_failovers = 2;  ///< Re-plan attempts per Execute.
 };
 
 /// How a request's plan was obtained.
@@ -61,6 +71,10 @@ struct QueryStats {
   uint64_t transfer_bytes = 0;   ///< Bytes crossing assignee boundaries.
   size_t num_messages = 0;
   double planned_cost_usd = 0;   ///< The optimizer's exact plan cost.
+  size_t failovers = 0;          ///< Re-plans needed to produce the result.
+  /// Bytes moved by abandoned attempts and transferred again on recovery.
+  uint64_t retransfer_bytes = 0;
+  double net_virtual_s = 0;      ///< Simulated network seconds of the run.
 };
 
 /// A query result plus its serving stats.
@@ -153,10 +167,14 @@ class QueryService {
     SubjectId subject = kInvalidSubject;
     uint64_t catalog_version = 0;
     uint64_t policy_epoch = 0;
+    /// SimNet::liveness_epoch at request start (0 without a net): a plan
+    /// built around a down provider stops being served once liveness
+    /// changes, instead of outliving the outage.
+    uint64_t net_epoch = 0;
 
     bool operator==(const PlanCacheKey& o) const {
       return subject == o.subject && catalog_version == o.catalog_version &&
-             policy_epoch == o.policy_epoch &&
+             policy_epoch == o.policy_epoch && net_epoch == o.net_epoch &&
              normalized_sql == o.normalized_sql;
     }
   };
@@ -213,11 +231,14 @@ class QueryService {
   std::atomic<uint64_t> rows_returned_{0};
   std::atomic<uint64_t> transfer_bytes_{0};
   std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> failover_retransfer_bytes_{0};
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> next_statement_id_{1};
   LatencyHistogram latency_total_;
   LatencyHistogram latency_hit_;
   LatencyHistogram latency_miss_;
+  LatencyHistogram latency_failover_;
 };
 
 }  // namespace mpq

@@ -75,6 +75,19 @@ class ShardedLruCache {
     return shard.lru.front().second;
   }
 
+  /// Drops the entry under `key`, if any; returns whether one was dropped.
+  /// The serving layer uses this to retire a plan whose assignee died —
+  /// the next request re-plans around the down subjects.
+  bool Erase(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return true;
+  }
+
   /// Drops every entry (stat counters survive).
   void Clear() {
     for (auto& shard : shards_) {

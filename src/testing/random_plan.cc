@@ -4,6 +4,7 @@
 
 #include "algebra/plan_builder.h"
 #include "common/rng.h"
+#include "exec/executor.h"
 #include "profile/propagate.h"
 
 namespace mpq {
@@ -236,6 +237,28 @@ Result<RandomScenario> MakeRandomScenario(uint64_t seed,
   MPQ_RETURN_NOT_OK(DerivePlaintextNeeds(sc.plan.get(), *sc.catalog, caps));
   MPQ_RETURN_NOT_OK(AnnotatePlan(sc.plan.get(), *sc.catalog));
   return sc;
+}
+
+std::map<RelId, Table> MakeRandomData(const RandomScenario& sc, uint64_t seed,
+                                      int rows) {
+  Rng rng(seed);
+  std::map<RelId, Table> data;
+  for (const RelationDef& rel : sc.catalog->relations()) {
+    Table t = MakeBaseTable(rel);
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Cell> row;
+      for (const Column& c : rel.schema.columns()) {
+        if (c.type == DataType::kString) {
+          row.push_back(Cell(Value("s" + std::to_string(rng.Range(0, 5)))));
+        } else {
+          row.push_back(Cell(Value(rng.Range(0, 40))));
+        }
+      }
+      t.AddRow(std::move(row));
+    }
+    data.emplace(rel.id, std::move(t));
+  }
+  return data;
 }
 
 }  // namespace mpq

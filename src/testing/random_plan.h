@@ -5,11 +5,13 @@
 #ifndef MPQ_TESTING_RANDOM_PLAN_H_
 #define MPQ_TESTING_RANDOM_PLAN_H_
 
+#include <map>
 #include <memory>
 
 #include "algebra/plan.h"
 #include "assign/schemes.h"
 #include "authz/policy.h"
+#include "exec/table.h"
 
 namespace mpq {
 
@@ -40,6 +42,13 @@ struct RandomScenario {
 /// inputs), so every generated plan has at least one feasible assignment.
 Result<RandomScenario> MakeRandomScenario(uint64_t seed,
                                           const RandomPlanOptions& opts = {});
+
+/// Random base-table contents for every relation of `sc`: `rows` rows per
+/// relation, int columns drawn from [0, 40] (small domain so joins and
+/// group-bys hit) and string columns from a 6-value vocabulary. Purely a
+/// function of (`sc`, `seed`).
+std::map<RelId, Table> MakeRandomData(const RandomScenario& sc, uint64_t seed,
+                                      int rows = 30);
 
 }  // namespace mpq
 

@@ -1,0 +1,75 @@
+#include "testing/reference_exec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace mpq {
+
+Result<Table> ReferenceExecutor::Run(const PlanNode* plan) const {
+  static const KeyRing kNoKeys;
+  static const CryptoPlan kNoCrypto;
+  ExecContext ctx;
+  ctx.catalog = catalog_;
+  for (const auto& [rel, table] : tables_) ctx.base_tables[rel] = table;
+  ctx.keyring = &kNoKeys;
+  ctx.crypto = &kNoCrypto;
+  return ExecutePlan(plan, &ctx);
+}
+
+namespace {
+
+std::string CanonicalCell(const Cell& cell) {
+  if (cell.is_encrypted()) {
+    // Ciphertext at a result boundary is a test failure in the making (the
+    // oracle never produces one); render it distinctly rather than hiding
+    // it.
+    return "<enc:" + cell.enc().blob + ">";
+  }
+  const Value& v = cell.plain();
+  if (v.is_null()) return "NULL";
+  if (v.is_int()) return std::to_string(v.AsInt());
+  if (v.is_double()) {
+    // 17 significant digits round-trip any IEEE-754 double: equal renderings
+    // iff bit-identical values (modulo -0.0/0.0, which no aggregate here
+    // produces from identical inputs differently).
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+    return buf;
+  }
+  return "'" + v.AsString() + "'";
+}
+
+}  // namespace
+
+std::vector<std::string> CanonicalRows(const Table& t) {
+  // Column permutation sorted by attribute id, so plans that emit the same
+  // attributes in different physical order still canonicalize equal.
+  std::vector<size_t> order(t.num_columns());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return t.columns()[a].attr < t.columns()[b].attr;
+  });
+
+  std::vector<std::string> rows;
+  rows.reserve(t.num_rows() + 1);
+  // Header row: the attribute ids themselves, so two results only compare
+  // equal over the same schema.
+  std::string header;
+  for (size_t c : order) {
+    header += "#" + std::to_string(t.columns()[c].attr) + "|";
+  }
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string row;
+    for (size_t c : order) {
+      row += CanonicalCell(t.row(r)[c]);
+      row += "|";
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.insert(rows.begin(), std::move(header));
+  return rows;
+}
+
+}  // namespace mpq

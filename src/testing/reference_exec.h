@@ -1,0 +1,45 @@
+// Single-site plaintext oracle for differential testing: executes the
+// original (pre-extension) plan in one engine with no keys, no crypto plan
+// and no thread pool — the simplest possible interpretation of the query.
+// Differential tests run the full distributed-encrypted pipeline (with and
+// without injected faults) and assert its result is equivalent to this
+// oracle's.
+
+#ifndef MPQ_TESTING_REFERENCE_EXEC_H_
+#define MPQ_TESTING_REFERENCE_EXEC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace mpq {
+
+/// The oracle. Base tables are borrowed; the caller keeps them alive.
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const Catalog* catalog) : catalog_(catalog) {}
+
+  void LoadTable(RelId rel, const Table* data) { tables_[rel] = data; }
+
+  /// Plaintext single-site execution of `plan`.
+  Result<Table> Run(const PlanNode* plan) const;
+
+ private:
+  const Catalog* catalog_;
+  std::map<RelId, const Table*> tables_;
+};
+
+/// Canonical order-insensitive rendering of a result table, the form
+/// differential tests compare: columns sorted by attribute id, every cell
+/// rendered bit-exactly (ints in full, doubles with 17 significant digits —
+/// enough to round-trip IEEE-754), rows sorted lexicographically. Two tables
+/// canonicalize equal iff they hold the same multiset of rows over the same
+/// attributes; physical row order (which legitimately differs between a
+/// hash-grouped ciphertext run and the plaintext oracle) does not matter.
+std::vector<std::string> CanonicalRows(const Table& t);
+
+}  // namespace mpq
+
+#endif  // MPQ_TESTING_REFERENCE_EXEC_H_

@@ -118,22 +118,7 @@ TEST_P(RandomScenarioTest, ExtendedExecutionMatchesPlaintext) {
 
   // Generate small random tables for the scenario's relations.
   Rng rng(GetParam() ^ 0xfeed);
-  std::map<RelId, Table> data;
-  for (const RelationDef& rel : sc->catalog->relations()) {
-    Table t = MakeBaseTable(rel);
-    for (int r = 0; r < 30; ++r) {
-      std::vector<Cell> row;
-      for (const Column& c : rel.schema.columns()) {
-        if (c.type == DataType::kString) {
-          row.push_back(Cell(Value("s" + std::to_string(rng.Range(0, 5)))));
-        } else {
-          row.push_back(Cell(Value(rng.Range(0, 40))));
-        }
-      }
-      t.AddRow(std::move(row));
-    }
-    data.emplace(rel.id, std::move(t));
-  }
+  std::map<RelId, Table> data = MakeRandomData(*sc, GetParam() ^ 0xfeed);
 
   // Plaintext reference execution.
   KeyRing empty_ring;

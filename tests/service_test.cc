@@ -599,6 +599,46 @@ TEST(LatencyHistogramTest, QuantilesAreOrderedAndApproximate) {
   EXPECT_EQ(h.Quantile(0.5), 0);
 }
 
+TEST(LatencyHistogramTest, ResolvesSubMillisecondLatencies) {
+  // Regression: with the old [1 µs, 64 s) range and 4 sub-buckets/octave,
+  // a 200 ns observation fell into the underflow bucket and quantiles came
+  // back as bucket-0 interpolations (up to 1 µs — 400% off). Warm-cache
+  // hits live exactly in this sub-millisecond regime.
+  LatencyHistogram fast;
+  for (int i = 0; i < 100; ++i) fast.Record(2e-7);
+  EXPECT_NEAR(fast.Quantile(0.5), 2e-7, 0.4e-7);
+
+  LatencyHistogram warm;
+  for (int i = 0; i < 100; ++i) warm.Record(5e-5);
+  EXPECT_NEAR(warm.Quantile(0.5), 5e-5, 0.5e-5);  // ≤ ~9% bucket error
+
+  // Two sub-millisecond populations a factor 2 apart stay distinguishable.
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(1e-4);
+    b.Record(2e-4);
+  }
+  EXPECT_LT(a.Quantile(0.5) * 1.5, b.Quantile(0.5));
+}
+
+TEST_F(ServiceTest, WarmP50StaysBelowColdP50) {
+  // Regression for the histogram bucket range: warm hits (no planning) must
+  // report a p50 strictly below the cold p50, and as a real value — not a
+  // sub-resolution artifact rounded toward zero.
+  auto service = MakeService();
+  auto session = service->OpenSession(ex_->U);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(service->ExecuteSql(kPaperSql, *session).ok());  // cold
+  for (int i = 0; i < 32; ++i) {
+    auto warm = service->ExecuteSql(kPaperSql, *session);
+    ASSERT_TRUE(warm.ok());
+    ASSERT_EQ(warm->stats.cache, CacheOutcome::kHit);
+  }
+  ServiceMetrics m = service->Metrics();
+  EXPECT_GT(m.hit_p50_ms, 0.0);
+  EXPECT_LT(m.hit_p50_ms, m.miss_p50_ms);
+}
+
 TEST_F(ServiceTest, MetricsJsonExposesServingCounters) {
   auto service = MakeService();
   auto session = service->OpenSession(ex_->U);
@@ -610,7 +650,8 @@ TEST_F(ServiceTest, MetricsJsonExposesServingCounters) {
   for (const char* key :
        {"\"queries\":2", "\"cache_hits\":1", "\"cache_misses\":1",
         "\"hit_rate\":0.5", "\"total_p50_ms\":", "\"miss_p50_ms\":",
-        "\"transfer_bytes\":"}) {
+        "\"transfer_bytes\":", "\"failovers\":0",
+        "\"failover_retransfer_bytes\":0", "\"failover_p50_ms\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
 }
