@@ -48,6 +48,9 @@ class Cell {
 
   const Value& plain() const { return std::get<Value>(v_); }
   const EncValue& enc() const { return std::get<EncValue>(v_); }
+  /// Mutable views, for callers that move a cell's payload out.
+  Value& plain_mut() { return std::get<Value>(v_); }
+  EncValue& enc_mut() { return std::get<EncValue>(v_); }
 
   size_t ByteSize() const {
     return is_plain() ? plain().ByteSize() : enc().ByteSize();
@@ -71,19 +74,21 @@ Result<EncValue> EncryptValue(const Value& v, EncScheme scheme, uint64_t key_id,
 Result<Value> DecryptValue(const EncValue& ev, const KeyMaterial& keys,
                            DataType type);
 
-/// Batch encryption: rewrites the `n` plaintext cells `cells[0..n)` in place
-/// to ciphertexts under (`scheme`, `key_id`). One key lookup serves the whole
-/// batch, and cell `i` draws nonce `nonce_base + i` from a pre-reserved
-/// range, so the result is independent of how batches are scheduled across
-/// threads.
-Status EncryptCellBatch(Cell* const* cells, size_t n, EncScheme scheme,
+/// Batch encryption over a contiguous cell array: rewrites the `n` plaintext
+/// cells `cells[0..n)` in place to ciphertexts under (`scheme`, `key_id`).
+/// One key-material lookup serves the whole batch, and cell `i` draws nonce
+/// `nonce_base + i` from a pre-reserved range, so the result is independent
+/// of how column batches are scheduled across threads. The executor's
+/// encrypt operator feeds each column batch through here.
+Status EncryptCellBatch(Cell* cells, size_t n, EncScheme scheme,
                         uint64_t key_id, const KeyMaterial& keys,
                         uint64_t nonce_base);
 
-/// Batch decryption, inverse of EncryptCellBatch. When `hom_avg` is set the
-/// cells hold Paillier sums whose `aux` counter is the divisor (homomorphic
-/// averages); the plaintext written back is the divided double.
-Status DecryptCellBatch(Cell* const* cells, size_t n, const KeyMaterial& keys,
+/// Batch decryption over a contiguous cell array, inverse of
+/// EncryptCellBatch. When `hom_avg` is set the cells hold Paillier sums
+/// whose `aux` counter is the divisor (homomorphic averages); the plaintext
+/// written back is the divided double.
+Status DecryptCellBatch(Cell* cells, size_t n, const KeyMaterial& keys,
                         DataType type, bool hom_avg);
 
 /// Evaluates `a op b` over two cells. Plaintext pairs compare as Values;

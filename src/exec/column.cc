@@ -1,0 +1,466 @@
+#include "exec/column.h"
+
+#include <cstring>
+
+namespace mpq {
+
+const char* ColumnRepName(ColumnRep r) {
+  switch (r) {
+    case ColumnRep::kInt64:
+      return "int64";
+    case ColumnRep::kDouble:
+      return "double";
+    case ColumnRep::kString:
+      return "string";
+    case ColumnRep::kEnc:
+      return "enc";
+    case ColumnRep::kCell:
+      return "cell";
+  }
+  return "unknown";
+}
+
+ColumnRep RepForType(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return ColumnRep::kInt64;
+    case DataType::kDouble:
+      return ColumnRep::kDouble;
+    case DataType::kString:
+      return ColumnRep::kString;
+  }
+  return ColumnRep::kCell;
+}
+
+void ColumnData::Reserve(size_t n) {
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      i64_.reserve(n);
+      break;
+    case ColumnRep::kDouble:
+      f64_.reserve(n);
+      break;
+    case ColumnRep::kString:
+      str_.reserve(n);
+      break;
+    case ColumnRep::kEnc:
+      enc_.reserve(n);
+      break;
+    case ColumnRep::kCell:
+      cells_.reserve(n);
+      break;
+  }
+}
+
+void ColumnData::Clear() {
+  i64_.clear();
+  f64_.clear();
+  str_.clear();
+  enc_.clear();
+  cells_.clear();
+  nulls_.clear();
+  size_ = 0;
+}
+
+void ColumnData::EnsureNulls() {
+  if (nulls_.empty()) nulls_.assign(size_, 0);
+}
+
+void ColumnData::GrowNulls(size_t n) {
+  if (!nulls_.empty()) nulls_.insert(nulls_.end(), n, 0);
+}
+
+void ColumnData::DemoteToCells() {
+  if (rep_ == ColumnRep::kCell) return;
+  std::vector<Cell> cells;
+  cells.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) cells.push_back(GetCell(i));
+  cells_ = std::move(cells);
+  i64_.clear();
+  f64_.clear();
+  str_.clear();
+  enc_.clear();
+  nulls_.clear();
+  rep_ = ColumnRep::kCell;
+}
+
+void ColumnData::AppendNull() {
+  // kCell holds NULLs as actual null cells; the mask exists only for typed
+  // reps (kCell appends never grow it, so the two must not mix).
+  if (rep_ == ColumnRep::kCell) {
+    cells_.push_back(Cell(Value::Null()));
+    size_++;
+    return;
+  }
+  EnsureNulls();
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      i64_.push_back(0);
+      break;
+    case ColumnRep::kDouble:
+      f64_.push_back(0);
+      break;
+    case ColumnRep::kString:
+      str_.emplace_back();
+      break;
+    case ColumnRep::kEnc:
+      enc_.emplace_back();
+      break;
+    case ColumnRep::kCell:
+      break;  // handled above
+  }
+  nulls_.push_back(1);
+  size_++;
+}
+
+void ColumnData::AppendValue(Value v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      if (v.is_int()) {
+        i64_.push_back(v.AsInt());
+        GrowNulls(1);
+        size_++;
+        return;
+      }
+      break;
+    case ColumnRep::kDouble:
+      if (v.is_double()) {
+        f64_.push_back(v.AsDouble());
+        GrowNulls(1);
+        size_++;
+        return;
+      }
+      break;
+    case ColumnRep::kString:
+      if (v.is_string()) {
+        str_.push_back(v.AsString());
+        GrowNulls(1);
+        size_++;
+        return;
+      }
+      break;
+    case ColumnRep::kEnc:
+      break;
+    case ColumnRep::kCell:
+      cells_.push_back(Cell(std::move(v)));
+      size_++;
+      return;
+  }
+  DemoteToCells();
+  cells_.push_back(Cell(std::move(v)));
+  size_++;
+}
+
+void ColumnData::Append(Cell c) {
+  if (c.is_encrypted()) {
+    if (rep_ == ColumnRep::kEnc) {
+      enc_.push_back(std::move(c.enc_mut()));
+      GrowNulls(1);
+      size_++;
+      return;
+    }
+    if (rep_ != ColumnRep::kCell) DemoteToCells();
+    cells_.push_back(std::move(c));
+    size_++;
+    return;
+  }
+  if (rep_ == ColumnRep::kCell) {
+    cells_.push_back(std::move(c));
+    size_++;
+    return;
+  }
+  AppendValue(std::move(c.plain_mut()));
+}
+
+Cell ColumnData::GetCell(size_t i) const {
+  assert(i < size_);
+  if (IsNull(i)) return Cell(Value::Null());
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      return Cell(Value(i64_[i]));
+    case ColumnRep::kDouble:
+      return Cell(Value(f64_[i]));
+    case ColumnRep::kString:
+      return Cell(Value(str_[i]));
+    case ColumnRep::kEnc:
+      return Cell(enc_[i]);
+    case ColumnRep::kCell:
+      return cells_[i];
+  }
+  return Cell();
+}
+
+Value ColumnData::GetValue(size_t i) const {
+  assert(i < size_);
+  if (IsNull(i)) return Value::Null();
+  switch (rep_) {
+    case ColumnRep::kInt64:
+      return Value(i64_[i]);
+    case ColumnRep::kDouble:
+      return Value(f64_[i]);
+    case ColumnRep::kString:
+      return Value(str_[i]);
+    case ColumnRep::kEnc:
+      assert(false && "GetValue on an encrypted column");
+      return Value::Null();
+    case ColumnRep::kCell:
+      return cells_[i].plain();
+  }
+  return Value::Null();
+}
+
+void ColumnData::AppendFrom(const ColumnData& src, size_t i) {
+  if (src.rep_ == rep_ && !src.IsNull(i)) {
+    switch (rep_) {
+      case ColumnRep::kInt64:
+        i64_.push_back(src.i64_[i]);
+        break;
+      case ColumnRep::kDouble:
+        f64_.push_back(src.f64_[i]);
+        break;
+      case ColumnRep::kString:
+        str_.push_back(src.str_[i]);
+        break;
+      case ColumnRep::kEnc:
+        enc_.push_back(src.enc_[i]);
+        break;
+      case ColumnRep::kCell:
+        cells_.push_back(src.cells_[i]);
+        size_++;
+        return;
+    }
+    GrowNulls(1);
+    size_++;
+    return;
+  }
+  Append(src.GetCell(i));
+}
+
+void ColumnData::AppendRange(const ColumnData& src, size_t begin, size_t end) {
+  if (src.rep_ == rep_) {
+    size_t n = end - begin;
+    switch (rep_) {
+      case ColumnRep::kInt64:
+        i64_.insert(i64_.end(), src.i64_.begin() + static_cast<long>(begin),
+                    src.i64_.begin() + static_cast<long>(end));
+        break;
+      case ColumnRep::kDouble:
+        f64_.insert(f64_.end(), src.f64_.begin() + static_cast<long>(begin),
+                    src.f64_.begin() + static_cast<long>(end));
+        break;
+      case ColumnRep::kString:
+        str_.insert(str_.end(), src.str_.begin() + static_cast<long>(begin),
+                    src.str_.begin() + static_cast<long>(end));
+        break;
+      case ColumnRep::kEnc:
+        enc_.insert(enc_.end(), src.enc_.begin() + static_cast<long>(begin),
+                    src.enc_.begin() + static_cast<long>(end));
+        break;
+      case ColumnRep::kCell:
+        cells_.insert(cells_.end(),
+                      src.cells_.begin() + static_cast<long>(begin),
+                      src.cells_.begin() + static_cast<long>(end));
+        size_ += n;
+        return;
+    }
+    if (src.has_nulls()) {
+      EnsureNulls();
+      nulls_.insert(nulls_.end(),
+                    src.nulls_.begin() + static_cast<long>(begin),
+                    src.nulls_.begin() + static_cast<long>(end));
+    } else {
+      GrowNulls(n);
+    }
+    size_ += n;
+    return;
+  }
+  for (size_t i = begin; i < end; ++i) Append(src.GetCell(i));
+}
+
+void ColumnData::AppendSelected(const ColumnData& src, const uint32_t* sel,
+                                size_t n) {
+  if (src.rep_ == rep_) {
+    switch (rep_) {
+      case ColumnRep::kInt64:
+        for (size_t k = 0; k < n; ++k) i64_.push_back(src.i64_[sel[k]]);
+        break;
+      case ColumnRep::kDouble:
+        for (size_t k = 0; k < n; ++k) f64_.push_back(src.f64_[sel[k]]);
+        break;
+      case ColumnRep::kString:
+        for (size_t k = 0; k < n; ++k) str_.push_back(src.str_[sel[k]]);
+        break;
+      case ColumnRep::kEnc:
+        for (size_t k = 0; k < n; ++k) enc_.push_back(src.enc_[sel[k]]);
+        break;
+      case ColumnRep::kCell:
+        for (size_t k = 0; k < n; ++k) cells_.push_back(src.cells_[sel[k]]);
+        size_ += n;
+        return;
+    }
+    if (src.has_nulls()) {
+      EnsureNulls();
+      for (size_t k = 0; k < n; ++k) nulls_.push_back(src.nulls_[sel[k]]);
+    } else {
+      GrowNulls(n);
+    }
+    size_ += n;
+    return;
+  }
+  for (size_t k = 0; k < n; ++k) Append(src.GetCell(sel[k]));
+}
+
+void ColumnData::AppendRepeated(const ColumnData& src, size_t i, size_t times) {
+  for (size_t k = 0; k < times; ++k) AppendFrom(src, i);
+}
+
+void ColumnData::MoveAppend(ColumnData&& src) {
+  if (src.size_ == 0) return;
+  if (size_ == 0 && rep_ == src.rep_) {
+    *this = std::move(src);
+    src.Clear();
+    return;
+  }
+  if (rep_ == src.rep_) {
+    size_t n = src.size_;
+    switch (rep_) {
+      case ColumnRep::kInt64:
+        i64_.insert(i64_.end(), src.i64_.begin(), src.i64_.end());
+        break;
+      case ColumnRep::kDouble:
+        f64_.insert(f64_.end(), src.f64_.begin(), src.f64_.end());
+        break;
+      case ColumnRep::kString:
+        str_.insert(str_.end(), std::make_move_iterator(src.str_.begin()),
+                    std::make_move_iterator(src.str_.end()));
+        break;
+      case ColumnRep::kEnc:
+        enc_.insert(enc_.end(), std::make_move_iterator(src.enc_.begin()),
+                    std::make_move_iterator(src.enc_.end()));
+        break;
+      case ColumnRep::kCell:
+        cells_.insert(cells_.end(),
+                      std::make_move_iterator(src.cells_.begin()),
+                      std::make_move_iterator(src.cells_.end()));
+        size_ += n;
+        src.Clear();
+        return;
+    }
+    if (src.has_nulls()) {
+      EnsureNulls();
+      nulls_.insert(nulls_.end(), src.nulls_.begin(), src.nulls_.end());
+    } else {
+      GrowNulls(n);
+    }
+    size_ += n;
+    src.Clear();
+    return;
+  }
+  for (size_t i = 0; i < src.size_; ++i) Append(src.GetCell(i));
+  src.Clear();
+}
+
+uint64_t ColumnData::ByteSize() const {
+  uint64_t total = 0;
+  switch (rep_) {
+    case ColumnRep::kInt64:
+    case ColumnRep::kDouble:
+      if (has_nulls()) {
+        for (size_t i = 0; i < size_; ++i) total += IsNull(i) ? 1 : 8;
+      } else {
+        total = 8 * size_;
+      }
+      return total;
+    case ColumnRep::kString:
+      for (size_t i = 0; i < size_; ++i) {
+        total += IsNull(i) ? 1 : str_[i].size() + 4;
+      }
+      return total;
+    case ColumnRep::kEnc:
+      for (size_t i = 0; i < size_; ++i) {
+        total += IsNull(i) ? 1 : enc_[i].ByteSize();
+      }
+      return total;
+    case ColumnRep::kCell:
+      for (const Cell& c : cells_) total += c.ByteSize();
+      return total;
+  }
+  return total;
+}
+
+ColumnData ColumnFromCells(std::vector<Cell> cells) {
+  ColumnRep rep = ColumnRep::kCell;
+  for (const Cell& c : cells) {
+    if (c.is_encrypted()) {
+      rep = ColumnRep::kEnc;
+      break;
+    }
+    const Value& v = c.plain();
+    if (v.is_null()) continue;
+    if (v.is_int()) {
+      rep = ColumnRep::kInt64;
+    } else if (v.is_double()) {
+      rep = ColumnRep::kDouble;
+    } else {
+      rep = ColumnRep::kString;
+    }
+    break;
+  }
+  ColumnData out(rep);
+  out.Reserve(cells.size());
+  for (Cell& c : cells) out.Append(std::move(c));
+  return out;
+}
+
+ColumnData ColumnFromEnc(std::vector<EncValue> encs) {
+  ColumnData out;
+  out.AdoptEnc(std::move(encs));
+  return out;
+}
+
+Status AppendKeyBytes(const ColumnData& col, size_t r, std::string* out) {
+  if (col.IsNull(r)) {
+    out->push_back('N');
+    return Status::OK();
+  }
+  switch (col.rep()) {
+    case ColumnRep::kInt64: {
+      out->push_back('I');
+      int64_t v = col.i64()[r];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return Status::OK();
+    }
+    case ColumnRep::kDouble: {
+      out->push_back('D');
+      double v = col.f64()[r];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return Status::OK();
+    }
+    case ColumnRep::kString:
+      out->push_back('S');
+      out->append(col.str()[r]);
+      return Status::OK();
+    case ColumnRep::kEnc: {
+      const EncValue& ev = col.enc()[r];
+      if (ev.scheme == EncScheme::kDeterministic ||
+          ev.scheme == EncScheme::kOpe) {
+        out->append(ev.blob);
+        return Status::OK();
+      }
+      return Status::Unsupported(
+          "RND/HOM ciphertexts cannot serve as grouping or join keys");
+    }
+    case ColumnRep::kCell: {
+      MPQ_ASSIGN_OR_RETURN(std::string k, CellGroupKey(col.cells()[r]));
+      out->append(k);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable column rep");
+}
+
+}  // namespace mpq

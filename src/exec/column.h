@@ -1,0 +1,145 @@
+// Typed columnar storage: one ColumnData holds every cell of one column of
+// an executing relation as a contiguous typed vector (int64/double/string/
+// EncValue) plus an optional null mask, with a row-of-Cells fallback for the
+// rare heterogeneous column. Operators iterate column-at-a-time and move
+// whole columns between tables; selection vectors (row-index arrays) replace
+// intermediate row materialization.
+
+#ifndef MPQ_EXEC_COLUMN_H_
+#define MPQ_EXEC_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "crypto/enc_value.h"
+
+namespace mpq {
+
+/// Row indices selected out of a table (always ascending within one batch).
+using SelectionVector = std::vector<uint32_t>;
+
+/// Physical representation of a column's cells.
+enum class ColumnRep : uint8_t {
+  kInt64,   ///< contiguous int64_t
+  kDouble,  ///< contiguous double
+  kString,  ///< contiguous std::string
+  kEnc,     ///< contiguous EncValue (ciphertext cells)
+  kCell,    ///< heterogeneous fallback: materialized Cells
+};
+
+const char* ColumnRepName(ColumnRep r);
+
+/// The typed rep a plaintext column of `type` starts in.
+ColumnRep RepForType(DataType type);
+
+/// One column of a Table. The rep is a starting point, not a contract:
+/// appending a cell the current rep cannot hold demotes the column to the
+/// kCell fallback, so any historical row-major content remains expressible.
+/// NULL cells of typed reps live in the null mask (one byte per row,
+/// allocated lazily); the typed vector holds a default value in masked
+/// slots. The kCell rep represents NULLs as null cells and never carries a
+/// mask.
+class ColumnData {
+ public:
+  ColumnData() = default;
+  explicit ColumnData(ColumnRep rep) : rep_(rep) {}
+
+  ColumnRep rep() const { return rep_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool has_nulls() const { return !nulls_.empty(); }
+  bool IsNull(size_t i) const { return !nulls_.empty() && nulls_[i] != 0; }
+
+  /// Typed storage. Valid only for the matching rep.
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  const std::vector<std::string>& str() const { return str_; }
+  const std::vector<EncValue>& enc() const { return enc_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  std::vector<EncValue>& enc() { return enc_; }
+  std::vector<Cell>& cells() { return cells_; }
+
+  void Reserve(size_t n);
+  void Clear();
+
+  /// Appends one cell, demoting the rep if it cannot hold it.
+  void Append(Cell c);
+  void AppendValue(Value v);
+  void AppendNull();
+
+  /// Materializes row `i` as a Cell.
+  Cell GetCell(size_t i) const;
+
+  /// Plaintext view of row `i`; rep must not be kEnc (kCell rows must hold
+  /// plain cells).
+  Value GetValue(size_t i) const;
+
+  /// Appends row `i` of `src` (any rep combination).
+  void AppendFrom(const ColumnData& src, size_t i);
+
+  /// Appends rows [begin, end) of `src`.
+  void AppendRange(const ColumnData& src, size_t begin, size_t end);
+
+  /// Gather: appends src rows sel[0..n) in order.
+  void AppendSelected(const ColumnData& src, const uint32_t* sel, size_t n);
+
+  /// Appends row `i` of `src` `times` times (cartesian left side).
+  void AppendRepeated(const ColumnData& src, size_t i, size_t times);
+
+  /// Splices `src` onto this column, stealing its buffers when possible
+  /// (whole-vector move when this column is empty and reps match; otherwise
+  /// element moves). `src` is left empty.
+  void MoveAppend(ColumnData&& src);
+
+  /// Converts typed storage to the kCell fallback (no-op when already
+  /// there).
+  void DemoteToCells();
+
+  /// Replaces this column's content with a contiguous ciphertext vector.
+  void AdoptEnc(std::vector<EncValue> encs) {
+    Clear();
+    rep_ = ColumnRep::kEnc;
+    enc_ = std::move(encs);
+    size_ = enc_.size();
+  }
+
+  /// Payload bytes, matching the historical per-Cell accounting: null 1,
+  /// int64/double 8, string len+4, ciphertext blob+8.
+  uint64_t ByteSize() const;
+
+ private:
+  /// Extends the null mask to size_ entries (all zero) if absent.
+  void EnsureNulls();
+  /// Appends `n` not-null entries to the mask if it exists.
+  void GrowNulls(size_t n);
+
+  ColumnRep rep_ = ColumnRep::kCell;
+  size_t size_ = 0;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+  std::vector<EncValue> enc_;
+  std::vector<Cell> cells_;
+  std::vector<uint8_t> nulls_;  ///< empty, or size_ entries (1 = NULL)
+};
+
+/// Appends the grouping/join key bytes of row `r` to `out` — the same
+/// equality semantics as CellGroupKey: plaintext by canonical serialization,
+/// DET/OPE ciphertexts by blob, RND/HOM unsupported.
+Status AppendKeyBytes(const ColumnData& col, size_t r, std::string* out);
+
+/// Builds a column from materialized cells, choosing the typed rep from the
+/// first non-null cell (heterogeneous content demotes to kCell).
+ColumnData ColumnFromCells(std::vector<Cell> cells);
+
+/// Builds a ciphertext column from a contiguous EncValue vector.
+ColumnData ColumnFromEnc(std::vector<EncValue> encs);
+
+}  // namespace mpq
+
+#endif  // MPQ_EXEC_COLUMN_H_

@@ -44,8 +44,9 @@ Result<Cell> ConstForColumn(const ExecColumn& col, const Value& v,
   return Cell(std::move(ev));
 }
 
-/// Evaluates one predicate against a row of `table`. Constants for encrypted
-/// columns are bound once per operator, then shared read-only by all batches.
+/// One predicate bound to column indices of an operand table. Constants for
+/// encrypted columns are bound once per operator, then shared read-only by
+/// all batches.
 struct BoundPredicate {
   CmpOp op;
   int lhs_col;
@@ -71,65 +72,256 @@ Result<BoundPredicate> BindPredicate(const Predicate& p, const Table& t,
   return bp;
 }
 
-Result<bool> EvalBound(const BoundPredicate& bp, const std::vector<Cell>& row) {
-  const Cell& lhs = row[static_cast<size_t>(bp.lhs_col)];
-  const Cell& rhs =
-      bp.rhs_col >= 0 ? row[static_cast<size_t>(bp.rhs_col)] : bp.rhs_const;
-  return CompareCells(bp.op, lhs, rhs);
+bool ApplyCmp(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
 }
 
-Result<bool> EvalAllBound(const std::vector<BoundPredicate>& preds,
-                          const std::vector<Cell>& row) {
+bool PlainTypedRep(ColumnRep r) {
+  return r == ColumnRep::kInt64 || r == ColumnRep::kDouble ||
+         r == ColumnRep::kString;
+}
+
+/// Value::Compare's type tag: NULL 0, numeric 1, string 2.
+int RepClass(ColumnRep r) { return r == ColumnRep::kString ? 2 : 1; }
+
+/// Three-way comparison of plain typed rows `(a, i)` vs `(b, j)`,
+/// bit-compatible with Value::Compare (NULL first, numerics compared as
+/// double, number-vs-string by type tag).
+int CmpPlainRows(const ColumnData& a, size_t i, const ColumnData& b, size_t j) {
+  bool an = a.IsNull(i), bn = b.IsNull(j);
+  if (an || bn) return an == bn ? 0 : (an ? -1 : 1);
+  int ca = RepClass(a.rep()), cb = RepClass(b.rep());
+  if (ca != cb) return ca < cb ? -1 : 1;
+  if (ca == 2) {
+    int c = a.str()[i].compare(b.str()[j]);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  double x = a.rep() == ColumnRep::kInt64 ? static_cast<double>(a.i64()[i])
+                                          : a.f64()[i];
+  double y = b.rep() == ColumnRep::kInt64 ? static_cast<double>(b.i64()[j])
+                                          : b.f64()[j];
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+/// CompareCells over two ciphertext cells, operating on EncValues directly.
+Result<bool> CmpEncRows(CmpOp op, const EncValue& ea, const EncValue& eb) {
+  if (ea.scheme != eb.scheme || ea.key_id != eb.key_id) {
+    return Status::Unsupported(
+        "cannot compare ciphertexts under different schemes or keys");
+  }
+  switch (ea.scheme) {
+    case EncScheme::kDeterministic:
+      if (op == CmpOp::kEq) return ea.blob == eb.blob;
+      if (op == CmpOp::kNe) return ea.blob != eb.blob;
+      return Status::Unsupported(
+          "deterministic ciphertexts support only equality comparison");
+    case EncScheme::kOpe:
+      return ApplyCmp(op, ea.blob.compare(eb.blob));
+    case EncScheme::kRandom:
+      return Status::Unsupported("randomized ciphertexts are not comparable");
+    case EncScheme::kPaillier:
+      return Status::Unsupported("Paillier ciphertexts are not comparable");
+  }
+  return Status::Internal("unreachable scheme");
+}
+
+/// Refines `sel` (ascending row indices into `t`) down to the rows
+/// satisfying `bp`, column-at-a-time. Typed plain and DET/OPE ciphertext
+/// columns take branch-light vector paths; anything unusual falls back to
+/// materialized CompareCells with identical semantics.
+Status FilterSelection(const BoundPredicate& bp, const Table& t,
+                       SelectionVector* sel) {
+  const ColumnData& lhs = t.col(static_cast<size_t>(bp.lhs_col));
+  size_t kept = 0;
+  SelectionVector& s = *sel;
+
+  // Attr-attr predicates.
+  if (bp.rhs_col >= 0) {
+    const ColumnData& rhs = t.col(static_cast<size_t>(bp.rhs_col));
+    if (PlainTypedRep(lhs.rep()) && PlainTypedRep(rhs.rep())) {
+      for (uint32_t r : s) {
+        if (ApplyCmp(bp.op, CmpPlainRows(lhs, r, rhs, r))) s[kept++] = r;
+      }
+      s.resize(kept);
+      return Status::OK();
+    }
+    if (lhs.rep() == ColumnRep::kEnc && rhs.rep() == ColumnRep::kEnc) {
+      for (uint32_t r : s) {
+        if (lhs.IsNull(r) || rhs.IsNull(r)) {
+          // A plain NULL inside a ciphertext column: defer to the generic
+          // cell comparison (mixed plain/encrypted is an error there).
+          MPQ_ASSIGN_OR_RETURN(
+              bool keep, CompareCells(bp.op, lhs.GetCell(r), rhs.GetCell(r)));
+          if (keep) s[kept++] = r;
+          continue;
+        }
+        MPQ_ASSIGN_OR_RETURN(bool keep,
+                             CmpEncRows(bp.op, lhs.enc()[r], rhs.enc()[r]));
+        if (keep) s[kept++] = r;
+      }
+      s.resize(kept);
+      return Status::OK();
+    }
+    for (uint32_t r : s) {
+      MPQ_ASSIGN_OR_RETURN(
+          bool keep, CompareCells(bp.op, lhs.GetCell(r), rhs.GetCell(r)));
+      if (keep) s[kept++] = r;
+    }
+    s.resize(kept);
+    return Status::OK();
+  }
+
+  // Attr-constant predicates.
+  if (bp.rhs_const.is_plain() && PlainTypedRep(lhs.rep())) {
+    const Value& v = bp.rhs_const.plain();
+    int cclass = v.is_null() ? 0 : (v.is_string() ? 2 : 1);
+    double num = cclass == 1 ? v.AsDouble() : 0;
+    const std::string* str = cclass == 2 ? &v.AsString() : nullptr;
+    int lclass = RepClass(lhs.rep());
+    for (uint32_t r : s) {
+      int cmp;
+      if (lhs.IsNull(r)) {
+        cmp = cclass == 0 ? 0 : -1;
+      } else if (cclass == 0) {
+        cmp = 1;
+      } else if (lclass != cclass) {
+        cmp = lclass < cclass ? -1 : 1;
+      } else if (lclass == 2) {
+        int c = lhs.str()[r].compare(*str);
+        cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      } else {
+        double x = lhs.rep() == ColumnRep::kInt64
+                       ? static_cast<double>(lhs.i64()[r])
+                       : lhs.f64()[r];
+        cmp = x < num ? -1 : (x > num ? 1 : 0);
+      }
+      if (ApplyCmp(bp.op, cmp)) s[kept++] = r;
+    }
+    s.resize(kept);
+    return Status::OK();
+  }
+  if (bp.rhs_const.is_encrypted() && lhs.rep() == ColumnRep::kEnc) {
+    const EncValue& ev = bp.rhs_const.enc();
+    for (uint32_t r : s) {
+      if (lhs.IsNull(r)) {
+        MPQ_ASSIGN_OR_RETURN(
+            bool keep, CompareCells(bp.op, lhs.GetCell(r), bp.rhs_const));
+        if (keep) s[kept++] = r;
+        continue;
+      }
+      MPQ_ASSIGN_OR_RETURN(bool keep, CmpEncRows(bp.op, lhs.enc()[r], ev));
+      if (keep) s[kept++] = r;
+    }
+    s.resize(kept);
+    return Status::OK();
+  }
+  for (uint32_t r : s) {
+    MPQ_ASSIGN_OR_RETURN(bool keep,
+                         CompareCells(bp.op, lhs.GetCell(r), bp.rhs_const));
+    if (keep) s[kept++] = r;
+  }
+  s.resize(kept);
+  return Status::OK();
+}
+
+Status FilterAll(const std::vector<BoundPredicate>& preds, const Table& t,
+                 SelectionVector* sel) {
   for (const BoundPredicate& bp : preds) {
-    MPQ_ASSIGN_OR_RETURN(bool ok, EvalBound(bp, row));
-    if (!ok) return false;
+    if (sel->empty()) return Status::OK();
+    MPQ_RETURN_NOT_OK(FilterSelection(bp, t, sel));
   }
-  return true;
+  return Status::OK();
 }
 
-/// Per-batch output rows, merged into `out` in batch order so the result is
-/// identical at any thread count.
-void AppendBatchRows(std::vector<std::vector<std::vector<Cell>>> batch_rows,
-                     Table* out) {
-  size_t total = 0;
-  for (const auto& rows : batch_rows) total += rows.size();
-  out->ReserveRows(out->num_rows() + total);
-  for (auto& rows : batch_rows) {
-    for (auto& row : rows) out->AddRow(std::move(row));
+/// A batch's output columns, merged into the final table in batch order.
+using Chunk = std::vector<ColumnData>;
+
+/// An empty chunk whose column reps mirror the actual source columns (not
+/// just the metadata), so gathers stay on the typed fast path even for
+/// demoted columns.
+Chunk ChunkLike(const Table& t) {
+  Chunk ch;
+  ch.reserve(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    ch.emplace_back(t.col(c).rep());
   }
+  return ch;
+}
+
+Chunk ChunkLike(const Table& l, const Table& r) {
+  Chunk ch;
+  ch.reserve(l.num_columns() + r.num_columns());
+  for (size_t c = 0; c < l.num_columns(); ++c) {
+    ch.emplace_back(l.col(c).rep());
+  }
+  for (size_t c = 0; c < r.num_columns(); ++c) {
+    ch.emplace_back(r.col(c).rep());
+  }
+  return ch;
+}
+
+Table TableFromColumns(std::vector<ExecColumn> cols,
+                       std::vector<ColumnData> data) {
+  Table t;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    t.AddColumn(std::move(cols[i]), std::move(data[i]));
+  }
+  return t;
+}
+
+/// Splices per-batch chunks into a table, stealing chunk buffers (batch
+/// order, so results are identical at any thread count).
+Table MergeChunks(std::vector<ExecColumn> cols, std::vector<Chunk> chunks) {
+  std::vector<ColumnData> data(cols.size());
+  bool first = true;
+  for (Chunk& ch : chunks) {
+    if (ch.empty()) continue;  // batch produced nothing (e.g. no matches)
+    if (first) {
+      data = std::move(ch);
+      first = false;
+      continue;
+    }
+    for (size_t c = 0; c < data.size(); ++c) {
+      data[c].MoveAppend(std::move(ch[c]));
+    }
+  }
+  return TableFromColumns(std::move(cols), std::move(data));
 }
 
 Result<Table> ExecProject(const PlanNode* n, Table in, ExecContext* ctx) {
   std::vector<int> keep;
-  std::vector<ExecColumn> cols;
   for (size_t i = 0; i < in.num_columns(); ++i) {
     if (n->attrs.Contains(in.columns()[i].attr)) {
       keep.push_back(static_cast<int>(i));
-      cols.push_back(in.columns()[i]);
     }
   }
   if (keep.size() != n->attrs.size()) {
     AttrSet missing = n->attrs;
-    for (const ExecColumn& c : cols) missing.Erase(c.attr);
+    for (int i : keep) missing.Erase(in.columns()[static_cast<size_t>(i)].attr);
     return ColNotFound(n, missing.ToVector().front(), *ctx->catalog);
   }
-  Table out(std::move(cols));
-  std::vector<std::vector<std::vector<Cell>>> batch_rows(
-      in.NumBatches(Grain(ctx)));
-  MPQ_RETURN_NOT_OK(ParallelFor(
-      ctx->pool, in.num_rows(), Grain(ctx),
-      [&](size_t begin, size_t end) -> Status {
-        auto& local = batch_rows[begin / Grain(ctx)];
-        local.reserve(end - begin);
-        for (size_t r = begin; r < end; ++r) {
-          std::vector<Cell> row;
-          row.reserve(keep.size());
-          for (int i : keep) row.push_back(in.row(r)[static_cast<size_t>(i)]);
-          local.push_back(std::move(row));
-        }
-        return Status::OK();
-      }));
-  AppendBatchRows(std::move(batch_rows), &out);
+  // Pure column movement: no per-row work at all.
+  Table out;
+  for (int i : keep) {
+    size_t c = static_cast<size_t>(i);
+    out.AddColumn(std::move(in.columns()[c]), std::move(in.col(c)));
+  }
   return out;
 }
 
@@ -139,21 +331,34 @@ Result<Table> ExecSelect(const PlanNode* n, Table in, ExecContext* ctx) {
     MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, in, n, ctx));
     preds.push_back(std::move(bp));
   }
-  Table out(in.columns());
-  std::vector<std::vector<std::vector<Cell>>> batch_rows(
-      in.NumBatches(Grain(ctx)));
+  // Phase 1 (parallel): per-batch selection vectors.
+  std::vector<SelectionVector> sels(in.NumBatches(Grain(ctx)));
   MPQ_RETURN_NOT_OK(ParallelFor(
       ctx->pool, in.num_rows(), Grain(ctx),
       [&](size_t begin, size_t end) -> Status {
-        auto& local = batch_rows[begin / Grain(ctx)];
+        SelectionVector& sel = sels[begin / Grain(ctx)];
+        sel.resize(end - begin);
         for (size_t r = begin; r < end; ++r) {
-          MPQ_ASSIGN_OR_RETURN(bool keep, EvalAllBound(preds, in.row(r)));
-          if (keep) local.push_back(in.row(r));
+          sel[r - begin] = static_cast<uint32_t>(r);
         }
-        return Status::OK();
+        return FilterAll(preds, in, &sel);
       }));
-  AppendBatchRows(std::move(batch_rows), &out);
-  return out;
+  size_t total = 0;
+  for (const SelectionVector& sel : sels) total += sel.size();
+  if (total == in.num_rows()) return in;  // nothing filtered: reuse columns
+
+  // Phase 2: gather the survivors column-at-a-time, in batch order.
+  std::vector<ColumnData> data;
+  data.reserve(in.num_columns());
+  for (size_t c = 0; c < in.num_columns(); ++c) {
+    ColumnData col(in.col(c).rep());
+    col.Reserve(total);
+    for (const SelectionVector& sel : sels) {
+      col.AppendSelected(in.col(c), sel.data(), sel.size());
+    }
+    data.push_back(std::move(col));
+  }
+  return TableFromColumns(in.columns(), std::move(data));
 }
 
 std::vector<ExecColumn> ConcatColumns(const Table& l, const Table& r) {
@@ -162,32 +367,67 @@ std::vector<ExecColumn> ConcatColumns(const Table& l, const Table& r) {
   return cols;
 }
 
-std::vector<Cell> ConcatRow(const std::vector<Cell>& a,
-                            const std::vector<Cell>& b) {
-  std::vector<Cell> row = a;
-  row.insert(row.end(), b.begin(), b.end());
-  return row;
+/// Gathers the (left, right) row pairs `(li[k], ri[k])` into a chunk over
+/// the concatenated layout.
+Chunk GatherPairs(const Table& l, const Table& r, const SelectionVector& li,
+                  const SelectionVector& ri) {
+  Chunk ch = ChunkLike(l, r);
+  for (size_t c = 0; c < l.num_columns(); ++c) {
+    ch[c].Reserve(li.size());
+    ch[c].AppendSelected(l.col(c), li.data(), li.size());
+  }
+  for (size_t c = 0; c < r.num_columns(); ++c) {
+    ch[l.num_columns() + c].Reserve(ri.size());
+    ch[l.num_columns() + c].AppendSelected(r.col(c), ri.data(), ri.size());
+  }
+  return ch;
+}
+
+/// Filters a chunk over `out_cols` by `preds`, rebuilding it only when rows
+/// were dropped.
+Result<Chunk> FilterChunk(Chunk ch, const std::vector<ExecColumn>& out_cols,
+                          const std::vector<BoundPredicate>& preds) {
+  if (preds.empty() || ch.empty()) return ch;
+  Table probe = TableFromColumns(out_cols, std::move(ch));
+  SelectionVector sel(probe.num_rows());
+  for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+  MPQ_RETURN_NOT_OK(FilterAll(preds, probe, &sel));
+  Chunk out = ChunkLike(probe);
+  for (size_t c = 0; c < probe.num_columns(); ++c) {
+    if (sel.size() == probe.num_rows()) {
+      out[c] = std::move(probe.col(c));
+    } else {
+      out[c].Reserve(sel.size());
+      out[c].AppendSelected(probe.col(c), sel.data(), sel.size());
+    }
+  }
+  return out;
 }
 
 Result<Table> ExecCartesian(const PlanNode*, Table l, Table r,
                             ExecContext* ctx) {
-  Table out(ConcatColumns(l, r));
-  std::vector<std::vector<std::vector<Cell>>> batch_rows(
-      l.NumBatches(Grain(ctx)));
+  std::vector<ExecColumn> out_cols = ConcatColumns(l, r);
+  std::vector<Chunk> chunks(l.NumBatches(Grain(ctx)));
   MPQ_RETURN_NOT_OK(ParallelFor(
       ctx->pool, l.num_rows(), Grain(ctx),
       [&](size_t begin, size_t end) -> Status {
-        auto& local = batch_rows[begin / Grain(ctx)];
-        local.reserve((end - begin) * r.num_rows());
-        for (size_t i = begin; i < end; ++i) {
-          for (size_t j = 0; j < r.num_rows(); ++j) {
-            local.push_back(ConcatRow(l.row(i), r.row(j)));
+        Chunk& ch = chunks[begin / Grain(ctx)];
+        ch = ChunkLike(l, r);
+        size_t rows = (end - begin) * r.num_rows();
+        for (ColumnData& col : ch) col.Reserve(rows);
+        for (size_t c = 0; c < l.num_columns(); ++c) {
+          for (size_t i = begin; i < end; ++i) {
+            ch[c].AppendRepeated(l.col(c), i, r.num_rows());
+          }
+        }
+        for (size_t c = 0; c < r.num_columns(); ++c) {
+          for (size_t i = begin; i < end; ++i) {
+            ch[l.num_columns() + c].AppendRange(r.col(c), 0, r.num_rows());
           }
         }
         return Status::OK();
       }));
-  AppendBatchRows(std::move(batch_rows), &out);
-  return out;
+  return MergeChunks(std::move(out_cols), std::move(chunks));
 }
 
 Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
@@ -216,105 +456,131 @@ Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
     residual.push_back(p);
   }
 
-  Table out(ConcatColumns(l, r));
+  std::vector<ExecColumn> out_cols = ConcatColumns(l, r);
+  // Residual predicates bind against the concatenated layout; a zero-row
+  // probe table of that layout carries the binding metadata.
+  Table layout = TableFromColumns(out_cols, ChunkLike(l, r));
+  std::vector<BoundPredicate> bound;
+  for (const Predicate& p : eq_pairs.empty() ? n->predicates : residual) {
+    MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, layout, n, ctx));
+    bound.push_back(std::move(bp));
+  }
 
   if (!eq_pairs.empty()) {
     // Hash join: sequential build over the (usually smaller) left side, then
-    // a batch-parallel probe over the right side.
-    std::unordered_map<std::string, std::vector<size_t>> ht;
+    // a batch-parallel probe over the right side. Keys are concatenated
+    // column-at-a-time group-key bytes.
+    std::unordered_map<std::string, std::vector<uint32_t>> ht;
     ht.reserve(l.num_rows() * 2);
-    for (size_t i = 0; i < l.num_rows(); ++i) {
+    {
       std::string key;
-      for (const EqPair& ep : eq_pairs) {
-        Result<std::string> k =
-            CellGroupKey(l.row(i)[static_cast<size_t>(ep.lcol)]);
-        if (!k.ok()) return k.status();
-        key += *k;
-        key += '\x1f';
+      for (size_t i = 0; i < l.num_rows(); ++i) {
+        key.clear();
+        for (const EqPair& ep : eq_pairs) {
+          MPQ_RETURN_NOT_OK(AppendKeyBytes(
+              l.col(static_cast<size_t>(ep.lcol)), i, &key));
+          key.push_back('\x1f');
+        }
+        ht[key].push_back(static_cast<uint32_t>(i));
       }
-      ht[key].push_back(i);
     }
-    // Bind residual predicates against the concatenated layout.
-    std::vector<BoundPredicate> bound_residual;
-    for (const Predicate& p : residual) {
-      MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, out, n, ctx));
-      bound_residual.push_back(std::move(bp));
-    }
-    std::vector<std::vector<std::vector<Cell>>> batch_rows(
-        r.NumBatches(Grain(ctx)));
+    std::vector<Chunk> chunks(r.NumBatches(Grain(ctx)));
     MPQ_RETURN_NOT_OK(ParallelFor(
         ctx->pool, r.num_rows(), Grain(ctx),
         [&](size_t begin, size_t end) -> Status {
-          auto& local = batch_rows[begin / Grain(ctx)];
+          SelectionVector li, ri;
           std::string key;
           for (size_t j = begin; j < end; ++j) {
             key.clear();
             for (const EqPair& ep : eq_pairs) {
-              MPQ_ASSIGN_OR_RETURN(
-                  std::string k,
-                  CellGroupKey(r.row(j)[static_cast<size_t>(ep.rcol)]));
-              key += k;
-              key += '\x1f';
+              MPQ_RETURN_NOT_OK(AppendKeyBytes(
+                  r.col(static_cast<size_t>(ep.rcol)), j, &key));
+              key.push_back('\x1f');
             }
             auto it = ht.find(key);
             if (it == ht.end()) continue;
-            for (size_t i : it->second) {
-              std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
-              MPQ_ASSIGN_OR_RETURN(bool keep,
-                                   EvalAllBound(bound_residual, row));
-              if (keep) local.push_back(std::move(row));
+            for (uint32_t i : it->second) {
+              li.push_back(i);
+              ri.push_back(static_cast<uint32_t>(j));
             }
           }
+          MPQ_ASSIGN_OR_RETURN(
+              chunks[begin / Grain(ctx)],
+              FilterChunk(GatherPairs(l, r, li, ri), out_cols, bound));
           return Status::OK();
         }));
-    AppendBatchRows(std::move(batch_rows), &out);
-    return out;
+    return MergeChunks(std::move(out_cols), std::move(chunks));
   }
 
   // Nested-loop fallback (non-equi joins), parallel over left-side batches.
-  std::vector<BoundPredicate> bound;
-  for (const Predicate& p : n->predicates) {
-    MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, out, n, ctx));
-    bound.push_back(std::move(bp));
-  }
-  std::vector<std::vector<std::vector<Cell>>> batch_rows(
-      l.NumBatches(Grain(ctx)));
+  // Pairs are evaluated cell-at-a-time and only the matches are gathered,
+  // so the cross product is never materialized.
+  auto pair_cell = [&](int col, size_t i, size_t j) {
+    size_t c = static_cast<size_t>(col);
+    return c < l.num_columns() ? l.col(c).GetCell(i)
+                               : r.col(c - l.num_columns()).GetCell(j);
+  };
+  std::vector<Chunk> chunks(l.NumBatches(Grain(ctx)));
   MPQ_RETURN_NOT_OK(ParallelFor(
       ctx->pool, l.num_rows(), Grain(ctx),
       [&](size_t begin, size_t end) -> Status {
-        auto& local = batch_rows[begin / Grain(ctx)];
+        SelectionVector li, ri;
         for (size_t i = begin; i < end; ++i) {
           for (size_t j = 0; j < r.num_rows(); ++j) {
-            std::vector<Cell> row = ConcatRow(l.row(i), r.row(j));
-            MPQ_ASSIGN_OR_RETURN(bool keep, EvalAllBound(bound, row));
-            if (keep) local.push_back(std::move(row));
+            bool keep = true;
+            for (const BoundPredicate& bp : bound) {
+              Cell lhs = pair_cell(bp.lhs_col, i, j);
+              Cell rhs = bp.rhs_col >= 0 ? pair_cell(bp.rhs_col, i, j)
+                                         : bp.rhs_const;
+              MPQ_ASSIGN_OR_RETURN(keep, CompareCells(bp.op, lhs, rhs));
+              if (!keep) break;
+            }
+            if (keep) {
+              li.push_back(static_cast<uint32_t>(i));
+              ri.push_back(static_cast<uint32_t>(j));
+            }
           }
         }
+        chunks[begin / Grain(ctx)] = GatherPairs(l, r, li, ri);
         return Status::OK();
       }));
-  AppendBatchRows(std::move(batch_rows), &out);
-  return out;
+  return MergeChunks(std::move(out_cols), std::move(chunks));
 }
 
-/// Aggregation state for one (group, aggregate) pair.
+/// Aggregation state for one (group, aggregate) pair. Min/max and the
+/// Paillier template are tracked as row indices into the operand table
+/// (materialized only when the output is built).
 struct AggState {
   // Plaintext accumulators.
   double sum = 0;
   bool sum_is_double = false;
   int64_t count = 0;
-  Cell min_max;  // current min/max cell
+  size_t best_row = 0;  // current min/max row in the operand table
   bool has_min_max = false;
   // Homomorphic accumulator.
   bool hom = false;
   uint128 hom_cipher = 0;
   uint64_t hom_n = 0;
   int64_t hom_count = 0;
-  EncValue hom_template;
+  size_t hom_template_row = 0;
 };
 
-/// Folds one input cell into `s`. (`cell` is ignored for kCountStar.)
-Status AccumulateCell(const PlanNode* n, const Aggregate& agg, const Cell& cell,
-                      ExecContext* ctx, AggState* s) {
+/// Three-way min/max comparison of operand rows `i` vs `j` of `col`,
+/// matching CompareCells semantics (strictly-better keeps first occurrence).
+Result<bool> RowBetter(const ColumnData& col, CmpOp op, size_t i, size_t j) {
+  if (PlainTypedRep(col.rep())) {
+    return ApplyCmp(op, CmpPlainRows(col, i, col, j));
+  }
+  if (col.rep() == ColumnRep::kEnc && !col.IsNull(i) && !col.IsNull(j)) {
+    return CmpEncRows(op, col.enc()[i], col.enc()[j]);
+  }
+  return CompareCells(op, col.GetCell(i), col.GetCell(j));
+}
+
+/// Folds operand row `r` of `col` into `s` for `agg`, column-at-a-time.
+Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
+                     const ColumnData& col, size_t r, ExecContext* ctx,
+                     AggState* s) {
   switch (agg.func) {
     case AggFunc::kCountStar:
     case AggFunc::kCount:
@@ -322,36 +588,65 @@ Status AccumulateCell(const PlanNode* n, const Aggregate& agg, const Cell& cell,
       return Status::OK();
     case AggFunc::kSum:
     case AggFunc::kAvg: {
-      if (cell.is_plain()) {
-        const Value& v = cell.plain();
-        if (v.is_null()) return Status::OK();
-        s->sum += v.AsDouble();
-        if (v.is_double()) s->sum_is_double = true;
-        s->count++;
-      } else {
-        const EncValue& ev = cell.enc();
-        if (ev.scheme != EncScheme::kPaillier) {
+      if (col.IsNull(r)) return Status::OK();
+      switch (col.rep()) {
+        case ColumnRep::kInt64:
+          s->sum += static_cast<double>(col.i64()[r]);
+          s->count++;
+          return Status::OK();
+        case ColumnRep::kDouble:
+          s->sum += col.f64()[r];
+          s->sum_is_double = true;
+          s->count++;
+          return Status::OK();
+        case ColumnRep::kString:
           return Status::Unsupported(StrFormat(
-              "node %d: %s over %s ciphertext requires the HOM scheme",
-              n->id, AggFuncName(agg.func), EncSchemeName(ev.scheme)));
+              "node %d: %s over a string column", n->id,
+              AggFuncName(agg.func)));
+        case ColumnRep::kCell: {
+          const Cell& cell = col.cells()[r];
+          if (cell.is_plain()) {
+            const Value& v = cell.plain();
+            if (v.is_null()) return Status::OK();
+            if (v.is_string()) {
+              return Status::Unsupported(StrFormat(
+                  "node %d: %s over a string column", n->id,
+                  AggFuncName(agg.func)));
+            }
+            s->sum += v.AsDouble();
+            if (v.is_double()) s->sum_is_double = true;
+            s->count++;
+            return Status::OK();
+          }
+          break;  // ciphertext cell: fall through to the Paillier path
         }
-        auto pm = ctx->public_modulus.find(ev.key_id);
-        if (pm == ctx->public_modulus.end()) {
-          return Status::NotFound(StrFormat(
-              "node %d: no public modulus for key %llu", n->id,
-              static_cast<unsigned long long>(ev.key_id)));
-        }
-        MPQ_ASSIGN_OR_RETURN(uint128 c, PaillierCipherFromBytes(ev.blob));
-        if (!s->hom) {
-          s->hom = true;
-          s->hom_cipher = c;
-          s->hom_n = pm->second;
-          s->hom_template = ev;
-        } else {
-          s->hom_cipher = PaillierAdd(s->hom_n, s->hom_cipher, c);
-        }
-        s->hom_count += ev.aux;
+        case ColumnRep::kEnc:
+          break;
       }
+      const EncValue& ev = col.rep() == ColumnRep::kEnc
+                               ? col.enc()[r]
+                               : col.cells()[r].enc();
+      if (ev.scheme != EncScheme::kPaillier) {
+        return Status::Unsupported(StrFormat(
+            "node %d: %s over %s ciphertext requires the HOM scheme", n->id,
+            AggFuncName(agg.func), EncSchemeName(ev.scheme)));
+      }
+      auto pm = ctx->public_modulus.find(ev.key_id);
+      if (pm == ctx->public_modulus.end()) {
+        return Status::NotFound(StrFormat(
+            "node %d: no public modulus for key %llu", n->id,
+            static_cast<unsigned long long>(ev.key_id)));
+      }
+      MPQ_ASSIGN_OR_RETURN(uint128 c, PaillierCipherFromBytes(ev.blob));
+      if (!s->hom) {
+        s->hom = true;
+        s->hom_cipher = c;
+        s->hom_n = pm->second;
+        s->hom_template_row = r;
+      } else {
+        s->hom_cipher = PaillierAdd(s->hom_n, s->hom_cipher, c);
+      }
+      s->hom_count += ev.aux;
       return Status::OK();
     }
     case AggFunc::kMin:
@@ -361,10 +656,10 @@ Status AccumulateCell(const PlanNode* n, const Aggregate& agg, const Cell& cell,
         better = true;
       } else {
         CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
-        MPQ_ASSIGN_OR_RETURN(better, CompareCells(op, cell, s->min_max));
+        MPQ_ASSIGN_OR_RETURN(better, RowBetter(col, op, r, s->best_row));
       }
       if (better) {
-        s->min_max = cell;
+        s->best_row = r;
         s->has_min_max = true;
       }
       return Status::OK();
@@ -374,9 +669,10 @@ Status AccumulateCell(const PlanNode* n, const Aggregate& agg, const Cell& cell,
 }
 
 /// Folds a later batch's state `src` into `dst`. Merging in batch order keeps
-/// first-occurrence semantics (hom_template, min/max tie-breaks) identical to
+/// first-occurrence semantics (hom template, min/max tie-breaks) identical to
 /// a sequential row scan over the same batch partition.
-Status MergeAggState(const Aggregate& agg, AggState src, AggState* dst) {
+Status MergeAggState(const Aggregate& agg, const ColumnData* col,
+                     const AggState& src, AggState* dst) {
   switch (agg.func) {
     case AggFunc::kCountStar:
     case AggFunc::kCount:
@@ -392,7 +688,7 @@ Status MergeAggState(const Aggregate& agg, AggState src, AggState* dst) {
           dst->hom = true;
           dst->hom_cipher = src.hom_cipher;
           dst->hom_n = src.hom_n;
-          dst->hom_template = std::move(src.hom_template);
+          dst->hom_template_row = src.hom_template_row;
         } else {
           dst->hom_cipher =
               PaillierAdd(dst->hom_n, dst->hom_cipher, src.hom_cipher);
@@ -408,11 +704,11 @@ Status MergeAggState(const Aggregate& agg, AggState src, AggState* dst) {
         better = true;
       } else {
         CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
-        MPQ_ASSIGN_OR_RETURN(better,
-                             CompareCells(op, src.min_max, dst->min_max));
+        MPQ_ASSIGN_OR_RETURN(
+            better, RowBetter(*col, op, src.best_row, dst->best_row));
       }
       if (better) {
-        dst->min_max = std::move(src.min_max);
+        dst->best_row = src.best_row;
         dst->has_min_max = true;
       }
       return Status::OK();
@@ -421,10 +717,11 @@ Status MergeAggState(const Aggregate& agg, AggState src, AggState* dst) {
   return Status::Internal("unreachable aggregate function");
 }
 
-/// Hash-aggregated groups of one batch, in first-occurrence order.
+/// Hash-aggregated groups of one batch, in first-occurrence order. Group
+/// keys are remembered as the global row index of their first occurrence.
 struct BatchGroups {
-  std::unordered_map<std::string, size_t> index;
-  std::vector<std::vector<Cell>> keys;
+  std::unordered_map<std::string, uint32_t> index;
+  std::vector<size_t> first_row;
   std::vector<std::vector<AggState>> states;
 };
 
@@ -475,40 +772,43 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
     out_cols.push_back(col);
   }
 
-  // Phase 1: each batch aggregates its rows into private hash groups.
+  // Phase 1: each batch hash-aggregates its rows into private groups. The
+  // group-id array is computed row-at-a-time per batch; each aggregate then
+  // folds its own column.
   std::vector<BatchGroups> batches(in.NumBatches(Grain(ctx)));
   MPQ_RETURN_NOT_OK(ParallelFor(
       ctx->pool, in.num_rows(), Grain(ctx),
       [&](size_t begin, size_t end) -> Status {
         BatchGroups& bg = batches[begin / Grain(ctx)];
+        std::vector<uint32_t> gid(end - begin);
         std::string key;
         for (size_t r = begin; r < end; ++r) {
           key.clear();
           for (int gc : group_cols) {
-            MPQ_ASSIGN_OR_RETURN(
-                std::string k,
-                CellGroupKey(in.row(r)[static_cast<size_t>(gc)]));
-            key += k;
-            key += '\x1f';
+            MPQ_RETURN_NOT_OK(AppendKeyBytes(
+                in.col(static_cast<size_t>(gc)), r, &key));
+            key.push_back('\x1f');
           }
-          auto [it, inserted] = bg.index.try_emplace(key, bg.keys.size());
+          auto [it, inserted] = bg.index.try_emplace(
+              key, static_cast<uint32_t>(bg.first_row.size()));
           if (inserted) {
-            std::vector<Cell> gk;
-            for (int gc : group_cols) {
-              gk.push_back(in.row(r)[static_cast<size_t>(gc)]);
-            }
-            bg.keys.push_back(std::move(gk));
+            bg.first_row.push_back(r);
             bg.states.emplace_back(n->aggregates.size());
           }
-          std::vector<AggState>& st = bg.states[it->second];
-          for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
-            if (n->aggregates[ai].func == AggFunc::kCountStar) {
-              st[ai].count++;
-              continue;
+          gid[r - begin] = it->second;
+        }
+        for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+          const Aggregate& agg = n->aggregates[ai];
+          if (agg.func == AggFunc::kCountStar) {
+            for (size_t r = begin; r < end; ++r) {
+              bg.states[gid[r - begin]][ai].count++;
             }
-            const Cell& cell = in.row(r)[static_cast<size_t>(agg_cols[ai])];
-            MPQ_RETURN_NOT_OK(
-                AccumulateCell(n, n->aggregates[ai], cell, ctx, &st[ai]));
+            continue;
+          }
+          const ColumnData& col = in.col(static_cast<size_t>(agg_cols[ai]));
+          for (size_t r = begin; r < end; ++r) {
+            MPQ_RETURN_NOT_OK(AccumulateRow(n, agg, col, r, ctx,
+                                            &bg.states[gid[r - begin]][ai]));
           }
         }
         return Status::OK();
@@ -517,68 +817,95 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
   // Phase 2: merge batch groups in batch order — group order is first
   // occurrence over the whole input, like a sequential scan.
   std::unordered_map<std::string, size_t> group_of;
-  std::vector<std::vector<Cell>> group_keys;
+  std::vector<size_t> group_first_row;
   std::vector<std::vector<AggState>> states;
   for (BatchGroups& bg : batches) {
     // Recover this batch's insertion order from the stored indices.
-    std::vector<const std::string*> order(bg.keys.size());
+    std::vector<const std::string*> order(bg.first_row.size());
     for (const auto& [key, idx] : bg.index) order[idx] = &key;
-    for (size_t g = 0; g < bg.keys.size(); ++g) {
-      auto [it, inserted] = group_of.try_emplace(*order[g], group_keys.size());
+    for (size_t g = 0; g < bg.first_row.size(); ++g) {
+      auto [it, inserted] =
+          group_of.try_emplace(*order[g], group_first_row.size());
       if (inserted) {
-        group_keys.push_back(std::move(bg.keys[g]));
+        group_first_row.push_back(bg.first_row[g]);
         states.push_back(std::move(bg.states[g]));
         continue;
       }
       std::vector<AggState>& dst = states[it->second];
       for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
-        MPQ_RETURN_NOT_OK(MergeAggState(n->aggregates[ai],
-                                        std::move(bg.states[g][ai]),
-                                        &dst[ai]));
+        const ColumnData* col = nullptr;
+        if (agg_cols[ai] >= 0) {
+          col = &in.col(static_cast<size_t>(agg_cols[ai]));
+        }
+        MPQ_RETURN_NOT_OK(
+            MergeAggState(n->aggregates[ai], col, bg.states[g][ai], &dst[ai]));
       }
     }
   }
 
   // Degenerate global aggregation over an empty input: emit no rows
-  // (matching our engine's semantics; SQL would emit one NULL row).
-  Table out(out_cols);
-  for (size_t g = 0; g < group_keys.size(); ++g) {
-    std::vector<Cell> row = group_keys[g];
-    for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
-      const Aggregate& agg = n->aggregates[ai];
+  // (matching our engine's semantics; SQL would emit one NULL row). The
+  // output is built column-at-a-time: group keys gather from the operand,
+  // aggregates materialize from their states.
+  size_t num_groups = group_first_row.size();
+  std::vector<ColumnData> out_data;
+  out_data.reserve(out_cols.size());
+  for (size_t gc = 0; gc < group_cols.size(); ++gc) {
+    const ColumnData& src = in.col(static_cast<size_t>(group_cols[gc]));
+    ColumnData col(src.rep());
+    col.Reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      col.AppendFrom(src, group_first_row[g]);
+    }
+    out_data.push_back(std::move(col));
+  }
+  for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+    const Aggregate& agg = n->aggregates[ai];
+    ColumnData col;
+    std::vector<Cell> cells;
+    cells.reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
       const AggState& s = states[g][ai];
       switch (agg.func) {
         case AggFunc::kCountStar:
         case AggFunc::kCount:
-          row.push_back(Cell(Value(s.count)));
+          cells.push_back(Cell(Value(s.count)));
           break;
         case AggFunc::kSum:
         case AggFunc::kAvg: {
           if (s.hom) {
-            EncValue ev = s.hom_template;
+            const ColumnData& src = in.col(static_cast<size_t>(agg_cols[ai]));
+            EncValue ev = src.rep() == ColumnRep::kEnc
+                              ? src.enc()[s.hom_template_row]
+                              : src.cells()[s.hom_template_row].enc();
             ev.blob = PaillierCipherToBytes(s.hom_cipher);
             ev.aux = s.hom_count;
-            row.push_back(Cell(std::move(ev)));
+            cells.push_back(Cell(std::move(ev)));
           } else if (agg.func == AggFunc::kAvg) {
-            row.push_back(Cell(Value(
+            cells.push_back(Cell(Value(
                 s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0)));
           } else if (s.sum_is_double) {
-            row.push_back(Cell(Value(s.sum)));
+            cells.push_back(Cell(Value(s.sum)));
           } else {
-            row.push_back(
+            cells.push_back(
                 Cell(Value(static_cast<int64_t>(std::llround(s.sum)))));
           }
           break;
         }
         case AggFunc::kMin:
         case AggFunc::kMax:
-          row.push_back(s.has_min_max ? s.min_max : Cell(Value::Null()));
+          if (s.has_min_max) {
+            cells.push_back(in.col(static_cast<size_t>(agg_cols[ai]))
+                                .GetCell(s.best_row));
+          } else {
+            cells.push_back(Cell(Value::Null()));
+          }
           break;
       }
     }
-    out.AddRow(std::move(row));
+    out_data.push_back(ColumnFromCells(std::move(cells)));
   }
-  return out;
+  return TableFromColumns(std::move(out_cols), std::move(out_data));
 }
 
 Result<Table> ExecUdf(const PlanNode* n, Table in, ExecContext* ctx) {
@@ -592,95 +919,54 @@ Result<Table> ExecUdf(const PlanNode* n, Table in, ExecContext* ctx) {
   int out_src = in.ColIndex(n->udf_output);
   if (out_src < 0) return ColNotFound(n, n->udf_output, *ctx->catalog);
 
-  // Resolve the implementation; fall back to a built-in numeric combiner.
+  // Resolve the implementation; fall back to the built-in combiner.
   UdfImpl impl;
   auto it = ctx->udfs.find(n->udf_name);
-  if (it != ctx->udfs.end()) {
-    impl = it->second;
-  } else {
-    impl = [](const std::vector<Cell>& cells) -> Result<Cell> {
-      // Default udf: over plaintext, a weighted numeric combination; over
-      // ciphertexts, an opaque deterministic digest (simulating an
-      // encrypted-domain analytic whose output is itself encrypted).
-      bool all_plain = true;
-      for (const Cell& c : cells) all_plain = all_plain && c.is_plain();
-      if (all_plain) {
-        double acc = 0;
-        double w = 1.0;
-        for (const Cell& c : cells) {
-          if (!c.plain().is_null() && !c.plain().is_string()) {
-            acc += w * c.plain().AsDouble();
-          } else if (c.plain().is_string()) {
-            acc += w * static_cast<double>(c.plain().AsString().size());
-          }
-          w *= 0.5;
-        }
-        return Cell(Value(acc));
-      }
-      EncValue out;
-      uint64_t h = 0x6a09e667f3bcc909ull;
-      for (const Cell& c : cells) {
-        const std::string& bytes =
-            c.is_plain() ? c.plain().Serialize() : c.enc().blob;
-        for (unsigned char b : bytes) h = SplitMix64(h ^ b);
-        if (c.is_encrypted()) {
-          out.scheme = c.enc().scheme;
-          out.key_id = c.enc().key_id;
-        }
-      }
-      out.scheme = EncScheme::kDeterministic;
-      out.blob.assign(reinterpret_cast<const char*>(&h), 8);
-      return Cell(std::move(out));
-    };
-  }
+  impl = it != ctx->udfs.end() ? it->second : UdfImpl(DefaultUdf);
 
   // Output layout: child columns minus (inputs \ {output}), with the output
   // column's cells replaced by the udf result. Registered implementations
   // are not required to be thread-safe, so udf rows run sequentially.
-  std::vector<ExecColumn> cols;
-  std::vector<int> keep;
+  std::vector<Cell> results;
+  results.reserve(in.num_rows());
+  {
+    // Concurrent sibling subtrees may both reach a udf node; serialize the
+    // invocation loop so one shared UdfImpl is never entered from two
+    // threads.
+    std::lock_guard<std::mutex> udf_lock(*ctx->udf_mu);
+    std::vector<Cell> args(in_cols.size());
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      for (size_t k = 0; k < in_cols.size(); ++k) {
+        args[k] = in.col(static_cast<size_t>(in_cols[k])).GetCell(r);
+      }
+      MPQ_ASSIGN_OR_RETURN(Cell result, impl(args));
+      results.push_back(std::move(result));
+    }
+  }
+
+  Table out;
   for (size_t i = 0; i < in.num_columns(); ++i) {
     AttrId a = in.columns()[i].attr;
     if (n->udf_inputs.Contains(a) && a != n->udf_output) continue;
-    keep.push_back(static_cast<int>(i));
-    cols.push_back(in.columns()[i]);
-  }
-  Table out(std::move(cols));
-  out.ReserveRows(in.num_rows());
-  // Concurrent sibling subtrees may both reach a udf node; serialize the
-  // invocation loop so one shared UdfImpl is never entered from two threads.
-  std::lock_guard<std::mutex> udf_lock(*ctx->udf_mu);
-  for (size_t r = 0; r < in.num_rows(); ++r) {
-    std::vector<Cell> args;
-    args.reserve(in_cols.size());
-    for (int ic : in_cols) args.push_back(in.row(r)[static_cast<size_t>(ic)]);
-    MPQ_ASSIGN_OR_RETURN(Cell result, impl(args));
-    std::vector<Cell> row;
-    row.reserve(keep.size());
-    for (int i : keep) {
-      if (i == out_src) {
-        row.push_back(result);
-      } else {
-        row.push_back(in.row(r)[static_cast<size_t>(i)]);
-      }
-    }
-    out.AddRow(std::move(row));
-  }
-  // The output column's representation may have changed (e.g. plaintext
-  // result over plaintext inputs): reflect the first row's form.
-  if (out.num_rows() > 0) {
-    for (size_t i = 0; i < out.num_columns(); ++i) {
-      if (out.columns()[i].attr == n->udf_output) {
-        const Cell& c = out.row(0)[i];
-        out.columns()[i].encrypted = c.is_encrypted();
-        if (c.is_encrypted()) {
-          out.columns()[i].scheme = c.enc().scheme;
-          out.columns()[i].key_id = c.enc().key_id;
-        } else if (!c.plain().is_string()) {
-          out.columns()[i].type =
-              c.plain().is_double() ? DataType::kDouble : DataType::kInt64;
+    if (static_cast<int>(i) == out_src) {
+      ExecColumn col = in.columns()[i];
+      ColumnData data = ColumnFromCells(std::move(results));
+      // The output column's representation may have changed (e.g. plaintext
+      // result over plaintext inputs): reflect the first row's form.
+      if (data.size() > 0) {
+        Cell first = data.GetCell(0);
+        col.encrypted = first.is_encrypted();
+        if (first.is_encrypted()) {
+          col.scheme = first.enc().scheme;
+          col.key_id = first.enc().key_id;
+        } else if (!first.plain().is_string() && !first.plain().is_null()) {
+          col.type = first.plain().is_double() ? DataType::kDouble
+                                               : DataType::kInt64;
         }
       }
+      out.AddColumn(std::move(col), std::move(data));
+    } else {
+      out.AddColumn(std::move(in.columns()[i]), std::move(in.col(i)));
     }
   }
   return out;
@@ -706,19 +992,31 @@ Result<Table> ExecEncrypt(const PlanNode* n, Table in, ExecContext* ctx) {
     MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(key_id));
     // One PRF-derived nonce range per (node, column): row r uses
     // nonce_base + r, so ciphertexts do not depend on batch scheduling,
-    // thread count, or sibling-subtree execution order.
+    // thread count, or sibling-subtree execution order. The whole column is
+    // encrypted with one key lookup, batch-parallel over its contiguous
+    // plaintext vector.
     uint64_t nonce_base = ctx->ColumnNonceBase(n->id, a);
+    const ColumnData& src = in.col(static_cast<size_t>(idx));
+    std::vector<EncValue> encs(in.num_rows());
     MPQ_RETURN_NOT_OK(ParallelFor(
         ctx->pool, in.num_rows(), Grain(ctx),
         [&](size_t begin, size_t end) -> Status {
-          std::vector<Cell*> cells;
-          cells.reserve(end - begin);
+          // Materialize the batch's plaintext cells contiguously, encrypt
+          // them through the batch crypto path, and adopt the ciphertexts.
+          std::vector<Cell> scratch;
+          scratch.reserve(end - begin);
           for (size_t r = begin; r < end; ++r) {
-            cells.push_back(&in.row(r)[static_cast<size_t>(idx)]);
+            scratch.push_back(src.GetCell(r));
           }
-          return EncryptCellBatch(cells.data(), cells.size(), scheme, key_id,
-                                  km, nonce_base + begin);
+          MPQ_RETURN_NOT_OK(EncryptCellBatch(scratch.data(), scratch.size(),
+                                             scheme, key_id, km,
+                                             nonce_base + begin));
+          for (size_t r = begin; r < end; ++r) {
+            encs[r] = std::move(scratch[r - begin].enc_mut());
+          }
+          return Status::OK();
         }));
+    in.SetColumnData(static_cast<size_t>(idx), ColumnFromEnc(std::move(encs)));
     col.encrypted = true;
     col.scheme = scheme;
     col.key_id = key_id;
@@ -741,17 +1039,30 @@ Result<Table> ExecDecrypt(const PlanNode* n, Table in, ExecContext* ctx) {
     }
     MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(col.key_id));
     bool avg = col.hom_avg;
+    const ColumnData& src = in.col(static_cast<size_t>(idx));
+    std::vector<Cell> cells(in.num_rows());
     MPQ_RETURN_NOT_OK(ParallelFor(
         ctx->pool, in.num_rows(), Grain(ctx),
         [&](size_t begin, size_t end) -> Status {
-          std::vector<Cell*> cells;
-          cells.reserve(end - begin);
+          // The batch crypto path decrypts the contiguous ciphertext run in
+          // place (including the homomorphic-average division); a plain
+          // NULL inside a ciphertext column passes through untouched.
           for (size_t r = begin; r < end; ++r) {
-            cells.push_back(&in.row(r)[static_cast<size_t>(idx)]);
+            cells[r] = src.IsNull(r) ? Cell(Value::Null()) : src.GetCell(r);
           }
-          return DecryptCellBatch(cells.data(), cells.size(), km, col.type,
-                                  avg);
+          size_t run = begin;
+          for (size_t r = begin; r <= end; ++r) {
+            if (r < end && cells[r].is_encrypted()) continue;
+            if (r > run) {
+              MPQ_RETURN_NOT_OK(DecryptCellBatch(cells.data() + run, r - run,
+                                                 km, col.type, avg));
+            }
+            run = r + 1;
+          }
+          return Status::OK();
         }));
+    in.SetColumnData(static_cast<size_t>(idx),
+                     ColumnFromCells(std::move(cells)));
     col.encrypted = false;
     if (avg) {
       col.type = DataType::kDouble;
@@ -762,6 +1073,41 @@ Result<Table> ExecDecrypt(const PlanNode* n, Table in, ExecContext* ctx) {
 }
 
 }  // namespace
+
+Result<Cell> DefaultUdf(const std::vector<Cell>& cells) {
+  // Default udf: over plaintext, a weighted numeric combination; over
+  // ciphertexts, an opaque deterministic digest (simulating an
+  // encrypted-domain analytic whose output is itself encrypted).
+  bool all_plain = true;
+  for (const Cell& c : cells) all_plain = all_plain && c.is_plain();
+  if (all_plain) {
+    double acc = 0;
+    double w = 1.0;
+    for (const Cell& c : cells) {
+      if (!c.plain().is_null() && !c.plain().is_string()) {
+        acc += w * c.plain().AsDouble();
+      } else if (c.plain().is_string()) {
+        acc += w * static_cast<double>(c.plain().AsString().size());
+      }
+      w *= 0.5;
+    }
+    return Cell(Value(acc));
+  }
+  EncValue out;
+  uint64_t h = 0x6a09e667f3bcc909ull;
+  for (const Cell& c : cells) {
+    const std::string& bytes =
+        c.is_plain() ? c.plain().Serialize() : c.enc().blob;
+    for (unsigned char b : bytes) h = SplitMix64(h ^ b);
+    if (c.is_encrypted()) {
+      out.scheme = c.enc().scheme;
+      out.key_id = c.enc().key_id;
+    }
+  }
+  out.scheme = EncScheme::kDeterministic;
+  out.blob.assign(reinterpret_cast<const char*>(&h), 8);
+  return Cell(std::move(out));
+}
 
 Table MakeBaseTable(const RelationDef& rel) {
   std::vector<ExecColumn> cols;

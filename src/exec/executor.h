@@ -114,6 +114,12 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
 /// given in schema order.
 Table MakeBaseTable(const RelationDef& rel);
 
+/// The built-in udf applied when no implementation is registered: a
+/// weighted numeric combination over plaintext cells, an opaque
+/// deterministic digest over ciphertexts. Exposed so the row-path reference
+/// executor applies the bit-identical function.
+Result<Cell> DefaultUdf(const std::vector<Cell>& cells);
+
 }  // namespace mpq
 
 #endif  // MPQ_EXEC_EXECUTOR_H_

@@ -1,15 +1,21 @@
 // In-memory tables with per-column encryption state, the data representation
-// of the execution engine.
+// of the execution engine. Storage is columnar: each column's cells live in
+// one contiguous typed ColumnData vector, so operators iterate
+// column-at-a-time and whole columns move between tables without touching
+// individual cells. The row-oriented helpers (AddRow / row) are a
+// convenience layer for loaders and tests, not the execution path.
 
 #ifndef MPQ_EXEC_TABLE_H_
 #define MPQ_EXEC_TABLE_H_
 
+#include <cassert>
 #include <string>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "common/status.h"
 #include "crypto/enc_value.h"
+#include "exec/column.h"
 
 namespace mpq {
 
@@ -27,6 +33,9 @@ struct ExecColumn {
   bool hom_avg = false;
 };
 
+/// The physical rep a freshly created `col` column starts in.
+ColumnRep RepForColumn(const ExecColumn& col);
+
 /// A half-open range of row indices [begin, end) of one table — the unit of
 /// work batch-oriented operators hand to the thread pool. Batch boundaries
 /// depend only on row count and batch size (never on thread count), so
@@ -39,7 +48,7 @@ struct RowBatch {
   bool empty() const { return begin == end; }
 };
 
-/// Row-major table.
+/// Columnar table.
 class Table {
  public:
   /// Default number of rows per RowBatch; chosen so a batch of typical rows
@@ -47,36 +56,65 @@ class Table {
   static constexpr size_t kDefaultBatchSize = 1024;
 
   Table() = default;
-  explicit Table(std::vector<ExecColumn> columns)
-      : columns_(std::move(columns)) {}
+  explicit Table(std::vector<ExecColumn> columns);
 
   const std::vector<ExecColumn>& columns() const { return columns_; }
   std::vector<ExecColumn>& columns() { return columns_; }
   size_t num_columns() const { return columns_.size(); }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return num_rows_; }
 
   /// Index of the column for `attr`, or -1.
   int ColIndex(AttrId attr) const;
 
-  void AddRow(std::vector<Cell> row) { rows_.push_back(std::move(row)); }
-  const std::vector<Cell>& row(size_t i) const { return rows_[i]; }
-  std::vector<Cell>& row(size_t i) { return rows_[i]; }
-  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+  /// Column data, by column index.
+  const ColumnData& col(size_t i) const { return data_[i]; }
+  ColumnData& col(size_t i) { return data_[i]; }
 
-  void ReserveRows(size_t n) { rows_.reserve(n); }
+  /// Replaces column `i`'s data (e.g. with its encrypted form). The new
+  /// data must cover every row.
+  void SetColumnData(size_t i, ColumnData d) {
+    assert(d.size() == num_rows_);
+    data_[i] = std::move(d);
+  }
+
+  /// Appends a column (metadata + data) to the table. Every column must
+  /// cover the same number of rows; the first one fixes the row count of an
+  /// empty table.
+  void AddColumn(ExecColumn col, ColumnData d);
+
+  /// Appends one row given cell-per-column; `row.size()` must equal
+  /// `num_columns()`. Loader/test convenience — engine operators append
+  /// column-at-a-time.
+  void AddRow(std::vector<Cell> row);
+
+  /// Materializes row `i` as cells (copy). Test/diagnostic convenience.
+  std::vector<Cell> row(size_t i) const;
+
+  /// Materializes the cell at (`r`, `c`).
+  Cell at(size_t r, size_t c) const { return data_[c].GetCell(r); }
+
+  /// Appends row `r` of `src` (same column layout) column-wise.
+  void AppendRowFrom(const Table& src, size_t r);
+
+  void ReserveRows(size_t n);
 
   /// Number of RowBatches of `batch_size` rows covering this table.
   size_t NumBatches(size_t batch_size = kDefaultBatchSize) const {
     if (batch_size == 0) batch_size = 1;
-    return (rows_.size() + batch_size - 1) / batch_size;
+    return (num_rows_ + batch_size - 1) / batch_size;
   }
 
-  /// The `i`-th batch (the last one may be short).
+  /// The `i`-th batch (the last one may be short). `i` must index a batch
+  /// of this table (asserted): a begin past the row count is a caller bug,
+  /// not a clampable input, though release builds still degrade to an empty
+  /// batch rather than an out-of-range one.
   RowBatch Batch(size_t i, size_t batch_size = kDefaultBatchSize) const {
     if (batch_size == 0) batch_size = 1;
     size_t begin = i * batch_size;
     size_t end = begin + batch_size;
-    if (end > rows_.size()) end = rows_.size();
+    if (end > num_rows_) end = num_rows_;
+    assert((begin <= num_rows_ || num_rows_ == 0) &&
+           "Batch(i): batch index out of range");
     if (begin > end) begin = end;
     return RowBatch{begin, end};
   }
@@ -84,12 +122,20 @@ class Table {
   /// Total payload bytes (used for transfer accounting).
   uint64_t ByteSize() const;
 
+  /// Column-at-a-time wire format of the whole table (schema + data), the
+  /// unit a fragment result crosses the simulated network as.
+  std::string SerializeColumns() const;
+
+  /// Inverse of SerializeColumns.
+  static Result<Table> DeserializeColumns(const std::string& bytes);
+
   /// Pretty-prints up to `max_rows` rows.
   std::string ToString(size_t max_rows = 20) const;
 
  private:
   std::vector<ExecColumn> columns_;
-  std::vector<std::vector<Cell>> rows_;
+  std::vector<ColumnData> data_;
+  size_t num_rows_ = 0;
 };
 
 }  // namespace mpq

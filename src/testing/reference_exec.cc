@@ -1,20 +1,516 @@
 #include "testing/reference_exec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
+#include <unordered_map>
+
+#include "common/str_util.h"
 
 namespace mpq {
 
+namespace {
+
+Status OracleUnsupported(const char* what) {
+  return Status::Unsupported(
+      StrFormat("row-path oracle: %s is not part of plaintext plans", what));
+}
+
+/// Row-major predicate evaluation: one bound predicate against one row.
+struct OraclePredicate {
+  CmpOp op;
+  int lhs_col;
+  int rhs_col = -1;
+  Cell rhs_const;
+};
+
+Result<bool> EvalRow(const std::vector<OraclePredicate>& preds,
+                     const std::vector<Cell>& row) {
+  for (const OraclePredicate& p : preds) {
+    const Cell& lhs = row[static_cast<size_t>(p.lhs_col)];
+    const Cell& rhs =
+        p.rhs_col >= 0 ? row[static_cast<size_t>(p.rhs_col)] : p.rhs_const;
+    MPQ_ASSIGN_OR_RETURN(bool ok, CompareCells(p.op, lhs, rhs));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<Cell> ConcatRow(const std::vector<Cell>& a,
+                            const std::vector<Cell>& b) {
+  std::vector<Cell> row = a;
+  row.insert(row.end(), b.begin(), b.end());
+  return row;
+}
+
+/// Row-major aggregation state, the pre-columnar accumulator.
+struct OracleAggState {
+  double sum = 0;
+  bool sum_is_double = false;
+  int64_t count = 0;
+  Cell min_max;
+  bool has_min_max = false;
+};
+
+Status OracleAccumulate(const Aggregate& agg, const Cell& cell,
+                        OracleAggState* s) {
+  switch (agg.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      s->count++;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (cell.is_encrypted()) return OracleUnsupported("ciphertext sum");
+      const Value& v = cell.plain();
+      if (v.is_null()) return Status::OK();
+      if (v.is_string()) return OracleUnsupported("sum over strings");
+      s->sum += v.AsDouble();
+      if (v.is_double()) s->sum_is_double = true;
+      s->count++;
+      return Status::OK();
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      bool better;
+      if (!s->has_min_max) {
+        better = true;
+      } else {
+        CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
+        MPQ_ASSIGN_OR_RETURN(better, CompareCells(op, cell, s->min_max));
+      }
+      if (better) {
+        s->min_max = cell;
+        s->has_min_max = true;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable aggregate function");
+}
+
+/// Merges a later partial state into `dst`, in partial order — mirrors the
+/// columnar engine's per-batch merge so double sums associate identically.
+Status OracleMerge(const Aggregate& agg, OracleAggState src,
+                   OracleAggState* dst) {
+  switch (agg.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      dst->count += src.count;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      dst->sum += src.sum;
+      dst->sum_is_double = dst->sum_is_double || src.sum_is_double;
+      dst->count += src.count;
+      return Status::OK();
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (!src.has_min_max) return Status::OK();
+      bool better;
+      if (!dst->has_min_max) {
+        better = true;
+      } else {
+        CmpOp op = agg.func == AggFunc::kMin ? CmpOp::kLt : CmpOp::kGt;
+        MPQ_ASSIGN_OR_RETURN(better,
+                             CompareCells(op, src.min_max, dst->min_max));
+      }
+      if (better) {
+        dst->min_max = std::move(src.min_max);
+        dst->has_min_max = true;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable aggregate function");
+}
+
+}  // namespace
+
+int ReferenceExecutor::RowTable::ColIndex(AttrId attr) const {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].attr == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void ReferenceExecutor::LoadTable(RelId rel, const Table* data) {
+  RowTable t;
+  t.cols = data->columns();
+  t.rows.reserve(data->num_rows());
+  for (size_t r = 0; r < data->num_rows(); ++r) {
+    t.rows.push_back(data->row(r));
+  }
+  tables_[rel] = std::move(t);
+}
+
+Result<ReferenceExecutor::RowTable> ReferenceExecutor::Exec(
+    const PlanNode* n) const {
+  switch (n->kind) {
+    case OpKind::kBase: {
+      auto it = tables_.find(n->rel);
+      if (it == tables_.end()) {
+        return Status::NotFound(StrFormat(
+            "no data loaded for relation %s",
+            catalog_->Get(n->rel).name.c_str()));
+      }
+      return it->second;  // copy
+    }
+
+    case OpKind::kProject: {
+      MPQ_ASSIGN_OR_RETURN(RowTable in, Exec(n->child(0)));
+      std::vector<int> keep;
+      RowTable out;
+      for (size_t i = 0; i < in.cols.size(); ++i) {
+        if (n->attrs.Contains(in.cols[i].attr)) {
+          keep.push_back(static_cast<int>(i));
+          out.cols.push_back(in.cols[i]);
+        }
+      }
+      if (keep.size() != n->attrs.size()) {
+        return Status::Internal("oracle: projection attribute missing");
+      }
+      out.rows.reserve(in.rows.size());
+      for (const auto& row : in.rows) {
+        std::vector<Cell> r;
+        r.reserve(keep.size());
+        for (int i : keep) r.push_back(row[static_cast<size_t>(i)]);
+        out.rows.push_back(std::move(r));
+      }
+      return out;
+    }
+
+    case OpKind::kSelect: {
+      MPQ_ASSIGN_OR_RETURN(RowTable in, Exec(n->child(0)));
+      std::vector<OraclePredicate> preds;
+      for (const Predicate& p : n->predicates) {
+        OraclePredicate op;
+        op.op = p.op;
+        op.lhs_col = in.ColIndex(p.lhs);
+        if (op.lhs_col < 0) {
+          return Status::Internal("oracle: selection attribute missing");
+        }
+        if (p.rhs_is_attr) {
+          op.rhs_col = in.ColIndex(p.rhs_attr);
+          if (op.rhs_col < 0) {
+            return Status::Internal("oracle: selection attribute missing");
+          }
+        } else {
+          op.rhs_const = Cell(p.rhs_value);
+        }
+        preds.push_back(std::move(op));
+      }
+      RowTable out;
+      out.cols = in.cols;
+      for (auto& row : in.rows) {
+        MPQ_ASSIGN_OR_RETURN(bool ok, EvalRow(preds, row));
+        if (ok) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+
+    case OpKind::kCartesian: {
+      MPQ_ASSIGN_OR_RETURN(RowTable l, Exec(n->child(0)));
+      MPQ_ASSIGN_OR_RETURN(RowTable r, Exec(n->child(1)));
+      RowTable out;
+      out.cols = l.cols;
+      out.cols.insert(out.cols.end(), r.cols.begin(), r.cols.end());
+      out.rows.reserve(l.rows.size() * r.rows.size());
+      for (const auto& lr : l.rows) {
+        for (const auto& rr : r.rows) {
+          out.rows.push_back(ConcatRow(lr, rr));
+        }
+      }
+      return out;
+    }
+
+    case OpKind::kJoin: {
+      MPQ_ASSIGN_OR_RETURN(RowTable l, Exec(n->child(0)));
+      MPQ_ASSIGN_OR_RETURN(RowTable r, Exec(n->child(1)));
+      RowTable out;
+      out.cols = l.cols;
+      out.cols.insert(out.cols.end(), r.cols.begin(), r.cols.end());
+
+      struct EqPair {
+        int lcol;
+        int rcol;
+      };
+      std::vector<EqPair> eq_pairs;
+      std::vector<Predicate> residual;
+      for (const Predicate& p : n->predicates) {
+        if (p.rhs_is_attr && p.op == CmpOp::kEq) {
+          int ll = l.ColIndex(p.lhs), rr = r.ColIndex(p.rhs_attr);
+          if (ll >= 0 && rr >= 0) {
+            eq_pairs.push_back({ll, rr});
+            continue;
+          }
+          ll = l.ColIndex(p.rhs_attr);
+          rr = r.ColIndex(p.lhs);
+          if (ll >= 0 && rr >= 0) {
+            eq_pairs.push_back({ll, rr});
+            continue;
+          }
+        }
+        residual.push_back(p);
+      }
+      std::vector<OraclePredicate> bound;
+      for (const Predicate& p : eq_pairs.empty() ? n->predicates : residual) {
+        OraclePredicate op;
+        op.op = p.op;
+        op.lhs_col = out.ColIndex(p.lhs);
+        if (op.lhs_col < 0) {
+          return Status::Internal("oracle: join attribute missing");
+        }
+        if (p.rhs_is_attr) {
+          op.rhs_col = out.ColIndex(p.rhs_attr);
+          if (op.rhs_col < 0) {
+            return Status::Internal("oracle: join attribute missing");
+          }
+        } else {
+          op.rhs_const = Cell(p.rhs_value);
+        }
+        bound.push_back(std::move(op));
+      }
+
+      if (!eq_pairs.empty()) {
+        // Row-major hash join: build on the left, probe row-at-a-time.
+        std::unordered_map<std::string, std::vector<size_t>> ht;
+        ht.reserve(l.rows.size() * 2);
+        for (size_t i = 0; i < l.rows.size(); ++i) {
+          std::string key;
+          for (const EqPair& ep : eq_pairs) {
+            MPQ_ASSIGN_OR_RETURN(
+                std::string k,
+                CellGroupKey(l.rows[i][static_cast<size_t>(ep.lcol)]));
+            key += k;
+            key += '\x1f';
+          }
+          ht[key].push_back(i);
+        }
+        std::string key;
+        for (size_t j = 0; j < r.rows.size(); ++j) {
+          key.clear();
+          for (const EqPair& ep : eq_pairs) {
+            MPQ_ASSIGN_OR_RETURN(
+                std::string k,
+                CellGroupKey(r.rows[j][static_cast<size_t>(ep.rcol)]));
+            key += k;
+            key += '\x1f';
+          }
+          auto it = ht.find(key);
+          if (it == ht.end()) continue;
+          for (size_t i : it->second) {
+            std::vector<Cell> row = ConcatRow(l.rows[i], r.rows[j]);
+            MPQ_ASSIGN_OR_RETURN(bool ok, EvalRow(bound, row));
+            if (ok) out.rows.push_back(std::move(row));
+          }
+        }
+        return out;
+      }
+      for (const auto& lr : l.rows) {
+        for (const auto& rr : r.rows) {
+          std::vector<Cell> row = ConcatRow(lr, rr);
+          MPQ_ASSIGN_OR_RETURN(bool ok, EvalRow(bound, row));
+          if (ok) out.rows.push_back(std::move(row));
+        }
+      }
+      return out;
+    }
+
+    case OpKind::kGroupBy: {
+      MPQ_ASSIGN_OR_RETURN(RowTable in, Exec(n->child(0)));
+      std::vector<int> group_cols;
+      RowTable out;
+      for (AttrId a : n->group_by.ToVector()) {
+        int idx = in.ColIndex(a);
+        if (idx < 0) {
+          return Status::Internal("oracle: group-by attribute missing");
+        }
+        group_cols.push_back(idx);
+        out.cols.push_back(in.cols[static_cast<size_t>(idx)]);
+      }
+      std::vector<int> agg_cols;
+      for (const Aggregate& agg : n->aggregates) {
+        ExecColumn col;
+        if (agg.func == AggFunc::kCountStar) {
+          agg_cols.push_back(-1);
+          col.attr = agg.out_attr;
+          col.name = catalog_->attrs().Name(agg.out_attr);
+          col.type = DataType::kInt64;
+          out.cols.push_back(col);
+          continue;
+        }
+        int idx = in.ColIndex(agg.attr);
+        if (idx < 0) {
+          return Status::Internal("oracle: aggregate attribute missing");
+        }
+        agg_cols.push_back(idx);
+        col = in.cols[static_cast<size_t>(idx)];
+        col.attr = agg.out_attr;
+        col.name = catalog_->attrs().Name(agg.out_attr);
+        if (agg.func == AggFunc::kCount) {
+          col.type = DataType::kInt64;
+        } else if (agg.func == AggFunc::kAvg) {
+          col.type = DataType::kDouble;
+        }
+        out.cols.push_back(col);
+      }
+
+      // Hash aggregation in first-occurrence order, folding partial states
+      // per kDefaultBatchSize run of rows and merging runs in order (the
+      // engine's floating-point association at its default batch size).
+      std::unordered_map<std::string, size_t> group_of;
+      std::vector<std::vector<Cell>> group_keys;
+      std::vector<std::vector<OracleAggState>> states;
+      size_t nrows = in.rows.size();
+      size_t bs = Table::kDefaultBatchSize;
+      for (size_t begin = 0; begin < nrows; begin += bs) {
+        size_t end = std::min(begin + bs, nrows);
+        std::unordered_map<std::string, size_t> local_of;
+        std::vector<const std::string*> local_order;
+        std::vector<std::vector<Cell>> local_keys;
+        std::vector<std::vector<OracleAggState>> local_states;
+        for (size_t r = begin; r < end; ++r) {
+          std::string key;
+          for (int gc : group_cols) {
+            MPQ_ASSIGN_OR_RETURN(
+                std::string k,
+                CellGroupKey(in.rows[r][static_cast<size_t>(gc)]));
+            key += k;
+            key += '\x1f';
+          }
+          auto [it, inserted] = local_of.try_emplace(std::move(key),
+                                                     local_keys.size());
+          if (inserted) {
+            std::vector<Cell> gk;
+            for (int gc : group_cols) {
+              gk.push_back(in.rows[r][static_cast<size_t>(gc)]);
+            }
+            local_keys.push_back(std::move(gk));
+            local_states.emplace_back(n->aggregates.size());
+          }
+          std::vector<OracleAggState>& st = local_states[it->second];
+          for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+            const Aggregate& agg = n->aggregates[ai];
+            if (agg.func == AggFunc::kCountStar) {
+              st[ai].count++;
+              continue;
+            }
+            MPQ_RETURN_NOT_OK(OracleAccumulate(
+                agg, in.rows[r][static_cast<size_t>(agg_cols[ai])], &st[ai]));
+          }
+        }
+        local_order.resize(local_keys.size());
+        for (const auto& [key, idx] : local_of) local_order[idx] = &key;
+        for (size_t g = 0; g < local_keys.size(); ++g) {
+          auto [it, inserted] =
+              group_of.try_emplace(*local_order[g], group_keys.size());
+          if (inserted) {
+            group_keys.push_back(std::move(local_keys[g]));
+            states.push_back(std::move(local_states[g]));
+            continue;
+          }
+          std::vector<OracleAggState>& dst = states[it->second];
+          for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+            MPQ_RETURN_NOT_OK(OracleMerge(n->aggregates[ai],
+                                          std::move(local_states[g][ai]),
+                                          &dst[ai]));
+          }
+        }
+      }
+
+      for (size_t g = 0; g < group_keys.size(); ++g) {
+        std::vector<Cell> row = group_keys[g];
+        for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+          const Aggregate& agg = n->aggregates[ai];
+          const OracleAggState& s = states[g][ai];
+          switch (agg.func) {
+            case AggFunc::kCountStar:
+            case AggFunc::kCount:
+              row.push_back(Cell(Value(s.count)));
+              break;
+            case AggFunc::kSum:
+              if (s.sum_is_double) {
+                row.push_back(Cell(Value(s.sum)));
+              } else {
+                row.push_back(
+                    Cell(Value(static_cast<int64_t>(std::llround(s.sum)))));
+              }
+              break;
+            case AggFunc::kAvg:
+              row.push_back(Cell(Value(
+                  s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0)));
+              break;
+            case AggFunc::kMin:
+            case AggFunc::kMax:
+              row.push_back(s.has_min_max ? s.min_max : Cell(Value::Null()));
+              break;
+          }
+        }
+        out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+
+    case OpKind::kUdf: {
+      MPQ_ASSIGN_OR_RETURN(RowTable in, Exec(n->child(0)));
+      std::vector<int> in_cols;
+      for (AttrId a : n->udf_inputs.ToVector()) {
+        int idx = in.ColIndex(a);
+        if (idx < 0) return Status::Internal("oracle: udf input missing");
+        in_cols.push_back(idx);
+      }
+      int out_src = in.ColIndex(n->udf_output);
+      if (out_src < 0) return Status::Internal("oracle: udf output missing");
+      RowTable out;
+      std::vector<int> keep;
+      for (size_t i = 0; i < in.cols.size(); ++i) {
+        AttrId a = in.cols[i].attr;
+        if (n->udf_inputs.Contains(a) && a != n->udf_output) continue;
+        keep.push_back(static_cast<int>(i));
+        out.cols.push_back(in.cols[i]);
+      }
+      out.rows.reserve(in.rows.size());
+      for (const auto& row : in.rows) {
+        std::vector<Cell> args;
+        args.reserve(in_cols.size());
+        for (int ic : in_cols) args.push_back(row[static_cast<size_t>(ic)]);
+        MPQ_ASSIGN_OR_RETURN(Cell result, DefaultUdf(args));
+        std::vector<Cell> r;
+        r.reserve(keep.size());
+        for (int i : keep) {
+          r.push_back(i == out_src ? result : row[static_cast<size_t>(i)]);
+        }
+        out.rows.push_back(std::move(r));
+      }
+      if (!out.rows.empty()) {
+        for (size_t i = 0; i < out.cols.size(); ++i) {
+          if (out.cols[i].attr != n->udf_output) continue;
+          const Cell& c = out.rows[0][i];
+          if (c.is_plain() && !c.plain().is_string()) {
+            out.cols[i].type = c.plain().is_double() ? DataType::kDouble
+                                                     : DataType::kInt64;
+          }
+        }
+      }
+      return out;
+    }
+
+    case OpKind::kEncrypt:
+      return OracleUnsupported("encrypt");
+    case OpKind::kDecrypt:
+      return OracleUnsupported("decrypt");
+  }
+  return Status::Internal("unreachable operator kind");
+}
+
 Result<Table> ReferenceExecutor::Run(const PlanNode* plan) const {
-  static const KeyRing kNoKeys;
-  static const CryptoPlan kNoCrypto;
-  ExecContext ctx;
-  ctx.catalog = catalog_;
-  for (const auto& [rel, table] : tables_) ctx.base_tables[rel] = table;
-  ctx.keyring = &kNoKeys;
-  ctx.crypto = &kNoCrypto;
-  return ExecutePlan(plan, &ctx);
+  MPQ_ASSIGN_OR_RETURN(RowTable rt, Exec(plan));
+  Table out(std::move(rt.cols));
+  out.ReserveRows(rt.rows.size());
+  for (auto& row : rt.rows) out.AddRow(std::move(row));
+  return out;
 }
 
 namespace {
@@ -62,7 +558,7 @@ std::vector<std::string> CanonicalRows(const Table& t) {
   for (size_t r = 0; r < t.num_rows(); ++r) {
     std::string row;
     for (size_t c : order) {
-      row += CanonicalCell(t.row(r)[c]);
+      row += CanonicalCell(t.at(r, c));
       row += "|";
     }
     rows.push_back(std::move(row));

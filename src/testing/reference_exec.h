@@ -1,9 +1,15 @@
-// Single-site plaintext oracle for differential testing: executes the
-// original (pre-extension) plan in one engine with no keys, no crypto plan
-// and no thread pool — the simplest possible interpretation of the query.
-// Differential tests run the full distributed-encrypted pipeline (with and
-// without injected faults) and assert its result is equivalent to this
-// oracle's.
+// Row-path oracle for layout-differential testing: an independent row-major
+// interpreter of (pre-extension) plaintext plans, deliberately retaining the
+// pre-columnar `vector<vector<Cell>>` execution style — row-at-a-time
+// predicate evaluation, row-materializing joins, row-major hash aggregation.
+// It shares no operator code with the columnar engine, so a bit-identical
+// CanonicalRows comparison between the two is evidence about the columnar
+// rewrite, not a tautology. Differential tests run the full
+// distributed-encrypted pipeline (with and without injected faults) and the
+// single-site columnar engine against this oracle.
+//
+// The oracle doubles as the "pre-PR row engine" baseline `bench_columnar`
+// measures the columnar engine against.
 
 #ifndef MPQ_TESTING_REFERENCE_EXEC_H_
 #define MPQ_TESTING_REFERENCE_EXEC_H_
@@ -16,19 +22,34 @@
 
 namespace mpq {
 
-/// The oracle. Base tables are borrowed; the caller keeps them alive.
+/// The oracle. Base tables are copied into row-major form at load time, so
+/// Run touches no columnar code at all.
 class ReferenceExecutor {
  public:
   explicit ReferenceExecutor(const Catalog* catalog) : catalog_(catalog) {}
 
-  void LoadTable(RelId rel, const Table* data) { tables_[rel] = data; }
+  void LoadTable(RelId rel, const Table* data);
 
-  /// Plaintext single-site execution of `plan`.
+  /// Plaintext single-site row-major execution of `plan`. Aggregation
+  /// partial sums are folded per kDefaultBatchSize run of rows and merged
+  /// in order — the same floating-point association the columnar engine
+  /// uses at its default batch size — so double-valued aggregates are
+  /// bit-identical, not merely close.
   Result<Table> Run(const PlanNode* plan) const;
 
  private:
+  /// A row-major relation: the pre-columnar data layout.
+  struct RowTable {
+    std::vector<ExecColumn> cols;
+    std::vector<std::vector<Cell>> rows;
+
+    int ColIndex(AttrId attr) const;
+  };
+
+  Result<RowTable> Exec(const PlanNode* n) const;
+
   const Catalog* catalog_;
-  std::map<RelId, const Table*> tables_;
+  std::map<RelId, RowTable> tables_;
 };
 
 /// Canonical order-insensitive rendering of a result table, the form

@@ -301,5 +301,79 @@ TEST_F(ExecutorTest, TableToStringTruncates) {
   EXPECT_NE(s.find("S | B | D | T"), std::string::npos);
 }
 
+TEST_F(ExecutorTest, BatchIndexingInvariants) {
+  // A zero-row table has zero batches; Batch never fabricates a range with
+  // begin > end (the old silent clamp is now an asserted invariant, and the
+  // release-mode degradation is an empty batch).
+  Table empty(hosp_.columns());
+  EXPECT_EQ(empty.num_rows(), 0u);
+  EXPECT_EQ(empty.NumBatches(), 0u);
+  EXPECT_EQ(empty.NumBatches(0), 0u);
+  RowBatch b = empty.Batch(0);
+  EXPECT_EQ(b.begin, 0u);
+  EXPECT_EQ(b.end, 0u);
+  EXPECT_TRUE(b.empty());
+
+  // batch_size == 0 is normalized to 1 everywhere.
+  EXPECT_EQ(hosp_.NumBatches(0), hosp_.num_rows());
+  RowBatch last = hosp_.Batch(hosp_.num_rows() - 1, 0);
+  EXPECT_EQ(last.size(), 1u);
+  EXPECT_EQ(last.end, hosp_.num_rows());
+}
+
+TEST_F(ExecutorTest, ZeroRowTablesFlowThroughEveryOperator) {
+  // Every operator over an empty operand produces a well-formed empty
+  // result, at the default batch size and at batch_size == 0.
+  Table empty_hosp(hosp_.columns());
+  Table empty_ins(ins_.columns());
+  ctx_.base_tables[ex_->hosp] = &empty_hosp;
+  ctx_.base_tables[ex_->ins] = &empty_ins;
+  PlanBuilder b = ex_->builder();
+  for (size_t batch_size : {Table::kDefaultBatchSize, size_t{0}}) {
+    ctx_.batch_size = batch_size;
+    PlanPtr sel = Finish(Select(
+        b.Rel("Hosp"), {b.Pv("D", CmpOp::kEq, Value(std::string("stroke")))}));
+    Result<Table> t = ExecutePlan(sel.get(), &ctx_);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_EQ(t->num_rows(), 0u);
+    EXPECT_EQ(t->num_columns(), 4u);
+
+    PlanPtr join = Finish(Join(b.Rel("Hosp"), b.Rel("Ins"),
+                               {b.Pa("S", CmpOp::kEq, "C")}));
+    t = ExecutePlan(join.get(), &ctx_);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_EQ(t->num_rows(), 0u);
+    EXPECT_EQ(t->num_columns(), 6u);
+
+    PlanPtr gb = Finish(GroupBy(b.Rel("Hosp"), b.Set("D"),
+                                {Aggregate::Make(AggFunc::kMin, b.A("B"))}));
+    t = ExecutePlan(gb.get(), &ctx_);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_EQ(t->num_rows(), 0u);
+
+    PlanPtr enc = Finish(Encrypt(b.Rel("Hosp"), b.Set("B")));
+    t = ExecutePlan(enc.get(), &ctx_);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_EQ(t->num_rows(), 0u);
+    EXPECT_TRUE(t->columns()[1].encrypted);
+  }
+}
+
+TEST_F(ExecutorTest, BatchSizeZeroMatchesDefaultOnRealData) {
+  // batch_size == 0 (normalized to 1-row batches) must produce the same
+  // result as the default batch size on a non-trivial plan.
+  PlanBuilder b = ex_->builder();
+  auto run = [&](size_t batch_size) {
+    ctx_.batch_size = batch_size;
+    PlanPtr p = Finish(GroupBy(
+        Join(b.Rel("Hosp"), b.Rel("Ins"), {b.Pa("S", CmpOp::kEq, "C")}),
+        b.Set("D"), {Aggregate::Make(AggFunc::kSum, b.A("P"))}));
+    Result<Table> t = ExecutePlan(p.get(), &ctx_);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t->ToString();
+  };
+  EXPECT_EQ(run(Table::kDefaultBatchSize), run(0));
+}
+
 }  // namespace
 }  // namespace mpq
