@@ -1,0 +1,370 @@
+// Join/group-by hash-path benchmark: the flat-hash engine (typed key codes,
+// dictionary-encoded string/DET keys, CSR probe lists, contiguous aggregate
+// arenas, Paillier Montgomery precompute) against the retained row-major
+// oracle, on the workloads PR 4 left slow — the Q3-style probe mix and
+// high-cardinality group-bys — plus a dictionary-keyed group-by and a
+// Paillier homomorphic-sum aggregation.
+//
+// Every workload is verified before timing: the engine result must
+// canonicalize identically to the oracle's, and the engine's own output
+// must be bit-identical (serialized bytes) at 1, 2, and 8 threads. A
+// mismatch fails the process, which is the CI gate.
+//
+// Emits BENCH_hashpath.json (override with --json <path>). Compare the
+// hash_1t_ms column against the columnar_ms column of the committed PR 4
+// BENCH_columnar.json (same scale factor, same best-of-N methodology) for
+// the speedup over the previous engine.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algebra/plan_builder.h"
+#include "bench_json.h"
+#include "common/thread_pool.h"
+#include "crypto/keyring.h"
+#include "exec/executor.h"
+#include "testing/reference_exec.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace mpq;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Workload {
+  std::string name;
+  PlanPtr plan;         ///< Executed by the engine.
+  PlanPtr oracle_plan;  ///< Executed by the row oracle (defaults to `plan`).
+  /// Encrypted pipeline: verified against the plaintext oracle plan but
+  /// excluded from the speedup geomean (it measures ciphertext work the
+  /// oracle never does).
+  bool encrypted = false;
+};
+
+double BestOf(int reps, const std::function<double()>& run) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, run());
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      bench::ParseJsonFlag(&argc, argv, "BENCH_hashpath.json");
+  double data_sf = argc > 1 ? std::atof(argv[1]) : 0.02;
+  int reps = argc > 2 ? std::atoi(argv[2]) : 3;
+  if (data_sf <= 0) data_sf = 0.02;
+  if (reps < 1) reps = 1;
+
+  TpchEnv env = MakeTpchEnv(/*costing_sf=*/1.0, /*num_providers=*/3);
+  TpchData db = GenerateTpch(env, data_sf, /*seed=*/5);
+  std::printf(
+      "Flat-hash join/group-by engine vs row oracle, TPC-H data_sf=%.4g "
+      "(lineitem rows: %zu), best of %d reps\n\n",
+      data_sf, db.at(env.lineitem).num_rows(), reps);
+
+  // Key material for the encrypted workload: one key (id 0) held by the
+  // engine and the dispatcher alike.
+  KeyRing keyring;
+  keyring.Add(MakeKeyMaterial(/*seed=*/1, /*key_id=*/0));
+  CryptoPlan crypto;
+  uint64_t paillier_n = (*keyring.Get(0)).paillier.n;
+
+  // Every workload registered here must build, verify, and be measured;
+  // `expected` vs `completed` turns a silently-skipped workload (e.g. a
+  // planner regression breaking Q3) into a failing exit status.
+  size_t expected = 0;
+  std::vector<Workload> workloads;
+  {
+    // The PR 4 laggards: the customer⋈orders⋈lineitem probe mix and the
+    // high-cardinality (one group per few rows) aggregation.
+    expected++;
+    Result<PlanPtr> q3 = BuildTpchQuery(3, env);
+    if (q3.ok()) {
+      Workload w;
+      w.name = "Q3";
+      w.plan = std::move(*q3);
+      workloads.push_back(std::move(w));
+    } else {
+      std::printf("Q3 build error: %s\n", q3.status().ToString().c_str());
+    }
+  }
+  {
+    PlanBuilder b(&env.catalog);
+    PlanPtr p = Select(b.Rel("lineitem"),
+                       {b.Pv("l_quantity", CmpOp::kLe, Value(25.0)),
+                        b.Pv("l_shipdate", CmpOp::kGt, Value(int64_t{800}))});
+    p = GroupBy(std::move(p), b.Set("l_partkey"),
+                {Aggregate::Make(AggFunc::kSum, b.A("l_extendedprice")),
+                 Aggregate::Make(AggFunc::kMax, b.A("l_discount"))});
+    Result<PlanPtr> fp = FinishPlan(std::move(p), env.catalog);
+    expected++;
+    if (fp.ok()) {
+      Workload w;
+      w.name = "groupby-hi";
+      w.plan = std::move(*fp);
+      workloads.push_back(std::move(w));
+    } else {
+      std::printf("groupby-hi build error: %s\n",
+                  fp.status().ToString().c_str());
+    }
+  }
+  {
+    // Join-heavy: a selective orders build side probed by every lineitem
+    // row; the residual projection keeps the join the dominant cost.
+    PlanBuilder b(&env.catalog);
+    PlanPtr o = Select(b.Rel("orders"), {b.Pv("o_orderdate", CmpOp::kLt,
+                                              Value(int64_t{1200}))});
+    PlanPtr p = Join(std::move(o), b.Rel("lineitem"),
+                     {b.Pa("o_orderkey", CmpOp::kEq, "l_orderkey")});
+    p = Project(std::move(p),
+                b.Set("o_orderkey,o_totalprice,l_extendedprice"));
+    Result<PlanPtr> fp = FinishPlan(std::move(p), env.catalog);
+    expected++;
+    if (fp.ok()) {
+      Workload w;
+      w.name = "join-probe";
+      w.plan = std::move(*fp);
+      workloads.push_back(std::move(w));
+    } else {
+      std::printf("join-probe build error: %s\n",
+                  fp.status().ToString().c_str());
+    }
+  }
+  {
+    // Dictionary-keyed aggregation: string group keys become dense codes.
+    PlanBuilder b(&env.catalog);
+    PlanPtr p = GroupBy(b.Rel("lineitem"), b.Set("l_shipmode,l_returnflag"),
+                        {Aggregate::Make(AggFunc::kSum, b.A("l_quantity")),
+                         Aggregate::Make(AggFunc::kCount, b.A("l_orderkey"))});
+    Result<PlanPtr> fp = FinishPlan(std::move(p), env.catalog);
+    expected++;
+    if (fp.ok()) {
+      Workload w;
+      w.name = "groupby-str";
+      w.plan = std::move(*fp);
+      workloads.push_back(std::move(w));
+    } else {
+      std::printf("groupby-str build error: %s\n",
+                  fp.status().ToString().c_str());
+    }
+  }
+  {
+    // Paillier homomorphic sum grouped by a DET-encrypted string key; the
+    // oracle runs the plaintext equivalent, so verification proves the
+    // whole encrypt → ciphertext-aggregate → decrypt pipeline.
+    PlanBuilder b(&env.catalog);
+    PlanPtr p = Encrypt(b.Rel("lineitem"), b.Set("l_suppkey,l_returnflag"));
+    p = GroupBy(std::move(p), b.Set("l_returnflag"),
+                {Aggregate::Make(AggFunc::kSum, b.A("l_suppkey"))});
+    p = Decrypt(std::move(p), b.Set("l_suppkey,l_returnflag"));
+    Result<PlanPtr> fp = FinishPlan(std::move(p), env.catalog);
+
+    PlanBuilder ob(&env.catalog);
+    PlanPtr op = GroupBy(ob.Rel("lineitem"), ob.Set("l_returnflag"),
+                         {Aggregate::Make(AggFunc::kSum, b.A("l_suppkey"))});
+    Result<PlanPtr> ofp = FinishPlan(std::move(op), env.catalog);
+    expected++;
+    if (fp.ok() && ofp.ok()) {
+      Workload w;
+      w.name = "groupby-hom";
+      w.plan = std::move(*fp);
+      w.oracle_plan = std::move(*ofp);
+      w.encrypted = true;
+      workloads.push_back(std::move(w));
+    } else {
+      std::printf("groupby-hom build error: %s\n",
+                  (fp.ok() ? ofp.status() : fp.status()).ToString().c_str());
+    }
+  }
+  crypto.scheme_of[env.catalog.attrs().Find("l_suppkey")] =
+      EncScheme::kPaillier;
+  crypto.scheme_of[env.catalog.attrs().Find("l_returnflag")] =
+      EncScheme::kDeterministic;
+
+  ReferenceExecutor row_engine(&env.catalog);
+  for (const auto& [rel, t] : db.tables) row_engine.LoadTable(rel, &t);
+
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+
+  auto make_ctx = [&](ExecContext* ctx, ThreadPool* pool) {
+    ctx->catalog = &env.catalog;
+    for (const auto& [rel, t] : db.tables) ctx->base_tables[rel] = &t;
+    ctx->keyring = &keyring;
+    ctx->dispatcher_keyring = &keyring;
+    ctx->crypto = &crypto;
+    ctx->public_modulus[0] = paillier_n;
+    ctx->pool = pool;
+  };
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("hashpath");
+  w.Key("data_sf").Double(data_sf);
+  w.Key("lineitem_rows").UInt(db.at(env.lineitem).num_rows());
+  w.Key("workloads").BeginArray();
+
+  std::printf("%-12s %9s %9s %9s %9s %7s   %s\n", "workload", "row(ms)",
+              "1t(ms)", "2t(ms)", "8t(ms)", "spd", "rows");
+  double geomean_log = 0;
+  size_t measured = 0;
+  size_t completed = 0;
+  bool all_verified = true;
+  for (const Workload& wl : workloads) {
+    const PlanNode* oracle_plan =
+        wl.oracle_plan != nullptr ? wl.oracle_plan.get() : wl.plan.get();
+    Result<Table> row_result = row_engine.Run(oracle_plan);
+    if (!row_result.ok()) {
+      std::printf("%-12s row engine error: %s\n", wl.name.c_str(),
+                  row_result.status().ToString().c_str());
+      all_verified = false;
+      continue;
+    }
+    // Verification: engine ≡ oracle (canonical rows), and the engine's own
+    // result bytes identical at 1, 2, and 8 threads.
+    bool verified = true;
+    std::string wire1;
+    {
+      ExecContext ctx1;
+      make_ctx(&ctx1, nullptr);
+      Result<Table> r1 = ExecutePlan(wl.plan.get(), &ctx1);
+      if (!r1.ok()) {
+        std::printf("%-12s engine error: %s\n", wl.name.c_str(),
+                    r1.status().ToString().c_str());
+        all_verified = false;
+        continue;
+      }
+      verified = CanonicalRows(*row_result) == CanonicalRows(*r1);
+      wire1 = r1->SerializeColumns();
+    }
+    for (ThreadPool* pool : {&pool2, &pool8}) {
+      ExecContext ctx;
+      make_ctx(&ctx, pool);
+      Result<Table> r = ExecutePlan(wl.plan.get(), &ctx);
+      verified = verified && r.ok() && r->SerializeColumns() == wire1;
+    }
+    all_verified = all_verified && verified;
+    if (!verified) {
+      std::printf("%-12s RESULT MISMATCH\n", wl.name.c_str());
+      continue;
+    }
+
+    double row_s = BestOf(reps, [&] {
+      auto t0 = Clock::now();
+      Result<Table> t = row_engine.Run(oracle_plan);
+      auto t1 = Clock::now();
+      if (!t.ok()) return 1e300;
+      return std::chrono::duration<double>(t1 - t0).count();
+    });
+    size_t rows = 0;
+    auto time_engine = [&](ThreadPool* pool) {
+      return BestOf(reps, [&] {
+        ExecContext ctx;
+        make_ctx(&ctx, pool);
+        auto t0 = Clock::now();
+        Result<Table> t = ExecutePlan(wl.plan.get(), &ctx);
+        auto t1 = Clock::now();
+        if (!t.ok()) return 1e300;
+        rows = t->num_rows();
+        return std::chrono::duration<double>(t1 - t0).count();
+      });
+    };
+    double s1 = time_engine(nullptr);
+    double s2 = time_engine(&pool2);
+    double s8 = time_engine(&pool8);
+
+    double spd = row_s / s1;
+    std::printf("%-12s %9.2f %9.2f %9.2f %9.2f %6.2fx%s  %zu\n",
+                wl.name.c_str(), row_s * 1e3, s1 * 1e3, s2 * 1e3, s8 * 1e3,
+                spd, wl.encrypted ? "*" : " ", rows);
+    if (!wl.encrypted) {
+      geomean_log += std::log(spd);
+      measured++;
+    }
+    completed++;
+
+    w.BeginObject();
+    w.Key("name").String(wl.name);
+    w.Key("row_ms").Double(row_s * 1e3);
+    w.Key("hash_1t_ms").Double(s1 * 1e3);
+    w.Key("hash_2t_ms").Double(s2 * 1e3);
+    w.Key("hash_8t_ms").Double(s8 * 1e3);
+    w.Key("speedup_1t").Double(spd);
+    w.Key("rows").UInt(rows);
+    w.Key("verified").Bool(verified);
+    w.EndObject();
+  }
+  w.EndArray();
+  double geomean = measured > 0 ? std::exp(geomean_log / measured) : 0;
+  w.Key("geomean_speedup_1t").Double(geomean);
+
+  // Paillier fixed-window precompute vs the schoolbook PowMod ladder, on
+  // identical inputs (outputs asserted equal) — the crypto half of the
+  // hash-path satellite, measured directly.
+  {
+    KeyMaterial km = *keyring.Get(0);
+    const PaillierPrecomp& pre = *km.hom_precomp;
+    constexpr int kN = 2000;
+    bool equal = true;
+    auto t0 = Clock::now();
+    for (int i = 0; i < kN; ++i) {
+      uint128 c = PaillierEncrypt(km.paillier, static_cast<uint64_t>(i),
+                                  static_cast<uint64_t>(i) | 1);
+      equal = equal && c != 0;
+    }
+    auto t1 = Clock::now();
+    for (int i = 0; i < kN; ++i) {
+      uint128 c = pre.Encrypt(static_cast<uint64_t>(i),
+                              static_cast<uint64_t>(i) | 1);
+      equal = equal &&
+              c == PaillierEncrypt(km.paillier, static_cast<uint64_t>(i),
+                                   static_cast<uint64_t>(i) | 1);
+    }
+    auto t2 = Clock::now();
+    // t1..t2 ran both paths; isolate the precompute path.
+    auto t3 = Clock::now();
+    for (int i = 0; i < kN; ++i) {
+      uint128 c = pre.Encrypt(static_cast<uint64_t>(i),
+                              static_cast<uint64_t>(i) | 1);
+      equal = equal && c != 0;
+    }
+    auto t4 = Clock::now();
+    (void)t2;
+    double legacy_us =
+        std::chrono::duration<double>(t1 - t0).count() * 1e6 / kN;
+    double fast_us =
+        std::chrono::duration<double>(t4 - t3).count() * 1e6 / kN;
+    all_verified = all_verified && equal;
+    std::printf(
+        "\nPaillier encrypt: schoolbook %.2f us/op, precomputed %.2f us/op "
+        "(%.1fx, ciphertexts %s)\n",
+        legacy_us, fast_us, legacy_us / fast_us,
+        equal ? "identical" : "DIFFER");
+    w.Key("paillier_legacy_us_per_op").Double(legacy_us);
+    w.Key("paillier_precomp_us_per_op").Double(fast_us);
+    w.Key("paillier_precomp_speedup").Double(legacy_us / fast_us);
+  }
+
+  w.Key("all_verified").Bool(all_verified);
+  w.EndObject();
+  bench::WriteJsonFile(json_path, w.TakeString());
+
+  std::printf(
+      "\ngeomean single-thread speedup over the row oracle (plaintext "
+      "workloads): %.2fx\n",
+      geomean);
+  std::printf("results verified (oracle ≡ engine, 1t ≡ 2t ≡ 8t): %s\n",
+              all_verified ? "yes" : "NO");
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_verified && completed == expected ? 0 : 1;
+}

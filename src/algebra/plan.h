@@ -32,6 +32,13 @@ enum class OpKind {
   kDecrypt,    ///< on-the-fly decryption of a set of attributes
 };
 
+/// Number of OpKind enumerators (kBase..kDecrypt), for dense per-kind
+/// counter arrays. The static_assert below keeps it tied to the enum:
+/// extend it when adding a kind.
+inline constexpr size_t kNumOpKinds = 9;
+static_assert(kNumOpKinds == static_cast<size_t>(OpKind::kDecrypt) + 1,
+              "kNumOpKinds must cover every OpKind enumerator");
+
 const char* OpKindName(OpKind k);
 
 /// A node of a query plan. Field usage depends on `kind`; unused fields stay

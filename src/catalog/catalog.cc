@@ -27,7 +27,7 @@ Result<RelId> Catalog::AddRelation(
   return id;
 }
 
-RelId Catalog::FindRelation(const std::string& name) const {
+RelId Catalog::FindRelation(std::string_view name) const {
   auto it = by_name_.find(name);
   return it == by_name_.end() ? kInvalidRel : it->second;
 }

@@ -4,7 +4,9 @@
 #ifndef MPQ_CATALOG_CATALOG_H_
 #define MPQ_CATALOG_CATALOG_H_
 
+#include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -46,7 +48,9 @@ class Catalog {
       const std::vector<std::pair<std::string, DataType>>& cols,
       SubjectId owner, double base_rows);
 
-  RelId FindRelation(const std::string& name) const;
+  /// Heterogeneous: a string_view (or literal) probes without constructing
+  /// a std::string.
+  RelId FindRelation(std::string_view name) const;
   const RelationDef& Get(RelId id) const;
 
   /// Monotonically increasing schema version; starts at 1 and advances on
@@ -66,7 +70,8 @@ class Catalog {
   AttrRegistry attrs_;
   uint64_t version_ = 1;
   std::vector<RelationDef> rels_;
-  std::unordered_map<std::string, RelId> by_name_;
+  /// Transparent comparator: lookups take string_view without a copy.
+  std::map<std::string, RelId, std::less<>> by_name_;
   std::unordered_map<AttrId, RelId> rel_of_attr_;
 };
 

@@ -49,7 +49,7 @@ AttrId AttrRegistry::Intern(const std::string& name) {
   return id;
 }
 
-AttrId AttrRegistry::Find(const std::string& name) const {
+AttrId AttrRegistry::Find(std::string_view name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(name);
   return it == ids_.end() ? kInvalidAttr : it->second;

@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <shared_mutex>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -44,7 +45,9 @@ class AttrRegistry {
   AttrId Intern(const std::string& name);
 
   /// Looks up an existing attribute. Returns kInvalidAttr when absent.
-  AttrId Find(const std::string& name) const;
+  /// Heterogeneous: a string_view (or literal) probes without constructing
+  /// a std::string.
+  AttrId Find(std::string_view name) const;
 
   /// Name of `id`. Precondition: id was returned by this registry.
   const std::string& Name(AttrId id) const;
@@ -54,7 +57,8 @@ class AttrRegistry {
 
  private:
   mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, AttrId> ids_;
+  /// Transparent comparator: lookups take string_view without a copy.
+  std::map<std::string, AttrId, std::less<>> ids_;
   std::deque<std::string> names_;
 };
 

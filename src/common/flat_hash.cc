@@ -1,0 +1,33 @@
+#include "common/flat_hash.h"
+
+namespace mpq {
+
+size_t FlatHashIndex::CapacityFor(size_t n) {
+  size_t cap = kMinCapacity;
+  while (n * 8 > cap * 7) cap <<= 1;
+  return cap;
+}
+
+void FlatHashIndex::Reserve(size_t n) {
+  size_t cap = CapacityFor(n);
+  if (cap > slots_.size()) Rehash(cap);
+}
+
+void FlatHashIndex::Clear() {
+  for (Slot& s : slots_) s = Slot{};
+  size_ = 0;
+}
+
+void FlatHashIndex::Rehash(size_t new_capacity) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_capacity, Slot{});
+  mask_ = new_capacity - 1;
+  for (const Slot& s : old) {
+    if (s.id == kNotFound) continue;
+    size_t i = s.hash & mask_;
+    while (slots_[i].id != kNotFound) i = (i + 1) & mask_;
+    slots_[i] = s;
+  }
+}
+
+}  // namespace mpq

@@ -1,0 +1,199 @@
+// Open-addressing hash primitives for the execution-engine hot paths.
+//
+// FlatHashIndex is a linear-probing, power-of-two-capacity index mapping a
+// cached 64-bit hash plus a caller-supplied equality predicate to a dense
+// uint32 id. Keys and payloads live in caller-owned parallel arrays (typed
+// vectors, arenas), so the table itself is one flat slot array with no
+// per-entry allocation — probes touch a single contiguous cache line run,
+// unlike std::unordered_map's node-per-entry layout. Deletion compacts the
+// probe chain by backward shifting, never with tombstones, so probe
+// distances stay short no matter how many erases a workload performs.
+//
+// Determinism: ids are assigned by the caller in insertion order, and probe
+// order depends only on the inserted (hash, id) sequence — identical across
+// runs and thread counts for identical insertion sequences.
+
+#ifndef MPQ_COMMON_FLAT_HASH_H_
+#define MPQ_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpq {
+
+/// SplitMix64 finalizer: a full-avalanche mix of one 64-bit word, so that
+/// power-of-two masking of the result indexes uniformly.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Folds one word into a running hash (boost-style combine over the mixed
+/// word; order-sensitive).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (HashMix64(v) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+/// FNV-1a over a byte range, avalanched for power-of-two masking.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return HashMix64(h);
+}
+
+inline uint64_t HashBytes(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Hash of a fixed-width word sequence (the typed key-code rows of the
+/// join/group-by engine).
+inline uint64_t HashWords(const uint64_t* w, size_t n) {
+  uint64_t h = 0x8f3b0d6f29b5f6a1ull ^ (n * 0x9e3779b97f4a7c15ull);
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, w[i]);
+  return h;
+}
+
+/// The index: cached hashes + dense caller-owned ids, linear probing over a
+/// power-of-two slot array at a 7/8 maximum load factor.
+class FlatHashIndex {
+ public:
+  /// Absent-entry marker returned by Find (and the internal empty-slot id).
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  FlatHashIndex() { Rehash(kMinCapacity); }
+  explicit FlatHashIndex(size_t expected) { Rehash(CapacityFor(expected)); }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Grows the slot array so `n` entries fit without rehashing.
+  void Reserve(size_t n);
+
+  /// Removes every entry (capacity is retained).
+  void Clear();
+
+  /// The id stored under (`hash`, `eq`), or kNotFound. `eq(id)` is consulted
+  /// only for ids whose cached hash equals `hash`.
+  template <typename Eq>
+  uint32_t Find(uint64_t hash, const Eq& eq) const {
+    size_t i = hash & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.id == kNotFound) return kNotFound;
+      if (s.hash == hash && eq(s.id)) return s.id;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// The id stored under (`hash`, `eq`); when absent, `insert()` is invoked
+  /// once to append the key to the caller's arrays and its returned id is
+  /// recorded and returned. (By construction new ids are handed out in
+  /// insertion order when the caller returns its array size.)
+  template <typename Eq, typename Insert>
+  uint32_t FindOrInsert(uint64_t hash, const Eq& eq, const Insert& insert) {
+    if ((size_ + 1) * 8 > slots_.size() * 7) Rehash(slots_.size() * 2);
+    size_t i = hash & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.id == kNotFound) {
+        uint32_t id = insert();
+        s.hash = hash;
+        s.id = id;
+        size_++;
+        return id;
+      }
+      if (s.hash == hash && eq(s.id)) return s.id;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Drops the entry under (`hash`, `eq`) by backward-shifting the rest of
+  /// its probe chain over the hole — no tombstone is ever left behind, so a
+  /// table that saw N erases probes exactly like one that never held those
+  /// keys. Returns whether an entry was dropped. (The caller reclaims its
+  /// own id slot; the index only forgets the mapping.)
+  template <typename Eq>
+  bool Erase(uint64_t hash, const Eq& eq) {
+    size_t hole = hash & mask_;
+    for (;;) {
+      const Slot& s = slots_[hole];
+      if (s.id == kNotFound) return false;
+      if (s.hash == hash && eq(s.id)) break;
+      hole = (hole + 1) & mask_;
+    }
+    size_t j = (hole + 1) & mask_;
+    while (slots_[j].id != kNotFound) {
+      // An entry may move into the hole iff the hole lies on its probe path,
+      // i.e. its home slot is cyclically at or before the hole.
+      size_t home = slots_[j].hash & mask_;
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole].id = kNotFound;
+    size_--;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t id = kNotFound;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  /// Smallest power-of-two capacity keeping `n` entries under 7/8 load.
+  static size_t CapacityFor(size_t n);
+
+  /// Re-buckets every entry into a fresh array of `new_capacity` slots
+  /// (a power of two) using the cached hashes — keys are never touched.
+  void Rehash(size_t new_capacity);
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Append-only byte storage with stable offsets: one contiguous buffer
+/// addressed by (offset, length) spans, replacing per-key std::string
+/// allocations in the byte-keyed hash paths.
+class ByteArena {
+ public:
+  /// Appends `n` bytes and returns their offset.
+  size_t Append(const char* data, size_t n) {
+    size_t off = buf_.size();
+    buf_.append(data, n);
+    return off;
+  }
+  size_t Append(std::string_view bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+
+  std::string_view View(size_t offset, size_t n) const {
+    return std::string_view(buf_.data() + offset, n);
+  }
+
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_COMMON_FLAT_HASH_H_

@@ -52,7 +52,10 @@ Result<EncValue> EncryptValue(const Value& v, EncScheme scheme, uint64_t key_id,
         return Status::Unsupported("Paillier supports numeric values only");
       }
       uint64_t encoded = PaillierEncodeSigned(keys.paillier, m);
-      uint128 c = PaillierEncrypt(keys.paillier, encoded, fresh_nonce | 1);
+      uint128 c = keys.hom_precomp != nullptr && keys.hom_precomp->valid()
+                      ? keys.hom_precomp->Encrypt(encoded, fresh_nonce | 1)
+                      : PaillierEncrypt(keys.paillier, encoded,
+                                        fresh_nonce | 1);
       ev.blob = PaillierCipherToBytes(c);
       return ev;
     }
@@ -72,7 +75,10 @@ Result<Value> DecryptValue(const EncValue& ev, const KeyMaterial& keys,
       return OpeDecryptValue(keys.ope, ev.blob, type);
     case EncScheme::kPaillier: {
       MPQ_ASSIGN_OR_RETURN(uint128 c, PaillierCipherFromBytes(ev.blob));
-      MPQ_ASSIGN_OR_RETURN(uint64_t m, PaillierDecrypt(keys.paillier, c));
+      bool fast = keys.hom_precomp != nullptr && keys.hom_precomp->valid();
+      MPQ_ASSIGN_OR_RETURN(uint64_t m,
+                           fast ? keys.hom_precomp->Decrypt(c)
+                                : PaillierDecrypt(keys.paillier, c));
       int64_t decoded = PaillierDecodeSigned(keys.paillier, m);
       if (type == DataType::kDouble) {
         return Value(static_cast<double>(decoded) /

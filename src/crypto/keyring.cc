@@ -12,6 +12,7 @@ KeyMaterial MakeKeyMaterial(uint64_t seed, uint64_t key_id) {
   km.sym = SplitMix64(base ^ 1);
   km.ope = SplitMix64(base ^ 2);
   km.paillier = PaillierKeyGen(base ^ 3);
+  km.hom_precomp = std::make_shared<const PaillierPrecomp>(km.paillier);
   return km;
 }
 

@@ -9,6 +9,7 @@
 #define MPQ_CRYPTO_KEYRING_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -22,6 +23,11 @@ struct KeyMaterial {
   uint64_t sym = 0;   ///< Symmetric key (DET/RND).
   uint64_t ope = 0;   ///< OPE key.
   PaillierKey paillier;
+  /// Per-key Paillier precomputation (CRT + Montgomery + fixed-exponent
+  /// window schedules), shared by every copy of this material. Optional:
+  /// encryption/decryption fall back to the schoolbook path when absent,
+  /// with bit-identical results either way.
+  std::shared_ptr<const PaillierPrecomp> hom_precomp;
 };
 
 /// Deterministically derives the material for (seed, key_id).

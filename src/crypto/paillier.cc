@@ -157,6 +157,204 @@ int64_t PaillierDecodeSigned(const PaillierKey& key, uint64_t m) {
   return static_cast<int64_t>(m);
 }
 
+// ------------------------------------------------------------ fast paths ---
+
+void Mont64::Init(uint64_t modulus) {
+  m = modulus;
+  // Newton–Hensel inversion of the odd modulus mod 2^64: the seed m is
+  // correct to 3 bits (m·m ≡ 1 mod 8), each step doubles the precision.
+  uint64_t inv = m;
+  for (int i = 0; i < 5; ++i) inv *= 2 - m * inv;
+  neg_inv = ~inv + 1;
+  uint64_t r = ~uint64_t{0} % m + 1;  // 2^64 mod m (m odd, so never 0)
+  r2 = static_cast<uint64_t>(static_cast<uint128>(r) * r % m);
+}
+
+WindowSchedule WindowSchedule::For(uint64_t e) {
+  WindowSchedule sched;
+  int i = 63;
+  while (((e >> i) & 1) == 0) --i;
+  bool first = true;
+  int pending = 0;
+  while (i >= 0) {
+    if (((e >> i) & 1) == 0) {
+      ++pending;
+      --i;
+      continue;
+    }
+    // Longest window of <= 4 bits ending in a set bit.
+    int j = i - 3 < 0 ? 0 : i - 3;
+    while (((e >> j) & 1) == 0) ++j;
+    int width = i - j + 1;
+    auto digit = static_cast<uint64_t>((e >> j) & ((1ull << width) - 1));
+    WindowSchedule::Op op;
+    op.squares = first ? 0 : static_cast<uint8_t>(pending + width);
+    op.mul = static_cast<int8_t>(digit >> 1);
+    sched.ops.push_back(op);
+    first = false;
+    pending = 0;
+    i = j - 1;
+  }
+  if (pending > 0) {
+    WindowSchedule::Op op;
+    op.squares = static_cast<uint8_t>(pending);
+    sched.ops.push_back(op);
+  }
+  return sched;
+}
+
+namespace {
+
+/// base^e mod mc.m, driving `sched` (the window schedule of e) over a
+/// per-call table of the first eight odd powers of the base.
+uint64_t WindowPow(const Mont64& mc, uint64_t base,
+                   const WindowSchedule& sched) {
+  uint64_t t[8];
+  t[0] = mc.ToMont(base);
+  uint64_t b2 = mc.Mul(t[0], t[0]);
+  for (int k = 1; k < 8; ++k) t[k] = mc.Mul(t[k - 1], b2);
+  uint64_t acc = t[sched.ops[0].mul];
+  for (size_t k = 1; k < sched.ops.size(); ++k) {
+    const WindowSchedule::Op& op = sched.ops[k];
+    for (int s = 0; s < op.squares; ++s) acc = mc.Mul(acc, acc);
+    if (op.mul >= 0) acc = mc.Mul(acc, t[op.mul]);
+  }
+  return mc.FromMont(acc);
+}
+
+uint64_t MulMod64(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(static_cast<uint128>(a) * b % m);
+}
+
+}  // namespace
+
+PaillierPrecomp::PaillierPrecomp(const PaillierKey& key) : key_(key) {
+  // Mont64 needs p², q² < 2^63, i.e. factors <= floor(sqrt(2^63)).
+  constexpr uint64_t kMaxFactor = 3037000499ull;
+  if (key.p < 2 || key.q < 2 || key.p == key.q || key.n != key.p * key.q ||
+      key.lambda == 0 || key.p > kMaxFactor || key.q > kMaxFactor) {
+    return;  // no usable private factors: callers fall back to PowMod
+  }
+  n2_ = key.n2();
+  p2_.Init(key.p * key.p);
+  q2_.Init(key.q * key.q);
+  q2_inv_p2_ = InvMod(q2_.m % p2_.m, p2_.m);
+  if (q2_inv_p2_ == 0) return;
+  n_sched_ = WindowSchedule::For(key.n);
+  lambda_sched_ = WindowSchedule::For(key.lambda);
+  valid_ = true;
+}
+
+uint128 PaillierPrecomp::CrtPow(uint128 base,
+                                const WindowSchedule& sched) const {
+  uint64_t xp = WindowPow(p2_, static_cast<uint64_t>(base % p2_.m), sched);
+  uint64_t xq = WindowPow(q2_, static_cast<uint64_t>(base % q2_.m), sched);
+  // Garner recombination: x = xq + q²·((xp - xq)·(q²)^{-1} mod p²).
+  uint64_t d = xp + p2_.m - xq % p2_.m;
+  if (d >= p2_.m) d -= p2_.m;
+  uint64_t h = MulMod64(d, q2_inv_p2_, p2_.m);
+  return static_cast<uint128>(q2_.m) * h + xq;
+}
+
+uint128 PaillierPrecomp::PowN(uint64_t base) const {
+  return CrtPow(base, n_sched_);
+}
+
+uint128 PaillierPrecomp::Encrypt(uint64_t m, uint64_t rand) const {
+  // Identical blinding derivation to PaillierEncrypt.
+  uint64_t r = rand % key_.n;
+  while (r == 0 || Gcd(r, key_.n) != 1) r = (r + 1) % key_.n;
+  uint128 gm = (1 + static_cast<uint128>(m) * key_.n % n2_) % n2_;
+  // gm·r^n mod n², with the exponentiation and the final multiplication
+  // both folded through the CRT legs.
+  uint64_t rp = WindowPow(p2_, r % p2_.m, n_sched_);
+  uint64_t rq = WindowPow(q2_, r % q2_.m, n_sched_);
+  uint64_t cp = MulMod64(static_cast<uint64_t>(gm % p2_.m), rp, p2_.m);
+  uint64_t cq = MulMod64(static_cast<uint64_t>(gm % q2_.m), rq, q2_.m);
+  uint64_t d = cp + p2_.m - cq % p2_.m;
+  if (d >= p2_.m) d -= p2_.m;
+  uint64_t h = MulMod64(d, q2_inv_p2_, p2_.m);
+  return static_cast<uint128>(q2_.m) * h + cq;
+}
+
+Result<uint64_t> PaillierPrecomp::Decrypt(uint128 c) const {
+  if (c == 0 || c >= n2_) {
+    return Status::InvalidArgument("ciphertext out of range");
+  }
+  uint128 x = CrtPow(c, lambda_sched_);
+  uint128 l = (x - 1) / key_.n;
+  // MulMod (not a plain 128-bit product) so even degenerate non-coprime
+  // ciphertexts, where l exceeds 64 bits, decode identically to PowMod.
+  return static_cast<uint64_t>(
+      MulMod(l, static_cast<uint128>(key_.mu), static_cast<uint128>(key_.n)));
+}
+
+PaillierSumCtx::PaillierSumCtx(uint64_t n) : n_(n) {
+  m_ = static_cast<uint128>(n) * n;
+  if ((static_cast<uint64_t>(m_) & 1) == 0 || m_ <= 2) return;
+  uint64_t m0 = static_cast<uint64_t>(m_);
+  uint64_t inv = m0;
+  for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;
+  neg_inv_ = ~inv + 1;
+  // R² mod m (R = 2^128) by 256 modular doublings; m < 2^124 keeps every
+  // doubling inside uint128.
+  uint128 x = 1 % m_;
+  for (int i = 0; i < 256; ++i) {
+    x <<= 1;
+    if (x >= m_) x -= m_;
+  }
+  r2_ = x;
+}
+
+uint128 PaillierSumCtx::Redc(uint64_t t[4]) const {
+  uint64_t m0 = static_cast<uint64_t>(m_);
+  uint64_t m1 = static_cast<uint64_t>(m_ >> 64);
+  for (int i = 0; i < 2; ++i) {
+    uint64_t u = t[0] * neg_inv_;
+    uint128 c = static_cast<uint128>(u) * m0 + t[0];  // low limb becomes 0
+    uint64_t carry = static_cast<uint64_t>(c >> 64);
+    c = static_cast<uint128>(u) * m1 + t[1] + carry;
+    t[0] = static_cast<uint64_t>(c);
+    carry = static_cast<uint64_t>(c >> 64);
+    c = static_cast<uint128>(t[2]) + carry;
+    t[1] = static_cast<uint64_t>(c);
+    t[2] = t[3] + static_cast<uint64_t>(c >> 64);
+    t[3] = 0;
+  }
+  uint128 res = static_cast<uint128>(t[1]) << 64 | t[0];
+  // t[2] is zero here: REDC of T < m·R yields a value < 2m < 2^125.
+  if (res >= m_) res -= m_;
+  return res;
+}
+
+uint128 PaillierSumCtx::MontMul(uint128 a, uint128 b) const {
+  auto a0 = static_cast<uint64_t>(a), a1 = static_cast<uint64_t>(a >> 64);
+  auto b0 = static_cast<uint64_t>(b), b1 = static_cast<uint64_t>(b >> 64);
+  uint128 p00 = static_cast<uint128>(a0) * b0;
+  uint128 p01 = static_cast<uint128>(a0) * b1;
+  uint128 p10 = static_cast<uint128>(a1) * b0;
+  uint128 p11 = static_cast<uint128>(a1) * b1;
+  uint64_t t[4];
+  t[0] = static_cast<uint64_t>(p00);
+  uint128 mid = (p00 >> 64) + static_cast<uint64_t>(p01) +
+                static_cast<uint64_t>(p10);
+  t[1] = static_cast<uint64_t>(mid);
+  uint128 mid2 = (mid >> 64) + (p01 >> 64) + (p10 >> 64) +
+                 static_cast<uint64_t>(p11);
+  t[2] = static_cast<uint64_t>(mid2);
+  t[3] = static_cast<uint64_t>((mid2 >> 64) + (p11 >> 64));
+  return Redc(t);
+}
+
+uint128 PaillierSumCtx::Add(uint128 c1, uint128 c2) const {
+  if ((static_cast<uint64_t>(m_) & 1) == 0 || m_ <= 2) {
+    return PaillierAdd(n_, c1, c2);  // degenerate modulus: schoolbook path
+  }
+  uint128 a = c1 % m_;
+  uint128 b = c2 % m_;
+  return MontMul(MontMul(a, b), r2_);
+}
+
 std::string PaillierCipherToBytes(uint128 c) {
   std::string out;
   out.resize(16);

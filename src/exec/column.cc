@@ -285,12 +285,23 @@ void ColumnData::AppendSelected(const ColumnData& src, const uint32_t* sel,
                                 size_t n) {
   if (src.rep_ == rep_) {
     switch (rep_) {
-      case ColumnRep::kInt64:
-        for (size_t k = 0; k < n; ++k) i64_.push_back(src.i64_[sel[k]]);
+      case ColumnRep::kInt64: {
+        // Gather by direct indexed writes — no per-element capacity check.
+        size_t base = i64_.size();
+        i64_.resize(base + n);
+        int64_t* dst = i64_.data() + base;
+        const int64_t* sv = src.i64_.data();
+        for (size_t k = 0; k < n; ++k) dst[k] = sv[sel[k]];
         break;
-      case ColumnRep::kDouble:
-        for (size_t k = 0; k < n; ++k) f64_.push_back(src.f64_[sel[k]]);
+      }
+      case ColumnRep::kDouble: {
+        size_t base = f64_.size();
+        f64_.resize(base + n);
+        double* dst = f64_.data() + base;
+        const double* sv = src.f64_.data();
+        for (size_t k = 0; k < n; ++k) dst[k] = sv[sel[k]];
         break;
+      }
       case ColumnRep::kString:
         for (size_t k = 0; k < n; ++k) str_.push_back(src.str_[sel[k]]);
         break;
@@ -420,6 +431,100 @@ ColumnData ColumnFromEnc(std::vector<EncValue> encs) {
   ColumnData out;
   out.AdoptEnc(std::move(encs));
   return out;
+}
+
+namespace {
+
+Status KeyUnsupported() {
+  return Status::Unsupported(
+      "RND/HOM ciphertexts cannot serve as grouping or join keys");
+}
+
+bool KeyableEnc(const EncValue& ev) {
+  return ev.scheme == EncScheme::kDeterministic || ev.scheme == EncScheme::kOpe;
+}
+
+}  // namespace
+
+Status ColumnDict::EncodeRange(size_t begin, size_t end, uint32_t* codes) {
+  const ColumnData& c = *col_;
+  if (c.rep() == ColumnRep::kString) {
+    const std::vector<std::string>& vals = c.str();
+    for (size_t r = begin; r < end; ++r) {
+      if (c.IsNull(r)) {
+        codes[r - begin] = 0;
+        continue;
+      }
+      const std::string& s = vals[r];
+      codes[r - begin] = index_.FindOrInsert(
+          HashBytes(s.data(), s.size()),
+          [&](uint32_t id) { return vals[rep_rows_[id]] == s; },
+          [&] {
+            rep_rows_.push_back(static_cast<uint32_t>(r));
+            return static_cast<uint32_t>(rep_rows_.size() - 1);
+          });
+    }
+    return Status::OK();
+  }
+  if (c.rep() == ColumnRep::kEnc) {
+    const std::vector<EncValue>& vals = c.enc();
+    for (size_t r = begin; r < end; ++r) {
+      if (c.IsNull(r)) {
+        codes[r - begin] = 0;
+        continue;
+      }
+      const EncValue& ev = vals[r];
+      if (!KeyableEnc(ev)) return KeyUnsupported();
+      codes[r - begin] = index_.FindOrInsert(
+          HashBytes(ev.blob.data(), ev.blob.size()),
+          [&](uint32_t id) { return vals[rep_rows_[id]].blob == ev.blob; },
+          [&] {
+            rep_rows_.push_back(static_cast<uint32_t>(r));
+            return static_cast<uint32_t>(rep_rows_.size() - 1);
+          });
+    }
+    return Status::OK();
+  }
+  return Status::Internal("dictionary over a non-string/ciphertext column");
+}
+
+Status ColumnDict::ProbeRange(const ColumnData& probe, size_t begin,
+                              size_t end, uint32_t* codes) const {
+  if (probe.rep() != col_->rep()) {
+    return Status::Internal("dictionary probe over a mismatched column rep");
+  }
+  if (probe.rep() == ColumnRep::kString) {
+    const std::vector<std::string>& own = col_->str();
+    const std::vector<std::string>& vals = probe.str();
+    for (size_t r = begin; r < end; ++r) {
+      if (probe.IsNull(r)) {
+        codes[r - begin] = 0;
+        continue;
+      }
+      const std::string& s = vals[r];
+      codes[r - begin] = index_.Find(
+          HashBytes(s.data(), s.size()),
+          [&](uint32_t id) { return own[rep_rows_[id]] == s; });
+    }
+    return Status::OK();
+  }
+  if (probe.rep() == ColumnRep::kEnc) {
+    const std::vector<EncValue>& own = col_->enc();
+    const std::vector<EncValue>& vals = probe.enc();
+    for (size_t r = begin; r < end; ++r) {
+      if (probe.IsNull(r)) {
+        codes[r - begin] = 0;
+        continue;
+      }
+      const EncValue& ev = vals[r];
+      if (!KeyableEnc(ev)) return KeyUnsupported();
+      codes[r - begin] = index_.Find(
+          HashBytes(ev.blob.data(), ev.blob.size()),
+          [&](uint32_t id) { return own[rep_rows_[id]].blob == ev.blob; });
+    }
+    return Status::OK();
+  }
+  return Status::Internal("dictionary over a non-string/ciphertext column");
 }
 
 Status AppendKeyBytes(const ColumnData& col, size_t r, std::string* out) {

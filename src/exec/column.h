@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "crypto/enc_value.h"
@@ -132,6 +133,46 @@ class ColumnData {
 /// equality semantics as CellGroupKey: plaintext by canonical serialization,
 /// DET/OPE ciphertexts by blob, RND/HOM unsupported.
 Status AppendKeyBytes(const ColumnData& col, size_t r, std::string* out);
+
+/// Dictionary encoder over a string or DET/OPE ciphertext column: interns
+/// each distinct value (string content, ciphertext blob) into a dense
+/// first-occurrence code, so join/group-by keys over variable-width columns
+/// become fixed-width words with zero byte copies — values are referenced by
+/// the row of their first occurrence. Codes are comparable only within one
+/// dictionary; a probe column encoded against a build dictionary maps unseen
+/// values to kMiss. RND/HOM ciphertext rows fail with the same kUnsupported
+/// status as AppendKeyBytes, preserving key-semantics errors exactly.
+class ColumnDict {
+ public:
+  /// Probe-miss marker (never a valid code: codes are dense row ranks).
+  static constexpr uint32_t kMiss = 0xffffffffu;
+
+  /// `col` must outlive the dictionary and stay unmodified.
+  explicit ColumnDict(const ColumnData* col) : col_(col) {}
+
+  /// Codes of rows [begin, end) in first-occurrence intern order; null rows
+  /// get code 0 (callers track nulls separately, null never reaches the
+  /// dictionary). `codes` receives end - begin entries.
+  Status EncodeRange(size_t begin, size_t end, uint32_t* codes);
+
+  /// Probe-only encoding of another column's rows against this dictionary:
+  /// values absent from it get kMiss, null rows get 0. `probe` must have the
+  /// same rep as the dictionary's column. Read-only, safe to call
+  /// concurrently once building is done.
+  Status ProbeRange(const ColumnData& probe, size_t begin, size_t end,
+                    uint32_t* codes) const;
+
+  /// Number of distinct interned values.
+  size_t size() const { return rep_rows_.size(); }
+
+  /// Row (in the dictionary's own column) holding code `code`'s value.
+  uint32_t RepRow(uint32_t code) const { return rep_rows_[code]; }
+
+ private:
+  const ColumnData* col_;
+  FlatHashIndex index_;
+  std::vector<uint32_t> rep_rows_;  ///< code -> first-occurrence row
+};
 
 /// Builds a column from materialized cells, choosing the typed rep from the
 /// first non-null cell (heterogeneous content demotes to kCell).

@@ -173,6 +173,7 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
                      (static_cast<uint64_t>(n->id) + 1) * 0x94d049bb133111ebull;
     ctx.pool = pool_;
     ctx.batch_size = batch_size_ == 0 ? 1 : batch_size_;
+    ctx.op_profile = op_profile_;
 
     Result<Table> result = ExecuteNodeOnInputs(n, std::move(inputs), &ctx);
     if (!result.ok()) {

@@ -119,6 +119,11 @@ class DistributedRuntime {
   /// attached.
   void SetNetPolicy(NetPolicy policy) { net_policy_ = policy; }
 
+  /// Attaches per-operator execution counters (borrowed; typically shared
+  /// by every runtime of a serving process). Null (the default) disables
+  /// recording.
+  void SetOpProfile(OpProfile* profile) { op_profile_ = profile; }
+
   /// Executes the extended plan; the result is delivered to `user`.
   Result<DistributedResult> Run(const ExtendedPlan& ext, SubjectId user);
 
@@ -148,6 +153,7 @@ class DistributedRuntime {
   size_t batch_size_ = Table::kDefaultBatchSize;
   SimNet* net_ = nullptr;
   NetPolicy net_policy_;
+  OpProfile* op_profile_ = nullptr;
 };
 
 }  // namespace mpq

@@ -4,10 +4,14 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
+#include "common/flat_hash.h"
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "crypto/cipher.h"
@@ -316,11 +320,12 @@ Result<Table> ExecProject(const PlanNode* n, Table in, ExecContext* ctx) {
     for (int i : keep) missing.Erase(in.columns()[static_cast<size_t>(i)].attr);
     return ColNotFound(n, missing.ToVector().front(), *ctx->catalog);
   }
-  // Pure column movement: no per-row work at all.
+  // Pure column movement: no per-row work at all — shared payloads, so a
+  // projection over a base scan copies zero cells.
   Table out;
   for (int i : keep) {
     size_t c = static_cast<size_t>(i);
-    out.AddColumn(std::move(in.columns()[c]), std::move(in.col(c)));
+    out.AddColumn(std::move(in.columns()[c]), in.ShareCol(c));
   }
   return out;
 }
@@ -361,6 +366,196 @@ Result<Table> ExecSelect(const PlanNode* n, Table in, ExecContext* ctx) {
   return TableFromColumns(in.columns(), std::move(data));
 }
 
+// ---------------------------------------------------- join/group-by keys ---
+
+/// How one key column folds into the fixed-width code words of the typed
+/// hash path.
+enum class KeyKind : uint8_t { kI64, kF64, kStr, kEnc, kBytes };
+
+KeyKind KindOf(const ColumnData& c) {
+  switch (c.rep()) {
+    case ColumnRep::kInt64:
+      return KeyKind::kI64;
+    case ColumnRep::kDouble:
+      return KeyKind::kF64;
+    case ColumnRep::kString:
+      return KeyKind::kStr;
+    case ColumnRep::kEnc:
+      return KeyKind::kEnc;
+    case ColumnRep::kCell:
+      return KeyKind::kBytes;
+  }
+  return KeyKind::kBytes;
+}
+
+/// Probe rows holding a dictionary value the build side never interned are
+/// flagged here in the null word; the bit is never set on a build key, so
+/// equality always fails without consulting any dictionary twice.
+constexpr uint64_t kProbeMissBit = 1ull << 63;
+
+/// Encodes the key columns of a table over a row range as fixed-width code
+/// words: one word per column — raw int64/double bits, or a ColumnDict code
+/// for string and DET/OPE ciphertext columns — plus a trailing null/miss
+/// word when any key column can hold NULLs (or a probe can miss a
+/// dictionary). Word-tuple equality reproduces per-column AppendKeyBytes
+/// equality (the caller pairs only same-rep columns for joins): NULL
+/// matches NULL, doubles compare bitwise, strings/blobs by content via the
+/// dictionary. No key byte is ever materialized.
+class TypedKeyCodec {
+ public:
+  /// The typed path covers every rep except the heterogeneous kCell
+  /// fallback (and caps key arity so null bits fit one word).
+  static bool Eligible(const Table& t, const std::vector<int>& cols) {
+    if (cols.size() >= 62) return false;
+    for (int c : cols) {
+      if (t.col(static_cast<size_t>(c)).rep() == ColumnRep::kCell) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// `with_null_word` must be set when any key column (of the build or a
+  /// probe table) can hold NULLs, or when dictionary probes can miss; an
+  /// empty key always keeps the word so rows have nonzero width.
+  void Init(const Table& t, const std::vector<int>& cols,
+            bool with_null_word) {
+    null_word_ = with_null_word || cols.empty();
+    cols_.clear();
+    kinds_.clear();
+    dicts_.clear();
+    for (int c : cols) {
+      const ColumnData& col = t.col(static_cast<size_t>(c));
+      cols_.push_back(&col);
+      KeyKind kind = KindOf(col);
+      kinds_.push_back(kind);
+      dicts_.push_back(kind == KeyKind::kStr || kind == KeyKind::kEnc
+                           ? std::make_unique<ColumnDict>(&col)
+                           : nullptr);
+    }
+  }
+
+  /// Words per row: one per key column, plus the null/miss word if present.
+  size_t width() const { return cols_.size() + (null_word_ ? 1 : 0); }
+
+  /// Encodes rows [begin, end) of the Init table into `words` (row-major,
+  /// width() words per row), interning new dictionary codes — the build
+  /// side, which must run sequentially for deterministic codes.
+  Status EncodeBuild(size_t begin, size_t end, std::vector<uint64_t>* words,
+                     std::vector<uint32_t>* scratch) {
+    return Encode(cols_, /*probe=*/false, begin, end, words, scratch);
+  }
+
+  /// Probe-mode encoding of another table's columns (pairwise same KeyKind
+  /// as the build columns) against the build dictionaries. Read-only: safe
+  /// from concurrent probe batches.
+  Status EncodeProbe(const Table& t, const std::vector<int>& probe_cols,
+                     size_t begin, size_t end, std::vector<uint64_t>* words,
+                     std::vector<uint32_t>* scratch) const {
+    std::vector<const ColumnData*> cols;
+    cols.reserve(probe_cols.size());
+    for (int c : probe_cols) cols.push_back(&t.col(static_cast<size_t>(c)));
+    return Encode(cols, /*probe=*/true, begin, end, words, scratch);
+  }
+
+ private:
+  Status Encode(const std::vector<const ColumnData*>& cols, bool probe,
+                size_t begin, size_t end, std::vector<uint64_t>* words,
+                std::vector<uint32_t>* scratch) const {
+    size_t n = end - begin;
+    size_t w = width();
+    words->assign(n * w, 0);
+    uint64_t* out = words->data();
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const ColumnData& col = *cols[k];
+      switch (kinds_[k]) {
+        case KeyKind::kI64: {
+          const int64_t* v = col.i64().data();
+          for (size_t i = 0; i < n; ++i) {
+            out[i * w + k] = static_cast<uint64_t>(v[begin + i]);
+          }
+          break;
+        }
+        case KeyKind::kF64: {
+          const double* v = col.f64().data();
+          for (size_t i = 0; i < n; ++i) {
+            uint64_t bits;
+            std::memcpy(&bits, &v[begin + i], 8);
+            out[i * w + k] = bits;
+          }
+          break;
+        }
+        case KeyKind::kStr:
+        case KeyKind::kEnc: {
+          scratch->resize(n);
+          uint32_t* codes = scratch->data();
+          if (probe) {
+            MPQ_RETURN_NOT_OK(dicts_[k]->ProbeRange(col, begin, end, codes));
+          } else {
+            MPQ_RETURN_NOT_OK(dicts_[k]->EncodeRange(begin, end, codes));
+          }
+          for (size_t i = 0; i < n; ++i) {
+            if (codes[i] == ColumnDict::kMiss) {
+              out[i * w + w - 1] |= kProbeMissBit;  // null_word_ is set
+            } else {
+              out[i * w + k] = codes[i];
+            }
+          }
+          break;
+        }
+        case KeyKind::kBytes:
+          return Status::Internal("typed key codec over a kCell column");
+      }
+      if (col.has_nulls()) {
+        // Init's with_null_word precondition guarantees the word exists.
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(begin + i)) {
+            out[i * w + k] = 0;
+            out[i * w + w - 1] |= 1ull << k;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  bool null_word_ = true;
+  std::vector<const ColumnData*> cols_;
+  std::vector<KeyKind> kinds_;
+  std::vector<std::unique_ptr<ColumnDict>> dicts_;
+};
+
+/// Whether the typed codec over `cols` of `t` needs the null/miss word.
+bool KeyColsNeedNullWord(const Table& t, const std::vector<int>& cols) {
+  for (int c : cols) {
+    const ColumnData& col = t.col(static_cast<size_t>(c));
+    if (col.has_nulls() || col.rep() == ColumnRep::kString ||
+        col.rep() == ColumnRep::kEnc) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Byte-key fallback for heterogeneous kCell columns (and cross-rep join
+/// pairs): AppendKeyBytes per column, each component closed by its length
+/// — an unambiguous (back-to-front parseable) encoding, so concatenated
+/// keys can never alias across column boundaries and byte-key equality is
+/// exactly per-column byte equality, the same relation the typed code
+/// words implement. Stored in a ByteArena behind a FlatHashIndex instead
+/// of per-key std::unordered_map nodes.
+Status RowKeyBytes(const Table& t, const std::vector<int>& cols, size_t r,
+                   std::string* key) {
+  key->clear();
+  for (int c : cols) {
+    size_t start = key->size();
+    MPQ_RETURN_NOT_OK(AppendKeyBytes(t.col(static_cast<size_t>(c)), r, key));
+    auto len = static_cast<uint32_t>(key->size() - start);
+    key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  }
+  return Status::OK();
+}
+
 std::vector<ExecColumn> ConcatColumns(const Table& l, const Table& r) {
   std::vector<ExecColumn> cols = l.columns();
   cols.insert(cols.end(), r.columns().begin(), r.columns().end());
@@ -395,7 +590,7 @@ Result<Chunk> FilterChunk(Chunk ch, const std::vector<ExecColumn>& out_cols,
   Chunk out = ChunkLike(probe);
   for (size_t c = 0; c < probe.num_columns(); ++c) {
     if (sel.size() == probe.num_rows()) {
-      out[c] = std::move(probe.col(c));
+      out[c] = std::move(probe.col_mut(c));
     } else {
       out[c].Reserve(sel.size());
       out[c].AppendSelected(probe.col(c), sel.data(), sel.size());
@@ -467,41 +662,135 @@ Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
   }
 
   if (!eq_pairs.empty()) {
-    // Hash join: sequential build over the (usually smaller) left side, then
-    // a batch-parallel probe over the right side. Keys are concatenated
-    // column-at-a-time group-key bytes.
-    std::unordered_map<std::string, std::vector<uint32_t>> ht;
-    ht.reserve(l.num_rows() * 2);
-    {
-      std::string key;
-      for (size_t i = 0; i < l.num_rows(); ++i) {
-        key.clear();
-        for (const EqPair& ep : eq_pairs) {
-          MPQ_RETURN_NOT_OK(AppendKeyBytes(
-              l.col(static_cast<size_t>(ep.lcol)), i, &key));
-          key.push_back('\x1f');
+    // Hash join on the flat-hash engine: a sequential build over the
+    // (usually smaller) left side assigns every row a dense key id — via
+    // fixed-width typed code words when every key-column pair shares a
+    // typed rep, byte keys in a ByteArena otherwise — then row lists per
+    // key id are laid out CSR-style and a batch-parallel probe over the
+    // right side emits (left, right) pairs in the historical order
+    // (ascending left row within ascending right row).
+    std::vector<int> lcols, rcols;
+    for (const EqPair& ep : eq_pairs) {
+      lcols.push_back(ep.lcol);
+      rcols.push_back(ep.rcol);
+    }
+    bool typed =
+        TypedKeyCodec::Eligible(l, lcols) && TypedKeyCodec::Eligible(r, rcols);
+    if (typed) {
+      for (size_t k = 0; k < lcols.size(); ++k) {
+        if (KindOf(l.col(static_cast<size_t>(lcols[k]))) !=
+            KindOf(r.col(static_cast<size_t>(rcols[k])))) {
+          // Cross-rep pairs (say int64 vs double) only ever match on NULLs
+          // under byte-key semantics; the byte path preserves that.
+          typed = false;
+          break;
         }
-        ht[key].push_back(static_cast<uint32_t>(i));
       }
     }
+
+    // Build state: typed keys live as width() words per key id in
+    // `key_words`; byte keys live in the arena addressed by (offset, size)
+    // spans.
+    FlatHashIndex index(l.num_rows());
+    std::vector<uint64_t> key_words;
+    ByteArena arena;
+    std::vector<std::pair<uint64_t, uint32_t>> spans;
+    std::vector<uint32_t> gids(l.num_rows());
+    TypedKeyCodec codec;
+    size_t width = 0;
+    if (typed) {
+      codec.Init(l, lcols, KeyColsNeedNullWord(l, lcols) ||
+                               KeyColsNeedNullWord(r, rcols));
+      width = codec.width();
+      std::vector<uint64_t> words;
+      std::vector<uint32_t> scratch;
+      for (size_t begin = 0; begin < l.num_rows(); begin += Grain(ctx)) {
+        size_t end = std::min(begin + Grain(ctx), l.num_rows());
+        MPQ_RETURN_NOT_OK(codec.EncodeBuild(begin, end, &words, &scratch));
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t* row = words.data() + (i - begin) * width;
+          gids[i] = index.FindOrInsert(
+              HashWords(row, width),
+              [&](uint32_t id) {
+                return std::memcmp(key_words.data() + id * width, row,
+                                   width * 8) == 0;
+              },
+              [&] {
+                auto id = static_cast<uint32_t>(key_words.size() / width);
+                key_words.insert(key_words.end(), row, row + width);
+                return id;
+              });
+        }
+      }
+    } else {
+      std::string key;
+      for (size_t i = 0; i < l.num_rows(); ++i) {
+        MPQ_RETURN_NOT_OK(RowKeyBytes(l, lcols, i, &key));
+        gids[i] = index.FindOrInsert(
+            HashBytes(key.data(), key.size()),
+            [&](uint32_t id) {
+              return arena.View(spans[id].first, spans[id].second) == key;
+            },
+            [&] {
+              spans.emplace_back(arena.Append(key.data(), key.size()),
+                                 static_cast<uint32_t>(key.size()));
+              return static_cast<uint32_t>(spans.size() - 1);
+            });
+      }
+    }
+    // CSR row lists: the rows of each key id, ascending (build order).
+    size_t num_keys = index.size();
+    std::vector<uint32_t> offsets(num_keys + 1, 0);
+    for (uint32_t g : gids) offsets[g + 1]++;
+    for (size_t g = 1; g <= num_keys; ++g) offsets[g] += offsets[g - 1];
+    std::vector<uint32_t> rows(l.num_rows());
+    {
+      std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (size_t i = 0; i < l.num_rows(); ++i) {
+        rows[cursor[gids[i]]++] = static_cast<uint32_t>(i);
+      }
+    }
+
     std::vector<Chunk> chunks(r.NumBatches(Grain(ctx)));
     MPQ_RETURN_NOT_OK(ParallelFor(
         ctx->pool, r.num_rows(), Grain(ctx),
         [&](size_t begin, size_t end) -> Status {
           SelectionVector li, ri;
-          std::string key;
-          for (size_t j = begin; j < end; ++j) {
-            key.clear();
-            for (const EqPair& ep : eq_pairs) {
-              MPQ_RETURN_NOT_OK(AppendKeyBytes(
-                  r.col(static_cast<size_t>(ep.rcol)), j, &key));
-              key.push_back('\x1f');
-            }
-            auto it = ht.find(key);
-            if (it == ht.end()) continue;
-            for (uint32_t i : it->second) {
-              li.push_back(i);
+          auto emit = [&](uint32_t g, size_t j) {
+            for (uint32_t k = offsets[g]; k < offsets[g + 1]; ++k) {
+              li.push_back(rows[k]);
               ri.push_back(static_cast<uint32_t>(j));
+            }
+          };
+          if (typed) {
+            std::vector<uint64_t> words;
+            std::vector<uint32_t> scratch;
+            MPQ_RETURN_NOT_OK(
+                codec.EncodeProbe(r, rcols, begin, end, &words, &scratch));
+            // Without the null/miss word the last word holds raw key bits
+            // (which may legitimately have bit 63 set, e.g. negative
+            // int64); a dictionary miss forces the word to exist.
+            bool miss_word = width > rcols.size();
+            for (size_t j = begin; j < end; ++j) {
+              const uint64_t* row = words.data() + (j - begin) * width;
+              if (miss_word && (row[width - 1] & kProbeMissBit)) continue;
+              uint32_t g =
+                  index.Find(HashWords(row, width), [&](uint32_t id) {
+                    return std::memcmp(key_words.data() + id * width, row,
+                                       width * 8) == 0;
+                  });
+              if (g != FlatHashIndex::kNotFound) emit(g, j);
+            }
+          } else {
+            std::string key;
+            for (size_t j = begin; j < end; ++j) {
+              MPQ_RETURN_NOT_OK(RowKeyBytes(r, rcols, j, &key));
+              uint32_t g = index.Find(
+                  HashBytes(key.data(), key.size()), [&](uint32_t id) {
+                    return arena.View(spans[id].first, spans[id].second) ==
+                           key;
+                  });
+              if (g != FlatHashIndex::kNotFound) emit(g, j);
             }
           }
           MPQ_ASSIGN_OR_RETURN(
@@ -549,7 +838,9 @@ Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
 
 /// Aggregation state for one (group, aggregate) pair. Min/max and the
 /// Paillier template are tracked as row indices into the operand table
-/// (materialized only when the output is built).
+/// (materialized only when the output is built). Trivially copyable, so
+/// group states pack into one contiguous arena per batch (stride = number
+/// of aggregates) instead of a vector-of-vectors.
 struct AggState {
   // Plaintext accumulators.
   double sum = 0;
@@ -560,10 +851,17 @@ struct AggState {
   // Homomorphic accumulator.
   bool hom = false;
   uint128 hom_cipher = 0;
-  uint64_t hom_n = 0;
+  /// Montgomery context of the ciphertexts' public modulus (owned by the
+  /// operator frame; set with `hom`).
+  const PaillierSumCtx* hom_ctx = nullptr;
   int64_t hom_count = 0;
   size_t hom_template_row = 0;
 };
+
+/// Montgomery add-contexts per key id, built once per group-by operator
+/// from the public moduli so the per-row homomorphic fold never re-derives
+/// reduction constants.
+using SumCtxMap = std::unordered_map<uint64_t, PaillierSumCtx>;
 
 /// Three-way min/max comparison of operand rows `i` vs `j` of `col`,
 /// matching CompareCells semantics (strictly-better keeps first occurrence).
@@ -579,8 +877,8 @@ Result<bool> RowBetter(const ColumnData& col, CmpOp op, size_t i, size_t j) {
 
 /// Folds operand row `r` of `col` into `s` for `agg`, column-at-a-time.
 Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
-                     const ColumnData& col, size_t r, ExecContext* ctx,
-                     AggState* s) {
+                     const ColumnData& col, size_t r,
+                     const SumCtxMap& sum_ctxs, AggState* s) {
   switch (agg.func) {
     case AggFunc::kCountStar:
     case AggFunc::kCount:
@@ -631,8 +929,8 @@ Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
             "node %d: %s over %s ciphertext requires the HOM scheme", n->id,
             AggFuncName(agg.func), EncSchemeName(ev.scheme)));
       }
-      auto pm = ctx->public_modulus.find(ev.key_id);
-      if (pm == ctx->public_modulus.end()) {
+      auto pm = sum_ctxs.find(ev.key_id);
+      if (pm == sum_ctxs.end()) {
         return Status::NotFound(StrFormat(
             "node %d: no public modulus for key %llu", n->id,
             static_cast<unsigned long long>(ev.key_id)));
@@ -641,10 +939,10 @@ Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
       if (!s->hom) {
         s->hom = true;
         s->hom_cipher = c;
-        s->hom_n = pm->second;
+        s->hom_ctx = &pm->second;
         s->hom_template_row = r;
       } else {
-        s->hom_cipher = PaillierAdd(s->hom_n, s->hom_cipher, c);
+        s->hom_cipher = s->hom_ctx->Add(s->hom_cipher, c);
       }
       s->hom_count += ev.aux;
       return Status::OK();
@@ -687,11 +985,10 @@ Status MergeAggState(const Aggregate& agg, const ColumnData* col,
         if (!dst->hom) {
           dst->hom = true;
           dst->hom_cipher = src.hom_cipher;
-          dst->hom_n = src.hom_n;
+          dst->hom_ctx = src.hom_ctx;
           dst->hom_template_row = src.hom_template_row;
         } else {
-          dst->hom_cipher =
-              PaillierAdd(dst->hom_n, dst->hom_cipher, src.hom_cipher);
+          dst->hom_cipher = dst->hom_ctx->Add(dst->hom_cipher, src.hom_cipher);
         }
         dst->hom_count += src.hom_count;
       }
@@ -718,11 +1015,14 @@ Status MergeAggState(const Aggregate& agg, const ColumnData* col,
 }
 
 /// Hash-aggregated groups of one batch, in first-occurrence order. Group
-/// keys are remembered as the global row index of their first occurrence.
+/// keys are remembered as the global row index of their first occurrence
+/// plus, on the typed path, the group's code words (directly mergeable
+/// across batches when no batch-local dictionary is involved); states are
+/// one contiguous arena, `num_aggs` entries per group.
 struct BatchGroups {
-  std::unordered_map<std::string, uint32_t> index;
   std::vector<size_t> first_row;
-  std::vector<std::vector<AggState>> states;
+  std::vector<uint64_t> key_words;  ///< typed path: width words per group
+  std::vector<AggState> states;
 };
 
 Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
@@ -772,73 +1072,240 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
     out_cols.push_back(col);
   }
 
-  // Phase 1: each batch hash-aggregates its rows into private groups. The
-  // group-id array is computed row-at-a-time per batch; each aggregate then
-  // folds its own column.
+  // Montgomery add-contexts for homomorphic sums, one per public modulus;
+  // built up front so the parallel fold only reads them — but only when a
+  // summed column can actually hold ciphertexts (rep kEnc, or the kCell
+  // fallback), so plaintext group-bys never pay the setup.
+  size_t num_aggs = n->aggregates.size();
+  SumCtxMap sum_ctxs;
+  for (size_t ai = 0; ai < num_aggs; ++ai) {
+    const Aggregate& agg = n->aggregates[ai];
+    if (agg.func != AggFunc::kSum && agg.func != AggFunc::kAvg) continue;
+    if (agg_cols[ai] < 0) continue;
+    ColumnRep rep = in.col(static_cast<size_t>(agg_cols[ai])).rep();
+    if (rep != ColumnRep::kEnc && rep != ColumnRep::kCell) continue;
+    for (const auto& [key_id, modulus] : ctx->public_modulus) {
+      sum_ctxs.emplace(key_id, PaillierSumCtx(modulus));
+    }
+    break;
+  }
+
+  // Typed vs byte keys is a whole-operator decision (a single table, so
+  // reps cannot mismatch; only the kCell fallback forces byte keys). When
+  // no key column needs a dictionary, code words are raw value bits —
+  // comparable across batches, so the merge phase can skip byte keys too.
+  bool typed = TypedKeyCodec::Eligible(in, group_cols);
+  bool dict_keys = false;
+  bool null_word = group_cols.empty();
+  for (int gc : group_cols) {
+    const ColumnData& col = in.col(static_cast<size_t>(gc));
+    dict_keys = dict_keys || col.rep() == ColumnRep::kString ||
+                col.rep() == ColumnRep::kEnc;
+    null_word = null_word || col.has_nulls();
+  }
+
+  // Phase 1: each batch hash-aggregates its rows into private groups. Group
+  // ids come from a batch-local flat-hash table over fixed-width key codes
+  // (typed path) or arena-backed byte keys; each aggregate then folds its
+  // own column into the contiguous state arena.
   std::vector<BatchGroups> batches(in.NumBatches(Grain(ctx)));
   MPQ_RETURN_NOT_OK(ParallelFor(
       ctx->pool, in.num_rows(), Grain(ctx),
       [&](size_t begin, size_t end) -> Status {
         BatchGroups& bg = batches[begin / Grain(ctx)];
         std::vector<uint32_t> gid(end - begin);
-        std::string key;
-        for (size_t r = begin; r < end; ++r) {
-          key.clear();
-          for (int gc : group_cols) {
-            MPQ_RETURN_NOT_OK(AppendKeyBytes(
-                in.col(static_cast<size_t>(gc)), r, &key));
-            key.push_back('\x1f');
+        // Sized for the all-distinct worst case up front: a high-cardinality
+        // batch never pays a mid-stream rehash.
+        FlatHashIndex index(end - begin);
+        if (typed) {
+          TypedKeyCodec codec;
+          codec.Init(in, group_cols, null_word);
+          size_t w = codec.width();
+          std::vector<uint64_t> words;
+          std::vector<uint32_t> scratch;
+          MPQ_RETURN_NOT_OK(codec.EncodeBuild(begin, end, &words, &scratch));
+          for (size_t r = begin; r < end; ++r) {
+            const uint64_t* row = words.data() + (r - begin) * w;
+            gid[r - begin] = index.FindOrInsert(
+                HashWords(row, w),
+                [&](uint32_t id) {
+                  return std::memcmp(bg.key_words.data() + id * w, row,
+                                     w * 8) == 0;
+                },
+                [&] {
+                  auto id = static_cast<uint32_t>(bg.first_row.size());
+                  bg.key_words.insert(bg.key_words.end(), row, row + w);
+                  bg.first_row.push_back(r);
+                  bg.states.resize(bg.states.size() + num_aggs);
+                  return id;
+                });
           }
-          auto [it, inserted] = bg.index.try_emplace(
-              key, static_cast<uint32_t>(bg.first_row.size()));
-          if (inserted) {
-            bg.first_row.push_back(r);
-            bg.states.emplace_back(n->aggregates.size());
+        } else {
+          ByteArena arena;
+          std::vector<std::pair<uint64_t, uint32_t>> spans;
+          std::string key;
+          for (size_t r = begin; r < end; ++r) {
+            MPQ_RETURN_NOT_OK(RowKeyBytes(in, group_cols, r, &key));
+            gid[r - begin] = index.FindOrInsert(
+                HashBytes(key.data(), key.size()),
+                [&](uint32_t id) {
+                  return arena.View(spans[id].first, spans[id].second) == key;
+                },
+                [&] {
+                  auto id = static_cast<uint32_t>(bg.first_row.size());
+                  spans.emplace_back(arena.Append(key.data(), key.size()),
+                                     static_cast<uint32_t>(key.size()));
+                  bg.first_row.push_back(r);
+                  bg.states.resize(bg.states.size() + num_aggs);
+                  return id;
+                });
           }
-          gid[r - begin] = it->second;
         }
-        for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
+        for (size_t ai = 0; ai < num_aggs; ++ai) {
           const Aggregate& agg = n->aggregates[ai];
-          if (agg.func == AggFunc::kCountStar) {
+          AggState* st = bg.states.data();
+          // count/count(*) fold every row unconditionally (engine
+          // semantics, mirrored by the row oracle).
+          if (agg.func == AggFunc::kCountStar ||
+              agg.func == AggFunc::kCount) {
             for (size_t r = begin; r < end; ++r) {
-              bg.states[gid[r - begin]][ai].count++;
+              st[gid[r - begin] * num_aggs + ai].count++;
             }
             continue;
           }
           const ColumnData& col = in.col(static_cast<size_t>(agg_cols[ai]));
+          // Tight typed loops for the hot aggregate/column shapes; each
+          // replicates AccumulateRow's per-row effect exactly (same
+          // floating-point op order per state), so results stay
+          // bit-identical to the generic path.
+          bool sumlike =
+              agg.func == AggFunc::kSum || agg.func == AggFunc::kAvg;
+          if (sumlike && col.rep() == ColumnRep::kInt64 &&
+              !col.has_nulls()) {
+            const int64_t* v = col.i64().data();
+            for (size_t r = begin; r < end; ++r) {
+              AggState& s = st[gid[r - begin] * num_aggs + ai];
+              s.sum += static_cast<double>(v[r]);
+              s.count++;
+            }
+            continue;
+          }
+          if (sumlike && col.rep() == ColumnRep::kDouble &&
+              !col.has_nulls()) {
+            const double* v = col.f64().data();
+            for (size_t r = begin; r < end; ++r) {
+              AggState& s = st[gid[r - begin] * num_aggs + ai];
+              s.sum += v[r];
+              s.sum_is_double = true;
+              s.count++;
+            }
+            continue;
+          }
+          bool minmax =
+              agg.func == AggFunc::kMin || agg.func == AggFunc::kMax;
+          if (minmax && col.rep() == ColumnRep::kInt64 && !col.has_nulls()) {
+            // CmpPlainRows compares int64 as double; mirror that exactly so
+            // ties (beyond 2^53) keep the first occurrence either way.
+            const int64_t* v = col.i64().data();
+            bool want_less = agg.func == AggFunc::kMin;
+            for (size_t r = begin; r < end; ++r) {
+              AggState& s = st[gid[r - begin] * num_aggs + ai];
+              auto x = static_cast<double>(v[r]);
+              auto best = static_cast<double>(v[s.best_row]);
+              if (!s.has_min_max || (want_less ? x < best : x > best)) {
+                s.best_row = r;
+                s.has_min_max = true;
+              }
+            }
+            continue;
+          }
+          if (minmax && col.rep() == ColumnRep::kDouble && !col.has_nulls()) {
+            // NaN never compares better (CmpPlainRows returns 0 for it).
+            const double* v = col.f64().data();
+            bool want_less = agg.func == AggFunc::kMin;
+            for (size_t r = begin; r < end; ++r) {
+              AggState& s = st[gid[r - begin] * num_aggs + ai];
+              double x = v[r], best = v[s.best_row];
+              if (!s.has_min_max || (want_less ? x < best : x > best)) {
+                s.best_row = r;
+                s.has_min_max = true;
+              }
+            }
+            continue;
+          }
           for (size_t r = begin; r < end; ++r) {
-            MPQ_RETURN_NOT_OK(AccumulateRow(n, agg, col, r, ctx,
-                                            &bg.states[gid[r - begin]][ai]));
+            MPQ_RETURN_NOT_OK(
+                AccumulateRow(n, agg, col, r, sum_ctxs,
+                              &st[gid[r - begin] * num_aggs + ai]));
           }
         }
         return Status::OK();
       }));
 
   // Phase 2: merge batch groups in batch order — group order is first
-  // occurrence over the whole input, like a sequential scan.
-  std::unordered_map<std::string, size_t> group_of;
+  // occurrence over the whole input, like a sequential scan. On the typed
+  // path without dictionary columns, code words are raw value bits and thus
+  // comparable across batches, so unification works on the words directly;
+  // otherwise each group's canonical byte key is re-derived from its first
+  // row (cheap: per group, not per row). Either equivalence is byte-key
+  // equality exactly as before.
+  FlatHashIndex gindex;
+  ByteArena gkeys;
+  std::vector<std::pair<uint64_t, uint32_t>> gspans;
+  std::vector<uint64_t> gkey_words;
   std::vector<size_t> group_first_row;
-  std::vector<std::vector<AggState>> states;
-  for (BatchGroups& bg : batches) {
-    // Recover this batch's insertion order from the stored indices.
-    std::vector<const std::string*> order(bg.first_row.size());
-    for (const auto& [key, idx] : bg.index) order[idx] = &key;
-    for (size_t g = 0; g < bg.first_row.size(); ++g) {
-      auto [it, inserted] =
-          group_of.try_emplace(*order[g], group_first_row.size());
-      if (inserted) {
-        group_first_row.push_back(bg.first_row[g]);
-        states.push_back(std::move(bg.states[g]));
-        continue;
-      }
-      std::vector<AggState>& dst = states[it->second];
-      for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
-        const ColumnData* col = nullptr;
-        if (agg_cols[ai] >= 0) {
-          col = &in.col(static_cast<size_t>(agg_cols[ai]));
+  std::vector<AggState> states;
+  bool words_merge = typed && !dict_keys;
+  size_t kw = group_cols.size() + (null_word ? 1 : 0);
+  {
+    std::string key;
+    for (BatchGroups& bg : batches) {
+      for (size_t g = 0; g < bg.first_row.size(); ++g) {
+        uint64_t hash;
+        const uint64_t* row = nullptr;
+        if (words_merge) {
+          row = bg.key_words.data() + g * kw;
+          hash = HashWords(row, kw);
+        } else {
+          MPQ_RETURN_NOT_OK(
+              RowKeyBytes(in, group_cols, bg.first_row[g], &key));
+          hash = HashBytes(key.data(), key.size());
         }
-        MPQ_RETURN_NOT_OK(
-            MergeAggState(n->aggregates[ai], col, bg.states[g][ai], &dst[ai]));
+        bool inserted = false;
+        uint32_t idx = gindex.FindOrInsert(
+            hash,
+            [&](uint32_t id) {
+              if (words_merge) {
+                return std::memcmp(gkey_words.data() + id * kw, row,
+                                   kw * 8) == 0;
+              }
+              return gkeys.View(gspans[id].first, gspans[id].second) == key;
+            },
+            [&] {
+              auto id = static_cast<uint32_t>(group_first_row.size());
+              if (words_merge) {
+                gkey_words.insert(gkey_words.end(), row, row + kw);
+              } else {
+                gspans.emplace_back(gkeys.Append(key.data(), key.size()),
+                                    static_cast<uint32_t>(key.size()));
+              }
+              group_first_row.push_back(bg.first_row[g]);
+              auto src = bg.states.begin() + static_cast<long>(g * num_aggs);
+              states.insert(states.end(), src,
+                            src + static_cast<long>(num_aggs));
+              inserted = true;
+              return id;
+            });
+        if (inserted) continue;
+        for (size_t ai = 0; ai < num_aggs; ++ai) {
+          const ColumnData* col = nullptr;
+          if (agg_cols[ai] >= 0) {
+            col = &in.col(static_cast<size_t>(agg_cols[ai]));
+          }
+          MPQ_RETURN_NOT_OK(MergeAggState(n->aggregates[ai], col,
+                                          bg.states[g * num_aggs + ai],
+                                          &states[idx * num_aggs + ai]));
+        }
       }
     }
   }
@@ -865,7 +1332,7 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
     std::vector<Cell> cells;
     cells.reserve(num_groups);
     for (size_t g = 0; g < num_groups; ++g) {
-      const AggState& s = states[g][ai];
+      const AggState& s = states[g * num_aggs + ai];
       switch (agg.func) {
         case AggFunc::kCountStar:
         case AggFunc::kCount:
@@ -966,7 +1433,7 @@ Result<Table> ExecUdf(const PlanNode* n, Table in, ExecContext* ctx) {
       }
       out.AddColumn(std::move(col), std::move(data));
     } else {
-      out.AddColumn(std::move(in.columns()[i]), std::move(in.col(i)));
+      out.AddColumn(std::move(in.columns()[i]), in.ShareCol(i));
     }
   }
   return out;
@@ -1121,8 +1588,10 @@ Table MakeBaseTable(const RelationDef& rel) {
   return Table(std::move(cols));
 }
 
-Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
-                                  ExecContext* ctx) {
+namespace {
+
+Result<Table> DispatchNode(const PlanNode* n, std::vector<Table> inputs,
+                           ExecContext* ctx) {
   if (inputs.size() != n->num_children()) {
     return Status::InvalidArgument(StrFormat(
         "node %d (%s): expected %zu operand tables, got %zu", n->id,
@@ -1156,6 +1625,26 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
       return ExecDecrypt(n, std::move(inputs[0]), ctx);
   }
   return Status::Internal("unreachable operator kind");
+}
+
+}  // namespace
+
+Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
+                                  ExecContext* ctx) {
+  if (ctx->op_profile == nullptr) {
+    return DispatchNode(n, std::move(inputs), ctx);
+  }
+  uint64_t rows_in = 0;
+  for (const Table& t : inputs) rows_in += t.num_rows();
+  auto t0 = std::chrono::steady_clock::now();
+  Result<Table> result = DispatchNode(n, std::move(inputs), ctx);
+  auto ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  ctx->op_profile->Record(n->kind, ns, rows_in,
+                          result.ok() ? result->num_rows() : 0);
+  return result;
 }
 
 Result<Table> ExecutePlan(const PlanNode* root, ExecContext* ctx) {

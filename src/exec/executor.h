@@ -22,6 +22,7 @@
 #include "common/thread_pool.h"
 #include "crypto/keyring.h"
 #include "exec/table.h"
+#include "profile/op_stats.h"
 
 namespace mpq {
 
@@ -83,6 +84,10 @@ struct ExecContext {
   /// except for floating-point aggregation merge order (fixed per size).
   /// Zero is treated as one.
   size_t batch_size = Table::kDefaultBatchSize;
+  /// When set, every executed operator records its wall time and row
+  /// volumes here (thread-safe; typically shared by all engines of one
+  /// serving process — see profile/op_stats.h).
+  OpProfile* op_profile = nullptr;
 
   uint64_t NextNonce() {
     return nonce.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -37,6 +37,7 @@ struct FailoverConfig {
   NetPolicy net_policy;          ///< Per-edge retry/deadline budget.
   ThreadPool* pool = nullptr;    ///< Borrowed; null = sequential.
   size_t batch_size = Table::kDefaultBatchSize;
+  OpProfile* op_profile = nullptr;  ///< Borrowed; null = no op counters.
 };
 
 /// Outcome of a (possibly recovered) execution.

@@ -11,7 +11,7 @@ ColumnRep RepForColumn(const ExecColumn& col) {
 Table::Table(std::vector<ExecColumn> columns) : columns_(std::move(columns)) {
   data_.reserve(columns_.size());
   for (const ExecColumn& c : columns_) {
-    data_.emplace_back(RepForColumn(c));
+    data_.push_back(std::make_shared<ColumnData>(RepForColumn(c)));
   }
 }
 
@@ -23,9 +23,13 @@ int Table::ColIndex(AttrId attr) const {
 }
 
 void Table::AddColumn(ExecColumn col, ColumnData d) {
-  assert((columns_.empty() || d.size() == num_rows_) &&
+  AddColumn(std::move(col), std::make_shared<ColumnData>(std::move(d)));
+}
+
+void Table::AddColumn(ExecColumn col, std::shared_ptr<ColumnData> d) {
+  assert((columns_.empty() || d->size() == num_rows_) &&
          "AddColumn: row count mismatch");
-  if (columns_.empty()) num_rows_ = d.size();
+  if (columns_.empty()) num_rows_ = d->size();
   columns_.push_back(std::move(col));
   data_.push_back(std::move(d));
 }
@@ -33,7 +37,7 @@ void Table::AddColumn(ExecColumn col, ColumnData d) {
 void Table::AddRow(std::vector<Cell> row) {
   assert(row.size() == columns_.size() && "AddRow: arity mismatch");
   for (size_t c = 0; c < data_.size(); ++c) {
-    data_[c].Append(std::move(row[c]));
+    col_mut(c).Append(std::move(row[c]));
   }
   num_rows_++;
 }
@@ -41,25 +45,25 @@ void Table::AddRow(std::vector<Cell> row) {
 std::vector<Cell> Table::row(size_t i) const {
   std::vector<Cell> out;
   out.reserve(data_.size());
-  for (const ColumnData& col : data_) out.push_back(col.GetCell(i));
+  for (const auto& col : data_) out.push_back(col->GetCell(i));
   return out;
 }
 
 void Table::AppendRowFrom(const Table& src, size_t r) {
   assert(src.num_columns() == num_columns());
   for (size_t c = 0; c < data_.size(); ++c) {
-    data_[c].AppendFrom(src.data_[c], r);
+    col_mut(c).AppendFrom(*src.data_[c], r);
   }
   num_rows_++;
 }
 
 void Table::ReserveRows(size_t n) {
-  for (ColumnData& col : data_) col.Reserve(n);
+  for (size_t c = 0; c < data_.size(); ++c) col_mut(c).Reserve(n);
 }
 
 uint64_t Table::ByteSize() const {
   uint64_t total = 0;
-  for (const ColumnData& col : data_) total += col.ByteSize();
+  for (const auto& col : data_) total += col->ByteSize();
   return total;
 }
 
@@ -77,7 +81,7 @@ std::string Table::ToString(size_t max_rows) const {
   for (size_t r = 0; r < n; ++r) {
     for (size_t c = 0; c < data_.size(); ++c) {
       if (c > 0) out += " | ";
-      out += data_[c].GetCell(r).ToString();
+      out += data_[c]->GetCell(r).ToString();
     }
     out += "\n";
   }
@@ -96,7 +100,12 @@ std::string Table::ToString(size_t max_rows) const {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'P', 'Q', 'C'};
-constexpr uint8_t kVersion = 1;
+// v2 added the per-string-column encoding byte (plain vs dictionary).
+constexpr uint8_t kVersion = 2;
+
+// String-column payload encodings.
+constexpr uint8_t kEncodingPlain = 0;
+constexpr uint8_t kEncodingDict = 1;
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -177,7 +186,7 @@ std::string Table::SerializeColumns() const {
     PutU64(&out, col.key_id);
     PutU8(&out, col.hom_avg ? 1 : 0);
 
-    const ColumnData& d = data_[c];
+    const ColumnData& d = *data_[c];
     PutU8(&out, static_cast<uint8_t>(d.rep()));
     PutU8(&out, d.has_nulls() ? 1 : 0);
     if (d.has_nulls()) {
@@ -192,9 +201,37 @@ std::string Table::SerializeColumns() const {
       case ColumnRep::kDouble:
         out.append(reinterpret_cast<const char*>(d.f64().data()), 8 * d.size());
         break;
-      case ColumnRep::kString:
-        for (const std::string& s : d.str()) PutBytes(&out, s);
+      case ColumnRep::kString: {
+        // Dictionary-encode when the codes + distinct values are strictly
+        // smaller than the plain payload — a deterministic function of the
+        // column content, so the frame (and its byte count) is identical at
+        // any thread count.
+        ColumnDict dict(&d);
+        std::vector<uint32_t> codes(d.size());
+        uint64_t plain_cost = 0;
+        for (const std::string& s : d.str()) plain_cost += 4 + s.size();
+        uint64_t dict_cost = 4 + 4 * static_cast<uint64_t>(d.size());
+        if (dict.EncodeRange(0, d.size(), codes.data()).ok()) {
+          for (uint32_t k = 0; k < dict.size(); ++k) {
+            dict_cost += 4 + d.str()[dict.RepRow(k)].size();
+          }
+        } else {
+          dict_cost = plain_cost + 1;  // unreachable for kString; be safe
+        }
+        if (dict_cost < plain_cost) {
+          PutU8(&out, kEncodingDict);
+          PutU32(&out, static_cast<uint32_t>(dict.size()));
+          for (uint32_t k = 0; k < dict.size(); ++k) {
+            PutBytes(&out, d.str()[dict.RepRow(k)]);
+          }
+          out.append(reinterpret_cast<const char*>(codes.data()),
+                     4 * codes.size());
+        } else {
+          PutU8(&out, kEncodingPlain);
+          for (const std::string& s : d.str()) PutBytes(&out, s);
+        }
         break;
+      }
       case ColumnRep::kEnc:
         for (const EncValue& ev : d.enc()) PutEnc(&out, ev);
         break;
@@ -277,17 +314,44 @@ Result<Table> Table::DeserializeColumns(const std::string& bytes) {
           }
         }
         break;
-      case ColumnRep::kString:
-        for (uint64_t i = 0; i < num_rows; ++i) {
-          std::string s;
-          if (!r.Bytes(&s)) return Corrupt();
-          if (row_null(i)) {
-            d.AppendNull();
-          } else {
-            d.AppendValue(Value(std::move(s)));
+      case ColumnRep::kString: {
+        uint8_t encoding;
+        if (!r.U8(&encoding)) return Corrupt();
+        if (encoding == kEncodingDict) {
+          uint32_t num_values;
+          if (!r.U32(&num_values) || num_values > bytes.size()) {
+            return Corrupt();
           }
+          std::vector<std::string> values(num_values);
+          for (uint32_t k = 0; k < num_values; ++k) {
+            if (!r.Bytes(&values[k])) return Corrupt();
+          }
+          for (uint64_t i = 0; i < num_rows; ++i) {
+            uint32_t code;
+            if (!r.U32(&code)) return Corrupt();
+            if (row_null(i)) {
+              d.AppendNull();  // the code of a null row is padding
+            } else if (code >= num_values) {
+              return Corrupt();
+            } else {
+              d.AppendValue(Value(values[code]));
+            }
+          }
+        } else if (encoding == kEncodingPlain) {
+          for (uint64_t i = 0; i < num_rows; ++i) {
+            std::string s;
+            if (!r.Bytes(&s)) return Corrupt();
+            if (row_null(i)) {
+              d.AppendNull();
+            } else {
+              d.AppendValue(Value(std::move(s)));
+            }
+          }
+        } else {
+          return Corrupt();
         }
         break;
+      }
       case ColumnRep::kEnc:
         for (uint64_t i = 0; i < num_rows; ++i) {
           EncValue ev;

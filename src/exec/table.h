@@ -9,7 +9,9 @@
 #define MPQ_EXEC_TABLE_H_
 
 #include <cassert>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -48,7 +50,12 @@ struct RowBatch {
   bool empty() const { return begin == end; }
 };
 
-/// Columnar table.
+/// Columnar table. Column payloads are shared_ptr-held with copy-on-write
+/// mutation: copying a Table (the base-scan operator, plan-cache serving)
+/// copies column *pointers*, never cell data — a whole-table copy of a
+/// million-row relation is a dozen refcount increments. Mutation goes
+/// through col_mut()/SetColumnData(), which clone a column only when it is
+/// actually shared, so thread-confined intermediate tables pay nothing.
 class Table {
  public:
   /// Default number of rows per RowBatch; chosen so a batch of typical rows
@@ -66,21 +73,39 @@ class Table {
   /// Index of the column for `attr`, or -1.
   int ColIndex(AttrId attr) const;
 
-  /// Column data, by column index.
-  const ColumnData& col(size_t i) const { return data_[i]; }
-  ColumnData& col(size_t i) { return data_[i]; }
+  /// Column data, by column index (read-only).
+  const ColumnData& col(size_t i) const { return *data_[i]; }
+
+  /// Mutable column data: clones the column first when its buffers are
+  /// shared with another table (copy-on-write).
+  ColumnData& col_mut(size_t i) {
+    if (data_[i].use_count() > 1) {
+      data_[i] = std::make_shared<ColumnData>(*data_[i]);
+    }
+    return *data_[i];
+  }
+
+  /// The column's shared payload, for zero-copy moves between tables
+  /// (project, udf passthrough). Safe to hand to a mutable table: mutation
+  /// always goes through the copy-on-write accessors.
+  std::shared_ptr<ColumnData> ShareCol(size_t i) const { return data_[i]; }
 
   /// Replaces column `i`'s data (e.g. with its encrypted form). The new
-  /// data must cover every row.
+  /// data must cover every row. Other tables sharing the old payload are
+  /// unaffected.
   void SetColumnData(size_t i, ColumnData d) {
     assert(d.size() == num_rows_);
-    data_[i] = std::move(d);
+    data_[i] = std::make_shared<ColumnData>(std::move(d));
   }
 
   /// Appends a column (metadata + data) to the table. Every column must
   /// cover the same number of rows; the first one fixes the row count of an
   /// empty table.
   void AddColumn(ExecColumn col, ColumnData d);
+
+  /// AddColumn sharing an existing payload (no copy; copy-on-write applies
+  /// to later mutation through either owner).
+  void AddColumn(ExecColumn col, std::shared_ptr<ColumnData> d);
 
   /// Appends one row given cell-per-column; `row.size()` must equal
   /// `num_columns()`. Loader/test convenience — engine operators append
@@ -91,7 +116,7 @@ class Table {
   std::vector<Cell> row(size_t i) const;
 
   /// Materializes the cell at (`r`, `c`).
-  Cell at(size_t r, size_t c) const { return data_[c].GetCell(r); }
+  Cell at(size_t r, size_t c) const { return data_[c]->GetCell(r); }
 
   /// Appends row `r` of `src` (same column layout) column-wise.
   void AppendRowFrom(const Table& src, size_t r);
@@ -134,7 +159,7 @@ class Table {
 
  private:
   std::vector<ExecColumn> columns_;
-  std::vector<ColumnData> data_;
+  std::vector<std::shared_ptr<ColumnData>> data_;
   size_t num_rows_ = 0;
 };
 

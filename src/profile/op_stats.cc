@@ -1,0 +1,62 @@
+#include "profile/op_stats.h"
+
+#include "common/json_util.h"
+
+namespace mpq {
+
+void OpProfile::Record(OpKind kind, uint64_t ns, uint64_t rows_in,
+                       uint64_t rows_out) {
+  Counter& c = ops_[static_cast<size_t>(kind)];
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  c.ns.fetch_add(ns, std::memory_order_relaxed);
+  c.rows_in.fetch_add(rows_in, std::memory_order_relaxed);
+  c.rows_out.fetch_add(rows_out, std::memory_order_relaxed);
+}
+
+OpProfileSnapshot OpProfile::Snapshot() const {
+  OpProfileSnapshot snap;
+  for (size_t i = 0; i < kNumOpKinds; ++i) {
+    snap.ops[i].calls = ops_[i].calls.load(std::memory_order_relaxed);
+    snap.ops[i].ns = ops_[i].ns.load(std::memory_order_relaxed);
+    snap.ops[i].rows_in = ops_[i].rows_in.load(std::memory_order_relaxed);
+    snap.ops[i].rows_out = ops_[i].rows_out.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void OpProfile::Reset() {
+  for (Counter& c : ops_) {
+    c.calls.store(0, std::memory_order_relaxed);
+    c.ns.store(0, std::memory_order_relaxed);
+    c.rows_in.store(0, std::memory_order_relaxed);
+    c.rows_out.store(0, std::memory_order_relaxed);
+  }
+}
+
+void OpProfileSnapshot::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  for (size_t i = 0; i < kNumOpKinds; ++i) {
+    const OpCounterSnapshot& c = ops[i];
+    if (c.calls == 0) continue;
+    w->Key(OpKindName(static_cast<OpKind>(i)));
+    w->BeginObject()
+        .Key("calls")
+        .UInt(c.calls)
+        .Key("ns")
+        .UInt(c.ns)
+        .Key("rows_in")
+        .UInt(c.rows_in)
+        .Key("rows_out")
+        .UInt(c.rows_out)
+        .EndObject();
+  }
+  w->EndObject();
+}
+
+std::string OpProfileSnapshot::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.TakeString();
+}
+
+}  // namespace mpq

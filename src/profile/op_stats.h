@@ -1,0 +1,67 @@
+// Per-operator execution counters: wall time and row volumes of every
+// relational operator kind, aggregated across all engine invocations that
+// share one OpProfile. Recording is four relaxed atomic adds per operator
+// call (operators process whole tables, so the overhead is noise); the
+// serving layer surfaces a snapshot in its JSON metrics so a hot-path
+// regression in, say, the join probe is visible per operator instead of
+// buried in end-to-end latency.
+
+#ifndef MPQ_PROFILE_OP_STATS_H_
+#define MPQ_PROFILE_OP_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace mpq {
+
+class JsonWriter;
+
+/// Plain-value counters of one operator kind.
+struct OpCounterSnapshot {
+  uint64_t calls = 0;
+  uint64_t ns = 0;        ///< Wall nanoseconds inside the operator.
+  uint64_t rows_in = 0;   ///< Operand rows consumed.
+  uint64_t rows_out = 0;  ///< Result rows produced.
+};
+
+/// A copyable point-in-time snapshot over every operator kind.
+struct OpProfileSnapshot {
+  std::array<OpCounterSnapshot, kNumOpKinds> ops;
+
+  const OpCounterSnapshot& of(OpKind k) const {
+    return ops[static_cast<size_t>(k)];
+  }
+
+  /// Writes {"base":{"calls":...,"ns":...,"rows_in":...,"rows_out":...},...}
+  /// as the next value of `w`; kinds with zero calls are omitted.
+  void WriteJson(JsonWriter* w) const;
+
+  /// The WriteJson object as a standalone document.
+  std::string ToJson() const;
+};
+
+/// The live counters. Thread-safe: Record may be called from any number of
+/// engine threads concurrently with Snapshot.
+class OpProfile {
+ public:
+  void Record(OpKind kind, uint64_t ns, uint64_t rows_in, uint64_t rows_out);
+  OpProfileSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  struct Counter {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint64_t> rows_in{0};
+    std::atomic<uint64_t> rows_out{0};
+  };
+  std::array<Counter, kNumOpKinds> ops_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_PROFILE_OP_STATS_H_

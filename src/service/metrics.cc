@@ -119,7 +119,9 @@ std::string ServiceMetrics::ToJson() const {
       .Double(failover_p95_ms)
       .Key("failover_p99_ms")
       .Double(failover_p99_ms)
-      .EndObject();
+      .Key("ops");
+  ops.WriteJson(&w);
+  w.EndObject();
   return w.TakeString();
 }
 

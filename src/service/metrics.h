@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "profile/op_stats.h"
+
 namespace mpq {
 
 /// Fixed-bucket latency histogram over [10 ns, ~86 s), eight log-spaced
@@ -72,6 +74,11 @@ struct ServiceMetrics {
   // Added latency of recovered queries: failure detection → recovered
   // result (milliseconds).
   double failover_p50_ms = 0, failover_p95_ms = 0, failover_p99_ms = 0;
+
+  /// Per-operator engine counters (filter/join/groupby/encrypt/… wall
+  /// nanoseconds and row volumes) aggregated over every query this service
+  /// executed — the observable for hot-path regressions in serving.
+  OpProfileSnapshot ops;
 
   /// One-line-per-field JSON object.
   std::string ToJson() const;

@@ -9,6 +9,7 @@
 #include "common/str_util.h"
 #include "exec/failover.h"
 #include "extend/keys.h"
+#include "common/flat_hash.h"
 #include "profile/propagate.h"
 #include "sql/binder.h"
 #include "sql/normalize.h"
@@ -24,14 +25,21 @@ double SecondsSince(Clock::time_point t0) {
 }
 }  // namespace
 
-size_t QueryService::PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
-  uint64_t h = std::hash<std::string>{}(k.normalized_sql);
+size_t QueryService::PlanCacheKeyHash::operator()(
+    const PlanCacheKeyRef& k) const {
+  uint64_t h = HashBytes(k.normalized_sql);
   h = SplitMix64(h ^ (static_cast<uint64_t>(k.subject) + 1) *
                          0x9e3779b97f4a7c15ull);
   h = SplitMix64(h ^ k.catalog_version * 0xbf58476d1ce4e5b9ull);
   h = SplitMix64(h ^ k.policy_epoch * 0x94d049bb133111ebull);
   h = SplitMix64(h ^ k.net_epoch * 0xd6e8feb86659fd93ull);
   return static_cast<size_t>(h);
+}
+
+size_t QueryService::PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
+  return operator()(PlanCacheKeyRef{k.normalized_sql, k.subject,
+                                    k.catalog_version, k.policy_epoch,
+                                    k.net_epoch});
 }
 
 /// Blocks until the in-flight count drops below the cap, then holds a slot
@@ -219,6 +227,7 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
   entry->runtime->SetBatchSize(config_.batch_size);
   entry->runtime->SetNetwork(config_.net);
   entry->runtime->SetNetPolicy(config_.net_policy);
+  entry->runtime->SetOpProfile(&op_profile_);
   return entry;
 }
 
@@ -236,8 +245,9 @@ Result<QueryResponse> QueryService::ExecuteInternal(
 
   // The epoch/version pair is read once, up front: every request that starts
   // after a policy or schema mutation returns is keyed past the stale
-  // entries, which therefore can never serve it.
-  PlanCacheKey key;
+  // entries, which therefore can never serve it. The key is a borrowed view
+  // of the caller's normalized SQL — a cache hit copies no statement text.
+  PlanCacheKeyRef key;
   key.normalized_sql = normalized_sql;
   key.subject = session.subject();
   key.catalog_version = catalog_->version();
@@ -300,6 +310,7 @@ Result<QueryResponse> QueryService::ExecuteInternal(
     fc.net_policy = config_.net_policy;
     fc.pool = pool_.get();
     fc.batch_size = config_.batch_size;
+    fc.op_profile = &op_profile_;
     FailoverExecutor failover(catalog_, subjects_, policy_, prices_,
                               topology_, config_.net, fc);
     {
@@ -397,6 +408,7 @@ ServiceMetrics QueryService::Metrics() const {
   m.failover_p50_ms = latency_failover_.Quantile(0.50) * 1e3;
   m.failover_p95_ms = latency_failover_.Quantile(0.95) * 1e3;
   m.failover_p99_ms = latency_failover_.Quantile(0.99) * 1e3;
+  m.ops = op_profile_.Snapshot();
   return m;
 }
 

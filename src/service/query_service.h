@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "assign/assignment.h"
 #include "authz/policy.h"
@@ -162,8 +163,12 @@ class QueryService {
   ThreadPool* pool() { return pool_.get(); }
 
  private:
-  struct PlanCacheKey {
-    std::string normalized_sql;
+  /// The borrowed probe form of a plan-cache key: a string_view over the
+  /// caller's normalized SQL. Every lookup goes through this type, so a
+  /// cache hit never copies the statement text; the owned PlanCacheKey is
+  /// constructed only when a plan is actually inserted.
+  struct PlanCacheKeyRef {
+    std::string_view normalized_sql;
     SubjectId subject = kInvalidSubject;
     uint64_t catalog_version = 0;
     uint64_t policy_epoch = 0;
@@ -171,14 +176,31 @@ class QueryService {
     /// built around a down provider stops being served once liveness
     /// changes, instead of outliving the outage.
     uint64_t net_epoch = 0;
+  };
+  struct PlanCacheKey {
+    std::string normalized_sql;
+    SubjectId subject = kInvalidSubject;
+    uint64_t catalog_version = 0;
+    uint64_t policy_epoch = 0;
+    uint64_t net_epoch = 0;
 
-    bool operator==(const PlanCacheKey& o) const {
+    PlanCacheKey() = default;
+    explicit PlanCacheKey(const PlanCacheKeyRef& ref)
+        : normalized_sql(ref.normalized_sql),
+          subject(ref.subject),
+          catalog_version(ref.catalog_version),
+          policy_epoch(ref.policy_epoch),
+          net_epoch(ref.net_epoch) {}
+
+    bool operator==(const PlanCacheKeyRef& o) const {
       return subject == o.subject && catalog_version == o.catalog_version &&
              policy_epoch == o.policy_epoch && net_epoch == o.net_epoch &&
              normalized_sql == o.normalized_sql;
     }
   };
+  /// Hashes the owned and the borrowed key form identically.
   struct PlanCacheKeyHash {
+    size_t operator()(const PlanCacheKeyRef& k) const;
     size_t operator()(const PlanCacheKey& k) const;
   };
 
@@ -235,6 +257,9 @@ class QueryService {
   std::atomic<uint64_t> failover_retransfer_bytes_{0};
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> next_statement_id_{1};
+  /// Per-operator timing/row counters, shared by every runtime this service
+  /// builds (cached plans included).
+  OpProfile op_profile_;
   LatencyHistogram latency_total_;
   LatencyHistogram latency_hit_;
   LatencyHistogram latency_miss_;

@@ -1,21 +1,32 @@
 // A mutex-striped LRU cache: the key space is hashed over N independent
 // shards so concurrent sessions touching different statements never contend
-// on one lock. Values are shared_ptrs — a hit stays valid for the caller even
-// if the entry is evicted a microsecond later.
+// on one lock. Values are shared_ptrs — a hit stays valid for the caller
+// even if the entry is evicted a microsecond later.
+//
+// Each shard is a FlatHashIndex over an entry slab with an intrusive LRU
+// list: no per-entry node allocation, no rehash-time key moves, and —
+// because the index is keyed by cached hash + equality predicate — probes
+// are heterogeneous: a lookup type carrying string_views (e.g. the serving
+// layer's PlanCacheKeyRef) probes without ever constructing an owned Key;
+// the owned Key is built exactly once, on actual insertion.
 
 #ifndef MPQ_SERVICE_SHARDED_CACHE_H_
 #define MPQ_SERVICE_SHARDED_CACHE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
+
 namespace mpq {
 
+/// `Hash` must accept both Key and any probe type Q used with Get/
+/// PutIfAbsent/Erase, hashing them consistently (Hash{}(q) == Hash{}(k)
+/// whenever q == k); Q must be ==-comparable against Key and Key must be
+/// constructible from Q.
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedLruCache {
  public:
@@ -39,52 +50,67 @@ class ShardedLruCache {
   }
 
   /// The cached value, moved to most-recently-used; nullptr on miss.
-  std::shared_ptr<Value> Get(const Key& key) {
-    Shard& shard = ShardFor(key);
+  template <typename Q>
+  std::shared_ptr<Value> Get(const Q& query) {
+    uint64_t hash = Hash{}(query);
+    Shard& shard = ShardFor(hash);
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(key);
-    if (it == shard.index.end()) {
+    uint32_t id = FindEntry(shard, hash, query);
+    if (id == FlatHashIndex::kNotFound) {
       shard.misses++;
       return nullptr;
     }
     shard.hits++;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->second;
+    MoveToFront(shard, id);
+    return shard.slab[id].value;
   }
 
-  /// Inserts `value` unless `key` is already present; returns the entry now
-  /// cached under `key` (the existing one on a lost race). Evicts the
-  /// least-recently-used entry of the shard when over capacity.
-  std::shared_ptr<Value> PutIfAbsent(const Key& key,
+  /// Inserts `value` unless an entry equal to `query` is already present;
+  /// returns the entry now cached (the existing one on a lost race). The
+  /// owned Key is constructed from `query` only when actually inserting.
+  /// Evicts the least-recently-used entry of the shard when over capacity.
+  template <typename Q>
+  std::shared_ptr<Value> PutIfAbsent(const Q& query,
                                      std::shared_ptr<Value> value) {
-    Shard& shard = ShardFor(key);
+    uint64_t hash = Hash{}(query);
+    Shard& shard = ShardFor(hash);
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      return it->second->second;
-    }
-    shard.lru.emplace_front(key, std::move(value));
-    shard.index.emplace(key, shard.lru.begin());
+    bool inserted = false;
+    uint32_t id = shard.index.FindOrInsert(
+        hash,
+        [&](uint32_t candidate) { return shard.slab[candidate].key == query; },
+        [&] {
+          uint32_t slot = AcquireSlot(shard);
+          Entry& e = shard.slab[slot];
+          e.key = Key(query);
+          e.value = std::move(value);
+          e.hash = hash;
+          inserted = true;
+          return slot;
+        });
+    MoveToFront(shard, id);
+    if (!inserted) return shard.slab[id].value;
     shard.insertions++;
-    if (shard.lru.size() > capacity_) {
-      shard.index.erase(shard.lru.back().first);
-      shard.lru.pop_back();
-      shard.evictions++;
-    }
-    return shard.lru.front().second;
+    shard.entries++;
+    if (shard.entries > capacity_) EvictTail(shard);
+    return shard.slab[id].value;
   }
 
-  /// Drops the entry under `key`, if any; returns whether one was dropped.
-  /// The serving layer uses this to retire a plan whose assignee died —
-  /// the next request re-plans around the down subjects.
-  bool Erase(const Key& key) {
-    Shard& shard = ShardFor(key);
+  /// Drops the entry equal to `query`, if any; returns whether one was
+  /// dropped. The serving layer uses this to retire a plan whose assignee
+  /// died — the next request re-plans around the down subjects.
+  template <typename Q>
+  bool Erase(const Q& query) {
+    uint64_t hash = Hash{}(query);
+    Shard& shard = ShardFor(hash);
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(key);
-    if (it == shard.index.end()) return false;
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
+    uint32_t id = FindEntry(shard, hash, query);
+    if (id == FlatHashIndex::kNotFound) return false;
+    shard.index.Erase(hash,
+                      [&](uint32_t candidate) { return candidate == id; });
+    Detach(shard, id);
+    ReleaseSlot(shard, id);
+    shard.entries--;
     return true;
   }
 
@@ -92,8 +118,11 @@ class ShardedLruCache {
   void Clear() {
     for (auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);
-      shard->lru.clear();
-      shard->index.clear();
+      shard->index.Clear();
+      shard->slab.clear();
+      shard->free.clear();
+      shard->head = shard->tail = kNil;
+      shard->entries = 0;
     }
   }
 
@@ -106,7 +135,7 @@ class ShardedLruCache {
       out.misses += shard->misses;
       out.insertions += shard->insertions;
       out.evictions += shard->evictions;
-      out.entries += shard->lru.size();
+      out.entries += shard->entries;
     }
     return out;
   }
@@ -115,20 +144,92 @@ class ShardedLruCache {
   size_t capacity_per_shard() const { return capacity_; }
 
  private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct Entry {
+    Key key{};
+    std::shared_ptr<Value> value;
+    uint64_t hash = 0;
+    uint32_t prev = kNil;  ///< Towards the MRU head.
+    uint32_t next = kNil;  ///< Towards the LRU tail.
+  };
+
   struct Shard {
     mutable std::mutex mu;
-    /// Front = most recently used.
-    std::list<std::pair<Key, std::shared_ptr<Value>>> lru;
-    std::unordered_map<Key,
-                       typename std::list<std::pair<
-                           Key, std::shared_ptr<Value>>>::iterator,
-                       Hash>
-        index;
+    FlatHashIndex index;
+    std::vector<Entry> slab;
+    std::vector<uint32_t> free;  ///< Recyclable slab slots.
+    uint32_t head = kNil;        ///< Most recently used.
+    uint32_t tail = kNil;        ///< Least recently used.
+    size_t entries = 0;
     uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
   };
 
-  Shard& ShardFor(const Key& key) {
-    return *shards_[Hash{}(key) % shards_.size()];
+  template <typename Q>
+  static uint32_t FindEntry(Shard& shard, uint64_t hash, const Q& query) {
+    return shard.index.Find(hash, [&](uint32_t candidate) {
+      return shard.slab[candidate].key == query;
+    });
+  }
+
+  /// Unlinks entry `id` from the LRU list.
+  static void Detach(Shard& shard, uint32_t id) {
+    Entry& e = shard.slab[id];
+    if (e.prev != kNil) {
+      shard.slab[e.prev].next = e.next;
+    } else if (shard.head == id) {
+      shard.head = e.next;
+    }
+    if (e.next != kNil) {
+      shard.slab[e.next].prev = e.prev;
+    } else if (shard.tail == id) {
+      shard.tail = e.prev;
+    }
+    e.prev = e.next = kNil;
+  }
+
+  /// Makes entry `id` the MRU head (detaching it first if linked).
+  static void MoveToFront(Shard& shard, uint32_t id) {
+    if (shard.head == id) return;
+    Detach(shard, id);
+    Entry& e = shard.slab[id];
+    e.next = shard.head;
+    if (shard.head != kNil) shard.slab[shard.head].prev = id;
+    shard.head = id;
+    if (shard.tail == kNil) shard.tail = id;
+  }
+
+  static uint32_t AcquireSlot(Shard& shard) {
+    if (!shard.free.empty()) {
+      uint32_t slot = shard.free.back();
+      shard.free.pop_back();
+      return slot;
+    }
+    shard.slab.emplace_back();
+    return static_cast<uint32_t>(shard.slab.size() - 1);
+  }
+
+  static void ReleaseSlot(Shard& shard, uint32_t id) {
+    shard.slab[id] = Entry{};
+    shard.free.push_back(id);
+  }
+
+  void EvictTail(Shard& shard) {
+    uint32_t victim = shard.tail;
+    if (victim == kNil) return;
+    shard.index.Erase(shard.slab[victim].hash,
+                      [&](uint32_t candidate) { return candidate == victim; });
+    Detach(shard, victim);
+    ReleaseSlot(shard, victim);
+    shard.entries--;
+    shard.evictions++;
+  }
+
+  Shard& ShardFor(uint64_t hash) {
+    // Re-mix before striping: Hash may be weak (std::hash<int> is the
+    // identity), and the in-shard index masks the raw hash's low bits, so
+    // shard choice must come from decorrelated bits either way.
+    return *shards_[HashMix64(hash ^ 0x5ca1ab1e) % shards_.size()];
   }
 
   size_t capacity_;

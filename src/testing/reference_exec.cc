@@ -284,7 +284,11 @@ Result<ReferenceExecutor::RowTable> ReferenceExecutor::Exec(
                 std::string k,
                 CellGroupKey(l.rows[i][static_cast<size_t>(ep.lcol)]));
             key += k;
-            key += '\x1f';
+            // Length suffix, not a separator: concatenated keys can never
+            // alias across column boundaries (mirrors the engine's
+            // RowKeyBytes / typed-word equality).
+            auto len = static_cast<uint32_t>(k.size());
+            key.append(reinterpret_cast<const char*>(&len), sizeof(len));
           }
           ht[key].push_back(i);
         }
@@ -296,7 +300,11 @@ Result<ReferenceExecutor::RowTable> ReferenceExecutor::Exec(
                 std::string k,
                 CellGroupKey(r.rows[j][static_cast<size_t>(ep.rcol)]));
             key += k;
-            key += '\x1f';
+            // Length suffix, not a separator: concatenated keys can never
+            // alias across column boundaries (mirrors the engine's
+            // RowKeyBytes / typed-word equality).
+            auto len = static_cast<uint32_t>(k.size());
+            key.append(reinterpret_cast<const char*>(&len), sizeof(len));
           }
           auto it = ht.find(key);
           if (it == ht.end()) continue;
@@ -378,7 +386,11 @@ Result<ReferenceExecutor::RowTable> ReferenceExecutor::Exec(
                 std::string k,
                 CellGroupKey(in.rows[r][static_cast<size_t>(gc)]));
             key += k;
-            key += '\x1f';
+            // Length suffix, not a separator: concatenated keys can never
+            // alias across column boundaries (mirrors the engine's
+            // RowKeyBytes / typed-word equality).
+            auto len = static_cast<uint32_t>(k.size());
+            key.append(reinterpret_cast<const char*>(&len), sizeof(len));
           }
           auto [it, inserted] = local_of.try_emplace(std::move(key),
                                                      local_keys.size());

@@ -225,5 +225,124 @@ TEST_F(TableSerdeTest, CorruptBytesRejectedNotCrashed) {
   EXPECT_FALSE(Table::DeserializeColumns(extra).ok());
 }
 
+// ------------------------------------------------------ dictionary coding ---
+
+namespace dict_test {
+
+/// A one-string-column table with heavily repeated values (and a NULL), the
+/// shape the wire dictionary encoding exists for.
+Table RepetitiveStrings(size_t rows) {
+  std::vector<ExecColumn> cols(1);
+  cols[0].attr = 1;
+  cols[0].name = "s";
+  cols[0].type = DataType::kString;
+  Table t(std::move(cols));
+  for (size_t r = 0; r < rows; ++r) {
+    if (r % 17 == 11) {
+      t.AddRow({Cell(Value::Null())});
+    } else {
+      t.AddRow({S("shipmode-" + std::to_string(r % 4))});
+    }
+  }
+  return t;
+}
+
+}  // namespace dict_test
+
+TEST(ColumnDictTest, EncodeAssignsFirstOccurrenceCodesAndProbeMisses) {
+  ColumnData c(ColumnRep::kString);
+  c.Append(S("b"));
+  c.Append(S("a"));
+  c.Append(Cell(Value::Null()));
+  c.Append(S("b"));
+  ColumnDict dict(&c);
+  std::vector<uint32_t> codes(c.size());
+  ASSERT_TRUE(dict.EncodeRange(0, c.size(), codes.data()).ok());
+  EXPECT_EQ(codes[0], 0u);  // "b" interned first
+  EXPECT_EQ(codes[1], 1u);  // then "a"
+  EXPECT_EQ(codes[2], 0u);  // null rows get padding code 0
+  EXPECT_EQ(codes[3], 0u);  // repeated "b" reuses its code
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(c.str()[dict.RepRow(1)], "a");
+
+  ColumnData probe(ColumnRep::kString);
+  probe.Append(S("a"));
+  probe.Append(S("unseen"));
+  std::vector<uint32_t> pcodes(probe.size());
+  ASSERT_TRUE(dict.ProbeRange(probe, 0, probe.size(), pcodes.data()).ok());
+  EXPECT_EQ(pcodes[0], 1u);
+  EXPECT_EQ(pcodes[1], ColumnDict::kMiss);
+}
+
+TEST(ColumnDictTest, RndCiphertextsRejectedAsKeys) {
+  KeyMaterial km = MakeKeyMaterial(3, 1);
+  ColumnData c(ColumnRep::kEnc);
+  c.Append(Cell(*EncryptValue(Value(int64_t{5}), EncScheme::kRandom, 1, km,
+                              /*fresh_nonce=*/9)));
+  ColumnDict dict(&c);
+  std::vector<uint32_t> codes(1);
+  Status s = dict.EncodeRange(0, 1, codes.data());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(TableSerdeTest, DictEncodedStringsRoundTripAndShrinkTheWire) {
+  Table t = dict_test::RepetitiveStrings(500);
+  std::string wire = t.SerializeColumns();
+  // 4 distinct ~11-byte values over 500 rows: the dictionary form (values
+  // once + 4-byte codes) must beat the plain form (values repeated).
+  uint64_t plain_payload = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    plain_payload += 4 + (t.col(0).IsNull(r) ? 0 : t.col(0).str()[r].size());
+  }
+  EXPECT_LT(wire.size(), plain_payload);
+
+  Result<Table> back = Table::DeserializeColumns(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  EXPECT_EQ(back->col(0).rep(), ColumnRep::kString);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    ASSERT_EQ(back->col(0).IsNull(r), t.col(0).IsNull(r)) << "row " << r;
+    if (!t.col(0).IsNull(r)) {
+      ASSERT_EQ(back->col(0).str()[r], t.col(0).str()[r]) << "row " << r;
+    }
+  }
+  EXPECT_EQ(back->ByteSize(), t.ByteSize());
+}
+
+TEST_F(TableSerdeTest, UniqueStringsStayPlainOnTheWire) {
+  // All-distinct values: a dictionary would only add overhead, so the
+  // deterministic cost rule must keep the plain encoding.
+  std::vector<ExecColumn> cols(1);
+  cols[0].attr = 1;
+  cols[0].name = "s";
+  cols[0].type = DataType::kString;
+  Table t(std::move(cols));
+  for (int r = 0; r < 50; ++r) t.AddRow({S("unique-" + std::to_string(r))});
+  Result<Table> back = Table::DeserializeColumns(t.SerializeColumns());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ToString(60), t.ToString(60));
+}
+
+TEST_F(TableSerdeTest, DictCorruptionRejectedNotCrashed) {
+  Table t = dict_test::RepetitiveStrings(64);
+  std::string wire = t.SerializeColumns();
+  ASSERT_TRUE(Table::DeserializeColumns(wire).ok());
+
+  // The row codes are the last 4·rows bytes of the single-column frame;
+  // smash the final code to an out-of-range value.
+  std::string bad = wire;
+  bad[bad.size() - 1] = '\xff';
+  bad[bad.size() - 2] = '\xff';
+  Result<Table> r = Table::DeserializeColumns(bad);
+  EXPECT_FALSE(r.ok());
+
+  // Truncations through the dictionary region must fail cleanly too.
+  for (size_t cut : {wire.size() - 3, wire.size() / 2, wire.size() / 4}) {
+    EXPECT_FALSE(Table::DeserializeColumns(wire.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
 }  // namespace
 }  // namespace mpq

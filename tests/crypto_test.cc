@@ -344,5 +344,103 @@ TEST(CryptoKat, BatchEqualsSingleCellOnContiguousColumns) {
   }
 }
 
+// The per-key precompute (CRT + Montgomery + fixed-exponent window
+// schedules) and the public Montgomery add-context are pure accelerations:
+// every output must equal the schoolbook PowMod/MulMod path bit-for-bit.
+
+/// Independent schoolbook modular exponentiation (double-and-add MulMod),
+/// the reference the precompute paths are checked against.
+uint128 MulModRef(uint128 a, uint128 b, uint128 m) {
+  a %= m;
+  uint128 result = 0;
+  while (b > 0) {
+    if (b & 1) {
+      result += a;
+      if (result >= m) result -= m;
+    }
+    a <<= 1;
+    if (a >= m) a -= m;
+    b >>= 1;
+  }
+  return result;
+}
+
+uint128 PowModRef(uint128 base, uint128 exp, uint128 m) {
+  uint128 result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulModRef(result, base, m);
+    base = MulModRef(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+TEST(PaillierPrecompTest, EncryptDecryptBitIdenticalToSchoolbook) {
+  for (uint64_t seed : {1ull, 7ull, 42ull, 20250729ull}) {
+    PaillierKey key = PaillierKeyGen(seed);
+    PaillierPrecomp pre(key);
+    ASSERT_TRUE(pre.valid());
+    for (uint64_t i = 0; i < 50; ++i) {
+      uint64_t m = (i * 0x9e3779b97f4a7c15ull) % key.n;
+      uint64_t rand = i * 1099511628211ull + 3;
+      uint128 slow = PaillierEncrypt(key, m, rand);
+      uint128 fast = pre.Encrypt(m, rand);
+      ASSERT_EQ(PaillierCipherToBytes(fast), PaillierCipherToBytes(slow))
+          << "seed " << seed << " i " << i;
+      Result<uint64_t> slow_m = PaillierDecrypt(key, slow);
+      Result<uint64_t> fast_m = pre.Decrypt(fast);
+      ASSERT_TRUE(slow_m.ok());
+      ASSERT_TRUE(fast_m.ok());
+      ASSERT_EQ(*fast_m, *slow_m);
+      ASSERT_EQ(*fast_m, m);
+    }
+    // The blinding exponentiation itself, over edge bases.
+    for (uint64_t base :
+         {uint64_t{0}, uint64_t{1}, uint64_t{2}, key.n - 1, key.n,
+          key.n + 17}) {
+      EXPECT_EQ(PaillierCipherToBytes(pre.PowN(base)),
+                PaillierCipherToBytes(PowModRef(base, key.n, key.n2())))
+          << "base " << base;
+    }
+  }
+}
+
+TEST(PaillierPrecompTest, MontgomeryAddBitIdenticalToMulModLadder) {
+  for (uint64_t seed : {2ull, 11ull, 77ull}) {
+    PaillierKey key = PaillierKeyGen(seed);
+    PaillierSumCtx ctx(key.n);
+    uint128 acc_slow = 0, acc_fast = 0;
+    bool first = true;
+    for (uint64_t i = 0; i < 64; ++i) {
+      uint128 c = PaillierEncrypt(key, i * 31 % key.n, i + 1);
+      if (first) {
+        acc_slow = acc_fast = c;
+        first = false;
+        continue;
+      }
+      acc_slow = PaillierAdd(key.n, acc_slow, c);
+      acc_fast = ctx.Add(acc_fast, c);
+      ASSERT_EQ(PaillierCipherToBytes(acc_fast),
+                PaillierCipherToBytes(acc_slow))
+          << "seed " << seed << " step " << i;
+    }
+    Result<uint64_t> sum = PaillierDecrypt(key, acc_fast);
+    ASSERT_TRUE(sum.ok());
+    uint64_t expect = 0;
+    for (uint64_t i = 0; i < 64; ++i) expect = (expect + i * 31) % key.n;
+    EXPECT_EQ(*sum, expect);
+  }
+}
+
+TEST(PaillierPrecompTest, InvalidKeyFallsBackGracefully) {
+  PaillierKey bogus;  // no factors
+  PaillierPrecomp pre(bogus);
+  EXPECT_FALSE(pre.valid());
+  // KeyMaterial always carries a valid precompute for generated keys.
+  KeyMaterial km = MakeKeyMaterial(5, 9);
+  ASSERT_NE(km.hom_precomp, nullptr);
+  EXPECT_TRUE(km.hom_precomp->valid());
+}
+
 }  // namespace
 }  // namespace mpq

@@ -651,9 +651,22 @@ TEST_F(ServiceTest, MetricsJsonExposesServingCounters) {
        {"\"queries\":2", "\"cache_hits\":1", "\"cache_misses\":1",
         "\"hit_rate\":0.5", "\"total_p50_ms\":", "\"miss_p50_ms\":",
         "\"transfer_bytes\":", "\"failovers\":0",
-        "\"failover_retransfer_bytes\":0", "\"failover_p50_ms\":"}) {
+        "\"failover_retransfer_bytes\":0", "\"failover_p50_ms\":",
+        "\"ops\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+
+  // Per-operator counters: both executions ran base scans and projections
+  // through the engine, so the ops object reports them with nonzero time
+  // and row volumes.
+  ServiceMetrics m = service->Metrics();
+  const OpCounterSnapshot& base = m.ops.of(OpKind::kBase);
+  EXPECT_GT(base.calls, 0u);
+  EXPECT_GT(base.rows_out, 0u);
+  const OpCounterSnapshot& project = m.ops.of(OpKind::kProject);
+  EXPECT_GT(project.calls, 0u);
+  EXPECT_GT(project.rows_in, 0u);
+  EXPECT_NE(json.find("\"base\":{\"calls\":"), std::string::npos) << json;
 }
 
 }  // namespace
