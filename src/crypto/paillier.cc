@@ -304,6 +304,57 @@ PaillierSumCtx::PaillierSumCtx(uint64_t n) : n_(n) {
     if (x >= m_) x -= m_;
   }
   r2_ = x;
+  mont_ = true;
+}
+
+void PaillierSumCtx::Accumulate(uint128 c) {
+  if (!mont_) {  // degenerate modulus: schoolbook chain, like Add()
+    acc_ = count_ == 0 ? c : PaillierAdd(n_, acc_, c);
+    ++count_;
+    return;
+  }
+  // Each *plain* operand costs exactly one reduction: MontMul multiplies by
+  // the operand and divides by R, so after k operands the accumulator holds
+  // ∏cᵢ·R^(2-k) — Finalize repays the R-exponent deficit in O(log k).
+  // Operands need no pre-reduction: acc < m keeps every intermediate
+  // product below m·R, which is all Redc requires, and the multiplication
+  // reduces raw operands implicitly.
+  acc_ = count_ == 0 ? MontMul(c, r2_) : MontMul(acc_, c);
+  ++count_;
+}
+
+void PaillierSumCtx::AccumulateMany(const uint128* c, size_t n) {
+  if (n == 0) return;
+  if (!mont_) {
+    for (size_t i = 0; i < n; ++i) Accumulate(c[i]);
+    return;
+  }
+  size_t i = 0;
+  uint128 acc = acc_;
+  if (count_ == 0) acc = MontMul(c[i++], r2_);
+  for (; i < n; ++i) acc = MontMul(acc, c[i]);
+  acc_ = acc;
+  count_ += n;
+}
+
+uint128 PaillierSumCtx::Finalize() const {
+  if (!mont_ || count_ == 0) return acc_;
+  // After k = count_ operands the accumulator holds P·R^(2-k) mod m, where
+  // P is the canonical product: the first operand entered the Montgomery
+  // domain (exponent 1) and each of the k-1 plain multiplications divided
+  // by R. One final MontMul against R^(k-1) mod m — Montgomery-
+  // exponentiated in O(log k), with r2_ as the Montgomery form of R —
+  // yields P exactly, bit-identical to the eager Add chain.
+  if (count_ == 1) return MontMul(acc_, 1);
+  uint128 z = MontMul(r2_, 1);  // R mod m, the Montgomery form of 1
+  uint128 base = r2_;           // Montgomery form of R
+  size_t e = count_ - 2;        // z holds the Montgomery form of R^(e_done)
+  while (e > 0) {
+    if (e & 1) z = MontMul(z, base);
+    base = MontMul(base, base);
+    e >>= 1;
+  }
+  return MontMul(acc_, z);
 }
 
 uint128 PaillierSumCtx::Redc(uint64_t t[4]) const {
@@ -347,7 +398,7 @@ uint128 PaillierSumCtx::MontMul(uint128 a, uint128 b) const {
 }
 
 uint128 PaillierSumCtx::Add(uint128 c1, uint128 c2) const {
-  if ((static_cast<uint64_t>(m_) & 1) == 0 || m_ <= 2) {
+  if (!mont_) {
     return PaillierAdd(n_, c1, c2);  // degenerate modulus: schoolbook path
   }
   uint128 a = c1 % m_;

@@ -8,6 +8,7 @@
 #ifndef MPQ_CRYPTO_PAILLIER_H_
 #define MPQ_CRYPTO_PAILLIER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -136,9 +137,22 @@ class PaillierPrecomp {
 
 /// Montgomery context over the public n² for homomorphic addition — the
 /// group-by hot path adds one ciphertext per row, and this replaces each
-/// 128-step MulMod ladder with two carry-propagated Montgomery reductions.
+/// 128-step MulMod ladder with carry-propagated Montgomery reductions.
 /// Needs only the public modulus, like PaillierAdd (whose outputs it
 /// reproduces bit-for-bit).
+///
+/// Two usage shapes:
+///  - Add(): stateless pairwise addition, const and thread-safe.
+///  - The reusable accumulation lifecycle — Reset(), then Accumulate /
+///    AccumulateMany over any number of ciphertexts, then Finalize(). Every
+///    operand costs a single Montgomery reduction where an Add() chain pays
+///    two reductions plus two 128-bit divisions; the accumulated R-exponent
+///    deficit is repaid once at Finalize() in O(log k) multiplications.
+///    Finalize() returns the canonical residue ∏cᵢ mod n², bit-identical to
+///    the Add() chain over the same operands. One context serves any number
+///    of folds (Reset() clears the accumulator, never the constants), but
+///    the lifecycle is stateful: not safe for concurrent folds on one
+///    context.
 class PaillierSumCtx {
  public:
   explicit PaillierSumCtx(uint64_t n);
@@ -147,6 +161,23 @@ class PaillierSumCtx {
 
   /// Homomorphic addition: == PaillierAdd(n, c1, c2).
   uint128 Add(uint128 c1, uint128 c2) const;
+
+  /// Clears the accumulator for a new fold (precomputed constants persist).
+  void Reset() {
+    acc_ = 0;
+    count_ = 0;
+  }
+  /// Folds one ciphertext into the accumulator.
+  void Accumulate(uint128 c);
+  /// Batch multi-operand accumulation over a contiguous ciphertext span:
+  /// one Montgomery reduction per operand, no per-operand domain exits.
+  void AccumulateMany(const uint128* c, size_t n);
+  /// The canonical homomorphic sum of everything accumulated since Reset()
+  /// (0 when nothing was). Leaves the accumulator intact: more operands may
+  /// be accumulated and finalized again.
+  uint128 Finalize() const;
+  /// Operands folded since the last Reset().
+  size_t accumulated() const { return count_; }
 
  private:
   /// T·R^{-1} mod m for the 256-bit T in `t` (little-endian limbs).
@@ -157,6 +188,9 @@ class PaillierSumCtx {
   uint128 m_ = 0;         ///< n².
   uint64_t neg_inv_ = 0;  ///< -m^{-1} mod 2^64.
   uint128 r2_ = 0;        ///< R² mod m, R = 2^128.
+  bool mont_ = false;     ///< Montgomery constants usable (odd m_ > 2).
+  uint128 acc_ = 0;       ///< Fold accumulator: ∏cᵢ·R^(2-count_) mod m.
+  size_t count_ = 0;      ///< Operands since Reset().
 };
 
 }  // namespace mpq

@@ -76,6 +76,13 @@ class ColumnData {
   /// Materializes row `i` as a Cell.
   Cell GetCell(size_t i) const;
 
+  /// The ciphertext at row `i`: a direct reference for rep kEnc, the cell
+  /// variant's payload on the kCell fallback. Precondition: row `i` holds
+  /// an EncValue.
+  const EncValue& EncAt(size_t i) const {
+    return rep_ == ColumnRep::kEnc ? enc_[i] : cells_[i].enc();
+  }
+
   /// Plaintext view of row `i`; rep must not be kEnc (kCell rows must hold
   /// plain cells).
   Value GetValue(size_t i) const;

@@ -33,7 +33,7 @@ void DistributedRuntime::DistributeKeys(const PlanKeys& keys, SubjectId user,
                                         uint64_t seed) {
   for (const KeyGroup& g : keys.groups) {
     KeyMaterial km = MakeKeyMaterial(seed, g.key_id);
-    public_modulus_[g.key_id] = km.paillier.n;
+    (*public_modulus_)[g.key_id] = km.paillier.n;
     g.holders.ForEach([&](AttrId s) {
       keyrings_[static_cast<SubjectId>(s)].Add(km);
     });

@@ -141,7 +141,10 @@ class DistributedRuntime {
   std::map<RelId, const Table*> base_tables_;
   std::map<SubjectId, KeyRing> keyrings_;
   KeyRing dispatcher_keyring_;
-  std::unordered_map<uint64_t, uint64_t> public_modulus_;
+  /// Public Paillier moduli, shared into every per-node ExecContext by
+  /// pointer (the directory is append-only after DistributeKeys).
+  std::shared_ptr<HomKeyDirectory> public_modulus_ =
+      std::make_shared<HomKeyDirectory>();
   CryptoPlan crypto_;
   std::unordered_map<std::string, UdfImpl> udfs_;
   /// Seed for per-node nonce bases (each node n encrypts with nonces derived

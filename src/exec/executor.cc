@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "crypto/cipher.h"
+#include "crypto/column_codec.h"
 
 namespace mpq {
 
@@ -848,20 +849,23 @@ struct AggState {
   int64_t count = 0;
   size_t best_row = 0;  // current min/max row in the operand table
   bool has_min_max = false;
-  // Homomorphic accumulator.
+  // Homomorphic accumulator. On the lazy path (contiguous-ciphertext
+  // columns) `hom_cipher` stays zero through phases 1 and 2 — row indices
+  // are staged per group instead — and is written exactly once at finalize;
+  // the eager kCell fallback folds into it per row as before.
   bool hom = false;
   uint128 hom_cipher = 0;
-  /// Montgomery context of the ciphertexts' public modulus (owned by the
-  /// operator frame; set with `hom`).
-  const PaillierSumCtx* hom_ctx = nullptr;
+  /// Fold codec of the ciphertexts' public modulus (owned by the operator
+  /// frame; set with `hom`).
+  const ColumnCodec* hom_codec = nullptr;
   int64_t hom_count = 0;
   size_t hom_template_row = 0;
 };
 
-/// Montgomery add-contexts per key id, built once per group-by operator
-/// from the public moduli so the per-row homomorphic fold never re-derives
-/// reduction constants.
-using SumCtxMap = std::unordered_map<uint64_t, PaillierSumCtx>;
+/// Fold-only codecs per key id, built once per group-by operator from the
+/// public moduli so neither the per-row eager fold nor the per-group lazy
+/// fold ever re-derives Montgomery reduction constants.
+using HomCodecMap = std::unordered_map<uint64_t, ColumnCodec>;
 
 /// Three-way min/max comparison of operand rows `i` vs `j` of `col`,
 /// matching CompareCells semantics (strictly-better keeps first occurrence).
@@ -878,7 +882,7 @@ Result<bool> RowBetter(const ColumnData& col, CmpOp op, size_t i, size_t j) {
 /// Folds operand row `r` of `col` into `s` for `agg`, column-at-a-time.
 Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
                      const ColumnData& col, size_t r,
-                     const SumCtxMap& sum_ctxs, AggState* s) {
+                     const HomCodecMap& hom_codecs, AggState* s) {
   switch (agg.func) {
     case AggFunc::kCountStar:
     case AggFunc::kCount:
@@ -921,16 +925,14 @@ Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
         case ColumnRep::kEnc:
           break;
       }
-      const EncValue& ev = col.rep() == ColumnRep::kEnc
-                               ? col.enc()[r]
-                               : col.cells()[r].enc();
+      const EncValue& ev = col.EncAt(r);
       if (ev.scheme != EncScheme::kPaillier) {
         return Status::Unsupported(StrFormat(
             "node %d: %s over %s ciphertext requires the HOM scheme", n->id,
             AggFuncName(agg.func), EncSchemeName(ev.scheme)));
       }
-      auto pm = sum_ctxs.find(ev.key_id);
-      if (pm == sum_ctxs.end()) {
+      auto pm = hom_codecs.find(ev.key_id);
+      if (pm == hom_codecs.end()) {
         return Status::NotFound(StrFormat(
             "node %d: no public modulus for key %llu", n->id,
             static_cast<unsigned long long>(ev.key_id)));
@@ -939,10 +941,10 @@ Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
       if (!s->hom) {
         s->hom = true;
         s->hom_cipher = c;
-        s->hom_ctx = &pm->second;
+        s->hom_codec = &pm->second;
         s->hom_template_row = r;
       } else {
-        s->hom_cipher = s->hom_ctx->Add(s->hom_cipher, c);
+        s->hom_cipher = s->hom_codec->HomAdd(s->hom_cipher, c);
       }
       s->hom_count += ev.aux;
       return Status::OK();
@@ -970,7 +972,7 @@ Status AccumulateRow(const PlanNode* n, const Aggregate& agg,
 /// first-occurrence semantics (hom template, min/max tie-breaks) identical to
 /// a sequential row scan over the same batch partition.
 Status MergeAggState(const Aggregate& agg, const ColumnData* col,
-                     const AggState& src, AggState* dst) {
+                     bool lazy_hom, const AggState& src, AggState* dst) {
   switch (agg.func) {
     case AggFunc::kCountStar:
     case AggFunc::kCount:
@@ -985,10 +987,13 @@ Status MergeAggState(const Aggregate& agg, const ColumnData* col,
         if (!dst->hom) {
           dst->hom = true;
           dst->hom_cipher = src.hom_cipher;
-          dst->hom_ctx = src.hom_ctx;
+          dst->hom_codec = src.hom_codec;
           dst->hom_template_row = src.hom_template_row;
-        } else {
-          dst->hom_cipher = dst->hom_ctx->Add(dst->hom_cipher, src.hom_cipher);
+        } else if (!lazy_hom) {
+          // Lazy aggregates carry no per-batch partial cipher to combine:
+          // their rows are staged and folded once at finalize.
+          dst->hom_cipher =
+              dst->hom_codec->HomAdd(dst->hom_cipher, src.hom_cipher);
         }
         dst->hom_count += src.hom_count;
       }
@@ -1023,6 +1028,11 @@ struct BatchGroups {
   std::vector<size_t> first_row;
   std::vector<uint64_t> key_words;  ///< typed path: width words per group
   std::vector<AggState> states;
+  /// Lazy homomorphic staging, one slot per lazy (kEnc-summed) aggregate:
+  /// the batch's ciphertext row indices and their batch-local group ids,
+  /// appended in row order. Nothing is folded until finalize.
+  std::vector<std::vector<uint32_t>> hom_rows;
+  std::vector<std::vector<uint32_t>> hom_gids;
 };
 
 Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
@@ -1072,22 +1082,30 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
     out_cols.push_back(col);
   }
 
-  // Montgomery add-contexts for homomorphic sums, one per public modulus;
-  // built up front so the parallel fold only reads them — but only when a
-  // summed column can actually hold ciphertexts (rep kEnc, or the kCell
-  // fallback), so plaintext group-bys never pay the setup.
+  // Fold codecs for homomorphic sums, one per public modulus; resolved up
+  // front so neither the parallel phase nor finalize re-derives Montgomery
+  // constants — but only when a summed column can actually hold ciphertexts
+  // (rep kEnc, or the kCell fallback), so plaintext group-bys never pay the
+  // setup. Contiguous-ciphertext (kEnc) aggregates fold *lazily*: phase 1
+  // only stages row indices per group, and finalize multiplies each group's
+  // ciphertexts in one batch accumulation, touching every ciphertext
+  // exactly once. The kCell fallback keeps the eager per-row fold.
   size_t num_aggs = n->aggregates.size();
-  SumCtxMap sum_ctxs;
+  HomCodecMap hom_codecs;
+  std::vector<int> lazy_slot(num_aggs, -1);
+  size_t num_lazy = 0;
   for (size_t ai = 0; ai < num_aggs; ++ai) {
     const Aggregate& agg = n->aggregates[ai];
     if (agg.func != AggFunc::kSum && agg.func != AggFunc::kAvg) continue;
     if (agg_cols[ai] < 0) continue;
     ColumnRep rep = in.col(static_cast<size_t>(agg_cols[ai])).rep();
     if (rep != ColumnRep::kEnc && rep != ColumnRep::kCell) continue;
-    for (const auto& [key_id, modulus] : ctx->public_modulus) {
-      sum_ctxs.emplace(key_id, PaillierSumCtx(modulus));
+    if (hom_codecs.empty() && ctx->public_modulus != nullptr) {
+      for (const auto& [key_id, modulus] : *ctx->public_modulus) {
+        hom_codecs.emplace(key_id, ColumnCodec(key_id, modulus));
+      }
     }
-    break;
+    if (rep == ColumnRep::kEnc) lazy_slot[ai] = static_cast<int>(num_lazy++);
   }
 
   // Typed vs byte keys is a whole-operator decision (a single table, so
@@ -1113,6 +1131,8 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
       ctx->pool, in.num_rows(), Grain(ctx),
       [&](size_t begin, size_t end) -> Status {
         BatchGroups& bg = batches[begin / Grain(ctx)];
+        bg.hom_rows.resize(num_lazy);
+        bg.hom_gids.resize(num_lazy);
         std::vector<uint32_t> gid(end - begin);
         // Sized for the all-distinct worst case up front: a high-cardinality
         // batch never pays a mid-stream rehash.
@@ -1180,6 +1200,47 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
           // bit-identical to the generic path.
           bool sumlike =
               agg.func == AggFunc::kSum || agg.func == AggFunc::kAvg;
+          // Lazy homomorphic fold: stage (row, group) pairs; the Montgomery
+          // work happens once per group at finalize. Scheme and key checks
+          // stay per row so error surfacing matches the eager path, with an
+          // inline last-key cache replacing the per-row hash lookup.
+          if (sumlike && lazy_slot[ai] >= 0) {
+            const std::vector<EncValue>& encs = col.enc();
+            auto slot = static_cast<size_t>(lazy_slot[ai]);
+            std::vector<uint32_t>& hrows = bg.hom_rows[slot];
+            std::vector<uint32_t>& hgids = bg.hom_gids[slot];
+            const ColumnCodec* codec = nullptr;
+            uint64_t codec_key = 0;
+            for (size_t r = begin; r < end; ++r) {
+              if (col.IsNull(r)) continue;
+              const EncValue& ev = encs[r];
+              if (ev.scheme != EncScheme::kPaillier) {
+                return Status::Unsupported(StrFormat(
+                    "node %d: %s over %s ciphertext requires the HOM scheme",
+                    n->id, AggFuncName(agg.func), EncSchemeName(ev.scheme)));
+              }
+              if (codec == nullptr || ev.key_id != codec_key) {
+                auto pm = hom_codecs.find(ev.key_id);
+                if (pm == hom_codecs.end()) {
+                  return Status::NotFound(StrFormat(
+                      "node %d: no public modulus for key %llu", n->id,
+                      static_cast<unsigned long long>(ev.key_id)));
+                }
+                codec = &pm->second;
+                codec_key = ev.key_id;
+              }
+              AggState& s = st[gid[r - begin] * num_aggs + ai];
+              if (!s.hom) {
+                s.hom = true;
+                s.hom_codec = codec;
+                s.hom_template_row = r;
+              }
+              s.hom_count += ev.aux;
+              hrows.push_back(static_cast<uint32_t>(r));
+              hgids.push_back(gid[r - begin]);
+            }
+            continue;
+          }
           if (sumlike && col.rep() == ColumnRep::kInt64 &&
               !col.has_nulls()) {
             const int64_t* v = col.i64().data();
@@ -1235,7 +1296,7 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
           }
           for (size_t r = begin; r < end; ++r) {
             MPQ_RETURN_NOT_OK(
-                AccumulateRow(n, agg, col, r, sum_ctxs,
+                AccumulateRow(n, agg, col, r, hom_codecs,
                               &st[gid[r - begin] * num_aggs + ai]));
           }
         }
@@ -1257,9 +1318,17 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
   std::vector<AggState> states;
   bool words_merge = typed && !dict_keys;
   size_t kw = group_cols.size() + (null_word ? 1 : 0);
+  // Global lazy staging, one slot per lazy aggregate: batch stages are
+  // concatenated in batch order with group ids remapped to global ids, so
+  // each group's row list is in ascending row order — identical at any
+  // thread count.
+  std::vector<std::vector<uint32_t>> hom_rows(num_lazy);
+  std::vector<std::vector<uint32_t>> hom_gids(num_lazy);
   {
     std::string key;
+    std::vector<uint32_t> remap;
     for (BatchGroups& bg : batches) {
+      remap.resize(bg.first_row.size());
       for (size_t g = 0; g < bg.first_row.size(); ++g) {
         uint64_t hash;
         const uint64_t* row = nullptr;
@@ -1296,6 +1365,7 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
               inserted = true;
               return id;
             });
+        remap[g] = idx;
         if (inserted) continue;
         for (size_t ai = 0; ai < num_aggs; ++ai) {
           const ColumnData* col = nullptr;
@@ -1303,10 +1373,57 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
             col = &in.col(static_cast<size_t>(agg_cols[ai]));
           }
           MPQ_RETURN_NOT_OK(MergeAggState(n->aggregates[ai], col,
+                                          lazy_slot[ai] >= 0,
                                           bg.states[g * num_aggs + ai],
                                           &states[idx * num_aggs + ai]));
         }
       }
+      for (size_t h = 0; h < num_lazy; ++h) {
+        hom_rows[h].insert(hom_rows[h].end(), bg.hom_rows[h].begin(),
+                           bg.hom_rows[h].end());
+        hom_gids[h].reserve(hom_gids[h].size() + bg.hom_gids[h].size());
+        for (uint32_t bgid : bg.hom_gids[h]) {
+          hom_gids[h].push_back(remap[bgid]);
+        }
+      }
+    }
+  }
+
+  // Finalize lazy homomorphic sums: order each aggregate's staged rows by
+  // group (counting sort — batch-ordered stages in, per-group ascending row
+  // runs out), then fold every group's ciphertexts in one pass. One
+  // reusable accumulation context per key serves all groups; each
+  // ciphertext is parsed and reduced exactly once.
+  size_t num_groups = group_first_row.size();
+  for (size_t ai = 0; ai < num_aggs; ++ai) {
+    if (lazy_slot[ai] < 0) continue;
+    auto h = static_cast<size_t>(lazy_slot[ai]);
+    const std::vector<uint32_t>& rows = hom_rows[h];
+    const std::vector<uint32_t>& gids = hom_gids[h];
+    const ColumnData& col = in.col(static_cast<size_t>(agg_cols[ai]));
+    std::vector<uint32_t> offs(num_groups + 1, 0);
+    for (uint32_t g : gids) offs[g + 1]++;
+    for (size_t g = 0; g < num_groups; ++g) offs[g + 1] += offs[g];
+    std::vector<uint32_t> ordered(rows.size());
+    std::vector<uint32_t> cur(offs.begin(), offs.end() - 1);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ordered[cur[gids[i]]++] = rows[i];
+    }
+    ColumnCodec* codec = nullptr;
+    uint64_t codec_key = 0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      size_t b = offs[g], e = offs[g + 1];
+      if (b == e) continue;  // no ciphertext rows: plaintext/NULL-only group
+      // Fold under the group's first ciphertext key — the same binding the
+      // eager path uses; phase 1 already validated every key id.
+      uint64_t kid = col.enc()[ordered[b]].key_id;
+      if (codec == nullptr || kid != codec_key) {
+        codec = &hom_codecs.find(kid)->second;
+        codec_key = kid;
+      }
+      AggState& s = states[g * num_aggs + ai];
+      MPQ_ASSIGN_OR_RETURN(
+          s.hom_cipher, codec->FoldRows(col, ordered.data() + b, e - b));
     }
   }
 
@@ -1314,7 +1431,6 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
   // (matching our engine's semantics; SQL would emit one NULL row). The
   // output is built column-at-a-time: group keys gather from the operand,
   // aggregates materialize from their states.
-  size_t num_groups = group_first_row.size();
   std::vector<ColumnData> out_data;
   out_data.reserve(out_cols.size());
   for (size_t gc = 0; gc < group_cols.size(); ++gc) {
@@ -1342,9 +1458,7 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
         case AggFunc::kAvg: {
           if (s.hom) {
             const ColumnData& src = in.col(static_cast<size_t>(agg_cols[ai]));
-            EncValue ev = src.rep() == ColumnRep::kEnc
-                              ? src.enc()[s.hom_template_row]
-                              : src.cells()[s.hom_template_row].enc();
+            EncValue ev = src.EncAt(s.hom_template_row);
             ev.blob = PaillierCipherToBytes(s.hom_cipher);
             ev.aux = s.hom_count;
             cells.push_back(Cell(std::move(ev)));
@@ -1456,32 +1570,26 @@ Result<Table> ExecEncrypt(const PlanNode* n, Table in, ExecContext* ctx) {
     EncScheme scheme = ctx->crypto != nullptr ? ctx->crypto->SchemeOf(a)
                                               : EncScheme::kDeterministic;
     uint64_t key_id = ctx->crypto != nullptr ? ctx->crypto->KeyOf(a) : 0;
-    MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(key_id));
+    const KeyMaterial* km = ctx->keyring->Find(key_id);
+    if (km == nullptr) {
+      return Status::NotFound(
+          StrFormat("key %llu was not distributed to this subject",
+                    static_cast<unsigned long long>(key_id)));
+    }
+    ColumnCodec codec(*km);
     // One PRF-derived nonce range per (node, column): row r uses
     // nonce_base + r, so ciphertexts do not depend on batch scheduling,
     // thread count, or sibling-subtree execution order. The whole column is
     // encrypted with one key lookup, batch-parallel over its contiguous
-    // plaintext vector.
+    // plaintext vector (EncryptSpan is const and thread-safe).
     uint64_t nonce_base = ctx->ColumnNonceBase(n->id, a);
     const ColumnData& src = in.col(static_cast<size_t>(idx));
     std::vector<EncValue> encs(in.num_rows());
     MPQ_RETURN_NOT_OK(ParallelFor(
         ctx->pool, in.num_rows(), Grain(ctx),
         [&](size_t begin, size_t end) -> Status {
-          // Materialize the batch's plaintext cells contiguously, encrypt
-          // them through the batch crypto path, and adopt the ciphertexts.
-          std::vector<Cell> scratch;
-          scratch.reserve(end - begin);
-          for (size_t r = begin; r < end; ++r) {
-            scratch.push_back(src.GetCell(r));
-          }
-          MPQ_RETURN_NOT_OK(EncryptCellBatch(scratch.data(), scratch.size(),
-                                             scheme, key_id, km,
-                                             nonce_base + begin));
-          for (size_t r = begin; r < end; ++r) {
-            encs[r] = std::move(scratch[r - begin].enc_mut());
-          }
-          return Status::OK();
+          return codec.EncryptSpan(src, begin, end, scheme, nonce_base,
+                                   encs.data() + begin);
         }));
     in.SetColumnData(static_cast<size_t>(idx), ColumnFromEnc(std::move(encs)));
     col.encrypted = true;
@@ -1504,29 +1612,24 @@ Result<Table> ExecDecrypt(const PlanNode* n, Table in, ExecContext* ctx) {
       return Status::InvalidArgument(StrFormat(
           "node %d: attribute %s is not encrypted", n->id, col.name.c_str()));
     }
-    MPQ_ASSIGN_OR_RETURN(KeyMaterial km, ctx->keyring->Get(col.key_id));
+    const KeyMaterial* km = ctx->keyring->Find(col.key_id);
+    if (km == nullptr) {
+      return Status::NotFound(
+          StrFormat("key %llu was not distributed to this subject",
+                    static_cast<unsigned long long>(col.key_id)));
+    }
+    ColumnCodec codec(*km);
     bool avg = col.hom_avg;
     const ColumnData& src = in.col(static_cast<size_t>(idx));
     std::vector<Cell> cells(in.num_rows());
+    // DecryptSpan handles the whole span: ciphertexts decrypt (including the
+    // homomorphic-average division), plain NULLs and stray plaintext cells
+    // inside a ciphertext column pass through untouched.
     MPQ_RETURN_NOT_OK(ParallelFor(
         ctx->pool, in.num_rows(), Grain(ctx),
         [&](size_t begin, size_t end) -> Status {
-          // The batch crypto path decrypts the contiguous ciphertext run in
-          // place (including the homomorphic-average division); a plain
-          // NULL inside a ciphertext column passes through untouched.
-          for (size_t r = begin; r < end; ++r) {
-            cells[r] = src.IsNull(r) ? Cell(Value::Null()) : src.GetCell(r);
-          }
-          size_t run = begin;
-          for (size_t r = begin; r <= end; ++r) {
-            if (r < end && cells[r].is_encrypted()) continue;
-            if (r > run) {
-              MPQ_RETURN_NOT_OK(DecryptCellBatch(cells.data() + run, r - run,
-                                                 km, col.type, avg));
-            }
-            run = r + 1;
-          }
-          return Status::OK();
+          return codec.DecryptSpan(src, begin, end, col.type, avg,
+                                   cells.data() + begin);
         }));
     in.SetColumnData(static_cast<size_t>(idx),
                      ColumnFromCells(std::move(cells)));

@@ -46,6 +46,12 @@ struct CryptoPlan {
 /// attribute-id order) to one output cell.
 using UdfImpl = std::function<Result<Cell>(const std::vector<Cell>&)>;
 
+/// Public Paillier moduli per key id — the public knowledge a provider
+/// needs to aggregate ciphertexts homomorphically without holding any
+/// private key. Group-by operators resolve this into fold-only ColumnCodec
+/// instances once per operator.
+using HomKeyDirectory = std::unordered_map<uint64_t, uint64_t>;
+
 /// Execution environment. `keyring` holds the keys available to the engine
 /// performing encryption/decryption operators — an engine without a key fails
 /// with kNotFound, which is exactly the enforcement property key distribution
@@ -59,8 +65,10 @@ struct ExecContext {
   const KeyRing* keyring = nullptr;
   const KeyRing* dispatcher_keyring = nullptr;
   /// Public Paillier moduli per key id (public knowledge; homomorphic
-  /// addition needs no private key).
-  std::unordered_map<uint64_t, uint64_t> public_modulus;
+  /// addition needs no private key). Shared by pointer: a runtime building
+  /// one context per plan node resolves the directory once instead of
+  /// copying the map into every context. Null means no moduli are known.
+  std::shared_ptr<const HomKeyDirectory> public_modulus;
   const CryptoPlan* crypto = nullptr;
   /// Nonce counter for predicate-constant encryption. Atomic so concurrent
   /// subtrees sharing one context can draw from it safely.

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include "crypto/cipher.h"
+#include "crypto/column_codec.h"
 #include "crypto/enc_value.h"
 #include "crypto/keyring.h"
 #include "crypto/ope.h"
 #include "crypto/paillier.h"
+#include "exec/column.h"
 
 namespace mpq {
 namespace {
@@ -295,6 +297,14 @@ TEST(CryptoKat, PaillierAdditiveHomomorphismFixedVectors) {
   EXPECT_EQ(Hex(PaillierCipherToBytes(sum)),
             "98106646b7a1cb817f0c6b2dbe2a2e00");
   EXPECT_EQ(PaillierDecodeSigned(key, *PaillierDecrypt(key, sum)), 78);
+  // The accumulation lifecycle lands on the same frozen ciphertext bytes.
+  PaillierSumCtx ctx(key.n);
+  ctx.Reset();
+  ctx.Accumulate(c1);
+  ctx.Accumulate(c2);
+  EXPECT_EQ(ctx.accumulated(), 2u);
+  EXPECT_EQ(Hex(PaillierCipherToBytes(ctx.Finalize())),
+            "98106646b7a1cb817f0c6b2dbe2a2e00");
 }
 
 TEST(CryptoKat, DeterministicAndOpeCellFixedVectors) {
@@ -307,38 +317,40 @@ TEST(CryptoKat, DeterministicAndOpeCellFixedVectors) {
   EXPECT_EQ(Hex(ope.blob), "000000000000800000000000004dde6b");
 }
 
-TEST(CryptoKat, BatchEqualsSingleCellOnContiguousColumns) {
-  // EncryptCellBatch over a contiguous cell array must produce exactly the
-  // ciphertexts of per-cell EncryptValue drawing nonce_base + i — the
+TEST(CryptoKat, CodecSpansEqualSingleCellOnContiguousColumns) {
+  // ColumnCodec::EncryptSpan over a contiguous column must produce exactly
+  // the ciphertexts of per-cell EncryptValue drawing nonce_base + i — the
   // guarantee that lets the engine encrypt whole columns batch-parallel
   // without changing a single output bit.
   KeyMaterial km = MakeKeyMaterial(99, 3);
+  ColumnCodec codec(km);
   const uint64_t nonce_base = 0x1000;
+  const std::vector<int64_t> values = {5, -2, 0, 999, 5};
   for (EncScheme s : {EncScheme::kRandom, EncScheme::kDeterministic,
                       EncScheme::kOpe, EncScheme::kPaillier}) {
-    std::vector<Cell> column;
-    column.reserve(5);
-    for (int64_t v : {5, -2, 0, 999, 5}) column.emplace_back(Value(v));
-    std::vector<Cell> expected = column;
-    ASSERT_TRUE(EncryptCellBatch(column.data(), column.size(), s, 3, km,
-                                 nonce_base)
+    std::vector<Cell> cells;
+    cells.reserve(values.size());
+    for (int64_t v : values) cells.emplace_back(Value(v));
+    ColumnData column = ColumnFromCells(std::move(cells));
+    std::vector<EncValue> encs(column.size());
+    ASSERT_TRUE(codec.EncryptSpan(column, 0, column.size(), s, nonce_base,
+                                  encs.data())
                     .ok())
         << EncSchemeName(s);
-    for (size_t i = 0; i < expected.size(); ++i) {
-      Result<EncValue> single = EncryptValue(expected[i].plain(), s, 3, km,
-                                             nonce_base + i);
+    for (size_t i = 0; i < values.size(); ++i) {
+      Result<EncValue> single =
+          EncryptValue(Value(values[i]), s, 3, km, nonce_base + i);
       ASSERT_TRUE(single.ok());
-      ASSERT_TRUE(column[i].is_encrypted());
-      EXPECT_EQ(column[i].enc(), *single)
-          << EncSchemeName(s) << " cell " << i;
+      EXPECT_EQ(encs[i], *single) << EncSchemeName(s) << " cell " << i;
     }
-    // And DecryptCellBatch inverts the whole contiguous column.
-    std::vector<Cell> roundtrip = column;
-    ASSERT_TRUE(DecryptCellBatch(roundtrip.data(), roundtrip.size(), km,
-                                 DataType::kInt64, false)
+    // And DecryptSpan inverts the whole contiguous ciphertext column.
+    ColumnData enc_column = ColumnFromEnc(std::move(encs));
+    std::vector<Cell> roundtrip(enc_column.size());
+    ASSERT_TRUE(codec.DecryptSpan(enc_column, 0, enc_column.size(),
+                                  DataType::kInt64, false, roundtrip.data())
                     .ok());
-    for (size_t i = 0; i < expected.size(); ++i) {
-      EXPECT_EQ(roundtrip[i].plain(), expected[i].plain())
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(roundtrip[i].plain(), Value(values[i]))
           << EncSchemeName(s) << " cell " << i;
     }
   }
@@ -430,6 +442,57 @@ TEST(PaillierPrecompTest, MontgomeryAddBitIdenticalToMulModLadder) {
     for (uint64_t i = 0; i < 64; ++i) expect = (expect + i * 31) % key.n;
     EXPECT_EQ(*sum, expect);
   }
+}
+
+TEST(PaillierPrecompTest, AccumulationLifecycleBitIdenticalToAddChain) {
+  // Every prefix length of the reusable lifecycle — the lazy group-by fold —
+  // must land on exactly the ciphertext of the eager Add() chain, and the
+  // batched entry point must match the streaming one, across Reset() reuse.
+  for (uint64_t seed : {2ull, 11ull, 77ull}) {
+    PaillierKey key = PaillierKeyGen(seed);
+    PaillierSumCtx ctx(key.n);
+    std::vector<uint128> cs;
+    for (uint64_t i = 0; i < 64; ++i) {
+      cs.push_back(PaillierEncrypt(key, i * 31 % key.n, i + 1));
+    }
+    uint128 chain = 0;
+    ctx.Reset();
+    for (size_t k = 0; k < cs.size(); ++k) {
+      chain = k == 0 ? cs[k] : ctx.Add(chain, cs[k]);
+      ctx.Accumulate(cs[k]);
+      ASSERT_EQ(ctx.accumulated(), k + 1);
+      ASSERT_EQ(PaillierCipherToBytes(ctx.Finalize()),
+                PaillierCipherToBytes(chain))
+          << "seed " << seed << " prefix " << k + 1;
+    }
+    // AccumulateMany in one shot, and split at an uneven boundary, on the
+    // same context after Reset().
+    ctx.Reset();
+    ctx.AccumulateMany(cs.data(), cs.size());
+    EXPECT_EQ(PaillierCipherToBytes(ctx.Finalize()),
+              PaillierCipherToBytes(chain));
+    ctx.Reset();
+    ctx.AccumulateMany(cs.data(), 7);
+    ctx.AccumulateMany(cs.data() + 7, cs.size() - 7);
+    EXPECT_EQ(ctx.accumulated(), cs.size());
+    EXPECT_EQ(PaillierCipherToBytes(ctx.Finalize()),
+              PaillierCipherToBytes(chain));
+    // Empty fold: Finalize is the additive identity placeholder (0).
+    ctx.Reset();
+    EXPECT_EQ(ctx.accumulated(), 0u);
+    EXPECT_EQ(ctx.Finalize(), uint128{0});
+  }
+  // Degenerate (even) modulus: the lifecycle falls back to the schoolbook
+  // chain, exactly like Add().
+  PaillierSumCtx degenerate(/*n=*/6);
+  uint128 a = 5, b = 11, c = 23;
+  uint128 chain = PaillierAdd(6, PaillierAdd(6, a, b), c);
+  degenerate.Reset();
+  degenerate.Accumulate(a);
+  degenerate.Accumulate(b);
+  degenerate.Accumulate(c);
+  EXPECT_EQ(degenerate.Finalize(), chain);
+  EXPECT_EQ(degenerate.Add(degenerate.Add(a, b), c), chain);
 }
 
 TEST(PaillierPrecompTest, InvalidKeyFallsBackGracefully) {

@@ -26,7 +26,8 @@ class ExecutorTest : public ::testing::Test {
     ctx_.dispatcher_keyring = &keyring_;
     ctx_.crypto = &crypto_;
     KeyMaterial km = *keyring_.Get(0);
-    ctx_.public_modulus[0] = km.paillier.n;
+    ctx_.public_modulus = std::make_shared<HomKeyDirectory>(
+        HomKeyDirectory{{0, km.paillier.n}});
   }
 
   PlanPtr Finish(PlanPtr p) {
@@ -232,6 +233,51 @@ TEST_F(ExecutorTest, HomomorphicSumGroupedMatchesPlaintext) {
   Result<Table> t = ExecutePlan(p.get(), &ctx_);
   ASSERT_TRUE(t.ok()) << t.status().ToString();
   EXPECT_EQ(t->num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, LazyHomFoldBitIdenticalToEagerCellPathAcrossThreads) {
+  PlanBuilder b = ex_->builder();
+  crypto_.scheme_of[b.A("P")] = EncScheme::kPaillier;
+  // Encrypt P once, then aggregate the same ciphertexts through both fold
+  // paths: the contiguous kEnc representation (lazy staged fold) and the
+  // kCell fallback (eager per-row fold). Every variant, at every thread
+  // count, must serialize to exactly the same bytes.
+  PlanPtr enc = Finish(Encrypt(b.Rel("Ins"), b.Set("P")));
+  Result<Table> enc_t = ExecutePlan(enc.get(), &ctx_);
+  ASSERT_TRUE(enc_t.ok()) << enc_t.status().ToString();
+  Table lazy_t = *enc_t;
+  int idx = lazy_t.ColIndex(b.A("P"));
+  ASSERT_GE(idx, 0);
+  ASSERT_EQ(lazy_t.col(static_cast<size_t>(idx)).rep(), ColumnRep::kEnc);
+  Table eager_t = *enc_t;
+  {
+    ColumnData cells(ColumnRep::kCell);
+    const ColumnData& src = eager_t.col(static_cast<size_t>(idx));
+    cells.Reserve(src.size());
+    for (size_t r = 0; r < src.size(); ++r) cells.Append(src.GetCell(r));
+    ASSERT_EQ(cells.rep(), ColumnRep::kCell);
+    eager_t.SetColumnData(static_cast<size_t>(idx), std::move(cells));
+  }
+  PlanPtr gb = Finish(GroupBy(b.Rel("Ins"), b.Set("C"),
+                              {Aggregate::Make(AggFunc::kSum, b.A("P")),
+                               Aggregate::Make(AggFunc::kAvg, b.A("P"))}));
+  ctx_.batch_size = 2;  // several batches even over the 4-row table
+  ThreadPool pool2(2), pool8(8);
+  std::vector<std::string> wires;
+  for (const Table* base : {&lazy_t, &eager_t}) {
+    for (ThreadPool* pool :
+         {static_cast<ThreadPool*>(nullptr), &pool2, &pool8}) {
+      ctx_.base_tables[ex_->ins] = base;
+      ctx_.pool = pool;
+      Result<Table> t = ExecutePlan(gb.get(), &ctx_);
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      ASSERT_EQ(t->num_rows(), 4u);
+      wires.push_back(t->SerializeColumns());
+    }
+  }
+  for (size_t i = 1; i < wires.size(); ++i) {
+    EXPECT_EQ(wires[i], wires[0]) << "variant " << i;
+  }
 }
 
 TEST_F(ExecutorTest, MinMaxOverOpe) {
