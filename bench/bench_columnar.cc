@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   w.Key("bench").String("columnar");
   w.Key("data_sf").Double(data_sf);
   w.Key("lineitem_rows").UInt(db.at(env.lineitem).num_rows());
+  bench::WriteRunMeta(&w);
   w.Key("workloads").BeginArray();
 
   std::printf("%-12s %10s %10s %8s %10s %8s   %s\n", "workload", "row(ms)",

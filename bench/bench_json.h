@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json_util.h"
@@ -38,6 +39,31 @@ inline std::string ParseJsonFlag(int* argc, char** argv,
   }
   *argc = out;
   return path;
+}
+
+/// Stamps the open JSON object in `w` with run metadata — hardware
+/// concurrency, build type, and the git sha baked in at configure time — so
+/// every BENCH_*.json records what machine and build produced it.
+inline void WriteRunMeta(JsonWriter* w) {
+#ifdef MPQ_GIT_SHA
+  const char* sha = MPQ_GIT_SHA;
+#else
+  const char* sha = "unknown";
+#endif
+#ifdef NDEBUG
+  const char* build = "release";
+#else
+  const char* build = "debug";
+#endif
+  w->Key("run_meta")
+      .BeginObject()
+      .Key("hardware_concurrency")
+      .UInt(std::thread::hardware_concurrency())
+      .Key("build_type")
+      .String(build)
+      .Key("git_sha")
+      .String(sha)
+      .EndObject();
 }
 
 /// Writes `document` to `path`; reports to stderr on failure.

@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
       .Double(data_sf)
       .Key("warm_iters")
       .Int(warm_iters);
+  mpq::bench::WriteRunMeta(&w);
   w.Key("query_mix").BeginArray();
   for (const char* q : {"Q6", "Q3", "Q10", "Q12", "Q18"}) w.String(q);
   w.EndArray();

@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
       .Double(data_sf)
       .Key("warm_iters")
       .Int(warm_iters);
+  mpq::bench::WriteRunMeta(&w);
   w.Key("runs").BeginArray();
 
   for (double drop : {0.0, 0.02, 0.1}) {

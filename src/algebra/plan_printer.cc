@@ -54,6 +54,13 @@ void PrintRec(const PlanNode* node, const Catalog& catalog,
       out->append(opts.subjects->Name(it->second));
     }
   }
+  if (opts.annotate) {
+    std::string extra = opts.annotate(node);
+    if (!extra.empty()) {
+      out->append("  ");
+      out->append(extra);
+    }
+  }
   if (opts.show_profiles) {
     out->append("   {");
     out->append(node->profile.ToString(catalog.attrs()));

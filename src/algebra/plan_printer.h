@@ -3,6 +3,7 @@
 #ifndef MPQ_ALGEBRA_PLAN_PRINTER_H_
 #define MPQ_ALGEBRA_PLAN_PRINTER_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -18,6 +19,10 @@ struct PrintOptions {
   /// Optional assignment λ to display next to each node (node id → subject).
   const std::unordered_map<int, SubjectId>* assignment = nullptr;
   const SubjectRegistry* subjects = nullptr;
+  /// Optional per-node suffix (observed rows/bytes/time, calibration…),
+  /// appended after the assignment tag. Empty results print nothing; the
+  /// EXPLAIN ANALYZE renderer (obs/explain.h) drives this hook.
+  std::function<std::string(const PlanNode*)> annotate;
 };
 
 /// One-line description of a node's operator ("σ D='stroke'", "⋈ S=C", ...).

@@ -1,7 +1,7 @@
 // Column-level crypto codec: one resolved (key material, Montgomery
 // context) bundle that encrypts, decrypts, or homomorphically folds whole
-// ColumnData spans. This replaces the ad-hoc per-cell-array entry points
-// (EncryptCellBatch/DecryptCellBatch, now deprecated) and the call-site
+// ColumnData spans. This replaced the ad-hoc per-cell-array entry points
+// (EncryptCellBatch/DecryptCellBatch, since deleted) and the call-site
 // PaillierSumCtx plumbing: key material and the per-key hom_precomp are
 // resolved once when the codec is built, and every span operation touches
 // each ciphertext exactly once, contiguously.

@@ -90,34 +90,6 @@ Result<Value> DecryptValue(const EncValue& ev, const KeyMaterial& keys,
   return Status::Internal("unreachable scheme");
 }
 
-Status EncryptCellBatch(Cell* cells, size_t n, EncScheme scheme,
-                        uint64_t key_id, const KeyMaterial& keys,
-                        uint64_t nonce_base) {
-  for (size_t i = 0; i < n; ++i) {
-    MPQ_ASSIGN_OR_RETURN(
-        EncValue ev, EncryptValue(cells[i].plain(), scheme, key_id, keys,
-                                  nonce_base + i));
-    cells[i] = Cell(std::move(ev));
-  }
-  return Status::OK();
-}
-
-Status DecryptCellBatch(Cell* cells, size_t n, const KeyMaterial& keys,
-                        DataType type, bool hom_avg) {
-  for (size_t i = 0; i < n; ++i) {
-    const EncValue& ev = cells[i].enc();
-    MPQ_ASSIGN_OR_RETURN(Value v, DecryptValue(ev, keys, type));
-    if (hom_avg) {
-      double d =
-          v.AsDouble() / static_cast<double>(std::max<int64_t>(ev.aux, 1));
-      cells[i] = Cell(Value(d));
-    } else {
-      cells[i] = Cell(std::move(v));
-    }
-  }
-  return Status::OK();
-}
-
 Result<bool> CompareCells(CmpOp op, const Cell& a, const Cell& b) {
   if (a.is_plain() && b.is_plain()) {
     return EvalCmp(op, a.plain(), b.plain());

@@ -74,23 +74,6 @@ Result<EncValue> EncryptValue(const Value& v, EncScheme scheme, uint64_t key_id,
 Result<Value> DecryptValue(const EncValue& ev, const KeyMaterial& keys,
                            DataType type);
 
-/// Deprecated legacy entry point, superseded by ColumnCodec::EncryptSpan
-/// (crypto/column_codec.h), which operates on whole ColumnData spans with
-/// key material resolved once. Behaviour is unchanged: rewrites the `n`
-/// plaintext cells `cells[0..n)` in place to ciphertexts under (`scheme`,
-/// `key_id`), cell `i` drawing nonce `nonce_base + i`.
-[[deprecated("use ColumnCodec::EncryptSpan")]] Status EncryptCellBatch(
-    Cell* cells, size_t n, EncScheme scheme, uint64_t key_id,
-    const KeyMaterial& keys, uint64_t nonce_base);
-
-/// Deprecated legacy entry point, superseded by ColumnCodec::DecryptSpan
-/// (crypto/column_codec.h). Batch decryption over a contiguous cell array;
-/// when `hom_avg` is set the cells hold Paillier sums whose `aux` counter
-/// is the divisor, and the plaintext written back is the divided double.
-[[deprecated("use ColumnCodec::DecryptSpan")]] Status DecryptCellBatch(
-    Cell* cells, size_t n, const KeyMaterial& keys, DataType type,
-    bool hom_avg);
-
 /// Evaluates `a op b` over two cells. Plaintext pairs compare as Values;
 /// DET ciphertexts support =/<>, OPE ciphertexts all comparisons (same key
 /// required). Everything else is kUnsupported.

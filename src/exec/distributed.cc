@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/str_util.h"
 #include "net/channel.h"
+#include "obs/trace.h"
 
 namespace mpq {
 
@@ -43,8 +45,18 @@ void DistributedRuntime::DistributeKeys(const PlanKeys& keys, SubjectId user,
 }
 
 Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
-                                                  SubjectId user) {
+                                                  SubjectId user,
+                                                  QueryTrace* trace,
+                                                  uint64_t trace_parent) {
   DistributedResult out;
+
+  // The umbrella span of this run's distributed phase; fragment and
+  // transfer spans nest under it.
+  Span dispatch;
+  if (trace != nullptr) {
+    dispatch = trace->StartSpan("dispatch", "exec", trace_parent);
+  }
+  const uint64_t dispatch_span = dispatch.id();
 
   // Each Run draws a fresh seed so re-running over changed data never
   // reuses a (key, nonce) pair; within one run, nonces are a deterministic
@@ -128,11 +140,23 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
     const PlanNode* n = ns.node;
     SubjectId s = ext.assignment.at(n->id);
 
+    // One span per dispatch step, on the assignee's track. Ids derive from
+    // the plan node, never from scheduling order.
+    Span frag;
+    if (trace != nullptr) {
+      frag = trace->StartSpan(StrFormat("frag:%s", OpKindName(n->kind)),
+                              "frag", dispatch_span, n->id,
+                              static_cast<int>(s));
+      frag.AnnStr("subject", subjects_->Name(s));
+    }
+
     // The assignee comes on line for this dispatch step; a scheduled crash
     // in the fault plan fires exactly here, independent of thread timing.
     if (net_ != nullptr) {
       Status up = net_->BeginStep(s, n->id);
       if (!up.ok()) {
+        frag.AnnInt("crashed", 1);
+        frag.AnnStr("error", up.ToString());
         record_error(n->id, up);
         return;
       }
@@ -175,8 +199,34 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
     ctx.batch_size = batch_size_ == 0 ? 1 : batch_size_;
     ctx.op_profile = op_profile_;
 
+    // Traced runs record into a fragment-local profile first: its snapshot
+    // annotates the span with *this* step's arena bytes and fold counts
+    // exactly, then folds into the shared profile so aggregate totals match
+    // the untraced path.
+    OpProfile local_profile;
+    if (trace != nullptr) {
+      ctx.op_profile = &local_profile;
+      ctx.trace = trace;
+      ctx.trace_parent = frag.id();
+      ctx.trace_track = static_cast<int>(s);
+    }
+
     Result<Table> result = ExecuteNodeOnInputs(n, std::move(inputs), &ctx);
+    if (trace != nullptr) {
+      OpProfileSnapshot snap = local_profile.Snapshot();
+      const OpCounterSnapshot& c = snap.of(n->kind);
+      frag.AnnInt("rows_in", static_cast<int64_t>(c.rows_in));
+      frag.AnnInt("rows_out", static_cast<int64_t>(c.rows_out));
+      if (c.arena_bytes > 0) {
+        frag.AnnInt("arena_bytes", static_cast<int64_t>(c.arena_bytes));
+      }
+      if (c.hom_folds > 0) {
+        frag.AnnInt("hom_folds", static_cast<int64_t>(c.hom_folds));
+      }
+      if (op_profile_ != nullptr) op_profile_->Merge(snap);
+    }
     if (!result.ok()) {
+      frag.AnnStr("error", result.status().ToString());
       record_error(n->id, result.status());
       return;
     }
@@ -199,6 +249,15 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
             : user;
     double delivery_virtual_s = 0;
     if (dst != s) {
+      // One span per assignee-crossing edge: the observable the cost
+      // model's byte predictions are calibrated against.
+      Span xfer;
+      if (trace != nullptr) {
+        xfer = trace->StartSpan("xfer", "net", frag.id(), n->id,
+                                static_cast<int>(s));
+        xfer.AnnStr("from", subjects_->Name(s));
+        xfer.AnnStr("to", subjects_->Name(dst));
+      }
       uint64_t bytes = t.ByteSize();
       if (net_ != nullptr) {
         // The fragment crosses the simulated wire as its column-at-a-time
@@ -212,6 +271,8 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
         Result<DeliveryReport> d =
             net_->Deliver(s, dst, bytes, n->id, net_policy_);
         if (!d.ok()) {
+          xfer.AnnInt("bytes", static_cast<int64_t>(bytes));
+          xfer.AnnStr("error", d.status().ToString());
           record_error(n->id, d.status());
           return;
         }
@@ -222,12 +283,17 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
         }
         t = std::move(*decoded);
         delivery_virtual_s = d->virtual_s;
+        xfer.AnnInt("attempts", d->attempts);
+        xfer.AnnInt("drops", d->attempts - 1);
+        xfer.AnnInt("wasted_bytes", static_cast<int64_t>(d->wasted_bytes));
+        xfer.AnnDouble("virtual_s", d->virtual_s);
         std::lock_guard<std::mutex> lock(sync->mu);
         out.net.send_attempts += static_cast<uint64_t>(d->attempts);
         out.net.drops += static_cast<uint64_t>(d->attempts - 1);
         out.net.wasted_bytes += d->wasted_bytes;
         out.net.virtual_s += d->virtual_s;
       }
+      xfer.AnnInt("bytes", static_cast<int64_t>(bytes));
       std::lock_guard<std::mutex> lock(sync->mu);
       out.stats[s].bytes_out += bytes;
       out.stats[dst].bytes_in += bytes;
@@ -278,11 +344,24 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
     std::lock_guard<std::mutex> lock(sync->mu);
     if (error_node != INT_MAX) return error;
   }
+  Span merge;
+  if (trace != nullptr) {
+    merge = trace->StartSpan("merge", "exec", dispatch_span, ext.plan->id,
+                             static_cast<int>(user));
+  }
   std::optional<Envelope> final_msg = user_inbox.TryRecv(0);
   if (!final_msg.has_value()) {
     return Status::Internal("root fragment did not deliver a result");
   }
   out.result = std::move(final_msg->payload);
+  if (trace != nullptr) {
+    merge.AnnInt("rows", static_cast<int64_t>(out.result.num_rows()));
+    merge.End();
+    dispatch.AnnInt("transfer_bytes",
+                    static_cast<int64_t>(out.total_transfer_bytes));
+    dispatch.AnnInt("messages", static_cast<int64_t>(out.num_messages));
+    dispatch.AnnDouble("net_virtual_s", out.net.virtual_s);
+  }
   return out;
 }
 

@@ -125,7 +125,17 @@ class DistributedRuntime {
   void SetOpProfile(OpProfile* profile) { op_profile_ = profile; }
 
   /// Executes the extended plan; the result is delivered to `user`.
-  Result<DistributedResult> Run(const ExtendedPlan& ext, SubjectId user);
+  ///
+  /// With a `trace` attached, the run records one "frag" span per dispatch
+  /// step (assignee, rows, arena bytes, Paillier fold counts), one "net"
+  /// span per assignee-crossing edge (bytes-on-wire, retries, drops,
+  /// virtual seconds, crash annotations) and a "merge" span for the final
+  /// delivery, all under `trace_parent`. Tracing is observation-only:
+  /// execution never reads the trace, so traced runs are bit-identical to
+  /// untraced ones at any thread count.
+  Result<DistributedResult> Run(const ExtendedPlan& ext, SubjectId user,
+                                QueryTrace* trace = nullptr,
+                                uint64_t trace_parent = 0);
 
   /// The keyring held by `subject` (for inspection in tests).
   const KeyRing& keyring(SubjectId subject) const {

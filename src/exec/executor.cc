@@ -16,6 +16,7 @@
 #include "common/str_util.h"
 #include "crypto/cipher.h"
 #include "crypto/column_codec.h"
+#include "obs/trace.h"
 
 namespace mpq {
 
@@ -1427,6 +1428,17 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
     }
   }
 
+  // Observable operator detail: bytes of the merged state/key arenas and
+  // the number of ciphertexts the lazy homomorphic folds touched. Counters
+  // only — results are unaffected.
+  if (ctx->op_profile != nullptr) {
+    uint64_t staged = 0;
+    for (const std::vector<uint32_t>& rows : hom_rows) staged += rows.size();
+    uint64_t arena = states.size() * sizeof(AggState) + gkeys.size() +
+                     gkey_words.size() * sizeof(uint64_t);
+    ctx->op_profile->RecordDetail(OpKind::kGroupBy, arena, staged);
+  }
+
   // Degenerate global aggregation over an empty input: emit no rows
   // (matching our engine's semantics; SQL would emit one NULL row). The
   // output is built column-at-a-time: group keys gather from the operand,
@@ -1734,19 +1746,36 @@ Result<Table> DispatchNode(const PlanNode* n, std::vector<Table> inputs,
 
 Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
                                   ExecContext* ctx) {
-  if (ctx->op_profile == nullptr) {
+  if (ctx->op_profile == nullptr && ctx->trace == nullptr) {
     return DispatchNode(n, std::move(inputs), ctx);
   }
   uint64_t rows_in = 0;
   for (const Table& t : inputs) rows_in += t.num_rows();
+  Span span;
+  if (ctx->trace != nullptr) {
+    span = ctx->trace->StartSpan(OpKindName(n->kind), "op", ctx->trace_parent,
+                                 n->id, ctx->trace_track);
+  }
   auto t0 = std::chrono::steady_clock::now();
   Result<Table> result = DispatchNode(n, std::move(inputs), ctx);
   auto ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
-  ctx->op_profile->Record(n->kind, ns, rows_in,
-                          result.ok() ? result->num_rows() : 0);
+  uint64_t rows_out = result.ok() ? result->num_rows() : 0;
+  if (ctx->op_profile != nullptr) {
+    ctx->op_profile->Record(n->kind, ns, rows_in, rows_out);
+  }
+  if (span) {
+    span.AnnInt("rows_in", static_cast<int64_t>(rows_in));
+    span.AnnInt("rows_out", static_cast<int64_t>(rows_out));
+    if (rows_in > 0) {
+      span.AnnDouble("selectivity", static_cast<double>(rows_out) /
+                                        static_cast<double>(rows_in));
+    }
+    span.AnnInt("wall_ns", static_cast<int64_t>(ns));
+    if (!result.ok()) span.AnnStr("error", result.status().ToString());
+  }
   return result;
 }
 

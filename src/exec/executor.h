@@ -26,6 +26,8 @@
 
 namespace mpq {
 
+class QueryTrace;
+
 /// Per-attribute encryption decisions: which scheme and key protect each
 /// attribute whenever it is encrypted in the plan.
 struct CryptoPlan {
@@ -96,6 +98,12 @@ struct ExecContext {
   /// volumes here (thread-safe; typically shared by all engines of one
   /// serving process — see profile/op_stats.h).
   OpProfile* op_profile = nullptr;
+  /// When set, every executed operator opens an "op" span under
+  /// `trace_parent` (rows in/out, selectivity, wall time). Execution never
+  /// reads the trace, so traced runs stay bit-identical to untraced ones.
+  QueryTrace* trace = nullptr;
+  uint64_t trace_parent = 0;  ///< Parent span id for operator spans.
+  int trace_track = 0;        ///< Span track (assignee id when distributed).
 
   uint64_t NextNonce() {
     return nonce.fetch_add(1, std::memory_order_relaxed) + 1;

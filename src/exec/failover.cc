@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/rng.h"
+#include "common/str_util.h"
+#include "obs/trace.h"
 
 namespace mpq {
 
@@ -17,7 +19,8 @@ double SecondsSince(Clock::time_point t0) {
 
 Result<FailoverOutcome> FailoverExecutor::Attempt(const PlanNode* plan,
                                                   SubjectId user,
-                                                  size_t attempt) {
+                                                  size_t attempt,
+                                                  uint64_t parent_span) {
   // The down set is read fresh every attempt: each failed run grows it.
   SubjectSet excluded;
   for (SubjectId s : net_->DownSubjects()) excluded.Insert(s);
@@ -51,7 +54,10 @@ Result<FailoverOutcome> FailoverExecutor::Attempt(const PlanNode* plan,
   rt.SetNetPolicy(config_.net_policy);
   rt.SetOpProfile(config_.op_profile);
 
-  MPQ_ASSIGN_OR_RETURN(out.result, rt.Run(out.assignment.extended, user));
+  MPQ_ASSIGN_OR_RETURN(
+      out.result,
+      rt.Run(out.assignment.extended, user, config_.trace,
+             parent_span != 0 ? parent_span : config_.trace_parent));
   excluded.ForEach(
       [&](AttrId s) { out.excluded.push_back(static_cast<SubjectId>(s)); });
   return out;
@@ -71,16 +77,39 @@ Result<FailoverOutcome> FailoverExecutor::Loop(const PlanNode* plan,
        ++attempt) {
     size_t down_before = net_->DownSubjects().size();
     uint64_t delivered_before = net_->GetStats().bytes_delivered;
-    Result<FailoverOutcome> r = Attempt(plan, user, attempt);
+    // Recovery attempts (attempt > 0) get their own "failover" span so the
+    // re-plan's fragments and transfers nest under the recovery — the
+    // fault-free first attempt traces directly under the caller's span.
+    Span attempt_span;
+    if (config_.trace != nullptr && attempt > 0) {
+      attempt_span = config_.trace->StartSpan(
+          StrFormat("failover:%zu", attempt), "failover", config_.trace_parent,
+          /*node_id=*/-1, /*track=*/-1, /*salt=*/attempt);
+    }
+    Result<FailoverOutcome> r =
+        Attempt(plan, user, attempt,
+                attempt_span ? attempt_span.id() : config_.trace_parent);
     if (r.ok()) {
       r->failovers = attempt;
       r->retransfer_bytes = retransfer;
       if (first_failure.has_value()) {
         r->failover_latency_s = SecondsSince(*first_failure);
       }
+      if (attempt_span) {
+        attempt_span.AnnInt("retransfer_bytes",
+                            static_cast<int64_t>(retransfer));
+        attempt_span.AnnDouble("failover_latency_s", r->failover_latency_s);
+        std::string excluded_names;
+        for (SubjectId s : r->excluded) {
+          if (!excluded_names.empty()) excluded_names += ",";
+          excluded_names += subjects_->Name(s);
+        }
+        attempt_span.AnnStr("excluded", excluded_names);
+      }
       return r;
     }
     last = r.status();
+    if (attempt_span) attempt_span.AnnStr("error", last.ToString());
     // Only an unavailability can be cured by excluding more subjects; an
     // authorization or planning error is terminal.
     if (last.code() != StatusCode::kUnavailable) return last;

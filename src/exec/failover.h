@@ -38,6 +38,11 @@ struct FailoverConfig {
   ThreadPool* pool = nullptr;    ///< Borrowed; null = sequential.
   size_t batch_size = Table::kDefaultBatchSize;
   OpProfile* op_profile = nullptr;  ///< Borrowed; null = no op counters.
+  /// Borrowed; when set, every re-plan attempt records a "failover" span
+  /// (excluded subjects, retransfer bytes, recovery latency) and the
+  /// recovery runs trace their fragments under it. Null = no tracing.
+  QueryTrace* trace = nullptr;
+  uint64_t trace_parent = 0;  ///< Parent span id for attempt spans.
 };
 
 /// Outcome of a (possibly recovered) execution.
@@ -85,9 +90,10 @@ class FailoverExecutor {
 
  private:
   /// One planning+execution attempt with the net's current down set
-  /// excluded. `attempt` salts the key seed.
+  /// excluded. `attempt` salts the key seed; `parent_span` parents the
+  /// recovery run's trace spans (0 = config trace_parent).
   Result<FailoverOutcome> Attempt(const PlanNode* plan, SubjectId user,
-                                  size_t attempt);
+                                  size_t attempt, uint64_t parent_span);
   Result<FailoverOutcome> Loop(const PlanNode* plan, SubjectId user,
                                size_t first_attempt);
 

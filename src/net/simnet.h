@@ -27,6 +27,7 @@
 #include "authz/subject.h"
 #include "common/status.h"
 #include "net/topology.h"
+#include "obs/clock.h"
 
 namespace mpq {
 
@@ -139,6 +140,14 @@ class SimNet {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
   }
+
+  /// The net's accumulated virtual time as nanoseconds (the monotone sum of
+  /// per-delivery virtual seconds). SimNetClock reads this so spans of a
+  /// simulated run are stamped in virtual — not wall — time.
+  uint64_t VirtualNowNs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint64_t>(stats_.virtual_s_total * 1e9);
+  }
   void ResetStats() {
     std::lock_guard<std::mutex> lock(mu_);
     stats_ = SimNetStats{};
@@ -163,6 +172,19 @@ class SimNet {
   std::set<SubjectId> down_;                               // guarded by mu_
   uint64_t liveness_epoch_ = 1;                            // guarded by mu_
   SimNetStats stats_;                                      // guarded by mu_
+};
+
+/// TraceClock over a SimNet's virtual time: span timestamps advance only
+/// when simulated transfers account virtual seconds, so a trace of a
+/// simulated run reads in the same time base as its deadline budgets. The
+/// net must outlive the clock.
+class SimNetClock : public TraceClock {
+ public:
+  explicit SimNetClock(const SimNet* net) : net_(net) {}
+  uint64_t NowNs() const override { return net_->VirtualNowNs(); }
+
+ private:
+  const SimNet* net_;
 };
 
 }  // namespace mpq

@@ -1,0 +1,58 @@
+// Pluggable trace clocks. Spans stamp their start/end through a TraceClock,
+// so the same tracer serves wall-clock serving processes and SimNet runs
+// whose only meaningful time is the network's accumulated *virtual* seconds
+// (net/simnet.h exposes a SimNetClock over it). Clocks are read-only from
+// the tracer's point of view and must be safe to read from many threads.
+
+#ifndef MPQ_OBS_CLOCK_H_
+#define MPQ_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mpq {
+
+/// Timestamp source for spans. Implementations return monotone(ish)
+/// nanoseconds from an arbitrary epoch; only differences are interpreted.
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  virtual uint64_t NowNs() const = 0;
+};
+
+/// Wall time (steady_clock). The default when no clock is supplied.
+class WallClock : public TraceClock {
+ public:
+  uint64_t NowNs() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// A process-wide instance (stateless, so sharing is free).
+  static const WallClock* Global() {
+    static const WallClock clock;
+    return &clock;
+  }
+};
+
+/// Manually advanced virtual time, for tests that pin span timestamps.
+class VirtualClock : public TraceClock {
+ public:
+  uint64_t NowNs() const override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void AdvanceNs(uint64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void SetNs(uint64_t ns) { now_ns_.store(ns, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_ns_{0};
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_OBS_CLOCK_H_

@@ -1,0 +1,70 @@
+// EXPLAIN ANALYZE: re-renders a plan with per-node observed execution
+// detail (rows, wall/virtual time) and, for every assignee-crossing edge,
+// the cost model's *predicted* bytes next to the *observed* bytes-on-wire —
+// calibration error is a first-class output, not something to eyeball.
+//
+// The renderer is a pure function of (extended plan, trace, estimates): it
+// reads the spans a traced run recorded (exec/distributed.cc, "op"/"net"
+// categories) and the estimates the optimizer priced the plan with, so the
+// report shows exactly what the assignment decision was based on versus
+// what the network delivered.
+
+#ifndef MPQ_OBS_EXPLAIN_H_
+#define MPQ_OBS_EXPLAIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assign/cost_model.h"
+#include "extend/extend.h"
+#include "obs/trace.h"
+
+namespace mpq {
+
+/// Predicted-vs-observed bytes of one assignee-crossing edge (the output of
+/// `node_id` shipped from its assignee to its parent's assignee — or to the
+/// user, for the root).
+struct EdgeCalibration {
+  int node_id = -1;
+  std::string from;
+  std::string to;
+  double predicted_bytes = 0;   ///< Cost model estimate priced at plan time.
+  uint64_t observed_bytes = 0;  ///< Bytes the (simulated) network moved.
+  /// |predicted - observed| / max(observed, 1).
+  double abs_rel_err = 0;
+};
+
+/// The EXPLAIN ANALYZE report of one traced execution.
+struct ExplainAnalyzeReport {
+  /// plan_printer rendering annotated with observed rows/time per node and
+  /// predicted/observed bytes per crossing edge.
+  std::string text;
+  std::vector<EdgeCalibration> edges;
+  /// Mean of edges[].abs_rel_err (0 when there are no crossing edges): the
+  /// headline cost-model calibration number.
+  double mean_abs_rel_err = 0;
+  uint64_t total_transfer_bytes = 0;
+  uint64_t num_messages = 0;
+  /// Failover detail of this query (zero on a fault-free run): re-plan
+  /// attempts, bytes the abandoned attempts moved, and seconds spent
+  /// recovering — per-query attribution, not the aggregate counters.
+  uint64_t failovers = 0;
+  uint64_t retransfer_bytes = 0;
+  double failover_latency_s = 0;
+
+  /// Machine-readable form (text excluded; edges and totals included).
+  std::string ToJson() const;
+};
+
+/// Builds the report for one traced run of `ext` delivered to `user`.
+/// `estimates` must be EstimatePlan output over the *extended* plan (keyed
+/// by node id) — the same estimates the optimizer priced transfers with.
+ExplainAnalyzeReport RenderExplainAnalyze(
+    const ExtendedPlan& ext, const Catalog& catalog,
+    const SubjectRegistry& subjects, SubjectId user, const QueryTrace& trace,
+    const std::unordered_map<int, NodeEstimate>& estimates);
+
+}  // namespace mpq
+
+#endif  // MPQ_OBS_EXPLAIN_H_

@@ -1,0 +1,175 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+constexpr double kMinLatencyS = 1e-8;  // bucket 1 lower bound
+
+std::string SeriesName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+std::string QuantileSeries(const std::string& name, const std::string& labels,
+                           const char* q) {
+  if (labels.empty()) {
+    return StrFormat("%s{quantile=\"%s\"}", name.c_str(), q);
+  }
+  return StrFormat("%s{%s,quantile=\"%s\"}", name.c_str(), labels.c_str(), q);
+}
+
+void AppendHeader(const std::string& name, const std::string& help,
+                  const char* type, std::string* out) {
+  out->append("# HELP " + name + " " + help + "\n");
+  out->append("# TYPE " + name + " ");
+  out->append(type);
+  out->append("\n");
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketOf(double seconds) {
+  if (!(seconds > kMinLatencyS)) return 0;  // underflow (also NaN)
+  double octaves = std::log2(seconds / kMinLatencyS);
+  auto idx = static_cast<size_t>(octaves * kSubBuckets);
+  if (idx >= kSubBuckets * kOctaves) return kBuckets - 1;  // overflow
+  return idx + 1;
+}
+
+double LatencyHistogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return kMinLatencyS *
+         std::exp2(static_cast<double>(bucket - 1) / kSubBuckets);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  buckets_[BucketOf(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (seconds > 0 && std::isfinite(seconds)) {
+    sum_ns_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+  }
+}
+
+double LatencyHistogram::Quantile(double p) const {
+  uint64_t total = 0;
+  std::array<uint64_t, kBuckets> snap;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the target observation (1-based, ceil).
+  auto rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (snap[i] == 0) continue;
+    if (seen + snap[i] >= rank) {
+      double lo = BucketLowerBound(i);
+      double hi = i + 1 < kBuckets ? BucketLowerBound(i + 1) : lo * 2;
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(snap[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += snap[i];
+  }
+  return BucketLowerBound(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
+                                           const std::string& help,
+                                           const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family<MetricCounter>& fam = counters_[name];
+  if (fam.help.empty()) fam.help = help;
+  auto& slot = fam.series[labels];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name,
+                                       const std::string& help,
+                                       const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family<MetricGauge>& fam = gauges_[name];
+  if (fam.help.empty()) fam.help = help;
+  auto& slot = fam.series[labels];
+  if (slot == nullptr) slot = std::make_unique<MetricGauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help,
+                                                const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family<LatencyHistogram>& fam = histos_[name];
+  if (fam.help.empty()) fam.help = help;
+  auto& slot = fam.series[labels];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::AddCollector(std::function<void(std::string*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::string out;
+  std::vector<std::function<void(std::string*)>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, fam] : counters_) {
+      AppendHeader(name, fam.help, "counter", &out);
+      for (const auto& [labels, c] : fam.series) {
+        out.append(StrFormat("%s %llu\n", SeriesName(name, labels).c_str(),
+                             static_cast<unsigned long long>(c->Value())));
+      }
+    }
+    for (const auto& [name, fam] : gauges_) {
+      AppendHeader(name, fam.help, "gauge", &out);
+      for (const auto& [labels, g] : fam.series) {
+        out.append(StrFormat("%s %.17g\n", SeriesName(name, labels).c_str(),
+                             g->Value()));
+      }
+    }
+    for (const auto& [name, fam] : histos_) {
+      AppendHeader(name, fam.help, "summary", &out);
+      for (const auto& [labels, h] : fam.series) {
+        out.append(StrFormat("%s %.9g\n",
+                             QuantileSeries(name, labels, "0.5").c_str(),
+                             h->Quantile(0.50)));
+        out.append(StrFormat("%s %.9g\n",
+                             QuantileSeries(name, labels, "0.95").c_str(),
+                             h->Quantile(0.95)));
+        out.append(StrFormat("%s %.9g\n",
+                             QuantileSeries(name, labels, "0.99").c_str(),
+                             h->Quantile(0.99)));
+        out.append(StrFormat("%s %.9g\n",
+                             SeriesName(name + "_sum", labels).c_str(),
+                             h->SumSeconds()));
+        out.append(StrFormat(
+            "%s %llu\n", SeriesName(name + "_count", labels).c_str(),
+            static_cast<unsigned long long>(h->Count())));
+      }
+    }
+    collectors = collectors_;
+  }
+  for (const auto& fn : collectors) fn(&out);
+  return out;
+}
+
+}  // namespace mpq

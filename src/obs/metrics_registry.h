@@ -1,0 +1,122 @@
+// Unified metrics registry: named counters, gauges and latency histograms
+// with a Prometheus-style text exposition. The serving layer's histograms
+// (LatencyHistogram, re-homed here from service/metrics.h) and counters all
+// surface through one TextExposition(), alongside free-form collectors for
+// subsystems that keep their own state (the plan cache, per-operator
+// profiles). Instrument handles are stable pointers — callers resolve a
+// metric once and update it with relaxed atomics, no lock on the hot path.
+
+#ifndef MPQ_OBS_METRICS_REGISTRY_H_
+#define MPQ_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpq {
+
+/// Monotone counter. Updates are relaxed atomic adds.
+class MetricCounter {
+ public:
+  void Inc(uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins gauge.
+class MetricGauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-bucket latency histogram over [10 ns, ~86 s), eight log-spaced
+/// sub-buckets per octave (≤ ~9% relative quantile error). The range starts
+/// far below a microsecond so sub-millisecond warm-cache hits land in real
+/// buckets instead of the underflow bucket — tests/service_test.cc pins
+/// this resolution. Record is a pair of relaxed atomic adds, safe from any
+/// number of threads.
+class LatencyHistogram {
+ public:
+  void Record(double seconds);
+
+  /// Estimated quantile in seconds (`p` in [0, 1]); 0 when empty. Linear
+  /// interpolation inside the winning bucket.
+  double Quantile(double p) const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Sum of recorded values in seconds (nanosecond resolution) — the
+  /// exposition's `_sum` series.
+  double SumSeconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e9;
+  }
+
+  void Reset();
+
+ private:
+  static constexpr size_t kSubBuckets = 8;   ///< per octave
+  static constexpr size_t kOctaves = 33;     ///< 10 ns << 33 ≈ 86 s
+  static constexpr size_t kBuckets = kSubBuckets * kOctaves + 2;  // ± overflow
+
+  static size_t BucketOf(double seconds);
+  static double BucketLowerBound(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// The registry. Get* registers on first use and returns the existing
+/// instrument on every later call with the same (name, labels); the pointer
+/// stays valid for the registry's lifetime. Registration takes a lock;
+/// instrument updates never do.
+class MetricsRegistry {
+ public:
+  /// `labels` is the literal label body, e.g. `op="join"` (empty = none).
+  MetricCounter* GetCounter(const std::string& name, const std::string& help,
+                            const std::string& labels = "");
+  MetricGauge* GetGauge(const std::string& name, const std::string& help,
+                        const std::string& labels = "");
+  /// Histograms expose as Prometheus summaries: quantile series + _sum +
+  /// _count.
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels = "");
+
+  /// Registers a callback that appends exposition lines (HELP/TYPE included,
+  /// newline-terminated) — for subsystems whose state lives elsewhere.
+  void AddCollector(std::function<void(std::string*)> collector);
+
+  /// The full Prometheus text exposition: families sorted by name, then
+  /// collector output in registration order.
+  std::string TextExposition() const;
+
+ private:
+  template <typename T>
+  struct Family {
+    std::string help;
+    std::map<std::string, std::unique_ptr<T>> series;  // by label body
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family<MetricCounter>> counters_;    // by mu_
+  std::map<std::string, Family<MetricGauge>> gauges_;        // by mu_
+  std::map<std::string, Family<LatencyHistogram>> histos_;   // by mu_
+  std::vector<std::function<void(std::string*)>> collectors_;  // by mu_
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_OBS_METRICS_REGISTRY_H_

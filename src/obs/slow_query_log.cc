@@ -1,0 +1,88 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+
+#include "common/json_util.h"
+#include "common/str_util.h"
+
+namespace mpq {
+
+void SlowQueryLog::Record(uint64_t digest, std::string_view normalized_sql,
+                          double seconds, uint64_t trace_id) {
+  if (!(seconds >= threshold_s_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) {
+    if (capacity_ > 0 && entries_.size() >= capacity_) {
+      // Evict the least-bad statement; the new one must beat it to enter.
+      auto victim = entries_.begin();
+      for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+        if (e->second.max_s < victim->second.max_s) victim = e;
+      }
+      if (victim->second.max_s >= seconds) return;
+      entries_.erase(victim);
+    }
+    SlowQueryEntry e;
+    e.digest = digest;
+    e.normalized_sql = std::string(normalized_sql);
+    it = entries_.emplace(digest, std::move(e)).first;
+  }
+  SlowQueryEntry& e = it->second;
+  e.count++;
+  e.last_s = seconds;
+  e.total_s += seconds;
+  if (seconds > e.max_s) {
+    e.max_s = seconds;
+    e.trace_id = trace_id;
+  }
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::vector<SlowQueryEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [digest, e] : entries_) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+              if (a.max_s != b.max_s) return a.max_s > b.max_s;
+              return a.digest < b.digest;
+            });
+  return out;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string SlowQueryLog::ToJson() const {
+  JsonWriter w;
+  w.BeginObject().Key("threshold_s").Double(threshold_s_);
+  w.Key("entries").BeginArray();
+  for (const SlowQueryEntry& e : Entries()) {
+    w.BeginObject()
+        .Key("digest")
+        .String(StrFormat("0x%016llx",
+                          static_cast<unsigned long long>(e.digest)))
+        .Key("sql")
+        .String(e.normalized_sql)
+        .Key("count")
+        .UInt(e.count)
+        .Key("max_s")
+        .Double(e.max_s)
+        .Key("last_s")
+        .Double(e.last_s)
+        .Key("total_s")
+        .Double(e.total_s)
+        .Key("trace_id")
+        .String(StrFormat("0x%016llx",
+                          static_cast<unsigned long long>(e.trace_id)))
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.TakeString();
+}
+
+}  // namespace mpq

@@ -1,0 +1,60 @@
+// Slow-query log keyed by normalized-SQL digest: one entry per distinct
+// statement that ever exceeded the threshold, carrying occurrence counts,
+// worst/last latencies, and the trace id of the slowest occurrence so a
+// retained trace (obs/trace.h TraceSink) can be pulled up next to the log
+// line. Bounded: when full, the entry with the smallest worst-case latency
+// is evicted first.
+
+#ifndef MPQ_OBS_SLOW_QUERY_LOG_H_
+#define MPQ_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mpq {
+
+/// One logged statement.
+struct SlowQueryEntry {
+  uint64_t digest = 0;         ///< HashBytes of the normalized SQL.
+  std::string normalized_sql;
+  uint64_t count = 0;          ///< Occurrences over the threshold.
+  double max_s = 0;            ///< Slowest occurrence.
+  double last_s = 0;           ///< Most recent occurrence.
+  double total_s = 0;          ///< Sum over logged occurrences.
+  uint64_t trace_id = 0;       ///< Trace of the slowest occurrence (0 = none).
+};
+
+/// Thread-safe bounded log.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(double threshold_s = 0.1, size_t capacity = 128)
+      : threshold_s_(threshold_s), capacity_(capacity) {}
+
+  double threshold_s() const { return threshold_s_; }
+
+  /// Records one execution; ignored when under the threshold.
+  void Record(uint64_t digest, std::string_view normalized_sql,
+              double seconds, uint64_t trace_id = 0);
+
+  /// Entries sorted by max_s descending (worst offender first).
+  std::vector<SlowQueryEntry> Entries() const;
+
+  size_t size() const;
+
+  /// {"threshold_s":…,"entries":[{…},…]} with entries worst-first.
+  std::string ToJson() const;
+
+ private:
+  const double threshold_s_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, SlowQueryEntry> entries_;  // guarded by mu_
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/flat_hash.h"
+#include "common/json_util.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+
+std::string HexId(uint64_t id) {
+  return StrFormat("0x%016llx", static_cast<unsigned long long>(id));
+}
+
+/// Deterministic span id: a PRF of what the span *is*, never of when or
+/// where it ran.
+uint64_t SpanIdOf(uint64_t trace_id, const std::string& name, int node_id,
+                  uint64_t salt, uint64_t parent) {
+  uint64_t h = trace_id;
+  h = SplitMix64(h ^ HashBytes(name));
+  h = SplitMix64(h ^ (static_cast<uint64_t>(node_id) + 2) *
+                         0x9e3779b97f4a7c15ull);
+  h = SplitMix64(h ^ (salt + 1) * 0xbf58476d1ce4e5b9ull);
+  h = SplitMix64(h ^ parent);
+  return h | 1;  // never 0 ("no parent")
+}
+
+}  // namespace
+
+uint64_t MakeTraceId(uint64_t session_id, uint64_t statement_digest,
+                     uint64_t attempt) {
+  uint64_t h = SplitMix64(session_id ^ 0x0b5e84d5a308d3f1ull);
+  h = SplitMix64(h ^ statement_digest);
+  h = SplitMix64(h ^ (attempt + 1) * 0x94d049bb133111ebull);
+  return h | 1;
+}
+
+void Span::AnnInt(const char* key, int64_t v) {
+  if (trace_ == nullptr) return;
+  SpanArg a;
+  a.key = key;
+  a.kind = SpanArg::Kind::kInt;
+  a.i = v;
+  rec_.args.push_back(std::move(a));
+}
+
+void Span::AnnDouble(const char* key, double v) {
+  if (trace_ == nullptr) return;
+  SpanArg a;
+  a.key = key;
+  a.kind = SpanArg::Kind::kDouble;
+  a.d = v;
+  rec_.args.push_back(std::move(a));
+}
+
+void Span::AnnStr(const char* key, std::string v) {
+  if (trace_ == nullptr) return;
+  SpanArg a;
+  a.key = key;
+  a.kind = SpanArg::Kind::kStr;
+  a.s = std::move(v);
+  rec_.args.push_back(std::move(a));
+}
+
+void Span::End() {
+  if (trace_ == nullptr) return;
+  QueryTrace* t = trace_;
+  trace_ = nullptr;
+  rec_.end_ns = t->clock()->NowNs();
+  t->Commit(std::move(rec_));
+}
+
+Span QueryTrace::StartSpan(std::string name, std::string cat, uint64_t parent,
+                           int node_id, int track, uint64_t salt) {
+  SpanRecord rec;
+  rec.span_id = SpanIdOf(trace_id_, name, node_id, salt, parent);
+  rec.parent_id = parent;
+  rec.start_ns = clock_->NowNs();
+  rec.name = std::move(name);
+  rec.cat = std::move(cat);
+  rec.node_id = node_id;
+  rec.track = track;
+  return Span(this, std::move(rec));
+}
+
+void QueryTrace::Commit(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> QueryTrace::Spans() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+void QueryTrace::WriteChromeEvents(JsonWriter* w, int pid) const {
+  for (const SpanRecord& s : Spans()) {
+    w->BeginObject()
+        .Key("name")
+        .String(s.name)
+        .Key("cat")
+        .String(s.cat)
+        .Key("ph")
+        .String("X")
+        .Key("ts")
+        .Double(static_cast<double>(s.start_ns) / 1e3)
+        .Key("dur")
+        .Double(static_cast<double>(s.end_ns - s.start_ns) / 1e3)
+        .Key("pid")
+        .Int(pid)
+        .Key("tid")
+        .Int(s.track)
+        .Key("args");
+    w->BeginObject()
+        .Key("trace_id")
+        .String(HexId(trace_id_))
+        .Key("span_id")
+        .String(HexId(s.span_id))
+        .Key("parent_id")
+        .String(HexId(s.parent_id));
+    if (s.node_id >= 0) w->Key("node").Int(s.node_id);
+    for (const SpanArg& a : s.args) {
+      w->Key(a.key);
+      switch (a.kind) {
+        case SpanArg::Kind::kInt:
+          w->Int(a.i);
+          break;
+        case SpanArg::Kind::kDouble:
+          w->Double(a.d);
+          break;
+        case SpanArg::Kind::kStr:
+          w->String(a.s);
+          break;
+      }
+    }
+    w->EndObject();  // args
+    w->EndObject();  // event
+  }
+}
+
+std::string QueryTrace::ToChromeJson() const {
+  JsonWriter w;
+  w.BeginObject().Key("traceEvents").BeginArray();
+  WriteChromeEvents(&w, /*pid=*/0);
+  w.EndArray().EndObject();
+  return w.TakeString();
+}
+
+void TraceSink::Add(std::shared_ptr<const QueryTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(trace));
+  while (capacity_ > 0 && traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> TraceSink::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::shared_ptr<const QueryTrace>>(traces_.begin(),
+                                                        traces_.end());
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+std::string TraceSink::ToChromeJson() const {
+  JsonWriter w;
+  w.BeginObject().Key("traceEvents").BeginArray();
+  int pid = 0;
+  for (const auto& t : Traces()) {
+    t->WriteChromeEvents(&w, pid++);
+  }
+  w.EndArray().EndObject();
+  return w.TakeString();
+}
+
+std::shared_ptr<QueryTrace> Tracer::MaybeStart(uint64_t session_id,
+                                               uint64_t statement_digest,
+                                               uint64_t attempt) {
+  if (!config_.enabled) return nullptr;
+  uint64_t n = started_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.sample_every > 1 && n % config_.sample_every != 0) {
+    return nullptr;
+  }
+  return Start(session_id, statement_digest, attempt);
+}
+
+std::shared_ptr<QueryTrace> Tracer::Start(uint64_t session_id,
+                                          uint64_t statement_digest,
+                                          uint64_t attempt) const {
+  return std::make_shared<QueryTrace>(
+      MakeTraceId(session_id, statement_digest, attempt), clock_);
+}
+
+void Tracer::Finish(std::shared_ptr<const QueryTrace> trace) {
+  if (sink_ != nullptr && trace != nullptr) sink_->Add(std::move(trace));
+}
+
+}  // namespace mpq

@@ -1,0 +1,203 @@
+// Span-based query tracing. One QueryTrace collects the spans of one
+// Execute: parse/normalize, plan-cache probe, candidate enumeration,
+// assignment optimization, per-fragment distributed dispatch (one span per
+// assignee-crossing SimNet edge, annotated with bytes-on-wire and
+// retry/crash counts), failover re-planning, and per-operator execution.
+//
+// Determinism: trace and span ids are PRFs of (session, statement digest,
+// attempt) and of (trace id, span name, plan-node id, salt) respectively —
+// never of scheduling order or addresses — so the same query produces the
+// same ids at any thread count. Timestamps come from a pluggable TraceClock
+// (wall time or SimNet virtual time) and are the only nondeterministic
+// fields. Execution never reads the trace, so traced runs are bit-identical
+// to untraced runs; the tracer is off by default and MaybeStart returns
+// null before touching any shared state when disabled.
+
+#ifndef MPQ_OBS_TRACE_H_
+#define MPQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace mpq {
+
+class JsonWriter;
+
+/// One key/value annotation of a span.
+struct SpanArg {
+  enum class Kind { kInt, kDouble, kStr };
+  std::string key;
+  Kind kind = Kind::kInt;
+  int64_t i = 0;
+  double d = 0;
+  std::string s;
+};
+
+/// A completed span.
+struct SpanRecord {
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = top-level.
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  std::string name;
+  std::string cat;   ///< "plan", "cache", "op", "frag", "net", "failover", …
+  int node_id = -1;  ///< Plan node the span belongs to, -1 when none.
+  int track = 0;     ///< Chrome tid; fragment spans use the assignee id.
+  std::vector<SpanArg> args;
+};
+
+class QueryTrace;
+
+/// RAII handle over an open span. Annotations accumulate locally (no lock);
+/// End() — or destruction — stamps the end time and commits the record to
+/// the owning trace. A default-constructed Span is inert: every method is a
+/// no-op, which is how instrumented code stays branch-light when tracing is
+/// off (pass a null trace, get inert spans).
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& o) noexcept : trace_(o.trace_), rec_(std::move(o.rec_)) {
+    o.trace_ = nullptr;
+  }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      End();
+      trace_ = o.trace_;
+      rec_ = std::move(o.rec_);
+      o.trace_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  explicit operator bool() const { return trace_ != nullptr; }
+  /// The span's id (0 when inert) — pass as `parent` to child spans.
+  uint64_t id() const { return trace_ != nullptr ? rec_.span_id : 0; }
+
+  void AnnInt(const char* key, int64_t v);
+  void AnnDouble(const char* key, double v);
+  void AnnStr(const char* key, std::string v);
+
+  /// Stamps the end time and commits; further calls are no-ops.
+  void End();
+
+ private:
+  friend class QueryTrace;
+  Span(QueryTrace* trace, SpanRecord rec)
+      : trace_(trace), rec_(std::move(rec)) {}
+
+  QueryTrace* trace_ = nullptr;
+  SpanRecord rec_;
+};
+
+/// Deterministic trace id of (session, statement digest, attempt).
+uint64_t MakeTraceId(uint64_t session_id, uint64_t statement_digest,
+                     uint64_t attempt);
+
+/// The spans of one traced query. Thread-safe: any number of engine threads
+/// may open and commit spans concurrently.
+class QueryTrace {
+ public:
+  QueryTrace(uint64_t trace_id, const TraceClock* clock)
+      : trace_id_(trace_id),
+        clock_(clock != nullptr ? clock : WallClock::Global()) {}
+
+  uint64_t trace_id() const { return trace_id_; }
+  const TraceClock* clock() const { return clock_; }
+
+  /// Opens a span. `salt` disambiguates repeated (name, node) spans (e.g.
+  /// the failover attempt number) so ids stay deterministic AND unique.
+  Span StartSpan(std::string name, std::string cat, uint64_t parent = 0,
+                 int node_id = -1, int track = 0, uint64_t salt = 0);
+
+  /// Committed spans, sorted by (start_ns, span_id).
+  std::vector<SpanRecord> Spans() const;
+
+  /// Appends this trace's Chrome trace-event objects ("ph":"X") to an open
+  /// JSON array in `w`; `pid` groups the trace in the viewer.
+  void WriteChromeEvents(JsonWriter* w, int pid) const;
+
+  /// A standalone chrome://tracing-loadable document:
+  /// {"traceEvents":[...]}.
+  std::string ToChromeJson() const;
+
+ private:
+  friend class Span;
+  void Commit(SpanRecord rec);
+
+  const uint64_t trace_id_;
+  const TraceClock* clock_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  // guarded by mu_
+};
+
+/// Tracing knobs.
+struct TraceConfig {
+  bool enabled = false;
+  /// Trace every Nth started query (1 = all). Sampling decisions come from
+  /// a private counter, never from the queries themselves.
+  uint64_t sample_every = 1;
+};
+
+/// Bounded retention of finished traces (newest kept). Thread-safe.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity = 64) : capacity_(capacity) {}
+
+  void Add(std::shared_ptr<const QueryTrace> trace);
+  std::vector<std::shared_ptr<const QueryTrace>> Traces() const;
+  size_t size() const;
+
+  /// Every retained trace merged into one Chrome document, one pid per
+  /// trace (oldest first).
+  std::string ToChromeJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const QueryTrace>> traces_;  // guarded by mu_
+};
+
+/// Hands out QueryTraces per the sampling config. Near-zero overhead when
+/// disabled: MaybeStart is one predictable branch.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(TraceConfig config, const TraceClock* clock, TraceSink* sink)
+      : config_(config), clock_(clock), sink_(sink) {}
+
+  bool enabled() const { return config_.enabled; }
+
+  /// Null when disabled or sampled out; a fresh trace otherwise.
+  std::shared_ptr<QueryTrace> MaybeStart(uint64_t session_id,
+                                         uint64_t statement_digest,
+                                         uint64_t attempt = 0);
+
+  /// Always starts a trace (EXPLAIN ANALYZE forces tracing regardless of
+  /// the sampling config).
+  std::shared_ptr<QueryTrace> Start(uint64_t session_id,
+                                    uint64_t statement_digest,
+                                    uint64_t attempt = 0) const;
+
+  /// Hands a finished trace to the sink (no-op without one).
+  void Finish(std::shared_ptr<const QueryTrace> trace);
+
+ private:
+  TraceConfig config_;
+  const TraceClock* clock_ = nullptr;
+  TraceSink* sink_ = nullptr;
+  std::atomic<uint64_t> started_{0};
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_OBS_TRACE_H_

@@ -13,6 +13,27 @@ void OpProfile::Record(OpKind kind, uint64_t ns, uint64_t rows_in,
   c.rows_out.fetch_add(rows_out, std::memory_order_relaxed);
 }
 
+void OpProfile::RecordDetail(OpKind kind, uint64_t arena_bytes,
+                             uint64_t hom_folds) {
+  Counter& c = ops_[static_cast<size_t>(kind)];
+  c.arena_bytes.fetch_add(arena_bytes, std::memory_order_relaxed);
+  c.hom_folds.fetch_add(hom_folds, std::memory_order_relaxed);
+}
+
+void OpProfile::Merge(const OpProfileSnapshot& snap) {
+  for (size_t i = 0; i < kNumOpKinds; ++i) {
+    const OpCounterSnapshot& s = snap.ops[i];
+    if (s.calls == 0 && s.arena_bytes == 0 && s.hom_folds == 0) continue;
+    Counter& c = ops_[i];
+    c.calls.fetch_add(s.calls, std::memory_order_relaxed);
+    c.ns.fetch_add(s.ns, std::memory_order_relaxed);
+    c.rows_in.fetch_add(s.rows_in, std::memory_order_relaxed);
+    c.rows_out.fetch_add(s.rows_out, std::memory_order_relaxed);
+    c.arena_bytes.fetch_add(s.arena_bytes, std::memory_order_relaxed);
+    c.hom_folds.fetch_add(s.hom_folds, std::memory_order_relaxed);
+  }
+}
+
 OpProfileSnapshot OpProfile::Snapshot() const {
   OpProfileSnapshot snap;
   for (size_t i = 0; i < kNumOpKinds; ++i) {
@@ -20,6 +41,9 @@ OpProfileSnapshot OpProfile::Snapshot() const {
     snap.ops[i].ns = ops_[i].ns.load(std::memory_order_relaxed);
     snap.ops[i].rows_in = ops_[i].rows_in.load(std::memory_order_relaxed);
     snap.ops[i].rows_out = ops_[i].rows_out.load(std::memory_order_relaxed);
+    snap.ops[i].arena_bytes =
+        ops_[i].arena_bytes.load(std::memory_order_relaxed);
+    snap.ops[i].hom_folds = ops_[i].hom_folds.load(std::memory_order_relaxed);
   }
   return snap;
 }
@@ -30,6 +54,8 @@ void OpProfile::Reset() {
     c.ns.store(0, std::memory_order_relaxed);
     c.rows_in.store(0, std::memory_order_relaxed);
     c.rows_out.store(0, std::memory_order_relaxed);
+    c.arena_bytes.store(0, std::memory_order_relaxed);
+    c.hom_folds.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -47,8 +73,10 @@ void OpProfileSnapshot::WriteJson(JsonWriter* w) const {
         .Key("rows_in")
         .UInt(c.rows_in)
         .Key("rows_out")
-        .UInt(c.rows_out)
-        .EndObject();
+        .UInt(c.rows_out);
+    if (c.arena_bytes != 0) w->Key("arena_bytes").UInt(c.arena_bytes);
+    if (c.hom_folds != 0) w->Key("hom_folds").UInt(c.hom_folds);
+    w->EndObject();
   }
   w->EndObject();
 }

@@ -26,6 +26,11 @@ struct OpCounterSnapshot {
   uint64_t ns = 0;        ///< Wall nanoseconds inside the operator.
   uint64_t rows_in = 0;   ///< Operand rows consumed.
   uint64_t rows_out = 0;  ///< Result rows produced.
+  /// Bytes of operator-private scratch arenas (group-by aggregate states and
+  /// key arenas); 0 for operators without one.
+  uint64_t arena_bytes = 0;
+  /// Paillier ciphertexts folded by lazy homomorphic aggregation.
+  uint64_t hom_folds = 0;
 };
 
 /// A copyable point-in-time snapshot over every operator kind.
@@ -49,6 +54,13 @@ struct OpProfileSnapshot {
 class OpProfile {
  public:
   void Record(OpKind kind, uint64_t ns, uint64_t rows_in, uint64_t rows_out);
+  /// Adds operator-detail counters (arena footprint, homomorphic fold
+  /// volume) to `kind` — called by operators that have them, on top of the
+  /// Record every execution gets.
+  void RecordDetail(OpKind kind, uint64_t arena_bytes, uint64_t hom_folds);
+  /// Adds every counter of `snap` — used to fold a fragment-local profile
+  /// into a shared one after the fragment's span was annotated from it.
+  void Merge(const OpProfileSnapshot& snap);
   OpProfileSnapshot Snapshot() const;
   void Reset();
 
@@ -58,6 +70,8 @@ class OpProfile {
     std::atomic<uint64_t> ns{0};
     std::atomic<uint64_t> rows_in{0};
     std::atomic<uint64_t> rows_out{0};
+    std::atomic<uint64_t> arena_bytes{0};
+    std::atomic<uint64_t> hom_folds{0};
   };
   std::array<Counter, kNumOpKinds> ops_;
 };

@@ -1,66 +1,8 @@
 #include "service/metrics.h"
 
-#include <cmath>
-
 #include "common/json_util.h"
 
 namespace mpq {
-
-namespace {
-constexpr double kMinLatencyS = 1e-8;  // bucket 1 lower bound
-}  // namespace
-
-size_t LatencyHistogram::BucketOf(double seconds) {
-  if (!(seconds > kMinLatencyS)) return 0;  // underflow (also NaN)
-  double octaves = std::log2(seconds / kMinLatencyS);
-  auto idx = static_cast<size_t>(octaves * kSubBuckets);
-  if (idx >= kSubBuckets * kOctaves) return kBuckets - 1;  // overflow
-  return idx + 1;
-}
-
-double LatencyHistogram::BucketLowerBound(size_t bucket) {
-  if (bucket == 0) return 0;
-  return kMinLatencyS *
-         std::exp2(static_cast<double>(bucket - 1) / kSubBuckets);
-}
-
-void LatencyHistogram::Record(double seconds) {
-  buckets_[BucketOf(seconds)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::Quantile(double p) const {
-  uint64_t total = 0;
-  std::array<uint64_t, kBuckets> snap;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    snap[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += snap[i];
-  }
-  if (total == 0) return 0;
-  if (p < 0) p = 0;
-  if (p > 1) p = 1;
-  // Rank of the target observation (1-based, ceil).
-  auto rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(total)));
-  if (rank == 0) rank = 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    if (snap[i] == 0) continue;
-    if (seen + snap[i] >= rank) {
-      double lo = BucketLowerBound(i);
-      double hi = i + 1 < kBuckets ? BucketLowerBound(i + 1) : lo * 2;
-      double frac = static_cast<double>(rank - seen) /
-                    static_cast<double>(snap[i]);
-      return lo + (hi - lo) * frac;
-    }
-    seen += snap[i];
-  }
-  return BucketLowerBound(kBuckets - 1);
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-}
 
 std::string ServiceMetrics::ToJson() const {
   JsonWriter w;

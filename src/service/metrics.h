@@ -5,44 +5,16 @@
 #ifndef MPQ_SERVICE_METRICS_H_
 #define MPQ_SERVICE_METRICS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+// LatencyHistogram lives in the unified metrics registry now
+// (obs/metrics_registry.h); this include keeps the historical spelling
+// `service/metrics.h` working for existing users of the histogram.
+#include "obs/metrics_registry.h"
 #include "profile/op_stats.h"
 
 namespace mpq {
-
-/// Fixed-bucket latency histogram over [10 ns, ~86 s), eight log-spaced
-/// sub-buckets per octave (≤ ~9% relative quantile error). The range starts
-/// far below a microsecond so sub-millisecond warm-cache hits land in real
-/// buckets instead of the underflow bucket — tests/service_test.cc pins
-/// this resolution. Record is a single relaxed atomic increment, safe from
-/// any number of threads.
-class LatencyHistogram {
- public:
-  void Record(double seconds);
-
-  /// Estimated quantile in seconds (`p` in [0, 1]); 0 when empty. Linear
-  /// interpolation inside the winning bucket.
-  double Quantile(double p) const;
-
-  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
-
-  void Reset();
-
- private:
-  static constexpr size_t kSubBuckets = 8;   ///< per octave
-  static constexpr size_t kOctaves = 33;     ///< 10 ns << 33 ≈ 86 s
-  static constexpr size_t kBuckets = kSubBuckets * kOctaves + 2;  // ± overflow
-
-  static size_t BucketOf(double seconds);
-  static double BucketLowerBound(size_t bucket);
-
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-};
 
 /// A point-in-time snapshot of a QueryService's counters (plain values,
 /// safe to copy around).

@@ -84,10 +84,88 @@ QueryService::QueryService(const Catalog* catalog,
       prices_(prices),
       topology_(topology),
       config_(config),
-      cache_(config.cache_shards, config.cache_capacity_per_shard) {
+      cache_(config.cache_shards, config.cache_capacity_per_shard),
+      latency_total_(registry_.GetHistogram("mpq_query_latency_seconds",
+                                            "End-to-end Execute latency",
+                                            "outcome=\"total\"")),
+      latency_hit_(registry_.GetHistogram("mpq_query_latency_seconds",
+                                          "End-to-end Execute latency",
+                                          "outcome=\"hit\"")),
+      latency_miss_(registry_.GetHistogram("mpq_query_latency_seconds",
+                                           "End-to-end Execute latency",
+                                           "outcome=\"miss\"")),
+      latency_failover_(registry_.GetHistogram(
+          "mpq_failover_latency_seconds",
+          "Failure detection to recovered result", "")),
+      tracer_(config.trace, config.trace_clock, config.trace_sink),
+      slow_log_(config.slow_query_s) {
   if (config_.exec_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.exec_threads);
   }
+  // Counters the service already keeps (atomics, cache stats, op profile)
+  // surface through one collector — a single source of truth instead of
+  // double-counting into registry instruments.
+  registry_.AddCollector([this](std::string* out) {
+    ServiceMetrics m = Metrics();
+    auto counter = [out](const char* name, const char* help, uint64_t v) {
+      out->append(StrFormat("# HELP %s %s\n# TYPE %s counter\n%s %llu\n",
+                            name, help, name, name,
+                            static_cast<unsigned long long>(v)));
+    };
+    counter("mpq_queries_total", "Executes that reached execution",
+            m.queries);
+    counter("mpq_errors_total", "Executes returning non-OK", m.errors);
+    counter("mpq_cache_hits_total", "Plan cache hits", m.cache_hits);
+    counter("mpq_cache_misses_total", "Plan cache misses", m.cache_misses);
+    counter("mpq_cache_evictions_total", "Plan cache evictions",
+            m.cache_evictions);
+    counter("mpq_rows_returned_total", "Result rows delivered",
+            m.rows_returned);
+    counter("mpq_transfer_bytes_total", "Bytes crossing assignee boundaries",
+            m.transfer_bytes);
+    counter("mpq_messages_total", "Fragment messages delivered", m.messages);
+    counter("mpq_admission_waits_total", "Executes that blocked on admission",
+            m.admission_waits);
+    counter("mpq_failovers_total", "Re-plans after provider failures",
+            m.failovers);
+    counter("mpq_failover_retransfer_bytes_total",
+            "Bytes moved again by recovery plans",
+            m.failover_retransfer_bytes);
+    out->append(StrFormat(
+        "# HELP mpq_cache_entries Plans currently cached\n"
+        "# TYPE mpq_cache_entries gauge\nmpq_cache_entries %llu\n",
+        static_cast<unsigned long long>(m.cache_entries)));
+    // Per-operator engine counters, one labelled series per operator kind.
+    const char* kOpHeader =
+        "# HELP mpq_op_calls_total Operator executions\n"
+        "# TYPE mpq_op_calls_total counter\n"
+        "# HELP mpq_op_ns_total Wall nanoseconds inside operators\n"
+        "# TYPE mpq_op_ns_total counter\n"
+        "# HELP mpq_op_rows_in_total Operand rows consumed\n"
+        "# TYPE mpq_op_rows_in_total counter\n"
+        "# HELP mpq_op_rows_out_total Result rows produced\n"
+        "# TYPE mpq_op_rows_out_total counter\n"
+        "# HELP mpq_op_arena_bytes_total Operator scratch arena bytes\n"
+        "# TYPE mpq_op_arena_bytes_total counter\n"
+        "# HELP mpq_op_hom_folds_total Paillier ciphertexts folded\n"
+        "# TYPE mpq_op_hom_folds_total counter\n";
+    out->append(kOpHeader);
+    for (size_t k = 0; k < kNumOpKinds; ++k) {
+      const OpCounterSnapshot& c = m.ops.ops[k];
+      if (c.calls == 0) continue;
+      const char* op = OpKindName(static_cast<OpKind>(k));
+      auto series = [&](const char* name, uint64_t v) {
+        out->append(StrFormat("%s{op=\"%s\"} %llu\n", name, op,
+                              static_cast<unsigned long long>(v)));
+      };
+      series("mpq_op_calls_total", c.calls);
+      series("mpq_op_ns_total", c.ns);
+      series("mpq_op_rows_in_total", c.rows_in);
+      series("mpq_op_rows_out_total", c.rows_out);
+      series("mpq_op_arena_bytes_total", c.arena_bytes);
+      series("mpq_op_hom_folds_total", c.hom_folds);
+    }
+  });
 }
 
 QueryService::~QueryService() = default;
@@ -143,9 +221,13 @@ Result<std::shared_ptr<QueryService::PreparedPlan>>
 QueryService::BuildPreparedPlan(const std::string& normalized_sql,
                                 const AstSelect* ast, SubjectId subject,
                                 uint64_t policy_epoch,
-                                uint64_t catalog_version) {
+                                uint64_t catalog_version, QueryTrace* trace,
+                                uint64_t trace_parent) {
   AstSelect parsed;
   if (ast == nullptr) {
+    Span parse = trace != nullptr
+                     ? trace->StartSpan("parse", "plan", trace_parent)
+                     : Span();
     MPQ_ASSIGN_OR_RETURN(parsed, ParseSelect(normalized_sql));
     ast = &parsed;
   }
@@ -155,10 +237,13 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
   entry->catalog_version = catalog_version;
 
   // Bind + profile annotation.
+  Span bind = trace != nullptr ? trace->StartSpan("bind", "plan", trace_parent)
+                               : Span();
   MPQ_ASSIGN_OR_RETURN(entry->bound_plan, BindSelect(*ast, *catalog_));
   MPQ_RETURN_NOT_OK(
       DerivePlaintextNeeds(entry->bound_plan.get(), *catalog_, config_.caps));
   MPQ_RETURN_NOT_OK(AnnotatePlan(entry->bound_plan.get(), *catalog_));
+  bind.End();
 
   // The session subject receives the result: it needs at least encrypted
   // visibility over every result attribute (the extension layer encrypts
@@ -189,11 +274,18 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
   if (config_.net != nullptr) {
     for (SubjectId s : config_.net->DownSubjects()) excluded.Insert(s);
   }
+  Span candidates = trace != nullptr
+                        ? trace->StartSpan("candidates", "plan", trace_parent)
+                        : Span();
   MPQ_ASSIGN_OR_RETURN(
       CandidatePlan cp,
       ComputeCandidates(entry->bound_plan.get(), *policy_,
                         /*require_nonempty=*/true,
                         excluded.empty() ? nullptr : &excluded));
+  candidates.End();
+  Span assign = trace != nullptr
+                    ? trace->StartSpan("assign", "plan", trace_parent)
+                    : Span();
   SchemeMap schemes =
       AnalyzeSchemes(entry->bound_plan.get(), *catalog_, config_.caps);
   CostModel cost_model(catalog_, prices_, topology_, &schemes);
@@ -205,8 +297,21 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
   // policy state it will be keyed by.
   MPQ_RETURN_NOT_OK(
       VerifyAuthorizedAssignment(entry->assignment.extended, *policy_));
+  // The estimates the optimizer priced transfers with, re-derived over the
+  // extended plan under the refined schemes — what EXPLAIN ANALYZE holds
+  // observed bytes against.
+  CostModel refined_model(catalog_, prices_, topology_,
+                          &entry->assignment.refined_schemes);
+  entry->estimates =
+      refined_model.EstimatePlan(entry->assignment.extended.plan.get());
+  if (assign) {
+    assign.AnnDouble("cost_usd", entry->assignment.exact_cost.total_usd());
+    assign.End();
+  }
 
   // Keys + a runtime ready for repeated concurrent execution.
+  Span keys = trace != nullptr ? trace->StartSpan("keys", "plan", trace_parent)
+                               : Span();
   entry->keys = DeriveQueryPlanKeys(entry->assignment.extended);
   entry->runtime = std::make_unique<DistributedRuntime>(catalog_, subjects_);
   {
@@ -228,12 +333,13 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
   entry->runtime->SetNetwork(config_.net);
   entry->runtime->SetNetPolicy(config_.net_policy);
   entry->runtime->SetOpProfile(&op_profile_);
+  keys.End();
   return entry;
 }
 
 Result<QueryResponse> QueryService::ExecuteInternal(
     const std::string& normalized_sql, const AstSelect* ast,
-    const Session& session) {
+    const Session& session, bool force_trace, ExecDetail* detail) {
   auto t0 = Clock::now();
   if (session.subject() == kInvalidSubject ||
       session.subject() >= subjects_->size()) {
@@ -242,6 +348,20 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   }
   AdmissionSlot slot(this);
   queries_.fetch_add(1, std::memory_order_relaxed);
+
+  // Tracing is observation-only: nothing below reads `trace`, so a traced
+  // run is bit-identical to an untraced one. Off is the common case and
+  // costs one predictable branch here plus null-checks on the span sites.
+  const uint64_t statement_digest = HashBytes(normalized_sql);
+  std::shared_ptr<QueryTrace> trace =
+      force_trace ? tracer_.Start(session.id(), statement_digest)
+                  : tracer_.MaybeStart(session.id(), statement_digest);
+  Span root = trace != nullptr
+                  ? trace->StartSpan("query", "exec", /*parent=*/0,
+                                     /*node_id=*/-1,
+                                     static_cast<int>(session.subject()))
+                  : Span();
+  const uint64_t root_span = root.id();
 
   // The epoch/version pair is read once, up front: every request that starts
   // after a policy or schema mutation returns is keyed past the stale
@@ -254,13 +374,23 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   key.policy_epoch = policy_->epoch();
   key.net_epoch = config_.net != nullptr ? config_.net->liveness_epoch() : 0;
 
+  Span probe = trace != nullptr
+                   ? trace->StartSpan("cache_probe", "cache", root_span)
+                   : Span();
   std::shared_ptr<PreparedPlan> entry = cache_.Get(key);
   CacheOutcome outcome = entry ? CacheOutcome::kHit : CacheOutcome::kMiss;
+  if (probe) {
+    probe.AnnStr("outcome", outcome == CacheOutcome::kHit ? "hit" : "miss");
+    probe.End();
+  }
   if (entry == nullptr) {
-    auto built = BuildPreparedPlan(normalized_sql, ast, session.subject(),
-                                   key.policy_epoch, key.catalog_version);
+    auto built =
+        BuildPreparedPlan(normalized_sql, ast, session.subject(),
+                          key.policy_epoch, key.catalog_version, trace.get(),
+                          root_span);
     if (!built.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
+      if (root) root.AnnStr("error", built.status().ToString());
       return built.status();
     }
     if (policy_->epoch() == key.policy_epoch &&
@@ -281,8 +411,8 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   auto t1 = Clock::now();
   uint64_t delivered_before =
       config_.net != nullptr ? config_.net->GetStats().bytes_delivered : 0;
-  Result<DistributedResult> run =
-      entry->runtime->Run(entry->assignment.extended, session.subject());
+  Result<DistributedResult> run = entry->runtime->Run(
+      entry->assignment.extended, session.subject(), trace.get(), root_span);
 
   // Retry-on-failover: a provider died under the cached plan. Retire the
   // entry (the next request re-plans around the down subjects) and recover
@@ -291,6 +421,7 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   // stale plan was built against.
   size_t failovers = 0;
   uint64_t retransfer_bytes = 0;
+  double failover_latency_s = 0;
   double planned_cost_usd = entry->assignment.exact_cost.total_usd();
   uint64_t plan_epoch = entry->policy_epoch;
   uint64_t plan_catalog_version = entry->catalog_version;
@@ -311,6 +442,8 @@ Result<QueryResponse> QueryService::ExecuteInternal(
     fc.pool = pool_.get();
     fc.batch_size = config_.batch_size;
     fc.op_profile = &op_profile_;
+    fc.trace = trace.get();
+    fc.trace_parent = root_span;
     FailoverExecutor failover(catalog_, subjects_, policy_, prices_,
                               topology_, config_.net, fc);
     {
@@ -322,16 +455,22 @@ Result<QueryResponse> QueryService::ExecuteInternal(
     Result<FailoverOutcome> recovered =
         failover.Recover(entry->bound_plan.get(), session.subject());
     if (recovered.ok()) {
-      failovers = recovered->failovers;
-      retransfer_bytes += recovered->retransfer_bytes;
-      planned_cost_usd = recovered->assignment.exact_cost.total_usd();
+      auto outcome_ptr =
+          std::make_shared<FailoverOutcome>(std::move(*recovered));
+      failovers = outcome_ptr->failovers;
+      retransfer_bytes += outcome_ptr->retransfer_bytes;
+      failover_latency_s = outcome_ptr->failover_latency_s;
+      planned_cost_usd = outcome_ptr->assignment.exact_cost.total_usd();
       plan_epoch = policy_->epoch();
       plan_catalog_version = catalog_->version();
       failovers_.fetch_add(failovers, std::memory_order_relaxed);
       failover_retransfer_bytes_.fetch_add(retransfer_bytes,
                                            std::memory_order_relaxed);
-      latency_failover_.Record(recovered->failover_latency_s);
-      run = std::move(recovered->result);
+      latency_failover_->Record(failover_latency_s);
+      // The result moves out; the outcome keeps the recovered assignment
+      // alive for EXPLAIN ANALYZE's predicted-vs-observed rendering.
+      run = std::move(outcome_ptr->result);
+      if (detail != nullptr) detail->recovered = std::move(outcome_ptr);
     } else {
       run = recovered.status();
     }
@@ -339,6 +478,7 @@ Result<QueryResponse> QueryService::ExecuteInternal(
 
   if (!run.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
+    if (root) root.AnnStr("error", run.status().ToString());
     return run.status();
   }
   double exec_s = SecondsSince(t1);
@@ -348,11 +488,27 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   transfer_bytes_.fetch_add(run->total_transfer_bytes,
                             std::memory_order_relaxed);
   messages_.fetch_add(run->num_messages, std::memory_order_relaxed);
-  latency_total_.Record(total_s);
+  latency_total_->Record(total_s);
   (outcome == CacheOutcome::kHit ? latency_hit_ : latency_miss_)
-      .Record(total_s);
+      ->Record(total_s);
+  slow_log_.Record(statement_digest, normalized_sql, total_s,
+                   trace != nullptr ? trace->trace_id() : 0);
+
+  if (root) {
+    root.AnnInt("rows", static_cast<int64_t>(run->result.num_rows()));
+    root.AnnStr("cache", outcome == CacheOutcome::kHit ? "hit" : "miss");
+    root.End();
+  }
+  if (trace != nullptr) {
+    if (detail != nullptr) {
+      detail->entry = entry;
+      detail->trace = trace;
+    }
+    tracer_.Finish(trace);
+  }
 
   QueryResponse response;
+  response.trace = trace;
   response.table = std::move(run->result);
   response.stats.total_s = total_s;
   response.stats.plan_s = plan_s;
@@ -367,7 +523,50 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   response.stats.failovers = failovers;
   response.stats.retransfer_bytes = retransfer_bytes;
   response.stats.net_virtual_s = run->net.virtual_s;
+  response.stats.failover_latency_s = failover_latency_s;
   return response;
+}
+
+Result<ExplainAnalyzeReport> QueryService::ExplainAnalyzeInternal(
+    const std::string& normalized_sql, const AstSelect* ast,
+    const Session& session) {
+  ExecDetail detail;
+  MPQ_ASSIGN_OR_RETURN(QueryResponse resp,
+                       ExecuteInternal(normalized_sql, ast, session,
+                                       /*force_trace=*/true, &detail));
+  if (detail.trace == nullptr || detail.entry == nullptr) {
+    return Status::Internal("explain analyze produced no trace");
+  }
+  // A recovered query reports against the plan that actually ran — the
+  // failover's alternative assignment — with estimates re-derived under its
+  // refined schemes, not the abandoned cached plan's.
+  if (detail.recovered != nullptr) {
+    CostModel model(catalog_, prices_, topology_,
+                    &detail.recovered->assignment.refined_schemes);
+    auto estimates =
+        model.EstimatePlan(detail.recovered->assignment.extended.plan.get());
+    return RenderExplainAnalyze(detail.recovered->assignment.extended,
+                                *catalog_, *subjects_, session.subject(),
+                                *detail.trace, estimates);
+  }
+  return RenderExplainAnalyze(detail.entry->assignment.extended, *catalog_,
+                              *subjects_, session.subject(), *detail.trace,
+                              detail.entry->estimates);
+}
+
+Result<ExplainAnalyzeReport> QueryService::ExplainAnalyze(
+    const StatementHandle& stmt, const Session& session) {
+  if (stmt.normalized_sql.empty()) {
+    return Status::InvalidArgument(
+        "explain analyze of an empty statement handle");
+  }
+  return ExplainAnalyzeInternal(stmt.normalized_sql, stmt.ast.get(), session);
+}
+
+Result<ExplainAnalyzeReport> QueryService::ExplainAnalyzeSql(
+    const std::string& sql, const Session& session) {
+  MPQ_ASSIGN_OR_RETURN(std::string normalized, NormalizeSql(sql));
+  return ExplainAnalyzeInternal(normalized, nullptr, session);
 }
 
 ServiceMetrics QueryService::Metrics() const {
@@ -396,18 +595,18 @@ ServiceMetrics QueryService::Metrics() const {
     m.admission_waits = admission_waits_;
     m.in_flight_peak = in_flight_peak_;
   }
-  m.total_p50_ms = latency_total_.Quantile(0.50) * 1e3;
-  m.total_p95_ms = latency_total_.Quantile(0.95) * 1e3;
-  m.total_p99_ms = latency_total_.Quantile(0.99) * 1e3;
-  m.hit_p50_ms = latency_hit_.Quantile(0.50) * 1e3;
-  m.hit_p95_ms = latency_hit_.Quantile(0.95) * 1e3;
-  m.hit_p99_ms = latency_hit_.Quantile(0.99) * 1e3;
-  m.miss_p50_ms = latency_miss_.Quantile(0.50) * 1e3;
-  m.miss_p95_ms = latency_miss_.Quantile(0.95) * 1e3;
-  m.miss_p99_ms = latency_miss_.Quantile(0.99) * 1e3;
-  m.failover_p50_ms = latency_failover_.Quantile(0.50) * 1e3;
-  m.failover_p95_ms = latency_failover_.Quantile(0.95) * 1e3;
-  m.failover_p99_ms = latency_failover_.Quantile(0.99) * 1e3;
+  m.total_p50_ms = latency_total_->Quantile(0.50) * 1e3;
+  m.total_p95_ms = latency_total_->Quantile(0.95) * 1e3;
+  m.total_p99_ms = latency_total_->Quantile(0.99) * 1e3;
+  m.hit_p50_ms = latency_hit_->Quantile(0.50) * 1e3;
+  m.hit_p95_ms = latency_hit_->Quantile(0.95) * 1e3;
+  m.hit_p99_ms = latency_hit_->Quantile(0.99) * 1e3;
+  m.miss_p50_ms = latency_miss_->Quantile(0.50) * 1e3;
+  m.miss_p95_ms = latency_miss_->Quantile(0.95) * 1e3;
+  m.miss_p99_ms = latency_miss_->Quantile(0.99) * 1e3;
+  m.failover_p50_ms = latency_failover_->Quantile(0.50) * 1e3;
+  m.failover_p95_ms = latency_failover_->Quantile(0.95) * 1e3;
+  m.failover_p99_ms = latency_failover_->Quantile(0.99) * 1e3;
   m.ops = op_profile_.Snapshot();
   return m;
 }

@@ -30,11 +30,16 @@
 #include "net/pricing.h"
 #include "net/simnet.h"
 #include "net/topology.h"
+#include "obs/explain.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/metrics.h"
 #include "service/sharded_cache.h"
 #include "sql/ast.h"
 
 namespace mpq {
+
+struct FailoverOutcome;
 
 /// Serving knobs.
 struct ServiceConfig {
@@ -55,6 +60,18 @@ struct ServiceConfig {
   SimNet* net = nullptr;
   NetPolicy net_policy;      ///< Per-edge retry/deadline budget.
   size_t max_failovers = 2;  ///< Re-plan attempts per Execute.
+  /// Tracing (off by default — Executes then pay one predictable branch).
+  /// When enabled, every `trace.sample_every`-th Execute records a full
+  /// QueryTrace; EXPLAIN ANALYZE always traces regardless.
+  TraceConfig trace;
+  /// Borrowed sink finished traces are delivered to; null = sampled traces
+  /// are dropped (EXPLAIN ANALYZE still works — it holds its own trace).
+  TraceSink* trace_sink = nullptr;
+  /// Borrowed span clock; null = wall time. Pass a SimNetClock to stamp
+  /// spans in the net's virtual time base.
+  const TraceClock* trace_clock = nullptr;
+  /// Executes at least this slow (seconds) enter the slow-query log.
+  double slow_query_s = 0.1;
 };
 
 /// How a request's plan was obtained.
@@ -76,12 +93,16 @@ struct QueryStats {
   /// Bytes moved by abandoned attempts and transferred again on recovery.
   uint64_t retransfer_bytes = 0;
   double net_virtual_s = 0;      ///< Simulated network seconds of the run.
+  /// Wall seconds from first failure to recovered result (0 without one).
+  double failover_latency_s = 0;
 };
 
 /// A query result plus its serving stats.
 struct QueryResponse {
   Table table;
   QueryStats stats;
+  /// The run's trace when this Execute was sampled (null otherwise).
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 /// A prepared statement: canonicalized text plus the parsed AST, so repeated
@@ -147,11 +168,31 @@ class QueryService {
   Result<QueryResponse> ExecuteSql(const std::string& sql,
                                    const Session& session);
 
+  /// EXPLAIN ANALYZE: executes `stmt` with tracing forced on (regardless of
+  /// the sampling config) and renders the annotated plan with observed
+  /// rows/time per operator and predicted-vs-observed bytes per
+  /// assignee-crossing edge. The execution is a real one — it hits the plan
+  /// cache, counts in the metrics, and can fail over.
+  Result<ExplainAnalyzeReport> ExplainAnalyze(const StatementHandle& stmt,
+                                              const Session& session);
+  Result<ExplainAnalyzeReport> ExplainAnalyzeSql(const std::string& sql,
+                                                 const Session& session);
+
   /// Point-in-time counters and latency percentiles.
   ServiceMetrics Metrics() const;
 
   /// Metrics as a JSON object.
   std::string MetricsJson() const;
+
+  /// Prometheus-style text exposition of the unified registry: latency
+  /// summaries, serving counters, cache state, and per-operator counters.
+  std::string MetricsText() const { return registry_.TextExposition(); }
+
+  /// The unified registry (for registering extra collectors in embedders).
+  MetricsRegistry* registry() { return &registry_; }
+
+  /// Slow queries observed so far, keyed by normalized-SQL digest.
+  const SlowQueryLog& slow_queries() const { return slow_log_; }
 
   /// Entries currently cached (for tests).
   size_t CacheEntries() const { return cache_.GetStats().entries; }
@@ -215,6 +256,18 @@ class QueryService {
     std::unique_ptr<DistributedRuntime> runtime;
     uint64_t policy_epoch = 0;
     uint64_t catalog_version = 0;
+    /// Cost-model estimates over the extended plan (refined schemes), keyed
+    /// by node id — what EXPLAIN ANALYZE compares observed bytes against.
+    std::unordered_map<int, NodeEstimate> estimates;
+  };
+
+  /// Execution detail EXPLAIN ANALYZE needs beyond the response: the plan
+  /// that ran, its trace, and — when the run was recovered — the failover
+  /// outcome holding the alternative assignment.
+  struct ExecDetail {
+    std::shared_ptr<PreparedPlan> entry;
+    std::shared_ptr<QueryTrace> trace;
+    std::shared_ptr<FailoverOutcome> recovered;
   };
 
   /// RAII admission-control slot; blocks in the constructor until the
@@ -223,10 +276,16 @@ class QueryService {
 
   Result<QueryResponse> ExecuteInternal(const std::string& normalized_sql,
                                         const AstSelect* ast,
-                                        const Session& session);
+                                        const Session& session,
+                                        bool force_trace = false,
+                                        ExecDetail* detail = nullptr);
+  Result<ExplainAnalyzeReport> ExplainAnalyzeInternal(
+      const std::string& normalized_sql, const AstSelect* ast,
+      const Session& session);
   Result<std::shared_ptr<PreparedPlan>> BuildPreparedPlan(
       const std::string& normalized_sql, const AstSelect* ast,
-      SubjectId subject, uint64_t policy_epoch, uint64_t catalog_version);
+      SubjectId subject, uint64_t policy_epoch, uint64_t catalog_version,
+      QueryTrace* trace, uint64_t trace_parent);
 
   const Catalog* catalog_;
   const SubjectRegistry* subjects_;
@@ -260,10 +319,17 @@ class QueryService {
   /// Per-operator timing/row counters, shared by every runtime this service
   /// builds (cached plans included).
   OpProfile op_profile_;
-  LatencyHistogram latency_total_;
-  LatencyHistogram latency_hit_;
-  LatencyHistogram latency_miss_;
-  LatencyHistogram latency_failover_;
+  /// The unified registry. The latency histograms live in it (stable
+  /// pointers resolved once in the constructor); counters the service keeps
+  /// as plain atomics surface through a collector instead of being
+  /// duplicated into registry instruments.
+  MetricsRegistry registry_;
+  LatencyHistogram* latency_total_;
+  LatencyHistogram* latency_hit_;
+  LatencyHistogram* latency_miss_;
+  LatencyHistogram* latency_failover_;
+  Tracer tracer_;
+  SlowQueryLog slow_log_;
 };
 
 }  // namespace mpq

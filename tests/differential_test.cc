@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "exec/failover.h"
 #include "net/simnet.h"
+#include "obs/trace.h"
 #include "testing/random_plan.h"
 #include "testing/reference_exec.h"
 
@@ -117,6 +118,24 @@ TEST(DifferentialTest, ColumnarEngineMatchesRowOracleOnEveryScenario) {
       ASSERT_TRUE(wired.ok()) << "seed " << seed;
       ASSERT_EQ(CanonicalRows(*wired), c->oracle_rows)
           << "seed " << seed << ": column serialization round-trip diverges";
+      if (pool == &eight) {
+        // Tracing differential: the instrumented engine never reads the
+        // trace, so a traced 8-thread run must be bit-identical on the
+        // wire to the untraced one.
+        QueryTrace trace(MakeTraceId(seed, seed ^ 0xace, 0), nullptr);
+        ExecContext traced_ctx;
+        traced_ctx.catalog = c->sc.catalog.get();
+        for (const auto& [rel, tab] : c->data) {
+          traced_ctx.base_tables[rel] = &tab;
+        }
+        traced_ctx.pool = pool;
+        traced_ctx.trace = &trace;
+        Result<Table> traced = ExecutePlan(c->sc.plan.get(), &traced_ctx);
+        ASSERT_TRUE(traced.ok()) << "seed " << seed;
+        ASSERT_EQ(traced->SerializeColumns(), t->SerializeColumns())
+            << "seed " << seed << ": traced run is not bit-identical";
+        EXPECT_FALSE(trace.Spans().empty()) << "seed " << seed;
+      }
     }
   }
 }
