@@ -465,10 +465,23 @@ int main(int argc, char** argv) {
       geomean_log += std::log(spd);
       measured++;
     }
-    if (spd < min_speedup) {
-      min_speedup = spd;
-      min_speedup_name = wl.name;
-    }
+    // Floor tracking: every measurement taken on real cores participates.
+    // A thread count above hardware_concurrency() times scheduler churn,
+    // not the engine, so oversubscribed rows are marked in the JSON and
+    // excluded from the speedup-floor gate.
+    auto track_floor = [&](double secs, const char* tag, bool oversub) {
+      if (oversub || secs <= 0) return;
+      double v = row_s / secs;
+      if (v < min_speedup) {
+        min_speedup = v;
+        min_speedup_name = wl.name + tag;
+      }
+    };
+    bool over2 = bench::Oversubscribed(2);
+    bool over8 = bench::Oversubscribed(8);
+    track_floor(s1, "", false);
+    track_floor(s2, "@2t", over2);
+    track_floor(s8, "@8t", over8);
     completed++;
 
     w.BeginObject();
@@ -478,6 +491,8 @@ int main(int argc, char** argv) {
     w.Key("hash_2t_ms").Double(s2 * 1e3);
     w.Key("hash_8t_ms").Double(s8 * 1e3);
     w.Key("speedup_1t").Double(spd);
+    w.Key("oversubscribed_2t").Bool(over2);
+    w.Key("oversubscribed_8t").Bool(over8);
     w.Key("rows").UInt(rows);
     w.Key("verified").Bool(verified);
     if (!trace_path.empty()) {
@@ -488,8 +503,8 @@ int main(int argc, char** argv) {
   w.EndArray();
   double geomean = measured > 0 ? std::exp(geomean_log / measured) : 0;
   w.Key("geomean_speedup_1t").Double(geomean);
-  // Floor gate: no workload — encrypted ones included — may run slower than
-  // the row oracle single-threaded.
+  // Floor gate: no workload — encrypted ones included — may run slower
+  // than the row oracle at any non-oversubscribed thread count.
   bool floor_ok = completed > 0 && min_speedup >= 1.0;
   w.Key("min_speedup_1t").Double(completed > 0 ? min_speedup : 0);
   w.Key("min_speedup_workload").String(min_speedup_name);

@@ -66,6 +66,17 @@ inline void WriteRunMeta(JsonWriter* w) {
       .EndObject();
 }
 
+/// True when a measurement at `threads` worker threads oversubscribes this
+/// machine (threads > hardware_concurrency). Oversubscribed timings measure
+/// scheduler churn, not parallel speedup, so benches mark such rows
+/// `oversubscribed: true` and exclude them from speedup-floor gating.
+/// Unknown concurrency (hardware_concurrency() == 0) is treated as not
+/// oversubscribed: better to gate on a noisy row than to skip silently.
+inline bool Oversubscribed(size_t threads) {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc != 0 && threads > hc;
+}
+
 /// Writes `document` to `path`; reports to stderr on failure.
 inline bool WriteJsonFile(const std::string& path,
                           const std::string& document) {

@@ -1,0 +1,180 @@
+#include "exec/mrv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace mpq {
+
+namespace {
+
+size_t ClampRecords(size_t n) {
+  return std::min(std::max<size_t>(n, 1), MrvCounter::kMaxRecords);
+}
+
+}  // namespace
+
+MrvCounter::MrvCounter(int64_t initial, size_t num_records, uint64_t seed)
+    : records_(kMaxRecords), seed_(seed) {
+  assert(initial >= 0 && "MRV invariant: total >= 0");
+  size_t n = ClampRecords(num_records);
+  active_.store(n, std::memory_order_release);
+  // Split the initial value evenly; the remainder lands on record 0.
+  int64_t share = initial / static_cast<int64_t>(n);
+  int64_t rem = initial - share * static_cast<int64_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    records_[i].v.store(share + (i == 0 ? rem : 0),
+                        std::memory_order_relaxed);
+  }
+}
+
+uint64_t MrvCounter::NextHint() const {
+  // Per-thread hint stream: no shared state, so concurrent updaters never
+  // contend on the randomness source itself.
+  static thread_local uint64_t state =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  state += 0x9e3779b97f4a7c15ull;
+  return SplitMix64(state ^ seed_);
+}
+
+void MrvCounter::Add(int64_t delta) {
+  assert(delta >= 0 && "Add takes a non-negative delta; use Sub");
+  if (delta == 0) return;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t n = active_.load(std::memory_order_acquire);
+  size_t slot = static_cast<size_t>(NextHint() % n);
+  records_[slot].v.fetch_add(delta, std::memory_order_relaxed);
+  adds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status MrvCounter::Sub(int64_t delta) {
+  assert(delta >= 0 && "Sub takes a non-negative delta");
+  if (delta == 0) {
+    subs_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t n = active_.load(std::memory_order_acquire);
+  size_t start = static_cast<size_t>(NextHint() % n);
+  int64_t remaining = delta;
+  // What was taken from each visited record, for rollback on failure.
+  int64_t taken[kMaxRecords] = {0};
+  size_t visited = 0;
+  for (size_t step = 0; step < n && remaining > 0; ++step) {
+    size_t i = (start + step) % n;
+    int64_t cur = records_[i].v.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      int64_t take = std::min(cur, remaining);
+      if (records_[i].v.compare_exchange_weak(cur, cur - take,
+                                              std::memory_order_relaxed)) {
+        taken[i] = take;
+        remaining -= take;
+        ++visited;
+        break;
+      }
+      // cur was reloaded by the failed CAS; another updater won the race.
+      cas_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (remaining > 0) {
+    // Not enough value across every record: restore what was gathered and
+    // reject, keeping the invariant total >= 0 without ever exposing a
+    // negative record.
+    for (size_t i = 0; i < n; ++i) {
+      if (taken[i] > 0) {
+        records_[i].v.fetch_add(taken[i], std::memory_order_relaxed);
+      }
+    }
+    sub_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "mrv sub rejected: insufficient value (invariant total >= 0)");
+  }
+  subs_.fetch_add(1, std::memory_order_relaxed);
+  sub_records_.fetch_add(visited, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+int64_t MrvCounter::Total() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t n = active_.load(std::memory_order_acquire);
+  int64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += records_[i].v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MrvCounter::Balance() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t n = active_.load(std::memory_order_acquire);
+  int64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += records_[i].v.load(std::memory_order_relaxed);
+  }
+  int64_t share = total / static_cast<int64_t>(n);
+  int64_t rem = total - share * static_cast<int64_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    records_[i].v.store(share + (i == 0 ? rem : 0),
+                        std::memory_order_relaxed);
+  }
+}
+
+void MrvCounter::Resize(size_t n) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t target = ClampRecords(n);
+  size_t cur = active_.load(std::memory_order_acquire);
+  // Deactivated records drain into record 0 so no value is stranded.
+  for (size_t i = target; i < cur; ++i) {
+    int64_t v = records_[i].v.exchange(0, std::memory_order_relaxed);
+    records_[0].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  active_.store(target, std::memory_order_release);
+}
+
+bool MrvCounter::AdjustStep() {
+  uint64_t retries = cas_retries_.load(std::memory_order_relaxed);
+  uint64_t subs = subs_.load(std::memory_order_relaxed);
+  uint64_t sub_records = sub_records_.load(std::memory_order_relaxed);
+  uint64_t d_retries = retries - last_retries_;
+  uint64_t d_subs = subs - last_subs_;
+  uint64_t d_sub_records = sub_records - last_sub_records_;
+  last_retries_ = retries;
+  last_subs_ = subs;
+  last_sub_records_ = sub_records;
+
+  size_t n = active_.load(std::memory_order_acquire);
+  if (d_retries > 0 && n < kMaxRecords) {
+    // Observed contention: double the record count (the paper's adjust
+    // worker grows the MRV under aborts; CAS retries are our analogue).
+    Resize(n * 2);
+    grows_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (d_retries == 0 && d_subs > 0 && d_sub_records > 2 * d_subs && n > 1) {
+    // Subs walk > 2 records on average with zero contention: the value is
+    // spread over more records than the workload needs.
+    Resize(n / 2);
+    Balance();
+    shrinks_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+MrvStats MrvCounter::Stats() const {
+  MrvStats s;
+  s.adds = adds_.load(std::memory_order_relaxed);
+  s.subs = subs_.load(std::memory_order_relaxed);
+  s.sub_failures = sub_failures_.load(std::memory_order_relaxed);
+  s.cas_retries = cas_retries_.load(std::memory_order_relaxed);
+  s.sub_records = sub_records_.load(std::memory_order_relaxed);
+  s.grows = grows_.load(std::memory_order_relaxed);
+  s.shrinks = shrinks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mpq

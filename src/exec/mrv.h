@@ -1,0 +1,114 @@
+// Multi-Record Values: invariant-preserving parallel updates to contended
+// numeric hotspots via randomized record splitting (Faria & Pereira,
+// SIGMOD 2023). One logical int64 value is partitioned over N physical
+// records; concurrent adds land on random records (commutative, no shared
+// cache line beyond the chosen record), subs gather from a random starting
+// record and walk as many records as needed, preserving the global
+// invariant total >= 0 — a sub that cannot gather its amount rolls back and
+// fails instead of driving the total negative. Two background steps keep
+// the structure healthy: Balance() redistributes value so subs usually
+// complete in one record, and AdjustStep() grows the record count under
+// observed contention (CAS retries) and shrinks it when subs walk many
+// records without contention.
+
+#ifndef MPQ_EXEC_MRV_H_
+#define MPQ_EXEC_MRV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpq {
+
+/// Point-in-time counter statistics (monotonic op counters).
+struct MrvStats {
+  uint64_t adds = 0;          ///< Successful Add calls.
+  uint64_t subs = 0;          ///< Successful Sub calls.
+  uint64_t sub_failures = 0;  ///< Subs rejected to preserve total >= 0.
+  uint64_t cas_retries = 0;   ///< Lost CAS races (the contention signal).
+  uint64_t sub_records = 0;   ///< Records visited across successful subs.
+  uint64_t grows = 0;         ///< AdjustStep record-count increases.
+  uint64_t shrinks = 0;       ///< AdjustStep record-count decreases.
+};
+
+/// One splittable counter. All methods are thread-safe; Add/Sub take only a
+/// shared lock (no writer can be mid-resize) plus per-record atomics, so
+/// concurrent updates to different records never serialize on one cache
+/// line.
+class MrvCounter {
+ public:
+  static constexpr size_t kMaxRecords = 64;
+
+  /// Splits `initial` (>= 0) over `num_records` records (clamped to
+  /// [1, kMaxRecords]). `seed` randomizes record choice deterministically
+  /// per counter.
+  MrvCounter(int64_t initial, size_t num_records, uint64_t seed);
+
+  /// Adds `delta` >= 0 to one randomly chosen record. Wait-free apart from
+  /// the shared resize lock.
+  void Add(int64_t delta);
+
+  /// Subtracts `delta` >= 0, gathering from records starting at a random
+  /// offset. Fails with kInvalidArgument — and leaves the total unchanged —
+  /// when the counter holds less than `delta` (invariant total >= 0).
+  Status Sub(int64_t delta);
+
+  /// Current total. Quiescently exact; under concurrent updates it is a
+  /// linearization-point-free sum (each record read once).
+  int64_t Total() const;
+
+  /// Number of active records.
+  size_t num_records() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Redistributes the total evenly over the active records so subsequent
+  /// subs complete in one record. Background-worker step; excludes
+  /// concurrent Add/Sub for its (short) duration.
+  void Balance();
+
+  /// Grows the record count when CAS retries were observed since the last
+  /// step, shrinks it when subs walked multiple records without any
+  /// contention (value spread too thin). Returns true when the record count
+  /// changed.
+  bool AdjustStep();
+
+  /// Forces the record count (clamped to [1, kMaxRecords]); deactivated
+  /// records drain into record 0. Exposed for tests and sizing policies.
+  void Resize(size_t n);
+
+  MrvStats Stats() const;
+
+ private:
+  struct alignas(64) Record {
+    std::atomic<int64_t> v{0};
+  };
+
+  uint64_t NextHint() const;
+
+  /// Guards the active record count: Add/Sub/Total shared, Balance/Resize
+  /// exclusive.
+  mutable std::shared_mutex mu_;
+  std::vector<Record> records_;  ///< fixed kMaxRecords slots
+  std::atomic<size_t> active_{1};
+  uint64_t seed_;  ///< mixed into the per-thread hint stream
+
+  std::atomic<uint64_t> adds_{0};
+  std::atomic<uint64_t> subs_{0};
+  std::atomic<uint64_t> sub_failures_{0};
+  std::atomic<uint64_t> cas_retries_{0};
+  std::atomic<uint64_t> sub_records_{0};
+  std::atomic<uint64_t> grows_{0};
+  std::atomic<uint64_t> shrinks_{0};
+  /// Stats watermarks of the previous AdjustStep.
+  uint64_t last_retries_ = 0;
+  uint64_t last_subs_ = 0;
+  uint64_t last_sub_records_ = 0;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_EXEC_MRV_H_

@@ -1,0 +1,275 @@
+#include "exec/table_store.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+
+/// Row of `table` whose plaintext int64 cell in `key_col` equals `key`, or
+/// -1 when absent.
+int64_t FindKeyRow(const Table& table, int key_col, int64_t key) {
+  const ColumnData& col = table.col(static_cast<size_t>(key_col));
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (col.IsNull(r)) continue;
+    Value v = col.GetValue(r);
+    if (v.is_int() && v.AsInt() == key) return static_cast<int64_t>(r);
+  }
+  return -1;
+}
+
+Status CheckPlainInt64Column(const Table& table, int col, const char* what) {
+  if (col < 0 || static_cast<size_t>(col) >= table.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("mrv: %s column %d out of range", what, col));
+  }
+  const ExecColumn& meta = table.columns()[static_cast<size_t>(col)];
+  if (meta.encrypted || meta.type != DataType::kInt64) {
+    return Status::Unsupported(
+        StrFormat("mrv: %s column '%s' must be a plaintext int64 column",
+                  what, meta.name.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TableStore::~TableStore() { StopMaintenance(); }
+
+uint64_t TableStore::PublishLocked(RelId rel,
+                                   std::shared_ptr<const Table> table) {
+  // Caller holds writer_mu_: the read-copy-update of `current_` is safe
+  // because no other writer can publish concurrently.
+  auto next = std::make_shared<Snapshot>();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    next->tables = current_->tables;
+  }
+  next->id = epoch_.load(std::memory_order_relaxed) + 1;
+  next->tables[rel] = std::move(table);
+  std::shared_ptr<const Snapshot> published = std::move(next);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    current_ = published;
+  }
+  epoch_.store(published->id, std::memory_order_release);
+  return published->id;
+}
+
+uint64_t TableStore::Put(RelId rel, Table data) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return PublishLocked(rel, std::make_shared<const Table>(std::move(data)));
+}
+
+std::shared_ptr<const Snapshot> TableStore::Current() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return current_;
+}
+
+Result<uint64_t> TableStore::Mutate(
+    RelId rel, const std::function<Status(Table*)>& mutate) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Table> base;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    auto it = current_->tables.find(rel);
+    if (it != current_->tables.end()) base = it->second;
+  }
+  if (base == nullptr) {
+    return Status::NotFound(
+        StrFormat("table store holds no relation %d", static_cast<int>(rel)));
+  }
+  // The copy shares every column payload with the published snapshot;
+  // mutation clones touched columns via col_mut, so the snapshot every
+  // in-flight reader pinned stays bit-identical.
+  Table working = *base;
+  MPQ_RETURN_NOT_OK(mutate(&working));
+  return PublishLocked(rel,
+                       std::make_shared<const Table>(std::move(working)));
+}
+
+Status TableStore::MrvAttach(RelId rel, int key_col, int64_t key,
+                             int value_col, size_t num_records) {
+  std::shared_ptr<const Snapshot> snap = Current();
+  const Table* table = snap->Get(rel);
+  if (table == nullptr) {
+    return Status::NotFound(
+        StrFormat("table store holds no relation %d", static_cast<int>(rel)));
+  }
+  MPQ_RETURN_NOT_OK(CheckPlainInt64Column(*table, key_col, "key"));
+  MPQ_RETURN_NOT_OK(CheckPlainInt64Column(*table, value_col, "value"));
+  int64_t row = FindKeyRow(*table, key_col, key);
+  if (row < 0) {
+    return Status::NotFound(
+        StrFormat("mrv attach: no row with key %lld", (long long)key));
+  }
+  const ColumnData& vcol = table->col(static_cast<size_t>(value_col));
+  if (vcol.IsNull(static_cast<size_t>(row))) {
+    return Status::InvalidArgument("mrv attach: cell is NULL");
+  }
+  int64_t initial = vcol.GetValue(static_cast<size_t>(row)).AsInt();
+  if (initial < 0) {
+    return Status::InvalidArgument(
+        "mrv attach: cell value must be >= 0 (invariant total >= 0)");
+  }
+  std::unique_lock<std::shared_mutex> lock(mrv_mu_);
+  MrvKey k{rel, value_col, key};
+  if (counters_.count(k) > 0) {
+    return Status::AlreadyExists("mrv counter already attached");
+  }
+  MrvEntry entry;
+  entry.key_col = key_col;
+  uint64_t seed = SplitMix64(static_cast<uint64_t>(rel) * 0x100000001ull ^
+                             static_cast<uint64_t>(value_col) << 32 ^
+                             static_cast<uint64_t>(key));
+  entry.counter =
+      std::make_unique<MrvCounter>(initial, num_records, seed);
+  counters_.emplace(k, std::move(entry));
+  return Status::OK();
+}
+
+Result<MrvCounter*> TableStore::FindCounter(RelId rel, int value_col,
+                                            int64_t key) const {
+  // Caller holds mrv_mu_ (shared). The pointee is non-const on purpose:
+  // MrvCounter updates are internally synchronized.
+  auto it = counters_.find(MrvKey{rel, value_col, key});
+  if (it == counters_.end()) {
+    return Status::NotFound(
+        StrFormat("no mrv counter for relation %d column %d key %lld",
+                  static_cast<int>(rel), value_col, (long long)key));
+  }
+  return it->second.counter.get();
+}
+
+Status TableStore::MrvAdd(RelId rel, int value_col, int64_t key,
+                          int64_t delta) {
+  if (delta < 0) {
+    return Status::InvalidArgument("mrv add: delta must be >= 0");
+  }
+  std::shared_lock<std::shared_mutex> lock(mrv_mu_);
+  MPQ_ASSIGN_OR_RETURN(MrvCounter * c, FindCounter(rel, value_col, key));
+  c->Add(delta);
+  return Status::OK();
+}
+
+Status TableStore::MrvSub(RelId rel, int value_col, int64_t key,
+                          int64_t delta) {
+  if (delta < 0) {
+    return Status::InvalidArgument("mrv sub: delta must be >= 0");
+  }
+  std::shared_lock<std::shared_mutex> lock(mrv_mu_);
+  MPQ_ASSIGN_OR_RETURN(MrvCounter * c, FindCounter(rel, value_col, key));
+  return c->Sub(delta);
+}
+
+Result<int64_t> TableStore::MrvTotal(RelId rel, int value_col,
+                                     int64_t key) const {
+  std::shared_lock<std::shared_mutex> lock(mrv_mu_);
+  MPQ_ASSIGN_OR_RETURN(MrvCounter * c, FindCounter(rel, value_col, key));
+  return c->Total();
+}
+
+Result<MrvStats> TableStore::MrvStatsFor(RelId rel, int value_col,
+                                         int64_t key) const {
+  std::shared_lock<std::shared_mutex> lock(mrv_mu_);
+  MPQ_ASSIGN_OR_RETURN(MrvCounter * c, FindCounter(rel, value_col, key));
+  return c->Stats();
+}
+
+bool TableStore::MrvCoversColumn(RelId rel, int col) const {
+  std::shared_lock<std::shared_mutex> lock(mrv_mu_);
+  auto it = counters_.lower_bound(
+      MrvKey{rel, col, std::numeric_limits<int64_t>::min()});
+  return it != counters_.end() && std::get<0>(it->first) == rel &&
+         std::get<1>(it->first) == col;
+}
+
+Status TableStore::FlushCounters() {
+  // Snapshot the fold work under the shared registry lock, then run the
+  // table mutations without it (Mutate takes the writer lock; counters keep
+  // absorbing updates during the fold — the flushed value is the total at
+  // fold time, later updates land in the next flush).
+  struct Fold {
+    RelId rel;
+    int key_col;
+    int value_col;
+    int64_t key;
+    int64_t total;
+  };
+  std::vector<Fold> folds;
+  {
+    std::shared_lock<std::shared_mutex> lock(mrv_mu_);
+    folds.reserve(counters_.size());
+    for (const auto& [k, entry] : counters_) {
+      folds.push_back(Fold{std::get<0>(k), entry.key_col, std::get<1>(k),
+                           std::get<2>(k), entry.counter->Total()});
+    }
+  }
+  for (const Fold& f : folds) {
+    Result<uint64_t> r = Mutate(f.rel, [&f](Table* table) -> Status {
+      int64_t row = FindKeyRow(*table, f.key_col, f.key);
+      if (row < 0) return Status::OK();  // key row deleted: skip
+      ColumnData& col = table->col_mut(static_cast<size_t>(f.value_col));
+      ColumnData next(col.rep());
+      next.Reserve(table->num_rows());
+      for (size_t r2 = 0; r2 < table->num_rows(); ++r2) {
+        if (static_cast<int64_t>(r2) == row) {
+          next.AppendValue(Value(f.total));
+        } else {
+          next.AppendFrom(col, r2);
+        }
+      }
+      table->SetColumnData(static_cast<size_t>(f.value_col),
+                           std::move(next));
+      return Status::OK();
+    });
+    MPQ_RETURN_NOT_OK(r.status());
+  }
+  return Status::OK();
+}
+
+void TableStore::MaintainCounters() {
+  std::shared_lock<std::shared_mutex> lock(mrv_mu_);
+  for (auto& [k, entry] : counters_) {
+    (void)k;
+    entry.counter->AdjustStep();
+    entry.counter->Balance();
+  }
+}
+
+void TableStore::StartMaintenance(int64_t period_ms) {
+  std::lock_guard<std::mutex> lock(maint_mu_);
+  if (maint_thread_.joinable()) return;
+  maint_stop_ = false;
+  maint_thread_ = std::thread([this, period_ms] {
+    std::unique_lock<std::mutex> lock(maint_mu_);
+    while (!maint_stop_) {
+      if (maint_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                             [this] { return maint_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      MaintainCounters();
+      lock.lock();
+    }
+  });
+}
+
+void TableStore::StopMaintenance() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    if (!maint_thread_.joinable()) return;
+    maint_stop_ = true;
+    maint_cv_.notify_all();
+    t = std::move(maint_thread_);
+  }
+  t.join();
+}
+
+}  // namespace mpq

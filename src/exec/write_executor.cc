@@ -1,0 +1,168 @@
+#include "exec/write_executor.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace mpq {
+
+namespace {
+
+/// Conjunction of bound predicates over row `r`; NULL on either side never
+/// satisfies a term (SQL three-valued logic collapsed to false).
+bool RowMatches(const Table& table, size_t r,
+                const std::vector<BoundWritePredicate>& where) {
+  for (const BoundWritePredicate& p : where) {
+    const ColumnData& lcol = table.col(static_cast<size_t>(p.col));
+    if (lcol.IsNull(r)) return false;
+    Value lhs = lcol.GetValue(r);
+    Value rhs;
+    if (p.rhs_is_column) {
+      const ColumnData& rcol = table.col(static_cast<size_t>(p.rhs_col));
+      if (rcol.IsNull(r)) return false;
+      rhs = rcol.GetValue(r);
+    } else {
+      rhs = p.rhs;
+    }
+    if (lhs.is_null() || rhs.is_null()) return false;
+    int c = lhs.Compare(rhs);
+    bool pass = false;
+    switch (p.op) {
+      case CmpOp::kEq: pass = c == 0; break;
+      case CmpOp::kNe: pass = c != 0; break;
+      case CmpOp::kLt: pass = c < 0; break;
+      case CmpOp::kLe: pass = c <= 0; break;
+      case CmpOp::kGt: pass = c > 0; break;
+      case CmpOp::kGe: pass = c >= 0; break;
+    }
+    if (!pass) return false;
+  }
+  return true;
+}
+
+/// Write statements evaluate predicates and store literals on plaintext
+/// base columns; a store table with encrypted payloads in the touched
+/// columns is out of scope for the write path.
+Status CheckPlainColumn(const Table& table, int col, const char* what) {
+  const ExecColumn& meta = table.columns()[static_cast<size_t>(col)];
+  if (meta.encrypted) {
+    return Status::Unsupported(StrFormat(
+        "write %s over encrypted column '%s'", what, meta.name.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteExecutor::CheckAuthorized(const BoundWrite& write,
+                                      SubjectId subject) const {
+  AttrSet needed = write.written.Union(write.read);
+  AttrSet plain = policy_->PlainView(subject);
+  if (!needed.IsSubsetOf(plain)) {
+    AttrSet missing = needed.Difference(plain);
+    return Status::Unauthorized(StrFormat(
+        "%s is not authorized to write: no plaintext visibility over [%s]",
+        policy_->subjects().Name(subject).c_str(),
+        missing.ToString(policy_->catalog().attrs()).c_str()));
+  }
+  return Status::OK();
+}
+
+Status WriteExecutor::Apply(const BoundWrite& write, Table* table,
+                            uint64_t* rows_affected) const {
+  for (const BoundWritePredicate& p : write.where) {
+    MPQ_RETURN_NOT_OK(CheckPlainColumn(*table, p.col, "predicate"));
+    if (p.rhs_is_column) {
+      MPQ_RETURN_NOT_OK(CheckPlainColumn(*table, p.rhs_col, "predicate"));
+    }
+  }
+  switch (write.kind) {
+    case StatementKind::kInsert: {
+      for (const std::vector<Value>& row : write.rows) {
+        std::vector<Cell> cells;
+        cells.reserve(row.size());
+        for (const Value& v : row) cells.emplace_back(v);
+        table->AddRow(std::move(cells));
+      }
+      *rows_affected = write.rows.size();
+      return Status::OK();
+    }
+    case StatementKind::kUpdate: {
+      for (const auto& [col, value] : write.sets) {
+        (void)value;
+        MPQ_RETURN_NOT_OK(CheckPlainColumn(*table, col, "assignment"));
+      }
+      std::vector<uint8_t> match(table->num_rows(), 0);
+      uint64_t n = 0;
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        if (RowMatches(*table, r, write.where)) {
+          match[r] = 1;
+          ++n;
+        }
+      }
+      for (const auto& [col, value] : write.sets) {
+        const ColumnData& src = table->col(static_cast<size_t>(col));
+        ColumnData next(src.rep());
+        next.Reserve(table->num_rows());
+        for (size_t r = 0; r < table->num_rows(); ++r) {
+          if (match[r]) {
+            next.AppendValue(value);
+          } else {
+            next.AppendFrom(src, r);
+          }
+        }
+        table->SetColumnData(static_cast<size_t>(col), std::move(next));
+      }
+      *rows_affected = n;
+      return Status::OK();
+    }
+    case StatementKind::kDelete: {
+      SelectionVector keep;
+      keep.reserve(table->num_rows());
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        if (!RowMatches(*table, r, write.where)) {
+          keep.push_back(static_cast<uint32_t>(r));
+        }
+      }
+      *rows_affected = table->num_rows() - keep.size();
+      Table out;
+      for (size_t i = 0; i < table->num_columns(); ++i) {
+        ColumnData next(table->col(i).rep());
+        next.Reserve(keep.size());
+        next.AppendSelected(table->col(i), keep.data(), keep.size());
+        out.AddColumn(table->columns()[i], std::move(next));
+      }
+      *table = std::move(out);
+      return Status::OK();
+    }
+    case StatementKind::kSelect:
+      break;
+  }
+  return Status::Internal("write executor got a non-write statement");
+}
+
+Result<WriteResult> WriteExecutor::Execute(const BoundWrite& write,
+                                           SubjectId subject) {
+  MPQ_RETURN_NOT_OK(CheckAuthorized(write, subject));
+  if (write.kind == StatementKind::kUpdate) {
+    for (const auto& [col, value] : write.sets) {
+      (void)value;
+      if (store_->MrvCoversColumn(write.rel, col)) {
+        return Status::Unsupported(StrFormat(
+            "column %d of relation %d is MRV-managed: update it through "
+            "the counter API, not UPDATE",
+            col, static_cast<int>(write.rel)));
+      }
+    }
+  }
+  uint64_t rows_affected = 0;
+  MPQ_ASSIGN_OR_RETURN(
+      uint64_t snapshot_id,
+      store_->Mutate(write.rel, [&](Table* table) -> Status {
+        return Apply(write, table, &rows_affected);
+      }));
+  return WriteResult{rows_affected, snapshot_id};
+}
+
+}  // namespace mpq

@@ -1,0 +1,48 @@
+// Write executor: applies a bound INSERT / UPDATE / DELETE (sql/binder.h)
+// to the versioned store as one atomic snapshot publication. Statement
+// authorization reuses the policy machinery: writing is the strongest way
+// to "see" an attribute, so the writing subject needs plaintext visibility
+// (P_S, Sec 4) over every attribute the statement writes or its filter
+// reads — the write-side counterpart of the Def 4.1 read checks.
+
+#ifndef MPQ_EXEC_WRITE_EXECUTOR_H_
+#define MPQ_EXEC_WRITE_EXECUTOR_H_
+
+#include "authz/policy.h"
+#include "exec/table_store.h"
+#include "sql/binder.h"
+
+namespace mpq {
+
+/// Outcome of one committed write statement.
+struct WriteResult {
+  uint64_t rows_affected = 0;
+  /// Snapshot the statement published — queries pinning this id (or later)
+  /// see the write, earlier pins do not.
+  uint64_t snapshot_id = 0;
+};
+
+class WriteExecutor {
+ public:
+  WriteExecutor(const Policy* policy, TableStore* store)
+      : policy_(policy), store_(store) {}
+
+  /// Is `subject` authorized to run `write`? OK, or kUnauthorized naming
+  /// the attributes it lacks plaintext visibility over.
+  Status CheckAuthorized(const BoundWrite& write, SubjectId subject) const;
+
+  /// Authorizes and commits `write`. All-or-nothing: on any error no
+  /// snapshot is published and readers keep seeing the previous state.
+  Result<WriteResult> Execute(const BoundWrite& write, SubjectId subject);
+
+ private:
+  Status Apply(const BoundWrite& write, Table* table,
+               uint64_t* rows_affected) const;
+
+  const Policy* policy_;
+  TableStore* store_;
+};
+
+}  // namespace mpq
+
+#endif  // MPQ_EXEC_WRITE_EXECUTOR_H_

@@ -39,6 +39,13 @@ struct ServiceMetrics {
   uint64_t failovers = 0;
   uint64_t failover_retransfer_bytes = 0;
 
+  // Write path (ExecuteWrite + MRV counter APIs).
+  uint64_t writes = 0;        ///< Write statements attempted.
+  uint64_t write_errors = 0;  ///< Write statements returning non-OK.
+  uint64_t rows_written = 0;  ///< Rows inserted/updated/deleted.
+  uint64_t counter_ops = 0;   ///< MRV counter API calls.
+  uint64_t snapshot_epoch = 0;  ///< Current store snapshot id (0 = no store).
+
   // End-to-end Execute latency, split by cache outcome (milliseconds).
   double total_p50_ms = 0, total_p95_ms = 0, total_p99_ms = 0;
   double hit_p50_ms = 0, hit_p95_ms = 0, hit_p99_ms = 0;

@@ -33,13 +33,14 @@ size_t QueryService::PlanCacheKeyHash::operator()(
   h = SplitMix64(h ^ k.catalog_version * 0xbf58476d1ce4e5b9ull);
   h = SplitMix64(h ^ k.policy_epoch * 0x94d049bb133111ebull);
   h = SplitMix64(h ^ k.net_epoch * 0xd6e8feb86659fd93ull);
+  h = SplitMix64(h ^ k.snapshot_epoch * 0xa0761d6478bd642full);
   return static_cast<size_t>(h);
 }
 
 size_t QueryService::PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
   return operator()(PlanCacheKeyRef{k.normalized_sql, k.subject,
                                     k.catalog_version, k.policy_epoch,
-                                    k.net_epoch});
+                                    k.net_epoch, k.snapshot_epoch});
 }
 
 /// Blocks until the in-flight count drops below the cap, then holds a slot
@@ -131,6 +132,16 @@ QueryService::QueryService(const Catalog* catalog,
     counter("mpq_failover_retransfer_bytes_total",
             "Bytes moved again by recovery plans",
             m.failover_retransfer_bytes);
+    counter("mpq_writes_total", "Write statements attempted", m.writes);
+    counter("mpq_write_errors_total", "Write statements returning non-OK",
+            m.write_errors);
+    counter("mpq_rows_written_total", "Rows inserted/updated/deleted",
+            m.rows_written);
+    counter("mpq_counter_ops_total", "MRV counter API calls", m.counter_ops);
+    out->append(StrFormat(
+        "# HELP mpq_snapshot_epoch Current table store snapshot id\n"
+        "# TYPE mpq_snapshot_epoch gauge\nmpq_snapshot_epoch %llu\n",
+        static_cast<unsigned long long>(m.snapshot_epoch)));
     out->append(StrFormat(
         "# HELP mpq_cache_entries Plans currently cached\n"
         "# TYPE mpq_cache_entries gauge\nmpq_cache_entries %llu\n",
@@ -217,12 +228,161 @@ Result<QueryResponse> QueryService::ExecuteSql(const std::string& sql,
   return ExecuteInternal(normalized, nullptr, session);
 }
 
+Result<WriteResult> QueryService::ExecuteWrite(const std::string& sql,
+                                               const Session& session) {
+  if (config_.store == nullptr) {
+    return Status::InvalidArgument(
+        "ExecuteWrite requires a TableStore attached to the service");
+  }
+  if (session.subject() == kInvalidSubject ||
+      session.subject() >= subjects_->size()) {
+    return Status::InvalidArgument("write without a valid session");
+  }
+  MPQ_ASSIGN_OR_RETURN(std::string normalized, NormalizeSql(sql));
+  const uint64_t statement_digest = HashBytes(normalized);
+  std::shared_ptr<QueryTrace> trace =
+      tracer_.MaybeStart(session.id(), statement_digest);
+  Span root = trace != nullptr
+                  ? trace->StartSpan("write", "write", /*parent=*/0,
+                                     /*node_id=*/-1,
+                                     static_cast<int>(session.subject()))
+                  : Span();
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  auto fail = [&](const Status& st) -> Status {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (root) {
+      root.AnnStr("error", st.ToString());
+      root.End();
+    }
+    if (trace != nullptr) tracer_.Finish(trace);
+    return st;
+  };
+  auto parsed = ParseStatement(normalized);
+  if (!parsed.ok()) return fail(parsed.status());
+  if (parsed->kind == StatementKind::kSelect) {
+    return fail(Status::InvalidArgument(
+        "ExecuteWrite got a SELECT statement; use Execute"));
+  }
+  auto bound = BindWrite(*parsed, *catalog_);
+  if (!bound.ok()) return fail(bound.status());
+  WriteExecutor writer(policy_, config_.store);
+  auto result = writer.Execute(*bound, session.subject());
+  if (!result.ok()) return fail(result.status());
+  rows_written_.fetch_add(result->rows_affected, std::memory_order_relaxed);
+  if (root) {
+    root.AnnInt("rows_affected",
+                static_cast<int64_t>(result->rows_affected));
+    root.AnnInt("snapshot_id", static_cast<int64_t>(result->snapshot_id));
+    root.End();
+  }
+  if (trace != nullptr) tracer_.Finish(trace);
+  return result;
+}
+
+Result<std::pair<RelId, int>> QueryService::ResolveCounterColumn(
+    const std::string& rel_name, const std::string& value_col,
+    const Session& session) const {
+  if (config_.store == nullptr) {
+    return Status::InvalidArgument(
+        "counter APIs require a TableStore attached to the service");
+  }
+  if (session.subject() == kInvalidSubject ||
+      session.subject() >= subjects_->size()) {
+    return Status::InvalidArgument("counter op without a valid session");
+  }
+  RelId rel = catalog_->FindRelation(rel_name);
+  if (rel == kInvalidRel) {
+    return Status::NotFound("unknown relation: " + rel_name);
+  }
+  const Schema& schema = catalog_->Get(rel).schema;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const Column& c = schema.columns()[i];
+    if (c.name != value_col) continue;
+    // Counter updates write the attribute's plaintext value: same
+    // authorization surface as an UPDATE of that column.
+    AttrSet needed;
+    needed.Insert(c.attr);
+    if (!needed.IsSubsetOf(policy_->PlainView(session.subject()))) {
+      return Status::Unauthorized(StrFormat(
+          "%s is not authorized to update counter column [%s]",
+          subjects_->Name(session.subject()).c_str(),
+          needed.ToString(catalog_->attrs()).c_str()));
+    }
+    return std::make_pair(rel, static_cast<int>(i));
+  }
+  return Status::NotFound(
+      StrFormat("relation %s has no column %s", rel_name.c_str(),
+                value_col.c_str()));
+}
+
+Status QueryService::CounterAttach(const std::string& rel_name,
+                                   const std::string& key_col, int64_t key,
+                                   const std::string& value_col,
+                                   size_t num_records,
+                                   const Session& session) {
+  MPQ_ASSIGN_OR_RETURN(auto target,
+                       ResolveCounterColumn(rel_name, value_col, session));
+  const Schema& schema = catalog_->Get(target.first).schema;
+  int key_idx = -1;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (schema.columns()[i].name == key_col) {
+      key_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  if (key_idx < 0) {
+    return Status::NotFound(
+        StrFormat("relation %s has no column %s", rel_name.c_str(),
+                  key_col.c_str()));
+  }
+  counter_ops_.fetch_add(1, std::memory_order_relaxed);
+  return config_.store->MrvAttach(target.first, key_idx, key, target.second,
+                                  num_records);
+}
+
+Status QueryService::CounterAdd(const std::string& rel_name,
+                                const std::string& value_col, int64_t key,
+                                int64_t delta, const Session& session) {
+  MPQ_ASSIGN_OR_RETURN(auto target,
+                       ResolveCounterColumn(rel_name, value_col, session));
+  counter_ops_.fetch_add(1, std::memory_order_relaxed);
+  return config_.store->MrvAdd(target.first, target.second, key, delta);
+}
+
+Status QueryService::CounterSub(const std::string& rel_name,
+                                const std::string& value_col, int64_t key,
+                                int64_t delta, const Session& session) {
+  MPQ_ASSIGN_OR_RETURN(auto target,
+                       ResolveCounterColumn(rel_name, value_col, session));
+  counter_ops_.fetch_add(1, std::memory_order_relaxed);
+  return config_.store->MrvSub(target.first, target.second, key, delta);
+}
+
+Result<int64_t> QueryService::CounterTotal(const std::string& rel_name,
+                                           const std::string& value_col,
+                                           int64_t key,
+                                           const Session& session) const {
+  MPQ_ASSIGN_OR_RETURN(auto target,
+                       ResolveCounterColumn(rel_name, value_col, session));
+  counter_ops_.fetch_add(1, std::memory_order_relaxed);
+  return config_.store->MrvTotal(target.first, target.second, key);
+}
+
+Status QueryService::FlushCounters() {
+  if (config_.store == nullptr) {
+    return Status::InvalidArgument(
+        "counter APIs require a TableStore attached to the service");
+  }
+  return config_.store->FlushCounters();
+}
+
 Result<std::shared_ptr<QueryService::PreparedPlan>>
 QueryService::BuildPreparedPlan(const std::string& normalized_sql,
                                 const AstSelect* ast, SubjectId subject,
                                 uint64_t policy_epoch,
-                                uint64_t catalog_version, QueryTrace* trace,
-                                uint64_t trace_parent) {
+                                uint64_t catalog_version,
+                                std::shared_ptr<const Snapshot> snapshot,
+                                QueryTrace* trace, uint64_t trace_parent) {
   AstSelect parsed;
   if (ast == nullptr) {
     Span parse = trace != nullptr
@@ -320,6 +480,15 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
       entry->runtime->LoadTableRef(rel, table);
     }
   }
+  // Store-managed relations shadow static registrations: the runtime reads
+  // the pinned snapshot's version, and the PreparedPlan keeps the snapshot
+  // alive for as long as the cache may serve this plan.
+  if (snapshot != nullptr) {
+    for (const auto& [rel, table] : snapshot->tables) {
+      entry->runtime->LoadTableRef(rel, table.get());
+    }
+    entry->snapshot = std::move(snapshot);
+  }
   uint64_t seed = SplitMix64(config_.key_seed ^
                              std::hash<std::string>{}(normalized_sql));
   seed = SplitMix64(seed ^
@@ -367,12 +536,19 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   // after a policy or schema mutation returns is keyed past the stale
   // entries, which therefore can never serve it. The key is a borrowed view
   // of the caller's normalized SQL — a cache hit copies no statement text.
+  // Pin the store snapshot once, up front: everything this request reads
+  // comes from this one immutable version, and the id keys the cache so a
+  // write publication retires plans built over the superseded snapshot.
+  std::shared_ptr<const Snapshot> snapshot =
+      config_.store != nullptr ? config_.store->Current() : nullptr;
+
   PlanCacheKeyRef key;
   key.normalized_sql = normalized_sql;
   key.subject = session.subject();
   key.catalog_version = catalog_->version();
   key.policy_epoch = policy_->epoch();
   key.net_epoch = config_.net != nullptr ? config_.net->liveness_epoch() : 0;
+  key.snapshot_epoch = snapshot != nullptr ? snapshot->id : 0;
 
   Span probe = trace != nullptr
                    ? trace->StartSpan("cache_probe", "cache", root_span)
@@ -386,8 +562,8 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   if (entry == nullptr) {
     auto built =
         BuildPreparedPlan(normalized_sql, ast, session.subject(),
-                          key.policy_epoch, key.catalog_version, trace.get(),
-                          root_span);
+                          key.policy_epoch, key.catalog_version, snapshot,
+                          trace.get(), root_span);
     if (!built.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       if (root) root.AnnStr("error", built.status().ToString());
@@ -396,7 +572,9 @@ Result<QueryResponse> QueryService::ExecuteInternal(
     if (policy_->epoch() == key.policy_epoch &&
         catalog_->version() == key.catalog_version &&
         (config_.net == nullptr ||
-         config_.net->liveness_epoch() == key.net_epoch)) {
+         config_.net->liveness_epoch() == key.net_epoch) &&
+        (config_.store == nullptr ||
+         config_.store->snapshot_epoch() == key.snapshot_epoch)) {
       entry = cache_.PutIfAbsent(key, std::move(*built));
     } else {
       // The policy, schema, or network liveness moved while we were
@@ -450,6 +628,12 @@ Result<QueryResponse> QueryService::ExecuteInternal(
       std::lock_guard<std::mutex> lock(tables_mu_);
       for (const auto& [rel, table] : tables_) {
         failover.LoadTable(rel, table);
+      }
+    }
+    // The recovery reads the same pinned snapshot the failed run did.
+    if (entry->snapshot != nullptr) {
+      for (const auto& [rel, table] : entry->snapshot->tables) {
+        failover.LoadTable(rel, table.get());
       }
     }
     Result<FailoverOutcome> recovered =
@@ -516,6 +700,7 @@ Result<QueryResponse> QueryService::ExecuteInternal(
   response.stats.cache = outcome;
   response.stats.policy_epoch = plan_epoch;
   response.stats.catalog_version = plan_catalog_version;
+  response.stats.snapshot_id = key.snapshot_epoch;
   response.stats.result_rows = response.table.num_rows();
   response.stats.transfer_bytes = run->total_transfer_bytes;
   response.stats.num_messages = run->num_messages;
@@ -590,6 +775,12 @@ ServiceMetrics QueryService::Metrics() const {
   m.failovers = failovers_.load(std::memory_order_relaxed);
   m.failover_retransfer_bytes =
       failover_retransfer_bytes_.load(std::memory_order_relaxed);
+  m.writes = writes_.load(std::memory_order_relaxed);
+  m.write_errors = write_errors_.load(std::memory_order_relaxed);
+  m.rows_written = rows_written_.load(std::memory_order_relaxed);
+  m.counter_ops = counter_ops_.load(std::memory_order_relaxed);
+  m.snapshot_epoch =
+      config_.store != nullptr ? config_.store->snapshot_epoch() : 0;
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
     m.admission_waits = admission_waits_;

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "assign/assignment.h"
 #include "authz/policy.h"
@@ -30,6 +31,8 @@
 #include "net/pricing.h"
 #include "net/simnet.h"
 #include "net/topology.h"
+#include "exec/table_store.h"
+#include "exec/write_executor.h"
 #include "obs/explain.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
@@ -72,6 +75,13 @@ struct ServiceConfig {
   const TraceClock* trace_clock = nullptr;
   /// Executes at least this slow (seconds) enter the slow-query log.
   double slow_query_s = 0.1;
+  /// Versioned table storage (borrowed; may be null = static tables only).
+  /// With a store attached, every Execute pins the store's current Snapshot
+  /// up front and reads exclusively from it: a write committing mid-query
+  /// is invisible to in-flight requests, and the snapshot id joins the plan
+  /// cache key, so a cached plan never serves rows from a superseded
+  /// snapshot. Store-managed relations shadow LoadTable registrations.
+  TableStore* store = nullptr;
 };
 
 /// How a request's plan was obtained.
@@ -85,6 +95,7 @@ struct QueryStats {
   CacheOutcome cache = CacheOutcome::kMiss;
   uint64_t policy_epoch = 0;     ///< Epoch the plan is authorized against.
   uint64_t catalog_version = 0;  ///< Catalog version the plan is bound against.
+  uint64_t snapshot_id = 0;      ///< Store snapshot the query read (0 = none).
   size_t result_rows = 0;
   uint64_t transfer_bytes = 0;   ///< Bytes crossing assignee boundaries.
   size_t num_messages = 0;
@@ -168,6 +179,38 @@ class QueryService {
   Result<QueryResponse> ExecuteSql(const std::string& sql,
                                    const Session& session);
 
+  /// Executes an INSERT / UPDATE / DELETE under `session`'s identity.
+  /// Requires an attached TableStore; the statement commits atomically as
+  /// one snapshot publication (in-flight reads keep their pinned snapshot)
+  /// and the subject needs plaintext visibility over every attribute the
+  /// statement writes or its filter reads.
+  Result<WriteResult> ExecuteWrite(const std::string& sql,
+                                   const Session& session);
+
+  // MRV hotspot counters (exec/mrv.h), exposed as atomic counter updates
+  // that never serialize on one record or on the store's writer lock.
+  // Authorization mirrors the write rule: the session subject needs
+  // plaintext visibility over the counter's value attribute.
+
+  /// Detaches the cell (`value_col` of the row where `key_col` == `key`)
+  /// of relation `rel_name` into an MRV counter with `num_records` records.
+  Status CounterAttach(const std::string& rel_name,
+                       const std::string& key_col, int64_t key,
+                       const std::string& value_col, size_t num_records,
+                       const Session& session);
+  Status CounterAdd(const std::string& rel_name, const std::string& value_col,
+                    int64_t key, int64_t delta, const Session& session);
+  /// Fails (leaving the counter unchanged) when it holds less than `delta`.
+  Status CounterSub(const std::string& rel_name, const std::string& value_col,
+                    int64_t key, int64_t delta, const Session& session);
+  Result<int64_t> CounterTotal(const std::string& rel_name,
+                               const std::string& value_col, int64_t key,
+                               const Session& session) const;
+
+  /// Folds every counter into its table cell and publishes new snapshots —
+  /// the point where counter updates become visible to queries.
+  Status FlushCounters();
+
   /// EXPLAIN ANALYZE: executes `stmt` with tracing forced on (regardless of
   /// the sampling config) and renders the annotated plan with observed
   /// rows/time per operator and predicted-vs-observed bytes per
@@ -217,6 +260,10 @@ class QueryService {
     /// built around a down provider stops being served once liveness
     /// changes, instead of outliving the outage.
     uint64_t net_epoch = 0;
+    /// TableStore snapshot id at request start (0 without a store): a
+    /// cached plan's runtime borrows tables of one snapshot, so any write
+    /// publication moves new requests past the stale entry.
+    uint64_t snapshot_epoch = 0;
   };
   struct PlanCacheKey {
     std::string normalized_sql;
@@ -224,6 +271,7 @@ class QueryService {
     uint64_t catalog_version = 0;
     uint64_t policy_epoch = 0;
     uint64_t net_epoch = 0;
+    uint64_t snapshot_epoch = 0;
 
     PlanCacheKey() = default;
     explicit PlanCacheKey(const PlanCacheKeyRef& ref)
@@ -231,11 +279,13 @@ class QueryService {
           subject(ref.subject),
           catalog_version(ref.catalog_version),
           policy_epoch(ref.policy_epoch),
-          net_epoch(ref.net_epoch) {}
+          net_epoch(ref.net_epoch),
+          snapshot_epoch(ref.snapshot_epoch) {}
 
     bool operator==(const PlanCacheKeyRef& o) const {
       return subject == o.subject && catalog_version == o.catalog_version &&
              policy_epoch == o.policy_epoch && net_epoch == o.net_epoch &&
+             snapshot_epoch == o.snapshot_epoch &&
              normalized_sql == o.normalized_sql;
     }
   };
@@ -254,6 +304,9 @@ class QueryService {
     AssignmentResult assignment;
     PlanKeys keys;
     std::unique_ptr<DistributedRuntime> runtime;
+    /// Pins the store snapshot the runtime's table references point into —
+    /// a later publication can never free tables under a cached plan.
+    std::shared_ptr<const Snapshot> snapshot;
     uint64_t policy_epoch = 0;
     uint64_t catalog_version = 0;
     /// Cost-model estimates over the extended plan (refined schemes), keyed
@@ -285,7 +338,13 @@ class QueryService {
   Result<std::shared_ptr<PreparedPlan>> BuildPreparedPlan(
       const std::string& normalized_sql, const AstSelect* ast,
       SubjectId subject, uint64_t policy_epoch, uint64_t catalog_version,
-      QueryTrace* trace, uint64_t trace_parent);
+      std::shared_ptr<const Snapshot> snapshot, QueryTrace* trace,
+      uint64_t trace_parent);
+  /// Resolves a (relation, column) pair for the counter APIs and checks the
+  /// session subject's plaintext visibility over the column's attribute.
+  Result<std::pair<RelId, int>> ResolveCounterColumn(
+      const std::string& rel_name, const std::string& value_col,
+      const Session& session) const;
 
   const Catalog* catalog_;
   const SubjectRegistry* subjects_;
@@ -314,6 +373,11 @@ class QueryService {
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> failover_retransfer_bytes_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> write_errors_{0};
+  std::atomic<uint64_t> rows_written_{0};
+  /// mutable: CounterTotal is a logically-const read but still counts.
+  mutable std::atomic<uint64_t> counter_ops_{0};
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> next_statement_id_{1};
   /// Per-operator timing/row counters, shared by every runtime this service

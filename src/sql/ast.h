@@ -45,6 +45,41 @@ struct AstSelect {
   std::vector<AstPredicate> having;
 };
 
+/// INSERT INTO t [(c, ...)] VALUES (v, ...)[, (v, ...)]*. Values are
+/// literals or NULL; omitted columns receive NULL.
+struct AstInsert {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty = schema order, all columns
+  std::vector<std::vector<Value>> rows;
+};
+
+/// UPDATE t SET c = v [, c = v]* [WHERE preds]. Set values are literals or
+/// NULL; in-place arithmetic on contended cells goes through the MRV
+/// counter API instead (exec/mrv.h).
+struct AstUpdate {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> sets;
+  std::vector<AstPredicate> where;
+};
+
+/// DELETE FROM t [WHERE preds].
+struct AstDelete {
+  std::string table;
+  std::vector<AstPredicate> where;
+};
+
+/// Kind tag of a parsed statement.
+enum class StatementKind { kSelect, kInsert, kUpdate, kDelete };
+
+/// Any parsed statement; `kind` selects the active member.
+struct AstStatement {
+  StatementKind kind = StatementKind::kSelect;
+  AstSelect select;
+  AstInsert insert;
+  AstUpdate update;
+  AstDelete del;
+};
+
 }  // namespace mpq
 
 #endif  // MPQ_SQL_AST_H_

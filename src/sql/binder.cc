@@ -185,4 +185,163 @@ Result<PlanPtr> PlanFromSql(const std::string& sql, const Catalog& catalog) {
   return BindSelect(ast, catalog);
 }
 
+namespace {
+
+/// Column index of `name` within `def`'s schema (names resolve through the
+/// global attribute registry, then must belong to the target relation).
+Result<int> ResolveWriteColumn(const std::string& name,
+                               const RelationDef& def,
+                               const Catalog& catalog) {
+  AttrId a = catalog.attrs().Find(name);
+  int idx = a == kInvalidAttr ? -1 : def.schema.IndexOf(a);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat("unknown column %s in relation %s",
+                                      name.c_str(), def.name.c_str()));
+  }
+  return idx;
+}
+
+/// Checks a literal against a column's type, widening int literals for
+/// double columns. NULL passes any type.
+Result<Value> CoerceLiteral(Value v, const Column& col) {
+  if (v.is_null()) return v;
+  switch (col.type) {
+    case DataType::kInt64:
+      if (v.is_int()) return v;
+      break;
+    case DataType::kDouble:
+      if (v.is_double()) return v;
+      if (v.is_int()) return Value(static_cast<double>(v.AsInt()));
+      break;
+    case DataType::kString:
+      if (v.is_string()) return v;
+      break;
+  }
+  return Status::InvalidArgument(
+      StrFormat("value %s does not fit column %s (%s)",
+                v.ToString().c_str(), col.name.c_str(),
+                DataTypeName(col.type)));
+}
+
+Result<std::vector<BoundWritePredicate>> BindWritePredicates(
+    const std::vector<AstPredicate>& preds, const RelationDef& def,
+    const Catalog& catalog, AttrSet* read) {
+  std::vector<BoundWritePredicate> out;
+  for (const AstPredicate& p : preds) {
+    BoundWritePredicate bp;
+    MPQ_ASSIGN_OR_RETURN(bp.col, ResolveWriteColumn(p.lhs, def, catalog));
+    bp.op = p.op;
+    read->Insert(def.schema.columns()[bp.col].attr);
+    if (p.rhs_is_column) {
+      bp.rhs_is_column = true;
+      MPQ_ASSIGN_OR_RETURN(bp.rhs_col,
+                           ResolveWriteColumn(p.rhs_column, def, catalog));
+      read->Insert(def.schema.columns()[bp.rhs_col].attr);
+    } else {
+      MPQ_ASSIGN_OR_RETURN(
+          bp.rhs, CoerceLiteral(p.rhs_value, def.schema.columns()[bp.col]));
+    }
+    out.push_back(std::move(bp));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BoundWrite> BindWrite(const AstStatement& ast, const Catalog& catalog) {
+  const std::string* table = nullptr;
+  switch (ast.kind) {
+    case StatementKind::kInsert:
+      table = &ast.insert.table;
+      break;
+    case StatementKind::kUpdate:
+      table = &ast.update.table;
+      break;
+    case StatementKind::kDelete:
+      table = &ast.del.table;
+      break;
+    case StatementKind::kSelect:
+      return Status::InvalidArgument("BindWrite of a SELECT statement");
+  }
+  RelId rel = catalog.FindRelation(*table);
+  if (rel == kInvalidRel) {
+    return Status::NotFound("unknown relation: " + *table);
+  }
+  const RelationDef& def = catalog.Get(rel);
+  const std::vector<Column>& cols = def.schema.columns();
+
+  BoundWrite out;
+  out.kind = ast.kind;
+  out.rel = rel;
+  switch (ast.kind) {
+    case StatementKind::kInsert: {
+      // Map the statement's column list (or schema order) to column indices.
+      std::vector<int> targets;
+      if (ast.insert.columns.empty()) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+          targets.push_back(static_cast<int>(i));
+        }
+      } else {
+        std::vector<bool> seen(cols.size(), false);
+        for (const std::string& c : ast.insert.columns) {
+          MPQ_ASSIGN_OR_RETURN(int idx, ResolveWriteColumn(c, def, catalog));
+          if (seen[static_cast<size_t>(idx)]) {
+            return Status::InvalidArgument("duplicate insert column: " + c);
+          }
+          seen[static_cast<size_t>(idx)] = true;
+          targets.push_back(idx);
+        }
+      }
+      for (const std::vector<Value>& row : ast.insert.rows) {
+        if (row.size() != targets.size()) {
+          return Status::InvalidArgument(StrFormat(
+              "insert row has %zu values for %zu columns", row.size(),
+              targets.size()));
+        }
+        std::vector<Value> full(cols.size());  // defaults to NULL
+        for (size_t i = 0; i < targets.size(); ++i) {
+          size_t idx = static_cast<size_t>(targets[i]);
+          MPQ_ASSIGN_OR_RETURN(full[idx], CoerceLiteral(row[i], cols[idx]));
+        }
+        out.rows.push_back(std::move(full));
+      }
+      // An insert materializes whole rows: every schema attribute is written
+      // (absent columns as NULL).
+      out.written = def.schema.Attrs();
+      break;
+    }
+    case StatementKind::kUpdate: {
+      std::vector<bool> seen(cols.size(), false);
+      for (const auto& [col_name, v] : ast.update.sets) {
+        MPQ_ASSIGN_OR_RETURN(int idx,
+                             ResolveWriteColumn(col_name, def, catalog));
+        if (seen[static_cast<size_t>(idx)]) {
+          return Status::InvalidArgument("duplicate update column: " +
+                                         col_name);
+        }
+        seen[static_cast<size_t>(idx)] = true;
+        size_t i = static_cast<size_t>(idx);
+        MPQ_ASSIGN_OR_RETURN(Value coerced, CoerceLiteral(v, cols[i]));
+        out.sets.emplace_back(idx, std::move(coerced));
+        out.written.Insert(cols[i].attr);
+      }
+      MPQ_ASSIGN_OR_RETURN(
+          out.where,
+          BindWritePredicates(ast.update.where, def, catalog, &out.read));
+      break;
+    }
+    case StatementKind::kDelete: {
+      MPQ_ASSIGN_OR_RETURN(
+          out.where,
+          BindWritePredicates(ast.del.where, def, catalog, &out.read));
+      // A delete destroys whole rows: the whole schema is the write surface.
+      out.written = def.schema.Attrs();
+      break;
+    }
+    case StatementKind::kSelect:
+      break;  // unreachable
+  }
+  return out;
+}
+
 }  // namespace mpq

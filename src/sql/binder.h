@@ -19,6 +19,40 @@ Result<PlanPtr> BindSelect(const AstSelect& ast, const Catalog& catalog);
 /// Convenience: parse + bind.
 Result<PlanPtr> PlanFromSql(const std::string& sql, const Catalog& catalog);
 
+/// One bound write filter term, evaluated row-at-a-time by the write
+/// executor (conjunction semantics, same comparison rules as Value::Compare;
+/// NULL never satisfies a predicate).
+struct BoundWritePredicate {
+  int col = -1;  ///< column index in the target relation
+  CmpOp op = CmpOp::kEq;
+  bool rhs_is_column = false;
+  int rhs_col = -1;  ///< valid when rhs_is_column
+  Value rhs;         ///< valid otherwise
+};
+
+/// A bound INSERT / UPDATE / DELETE against one base relation, ready for
+/// exec/write_executor.h. Literal types are validated against the schema at
+/// bind time (int literals widen to double columns).
+struct BoundWrite {
+  StatementKind kind = StatementKind::kInsert;
+  RelId rel = kInvalidRel;
+  /// kInsert: full-width rows in schema column order (absent columns NULL).
+  std::vector<std::vector<Value>> rows;
+  /// kUpdate: (column index, new value) assignments.
+  std::vector<std::pair<int, Value>> sets;
+  /// kUpdate / kDelete filter; empty = every row.
+  std::vector<BoundWritePredicate> where;
+  /// Attributes the statement writes (insert/delete: the whole schema;
+  /// update: the SET columns) — the authorization surface.
+  AttrSet written;
+  /// Attributes the filter reads.
+  AttrSet read;
+};
+
+/// Binds a parsed write statement against the catalog. `ast.kind` must not
+/// be kSelect.
+Result<BoundWrite> BindWrite(const AstStatement& ast, const Catalog& catalog);
+
 }  // namespace mpq
 
 #endif  // MPQ_SQL_BINDER_H_

@@ -14,9 +14,10 @@ namespace {
 
 const std::unordered_set<std::string>& Keywords() {
   static const std::unordered_set<std::string> kw = {
-      "SELECT", "FROM", "WHERE", "JOIN", "ON",  "GROUP",
-      "BY",     "HAVING", "AND", "AS",   "AVG", "SUM",
-      "MIN",    "MAX",  "COUNT"};
+      "SELECT", "FROM",   "WHERE",  "JOIN",   "ON",     "GROUP",
+      "BY",     "HAVING", "AND",    "AS",     "AVG",    "SUM",
+      "MIN",    "MAX",    "COUNT",  "INSERT", "INTO",   "VALUES",
+      "UPDATE", "SET",    "DELETE", "NULL"};
   return kw;
 }
 

@@ -11,6 +11,28 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
 
+  Result<AstStatement> ParseAny() {
+    AstStatement out;
+    if (Peek().kind == TokKind::kKeyword && Peek().text == "INSERT") {
+      out.kind = StatementKind::kInsert;
+      MPQ_ASSIGN_OR_RETURN(out.insert, ParseInsert());
+      return out;
+    }
+    if (Peek().kind == TokKind::kKeyword && Peek().text == "UPDATE") {
+      out.kind = StatementKind::kUpdate;
+      MPQ_ASSIGN_OR_RETURN(out.update, ParseUpdate());
+      return out;
+    }
+    if (Peek().kind == TokKind::kKeyword && Peek().text == "DELETE") {
+      out.kind = StatementKind::kDelete;
+      MPQ_ASSIGN_OR_RETURN(out.del, ParseDelete());
+      return out;
+    }
+    out.kind = StatementKind::kSelect;
+    MPQ_ASSIGN_OR_RETURN(out.select, Parse());
+    return out;
+  }
+
   Result<AstSelect> Parse() {
     AstSelect out;
     MPQ_RETURN_NOT_OK(ExpectKeyword("SELECT"));
@@ -204,6 +226,102 @@ class Parser {
     return Status::OK();
   }
 
+  /// A literal: number, string, or NULL.
+  Result<Value> ParseLiteral() {
+    switch (Peek().kind) {
+      case TokKind::kNumber: {
+        const Token& t = Next();
+        return t.number_is_int ? Value(t.int_value) : Value(t.number);
+      }
+      case TokKind::kString:
+        return Value(Next().text);
+      case TokKind::kKeyword:
+        if (Peek().text == "NULL") {
+          Next();
+          return Value::Null();
+        }
+        [[fallthrough]];
+      default:
+        return Err("expected literal value");
+    }
+  }
+
+  Status ExpectEnd() {
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing input after statement");
+    }
+    return Status::OK();
+  }
+
+  Result<AstInsert> ParseInsert() {
+    AstInsert out;
+    MPQ_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+    MPQ_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    if (Peek().kind != TokKind::kIdent) return Err("expected table name");
+    out.table = Next().text;
+    if (Peek().kind == TokKind::kLParen) {
+      Next();
+      MPQ_RETURN_NOT_OK(ParseColumnList(&out.columns));
+      if (Peek().kind != TokKind::kRParen) return Err("expected )");
+      Next();
+    }
+    MPQ_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    for (;;) {
+      if (Peek().kind != TokKind::kLParen) return Err("expected (");
+      Next();
+      std::vector<Value> row;
+      for (;;) {
+        MPQ_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        row.push_back(std::move(v));
+        if (Peek().kind != TokKind::kComma) break;
+        Next();
+      }
+      if (Peek().kind != TokKind::kRParen) return Err("expected )");
+      Next();
+      out.rows.push_back(std::move(row));
+      if (Peek().kind != TokKind::kComma) break;
+      Next();
+    }
+    MPQ_RETURN_NOT_OK(ExpectEnd());
+    return out;
+  }
+
+  Result<AstUpdate> ParseUpdate() {
+    AstUpdate out;
+    MPQ_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    if (Peek().kind != TokKind::kIdent) return Err("expected table name");
+    out.table = Next().text;
+    MPQ_RETURN_NOT_OK(ExpectKeyword("SET"));
+    for (;;) {
+      if (Peek().kind != TokKind::kIdent) return Err("expected column");
+      std::string col = Next().text;
+      if (Peek().kind != TokKind::kEq) return Err("expected =");
+      Next();
+      MPQ_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      out.sets.emplace_back(std::move(col), std::move(v));
+      if (Peek().kind != TokKind::kComma) break;
+      Next();
+    }
+    if (AcceptKeyword("WHERE")) {
+      MPQ_RETURN_NOT_OK(ParsePredicates(&out.where));
+    }
+    MPQ_RETURN_NOT_OK(ExpectEnd());
+    return out;
+  }
+
+  Result<AstDelete> ParseDelete() {
+    AstDelete out;
+    MPQ_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+    MPQ_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().kind != TokKind::kIdent) return Err("expected table name");
+    out.table = Next().text;
+    if (AcceptKeyword("WHERE")) {
+      MPQ_RETURN_NOT_OK(ParsePredicates(&out.where));
+    }
+    MPQ_RETURN_NOT_OK(ExpectEnd());
+    return out;
+  }
+
   std::vector<Token> toks_;
   size_t pos_ = 0;
 };
@@ -214,6 +332,12 @@ Result<AstSelect> ParseSelect(const std::string& sql) {
   MPQ_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(sql));
   Parser parser(std::move(toks));
   return parser.Parse();
+}
+
+Result<AstStatement> ParseStatement(const std::string& sql) {
+  MPQ_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(sql));
+  Parser parser(std::move(toks));
+  return parser.ParseAny();
 }
 
 }  // namespace mpq

@@ -1,6 +1,9 @@
 // Recursive-descent parser for the supported SQL dialect:
 //   SELECT item[, item]* FROM t [JOIN t ON preds]* [WHERE preds]
 //   [GROUP BY cols] [HAVING preds]
+//   INSERT INTO t [(c, ...)] VALUES (v, ...)[, (v, ...)]*
+//   UPDATE t SET c = v[, c = v]* [WHERE preds]
+//   DELETE FROM t [WHERE preds]
 
 #ifndef MPQ_SQL_PARSER_H_
 #define MPQ_SQL_PARSER_H_
@@ -12,6 +15,9 @@ namespace mpq {
 
 /// Parses `sql` into an AstSelect.
 Result<AstSelect> ParseSelect(const std::string& sql);
+
+/// Parses any supported statement (SELECT / INSERT / UPDATE / DELETE).
+Result<AstStatement> ParseStatement(const std::string& sql);
 
 }  // namespace mpq
 

@@ -157,6 +157,57 @@ TEST(SqlFuzzTest, LexParseNormalizeAreTotalOn10kMutatedInputs) {
   EXPECT_GT(normalized_ok, 1000u);
 }
 
+TEST(ParserTest, ParsesInsertStatement) {
+  auto stmt = ParseStatement(
+      "insert into Hosp (S, D) values (1, 'flu'), (2, NULL)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt->insert.table, "Hosp");
+  ASSERT_EQ(stmt->insert.columns.size(), 2u);
+  ASSERT_EQ(stmt->insert.rows.size(), 2u);
+  EXPECT_EQ(stmt->insert.rows[0][0], Value(int64_t{1}));
+  EXPECT_EQ(stmt->insert.rows[0][1], Value(std::string("flu")));
+  EXPECT_TRUE(stmt->insert.rows[1][1].is_null());
+}
+
+TEST(ParserTest, ParsesUpdateAndDelete) {
+  auto upd = ParseStatement("update Hosp set T = 'x', B = 7 where S = 1");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  ASSERT_EQ(upd->kind, StatementKind::kUpdate);
+  EXPECT_EQ(upd->update.sets.size(), 2u);
+  EXPECT_EQ(upd->update.where.size(), 1u);
+
+  auto del = ParseStatement("delete from Hosp");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  ASSERT_EQ(del->kind, StatementKind::kDelete);
+  EXPECT_TRUE(del->del.where.empty());
+
+  // A SELECT still routes through the same entry point.
+  auto sel = ParseStatement("select S from Hosp");
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  EXPECT_EQ(sel->kind, StatementKind::kSelect);
+}
+
+TEST(ParserTest, RejectsMalformedWrites) {
+  EXPECT_FALSE(ParseStatement("insert into Hosp").ok());
+  EXPECT_FALSE(ParseStatement("insert into Hosp values (1, 2) garbage").ok());
+  EXPECT_FALSE(ParseStatement("update Hosp where S = 1").ok());
+  EXPECT_FALSE(ParseStatement("delete Hosp").ok());
+  EXPECT_FALSE(ParseStatement("update Hosp set T = S").ok());
+}
+
+TEST(NormalizeTest, WriteStatementsNormalize) {
+  auto n = NormalizeSql(
+      "  Insert   INTO Hosp VALUES( 1 ,'flu' )  ");
+  ASSERT_TRUE(n.ok());
+  auto again = NormalizeSql(*n);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *n);
+  auto n2 = NormalizeSql("UPDATE Hosp SET T='x' WHERE S=1");
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*NormalizeSql(*n2), *n2);
+}
+
 class BinderTest : public ::testing::Test {
  protected:
   void SetUp() override { ex_ = MakePaperExample(); }
@@ -238,6 +289,61 @@ TEST_F(BinderTest, BoundPlanExecutes) {
   Result<Table> t = ExecutePlan(plan->get(), &ctx);
   ASSERT_TRUE(t.ok()) << t.status().ToString();
   EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST_F(BinderTest, BindsInsertWithColumnListAndNullPadding) {
+  auto stmt = ParseStatement("insert into Hosp (S, D) values (9, 'flu')");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = BindWrite(*stmt, ex_->catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->kind, StatementKind::kInsert);
+  EXPECT_EQ(bound->rel, ex_->hosp);
+  ASSERT_EQ(bound->rows.size(), 1u);
+  // Full-width row in schema order (S,B,D,T): absent columns are NULL.
+  ASSERT_EQ(bound->rows[0].size(), 4u);
+  EXPECT_EQ(bound->rows[0][0], Value(int64_t{9}));
+  EXPECT_TRUE(bound->rows[0][1].is_null());
+  EXPECT_EQ(bound->rows[0][2], Value(std::string("flu")));
+  EXPECT_TRUE(bound->rows[0][3].is_null());
+  // Inserts write the whole schema regardless of the column list.
+  EXPECT_EQ(bound->written.size(), 4u);
+}
+
+TEST_F(BinderTest, BindWriteValidatesNamesTypesAndArity) {
+  auto bad_rel = ParseStatement("insert into Nope values (1)");
+  ASSERT_TRUE(bad_rel.ok());
+  EXPECT_EQ(BindWrite(*bad_rel, ex_->catalog).status().code(),
+            StatusCode::kNotFound);
+
+  auto bad_col = ParseStatement("update Hosp set Q = 1");
+  ASSERT_TRUE(bad_col.ok());
+  EXPECT_EQ(BindWrite(*bad_col, ex_->catalog).status().code(),
+            StatusCode::kNotFound);
+
+  auto bad_type = ParseStatement("update Hosp set B = 'text'");
+  ASSERT_TRUE(bad_type.ok());
+  EXPECT_EQ(BindWrite(*bad_type, ex_->catalog).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto bad_arity = ParseStatement("insert into Hosp values (1, 2)");
+  ASSERT_TRUE(bad_arity.ok());
+  EXPECT_EQ(BindWrite(*bad_arity, ex_->catalog).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto dup = ParseStatement("insert into Hosp (S, S) values (1, 2)");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(BindWrite(*dup, ex_->catalog).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Int literals widen into double columns.
+  auto widen = ParseStatement("update Ins set P = 5 where C = 100");
+  ASSERT_TRUE(widen.ok());
+  auto bound = BindWrite(*widen, ex_->catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_TRUE(bound->sets[0].second.is_double());
+  // The filter's attrs land in the read set, the SET column in written.
+  EXPECT_EQ(bound->written.size(), 1u);
+  EXPECT_EQ(bound->read.size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,520 @@
+// Write-path tests: MVCC snapshot isolation of the TableStore, write
+// statement execution and authorization through the service, plan-cache
+// invalidation across writes (a cached plan must never serve rows of a
+// superseded snapshot), MRV counter semantics (invariant total >= 0,
+// rollback, balance/adjust), and a concurrent-writer differential test
+// against a serial oracle: the same set of statements applied by 1, 2, and
+// 8 writer threads must converge to the bit-identical store state the
+// serial application produces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/str_util.h"
+#include "exec/mrv.h"
+#include "exec/table_store.h"
+#include "exec/write_executor.h"
+#include "net/pricing.h"
+#include "net/topology.h"
+#include "paper_example.h"
+#include "service/query_service.h"
+#include "sql/parser.h"
+
+namespace mpq {
+namespace {
+
+using testing::MakePaperExample;
+using testing::PaperExample;
+
+// ---- MRV counter unit tests ------------------------------------------------
+
+TEST(MrvCounterTest, AddSubTotal) {
+  MrvCounter c(100, 8, /*seed=*/7);
+  EXPECT_EQ(c.Total(), 100);
+  EXPECT_EQ(c.num_records(), 8u);
+  c.Add(50);
+  EXPECT_EQ(c.Total(), 150);
+  ASSERT_TRUE(c.Sub(30).ok());
+  EXPECT_EQ(c.Total(), 120);
+  MrvStats s = c.Stats();
+  EXPECT_EQ(s.adds, 1u);
+  EXPECT_EQ(s.subs, 1u);
+  EXPECT_EQ(s.sub_failures, 0u);
+}
+
+TEST(MrvCounterTest, SubInsufficientRollsBack) {
+  MrvCounter c(100, 4, /*seed=*/3);
+  // Gathers across every record, cannot cover, must restore all of it.
+  Status st = c.Sub(101);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.Total(), 100);
+  EXPECT_EQ(c.Stats().sub_failures, 1u);
+  // Exactly the full amount still works.
+  ASSERT_TRUE(c.Sub(100).ok());
+  EXPECT_EQ(c.Total(), 0);
+  EXPECT_EQ(c.Sub(1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MrvCounterTest, BalanceRedistributes) {
+  MrvCounter c(97, 4, /*seed=*/11);
+  c.Balance();
+  EXPECT_EQ(c.Total(), 97);
+  // After balancing, any sub of one fair share completes in one record.
+  ASSERT_TRUE(c.Sub(24).ok());
+  EXPECT_EQ(c.Total(), 73);
+}
+
+TEST(MrvCounterTest, ResizeDrainsDeactivatedRecords) {
+  MrvCounter c(64, 8, /*seed=*/5);
+  c.Balance();
+  c.Resize(2);
+  EXPECT_EQ(c.num_records(), 2u);
+  EXPECT_EQ(c.Total(), 64);  // nothing stranded in inactive records
+  c.Resize(1);
+  EXPECT_EQ(c.Total(), 64);
+  ASSERT_TRUE(c.Sub(64).ok());
+  EXPECT_EQ(c.Total(), 0);
+}
+
+TEST(MrvCounterTest, AdjustShrinksWhenSubsWalkManyRecords) {
+  MrvCounter c(4, 4, /*seed=*/9);
+  c.Balance();  // one unit per record
+  ASSERT_TRUE(c.Sub(3).ok());  // walks >= 3 records, no contention
+  EXPECT_TRUE(c.AdjustStep());
+  EXPECT_EQ(c.num_records(), 2u);
+  EXPECT_EQ(c.Stats().shrinks, 1u);
+  EXPECT_EQ(c.Total(), 1);
+}
+
+TEST(MrvCounterTest, ConcurrentAddSubPreservesTotal) {
+  // Per-thread: every Add precedes the matching Sub, so any interleaving
+  // keeps the running total >= initial and no sub can fail.
+  constexpr int kThreads = 8;
+  constexpr int kOps = 200;
+  MrvCounter c(1000, 16, /*seed=*/1);
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::thread maintenance([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      c.Balance();
+      c.AdjustStep();
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &failures] {
+      for (int i = 0; i < kOps; ++i) {
+        c.Add(5);
+        if (!c.Sub(3).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  maintenance.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(c.Total(), 1000 + kThreads * kOps * (5 - 3));
+  EXPECT_GE(c.num_records(), 1u);
+  EXPECT_LE(c.num_records(), MrvCounter::kMaxRecords);
+}
+
+// ---- TableStore snapshot tests ---------------------------------------------
+
+class WritesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    prices_ = PricingTable::PaperDefaults(ex_->subjects);
+    topo_ = Topology::PaperDefaults(ex_->subjects);
+  }
+
+  /// A store seeded with the paper example's data.
+  std::unique_ptr<TableStore> MakeStore() {
+    auto store = std::make_unique<TableStore>();
+    store->Put(ex_->hosp, ex_->HospData());
+    store->Put(ex_->ins, ex_->InsData());
+    return store;
+  }
+
+  std::unique_ptr<QueryService> MakeService(TableStore* store,
+                                            ServiceConfig config = {}) {
+    config.store = store;
+    return std::make_unique<QueryService>(&ex_->catalog, &ex_->subjects,
+                                          ex_->policy.get(), &prices_, &topo_,
+                                          config);
+  }
+
+  std::unique_ptr<PaperExample> ex_;
+  PricingTable prices_;
+  Topology topo_;
+};
+
+TEST_F(WritesTest, SnapshotIsolation) {
+  auto store = MakeStore();
+  std::shared_ptr<const Snapshot> before = store->Current();
+  const Table* hosp_before = before->Get(ex_->hosp);
+  ASSERT_NE(hosp_before, nullptr);
+  size_t rows_before = hosp_before->num_rows();
+
+  Result<uint64_t> snap = store->Mutate(ex_->hosp, [](Table* t) {
+    t->AddRow({Cell(Value(int64_t{200})), Cell(Value(int64_t{2000})),
+               Cell(Value(std::string("flu"))),
+               Cell(Value(std::string("rest")))});
+    return Status::OK();
+  });
+  ASSERT_TRUE(snap.ok());
+  EXPECT_GT(*snap, before->id);
+
+  // The pinned snapshot still serves the pre-write state.
+  EXPECT_EQ(hosp_before->num_rows(), rows_before);
+  std::shared_ptr<const Snapshot> after = store->Current();
+  EXPECT_EQ(after->id, *snap);
+  EXPECT_EQ(after->Get(ex_->hosp)->num_rows(), rows_before + 1);
+  // The untouched relation's payload is shared, not copied.
+  EXPECT_EQ(before->Get(ex_->ins), after->Get(ex_->ins));
+}
+
+TEST_F(WritesTest, FailedMutatePublishesNothing) {
+  auto store = MakeStore();
+  uint64_t epoch = store->snapshot_epoch();
+  Result<uint64_t> r = store->Mutate(ex_->hosp, [](Table* t) {
+    t->AddRow({Cell(Value(int64_t{1})), Cell(Value(int64_t{2})),
+               Cell(Value(std::string("x"))), Cell(Value(std::string("y")))});
+    return Status::InvalidArgument("abort");
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(store->snapshot_epoch(), epoch);
+  EXPECT_EQ(store->Current()->Get(ex_->hosp)->num_rows(), 4u);
+}
+
+// ---- Write statements through the service ----------------------------------
+
+TEST_F(WritesTest, InsertUpdateDeleteVisibleToQueries) {
+  auto store = MakeStore();
+  auto service = MakeService(store.get());
+  Session h = *service->OpenSession(ex_->H);
+  Session u = *service->OpenSession(ex_->U);
+
+  auto count_bulk = [&] {
+    auto resp =
+        service->ExecuteSql("select S from Hosp where D = 'bulk'", u);
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    return resp.ok() ? resp->table.num_rows() : size_t{0};
+  };
+  EXPECT_EQ(count_bulk(), 0u);
+
+  Result<WriteResult> ins = service->ExecuteWrite(
+      "insert into Hosp values (500, 9000, 'bulk', 't0'), "
+      "(501, 9000, 'bulk', 't0'), (502, 9001, 'bulk', 't0')",
+      h);
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(ins->rows_affected, 3u);
+  EXPECT_EQ(count_bulk(), 3u);
+
+  Result<WriteResult> upd = service->ExecuteWrite(
+      "update Hosp set T = 'u1' where B = 9000", h);
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd->rows_affected, 2u);
+
+  Result<WriteResult> del =
+      service->ExecuteWrite("delete from Hosp where S = 502", h);
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del->rows_affected, 1u);
+  EXPECT_EQ(count_bulk(), 2u);
+  EXPECT_GT(del->snapshot_id, ins->snapshot_id);
+
+  // Statement-level accounting surfaced in the metrics.
+  ServiceMetrics m = service->Metrics();
+  EXPECT_EQ(m.writes, 3u);
+  EXPECT_EQ(m.write_errors, 0u);
+  EXPECT_EQ(m.rows_written, 6u);
+  EXPECT_EQ(m.snapshot_epoch, store->snapshot_epoch());
+}
+
+TEST_F(WritesTest, WriteAuthorizationUsesPlaintextView) {
+  auto store = MakeStore();
+  auto service = MakeService(store.get());
+  Session u = *service->OpenSession(ex_->U);  // plain SDT on Hosp, no B
+  Session i = *service->OpenSession(ex_->I);  // plain B only on Hosp
+  Session h = *service->OpenSession(ex_->H);  // plain SBDT on Hosp
+
+  // INSERT writes every column: U lacks plaintext B.
+  Result<WriteResult> ins = service->ExecuteWrite(
+      "insert into Hosp values (600, 1, 'flu', 'rest')", u);
+  EXPECT_EQ(ins.status().code(), StatusCode::kUnauthorized);
+
+  // UPDATE needs only the SET + WHERE attributes: U holds S, D, T plain.
+  Result<WriteResult> upd = service->ExecuteWrite(
+      "update Hosp set T = 'x' where S = 100", u);
+  EXPECT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd->rows_affected, 1u);
+
+  // ...but not an UPDATE whose filter reads B.
+  Result<WriteResult> upd2 = service->ExecuteWrite(
+      "update Hosp set T = 'x' where B = 1970", u);
+  EXPECT_EQ(upd2.status().code(), StatusCode::kUnauthorized);
+
+  // DELETE writes the whole row: I sees only B in plaintext.
+  Result<WriteResult> del =
+      service->ExecuteWrite("delete from Hosp where B = 1970", i);
+  EXPECT_EQ(del.status().code(), StatusCode::kUnauthorized);
+
+  // The error counter moved, and the denied statements changed nothing.
+  EXPECT_EQ(service->Metrics().write_errors, 3u);
+  auto resp = service->ExecuteSql("select S from Hosp where D = 'flu'", h);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->table.num_rows(), 1u);
+}
+
+TEST_F(WritesTest, NoStalePlanServedAcrossAWrite) {
+  auto store = MakeStore();
+  auto service = MakeService(store.get());
+  Session h = *service->OpenSession(ex_->H);
+  Session u = *service->OpenSession(ex_->U);
+  const std::string sql = "select S from Hosp where D = 'stroke'";
+
+  auto r1 = service->ExecuteSql(sql, u);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->stats.cache, CacheOutcome::kMiss);
+  auto r2 = service->ExecuteSql(sql, u);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->stats.cache, CacheOutcome::kHit);
+  EXPECT_EQ(r2->table.num_rows(), 3u);
+
+  ASSERT_TRUE(service
+                  ->ExecuteWrite(
+                      "insert into Hosp values (700, 1, 'stroke', 'tpa')", h)
+                  .ok());
+
+  // The write advanced the snapshot epoch: the cached plan is unreachable
+  // and the re-planned query sees the new row.
+  auto r3 = service->ExecuteSql(sql, u);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->stats.cache, CacheOutcome::kMiss);
+  EXPECT_EQ(r3->table.num_rows(), 4u);
+  EXPECT_GT(r3->stats.snapshot_id, r2->stats.snapshot_id);
+}
+
+// ---- MRV counters through the service --------------------------------------
+
+TEST_F(WritesTest, CounterAttachAddSubFlush) {
+  auto store = MakeStore();
+  auto service = MakeService(store.get());
+  Session h = *service->OpenSession(ex_->H);
+  Session u = *service->OpenSession(ex_->U);
+
+  ASSERT_TRUE(service->CounterAttach("Hosp", "S", 100, "B", 8, h).ok());
+  // Double attach is rejected.
+  EXPECT_EQ(service->CounterAttach("Hosp", "S", 100, "B", 8, h).code(),
+            StatusCode::kAlreadyExists);
+  // U lacks plaintext B: counter updates are authorization-checked.
+  EXPECT_EQ(service->CounterAdd("Hosp", "B", 100, 10, u).code(),
+            StatusCode::kUnauthorized);
+
+  ASSERT_TRUE(service->CounterAdd("Hosp", "B", 100, 30, h).ok());
+  ASSERT_TRUE(service->CounterSub("Hosp", "B", 100, 10, h).ok());
+  Result<int64_t> total = service->CounterTotal("Hosp", "B", 100, h);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 1970 + 30 - 10);
+
+  // An oversized sub fails atomically.
+  EXPECT_EQ(service->CounterSub("Hosp", "B", 100, 1000000, h).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(*service->CounterTotal("Hosp", "B", 100, h), 1990);
+
+  // UPDATE of an MRV-managed column is routed to the counter API.
+  EXPECT_EQ(service
+                ->ExecuteWrite("update Hosp set B = 0 where S = 100", h)
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+
+  // Flush folds the live total into the snapshot-visible cell.
+  uint64_t epoch_before = store->snapshot_epoch();
+  ASSERT_TRUE(service->FlushCounters().ok());
+  EXPECT_GT(store->snapshot_epoch(), epoch_before);
+  const Table* hosp = store->Current()->Get(ex_->hosp);
+  int b_col = 1;
+  bool found = false;
+  for (size_t r = 0; r < hosp->num_rows(); ++r) {
+    if (hosp->col(0).GetValue(r).AsInt() == 100) {
+      EXPECT_EQ(hosp->col(b_col).GetValue(r).AsInt(), 1990);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- Concurrent-writer differential test vs serial oracle ------------------
+
+/// One logical writer program: two 3-row inserts (unique batch tag in B),
+/// an update of the first batch, a delete of the second, plus counter
+/// traffic. Writers own disjoint key ranges, so programs commute and any
+/// interleaving of full statements converges to the serial result.
+struct WriterProgram {
+  std::vector<std::string> statements;
+  int64_t counter_add = 0;
+  int64_t counter_sub = 0;
+};
+
+WriterProgram MakeProgram(int w) {
+  int64_t base = 1000 + 100 * static_cast<int64_t>(w);
+  int64_t tag1 = 5000 + 10 * static_cast<int64_t>(w) + 1;
+  int64_t tag2 = 5000 + 10 * static_cast<int64_t>(w) + 2;
+  WriterProgram p;
+  auto row = [&](int64_t s, int64_t tag) {
+    return StrFormat("(%lld, %lld, 'bulk', 't0')", (long long)s,
+                     (long long)tag);
+  };
+  p.statements.push_back("insert into Hosp values " + row(base, tag1) + ", " +
+                         row(base + 1, tag1) + ", " + row(base + 2, tag1));
+  p.statements.push_back("insert into Hosp values " + row(base + 10, tag2) +
+                         ", " + row(base + 11, tag2) + ", " +
+                         row(base + 12, tag2));
+  p.statements.push_back(StrFormat(
+      "update Hosp set T = 'u%d' where B = %lld", w, (long long)tag1));
+  p.statements.push_back(
+      StrFormat("delete from Hosp where B = %lld", (long long)tag2));
+  p.counter_add = 1000;
+  p.counter_sub = 400;
+  return p;
+}
+
+/// Canonical store state: every row of every relation rendered and sorted,
+/// so physically different but logically identical states compare equal
+/// (concurrent inserts append in nondeterministic order).
+std::string CanonicalState(const TableStore& store,
+                           const std::vector<RelId>& rels) {
+  std::string out;
+  std::shared_ptr<const Snapshot> snap = store.Current();
+  for (RelId rel : rels) {
+    const Table* t = snap->Get(rel);
+    std::vector<std::string> rows;
+    rows.reserve(t->num_rows());
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      std::string line;
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        line += t->col(c).GetValue(r).ToString();
+        line += "|";
+      }
+      rows.push_back(std::move(line));
+    }
+    std::sort(rows.begin(), rows.end());
+    out += StrFormat("rel %d\n", static_cast<int>(rel));
+    for (const std::string& r : rows) out += r + "\n";
+  }
+  return out;
+}
+
+TEST_F(WritesTest, ConcurrentWritersMatchSerialOracle) {
+  constexpr int kPrograms = 8;
+  std::vector<WriterProgram> programs;
+  programs.reserve(kPrograms);
+  for (int w = 0; w < kPrograms; ++w) programs.push_back(MakeProgram(w));
+
+  // Serial oracle: one thread applies every program in order.
+  std::string oracle;
+  {
+    auto store = MakeStore();
+    auto service = MakeService(store.get());
+    Session h = *service->OpenSession(ex_->H);
+    ASSERT_TRUE(service->CounterAttach("Hosp", "S", 100, "B", 8, h).ok());
+    for (const WriterProgram& p : programs) {
+      for (const std::string& sql : p.statements) {
+        auto r = service->ExecuteWrite(sql, h);
+        ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+      }
+      ASSERT_TRUE(service->CounterAdd("Hosp", "B", 100, p.counter_add, h).ok());
+      ASSERT_TRUE(service->CounterSub("Hosp", "B", 100, p.counter_sub, h).ok());
+    }
+    ASSERT_TRUE(service->FlushCounters().ok());
+    oracle = CanonicalState(*store, {ex_->hosp, ex_->ins});
+    ASSERT_FALSE(oracle.empty());
+  }
+
+  for (int threads : {1, 2, 8}) {
+    auto store = MakeStore();
+    auto service = MakeService(store.get());
+    Session h = *service->OpenSession(ex_->H);
+    Session u = *service->OpenSession(ex_->U);
+    ASSERT_TRUE(service->CounterAttach("Hosp", "S", 100, "B", 8, h).ok());
+
+    // A concurrent reader checks statement atomicity on every snapshot it
+    // pins: inserts land 3 rows at a time and deletes remove a whole batch,
+    // so the 'bulk' row count is a multiple of 3 at every instant.
+    std::atomic<bool> stop{false};
+    std::atomic<int> atomicity_violations{0};
+    std::thread reader([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto resp =
+            service->ExecuteSql("select S from Hosp where D = 'bulk'", u);
+        if (resp.ok() && resp->table.num_rows() % 3 != 0) {
+          atomicity_violations.fetch_add(1);
+        }
+      }
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    std::atomic<int> errors{0};
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Thread t runs programs t, t+threads, t+2*threads, ...
+        for (int w = t; w < kPrograms; w += threads) {
+          const WriterProgram& p = programs[w];
+          for (const std::string& sql : p.statements) {
+            if (!service->ExecuteWrite(sql, h).ok()) errors.fetch_add(1);
+          }
+          if (!service->CounterAdd("Hosp", "B", 100, p.counter_add, h).ok()) {
+            errors.fetch_add(1);
+          }
+          if (!service->CounterSub("Hosp", "B", 100, p.counter_sub, h).ok()) {
+            errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    ASSERT_EQ(errors.load(), 0) << "threads=" << threads;
+    EXPECT_EQ(atomicity_violations.load(), 0) << "threads=" << threads;
+    ASSERT_TRUE(service->FlushCounters().ok());
+    EXPECT_EQ(CanonicalState(*store, {ex_->hosp, ex_->ins}), oracle)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(WritesTest, MaintenanceThreadSmoke) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->MrvAttach(ex_->hosp, /*key_col=*/0, 100,
+                               /*value_col=*/1, 8)
+                  .ok());
+  store->StartMaintenance(/*period_ms=*/1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->MrvAdd(ex_->hosp, 1, 100, 3).ok());
+    ASSERT_TRUE(store->MrvSub(ex_->hosp, 1, 100, 2).ok());
+  }
+  store->StopMaintenance();
+  Result<int64_t> total = store->MrvTotal(ex_->hosp, 1, 100);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 1970 + 50);
+  Result<MrvStats> stats = store->MrvStatsFor(ex_->hosp, 1, 100);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->adds, 50u);
+  EXPECT_EQ(stats->subs, 50u);
+  EXPECT_TRUE(store->MrvCoversColumn(ex_->hosp, 1));
+  EXPECT_FALSE(store->MrvCoversColumn(ex_->hosp, 2));
+  EXPECT_FALSE(store->MrvCoversColumn(ex_->ins, 1));
+}
+
+}  // namespace
+}  // namespace mpq
