@@ -13,6 +13,7 @@
 #include "common/str_util.h"
 #include "net/channel.h"
 #include "obs/trace.h"
+#include "storage/segment.h"
 
 namespace mpq {
 
@@ -260,13 +261,26 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
       }
       uint64_t bytes = t.ByteSize();
       if (net_ != nullptr) {
-        // The fragment crosses the simulated wire as its column-at-a-time
-        // serialization: the sender encodes whole columns, the network is
-        // charged the encoded size, and the receiver decodes — so the
-        // encode/decode round-trip is exercised on every assignee-crossing
-        // edge. (SimNet drops or delays whole messages, never flips bytes;
-        // decode of corrupt frames is covered by the serde unit tests.)
-        std::string wire = t.SerializeColumns();
+        // The fragment crosses the simulated wire as a compressed column
+        // segment (or the plain column-at-a-time serialization when wire
+        // compression is disabled): the sender encodes whole columns, the
+        // network is charged the encoded size, and the receiver decodes —
+        // so the encode/decode round-trip is exercised on every
+        // assignee-crossing edge. (SimNet drops or delays whole messages,
+        // never flips bytes; decode of corrupt frames is covered by the
+        // serde unit tests.)
+        std::string wire;
+        if (compress_wire_) {
+          Result<std::string> enc = EncodeSegment(t);
+          if (!enc.ok()) {
+            xfer.AnnStr("error", enc.status().ToString());
+            record_error(n->id, enc.status());
+            return;
+          }
+          wire = std::move(*enc);
+        } else {
+          wire = t.SerializeColumns();
+        }
         bytes = wire.size();
         Result<DeliveryReport> d =
             net_->Deliver(s, dst, bytes, n->id, net_policy_);
@@ -276,7 +290,12 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
           record_error(n->id, d.status());
           return;
         }
-        Result<Table> decoded = Table::DeserializeColumns(wire);
+        Result<Table> decoded = [&]() -> Result<Table> {
+          if (!compress_wire_) return Table::DeserializeColumns(wire);
+          Result<SegmentReader> seg = SegmentReader::Open(std::move(wire));
+          if (!seg.ok()) return seg.status();
+          return seg->Decode();
+        }();
         if (!decoded.ok()) {
           record_error(n->id, decoded.status());
           return;

@@ -5,11 +5,15 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+
+#include <unistd.h>
 
 #include "common/flat_hash.h"
 #include "common/rng.h"
@@ -17,6 +21,7 @@
 #include "crypto/cipher.h"
 #include "crypto/column_codec.h"
 #include "obs/trace.h"
+#include "storage/segment.h"
 
 namespace mpq {
 
@@ -627,7 +632,8 @@ Result<Table> ExecCartesian(const PlanNode*, Table l, Table r,
   return MergeChunks(std::move(out_cols), std::move(chunks));
 }
 
-Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
+Result<Table> ExecJoinInMemory(const PlanNode* n, Table l, Table r,
+                               ExecContext* ctx) {
   // Partition predicates into hashable equi-predicates (left attr vs right
   // attr) and residual ones.
   struct EqPair {
@@ -838,6 +844,214 @@ Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
   return MergeChunks(std::move(out_cols), std::move(chunks));
 }
 
+// ------------------------------------------------- out-of-core execution ---
+
+/// Partition fan-out of one spill generation. Eight keeps partition counts
+/// (and open files) small while shrinking a generation's working set 8x.
+constexpr size_t kSpillFanout = 8;
+/// Recursion bound: after this many generations a partition runs in memory
+/// regardless of the budget (a single over-represented key never shrinks).
+constexpr int kMaxSpillDepth = 4;
+
+/// Raises the generation high-water mark (diagnostic counter only).
+void NoteSpillGeneration(ExecContext* ctx, uint64_t gen) {
+  uint64_t cur = ctx->spill_generations.load(std::memory_order_relaxed);
+  while (cur < gen && !ctx->spill_generations.compare_exchange_weak(
+                          cur, gen, std::memory_order_relaxed)) {
+  }
+}
+
+/// A fresh spill file path under ctx->spill_dir (or the system temp dir).
+std::string NextSpillPath(ExecContext* ctx) {
+  static std::atomic<uint64_t> counter{0};
+  std::filesystem::path dir = ctx->spill_dir.empty()
+                                  ? std::filesystem::temp_directory_path()
+                                  : std::filesystem::path(ctx->spill_dir);
+  return (dir / StrFormat("mpq_spill_%d_%llu.seg", static_cast<int>(getpid()),
+                          static_cast<unsigned long long>(counter.fetch_add(
+                              1, std::memory_order_relaxed))))
+      .string();
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal(StrFormat("cannot open spill file %s",
+                                      path.c_str()));
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    return Status::Internal(StrFormat("short write to spill file %s",
+                                      path.c_str()));
+  }
+  return Status::OK();
+}
+
+/// Reads a spill file back and deletes it (each partition is read once).
+Result<Table> ReadSpillSegment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Internal(StrFormat("cannot open spill file %s",
+                                      path.c_str()));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // best effort
+  MPQ_ASSIGN_OR_RETURN(SegmentReader sr, SegmentReader::Open(std::move(bytes)));
+  return sr.Decode();
+}
+
+/// Appends a plain int64 global-row column to `t` (rows 0..n-1). Spilled
+/// partitions carry it so results can be restored to the in-memory output
+/// order (and group-by can reconstruct global batch boundaries); it never
+/// collides with a real attribute.
+void AppendRowIdColumn(Table* t) {
+  ExecColumn col;
+  col.attr = kInvalidAttr;
+  col.name = "__spill_row";
+  col.type = DataType::kInt64;
+  ColumnData d(ColumnRep::kInt64);
+  d.Reserve(t->num_rows());
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    d.AppendValue(Value(static_cast<int64_t>(i)));
+  }
+  t->AddColumn(std::move(col), std::move(d));
+}
+
+/// Splits `t` into kSpillFanout partitions by salted key-byte hash (equal
+/// keys co-partition; the salt decorrelates recursive generations), writing
+/// each as one compressed segment file. Sequential and deterministic.
+Result<std::vector<std::string>> SpillPartitionTable(
+    const Table& t, const std::vector<int>& key_cols, uint64_t salt,
+    ExecContext* ctx) {
+  std::vector<SelectionVector> sels(kSpillFanout);
+  std::string key;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    MPQ_RETURN_NOT_OK(RowKeyBytes(t, key_cols, r, &key));
+    uint64_t h = SplitMix64(HashBytes(key.data(), key.size()) ^ salt);
+    sels[h % kSpillFanout].push_back(static_cast<uint32_t>(r));
+  }
+  std::vector<std::string> paths(kSpillFanout);
+  for (size_t p = 0; p < kSpillFanout; ++p) {
+    Table part;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      ColumnData d(t.col(c).rep());
+      d.Reserve(sels[p].size());
+      d.AppendSelected(t.col(c), sels[p].data(), sels[p].size());
+      part.AddColumn(t.columns()[c], std::move(d));
+    }
+    MPQ_ASSIGN_OR_RETURN(std::string bytes, EncodeSegment(part));
+    paths[p] = NextSpillPath(ctx);
+    MPQ_RETURN_NOT_OK(WriteFileBytes(paths[p], bytes));
+    ctx->spill_partitions.fetch_add(1, std::memory_order_relaxed);
+    ctx->spill_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
+  }
+  return paths;
+}
+
+/// One spill generation of the partitioned hash join: both (row-id
+/// augmented) sides are hash-partitioned on the join key and written to
+/// disk, then each partition pair is joined — recursively when it still
+/// exceeds the budget — and the outputs are concatenated. Row order within
+/// the concatenation is arbitrary; the wrapper restores the in-memory order
+/// from the row-id columns.
+Result<Table> ExecJoinPartitioned(const PlanNode* n, Table l, Table r,
+                                  const std::vector<int>& lcols,
+                                  const std::vector<int>& rcols,
+                                  ExecContext* ctx, int depth, uint64_t salt) {
+  NoteSpillGeneration(ctx, static_cast<uint64_t>(depth) + 1);
+  std::vector<ExecColumn> out_cols = ConcatColumns(l, r);
+  Chunk empty_like = ChunkLike(l, r);
+  MPQ_ASSIGN_OR_RETURN(std::vector<std::string> lpaths,
+                       SpillPartitionTable(l, lcols, salt, ctx));
+  MPQ_ASSIGN_OR_RETURN(std::vector<std::string> rpaths,
+                       SpillPartitionTable(r, rcols, salt, ctx));
+  l = Table();
+  r = Table();
+  std::vector<Chunk> chunks;
+  for (size_t p = 0; p < kSpillFanout; ++p) {
+    MPQ_ASSIGN_OR_RETURN(Table lp, ReadSpillSegment(lpaths[p]));
+    MPQ_ASSIGN_OR_RETURN(Table rp, ReadSpillSegment(rpaths[p]));
+    if (lp.num_rows() == 0 || rp.num_rows() == 0) continue;
+    Result<Table> joined =
+        depth + 1 < kMaxSpillDepth &&
+                lp.ByteSize() + rp.ByteSize() > ctx->memory_budget
+            ? ExecJoinPartitioned(n, std::move(lp), std::move(rp), lcols,
+                                  rcols, ctx, depth + 1,
+                                  SplitMix64(salt + p + 1))
+            : ExecJoinInMemory(n, std::move(lp), std::move(rp), ctx);
+    MPQ_RETURN_NOT_OK(joined.status());
+    if (joined->num_rows() == 0) continue;
+    Chunk ch;
+    ch.reserve(joined->num_columns());
+    for (size_t c = 0; c < joined->num_columns(); ++c) {
+      ch.push_back(std::move(joined->col_mut(c)));
+    }
+    chunks.push_back(std::move(ch));
+  }
+  if (chunks.empty()) {
+    return TableFromColumns(std::move(out_cols), std::move(empty_like));
+  }
+  return MergeChunks(std::move(out_cols), std::move(chunks));
+}
+
+Result<Table> ExecJoin(const PlanNode* n, Table l, Table r, ExecContext* ctx) {
+  bool spill = ctx->memory_budget != 0 && l.num_rows() > 0 &&
+               r.num_rows() > 0 &&
+               l.ByteSize() + r.ByteSize() > ctx->memory_budget;
+  std::vector<int> lcols, rcols;
+  if (spill) {
+    // The spill path partitions on the equi-join key; without one (pure
+    // theta join) the nested-loop path cannot partition and runs in memory.
+    for (const Predicate& p : n->predicates) {
+      if (!p.rhs_is_attr || p.op != CmpOp::kEq) continue;
+      int ll = l.ColIndex(p.lhs), rr = r.ColIndex(p.rhs_attr);
+      if (ll < 0 || rr < 0) {
+        ll = l.ColIndex(p.rhs_attr);
+        rr = r.ColIndex(p.lhs);
+      }
+      if (ll >= 0 && rr >= 0) {
+        lcols.push_back(ll);
+        rcols.push_back(rr);
+      }
+    }
+    spill = !lcols.empty();
+  }
+  if (!spill) return ExecJoinInMemory(n, std::move(l), std::move(r), ctx);
+
+  size_t ln = l.num_columns(), rn = r.num_columns();
+  std::vector<ExecColumn> final_cols = ConcatColumns(l, r);
+  AppendRowIdColumn(&l);
+  AppendRowIdColumn(&r);
+  MPQ_ASSIGN_OR_RETURN(
+      Table joined,
+      ExecJoinPartitioned(n, std::move(l), std::move(r), lcols, rcols, ctx,
+                          /*depth=*/0, /*salt=*/0x9e3779b97f4a7c15ull));
+  // Restore the in-memory emit order — ascending (right row, left row);
+  // every match pair is emitted by exactly one partition pair, so the
+  // sorted outputs are bit-identical to the unspilled join.
+  const ColumnData& lrow = joined.col(ln);
+  const ColumnData& rrow = joined.col(ln + 1 + rn);
+  std::vector<uint32_t> perm(joined.num_rows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    if (rrow.i64()[a] != rrow.i64()[b]) return rrow.i64()[a] < rrow.i64()[b];
+    return lrow.i64()[a] < lrow.i64()[b];
+  });
+  Table out;
+  for (size_t c = 0; c < final_cols.size(); ++c) {
+    size_t src = c < ln ? c : c + 1;  // skip the left row-id column
+    ColumnData d(joined.col(src).rep());
+    d.Reserve(perm.size());
+    d.AppendSelected(joined.col(src), perm.data(), perm.size());
+    out.AddColumn(std::move(final_cols[c]), std::move(d));
+  }
+  return out;
+}
+
 /// Aggregation state for one (group, aggregate) pair. Min/max and the
 /// Paillier template are tracked as row indices into the operand table
 /// (materialized only when the output is built). Trivially copyable, so
@@ -1036,31 +1250,40 @@ struct BatchGroups {
   std::vector<std::vector<uint32_t>> hom_gids;
 };
 
-Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
+/// Group-by output schema bound against the operand: group key column
+/// indices, aggregate source columns (-1 for count(*)), and the output
+/// column metadata — shared by the in-memory and spilled paths so both
+/// produce identical layouts.
+struct GroupBySchema {
   std::vector<int> group_cols;
+  std::vector<int> agg_cols;
   std::vector<ExecColumn> out_cols;
+};
+
+Result<GroupBySchema> BindGroupBy(const PlanNode* n, const Table& in,
+                                  ExecContext* ctx) {
+  GroupBySchema s;
   std::vector<AttrId> group_attrs = n->group_by.ToVector();
   for (AttrId a : group_attrs) {
     int idx = in.ColIndex(a);
     if (idx < 0) return ColNotFound(n, a, *ctx->catalog);
-    group_cols.push_back(idx);
-    out_cols.push_back(in.columns()[static_cast<size_t>(idx)]);
+    s.group_cols.push_back(idx);
+    s.out_cols.push_back(in.columns()[static_cast<size_t>(idx)]);
   }
 
-  std::vector<int> agg_cols;
   for (const Aggregate& agg : n->aggregates) {
     ExecColumn col;
     if (agg.func == AggFunc::kCountStar) {
-      agg_cols.push_back(-1);
+      s.agg_cols.push_back(-1);
       col.attr = agg.out_attr;
       col.name = ctx->catalog->attrs().Name(agg.out_attr);
       col.type = DataType::kInt64;
-      out_cols.push_back(col);
+      s.out_cols.push_back(col);
       continue;
     }
     int idx = in.ColIndex(agg.attr);
     if (idx < 0) return ColNotFound(n, agg.attr, *ctx->catalog);
-    agg_cols.push_back(idx);
+    s.agg_cols.push_back(idx);
     const ExecColumn& src = in.columns()[static_cast<size_t>(idx)];
     col = src;
     col.attr = agg.out_attr;
@@ -1080,21 +1303,22 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
       default:
         break;  // sum/min/max keep the source representation
     }
-    out_cols.push_back(col);
+    s.out_cols.push_back(col);
   }
+  return s;
+}
 
-  // Fold codecs for homomorphic sums, one per public modulus; resolved up
-  // front so neither the parallel phase nor finalize re-derives Montgomery
-  // constants — but only when a summed column can actually hold ciphertexts
-  // (rep kEnc, or the kCell fallback), so plaintext group-bys never pay the
-  // setup. Contiguous-ciphertext (kEnc) aggregates fold *lazily*: phase 1
-  // only stages row indices per group, and finalize multiplies each group's
-  // ciphertexts in one batch accumulation, touching every ciphertext
-  // exactly once. The kCell fallback keeps the eager per-row fold.
+/// Resolves the fold codecs for homomorphic sums (one per public modulus)
+/// and, when `lazy_slot` is given, assigns a lazy staging slot to each
+/// contiguous-ciphertext (kEnc) summed aggregate. Plaintext group-bys never
+/// pay the setup.
+HomCodecMap HomCodecsFor(const PlanNode* n, const Table& in,
+                         const std::vector<int>& agg_cols, ExecContext* ctx,
+                         std::vector<int>* lazy_slot, size_t* num_lazy) {
   size_t num_aggs = n->aggregates.size();
   HomCodecMap hom_codecs;
-  std::vector<int> lazy_slot(num_aggs, -1);
-  size_t num_lazy = 0;
+  if (lazy_slot != nullptr) lazy_slot->assign(num_aggs, -1);
+  if (num_lazy != nullptr) *num_lazy = 0;
   for (size_t ai = 0; ai < num_aggs; ++ai) {
     const Aggregate& agg = n->aggregates[ai];
     if (agg.func != AggFunc::kSum && agg.func != AggFunc::kAvg) continue;
@@ -1106,8 +1330,64 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
         hom_codecs.emplace(key_id, ColumnCodec(key_id, modulus));
       }
     }
-    if (rep == ColumnRep::kEnc) lazy_slot[ai] = static_cast<int>(num_lazy++);
+    if (rep == ColumnRep::kEnc && lazy_slot != nullptr &&
+        num_lazy != nullptr) {
+      (*lazy_slot)[ai] = static_cast<int>((*num_lazy)++);
+    }
   }
+  return hom_codecs;
+}
+
+/// Materializes one finished aggregate state as its output cell. `col` is
+/// the aggregate's source column (holding `best_row`/`hom_template_row`),
+/// null for count(*). Shared by the in-memory and spilled paths.
+Result<Cell> AggOutputCell(const Aggregate& agg, const AggState& s,
+                           const ColumnData* col) {
+  switch (agg.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Cell(Value(s.count));
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (s.hom) {
+        EncValue ev = col->EncAt(s.hom_template_row);
+        ev.blob = PaillierCipherToBytes(s.hom_cipher);
+        ev.aux = s.hom_count;
+        return Cell(std::move(ev));
+      }
+      if (agg.func == AggFunc::kAvg) {
+        return Cell(Value(
+            s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0));
+      }
+      if (s.sum_is_double) return Cell(Value(s.sum));
+      return Cell(Value(static_cast<int64_t>(std::llround(s.sum))));
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      if (s.has_min_max) return col->GetCell(s.best_row);
+      return Cell(Value::Null());
+  }
+  return Status::Internal("unreachable aggregate function");
+}
+
+Result<Table> ExecGroupByInMemory(const PlanNode* n, Table in,
+                                  ExecContext* ctx) {
+  MPQ_ASSIGN_OR_RETURN(GroupBySchema schema, BindGroupBy(n, in, ctx));
+  std::vector<int>& group_cols = schema.group_cols;
+  std::vector<int>& agg_cols = schema.agg_cols;
+  std::vector<ExecColumn>& out_cols = schema.out_cols;
+
+  // Fold codecs for homomorphic sums, resolved up front so neither the
+  // parallel phase nor finalize re-derives Montgomery constants.
+  // Contiguous-ciphertext (kEnc) aggregates fold *lazily*: phase 1 only
+  // stages row indices per group, and finalize multiplies each group's
+  // ciphertexts in one batch accumulation, touching every ciphertext
+  // exactly once. The kCell fallback keeps the eager per-row fold.
+  size_t num_aggs = n->aggregates.size();
+  std::vector<int> lazy_slot;
+  size_t num_lazy = 0;
+  HomCodecMap hom_codecs =
+      HomCodecsFor(n, in, agg_cols, ctx, &lazy_slot, &num_lazy);
 
   // Typed vs byte keys is a whole-operator decision (a single table, so
   // reps cannot mismatch; only the kCell fallback forces byte keys). When
@@ -1456,49 +1736,204 @@ Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
   }
   for (size_t ai = 0; ai < n->aggregates.size(); ++ai) {
     const Aggregate& agg = n->aggregates[ai];
-    ColumnData col;
+    const ColumnData* src =
+        agg_cols[ai] >= 0 ? &in.col(static_cast<size_t>(agg_cols[ai]))
+                          : nullptr;
     std::vector<Cell> cells;
     cells.reserve(num_groups);
     for (size_t g = 0; g < num_groups; ++g) {
-      const AggState& s = states[g * num_aggs + ai];
-      switch (agg.func) {
-        case AggFunc::kCountStar:
-        case AggFunc::kCount:
-          cells.push_back(Cell(Value(s.count)));
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg: {
-          if (s.hom) {
-            const ColumnData& src = in.col(static_cast<size_t>(agg_cols[ai]));
-            EncValue ev = src.EncAt(s.hom_template_row);
-            ev.blob = PaillierCipherToBytes(s.hom_cipher);
-            ev.aux = s.hom_count;
-            cells.push_back(Cell(std::move(ev)));
-          } else if (agg.func == AggFunc::kAvg) {
-            cells.push_back(Cell(Value(
-                s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0)));
-          } else if (s.sum_is_double) {
-            cells.push_back(Cell(Value(s.sum)));
-          } else {
-            cells.push_back(
-                Cell(Value(static_cast<int64_t>(std::llround(s.sum)))));
-          }
-          break;
-        }
-        case AggFunc::kMin:
-        case AggFunc::kMax:
-          if (s.has_min_max) {
-            cells.push_back(in.col(static_cast<size_t>(agg_cols[ai]))
-                                .GetCell(s.best_row));
-          } else {
-            cells.push_back(Cell(Value::Null()));
-          }
-          break;
-      }
+      MPQ_ASSIGN_OR_RETURN(
+          Cell cell, AggOutputCell(agg, states[g * num_aggs + ai], src));
+      cells.push_back(std::move(cell));
     }
     out_data.push_back(ColumnFromCells(std::move(cells)));
   }
   return TableFromColumns(std::move(out_cols), std::move(out_data));
+}
+
+/// Out-of-core group-by: rows are hash-partitioned on the group key (each
+/// group lands wholly in one partition), spilled as compressed segments,
+/// and each partition is aggregated alone with bounded state. Per-group
+/// accumulation replays the in-memory algorithm's exact floating-point
+/// association: partials are accumulated per *global* batch (recovered from
+/// the spilled global-row column) and merged at batch boundaries in
+/// ascending order, so results are bit-identical to the unspilled engine at
+/// any thread count. Ciphertext sums fold eagerly (modular products are
+/// association-independent, so they equal the in-memory lazy fold bit for
+/// bit).
+Result<Table> ExecGroupBySpill(const PlanNode* n, Table in, ExecContext* ctx) {
+  MPQ_ASSIGN_OR_RETURN(GroupBySchema schema, BindGroupBy(n, in, ctx));
+  size_t num_aggs = n->aggregates.size();
+  HomCodecMap hom_codecs = HomCodecsFor(n, in, schema.agg_cols, ctx,
+                                        /*lazy_slot=*/nullptr,
+                                        /*num_lazy=*/nullptr);
+  NoteSpillGeneration(ctx, 1);
+  std::vector<ColumnRep> key_reps;
+  for (int gc : schema.group_cols) {
+    key_reps.push_back(in.col(static_cast<size_t>(gc)).rep());
+  }
+  size_t n_in_cols = in.num_columns();
+  AppendRowIdColumn(&in);
+  MPQ_ASSIGN_OR_RETURN(
+      std::vector<std::string> paths,
+      SpillPartitionTable(in, schema.group_cols, 0xc2b2ae3d27d4eb4full, ctx));
+  in = Table();
+
+  // Surviving per-group outputs: the key row (one row per group in the
+  // per-partition key tables), the finalized aggregate cells, and the
+  // group's global first-occurrence row for final ordering.
+  struct GroupRef {
+    uint64_t global_first;
+    uint32_t part;
+    uint32_t local_gid;
+  };
+  std::vector<GroupRef> groups;
+  std::vector<Table> key_tables(kSpillFanout);
+  std::vector<Cell> agg_out;  // stride num_aggs, aligned with `groups`
+
+  size_t grain = Grain(ctx);
+  for (size_t p = 0; p < kSpillFanout; ++p) {
+    MPQ_ASSIGN_OR_RETURN(Table part, ReadSpillSegment(paths[p]));
+    if (part.num_rows() == 0) continue;
+    const int64_t* grow = part.col(n_in_cols).i64().data();
+    FlatHashIndex index(part.num_rows());
+    ByteArena arena;
+    std::vector<std::pair<uint64_t, uint32_t>> spans;
+    std::vector<uint32_t> local_first;
+    std::vector<AggState> merged_states, partials;
+    std::vector<uint64_t> cur_batch;
+    std::string key;
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      MPQ_RETURN_NOT_OK(RowKeyBytes(part, schema.group_cols, r, &key));
+      uint64_t batch = static_cast<uint64_t>(grow[r]) / grain;
+      uint32_t g = index.FindOrInsert(
+          HashBytes(key.data(), key.size()),
+          [&](uint32_t id) {
+            return arena.View(spans[id].first, spans[id].second) == key;
+          },
+          [&] {
+            auto id = static_cast<uint32_t>(local_first.size());
+            spans.emplace_back(arena.Append(key.data(), key.size()),
+                               static_cast<uint32_t>(key.size()));
+            local_first.push_back(static_cast<uint32_t>(r));
+            merged_states.resize(merged_states.size() + num_aggs);
+            partials.resize(partials.size() + num_aggs);
+            cur_batch.push_back(batch);
+            return id;
+          });
+      if (batch != cur_batch[g]) {
+        // Global batch boundary: fold this group's partial into its merged
+        // state, in ascending batch order — the in-memory merge order.
+        for (size_t ai = 0; ai < num_aggs; ++ai) {
+          const ColumnData* col =
+              schema.agg_cols[ai] >= 0
+                  ? &part.col(static_cast<size_t>(schema.agg_cols[ai]))
+                  : nullptr;
+          MPQ_RETURN_NOT_OK(MergeAggState(
+              n->aggregates[ai], col, /*lazy_hom=*/false,
+              partials[g * num_aggs + ai], &merged_states[g * num_aggs + ai]));
+          partials[g * num_aggs + ai] = AggState();
+        }
+        cur_batch[g] = batch;
+      }
+      for (size_t ai = 0; ai < num_aggs; ++ai) {
+        const Aggregate& agg = n->aggregates[ai];
+        AggState& s = partials[g * num_aggs + ai];
+        if (agg.func == AggFunc::kCountStar || agg.func == AggFunc::kCount) {
+          s.count++;  // counts fold every row, column or not
+          continue;
+        }
+        MPQ_RETURN_NOT_OK(AccumulateRow(
+            n, agg, part.col(static_cast<size_t>(schema.agg_cols[ai])), r,
+            hom_codecs, &s));
+      }
+    }
+    size_t part_groups = local_first.size();
+    for (size_t g = 0; g < part_groups; ++g) {
+      for (size_t ai = 0; ai < num_aggs; ++ai) {
+        const ColumnData* col =
+            schema.agg_cols[ai] >= 0
+                ? &part.col(static_cast<size_t>(schema.agg_cols[ai]))
+                : nullptr;
+        MPQ_RETURN_NOT_OK(MergeAggState(
+            n->aggregates[ai], col, /*lazy_hom=*/false,
+            partials[g * num_aggs + ai], &merged_states[g * num_aggs + ai]));
+      }
+    }
+    // Materialize this partition's outputs before its table is freed: one
+    // key row per group (first occurrence) and the finalized cells.
+    Table kt;
+    for (size_t k = 0; k < schema.group_cols.size(); ++k) {
+      const ColumnData& src =
+          part.col(static_cast<size_t>(schema.group_cols[k]));
+      ColumnData d(src.rep());
+      d.Reserve(part_groups);
+      d.AppendSelected(src, local_first.data(), part_groups);
+      kt.AddColumn(part.columns()[static_cast<size_t>(schema.group_cols[k])],
+                   std::move(d));
+    }
+    key_tables[p] = std::move(kt);
+    for (size_t g = 0; g < part_groups; ++g) {
+      groups.push_back({static_cast<uint64_t>(grow[local_first[g]]),
+                        static_cast<uint32_t>(p), static_cast<uint32_t>(g)});
+      for (size_t ai = 0; ai < num_aggs; ++ai) {
+        const ColumnData* col =
+            schema.agg_cols[ai] >= 0
+                ? &part.col(static_cast<size_t>(schema.agg_cols[ai]))
+                : nullptr;
+        MPQ_ASSIGN_OR_RETURN(
+            Cell cell, AggOutputCell(n->aggregates[ai],
+                                     merged_states[g * num_aggs + ai], col));
+        agg_out.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // Global output order = ascending first occurrence, the in-memory group
+  // order (first rows are distinct, so the order is total).
+  std::vector<uint32_t> order(groups.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return groups[a].global_first < groups[b].global_first;
+  });
+  std::vector<ColumnData> out_data;
+  out_data.reserve(schema.out_cols.size());
+  for (size_t k = 0; k < schema.group_cols.size(); ++k) {
+    ColumnData col(key_reps[k]);
+    col.Reserve(order.size());
+    for (uint32_t idx : order) {
+      col.AppendFrom(key_tables[groups[idx].part].col(k),
+                     groups[idx].local_gid);
+    }
+    out_data.push_back(std::move(col));
+  }
+  for (size_t ai = 0; ai < num_aggs; ++ai) {
+    std::vector<Cell> cells;
+    cells.reserve(order.size());
+    for (uint32_t idx : order) {
+      cells.push_back(std::move(agg_out[idx * num_aggs + ai]));
+    }
+    out_data.push_back(ColumnFromCells(std::move(cells)));
+  }
+  return TableFromColumns(std::move(schema.out_cols), std::move(out_data));
+}
+
+Result<Table> ExecGroupBy(const PlanNode* n, Table in, ExecContext* ctx) {
+  bool spill = ctx->memory_budget != 0 && in.num_rows() > 0 &&
+               !n->group_by.ToVector().empty() &&
+               in.ByteSize() > ctx->memory_budget;
+  if (spill) {
+    // Unresolvable group attributes surface identically from either path;
+    // let the in-memory binder report them.
+    for (AttrId a : n->group_by.ToVector()) {
+      if (in.ColIndex(a) < 0) {
+        spill = false;
+        break;
+      }
+    }
+  }
+  if (!spill) return ExecGroupByInMemory(n, std::move(in), ctx);
+  return ExecGroupBySpill(n, std::move(in), ctx);
 }
 
 Result<Table> ExecUdf(const PlanNode* n, Table in, ExecContext* ctx) {
@@ -1715,12 +2150,17 @@ Result<Table> DispatchNode(const PlanNode* n, std::vector<Table> inputs,
   switch (n->kind) {
     case OpKind::kBase: {
       auto it = ctx->base_tables.find(n->rel);
-      if (it == ctx->base_tables.end()) {
-        return Status::NotFound(StrFormat(
-            "no data loaded for relation %s",
-            ctx->catalog->Get(n->rel).name.c_str()));
+      if (it != ctx->base_tables.end()) return *it->second;  // copy
+      // Cold relations are published as compressed segments; the first scan
+      // decodes (and caches) the whole table.
+      auto st = ctx->segment_tables.find(n->rel);
+      if (st != ctx->segment_tables.end()) {
+        MPQ_ASSIGN_OR_RETURN(const Table* t, st->second->Materialize());
+        return *t;  // copy
       }
-      return *it->second;  // copy
+      return Status::NotFound(StrFormat(
+          "no data loaded for relation %s",
+          ctx->catalog->Get(n->rel).name.c_str()));
     }
     case OpKind::kProject:
       return ExecProject(n, std::move(inputs[0]), ctx);
@@ -1740,6 +2180,65 @@ Result<Table> DispatchNode(const PlanNode* n, std::vector<Table> inputs,
       return ExecDecrypt(n, std::move(inputs[0]), ctx);
   }
   return Status::Internal("unreachable operator kind");
+}
+
+/// Segment-pruned scan for a select directly over a segment-backed base
+/// relation: every constant predicate on an unencrypted column is tested
+/// against each segment's zone map, and segments that provably contain no
+/// qualifying row are never decoded. The surviving concatenation feeds the
+/// ordinary select operator, so binding errors and filter semantics are
+/// unchanged — pruning only removes rows the filter would drop anyway.
+Result<Table> ZoneMapScan(const SegmentedTable& st, const PlanNode* sel,
+                          ExecContext* ctx) {
+  struct Prunable {
+    CmpOp op;
+    size_t col;
+    const Value* v;
+  };
+  std::vector<Prunable> preds;
+  for (const Predicate& p : sel->predicates) {
+    if (!ctx->zone_map_skipping) break;
+    if (p.rhs_is_attr) continue;
+    for (size_t c = 0; c < st.columns().size(); ++c) {
+      if (st.columns()[c].attr == p.lhs && !st.columns()[c].encrypted) {
+        preds.push_back({p.op, c, &p.rhs_value});
+        break;
+      }
+    }
+  }
+  std::vector<Chunk> chunks;
+  for (size_t s = 0; s < st.num_segments(); ++s) {
+    const SegmentReader& seg = st.segment(s);
+    ctx->segments_scanned.fetch_add(1, std::memory_order_relaxed);
+    bool may = true;
+    for (const Prunable& pr : preds) {
+      if (!ZoneMayMatch(seg.zone(pr.col), pr.op, *pr.v)) {
+        may = false;
+        break;
+      }
+    }
+    if (!may) {
+      ctx->segments_skipped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    MPQ_ASSIGN_OR_RETURN(Table part, seg.Decode());
+    Chunk ch;
+    ch.reserve(part.num_columns());
+    for (size_t c = 0; c < part.num_columns(); ++c) {
+      ch.push_back(std::move(part.col_mut(c)));
+    }
+    chunks.push_back(std::move(ch));
+  }
+  if (chunks.empty()) {
+    // Everything pruned: an empty table in the segments' physical reps, the
+    // same shape a fully filtered decode would produce.
+    Table out;
+    for (size_t c = 0; c < st.columns().size(); ++c) {
+      out.AddColumn(st.columns()[c], ColumnData(st.segment(0).rep(c)));
+    }
+    return out;
+  }
+  return MergeChunks(st.columns(), std::move(chunks));
 }
 
 }  // namespace
@@ -1780,6 +2279,21 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
 }
 
 Result<Table> ExecutePlan(const PlanNode* root, ExecContext* ctx) {
+  // A select directly over a segment-backed base relation scans via zone
+  // maps: whole segments are skipped before any decode.
+  if (root->kind == OpKind::kSelect && root->num_children() == 1 &&
+      root->child(0)->kind == OpKind::kBase) {
+    const PlanNode* base = root->child(0);
+    if (ctx->base_tables.find(base->rel) == ctx->base_tables.end()) {
+      auto st = ctx->segment_tables.find(base->rel);
+      if (st != ctx->segment_tables.end()) {
+        MPQ_ASSIGN_OR_RETURN(Table in, ZoneMapScan(*st->second, root, ctx));
+        std::vector<Table> one;
+        one.push_back(std::move(in));
+        return ExecuteNodeOnInputs(root, std::move(one), ctx);
+      }
+    }
+  }
   size_t nc = root->num_children();
   std::vector<Table> inputs;
   inputs.reserve(nc);

@@ -12,8 +12,10 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "algebra/plan.h"
@@ -27,6 +29,7 @@
 namespace mpq {
 
 class QueryTrace;
+class SegmentedTable;
 
 /// Per-attribute encryption decisions: which scheme and key protect each
 /// attribute whenever it is encrypted in the plan.
@@ -104,6 +107,30 @@ struct ExecContext {
   QueryTrace* trace = nullptr;
   uint64_t trace_parent = 0;  ///< Parent span id for operator spans.
   int trace_track = 0;        ///< Span track (assignee id when distributed).
+  /// Byte budget for memory-intensive operators (join builds, group-by
+  /// state). When an operator's working set would exceed it, the operator
+  /// partitions its inputs by key hash, spills overflow partitions to disk
+  /// as compressed segments, and recurses — outputs stay bit-identical to
+  /// the in-memory path at any thread count. Zero means unbounded (never
+  /// spill).
+  uint64_t memory_budget = 0;
+  /// Directory for spill segment files; empty means the system temp dir.
+  std::string spill_dir;
+  /// Segment-backed base relations: kBase scans fall through to these when
+  /// the relation has no materialized entry in `base_tables`, decoding
+  /// lazily (and skipping whole segments via zone maps when the scan is a
+  /// select over constants). Ordered map so iteration order is stable.
+  std::map<RelId, const SegmentedTable*> segment_tables;
+  /// When false, segment-backed scans decode every segment (zone maps are
+  /// consulted but never prune). A/B knob for measuring what skipping buys;
+  /// results are identical either way.
+  bool zone_map_skipping = true;
+  /// Out-of-core / zone-map observability (relaxed; diagnostic only).
+  std::atomic<uint64_t> spill_partitions{0};  ///< Partitions written.
+  std::atomic<uint64_t> spill_bytes{0};       ///< Encoded bytes spilled.
+  std::atomic<uint64_t> spill_generations{0};  ///< Max recursion depth + 1.
+  std::atomic<uint64_t> segments_skipped{0};  ///< Segments pruned by zones.
+  std::atomic<uint64_t> segments_scanned{0};  ///< Segments considered.
 
   uint64_t NextNonce() {
     return nonce.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -155,7 +155,8 @@ struct Reader {
   bool Enc(EncValue* ev) {
     uint8_t scheme;
     uint64_t aux;
-    if (!U8(&scheme) || !U64(&ev->key_id) || !U64(&aux) || !Bytes(&ev->blob)) {
+    if (!U8(&scheme) || scheme > static_cast<uint8_t>(EncScheme::kPaillier) ||
+        !U64(&ev->key_id) || !U64(&aux) || !Bytes(&ev->blob)) {
       return false;
     }
     ev->scheme = static_cast<EncScheme>(scheme);
@@ -274,6 +275,13 @@ Result<Table> Table::DeserializeColumns(const std::string& bytes) {
     if (!r.U32(&col.attr) || !r.Bytes(&col.name) || !r.U8(&type) ||
         !r.U8(&encrypted) || !r.U8(&scheme) || !r.U64(&col.key_id) ||
         !r.U8(&hom_avg)) {
+      return Corrupt();
+    }
+    // Enum fields must decode to a declared enumerator: a garbage type or
+    // scheme byte would otherwise flow into every downstream switch over
+    // column metadata.
+    if (type > static_cast<uint8_t>(DataType::kString) ||
+        scheme > static_cast<uint8_t>(EncScheme::kPaillier)) {
       return Corrupt();
     }
     col.type = static_cast<DataType>(type);

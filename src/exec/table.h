@@ -158,6 +158,12 @@ class Table {
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  // The segment codec (storage/segment.h) reconstructs degenerate
+  // zero-column frames the same way DeserializeColumns does: by setting the
+  // row count directly, since no column carries it.
+  friend class SegmentReader;
+  friend class SegmentedTable;
+
   std::vector<ExecColumn> columns_;
   std::vector<std::shared_ptr<ColumnData>> data_;
   size_t num_rows_ = 0;

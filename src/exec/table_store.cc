@@ -49,9 +49,12 @@ uint64_t TableStore::PublishLocked(RelId rel,
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     next->tables = current_->tables;
+    next->cold = current_->cold;
   }
   next->id = epoch_.load(std::memory_order_relaxed) + 1;
   next->tables[rel] = std::move(table);
+  // Writing a cold relation warms it: the new version is a plain table.
+  next->cold.erase(rel);
   std::shared_ptr<const Snapshot> published = std::move(next);
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -74,6 +77,49 @@ std::shared_ptr<const Snapshot> TableStore::Current() const {
 Result<uint64_t> TableStore::Mutate(
     RelId rel, const std::function<Status(Table*)>& mutate) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  return MutateLocked(rel, mutate);
+}
+
+Result<uint64_t> TableStore::MutateLocked(
+    RelId rel, const std::function<Status(Table*)>& mutate) {
+  // Caller holds writer_mu_.
+  std::shared_ptr<const Table> base;
+  std::shared_ptr<const SegmentedTable> cold;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    auto it = current_->tables.find(rel);
+    if (it != current_->tables.end()) {
+      base = it->second;
+    } else {
+      auto c = current_->cold.find(rel);
+      if (c != current_->cold.end()) cold = c->second;
+    }
+  }
+  if (base == nullptr && cold == nullptr) {
+    return Status::NotFound(
+        StrFormat("table store holds no relation %d", static_cast<int>(rel)));
+  }
+  // The copy shares every column payload with the published snapshot;
+  // mutation clones touched columns via col_mut, so the snapshot every
+  // in-flight reader pinned stays bit-identical. A cold relation is
+  // decoded first and warmed by the publish below.
+  Table working = [&]() -> Table {
+    if (base != nullptr) return *base;
+    Result<const Table*> t = cold->Materialize();
+    return t.ok() ? **t : Table();
+  }();
+  if (base == nullptr && working.num_columns() == 0 &&
+      !cold->columns().empty()) {
+    return Status::Internal(
+        StrFormat("cold relation %d failed to decode", static_cast<int>(rel)));
+  }
+  MPQ_RETURN_NOT_OK(mutate(&working));
+  return PublishLocked(rel,
+                       std::make_shared<const Table>(std::move(working)));
+}
+
+Result<uint64_t> TableStore::MakeCold(RelId rel, size_t rows_per_segment) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   std::shared_ptr<const Table> base;
   {
     std::lock_guard<std::mutex> state(state_mu_);
@@ -81,20 +127,40 @@ Result<uint64_t> TableStore::Mutate(
     if (it != current_->tables.end()) base = it->second;
   }
   if (base == nullptr) {
+    // Already cold is a no-op (idempotent); unknown is an error.
+    std::lock_guard<std::mutex> state(state_mu_);
+    if (current_->cold.count(rel) > 0) return current_->id;
     return Status::NotFound(
         StrFormat("table store holds no relation %d", static_cast<int>(rel)));
   }
-  // The copy shares every column payload with the published snapshot;
-  // mutation clones touched columns via col_mut, so the snapshot every
-  // in-flight reader pinned stays bit-identical.
-  Table working = *base;
-  MPQ_RETURN_NOT_OK(mutate(&working));
-  return PublishLocked(rel,
-                       std::make_shared<const Table>(std::move(working)));
+  MPQ_ASSIGN_OR_RETURN(SegmentedTable seg,
+                       SegmentedTable::FromTable(*base, rows_per_segment));
+  auto next = std::make_shared<Snapshot>();
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    next->tables = current_->tables;
+    next->cold = current_->cold;
+  }
+  next->id = epoch_.load(std::memory_order_relaxed) + 1;
+  next->tables.erase(rel);
+  next->cold[rel] = std::make_shared<const SegmentedTable>(std::move(seg));
+  std::shared_ptr<const Snapshot> published = std::move(next);
+  {
+    std::lock_guard<std::mutex> lock2(state_mu_);
+    current_ = published;
+  }
+  epoch_.store(published->id, std::memory_order_release);
+  return published->id;
 }
 
 Status TableStore::MrvAttach(RelId rel, int key_col, int64_t key,
                              int value_col, size_t num_records) {
+  // The writer lock spans reading the seed value and registering the
+  // counter: without it a Mutate (or FlushCounters) committing between the
+  // two would be lost — the counter would be seeded with the cell's stale
+  // pre-commit value. Lock order writer_mu_ -> mrv_mu_ matches
+  // FlushCounters.
+  std::lock_guard<std::mutex> writer(writer_mu_);
   std::shared_ptr<const Snapshot> snap = Current();
   const Table* table = snap->Get(rel);
   if (table == nullptr) {
@@ -190,10 +256,14 @@ bool TableStore::MrvCoversColumn(RelId rel, int col) const {
 }
 
 Status TableStore::FlushCounters() {
-  // Snapshot the fold work under the shared registry lock, then run the
-  // table mutations without it (Mutate takes the writer lock; counters keep
-  // absorbing updates during the fold — the flushed value is the total at
-  // fold time, later updates land in the next flush).
+  // One writer critical section covers reading every counter's total and
+  // publishing the folded cells. Taking totals outside it (as this used
+  // to) let two concurrent flushes interleave — the slower one would
+  // overwrite a fresher fold with its staler total, un-publishing updates
+  // that had already been made visible. Counters keep absorbing updates
+  // during the fold: the flushed value is the total at fold time, later
+  // updates land in the next flush.
+  std::lock_guard<std::mutex> writer(writer_mu_);
   struct Fold {
     RelId rel;
     int key_col;
@@ -211,7 +281,7 @@ Status TableStore::FlushCounters() {
     }
   }
   for (const Fold& f : folds) {
-    Result<uint64_t> r = Mutate(f.rel, [&f](Table* table) -> Status {
+    Result<uint64_t> r = MutateLocked(f.rel, [&f](Table* table) -> Status {
       int64_t row = FindKeyRow(*table, f.key_col, f.key);
       if (row < 0) return Status::OK();  // key row deleted: skip
       ColumnData& col = table->col_mut(static_cast<size_t>(f.value_col));

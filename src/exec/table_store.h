@@ -30,6 +30,7 @@
 #include "catalog/catalog.h"
 #include "exec/mrv.h"
 #include "exec/table.h"
+#include "storage/segment.h"
 
 namespace mpq {
 
@@ -41,11 +42,29 @@ struct Snapshot {
   /// layers key cached plans by.
   uint64_t id = 0;
   std::map<RelId, std::shared_ptr<const Table>> tables;
+  /// Relations demoted to compressed segments (TableStore::MakeCold). A
+  /// cold relation has no entry in `tables`; readers decode lazily — Get()
+  /// materializes on first touch (memoized, shared across snapshots until
+  /// the relation is written again), and segment-aware scans can read the
+  /// SegmentedTable directly to skip segments via zone maps.
+  std::map<RelId, std::shared_ptr<const SegmentedTable>> cold;
 
-  /// The pinned table of `rel`, or nullptr when the store holds none.
+  /// The pinned table of `rel`, or nullptr when the store holds none. Cold
+  /// relations decode on first call (cached thereafter).
   const Table* Get(RelId rel) const {
     auto it = tables.find(rel);
-    return it == tables.end() ? nullptr : it->second.get();
+    if (it != tables.end()) return it->second.get();
+    auto c = cold.find(rel);
+    if (c == cold.end()) return nullptr;
+    Result<const Table*> t = c->second->Materialize();
+    return t.ok() ? *t : nullptr;
+  }
+
+  /// The segment-backed form of `rel`, or nullptr when `rel` is hot (or
+  /// absent).
+  const SegmentedTable* GetCold(RelId rel) const {
+    auto c = cold.find(rel);
+    return c == cold.end() ? nullptr : c->second.get();
   }
 };
 
@@ -77,6 +96,13 @@ class TableStore {
   /// fails nothing is published. Returns the new snapshot id.
   Result<uint64_t> Mutate(RelId rel,
                           const std::function<Status(Table*)>& mutate);
+
+  /// Demotes `rel` to compressed segments of `rows_per_segment` rows (zero
+  /// means one segment) and publishes a snapshot where the relation is
+  /// cold: readers decode lazily via Snapshot::Get / GetCold. Writing the
+  /// relation again (Put / Mutate / FlushCounters) warms it back to a
+  /// plain table.
+  Result<uint64_t> MakeCold(RelId rel, size_t rows_per_segment);
 
   // ---- MRV hotspot counters -----------------------------------------------
 
@@ -126,6 +152,8 @@ class TableStore {
   using MrvKey = std::tuple<RelId, int, int64_t>;
 
   uint64_t PublishLocked(RelId rel, std::shared_ptr<const Table> table);
+  Result<uint64_t> MutateLocked(RelId rel,
+                                const std::function<Status(Table*)>& mutate);
   Result<MrvCounter*> FindCounter(RelId rel, int value_col,
                                   int64_t key) const;
 

@@ -37,7 +37,18 @@ size_t LatencyHistogram::BucketOf(double seconds) {
   double octaves = std::log2(seconds / kMinLatencyS);
   auto idx = static_cast<size_t>(octaves * kSubBuckets);
   if (idx >= kSubBuckets * kOctaves) return kBuckets - 1;  // overflow
-  return idx + 1;
+  size_t bucket = idx + 1;
+  // log2 rounding can land a value sitting exactly on a bucket boundary one
+  // bucket off in either direction (2^(k/8) recomputed through log2 is not
+  // exact). Correct against the authoritative bounds so bucket b always
+  // covers exactly [BucketLowerBound(b), BucketLowerBound(b + 1)).
+  if (seconds < BucketLowerBound(bucket)) {
+    --bucket;
+  } else if (bucket + 1 < kBuckets &&
+             seconds >= BucketLowerBound(bucket + 1)) {
+    ++bucket;
+  }
+  return bucket;
 }
 
 double LatencyHistogram::BucketLowerBound(size_t bucket) {
@@ -74,7 +85,12 @@ double LatencyHistogram::Quantile(double p) const {
     if (seen + snap[i] >= rank) {
       double lo = BucketLowerBound(i);
       double hi = i + 1 < kBuckets ? BucketLowerBound(i + 1) : lo * 2;
-      double frac = static_cast<double>(rank - seen) /
+      // Place the rank-th observation at the midpoint of its within-bucket
+      // slot ((rank - seen - 1/2) of snap[i] equal slices) instead of the
+      // slot's upper edge: a single-sample bucket then reports its center
+      // rather than its upper bound, and the estimate is unbiased for
+      // uniformly spread observations.
+      double frac = (static_cast<double>(rank - seen) - 0.5) /
                     static_cast<double>(snap[i]);
       return lo + (hi - lo) * frac;
     }

@@ -487,6 +487,13 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
     for (const auto& [rel, table] : snapshot->tables) {
       entry->runtime->LoadTableRef(rel, table.get());
     }
+    // Cold (segment-backed) relations decode on first touch; the memoized
+    // table lives as long as the pinned snapshot.
+    for (const auto& [rel, seg] : snapshot->cold) {
+      (void)seg;
+      const Table* t = snapshot->Get(rel);
+      if (t != nullptr) entry->runtime->LoadTableRef(rel, t);
+    }
     entry->snapshot = std::move(snapshot);
   }
   uint64_t seed = SplitMix64(config_.key_seed ^
@@ -634,6 +641,11 @@ Result<QueryResponse> QueryService::ExecuteInternal(
     if (entry->snapshot != nullptr) {
       for (const auto& [rel, table] : entry->snapshot->tables) {
         failover.LoadTable(rel, table.get());
+      }
+      for (const auto& [rel, seg] : entry->snapshot->cold) {
+        (void)seg;
+        const Table* t = entry->snapshot->Get(rel);
+        if (t != nullptr) failover.LoadTable(rel, t);
       }
     }
     Result<FailoverOutcome> recovered =

@@ -164,6 +164,38 @@ TEST(LatencyHistogramTest, QuantilesTrackSortedSampleOracle) {
   }
 }
 
+TEST(LatencyHistogramTest, BoundaryValuesLandInTheirOwnBucket) {
+  // A value sitting exactly on a bucket boundary 1e-8 * 2^(k/8) belongs to
+  // the bucket whose lower bound it is. Recomputing the bucket through
+  // log2 is not exact — for about half the boundaries the index truncated
+  // one bucket short, so the quantile estimate of boundary-valued samples
+  // fell BELOW the recorded value. The estimate must lie in [v, v*2^(1/8)).
+  for (int k = 1; k <= 260; k += 3) {
+    const double v = 1e-8 * std::exp2(static_cast<double>(k) / 8.0);
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i) h.Record(v);
+    const double q = h.Quantile(0.5);
+    EXPECT_GE(q, v) << "boundary k=" << k
+                    << ": estimate fell into the previous bucket";
+    EXPECT_LT(q, v * std::exp2(1.0 / 8.0) * (1 + 1e-12)) << "boundary k=" << k;
+  }
+}
+
+TEST(LatencyHistogramTest, SingleSampleEstimateIsTheBucketMidpointNotItsEdge) {
+  // One observation just above a bucket's lower bound: upper-edge
+  // interpolation (the historical rank/count fraction) reported the full
+  // bucket width (~9.1%) as error; the midpoint rule halves the worst case.
+  for (int k : {40, 81, 122, 163, 204}) {
+    const double v = 1e-8 * std::exp2((static_cast<double>(k) + 0.01) / 8.0);
+    LatencyHistogram h;
+    h.Record(v);
+    for (double p : {0.01, 0.5, 1.0}) {
+      const double q = h.Quantile(p);
+      EXPECT_NEAR(q, v, v * 0.05) << "k=" << k << " p=" << p;
+    }
+  }
+}
+
 TEST(LatencyHistogramTest, EdgeCasesUnderflowOverflowEmptyReset) {
   LatencyHistogram h;
   EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty

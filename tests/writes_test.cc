@@ -516,5 +516,154 @@ TEST_F(WritesTest, MaintenanceThreadSmoke) {
   EXPECT_FALSE(store->MrvCoversColumn(ex_->ins, 1));
 }
 
+// ---- Flush vs concurrent counter traffic -----------------------------------
+
+// Hammers FlushCounters from two threads against add-only counter traffic
+// while a sampler watches the published cell. Add-only traffic makes the
+// live total monotone, so a correctly serialized flush sequence publishes
+// non-decreasing cell values; the historical race (totals snapshotted
+// outside the writer critical section) let a slow flush overwrite a
+// fresher fold with its staler total — the sampler would see the published
+// value go backwards, un-publishing committed updates.
+TEST_F(WritesTest, FlushVsConcurrentAddsNeverPublishesStaleTotals) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->MrvAttach(ex_->hosp, /*key_col=*/0, 100,
+                               /*value_col=*/1, 8)
+                  .ok());
+  // Row of S == 100 in the B column (rows never move: no inserts here).
+  // The snapshot must stay pinned while its table is read: a concurrent
+  // flush publishing a new snapshot frees the old one otherwise.
+  auto published_b = [&]() -> int64_t {
+    std::shared_ptr<const Snapshot> pin = store->Current();
+    const Table* hosp = pin->Get(ex_->hosp);
+    for (size_t r = 0; r < hosp->num_rows(); ++r) {
+      if (hosp->col(0).GetValue(r).AsInt() == 100) {
+        return hosp->col(1).GetValue(r).AsInt();
+      }
+    }
+    return -1;
+  };
+
+  constexpr int kAdders = 4;
+  constexpr int kOps = 2000;
+  std::atomic<int> add_errors{0};
+  std::atomic<int> flush_errors{0};
+  std::atomic<int> sampler_violations{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> flushers;
+  for (int f = 0; f < 2; ++f) {
+    flushers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!store->FlushCounters().ok()) flush_errors.fetch_add(1);
+      }
+    });
+  }
+  std::thread sampler([&] {
+    int64_t last = published_b();
+    while (!stop.load(std::memory_order_acquire)) {
+      int64_t now = published_b();
+      if (now < last) sampler_violations.fetch_add(1);
+      last = now;
+    }
+  });
+  std::vector<std::thread> adders;
+  for (int a = 0; a < kAdders; ++a) {
+    adders.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        if (!store->MrvAdd(ex_->hosp, 1, 100, 3).ok()) {
+          add_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : adders) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : flushers) t.join();
+  sampler.join();
+
+  EXPECT_EQ(add_errors.load(), 0);
+  EXPECT_EQ(flush_errors.load(), 0);
+  EXPECT_EQ(sampler_violations.load(), 0);
+  // Conservation: the live total is exactly seed + all adds, and a final
+  // quiescent flush folds precisely that into the cell (no double-fold,
+  // no lost updates).
+  const int64_t expected = 1970 + int64_t{kAdders} * kOps * 3;
+  ASSERT_TRUE(store->FlushCounters().ok());
+  EXPECT_EQ(*store->MrvTotal(ex_->hosp, 1, 100), expected);
+  EXPECT_EQ(published_b(), expected);
+}
+
+// ---- Cold (segment-backed) relations ----------------------------------------
+
+TEST_F(WritesTest, ColdRelationsDecodeLazilyAndWarmOnWrite) {
+  auto store = MakeStore();
+  const Table* hot = store->Current()->Get(ex_->hosp);
+  ASSERT_NE(hot, nullptr);
+  const std::string before = hot->ToString(100);
+  const size_t rows = hot->num_rows();
+
+  uint64_t epoch = store->snapshot_epoch();
+  Result<uint64_t> cold = store->MakeCold(ex_->hosp, /*rows_per_segment=*/2);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(*cold, epoch);
+
+  std::shared_ptr<const Snapshot> snap = store->Current();
+  EXPECT_EQ(snap->tables.count(ex_->hosp), 0u);
+  const SegmentedTable* seg = snap->GetCold(ex_->hosp);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->total_rows(), rows);
+  EXPECT_GE(seg->num_segments(), 2u);
+  EXPECT_GT(seg->encoded_bytes(), 0u);
+
+  // Get() decodes lazily and serves the identical table; repeated calls
+  // share the memoized decode.
+  const Table* back = snap->Get(ex_->hosp);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->ToString(100), before);
+  EXPECT_EQ(snap->Get(ex_->hosp), back);
+
+  // Idempotent: re-demoting a cold relation keeps the snapshot as is.
+  Result<uint64_t> again = store->MakeCold(ex_->hosp, 2);
+  ASSERT_TRUE(again.ok());
+
+  // The untouched relation stayed hot, and unknown relations error.
+  EXPECT_NE(store->Current()->tables.count(ex_->ins), 0u);
+  EXPECT_FALSE(store->MakeCold(static_cast<RelId>(999), 2).ok());
+
+  // A write warms the relation: the mutation sees the decoded rows and the
+  // new version is a plain table again.
+  Result<uint64_t> warmed = store->Mutate(ex_->hosp, [](Table* t) {
+    t->AddRow({Cell(Value(int64_t{300})), Cell(Value(int64_t{3000})),
+               Cell(Value(std::string("flu"))),
+               Cell(Value(std::string("rest")))});
+    return Status::OK();
+  });
+  ASSERT_TRUE(warmed.ok()) << warmed.status().ToString();
+  std::shared_ptr<const Snapshot> after = store->Current();
+  EXPECT_EQ(after->cold.count(ex_->hosp), 0u);
+  ASSERT_NE(after->Get(ex_->hosp), nullptr);
+  EXPECT_EQ(after->Get(ex_->hosp)->num_rows(), rows + 1);
+  // The pinned cold snapshot is unaffected by the warm-up publish.
+  EXPECT_EQ(snap->Get(ex_->hosp)->num_rows(), rows);
+}
+
+TEST_F(WritesTest, QueriesReadColdRelationsTransparently) {
+  auto store = MakeStore();
+  auto service = MakeService(store.get());
+  Session u = *service->OpenSession(ex_->U);
+  const std::string sql = "select S from Hosp where D = 'flu'";
+
+  auto warm_resp = service->ExecuteSql(sql, u);
+  ASSERT_TRUE(warm_resp.ok()) << warm_resp.status().ToString();
+  ASSERT_GT(warm_resp->table.num_rows(), 0u);
+  const std::string warm = warm_resp->table.ToString(100);
+
+  ASSERT_TRUE(store->MakeCold(ex_->hosp, /*rows_per_segment=*/1).ok());
+  auto cold_resp = service->ExecuteSql(sql, u);
+  ASSERT_TRUE(cold_resp.ok()) << cold_resp.status().ToString();
+  EXPECT_EQ(cold_resp->table.ToString(100), warm);
+}
+
 }  // namespace
 }  // namespace mpq
