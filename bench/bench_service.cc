@@ -1,12 +1,26 @@
-// QueryService serving benchmark: closed-loop multi-threaded clients over a
-// TPC-H scenario mix, cold (first execution: parse → authorize → optimize →
-// execute) vs warm (sharded plan-cache hit → execute) at 1/4/8 client
-// threads. Emits BENCH_service.json (override with --json <path>) seeding
-// the perf trajectory with latency percentiles and cache hit rate.
+// QueryService serving benchmark, four sections over one TPC-H UAPenc mix:
 //
-//   bench_service [data_sf] [warm_iters] [--json path]
+//   closed_loop     — N clients, cold vs warm plan-cache latency; raw
+//                     percentiles plus coordinated-omission-corrected ones.
+//   async_burst     — deterministic ExecuteAsync burst against a parked
+//                     pool: queue-depth shedding accounting and response
+//                     identity against the synchronous path.
+//   open_loop       — >= 1000 simulated sessions arriving on a lognormal
+//                     schedule over virtual time (service/loadgen.h), swept
+//                     at 0.5/1/2x the measured warm capacity: saturation
+//                     throughput, shed rate, cache hit ratio, p99/p99.9.
+//   open_loop_crash — the same harness with a seeded provider crash plan
+//                     re-armed throughout the run (failover under load).
+//
+// The exit gate is accounting and correctness only — result mismatches,
+// shed bookkeeping, failovers observed, plus the plan-cache speedup floor on
+// non-oversubscribed rows — never raw wall clock, so it holds on a 1-core CI
+// host. Emits BENCH_service.json (override with --json <path>).
+//
+//   bench_service [data_sf] [warm_iters] [sessions] [--json path]
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,7 +30,12 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "exec/failover.h"
+#include "net/simnet.h"
+#include "profile/propagate.h"
+#include "service/loadgen.h"
 #include "service/query_service.h"
+#include "sql/binder.h"
 #include "tpch/dbgen.h"
 #include "tpch/scenarios.h"
 
@@ -39,6 +58,81 @@ double PercentileMs(std::vector<double> samples, double p) {
   return samples[idx];
 }
 
+// Coordinated-omission correction (HdrHistogram style): a closed-loop client
+// that intended to issue every `interval_ms` but observed latency L > interval
+// silently omitted the samples it would have taken while stalled; re-insert
+// them as L - interval, L - 2*interval, ... so percentiles reflect what an
+// arrival during the stall would have experienced.
+std::vector<double> CorrectCoordinatedOmission(const std::vector<double>& raw,
+                                               double interval_ms) {
+  std::vector<double> corrected = raw;
+  if (interval_ms <= 0) return corrected;
+  for (double l : raw) {
+    for (double missed = l - interval_ms; missed > 0; missed -= interval_ms) {
+      corrected.push_back(missed);
+    }
+  }
+  return corrected;
+}
+
+/// Strict byte identity between two response tables (schema, plaintext, and
+/// ciphertext bytes) — the async-vs-sync identity check.
+bool TablesIdentical(const Table& a, const Table& b) {
+  if (a.num_columns() != b.num_columns() || a.num_rows() != b.num_rows()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (a.columns()[c].attr != b.columns()[c].attr ||
+        a.columns()[c].encrypted != b.columns()[c].encrypted) {
+      return false;
+    }
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    // row() materializes a fresh vector; keep both alive across the cell
+    // comparisons instead of holding references into temporaries.
+    const std::vector<Cell> ra = a.row(r);
+    const std::vector<Cell> rb = b.row(r);
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      const Cell& x = ra[c];
+      const Cell& y = rb[c];
+      if (x.is_plain() != y.is_plain()) return false;
+      if (x.is_plain() ? !(x.plain() == y.plain()) : !(x.enc() == y.enc())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void WriteLoadGenRow(JsonWriter* w, const LoadGenReport& r) {
+  w->Key("offered")
+      .UInt(r.offered)
+      .Key("completed")
+      .UInt(r.completed)
+      .Key("shed")
+      .UInt(r.shed)
+      .Key("errors")
+      .UInt(r.errors)
+      .Key("mismatches")
+      .UInt(r.mismatches)
+      .Key("virtual_duration_s")
+      .Double(r.virtual_duration_s)
+      .Key("throughput_qps")
+      .Double(r.throughput_qps)
+      .Key("shed_rate")
+      .Double(r.shed_rate)
+      .Key("p50_ms")
+      .Double(r.p50_ms)
+      .Key("p99_ms")
+      .Double(r.p99_ms)
+      .Key("p999_ms")
+      .Double(r.p999_ms)
+      .Key("hit_rate")
+      .Double(r.hit_rate)
+      .Key("failovers")
+      .UInt(r.failovers);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,8 +144,10 @@ int main(int argc, char** argv) {
   // is bench_parallel_exec's subject.
   double data_sf = argc > 1 ? std::atof(argv[1]) : 5e-5;
   int warm_iters = argc > 2 ? std::atoi(argv[2]) : 20;
+  size_t sessions = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 2000;
   if (data_sf <= 0) data_sf = 5e-5;
   if (warm_iters < 1) warm_iters = 1;
+  if (sessions < 1000) sessions = 1000;
 
   TpchEnv env = MakeTpchEnv(/*costing_sf=*/1.0, /*num_providers=*/8);
   TpchData db = GenerateTpch(env, data_sf, /*seed=*/17);
@@ -99,11 +195,10 @@ int main(int argc, char** argv) {
   };
 
   std::printf(
-      "QueryService closed-loop bench: TPC-H UAPenc mix {Q6,Q3,Q10,Q12,Q18}, "
-      "data_sf=%.4g (lineitem rows: %zu), %d warm iters/client\n\n",
-      data_sf, db.at(env.lineitem).num_rows(), warm_iters);
-  std::printf("%8s %12s %12s %12s %12s %10s %8s\n", "clients", "cold_p50",
-              "warm_p50", "warm_p95", "cold/warm", "hit_rate", "qps");
+      "QueryService serving bench: TPC-H UAPenc mix {Q6,Q3,Q10,Q12,Q18}, "
+      "data_sf=%.4g (lineitem rows: %zu), %d warm iters/client, "
+      "%zu open-loop sessions\n",
+      data_sf, db.at(env.lineitem).num_rows(), warm_iters, sessions);
 
   JsonWriter w;
   w.BeginObject()
@@ -114,19 +209,37 @@ int main(int argc, char** argv) {
       .Key("data_sf")
       .Double(data_sf)
       .Key("warm_iters")
-      .Int(warm_iters);
+      .Int(warm_iters)
+      .Key("sessions")
+      .UInt(sessions);
   mpq::bench::WriteRunMeta(&w);
   w.Key("query_mix").BeginArray();
   for (const char* q : {"Q6", "Q3", "Q10", "Q12", "Q18"}) w.String(q);
   w.EndArray();
-  w.Key("runs").BeginArray();
 
   bool ok = true;
+
+  // ---------------------------------------------------------------- section
+  // Closed loop: N clients hammering the cached mix. Raw percentiles are
+  // coordinated-omission biased (a slow response delays that client's next
+  // request), so we also report corrected ones assuming each client intended
+  // a steady interval equal to its mean observed latency.
+  std::printf("\n[closed_loop]\n");
+  std::printf("%8s %12s %12s %12s %12s %14s %10s %8s\n", "clients", "cold_p50",
+              "warm_p50", "warm_p99", "co_p99", "cold/warm", "hit_rate",
+              "qps");
+  w.Key("closed_loop_note")
+      .String(
+          "raw percentiles understate tail latency under overload "
+          "(coordinated omission: a stalled client stops sampling); "
+          "corrected_* re-inserts the omitted samples assuming each client "
+          "intended a steady interval equal to its mean observed latency");
+  w.Key("closed_loop").BeginArray();
   for (size_t clients : {1u, 4u, 8u}) {
     ServiceConfig config;
     // Inline execution: closed-loop throughput comes from inter-query
     // parallelism across client threads; intra-query parallelism (a shared
-    // exec pool) is bench_parallel_exec's subject and would only make the
+    // exec pool) is the open-loop sections' subject and would only make the
     // clients convoy on pool workers here.
     config.exec_threads = 0;
     config.max_in_flight = 2 * clients;
@@ -167,8 +280,7 @@ int main(int argc, char** argv) {
         for (int i = 0; i < warm_iters; ++i) {
           for (size_t s = 0; s < statements.size(); ++s) {
             // Stagger start points so clients don't convoy on one statement.
-            const std::string& sql =
-                statements[(s + c) % statements.size()];
+            const std::string& sql = statements[(s + c) % statements.size()];
             auto t0 = Clock::now();
             auto r = service.ExecuteSql(sql, *my_session);
             if (!r.ok()) {
@@ -190,21 +302,34 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    double mean_ms = 0;
+    for (double l : warm_ms) mean_ms += l;
+    mean_ms =
+        warm_ms.empty() ? 0 : mean_ms / static_cast<double>(warm_ms.size());
+    std::vector<double> co_ms = CorrectCoordinatedOmission(warm_ms, mean_ms);
+
     ServiceMetrics m = service.Metrics();
+    bool oversub = mpq::bench::Oversubscribed(clients);
     double cold_p50 = PercentileMs(cold_ms, 0.50);
     double warm_p50 = PercentileMs(warm_ms, 0.50);
-    double warm_p95 = PercentileMs(warm_ms, 0.95);
+    double warm_p99 = PercentileMs(warm_ms, 0.99);
+    double co_p99 = PercentileMs(co_ms, 0.99);
     double speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0;
     double qps = wall_s > 0 ? static_cast<double>(warm_ms.size()) / wall_s : 0;
-    ok = ok && speedup >= 5.0;
+    // The plan-cache floor gates only rows this machine can actually run in
+    // parallel; oversubscribed rows measure scheduler churn, not caching.
+    if (!oversub) ok = ok && speedup >= 5.0;
 
-    std::printf("%8zu %10.3fms %10.3fms %10.3fms %11.1fx %9.1f%% %8.0f\n",
-                clients, cold_p50, warm_p50, warm_p95, speedup,
-                m.hit_rate * 100, qps);
+    std::printf("%8zu %10.3fms %10.3fms %10.3fms %10.3fms %13.1fx %9.1f%% "
+                "%8.0f%s\n",
+                clients, cold_p50, warm_p50, warm_p99, co_p99, speedup,
+                m.hit_rate * 100, qps, oversub ? "  (oversubscribed)" : "");
 
     w.BeginObject()
         .Key("clients")
         .UInt(clients)
+        .Key("oversubscribed")
+        .Bool(oversub)
         .Key("cold_p50_ms")
         .Double(cold_p50)
         .Key("cold_p95_ms")
@@ -212,9 +337,17 @@ int main(int argc, char** argv) {
         .Key("warm_p50_ms")
         .Double(warm_p50)
         .Key("warm_p95_ms")
-        .Double(warm_p95)
+        .Double(PercentileMs(warm_ms, 0.95))
         .Key("warm_p99_ms")
-        .Double(PercentileMs(warm_ms, 0.99))
+        .Double(warm_p99)
+        .Key("corrected_p50_ms")
+        .Double(PercentileMs(co_ms, 0.50))
+        .Key("corrected_p99_ms")
+        .Double(co_p99)
+        .Key("corrected_p999_ms")
+        .Double(PercentileMs(co_ms, 0.999))
+        .Key("intended_interval_ms")
+        .Double(mean_ms)
         .Key("cold_over_warm_p50")
         .Double(speedup)
         .Key("hit_rate")
@@ -228,13 +361,333 @@ int main(int argc, char** argv) {
         .EndObject();
   }
   w.EndArray();
-  w.Key("warm_p50_speedup_target").Double(5.0).Key("pass").Bool(ok);
+
+  // ---------------------------------------------------------------- section
+  // Async burst: park every pool worker behind a gate, submit a burst of
+  // ExecuteAsync calls against a small queue-depth cap, and check the
+  // accounting exactly: accepted == cap, shed == burst - cap, and every
+  // accepted response byte-identical to the synchronous warm execution.
+  {
+    ServiceConfig config;
+    config.exec_threads = 2;
+    config.max_in_flight = 4;
+    config.max_queue_depth = 16;
+    QueryService service(&env.catalog, &env.subjects, &*policy, &prices,
+                         &topo, config);
+    for (const auto& [rel, t] : db.tables) service.LoadTable(rel, &t);
+    auto session = service.OpenSession(env.user);
+    if (!session.ok()) return 1;
+
+    std::vector<StatementHandle> handles;
+    std::vector<Table> refs;
+    for (const std::string& sql : statements) {
+      auto h = service.Prepare(sql);
+      if (!h.ok()) return 1;
+      if (!service.Execute(*h, *session).ok()) return 1;  // cold
+      auto warm = service.Execute(*h, *session);           // warm reference
+      if (!warm.ok()) return 1;
+      handles.push_back(*h);
+      refs.push_back(std::move(warm->table));
+    }
+    ServiceMetrics m0 = service.Metrics();
+
+    // Park both workers so no async task can start before the whole burst
+    // is submitted — the shed decision then depends only on the cap.
+    std::atomic<int> entered{0};
+    std::atomic<bool> release{false};
+    for (size_t i = 0; i < config.exec_threads; ++i) {
+      while (!service.pool()->Submit([&entered, &release] {
+        entered.fetch_add(1);
+        while (!release.load()) std::this_thread::yield();
+      })) {
+      }
+    }
+    while (entered.load() < static_cast<int>(config.exec_threads)) {
+      std::this_thread::yield();
+    }
+
+    const size_t kBurst = 64;
+    std::vector<std::shared_ptr<AsyncQuery>> accepted;
+    std::vector<size_t> accepted_stmt;
+    size_t shed = 0;
+    for (size_t i = 0; i < kBurst; ++i) {
+      auto r = service.ExecuteAsync(handles[i % handles.size()], *session);
+      if (r.ok()) {
+        accepted.push_back(*r);
+        accepted_stmt.push_back(i % handles.size());
+      } else {
+        ++shed;
+      }
+    }
+    release.store(true);
+
+    size_t identical = 0;
+    size_t failures = 0;
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      const Result<QueryResponse>& r = accepted[i]->Wait();
+      if (!r.ok()) {
+        ++failures;
+        continue;
+      }
+      if (TablesIdentical(r->table, refs[accepted_stmt[i]])) ++identical;
+    }
+
+    ServiceMetrics m1 = service.Metrics();
+    bool burst_ok = accepted.size() == config.max_queue_depth &&
+                    shed == kBurst - config.max_queue_depth &&
+                    m1.sheds - m0.sheds == shed &&
+                    m1.async_queries - m0.async_queries == accepted.size() &&
+                    failures == 0 && identical == accepted.size();
+    ok = ok && burst_ok;
+
+    std::printf(
+        "\n[async_burst] submitted=%zu cap=%zu accepted=%zu shed=%zu "
+        "identical=%zu/%zu morsels=%llu scan_attaches=%llu  %s\n",
+        kBurst, config.max_queue_depth, accepted.size(), shed, identical,
+        accepted.size(),
+        static_cast<unsigned long long>(m1.morsels_executed),
+        static_cast<unsigned long long>(m1.scan_attaches),
+        burst_ok ? "OK" : "FAIL");
+
+    w.Key("async_burst")
+        .BeginObject()
+        .Key("oversubscribed")
+        .Bool(mpq::bench::Oversubscribed(config.exec_threads))
+        .Key("submitted")
+        .UInt(kBurst)
+        .Key("queue_depth_cap")
+        .UInt(config.max_queue_depth)
+        .Key("accepted")
+        .UInt(accepted.size())
+        .Key("shed")
+        .UInt(shed)
+        .Key("sheds_metric")
+        .UInt(m1.sheds - m0.sheds)
+        .Key("identical_responses")
+        .UInt(identical)
+        .Key("queue_depth_peak")
+        .UInt(m1.queue_depth_peak)
+        .Key("morsels_executed")
+        .UInt(m1.morsels_executed)
+        .Key("scan_leads")
+        .UInt(m1.scan_leads)
+        .Key("scan_attaches")
+        .UInt(m1.scan_attaches)
+        .Key("scan_shared_batches")
+        .UInt(m1.scan_shared_batches)
+        .Key("pass")
+        .Bool(burst_ok)
+        .EndObject();
+  }
+
+  // ---------------------------------------------------------------- section
+  // Open loop: measure the service's warm capacity (virtual servers / mean
+  // warm service time), then sweep offered load at 0.5/1/2x capacity with
+  // >= 1000 lognormal-arrival sessions on the virtual clock. Gates:
+  // zero mismatches, exact offered == completed + shed + errors accounting,
+  // and non-zero shedding in the 2x (overload) run.
+  {
+    ServiceConfig config;
+    config.exec_threads = 2;  // morsel scheduler + shared scans active
+    QueryService service(&env.catalog, &env.subjects, &*policy, &prices,
+                         &topo, config);
+    for (const auto& [rel, t] : db.tables) service.LoadTable(rel, &t);
+    auto session = service.OpenSession(env.user);
+    if (!session.ok()) return 1;
+
+    // Warm the cache, then measure mean warm service time over the mix.
+    for (const std::string& sql : statements) {
+      if (!service.ExecuteSql(sql, *session).ok()) return 1;
+    }
+    double sum_service_s = 0;
+    for (const std::string& sql : statements) {
+      auto r = service.ExecuteSql(sql, *session);
+      if (!r.ok()) return 1;
+      sum_service_s += r->stats.total_s + r->stats.net_virtual_s;
+    }
+    double mean_service_s =
+        sum_service_s / static_cast<double>(statements.size());
+    const size_t kServers = 8;
+    double capacity_qps =
+        mean_service_s > 0 ? static_cast<double>(kServers) / mean_service_s
+                           : 1e6;
+
+    std::printf(
+        "\n[open_loop] %zu sessions, lognormal arrivals (sigma=1.5), "
+        "%zu virtual servers, capacity ~%.0f qps\n",
+        sessions, kServers, capacity_qps);
+    std::printf("%8s %9s %10s %8s %8s %11s %10s %10s %10s %10s\n", "lambda",
+                "offered", "completed", "shed", "errors", "mismatch", "qps",
+                "shed_rate", "p99_ms", "p999_ms");
+
+    w.Key("open_loop")
+        .BeginObject()
+        .Key("virtual_servers")
+        .UInt(kServers)
+        .Key("capacity_qps")
+        .Double(capacity_qps)
+        .Key("mean_service_ms")
+        .Double(mean_service_s * 1e3)
+        .Key("runs")
+        .BeginArray();
+    for (double mult : {0.5, 1.0, 2.0}) {
+      LoadGenConfig lc;
+      lc.sessions = sessions;
+      lc.mean_interarrival_s = 1.0 / (mult * capacity_qps);
+      lc.sigma = 1.5;
+      lc.servers = kServers;
+      lc.queue_cap = 2 * kServers;
+      lc.seed = 17 + static_cast<uint64_t>(mult * 10);
+      auto rep = RunOpenLoopLoad(&service, *session, statements, lc);
+      if (!rep.ok()) {
+        std::printf("open-loop run failed: %s\n",
+                    rep.status().ToString().c_str());
+        return 1;
+      }
+      bool run_ok = rep->mismatches == 0 && rep->errors == 0 &&
+                    rep->completed + rep->shed + rep->errors == rep->offered;
+      if (mult >= 2.0) run_ok = run_ok && rep->shed > 0;
+      ok = ok && run_ok;
+
+      std::printf("%7.1fx %9zu %10zu %8zu %8zu %11zu %10.0f %9.1f%% %10.2f "
+                  "%10.2f%s\n",
+                  mult, rep->offered, rep->completed, rep->shed, rep->errors,
+                  rep->mismatches, rep->throughput_qps, rep->shed_rate * 100,
+                  rep->p99_ms, rep->p999_ms, run_ok ? "" : "  FAIL");
+
+      w.BeginObject().Key("lambda_over_capacity").Double(mult);
+      WriteLoadGenRow(&w, *rep);
+      w.Key("pass").Bool(run_ok).EndObject();
+    }
+    w.EndArray();
+    ServiceMetrics m = service.Metrics();
+    w.Key("morsels_executed")
+        .UInt(m.morsels_executed)
+        .Key("queue_depth_peak")
+        .UInt(m.queue_depth_peak)
+        .EndObject();
+  }
+
+  // ---------------------------------------------------------------- section
+  // Open loop under a seeded provider crash: probe statement 0's
+  // minimum-cost assignment for a provider step to kill, arm the fault plan,
+  // and keep restoring the victim during the run so the crash re-fires —
+  // saturation behavior while the failover path is exercised repeatedly.
+  // Ciphertext comparison is length-only here (failover re-keys attempts).
+  {
+    SimNet net(&env.subjects);
+    net.ConfigureFromTopology(topo, env.subjects, 0);
+    ServiceConfig config;
+    config.exec_threads = 2;
+    config.net = &net;
+    QueryService service(&env.catalog, &env.subjects, &*policy, &prices,
+                         &topo, config);
+    for (const auto& [rel, t] : db.tables) service.LoadTable(rel, &t);
+    auto session = service.OpenSession(env.user);
+    if (!session.ok()) return 1;
+    for (const std::string& sql : statements) {
+      if (!service.ExecuteSql(sql, *session).ok()) return 1;
+    }
+
+    // Probe statement 0's minimum-cost assignment for a provider step to
+    // kill (the service chose the same plan over the same inputs).
+    int crash_step = -1;
+    SubjectId victim = kInvalidSubject;
+    {
+      auto plan = PlanFromSql(statements[0], env.catalog);
+      if (!plan.ok() ||
+          !DerivePlaintextNeeds(plan->get(), env.catalog, SchemeCaps{}).ok() ||
+          !AnnotatePlan(plan->get(), env.catalog).ok()) {
+        return 1;
+      }
+      SimNet probe_net(&env.subjects);
+      FailoverExecutor probe(&env.catalog, &env.subjects, &*policy, &prices,
+                             &topo, &probe_net, FailoverConfig{});
+      for (const auto& [rel, t] : db.tables) probe.LoadTable(rel, &t);
+      auto probed = probe.Execute(plan->get(), env.user);
+      if (probed.ok()) {
+        for (const auto& [node_id, subject] :
+             probed->assignment.extended.assignment) {
+          if (env.subjects.Get(subject).kind == SubjectKind::kProvider) {
+            crash_step = node_id;
+            victim = subject;
+            break;
+          }
+        }
+      }
+    }
+    if (victim != kInvalidSubject) {
+      FaultPlan faults;
+      faults.crash_at_step[victim] = crash_step;
+      net.SetFaultPlan(faults);
+    }
+
+    LoadGenConfig lc;
+    lc.sessions = std::max<size_t>(200, sessions / 10);
+    // Offer load at this service's own capacity, sampled with the plan
+    // armed: the first sample crashes the victim once (recovered result),
+    // the rest run re-planned around the outage — both are service times
+    // the run will actually see.
+    {
+      double sum_s = 0;
+      for (const std::string& sql : statements) {
+        auto r = service.ExecuteSql(sql, *session);
+        if (!r.ok()) return 1;
+        sum_s += r->stats.total_s + r->stats.net_virtual_s;
+      }
+      lc.mean_interarrival_s =
+          (sum_s / static_cast<double>(statements.size())) / 8.0;
+    }
+    lc.sigma = 1.5;
+    lc.servers = 8;
+    lc.queue_cap = 16;
+    lc.seed = 23;
+    lc.strict_enc_compare = false;
+    // Re-arm the crash throughout the run: the fault plan stays set, so
+    // restoring the victim lets the next plan that assigns it crash again.
+    lc.on_progress = [&](size_t n) {
+      if (victim != kInvalidSubject && n % 40 == 0) net.Restore(victim);
+    };
+    auto rep = RunOpenLoopLoad(&service, *session, statements, lc);
+    if (!rep.ok()) {
+      std::printf("crash open-loop run failed: %s\n",
+                  rep.status().ToString().c_str());
+      return 1;
+    }
+    bool crash_ok = victim != kInvalidSubject && rep->mismatches == 0 &&
+                    rep->errors == 0 && rep->failovers > 0 &&
+                    rep->completed + rep->shed + rep->errors == rep->offered;
+    ok = ok && crash_ok;
+
+    std::printf(
+        "\n[open_loop_crash] %zu sessions, provider %d killed at step %d, "
+        "restored every 40 queries: completed=%zu shed=%zu mismatches=%zu "
+        "failovers=%llu p99=%.2fms  %s\n",
+        rep->offered, static_cast<int>(victim), crash_step, rep->completed,
+        rep->shed, rep->mismatches,
+        static_cast<unsigned long long>(rep->failovers), rep->p99_ms,
+        crash_ok ? "OK" : "FAIL");
+
+    w.Key("open_loop_crash").BeginObject();
+    w.Key("victim")
+        .Int(victim == kInvalidSubject ? -1 : static_cast<int>(victim))
+        .Key("crash_step")
+        .Int(crash_step)
+        .Key("restore_every")
+        .UInt(40);
+    WriteLoadGenRow(&w, *rep);
+    w.Key("pass").Bool(crash_ok).EndObject();
+  }
+
+  w.Key("pass").Bool(ok);
   w.EndObject();
 
   mpq::bench::WriteJsonFile(json_path, w.TakeString());
   std::printf(
-      "\ncold/warm = cold p50 / warm p50 (plan-cache amortization). "
+      "\ngates: plan-cache >= 5x on non-oversubscribed rows, async-burst "
+      "shed accounting + response identity, open-loop zero mismatches + "
+      "exact accounting + overload shedding, crash run failovers > 0. "
       "JSON: %s%s\n",
-      json_path.c_str(), ok ? "" : "  [BELOW 5x TARGET]");
+      json_path.c_str(), ok ? "" : "  [GATE FAILED]");
   return ok ? 0 : 1;
 }

@@ -66,29 +66,49 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  accepting_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // Drain: a task accepted during shutdown (e.g. submitted by a worker that
+  // was mid-task when stop_ was set) may still sit in a queue after the
+  // workers exited. Close each queue under its mutex — any Submit racing the
+  // drain then rejects instead of stranding work — and run the leftovers on
+  // this thread, so every accepted task executes exactly once. Tasks that
+  // re-submit during the drain land in a not-yet-closed queue (and get
+  // drained in turn) or are rejected; either way nothing dangles.
+  for (auto& q : queues_) {
+    std::deque<std::function<void()>> leftover;
+    {
+      std::lock_guard<std::mutex> lock(q->mu);
+      q->closed = true;
+      leftover.swap(q->tasks);
+    }
+    for (auto& task : leftover) task();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
     task();
-    return;
+    return true;
   }
+  if (!accepting_.load(std::memory_order_acquire)) return false;
   size_t q = tls_worker_id;
   if (q >= queues_.size()) {
     q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   }
   {
     std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    if (queues_[q]->closed) return false;
     queues_[q]->tasks.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   wake_cv_.notify_one();
+  return true;
 }
 
 bool ThreadPool::PopTask(size_t preferred, std::function<void()>* out) {

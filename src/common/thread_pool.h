@@ -39,8 +39,12 @@ class ThreadPool {
 
   /// Enqueues `task`. From a worker thread, pushes onto that worker's own
   /// deque (stolen by siblings when they run dry); otherwise round-robins.
-  /// With zero workers the task runs inline.
-  void Submit(std::function<void()> task);
+  /// With zero workers the task runs inline. Returns whether the task was
+  /// accepted: once destruction begins, Submit rejects (returns false)
+  /// instead of enqueueing work that would never run — every task Submit
+  /// accepted is guaranteed to execute, even those enqueued by in-flight
+  /// workers during shutdown (the destructor drains stragglers inline).
+  bool Submit(std::function<void()> task);
 
   /// Runs one queued task on the calling thread, if any. Returns whether a
   /// task was run. Blocking waiters call this in a loop to keep making
@@ -51,6 +55,10 @@ class ThreadPool {
   struct WorkQueue {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
+    /// Set (under `mu`) by the destructor right before it drains this queue;
+    /// a Submit that lost the race to the drain sees it and rejects instead
+    /// of stranding a task in a queue nothing will ever pop again.
+    bool closed = false;
   };
 
   void WorkerLoop(size_t id);
@@ -61,6 +69,8 @@ class ThreadPool {
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   bool stop_ = false;  // guarded by wake_mu_
+  /// Fast-path shutdown gate checked by Submit before touching any queue.
+  std::atomic<bool> accepting_{true};
   std::atomic<size_t> next_queue_{0};
   std::atomic<size_t> pending_{0};
 };

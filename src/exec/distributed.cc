@@ -119,9 +119,8 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
         sync->cv.notify_all();
       }
     };
-    if (pool_ != nullptr && pool_->size() > 0) {
-      pool_->Submit(std::move(task));
-    } else {
+    if (pool_ == nullptr || pool_->size() == 0 || !pool_->Submit(task)) {
+      // No pool, or Submit rejected (pool shutting down): run inline.
       task();
     }
   };
@@ -197,6 +196,8 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
     ctx.nonce_seed = run_seed ^
                      (static_cast<uint64_t>(n->id) + 1) * 0x94d049bb133111ebull;
     ctx.pool = pool_;
+    ctx.morsels = morsels_;
+    ctx.shared_scans = shared_scans_;
     ctx.batch_size = batch_size_ == 0 ? 1 : batch_size_;
     ctx.op_profile = op_profile_;
 
@@ -223,6 +224,9 @@ Result<DistributedResult> DistributedRuntime::Run(const ExtendedPlan& ext,
       }
       if (c.hom_folds > 0) {
         frag.AnnInt("hom_folds", static_cast<int64_t>(c.hom_folds));
+      }
+      if (c.morsels > 0) {
+        frag.AnnInt("morsels", static_cast<int64_t>(c.morsels));
       }
       if (op_profile_ != nullptr) op_profile_->Merge(snap);
     }

@@ -20,6 +20,7 @@
 #include "common/str_util.h"
 #include "crypto/cipher.h"
 #include "crypto/column_codec.h"
+#include "exec/morsel.h"
 #include "obs/trace.h"
 #include "storage/segment.h"
 
@@ -31,6 +32,24 @@ namespace {
 /// ParallelFor grain so `begin / Grain(ctx)` is always a valid batch index.
 size_t Grain(const ExecContext* ctx) {
   return ctx->batch_size == 0 ? 1 : ctx->batch_size;
+}
+
+/// The per-batch loop of operator `kind`: routed through the global
+/// MorselScheduler when one is attached (all concurrent queries then draw
+/// from one task queue), private ParallelFor fan-out otherwise. The (n,
+/// grain) morsel partition is identical either way, so results are too.
+/// Also accounts the loop's morsel count for the operator profile and for
+/// per-operator span attribution.
+Status OpParallelFor(ExecContext* ctx, OpKind kind, size_t n,
+                     const std::function<Status(size_t, size_t)>& fn) {
+  size_t grain = Grain(ctx);
+  if (n > 0) {
+    uint64_t m = (n + grain - 1) / grain;
+    if (ctx->op_profile != nullptr) ctx->op_profile->RecordMorsels(kind, m);
+    ctx->op_morsels.fetch_add(m, std::memory_order_relaxed);
+  }
+  if (ctx->morsels != nullptr) return ctx->morsels->Run(n, grain, fn);
+  return ParallelFor(ctx->pool, n, grain, fn);
 }
 
 Status ColNotFound(const PlanNode* n, AttrId a, const Catalog& catalog) {
@@ -343,18 +362,39 @@ Result<Table> ExecSelect(const PlanNode* n, Table in, ExecContext* ctx) {
     MPQ_ASSIGN_OR_RETURN(BoundPredicate bp, BindPredicate(p, in, n, ctx));
     preds.push_back(std::move(bp));
   }
-  // Phase 1 (parallel): per-batch selection vectors.
+  // Phase 1 (parallel): per-batch selection vectors. With a
+  // SharedScanManager attached, concurrent selects over the same column
+  // payload coalesce onto one batch-claim loop — each query still runs its
+  // own predicates per batch, so coalescing is pure scheduling and the
+  // per-batch selection vectors are identical either way.
   std::vector<SelectionVector> sels(in.NumBatches(Grain(ctx)));
-  MPQ_RETURN_NOT_OK(ParallelFor(
-      ctx->pool, in.num_rows(), Grain(ctx),
-      [&](size_t begin, size_t end) -> Status {
-        SelectionVector& sel = sels[begin / Grain(ctx)];
-        sel.resize(end - begin);
-        for (size_t r = begin; r < end; ++r) {
-          sel[r - begin] = static_cast<uint32_t>(r);
-        }
-        return FilterAll(preds, in, &sel);
-      }));
+  auto fill_batch = [&](size_t batch, size_t begin, size_t end) -> Status {
+    SelectionVector& sel = sels[batch];
+    sel.resize(end - begin);
+    for (size_t r = begin; r < end; ++r) {
+      sel[r - begin] = static_cast<uint32_t>(r);
+    }
+    return FilterAll(preds, in, &sel);
+  };
+  if (ctx->shared_scans != nullptr && in.num_columns() > 0 &&
+      in.num_rows() > 0) {
+    if (ctx->op_profile != nullptr) {
+      ctx->op_profile->RecordMorsels(OpKind::kSelect, sels.size());
+    }
+    ctx->op_morsels.fetch_add(sels.size(), std::memory_order_relaxed);
+    // The first column's payload pointer identifies the physical table:
+    // snapshots share column payloads copy-on-write, so two queries over
+    // the same snapshot see the same pointer while a mutated or
+    // re-materialized table does not (and correctly scans alone).
+    MPQ_RETURN_NOT_OK(ctx->shared_scans->Scan(
+        in.ShareCol(0).get(), in.num_rows(), Grain(ctx), fill_batch));
+  } else {
+    MPQ_RETURN_NOT_OK(OpParallelFor(
+        ctx, OpKind::kSelect, in.num_rows(),
+        [&](size_t begin, size_t end) -> Status {
+          return fill_batch(begin / Grain(ctx), begin, end);
+        }));
+  }
   size_t total = 0;
   for (const SelectionVector& sel : sels) total += sel.size();
   if (total == in.num_rows()) return in;  // nothing filtered: reuse columns
@@ -610,8 +650,8 @@ Result<Table> ExecCartesian(const PlanNode*, Table l, Table r,
                             ExecContext* ctx) {
   std::vector<ExecColumn> out_cols = ConcatColumns(l, r);
   std::vector<Chunk> chunks(l.NumBatches(Grain(ctx)));
-  MPQ_RETURN_NOT_OK(ParallelFor(
-      ctx->pool, l.num_rows(), Grain(ctx),
+  MPQ_RETURN_NOT_OK(OpParallelFor(
+      ctx, OpKind::kCartesian, l.num_rows(),
       [&](size_t begin, size_t end) -> Status {
         Chunk& ch = chunks[begin / Grain(ctx)];
         ch = ChunkLike(l, r);
@@ -760,8 +800,8 @@ Result<Table> ExecJoinInMemory(const PlanNode* n, Table l, Table r,
     }
 
     std::vector<Chunk> chunks(r.NumBatches(Grain(ctx)));
-    MPQ_RETURN_NOT_OK(ParallelFor(
-        ctx->pool, r.num_rows(), Grain(ctx),
+    MPQ_RETURN_NOT_OK(OpParallelFor(
+        ctx, OpKind::kJoin, r.num_rows(),
         [&](size_t begin, size_t end) -> Status {
           SelectionVector li, ri;
           auto emit = [&](uint32_t g, size_t j) {
@@ -818,8 +858,8 @@ Result<Table> ExecJoinInMemory(const PlanNode* n, Table l, Table r,
                                : r.col(c - l.num_columns()).GetCell(j);
   };
   std::vector<Chunk> chunks(l.NumBatches(Grain(ctx)));
-  MPQ_RETURN_NOT_OK(ParallelFor(
-      ctx->pool, l.num_rows(), Grain(ctx),
+  MPQ_RETURN_NOT_OK(OpParallelFor(
+      ctx, OpKind::kJoin, l.num_rows(),
       [&](size_t begin, size_t end) -> Status {
         SelectionVector li, ri;
         for (size_t i = begin; i < end; ++i) {
@@ -1408,8 +1448,8 @@ Result<Table> ExecGroupByInMemory(const PlanNode* n, Table in,
   // (typed path) or arena-backed byte keys; each aggregate then folds its
   // own column into the contiguous state arena.
   std::vector<BatchGroups> batches(in.NumBatches(Grain(ctx)));
-  MPQ_RETURN_NOT_OK(ParallelFor(
-      ctx->pool, in.num_rows(), Grain(ctx),
+  MPQ_RETURN_NOT_OK(OpParallelFor(
+      ctx, OpKind::kGroupBy, in.num_rows(),
       [&](size_t begin, size_t end) -> Status {
         BatchGroups& bg = batches[begin / Grain(ctx)];
         bg.hom_rows.resize(num_lazy);
@@ -2032,8 +2072,8 @@ Result<Table> ExecEncrypt(const PlanNode* n, Table in, ExecContext* ctx) {
     uint64_t nonce_base = ctx->ColumnNonceBase(n->id, a);
     const ColumnData& src = in.col(static_cast<size_t>(idx));
     std::vector<EncValue> encs(in.num_rows());
-    MPQ_RETURN_NOT_OK(ParallelFor(
-        ctx->pool, in.num_rows(), Grain(ctx),
+    MPQ_RETURN_NOT_OK(OpParallelFor(
+        ctx, OpKind::kEncrypt, in.num_rows(),
         [&](size_t begin, size_t end) -> Status {
           return codec.EncryptSpan(src, begin, end, scheme, nonce_base,
                                    encs.data() + begin);
@@ -2072,8 +2112,8 @@ Result<Table> ExecDecrypt(const PlanNode* n, Table in, ExecContext* ctx) {
     // DecryptSpan handles the whole span: ciphertexts decrypt (including the
     // homomorphic-average division), plain NULLs and stray plaintext cells
     // inside a ciphertext column pass through untouched.
-    MPQ_RETURN_NOT_OK(ParallelFor(
-        ctx->pool, in.num_rows(), Grain(ctx),
+    MPQ_RETURN_NOT_OK(OpParallelFor(
+        ctx, OpKind::kDecrypt, in.num_rows(),
         [&](size_t begin, size_t end) -> Status {
           return codec.DecryptSpan(src, begin, end, col.type, avg,
                                    cells.data() + begin);
@@ -2255,6 +2295,7 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
     span = ctx->trace->StartSpan(OpKindName(n->kind), "op", ctx->trace_parent,
                                  n->id, ctx->trace_track);
   }
+  uint64_t morsels0 = ctx->op_morsels.load(std::memory_order_relaxed);
   auto t0 = std::chrono::steady_clock::now();
   Result<Table> result = DispatchNode(n, std::move(inputs), ctx);
   auto ns = static_cast<uint64_t>(
@@ -2262,6 +2303,8 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
           std::chrono::steady_clock::now() - t0)
           .count());
   uint64_t rows_out = result.ok() ? result->num_rows() : 0;
+  uint64_t morsels =
+      ctx->op_morsels.load(std::memory_order_relaxed) - morsels0;
   if (ctx->op_profile != nullptr) {
     ctx->op_profile->Record(n->kind, ns, rows_in, rows_out);
   }
@@ -2273,6 +2316,7 @@ Result<Table> ExecuteNodeOnInputs(const PlanNode* n, std::vector<Table> inputs,
                                         static_cast<double>(rows_in));
     }
     span.AnnInt("wall_ns", static_cast<int64_t>(ns));
+    if (morsels > 0) span.AnnInt("morsels", static_cast<int64_t>(morsels));
     if (!result.ok()) span.AnnStr("error", result.status().ToString());
   }
   return result;
@@ -2307,12 +2351,15 @@ Result<Table> ExecutePlan(const PlanNode* root, ExecContext* ctx) {
     std::condition_variable cv;
     size_t remaining = nc - 1;
     for (size_t i = 1; i < nc; ++i) {
-      ctx->pool->Submit([&, i] {
+      auto task = [&, i] {
         Result<Table> r = ExecutePlan(root->child(i), ctx);
         std::lock_guard<std::mutex> lock(mu);
         results[i] = std::move(r);
         if (--remaining == 0) cv.notify_all();
-      });
+      };
+      // Submit only rejects during pool shutdown; run the subtree here
+      // then, trading parallelism for the result.
+      if (!ctx->pool->Submit(task)) task();
     }
     results[0] = ExecutePlan(root->child(0), ctx);
     for (;;) {

@@ -138,9 +138,13 @@ ExplainAnalyzeReport RenderExplainAnalyze(
     auto op = op_of.find(n->id);
     if (op != op_of.end()) {
       s += StrFormat(
-          "[rows=%llu t=%.3fms]",
+          "[rows=%llu t=%.3fms",
           static_cast<unsigned long long>(ArgNum(op->second, "rows_out")),
           ArgNum(op->second, "wall_ns") / 1e6);
+      auto morsels = static_cast<unsigned long long>(
+          ArgNum(op->second, "morsels"));
+      if (morsels > 0) s += StrFormat(" morsels=%llu", morsels);
+      s += "]";
     }
     auto e = edge_of.find(n->id);
     if (e != edge_of.end()) {

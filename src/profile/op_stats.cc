@@ -20,10 +20,18 @@ void OpProfile::RecordDetail(OpKind kind, uint64_t arena_bytes,
   c.hom_folds.fetch_add(hom_folds, std::memory_order_relaxed);
 }
 
+void OpProfile::RecordMorsels(OpKind kind, uint64_t n) {
+  ops_[static_cast<size_t>(kind)].morsels.fetch_add(n,
+                                                    std::memory_order_relaxed);
+}
+
 void OpProfile::Merge(const OpProfileSnapshot& snap) {
   for (size_t i = 0; i < kNumOpKinds; ++i) {
     const OpCounterSnapshot& s = snap.ops[i];
-    if (s.calls == 0 && s.arena_bytes == 0 && s.hom_folds == 0) continue;
+    if (s.calls == 0 && s.arena_bytes == 0 && s.hom_folds == 0 &&
+        s.morsels == 0) {
+      continue;
+    }
     Counter& c = ops_[i];
     c.calls.fetch_add(s.calls, std::memory_order_relaxed);
     c.ns.fetch_add(s.ns, std::memory_order_relaxed);
@@ -31,6 +39,7 @@ void OpProfile::Merge(const OpProfileSnapshot& snap) {
     c.rows_out.fetch_add(s.rows_out, std::memory_order_relaxed);
     c.arena_bytes.fetch_add(s.arena_bytes, std::memory_order_relaxed);
     c.hom_folds.fetch_add(s.hom_folds, std::memory_order_relaxed);
+    c.morsels.fetch_add(s.morsels, std::memory_order_relaxed);
   }
 }
 
@@ -44,6 +53,7 @@ OpProfileSnapshot OpProfile::Snapshot() const {
     snap.ops[i].arena_bytes =
         ops_[i].arena_bytes.load(std::memory_order_relaxed);
     snap.ops[i].hom_folds = ops_[i].hom_folds.load(std::memory_order_relaxed);
+    snap.ops[i].morsels = ops_[i].morsels.load(std::memory_order_relaxed);
   }
   return snap;
 }
@@ -56,6 +66,7 @@ void OpProfile::Reset() {
     c.rows_out.store(0, std::memory_order_relaxed);
     c.arena_bytes.store(0, std::memory_order_relaxed);
     c.hom_folds.store(0, std::memory_order_relaxed);
+    c.morsels.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -76,6 +87,7 @@ void OpProfileSnapshot::WriteJson(JsonWriter* w) const {
         .UInt(c.rows_out);
     if (c.arena_bytes != 0) w->Key("arena_bytes").UInt(c.arena_bytes);
     if (c.hom_folds != 0) w->Key("hom_folds").UInt(c.hom_folds);
+    if (c.morsels != 0) w->Key("morsels").UInt(c.morsels);
     w->EndObject();
   }
   w->EndObject();

@@ -31,6 +31,8 @@ struct OpCounterSnapshot {
   uint64_t arena_bytes = 0;
   /// Paillier ciphertexts folded by lazy homomorphic aggregation.
   uint64_t hom_folds = 0;
+  /// Morsel tasks this operator kind enqueued on the scheduler.
+  uint64_t morsels = 0;
 };
 
 /// A copyable point-in-time snapshot over every operator kind.
@@ -58,6 +60,9 @@ class OpProfile {
   /// volume) to `kind` — called by operators that have them, on top of the
   /// Record every execution gets.
   void RecordDetail(OpKind kind, uint64_t arena_bytes, uint64_t hom_folds);
+  /// Adds `n` morsels to `kind` — called once per parallel operator loop
+  /// with the loop's morsel count.
+  void RecordMorsels(OpKind kind, uint64_t n);
   /// Adds every counter of `snap` — used to fold a fragment-local profile
   /// into a shared one after the fragment's span was annotated from it.
   void Merge(const OpProfileSnapshot& snap);
@@ -72,6 +77,7 @@ class OpProfile {
     std::atomic<uint64_t> rows_out{0};
     std::atomic<uint64_t> arena_bytes{0};
     std::atomic<uint64_t> hom_folds{0};
+    std::atomic<uint64_t> morsels{0};
   };
   std::array<Counter, kNumOpKinds> ops_;
 };

@@ -1,0 +1,81 @@
+// Open-loop load generation over virtual time.
+//
+// Closed-loop benchmarking (N clients, each waiting for its response before
+// sending again) understates tail latency under overload: a slow response
+// delays the *next* request, so the generator backs off exactly when a real
+// user population would not (coordinated omission). This harness instead
+// simulates an open system as discrete events on a virtual clock: thousands
+// of sessions arrive on a heavy-tailed (lognormal) schedule that does not
+// care how the service is doing, a fixed number of virtual servers execute
+// them, and requests beyond the wait-queue cap are shed. Each admitted
+// request is executed for real (serially, so measured service times are
+// undistorted by oversubscription of the host) and charged its measured
+// service time on the virtual clock — queueing, shedding, and saturation
+// dynamics then come out of the simulation exactly, even on a 1-core host.
+
+#ifndef MPQ_SERVICE_LOADGEN_H_
+#define MPQ_SERVICE_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/query_service.h"
+
+namespace mpq {
+
+/// Knobs of one open-loop run.
+struct LoadGenConfig {
+  /// Simulated sessions (arrivals). Each draws one statement round-robin.
+  size_t sessions = 1000;
+  /// Mean inter-arrival gap (virtual seconds). Offered load is
+  /// 1/mean_interarrival_s queries per virtual second.
+  double mean_interarrival_s = 0.001;
+  /// Lognormal shape of the inter-arrival gaps (heavy tail). The scale is
+  /// derived so the mean stays mean_interarrival_s.
+  double sigma = 1.5;
+  /// Virtual servers: requests executing concurrently in simulated time.
+  size_t servers = 8;
+  /// Arrivals willing to wait when all servers are busy; beyond this the
+  /// request is shed. 0 means shed whenever every server is busy.
+  size_t queue_cap = 64;
+  uint64_t seed = 17;
+  /// When false, encrypted cells compare by length only — required for
+  /// crash scenarios, where failover re-derives fresh keys per attempt so
+  /// ciphertext bytes legitimately differ from the reference run.
+  bool strict_enc_compare = true;
+  /// Called after every real execution with the number completed so far —
+  /// crash scenarios use it to re-arm faults between queries.
+  std::function<void(size_t)> on_progress;
+};
+
+/// What came out of a run. Latencies are virtual seconds (arrival → last
+/// morsel of the response), converted to ms here.
+struct LoadGenReport {
+  size_t offered = 0;    ///< Arrivals generated.
+  size_t completed = 0;  ///< Executed to an OK, result-checked response.
+  size_t shed = 0;       ///< Rejected at the queue cap.
+  size_t errors = 0;     ///< Executions returning non-OK.
+  size_t mismatches = 0;  ///< Responses differing from the reference result.
+  double virtual_duration_s = 0;  ///< First arrival → last completion.
+  double throughput_qps = 0;      ///< completed / virtual_duration_s.
+  double shed_rate = 0;           ///< shed / offered.
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  double hit_rate = 0;     ///< Plan-cache hit rate over the run's lookups.
+  uint64_t failovers = 0;  ///< Provider-crash recoveries during the run.
+};
+
+/// Runs `config.sessions` simulated arrivals against `service` under
+/// `session`'s identity, cycling through `statements`. Every completed
+/// response is compared cell-by-cell against a reference response obtained
+/// up front for the same statement; mismatches are counted, never fatal.
+/// Deterministic in (config, service state): the virtual schedule derives
+/// from `config.seed` alone.
+Result<LoadGenReport> RunOpenLoopLoad(
+    QueryService* service, const Session& session,
+    const std::vector<std::string>& statements, const LoadGenConfig& config);
+
+}  // namespace mpq
+
+#endif  // MPQ_SERVICE_LOADGEN_H_

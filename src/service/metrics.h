@@ -34,6 +34,19 @@ struct ServiceMetrics {
   size_t in_flight_peak = 0;
   double hit_rate = 0;  ///< hits / (hits + misses), 0 when idle.
 
+  // Async serving path (ExecuteAsync) and morsel scheduling.
+  uint64_t async_queries = 0;  ///< Async submissions accepted.
+  uint64_t sheds = 0;          ///< Async submissions rejected at the cap.
+  uint64_t cancelled = 0;      ///< Async queries cancelled before running.
+  size_t queue_depth_peak = 0;  ///< Peak in-flight + queued async queries.
+  uint64_t morsels_executed = 0;   ///< Morsel tasks run by the scheduler.
+  uint64_t morsel_queue_depth = 0;  ///< Morsels registered, not yet run.
+
+  // Inter-query shared scans (same-snapshot base-scan coalescing).
+  uint64_t scan_leads = 0;     ///< Scans that started a shared claim loop.
+  uint64_t scan_attaches = 0;  ///< Scans that joined one in flight.
+  uint64_t scan_shared_batches = 0;  ///< Batch reads serving >= 2 queries.
+
   // Failover accounting (queries recovered via an alternative authorized
   // assignment after a provider failure).
   uint64_t failovers = 0;

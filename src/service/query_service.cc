@@ -47,7 +47,11 @@ size_t QueryService::PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
 /// for the lifetime of the enclosing Execute.
 class QueryService::AdmissionSlot {
  public:
-  explicit AdmissionSlot(QueryService* service) : service_(service) {
+  /// `adopt` takes over a slot the caller already claimed via
+  /// TryClaimSlot() — the constructor then only binds the release.
+  explicit AdmissionSlot(QueryService* service, bool adopt = false)
+      : service_(service) {
+    if (adopt) return;
     std::unique_lock<std::mutex> lock(service_->admission_mu_);
     size_t cap = std::max<size_t>(1, service_->config_.max_in_flight);
     if (service_->in_flight_ >= cap) {
@@ -102,6 +106,7 @@ QueryService::QueryService(const Catalog* catalog,
       slow_log_(config.slow_query_s) {
   if (config_.exec_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.exec_threads);
+    morsels_ = std::make_unique<MorselScheduler>(pool_.get());
   }
   // Counters the service already keeps (atomics, cache stats, op profile)
   // surface through one collector — a single source of truth instead of
@@ -138,6 +143,29 @@ QueryService::QueryService(const Catalog* catalog,
     counter("mpq_rows_written_total", "Rows inserted/updated/deleted",
             m.rows_written);
     counter("mpq_counter_ops_total", "MRV counter API calls", m.counter_ops);
+    counter("mpq_async_queries_total", "Async submissions accepted",
+            m.async_queries);
+    counter("mpq_sheds_total", "Async submissions rejected at the queue cap",
+            m.sheds);
+    counter("mpq_cancelled_total", "Async queries cancelled before execution",
+            m.cancelled);
+    counter("mpq_morsels_executed_total", "Morsel tasks run by the scheduler",
+            m.morsels_executed);
+    counter("mpq_shared_scan_leads_total",
+            "Scans that started a shared claim loop", m.scan_leads);
+    counter("mpq_shared_scan_attaches_total",
+            "Scans that attached to an in-flight scan", m.scan_attaches);
+    counter("mpq_shared_scan_shared_batches_total",
+            "Batch reads that served two or more queries",
+            m.scan_shared_batches);
+    out->append(StrFormat(
+        "# HELP mpq_morsel_queue_depth Morsels registered but not yet run\n"
+        "# TYPE mpq_morsel_queue_depth gauge\nmpq_morsel_queue_depth %llu\n",
+        static_cast<unsigned long long>(m.morsel_queue_depth)));
+    out->append(StrFormat(
+        "# HELP mpq_queue_depth_peak Peak in-flight plus queued queries\n"
+        "# TYPE mpq_queue_depth_peak gauge\nmpq_queue_depth_peak %llu\n",
+        static_cast<unsigned long long>(m.queue_depth_peak)));
     out->append(StrFormat(
         "# HELP mpq_snapshot_epoch Current table store snapshot id\n"
         "# TYPE mpq_snapshot_epoch gauge\nmpq_snapshot_epoch %llu\n",
@@ -159,7 +187,9 @@ QueryService::QueryService(const Catalog* catalog,
         "# HELP mpq_op_arena_bytes_total Operator scratch arena bytes\n"
         "# TYPE mpq_op_arena_bytes_total counter\n"
         "# HELP mpq_op_hom_folds_total Paillier ciphertexts folded\n"
-        "# TYPE mpq_op_hom_folds_total counter\n";
+        "# TYPE mpq_op_hom_folds_total counter\n"
+        "# HELP mpq_op_morsels_total Morsel tasks enqueued per operator\n"
+        "# TYPE mpq_op_morsels_total counter\n";
     out->append(kOpHeader);
     for (size_t k = 0; k < kNumOpKinds; ++k) {
       const OpCounterSnapshot& c = m.ops.ops[k];
@@ -175,6 +205,7 @@ QueryService::QueryService(const Catalog* catalog,
       series("mpq_op_rows_out_total", c.rows_out);
       series("mpq_op_arena_bytes_total", c.arena_bytes);
       series("mpq_op_hom_folds_total", c.hom_folds);
+      series("mpq_op_morsels_total", c.morsels);
     }
   });
 }
@@ -226,6 +257,149 @@ Result<QueryResponse> QueryService::ExecuteSql(const std::string& sql,
   // Parsing is deferred: a warm cache serves the query from the normalized
   // text alone.
   return ExecuteInternal(normalized, nullptr, session);
+}
+
+bool AsyncQuery::Done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == State::kDone || state_ == State::kCancelled;
+}
+
+bool AsyncQuery::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kQueued) return false;
+  state_ = State::kCancelled;
+  result_ = Status::Unavailable("query cancelled before execution");
+  cv_.notify_all();
+  return true;
+}
+
+const Result<QueryResponse>& AsyncQuery::Wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (state_ == State::kDone || state_ == State::kCancelled) {
+        return result_;
+      }
+    }
+    // Help drain the pool instead of idling — a caller inside a pool task
+    // may be the thread our query's morsels are queued behind.
+    if (pool_ != nullptr && pool_->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return state_ == State::kDone || state_ == State::kCancelled;
+    });
+    if (state_ == State::kDone || state_ == State::kCancelled) return result_;
+  }
+}
+
+Result<std::shared_ptr<AsyncQuery>> QueryService::ExecuteAsync(
+    const StatementHandle& stmt, const Session& session) {
+  if (stmt.normalized_sql.empty()) {
+    return Status::InvalidArgument("execute of an empty statement handle");
+  }
+  // Queue-depth-aware admission: shed at submission time when the backlog
+  // (running + queued) has reached the cap, so overload turns into fast
+  // kUnavailable rejections instead of unbounded queue growth.
+  size_t cap = config_.max_queue_depth != 0
+                   ? config_.max_queue_depth
+                   : 2 * std::max<size_t>(1, config_.max_in_flight);
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (in_flight_ + async_queued_ >= cap) {
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("service overloaded: request shed");
+    }
+    ++async_queued_;
+    queue_depth_peak_ =
+        std::max(queue_depth_peak_, in_flight_ + async_queued_);
+  }
+  async_queries_.fetch_add(1, std::memory_order_relaxed);
+
+  auto query = std::shared_ptr<AsyncQuery>(new AsyncQuery(pool_.get()));
+  // The task owns copies of everything it touches: the handle may be
+  // destroyed and the submitting thread gone by the time a worker runs it.
+  auto sql = std::make_shared<const std::string>(stmt.normalized_sql);
+  std::shared_ptr<const AstSelect> ast = stmt.ast;
+  Session sess = session;
+  auto task = [this, query, sql, ast, sess] {
+    RunAsyncTask(query, sql, ast, sess);
+  };
+  // Run inline when there is no pool or the pool is shutting down — the
+  // handle then completes before ExecuteAsync returns.
+  if (pool_ == nullptr || pool_->size() == 0 || !pool_->Submit(task)) task();
+  return query;
+}
+
+void QueryService::RunAsyncTask(std::shared_ptr<AsyncQuery> query,
+                                std::shared_ptr<const std::string> sql,
+                                std::shared_ptr<const AstSelect> ast,
+                                const Session& sess) {
+  // A pool worker must NEVER park inside AdmissionSlot: waiters all over the
+  // engine (fragment DAG drains, ParallelFor) help by inlining queued pool
+  // tasks, so an async task can start nested under a query that already
+  // holds a slot — let it block there and a handful of nested starts park
+  // every thread under a suspended slot-holder (deadlock). Instead, when the
+  // service is at max_in_flight, requeue behind the other queued work and
+  // let this thread get back to finishing the queries that hold the slots.
+  bool admitted = TryClaimSlot();
+  if (!admitted && pool_ != nullptr && pool_->size() > 0) {
+    if (pool_->Submit([this, query, sql, ast, sess] {
+          RunAsyncTask(query, sql, ast, sess);
+        })) {
+      std::this_thread::yield();  // give slot holders the core back
+      return;
+    }
+    // Submit rejected (pool shutting down): fall through and run here,
+    // blocking on admission like the synchronous path — this thread is
+    // draining the queue inline, it holds no slot.
+  }
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(query->mu_);
+    if (query->state_ == AsyncQuery::State::kCancelled) {
+      cancelled = true;
+    } else {
+      query->state_ = AsyncQuery::State::kRunning;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --async_queued_;
+  }
+  if (cancelled) {
+    if (admitted) ReleaseSlot();
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Result<QueryResponse> r =
+      ExecuteInternal(*sql, ast.get(), sess, /*force_trace=*/false,
+                      /*detail=*/nullptr, /*preadmitted=*/admitted);
+  std::lock_guard<std::mutex> lock(query->mu_);
+  query->result_ = std::move(r);
+  query->state_ = AsyncQuery::State::kDone;
+  query->cv_.notify_all();
+}
+
+bool QueryService::TryClaimSlot() {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  if (in_flight_ >= std::max<size_t>(1, config_.max_in_flight)) return false;
+  in_flight_++;
+  in_flight_peak_ = std::max(in_flight_peak_, in_flight_);
+  return true;
+}
+
+void QueryService::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    in_flight_--;
+  }
+  admission_cv_.notify_one();
+}
+
+Result<std::shared_ptr<AsyncQuery>> QueryService::ExecuteSqlAsync(
+    const std::string& sql, const Session& session) {
+  MPQ_ASSIGN_OR_RETURN(StatementHandle stmt, Prepare(sql));
+  return ExecuteAsync(stmt, session);
 }
 
 Result<WriteResult> QueryService::ExecuteWrite(const std::string& sql,
@@ -505,6 +679,8 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
   entry->runtime->SetCryptoPlan(
       MakeCryptoPlan(entry->assignment.refined_schemes, entry->keys));
   entry->runtime->SetThreadPool(pool_.get());
+  entry->runtime->SetMorselScheduler(morsels_.get());
+  entry->runtime->SetSharedScans(&shared_scans_);
   entry->runtime->SetBatchSize(config_.batch_size);
   entry->runtime->SetNetwork(config_.net);
   entry->runtime->SetNetPolicy(config_.net_policy);
@@ -515,14 +691,16 @@ QueryService::BuildPreparedPlan(const std::string& normalized_sql,
 
 Result<QueryResponse> QueryService::ExecuteInternal(
     const std::string& normalized_sql, const AstSelect* ast,
-    const Session& session, bool force_trace, ExecDetail* detail) {
+    const Session& session, bool force_trace, ExecDetail* detail,
+    bool preadmitted) {
   auto t0 = Clock::now();
   if (session.subject() == kInvalidSubject ||
       session.subject() >= subjects_->size()) {
+    if (preadmitted) ReleaseSlot();
     errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("execute without a valid session");
   }
-  AdmissionSlot slot(this);
+  AdmissionSlot slot(this, /*adopt=*/preadmitted);
   queries_.fetch_add(1, std::memory_order_relaxed);
 
   // Tracing is observation-only: nothing below reads `trace`, so a traced
@@ -625,6 +803,8 @@ Result<QueryResponse> QueryService::ExecuteInternal(
     fc.max_failovers = config_.max_failovers;
     fc.net_policy = config_.net_policy;
     fc.pool = pool_.get();
+    fc.morsels = morsels_.get();
+    fc.shared_scans = &shared_scans_;
     fc.batch_size = config_.batch_size;
     fc.op_profile = &op_profile_;
     fc.trace = trace.get();
@@ -797,7 +977,18 @@ ServiceMetrics QueryService::Metrics() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
     m.admission_waits = admission_waits_;
     m.in_flight_peak = in_flight_peak_;
+    m.queue_depth_peak = queue_depth_peak_;
   }
+  m.async_queries = async_queries_.load(std::memory_order_relaxed);
+  m.sheds = sheds_.load(std::memory_order_relaxed);
+  m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  if (morsels_ != nullptr) {
+    m.morsels_executed = morsels_->morsels_executed();
+    m.morsel_queue_depth = morsels_->morsels_pending();
+  }
+  m.scan_leads = shared_scans_.leads();
+  m.scan_attaches = shared_scans_.attaches();
+  m.scan_shared_batches = shared_scans_.shared_batches();
   m.total_p50_ms = latency_total_->Quantile(0.50) * 1e3;
   m.total_p95_ms = latency_total_->Quantile(0.95) * 1e3;
   m.total_p99_ms = latency_total_->Quantile(0.99) * 1e3;

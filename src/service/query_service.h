@@ -50,6 +50,12 @@ struct ServiceConfig {
   size_t cache_capacity_per_shard = 32;  ///< LRU entries per stripe.
   /// Admission control: maximum concurrent Executes.
   size_t max_in_flight = 256;
+  /// Load shedding for the async path: ExecuteAsync rejects (kUnavailable)
+  /// when in-flight plus queued-but-unstarted queries reach this depth, so
+  /// an overloaded service fails fast instead of growing an unbounded
+  /// backlog. 0 means 2 * max_in_flight. Synchronous Execute still blocks
+  /// on admission instead of shedding.
+  size_t max_queue_depth = 0;
   size_t exec_threads = 0;  ///< Workers of the shared pool (0 = inline).
   size_t batch_size = 1024;  ///< Rows per executor batch.
   uint64_t key_seed = 2025;           ///< Base seed for per-plan key material.
@@ -143,6 +149,43 @@ class Session {
   uint64_t id_ = 0;
 };
 
+/// A query admitted to the async path: a future over its QueryResponse,
+/// completed when the query's last morsel finishes. Handles are obtained
+/// from QueryService::ExecuteAsync and share ownership of the backing state
+/// with the service's task, so they may be dropped or kept freely (they
+/// must not outlive the service itself). All methods are thread-safe.
+class AsyncQuery {
+ public:
+  AsyncQuery(const AsyncQuery&) = delete;
+  AsyncQuery& operator=(const AsyncQuery&) = delete;
+
+  /// True once the result (or a cancellation) is available.
+  bool Done() const;
+
+  /// Cancels the query iff execution has not started — no morsel of it has
+  /// run and none will. Returns whether this call cancelled it; once
+  /// running, cancellation fails and the query completes normally. After a
+  /// successful Cancel, Wait returns kUnavailable.
+  bool Cancel();
+
+  /// Blocks until the result is available and returns it, executing queued
+  /// pool work while waiting (safe to call from inside pool tasks).
+  const Result<QueryResponse>& Wait();
+
+ private:
+  friend class QueryService;
+  enum class State { kQueued, kRunning, kDone, kCancelled };
+
+  explicit AsyncQuery(ThreadPool* pool) : pool_(pool) {}
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kQueued;  // guarded by mu_
+  Result<QueryResponse> result_ =
+      Status::Internal("async query still pending");  // guarded by mu_
+  ThreadPool* pool_;
+};
+
 /// The serving subsystem. All methods are safe to call concurrently; the
 /// referenced catalog/subjects/policy/pricing/topology must outlive the
 /// service (the policy may be mutated concurrently — that is the point of
@@ -178,6 +221,19 @@ class QueryService {
   /// One-shot convenience: normalize + (cached) plan + execute.
   Result<QueryResponse> ExecuteSql(const std::string& sql,
                                    const Session& session);
+
+  /// Submits a prepared statement for execution without parking the caller:
+  /// the returned handle completes when the query's last morsel finishes.
+  /// Sheds (kUnavailable, nothing enqueued) when in-flight plus queued
+  /// queries have reached `max_queue_depth`. The async path produces a
+  /// QueryResponse bit-identical to the synchronous one and counts in the
+  /// same metrics.
+  Result<std::shared_ptr<AsyncQuery>> ExecuteAsync(const StatementHandle& stmt,
+                                                   const Session& session);
+
+  /// One-shot async convenience: normalize + submit.
+  Result<std::shared_ptr<AsyncQuery>> ExecuteSqlAsync(const std::string& sql,
+                                                      const Session& session);
 
   /// Executes an INSERT / UPDATE / DELETE under `session`'s identity.
   /// Requires an attached TableStore; the statement commits atomically as
@@ -245,6 +301,11 @@ class QueryService {
 
   const ServiceConfig& config() const { return config_; }
   ThreadPool* pool() { return pool_.get(); }
+  /// The process-wide morsel scheduler every cached plan enqueues on (null
+  /// when the service runs inline, i.e. exec_threads == 0).
+  MorselScheduler* morsels() { return morsels_.get(); }
+  /// The process-wide shared-scan manager (always present; for tests).
+  SharedScanManager* shared_scans() { return &shared_scans_; }
 
  private:
   /// The borrowed probe form of a plan-cache key: a string_view over the
@@ -327,11 +388,25 @@ class QueryService {
   /// in-flight count drops below the configured cap.
   class AdmissionSlot;
 
+  /// `preadmitted`: the caller already claimed an admission slot via
+  /// TryClaimSlot(); the execution adopts (and releases) it instead of
+  /// blocking for one.
   Result<QueryResponse> ExecuteInternal(const std::string& normalized_sql,
                                         const AstSelect* ast,
                                         const Session& session,
                                         bool force_trace = false,
-                                        ExecDetail* detail = nullptr);
+                                        ExecDetail* detail = nullptr,
+                                        bool preadmitted = false);
+  /// Runs (or requeues) one async query's pool task. Pool workers never
+  /// block on admission — see the comment in the implementation.
+  void RunAsyncTask(std::shared_ptr<AsyncQuery> query,
+                    std::shared_ptr<const std::string> sql,
+                    std::shared_ptr<const AstSelect> ast, const Session& sess);
+  /// Claims an admission slot iff one is free (never blocks).
+  bool TryClaimSlot();
+  /// Releases a slot claimed by TryClaimSlot when ExecuteInternal never got
+  /// to adopt it (e.g. the query was cancelled first).
+  void ReleaseSlot();
   Result<ExplainAnalyzeReport> ExplainAnalyzeInternal(
       const std::string& normalized_sql, const AstSelect* ast,
       const Session& session);
@@ -356,6 +431,12 @@ class QueryService {
   mutable std::mutex tables_mu_;
   std::map<RelId, const Table*> tables_;  // guarded by tables_mu_
   std::unique_ptr<ThreadPool> pool_;
+  /// The global morsel queue (over pool_) every cached plan's runtime and
+  /// every failover runtime enqueues on — one task pool for all concurrent
+  /// queries. Null when the service executes inline.
+  std::unique_ptr<MorselScheduler> morsels_;
+  /// Coalesces concurrent same-snapshot base scans across queries.
+  SharedScanManager shared_scans_;
   ShardedLruCache<PlanCacheKey, PreparedPlan, PlanCacheKeyHash> cache_;
 
   // Admission control.
@@ -364,6 +445,10 @@ class QueryService {
   size_t in_flight_ = 0;          // guarded by admission_mu_
   size_t in_flight_peak_ = 0;     // guarded by admission_mu_
   uint64_t admission_waits_ = 0;  // guarded by admission_mu_
+  /// Async queries accepted but not yet running (their pool task has not
+  /// started). in_flight_ + async_queued_ is the shed-decision depth.
+  size_t async_queued_ = 0;       // guarded by admission_mu_
+  size_t queue_depth_peak_ = 0;   // guarded by admission_mu_
 
   // Metrics.
   std::atomic<uint64_t> queries_{0};
@@ -373,6 +458,9 @@ class QueryService {
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> failover_retransfer_bytes_{0};
+  std::atomic<uint64_t> sheds_{0};          ///< Async submissions rejected.
+  std::atomic<uint64_t> async_queries_{0};  ///< Async submissions accepted.
+  std::atomic<uint64_t> cancelled_{0};      ///< Cancelled before execution.
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> write_errors_{0};
   std::atomic<uint64_t> rows_written_{0};

@@ -130,6 +130,54 @@ TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 8u * 64u);
 }
 
+TEST(ThreadPoolTest, DestructorRunsEveryAcceptedTask) {
+  // Shutdown stress: destroy the pool while its queues are stuffed. Every
+  // task Submit accepted must run exactly once — either by a worker or by
+  // the destructor's inline drain — and rejected tasks must run zero times.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    {
+      ThreadPool pool(2);
+      for (int i = 0; i < 500; ++i) {
+        if (pool.Submit([&] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+      // Destructor fires with most of the 500 still queued.
+    }
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownRunsOrRejectsCleanly) {
+  // Tasks that resubmit from inside workers while the destructor races
+  // them: every accepted task still runs exactly once, and a Submit that
+  // loses the race to the drain returns false instead of stranding work
+  // (or worse, touching freed queues).
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    auto pool = std::make_unique<ThreadPool>(2);
+    ThreadPool* p = pool.get();
+    std::function<void()> resubmit = [&, p] {
+      executed.fetch_add(1);
+      for (int i = 0; i < 2; ++i) {
+        if (p->Submit([&] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+    };
+    for (int i = 0; i < 100; ++i) {
+      if (p->Submit(resubmit)) accepted.fetch_add(1);
+    }
+    // Destroy immediately: workers are mid-resubmission, the drain must
+    // pick up stragglers they enqueued and reject the ones it closed out.
+    pool.reset();
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
 TEST(ParallelForTest, WaitersHelpDrainQueuedTasks) {
   // A single-worker pool saturated by a slow task: ParallelFor's caller must
   // claim chunks itself instead of waiting for the busy worker.
